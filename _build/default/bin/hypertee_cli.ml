@@ -1,0 +1,260 @@
+(* hypertee: command-line front end for the simulator.
+
+   Subcommands:
+     info                     platform and configuration summary
+     demo                     run the full enclave-lifecycle demo
+     attest                   run remote attestation end to end
+     primitives               list Table II primitives
+     cost <primitive>         service-time breakdown on each EMS core
+     slo                      the Fig. 6 queueing experiment for one setup
+     area                     the Table V area report
+     security                 the Table I / Table VI matrices *)
+
+open Cmdliner
+module Types = Hypertee_ems.Types
+module Config = Hypertee_arch.Config
+module Table = Hypertee_util.Table
+
+let seed_arg =
+  let doc = "Deterministic platform seed." in
+  Arg.(value & opt int 0x5EED & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let platform_of_seed seed = Hypertee.Platform.create ~seed:(Int64.of_int seed) ()
+
+(* --- info --- *)
+
+let info_cmd =
+  let run seed =
+    let platform = platform_of_seed seed in
+    let config = Hypertee.Platform.config platform in
+    Printf.printf "HyperTEE platform (seed %#x)\n" seed;
+    Printf.printf "  CS cores       : %d x %s\n" config.Config.cs_cores Config.cs_core.Config.name;
+    Printf.printf "  EMS cores      : %d x %s\n" config.Config.ems_cores
+      (Config.ems_core config.Config.ems_kind).Config.name;
+    Printf.printf "  memory         : %d MiB CS + %d MiB EMS private\n" config.Config.memory_mb
+      config.Config.ems_memory_mb;
+    Printf.printf "  crypto engine  : %b\n" config.Config.crypto_engine;
+    Printf.printf "  platform hash  : %s\n"
+      (Hypertee_util.Bytes_ext.to_hex (Hypertee.Platform.platform_measurement platform));
+    Printf.printf "  EK public      : %s...\n"
+      (String.sub
+         (Hypertee_util.Bytes_ext.to_hex
+            (Hypertee_crypto.Rsa.public_to_bytes (Hypertee.Platform.ek_public platform)))
+         0 32)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show the platform configuration")
+    Term.(const run $ seed_arg)
+
+(* --- demo --- *)
+
+let demo_cmd =
+  let run seed =
+    let platform = platform_of_seed seed in
+    let image =
+      Hypertee.Sdk.image_of_code ~code:(Bytes.of_string "demo enclave")
+        ~data:(Bytes.of_string "demo data") ()
+    in
+    match Hypertee.Sdk.launch platform image with
+    | Error m -> `Error (false, m)
+    | Ok enclave -> (
+      Printf.printf "enclave %d launched (measurement verified)\n" enclave;
+      match Hypertee.Sdk.enter platform ~enclave with
+      | Error m -> `Error (false, m)
+      | Ok session ->
+        Hypertee.Session.write session ~va:(Hypertee.Session.heap_va session)
+          (Bytes.of_string "hello");
+        Printf.printf "encrypted heap write/read: %S\n"
+          (Bytes.to_string
+             (Hypertee.Session.read session ~va:(Hypertee.Session.heap_va session) ~len:5));
+        (match Hypertee.Session.alloc session ~pages:4 with
+        | Ok va -> Printf.printf "EALLOC -> va %#x (%.1f us round trip)\n" va
+                     (Hypertee.Platform.last_invoke_ns platform /. 1e3)
+        | Error e -> Printf.printf "EALLOC failed: %s\n" (Types.error_message e));
+        (match Hypertee.Sdk.destroy platform ~enclave with
+        | Ok () -> print_endline "enclave destroyed"
+        | Error m -> Printf.printf "destroy failed: %s\n" m);
+        `Ok ())
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run the enclave lifecycle demo")
+    Term.(ret (const run $ seed_arg))
+
+(* --- attest --- *)
+
+let attest_cmd =
+  let run seed =
+    let platform = platform_of_seed seed in
+    let image = Hypertee.Sdk.image_of_code ~code:(Bytes.of_string "attested code") ~data:Bytes.empty () in
+    match Hypertee.Sdk.launch platform image with
+    | Error m -> `Error (false, m)
+    | Ok enclave -> (
+      match Hypertee.Sdk.enter platform ~enclave with
+      | Error m -> `Error (false, m)
+      | Ok session -> (
+        let rng = Hypertee_util.Xrng.create (Int64.of_int (seed + 1)) in
+        match
+          Hypertee.Verifier.attest_enclave ~rng ~ek:(Hypertee.Platform.ek_public platform)
+            ~ak:(Hypertee.Platform.ak_public platform)
+            ~expected_measurement:(Hypertee.Sdk.expected_measurement image)
+            session
+        with
+        | Ok outcome ->
+          Printf.printf "attestation OK\n  enclave measurement: %s\n  shared session key : %s\n"
+            (Hypertee_util.Bytes_ext.to_hex
+               outcome.Hypertee.Verifier.quote.Hypertee_ems.Attest.enclave_measurement)
+            (Hypertee_util.Bytes_ext.to_hex outcome.Hypertee.Verifier.session_key);
+          `Ok ()
+        | Error f -> `Error (false, Hypertee.Verifier.failure_message f)))
+  in
+  Cmd.v (Cmd.info "attest" ~doc:"Run remote attestation end to end")
+    Term.(ret (const run $ seed_arg))
+
+(* --- primitives --- *)
+
+let primitives_cmd =
+  let run () =
+    Table.print
+      ~headers:[ "Primitive"; "Priv."; "Semantics" ]
+      (List.map
+         (fun op ->
+           [
+             Types.opcode_name op;
+             (match Types.required_privilege op with Types.Os -> "OS" | Types.User -> "User");
+             Types.opcode_semantics op;
+           ])
+         Types.all_opcodes)
+  in
+  Cmd.v (Cmd.info "primitives" ~doc:"List the Table II primitives") Term.(const run $ const ())
+
+(* --- cost --- *)
+
+let cost_cmd =
+  let primitive_arg =
+    let doc = "Primitive name (e.g. EALLOC, ECREATE, EATTEST)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PRIMITIVE" ~doc)
+  in
+  let pages_arg =
+    let doc = "Page count for size-dependent primitives." in
+    Arg.(value & opt int 16 & info [ "pages" ] ~docv:"N" ~doc)
+  in
+  let run name pages =
+    let name = String.uppercase_ascii name in
+    match List.find_opt (fun op -> Types.opcode_name op = name) Types.all_opcodes with
+    | None -> `Error (false, "unknown primitive " ^ name)
+    | Some op ->
+      let request : Types.request =
+        match op with
+        | Types.ECREATE -> Types.Create { config = Types.default_config }
+        | Types.EADD -> Types.Add { enclave = 1; vpn = 0; data = Bytes.create 4096; executable = false }
+        | Types.EENTER -> Types.Enter { enclave = 1 }
+        | Types.ERESUME -> Types.Resume { enclave = 1 }
+        | Types.EEXIT -> Types.Exit { enclave = 1 }
+        | Types.EDESTROY -> Types.Destroy { enclave = 1 }
+        | Types.EALLOC -> Types.Alloc { enclave = 1; pages }
+        | Types.EFREE -> Types.Free { enclave = 1; vpn = 0; pages }
+        | Types.EWB -> Types.Writeback { pages_hint = pages }
+        | Types.ESHMGET -> Types.Shmget { owner = 1; pages; max_perm = Types.Read_write }
+        | Types.ESHMAT -> Types.Shmat { enclave = 1; shm = 1; requested_perm = Types.Read_write }
+        | Types.ESHMDT -> Types.Shmdt { enclave = 1; shm = 1 }
+        | Types.ESHMSHR -> Types.Shmshr { owner = 1; shm = 1; grantee = 2; perm = Types.Read_only }
+        | Types.ESHMDES -> Types.Shmdes { owner = 1; shm = 1 }
+        | Types.EMEAS -> Types.Measure { enclave = 1 }
+        | Types.EATTEST -> Types.Attest { enclave = 1; user_data = Bytes.empty }
+      in
+      let rows =
+        List.concat_map
+          (fun kind ->
+            List.map
+              (fun engine_on ->
+                let engine =
+                  if engine_on then Hypertee_crypto.Engine.default_hardware
+                  else Hypertee_crypto.Engine.default_software
+                in
+                let cost = Hypertee_ems.Cost.create ~ems:(Config.ems_core kind) ~engine in
+                [
+                  Config.ems_kind_name kind;
+                  (if engine_on then "hw" else "sw");
+                  Hypertee_util.Units.show_ns (Hypertee_ems.Cost.service_ns cost request);
+                ])
+              [ true; false ])
+          [ Config.Weak; Config.Medium; Config.Strong ]
+      in
+      Table.print ~headers:[ "EMS core"; "crypto"; "service time" ] rows;
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "cost" ~doc:"Service-time of a primitive on each EMS configuration")
+    Term.(ret (const run $ primitive_arg $ pages_arg))
+
+(* --- slo --- *)
+
+let slo_cmd =
+  let cs_arg = Arg.(value & opt int 32 & info [ "cs-cores" ] ~docv:"N" ~doc:"CS core count.") in
+  let ems_arg = Arg.(value & opt int 2 & info [ "ems-cores" ] ~docv:"N" ~doc:"EMS core count.") in
+  let kind_arg =
+    let kinds = [ ("weak", Config.Weak); ("medium", Config.Medium); ("strong", Config.Strong) ] in
+    Arg.(value & opt (enum kinds) Config.Medium & info [ "ems-kind" ] ~docv:"KIND" ~doc:"EMS core kind.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 16384 & info [ "requests" ] ~docv:"N" ~doc:"Allocation primitives to issue.")
+  in
+  let run seed cs_cores ems_cores kind requests =
+    let c =
+      Hypertee_experiments.Fig6.run ~seed:(Int64.of_int seed) ~cs_cores ~ems_cores ~ems_kind:kind
+        ~requests
+    in
+    Printf.printf "%d CS cores against %d %s EMS core(s), %d requests\n" cs_cores ems_cores
+      (Config.ems_kind_name kind) requests;
+    Printf.printf "baseline (non-enclave p99): %s\n"
+      (Hypertee_util.Units.show_ns c.Hypertee_experiments.Fig6.baseline_ns);
+    Printf.printf "p99 latency: %.2fx baseline\n" c.Hypertee_experiments.Fig6.p99_multiplier;
+    List.iter
+      (fun (x, frac) ->
+        if List.mem x [ 1.0; 2.0; 4.0; 8.0 ] then
+          Printf.printf "  resolved within %4.1fx baseline: %5.1f%%\n" x (100.0 *. frac))
+      c.Hypertee_experiments.Fig6.points
+  in
+  Cmd.v (Cmd.info "slo" ~doc:"Run the Fig. 6 concurrent-primitive SLO experiment")
+    Term.(const run $ seed_arg $ cs_arg $ ems_arg $ kind_arg $ requests_arg)
+
+(* --- area --- *)
+
+let area_cmd =
+  let run () =
+    Table.print
+      ~headers:[ "CS cores"; "CS mm2"; "EMS config"; "EMS mm2"; "overhead" ]
+      (List.map
+         (fun (r : Hypertee_arch.Area.report) ->
+           [
+             string_of_int r.Hypertee_arch.Area.cs_cores;
+             Printf.sprintf "%.0f" r.Hypertee_arch.Area.cs_area_mm2;
+             Printf.sprintf "%d %s" r.Hypertee_arch.Area.ems_cores
+               (Config.ems_kind_name r.Hypertee_arch.Area.ems_kind);
+             Printf.sprintf "%.2f" r.Hypertee_arch.Area.ems_area_mm2;
+             Printf.sprintf "%.2f%%" r.Hypertee_arch.Area.overhead_pct;
+           ])
+         (Hypertee_arch.Area.table_v ()))
+  in
+  Cmd.v (Cmd.info "area" ~doc:"Table V area report") Term.(const run $ const ())
+
+(* --- security --- *)
+
+let security_cmd =
+  let run () =
+    print_endline "Table I: security risks";
+    Table.print
+      ~headers:[ "Security Threats"; "Attack Management Tasks"; "Attack Enclaves" ]
+      (Hypertee.Security.table_i_rows ());
+    print_endline "\nTable VI: defense capability";
+    Table.print
+      ~headers:("TEE" :: List.map Hypertee.Security.attack_name Hypertee.Security.all_attacks)
+      (Hypertee.Security.table_vi_rows ())
+  in
+  Cmd.v (Cmd.info "security" ~doc:"Table I and Table VI matrices") Term.(const run $ const ())
+
+let () =
+  let doc = "HyperTEE: a decoupled TEE architecture simulator (MICRO 2024 reproduction)" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "hypertee" ~version:"1.0.0" ~doc)
+          [ info_cmd; demo_cmd; attest_cmd; primitives_cmd; cost_cmd; slo_cmd; area_cmd; security_cmd ]))

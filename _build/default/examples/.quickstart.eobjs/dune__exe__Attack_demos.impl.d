@@ -1,0 +1,1 @@
+examples/attack_demos.ml: Bytes Char Hypertee Hypertee_arch Hypertee_cs Hypertee_ems Printf

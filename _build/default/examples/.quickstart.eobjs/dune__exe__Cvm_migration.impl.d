@@ -1,0 +1,1 @@
+examples/cvm_migration.ml: Array Bytes Char Hypertee Hypertee_cvm Hypertee_util Printf

@@ -1,0 +1,1 @@
+examples/cvm_migration.mli:

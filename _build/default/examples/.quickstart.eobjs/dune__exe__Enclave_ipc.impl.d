@@ -1,0 +1,1 @@
+examples/enclave_ipc.ml: Bytes Hypertee Hypertee_ems Hypertee_util Printf String

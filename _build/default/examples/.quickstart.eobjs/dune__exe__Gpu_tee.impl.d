@@ -1,0 +1,1 @@
+examples/gpu_tee.ml: Bytes Hypertee Hypertee_accel Hypertee_arch Hypertee_ems Hypertee_util Int64 List Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Hypertee Hypertee_ems Hypertee_util Printf Result String

@@ -1,0 +1,1 @@
+examples/sealed_storage.ml: Bytes Char Hypertee Hypertee_util Int64 Printf

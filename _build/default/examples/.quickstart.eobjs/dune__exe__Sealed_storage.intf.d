@@ -1,0 +1,1 @@
+examples/sealed_storage.mli:

@@ -1,0 +1,1 @@
+examples/secure_channel.ml: Bytes Char Hypertee Hypertee_crypto Hypertee_util Int64 Printf

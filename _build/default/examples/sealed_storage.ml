@@ -1,0 +1,68 @@
+(* Sealed storage (paper Sec. VI "Data sealing"): an enclave persists
+   a counter to untrusted disk, sealed under a key derived from the
+   enclave measurement and the device-unique SK. Only the same
+   enclave code on the same platform can unseal; a tampered blob or a
+   different enclave fails.
+
+   Run with: dune exec examples/sealed_storage.exe *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+(* The untrusted "disk": just a mutable cell the host controls. *)
+let disk : bytes option ref = ref None
+
+let launch platform code =
+  let image = Hypertee.Sdk.image_of_code ~code:(Bytes.of_string code) ~data:Bytes.empty () in
+  match Hypertee.Sdk.launch platform image with
+  | Ok e -> e
+  | Error m -> die "launch: %s" m
+
+let counter_to_bytes v =
+  let b = Bytes.create 8 in
+  Hypertee_util.Bytes_ext.set_u64_le b 0 (Int64.of_int v);
+  b
+
+let counter_of_bytes b = Int64.to_int (Hypertee_util.Bytes_ext.get_u64_le b 0)
+
+let run_instance platform ~code ~label =
+  let enclave = launch platform code in
+  (* Recover state from disk, if any. *)
+  let current =
+    match !disk with
+    | None -> 0
+    | Some blob -> (
+      match Hypertee.Platform.unseal platform ~enclave blob with
+      | Ok data -> counter_of_bytes data
+      | Error m ->
+        Printf.printf "  [%s] unseal rejected: %s\n" label m;
+        -1)
+  in
+  if current >= 0 then begin
+    let next = current + 1 in
+    Printf.printf "  [%s] counter %d -> %d\n" label current next;
+    match Hypertee.Platform.seal platform ~enclave (counter_to_bytes next) with
+    | Ok blob -> disk := Some blob
+    | Error m -> die "seal: %s" m
+  end;
+  (match Hypertee.Sdk.destroy platform ~enclave with Ok () -> () | Error m -> die "destroy: %s" m)
+
+let () =
+  let platform = Hypertee.Platform.create () in
+  print_endline "three runs of the same enclave code share sealed state:";
+  run_instance platform ~code:"sealed counter v1" ~label:"run 1";
+  run_instance platform ~code:"sealed counter v1" ~label:"run 2";
+  run_instance platform ~code:"sealed counter v1" ~label:"run 3";
+
+  print_endline "a different enclave (different measurement) cannot unseal:";
+  run_instance platform ~code:"malicious lookalike" ~label:"attacker";
+
+  print_endline "host tampering with the sealed blob is detected:";
+  (match !disk with
+  | Some blob ->
+    let tampered = Bytes.copy blob in
+    Bytes.set tampered (Bytes.length tampered / 2)
+      (Char.chr (Char.code (Bytes.get tampered (Bytes.length tampered / 2)) lxor 0xFF));
+    disk := Some tampered
+  | None -> die "no sealed state");
+  run_instance platform ~code:"sealed counter v1" ~label:"after tamper";
+  print_endline "sealed_storage finished"

@@ -1,0 +1,1 @@
+lib/accel/comm_scenario.ml: Gemmini Hypertee_arch Hypertee_workloads List

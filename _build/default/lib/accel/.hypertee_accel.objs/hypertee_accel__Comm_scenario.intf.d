@@ -1,0 +1,1 @@
+lib/accel/comm_scenario.mli: Hypertee_workloads

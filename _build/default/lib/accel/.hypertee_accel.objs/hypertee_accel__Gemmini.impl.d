@@ -1,0 +1,1 @@
+lib/accel/gemmini.ml: Hypertee_arch Hypertee_workloads List Stdlib

@@ -1,0 +1,1 @@
+lib/accel/gemmini.mli: Hypertee_arch Hypertee_workloads

@@ -1,0 +1,1 @@
+lib/accel/gpu.ml: Hashtbl Hypertee_arch Hypertee_ems Hypertee_util Int64 Result

@@ -1,0 +1,1 @@
+lib/accel/gpu.mli: Hypertee_arch Hypertee_ems

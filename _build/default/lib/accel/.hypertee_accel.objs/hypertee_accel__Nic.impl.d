@@ -1,0 +1,1 @@
+lib/accel/nic.ml: Bytes Hypertee_arch Hypertee_util Int64 List Result

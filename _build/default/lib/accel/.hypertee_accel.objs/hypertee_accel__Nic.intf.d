@@ -1,0 +1,1 @@
+lib/accel/nic.mli: Hypertee_arch

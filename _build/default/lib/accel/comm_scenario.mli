@@ -1,0 +1,47 @@
+(** Enclave-communication scenarios of paper Fig. 12.
+
+    Scenario 1 — secure DNN inference on the accelerator: a user
+    enclave holds the (confidential) model, a driver enclave owns the
+    accelerator. In *conventional* TEEs the data path crosses
+    non-enclave memory, so every transfer is software-encrypted on
+    the CS core and decrypted on the other side; in *HyperTEE* the
+    transfer rides plaintext encrypted-shared-memory (the engine does
+    the cryptography transparently), leaving only the shm setup
+    primitives.
+
+    Scenario 2 — NIC: a network application streams packets through a
+    driver enclave to the NIC. Conventional designs encrypt each
+    payload in software; HyperTEE grants the NIC's DMA a whitelisted
+    window over bitmap-protected shared memory.
+
+    Reported quantities match the paper: the software-crypto share of
+    conventional execution and the end-to-end speedup. *)
+
+type dnn_result = {
+  network : string;
+  compute_ns : float;
+  conventional_crypto_ns : float;
+  conventional_total_ns : float;
+  hypertee_setup_ns : float;
+  hypertee_total_ns : float;
+  crypto_share_pct : float;  (** of conventional total *)
+  speedup : float;
+}
+
+(** [run_dnn ?batch network] — [batch] inferences (weights move once,
+    activations every inference). Default batch 1. *)
+val run_dnn : ?batch:int -> Hypertee_workloads.Dnn.network -> dnn_result
+
+type nic_result = {
+  packets : int;
+  bytes : int;
+  wire_ns : float;
+  conventional_crypto_ns : float;
+  conventional_total_ns : float;
+  hypertee_total_ns : float;
+  crypto_share_pct : float;
+  speedup : float;
+}
+
+(** [run_nic ~packets ~payload_bytes] — streaming transmit. *)
+val run_nic : packets:int -> payload_bytes:int -> nic_result

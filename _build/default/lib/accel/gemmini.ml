@@ -1,0 +1,27 @@
+type t = {
+  params : Hypertee_arch.Config.accelerator;
+  util : float;
+  layer_setup_ns : float;
+}
+
+let create ?(util = 0.45) params = { params; util; layer_setup_ns = 3_000.0 }
+
+let macs_per_sec t =
+  float_of_int (t.params.Hypertee_arch.Config.pe_rows * t.params.Hypertee_arch.Config.pe_cols)
+  *. t.params.Hypertee_arch.Config.acc_clock_ghz *. 1e9 *. t.util
+
+(* DMA from DRAM into the global buffer: a few bytes per accelerator
+   cycle, typical of AXI-attached scratchpads. *)
+let fill_bytes_per_sec t = 8.0 *. t.params.Hypertee_arch.Config.acc_clock_ghz *. 1e9
+
+let layer_ns t (layer : Hypertee_workloads.Dnn.layer) =
+  let compute = layer.Hypertee_workloads.Dnn.macs /. macs_per_sec t *. 1e9 in
+  let bytes =
+    layer.Hypertee_workloads.Dnn.input_bytes + layer.Hypertee_workloads.Dnn.weight_bytes
+    + layer.Hypertee_workloads.Dnn.output_bytes
+  in
+  let data = float_of_int bytes /. fill_bytes_per_sec t *. 1e9 in
+  t.layer_setup_ns +. Stdlib.max compute data
+
+let network_ns t net =
+  List.fold_left (fun acc l -> acc +. layer_ns t l) 0.0 net.Hypertee_workloads.Dnn.layers

@@ -1,0 +1,24 @@
+(** Gemmini-class systolic-array accelerator timing model (paper
+    Table III: 16x16 PEs, 256 KiB global buffer, 64 KiB accumulator,
+    output-/weight-stationary dataflows).
+
+    A roofline model: a layer's time is the maximum of its compute
+    time (MACs over the array's effective throughput) and its data
+    time (weights + activations over the scratchpad fill bandwidth),
+    plus a fixed per-layer configuration cost. *)
+
+type t
+
+val create : ?util:float -> Hypertee_arch.Config.accelerator -> t
+
+(** Effective MACs per second (PEs * clock * utilisation). *)
+val macs_per_sec : t -> float
+
+(** Scratchpad fill bandwidth (bytes/s). *)
+val fill_bytes_per_sec : t -> float
+
+(** [layer_ns t layer] — one layer's execution time. *)
+val layer_ns : t -> Hypertee_workloads.Dnn.layer -> float
+
+(** [network_ns t net] — sum over layers. *)
+val network_ns : t -> Hypertee_workloads.Dnn.network -> float

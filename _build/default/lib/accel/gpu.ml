@@ -1,0 +1,139 @@
+module Phys_mem = Hypertee_arch.Phys_mem
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Iommu = Hypertee_arch.Iommu
+
+let page_size = Hypertee_util.Units.page_size
+
+type kernel =
+  | Vector_add of { a : int; b : int; out : int; length : int }
+  | Vector_scale of { src : int; out : int; factor : int64; length : int }
+  | Reduce_sum of { src : int; out : int; length : int }
+
+type fault =
+  | Not_bound
+  | Wrong_enclave
+  | Iommu_fault of Iommu.fault
+  | Integrity_fault
+
+type t = {
+  mem : Phys_mem.t;
+  mee : Mem_encryption.t;
+  iommu : Iommu.t;
+  device : int;
+  mutable driver : Hypertee_ems.Types.enclave_id option;
+  mutable completed : int;
+  mutable rejected : int;
+  page_cache : (int, bytes) Hashtbl.t;
+      (** per-kernel staging of decrypted pages, flushed on writeback *)
+}
+
+let create ~mem ~mee ~iommu ~device =
+  {
+    mem;
+    mee;
+    iommu;
+    device;
+    driver = None;
+    completed = 0;
+    rejected = 0;
+    page_cache = Hashtbl.create 8;
+  }
+
+let device t = t.device
+let bind t ~driver = t.driver <- Some driver
+let unbind t = t.driver <- None
+let bound_to t = t.driver
+
+let ( let* ) = Result.bind
+
+(* One DMA beat: translate, then move a decrypted page through the
+   engine. Loads are cached per kernel so read-modify-write sequences
+   see their own stores. *)
+let load_page t ~io_vpn ~access =
+  match Iommu.translate t.iommu ~device:t.device ~io_vpn ~access with
+  | Error f -> Error (Iommu_fault f)
+  | Ok tr -> (
+    match Hashtbl.find_opt t.page_cache io_vpn with
+    | Some page -> Ok (tr, page)
+    | None -> (
+      match
+        Mem_encryption.load t.mee ~key_id:tr.Iommu.key_id ~frame:tr.Iommu.frame
+          (Phys_mem.read t.mem ~frame:tr.Iommu.frame)
+      with
+      | page ->
+        Hashtbl.replace t.page_cache io_vpn page;
+        Ok (tr, page)
+      | exception Mem_encryption.Integrity_violation _ -> Error Integrity_fault))
+
+let read_u64 t ~io_va =
+  let io_vpn = io_va / page_size and off = io_va mod page_size in
+  let* _, page = load_page t ~io_vpn ~access:Iommu.Dma_read in
+  Ok (Hypertee_util.Bytes_ext.get_u64_le page off)
+
+let write_u64 t ~io_va v =
+  let io_vpn = io_va / page_size and off = io_va mod page_size in
+  let* _, page = load_page t ~io_vpn ~access:Iommu.Dma_write in
+  Hypertee_util.Bytes_ext.set_u64_le page off v;
+  Ok ()
+
+(* Write dirty staged pages back through the engine. *)
+let writeback t =
+  Hashtbl.iter
+    (fun io_vpn page ->
+      match Iommu.translate t.iommu ~device:t.device ~io_vpn ~access:Iommu.Dma_read with
+      | Ok tr ->
+        Phys_mem.write t.mem ~frame:tr.Iommu.frame
+          (Mem_encryption.store t.mee ~key_id:tr.Iommu.key_id ~frame:tr.Iommu.frame page)
+      | Error _ -> ())
+    t.page_cache;
+  Hashtbl.reset t.page_cache
+
+let rec run_elements t ~i ~length f = if i = length then Ok () else
+  let* () = f i in
+  run_elements t ~i:(i + 1) ~length f
+
+let execute t kernel =
+  Hashtbl.reset t.page_cache;
+  let result =
+    match kernel with
+    | Vector_add { a; b; out; length } ->
+      run_elements t ~i:0 ~length (fun i ->
+          let* x = read_u64 t ~io_va:(a + (8 * i)) in
+          let* y = read_u64 t ~io_va:(b + (8 * i)) in
+          write_u64 t ~io_va:(out + (8 * i)) (Int64.add x y))
+    | Vector_scale { src; out; factor; length } ->
+      run_elements t ~i:0 ~length (fun i ->
+          let* x = read_u64 t ~io_va:(src + (8 * i)) in
+          write_u64 t ~io_va:(out + (8 * i)) (Int64.mul x factor))
+    | Reduce_sum { src; out; length } ->
+      let acc = ref 0L in
+      let* () =
+        run_elements t ~i:0 ~length (fun i ->
+            let* x = read_u64 t ~io_va:(src + (8 * i)) in
+            acc := Int64.add !acc x;
+            Ok ())
+      in
+      write_u64 t ~io_va:out !acc
+  in
+  (match result with Ok () -> writeback t | Error _ -> Hashtbl.reset t.page_cache);
+  result
+
+let submit t ~from kernel =
+  match t.driver with
+  | None ->
+    t.rejected <- t.rejected + 1;
+    Error Not_bound
+  | Some driver when driver <> from ->
+    t.rejected <- t.rejected + 1;
+    Error Wrong_enclave
+  | Some _ -> (
+    match execute t kernel with
+    | Ok () ->
+      t.completed <- t.completed + 1;
+      Ok ()
+    | Error f ->
+      t.rejected <- t.rejected + 1;
+      Error f)
+
+let completed t = t.completed
+let rejected t = t.rejected

@@ -1,0 +1,61 @@
+(** TEE-for-GPU model (paper Sec. IX, "TEE for GPU").
+
+    The paper's three mechanisms, made concrete:
+
+    1. {b Dedicated driver enclave}: the GPU's command interface is
+       bound to one enclave at a time; only submissions carrying that
+       enclave's identity are accepted.
+    2. {b Control-path isolation}: the command ring lives in
+       bitmap-protected memory; the binding is configured through
+       EMS, not by the untrusted OS.
+    3. {b Data-path protection}: the GPU addresses memory exclusively
+       through the EMS-managed IOMMU ([Hypertee_arch.Iommu]); its
+       translation entries carry the shared region's encryption
+       KeyID, so the engine decrypts on the fly and the GPU never
+       sees a key.
+
+    The functional GPU executes simple compute kernels (vector add /
+    scale / reduce) by really performing DMA reads and writes through
+    the IOMMU into the platform's physical memory, so every isolation
+    property is exercised by data actually moving. *)
+
+type kernel =
+  | Vector_add of { a : int; b : int; out : int; length : int }
+      (** element-wise int64 add; operands are I/O virtual byte addresses *)
+  | Vector_scale of { src : int; out : int; factor : int64; length : int }
+  | Reduce_sum of { src : int; out : int; length : int }
+      (** sums [length] int64s into one int64 at [out] *)
+
+type fault =
+  | Not_bound  (** no driver enclave owns the GPU *)
+  | Wrong_enclave  (** submission from an enclave that is not the driver *)
+  | Iommu_fault of Hypertee_arch.Iommu.fault
+  | Integrity_fault
+
+type t
+
+val create :
+  mem:Hypertee_arch.Phys_mem.t ->
+  mee:Hypertee_arch.Mem_encryption.t ->
+  iommu:Hypertee_arch.Iommu.t ->
+  device:int ->
+  t
+
+val device : t -> int
+
+(** [bind t ~driver] — EMS binds the control path to the driver
+    enclave (exclusively; rebinding replaces). *)
+val bind : t -> driver:Hypertee_ems.Types.enclave_id -> unit
+
+val unbind : t -> unit
+val bound_to : t -> Hypertee_ems.Types.enclave_id option
+
+(** [submit t ~from kernel] — run one kernel. [from] is the enclave
+    identity the command-path hardware sees on the submission. All
+    data movement goes through the IOMMU with the mapped KeyIDs. *)
+val submit : t -> from:Hypertee_ems.Types.enclave_id -> kernel -> (unit, fault) result
+
+(** Kernels completed / submissions rejected. *)
+val completed : t -> int
+
+val rejected : t -> int

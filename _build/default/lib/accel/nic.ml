@@ -1,0 +1,83 @@
+module Phys_mem = Hypertee_arch.Phys_mem
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Ihub = Hypertee_arch.Ihub
+module Bx = Hypertee_util.Bytes_ext
+
+type ring = { frame : int; key_id : int; entries : int }
+
+type t = {
+  mem : Phys_mem.t;
+  mee : Mem_encryption.t;
+  ihub : Ihub.t;
+  channel : int;
+  mutable tx_ring : ring option;
+  mutable payload_key_id : int;
+  mutable wire : bytes list; (* reversed *)
+  mutable frames_sent : int;
+}
+
+let create ~mem ~mee ~ihub ~channel =
+  { mem; mee; ihub; channel; tx_ring = None; payload_key_id = 0; wire = []; frames_sent = 0 }
+
+let channel t = t.channel
+let set_tx_ring t ~frame ~key_id ~entries = t.tx_ring <- Some { frame; key_id; entries }
+let set_payload_key_id t k = t.payload_key_id <- k
+
+type tx_error =
+  | No_ring
+  | Dma_denied of Ihub.denial
+  | Bad_descriptor of string
+  | Integrity of int
+
+let ( let* ) = Result.bind
+
+let dma_fetch t ~frame ~key_id =
+  match Ihub.check t.ihub ~initiator:(Ihub.Dma t.channel) ~direction:Ihub.Load ~frame with
+  | Error d -> Error (Dma_denied d)
+  | Ok () -> (
+    match Mem_encryption.load t.mee ~key_id ~frame (Phys_mem.read t.mem ~frame) with
+    | page -> Ok page
+    | exception Mem_encryption.Integrity_violation _ -> Error (Integrity frame))
+
+let descriptor_size = 16
+
+let transmit t ~head ~count =
+  match t.tx_ring with
+  | None -> Error No_ring
+  | Some ring ->
+    let rec go i sent =
+      if i = count then Ok sent
+      else begin
+        let slot = (head + i) mod ring.entries in
+        if (slot + 1) * descriptor_size > Hypertee_util.Units.page_size then
+          Error (Bad_descriptor "ring slot beyond the ring page")
+        else begin
+          let* ring_page = dma_fetch t ~frame:ring.frame ~key_id:ring.key_id in
+          let off = slot * descriptor_size in
+          let payload_frame = Int64.to_int (Bx.get_u64_le ring_page off) in
+          let payload_off =
+            Int64.to_int (Int64.logand (Bx.get_u64_le ring_page (off + 8)) 0xFFFFFFFFL)
+          in
+          let payload_len =
+            Int64.to_int (Int64.shift_right_logical (Bx.get_u64_le ring_page (off + 8)) 32)
+          in
+          if payload_len = 0 then Error (Bad_descriptor "zero-length payload")
+          else if payload_off < 0 || payload_off + payload_len > Hypertee_util.Units.page_size
+          then Error (Bad_descriptor "payload escapes its frame")
+          else if payload_frame < 0 || payload_frame >= Phys_mem.frames t.mem then
+            Error (Bad_descriptor "payload frame out of range")
+          else begin
+            let* payload_page = dma_fetch t ~frame:payload_frame ~key_id:t.payload_key_id in
+            t.wire <- Bytes.sub payload_page payload_off payload_len :: t.wire;
+            t.frames_sent <- t.frames_sent + 1;
+            go (i + 1) (sent + 1)
+          end
+        end
+      end
+    in
+    go 0 0
+
+let wire t = List.rev t.wire
+let frames_sent t = t.frames_sent
+
+let clear_wire t = t.wire <- []

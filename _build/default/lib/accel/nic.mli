@@ -1,0 +1,49 @@
+(** Functional NIC controller model (paper Fig. 12 scenario 2,
+    Sec. V-B/C).
+
+    A transmit descriptor ring lives in memory the driver enclave
+    shares with the device; every payload fetch is a DMA that must
+    pass the iHub whitelist EMS configured for the NIC's channel.
+    Transmitted frames land on a loopback "wire" the tests read back,
+    so the whole path — descriptor parsing, whitelist-checked DMA,
+    KeyID-decrypted payloads — is exercised functionally.
+
+    Descriptor format (16 bytes, little-endian): u64 payload frame,
+    u32 offset in frame, u32 length. *)
+
+type t
+
+val create :
+  mem:Hypertee_arch.Phys_mem.t ->
+  mee:Hypertee_arch.Mem_encryption.t ->
+  ihub:Hypertee_arch.Ihub.t ->
+  channel:int ->
+  t
+
+val channel : t -> int
+
+(** [set_tx_ring t ~frame ~key_id ~entries] points the device at its
+    descriptor ring (a frame the driver enclave owns; DMA-read
+    through the whitelist like everything else). *)
+val set_tx_ring : t -> frame:int -> key_id:int -> entries:int -> unit
+
+(** [payload_key_id t k] — KeyID the device's payload fetches carry
+    (configured by EMS alongside the ring; default 0). *)
+val set_payload_key_id : t -> int -> unit
+
+type tx_error =
+  | No_ring
+  | Dma_denied of Hypertee_arch.Ihub.denial
+  | Bad_descriptor of string
+  | Integrity of int  (** frame that failed its MAC *)
+
+(** [transmit t ~head ~count] processes [count] descriptors starting
+    at ring slot [head]: fetch descriptor, whitelist-check + fetch the
+    payload, push the frame onto the wire. Stops at the first error. *)
+val transmit : t -> head:int -> count:int -> (int, tx_error) result
+
+(** Frames on the loopback wire, oldest first. *)
+val wire : t -> bytes list
+
+val frames_sent : t -> int
+val clear_wire : t -> unit

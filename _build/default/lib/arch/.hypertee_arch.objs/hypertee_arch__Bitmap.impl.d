@@ -1,0 +1,1 @@
+lib/arch/bitmap.ml: Bytes Char Hypertee_util Phys_mem

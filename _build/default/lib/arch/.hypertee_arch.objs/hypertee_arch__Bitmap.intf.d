@@ -1,0 +1,1 @@
+lib/arch/bitmap.mli: Phys_mem

@@ -1,0 +1,1 @@
+lib/arch/ihub.ml: Format Hashtbl Phys_mem

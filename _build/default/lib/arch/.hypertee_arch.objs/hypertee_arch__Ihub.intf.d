@@ -1,0 +1,1 @@
+lib/arch/ihub.mli: Format Phys_mem

@@ -1,0 +1,1 @@
+lib/arch/mailbox.ml: Hashtbl Hypertee_util

@@ -1,0 +1,1 @@
+lib/arch/mem_encryption.ml: Array Bytes Config Hashtbl Hypertee_crypto Hypertee_util List

@@ -1,0 +1,1 @@
+lib/arch/mem_encryption.mli: Config

@@ -1,0 +1,1 @@
+lib/arch/page_table.ml: List Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/arch/page_table.mli: Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/arch/phys_mem.ml: Array Bytes Format Hypertee_util List

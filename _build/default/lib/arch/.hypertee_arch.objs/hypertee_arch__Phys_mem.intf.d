@@ -1,0 +1,1 @@
+lib/arch/phys_mem.mli: Format

@@ -1,0 +1,1 @@
+lib/arch/pte.mli: Format

@@ -1,0 +1,1 @@
+lib/arch/ptw.ml: Bitmap Config List Page_table Pte Tlb

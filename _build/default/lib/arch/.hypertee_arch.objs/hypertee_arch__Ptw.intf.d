@@ -1,0 +1,1 @@
+lib/arch/ptw.mli: Bitmap Page_table Tlb

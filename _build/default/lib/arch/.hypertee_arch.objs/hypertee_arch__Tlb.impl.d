@@ -1,0 +1,1 @@
+lib/arch/tlb.ml: Hashtbl Pte

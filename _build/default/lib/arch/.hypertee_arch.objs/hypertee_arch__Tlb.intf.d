@@ -1,0 +1,1 @@
+lib/arch/tlb.mli: Pte

@@ -1,0 +1,36 @@
+(** ASIC area model (paper Table V, TSMC 7 nm).
+
+    Table V is an accounting identity: CS area scales with core count
+    from fitted per-core anchors, EMS area is the chosen EMS cores
+    plus fixed HyperTEE-IP overhead (crypto engine 0.20 mm^2,
+    mailbox/iHub logic, private SRAM). The model reproduces the
+    paper's anchors exactly at the published configurations and
+    interpolates elsewhere. *)
+
+type report = {
+  cs_cores : int;
+  cs_area_mm2 : float;
+  ems_cores : int;
+  ems_kind : Config.ems_kind;
+  ems_area_mm2 : float;
+  overhead_pct : float;  (** EMS area / (CS + EMS) *)
+}
+
+(** Per-core areas (mm^2) used by the model. *)
+val cs_core_area_mm2 : float
+
+val ems_core_area_mm2 : Config.ems_kind -> float
+
+(** Crypto engine block (Sec. VII-E). *)
+val crypto_engine_area_mm2 : float
+
+(** [evaluate ~cs_cores] picks the recommended EMS configuration for
+    that core count (Sec. VII-B) and reports areas. *)
+val evaluate : cs_cores:int -> report
+
+(** [evaluate_with ~cs_cores ~ems_cores ~ems_kind] for explicit EMS
+    choices. *)
+val evaluate_with : cs_cores:int -> ems_cores:int -> ems_kind:Config.ems_kind -> report
+
+(** The five Table V columns (4, 8, 16, 32, 64 CS cores). *)
+val table_v : unit -> report list

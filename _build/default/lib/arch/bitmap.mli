@@ -1,0 +1,31 @@
+(** Enclave-memory bitmap (paper Sec. IV-B, Fig. 5).
+
+    One bit per physical frame: set = the frame is enclave memory and
+    must not be touched by non-enclave software. The bitmap itself
+    lives *inside physical memory* in frames marked [Bitmap_region]
+    (the paper protects the bitmap as enclave memory), so the CS page
+    table walker genuinely reads it from memory. Only EMS writes it;
+    the [set]/[clear] operations are invoked from EMS code paths. *)
+
+type t
+
+(** [create mem] reserves enough trailing frames of [mem] to hold one
+    bit per frame, marks them [Bitmap_region] and marks their own
+    bits set (the region protects itself). *)
+val create : Phys_mem.t -> t
+
+(** Base frame of the region (the BM_BASE register value). *)
+val base_frame : t -> int
+
+(** Number of frames occupied by the bitmap itself. *)
+val region_frames : t -> int
+
+(** [get t ~frame] reads the bit through physical memory, exactly as
+    the hardware checker does. *)
+val get : t -> frame:int -> bool
+
+val set : t -> frame:int -> unit
+val clear : t -> frame:int -> unit
+
+(** Number of set bits (for invariant checks). *)
+val popcount : t -> int

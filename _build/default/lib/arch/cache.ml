@@ -1,0 +1,79 @@
+type line = { mutable tag : int; mutable valid : bool; mutable last_use : int }
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  lines : line array array; (* [set].[way] *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~size_bytes ~ways ~line_bytes =
+  if size_bytes <= 0 || ways <= 0 || line_bytes <= 0 then invalid_arg "Cache.create: bad geometry";
+  let lines_total = size_bytes / line_bytes in
+  if lines_total mod ways <> 0 then invalid_arg "Cache.create: size not divisible by ways";
+  let sets = lines_total / ways in
+  {
+    sets;
+    ways;
+    line_bytes;
+    lines = Array.init sets (fun _ -> Array.init ways (fun _ -> { tag = 0; valid = false; last_use = 0 }));
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let sets t = t.sets
+let ways t = t.ways
+let line_bytes t = t.line_bytes
+
+let locate t addr =
+  let line_addr = addr / t.line_bytes in
+  (line_addr mod t.sets, line_addr / t.sets)
+
+let probe t ~addr =
+  let set, tag = locate t addr in
+  Array.exists (fun l -> l.valid && l.tag = tag) t.lines.(set)
+
+let access t ~addr =
+  let set, tag = locate t addr in
+  t.tick <- t.tick + 1;
+  let row = t.lines.(set) in
+  let hit = ref false in
+  Array.iter
+    (fun l ->
+      if l.valid && l.tag = tag then begin
+        hit := true;
+        l.last_use <- t.tick
+      end)
+    row;
+  if !hit then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* Fill: pick an invalid way, else LRU. *)
+    let victim = ref row.(0) in
+    Array.iter
+      (fun l ->
+        if not l.valid then victim := l
+        else if !victim.valid && l.last_use < !victim.last_use then victim := l)
+      row;
+    !victim.tag <- tag;
+    !victim.valid <- true;
+    !victim.last_use <- t.tick;
+    false
+  end
+
+let invalidate_all t =
+  Array.iter (fun row -> Array.iter (fun l -> l.valid <- false) row) t.lines
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0

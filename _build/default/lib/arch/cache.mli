@@ -1,0 +1,29 @@
+(** Set-associative cache model (LRU).
+
+    Used for line-level simulation where the paper's numbers depend
+    on actual reuse behaviour (MemStream in Fig. 8b) and by the
+    per-core cache-hierarchy model. Addresses are byte addresses;
+    geometry is (size, associativity, line size). *)
+
+type t
+
+val create : size_bytes:int -> ways:int -> line_bytes:int -> t
+
+val sets : t -> int
+val ways : t -> int
+val line_bytes : t -> int
+
+(** [access t ~addr] returns [true] on hit; a miss fills the line
+    (allocate-on-miss, LRU victim). *)
+val access : t -> addr:int -> bool
+
+(** [probe t ~addr] checks residency without updating LRU. *)
+val probe : t -> addr:int -> bool
+
+(** [invalidate_all t] empties the cache (enclave KeyID release does
+    a cache flush per Sec. IV-C). *)
+val invalidate_all : t -> unit
+
+val hits : t -> int
+val misses : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,192 @@
+type pipeline = In_order | Out_of_order
+
+type core = {
+  name : string;
+  pipeline : pipeline;
+  fetch_width : int;
+  decode_width : int;
+  issue_mem : int;
+  issue_int : int;
+  issue_fp : int;
+  btb_entries : int;
+  rob_entries : int;
+  itlb_entries : int;
+  dtlb_entries : int;
+  l2_tlb_entries : int;
+  l1i_kb : int;
+  l1d_kb : int;
+  l2_kb : int;
+  clock_ghz : float;
+  base_ipc : float;
+}
+
+(* Table III. Base IPC values are the timing model's abstraction of
+   the pipeline columns: an 8-wide BOOM-class OoO sustains ~2.0 IPC
+   on integer code, a 4-wide OoO ~1.5, a single-issue in-order ~0.7. *)
+
+let cs_core =
+  {
+    name = "CS-BOOM8";
+    pipeline = Out_of_order;
+    fetch_width = 8;
+    decode_width = 4;
+    issue_mem = 2;
+    issue_int = 3;
+    issue_fp = 1;
+    btb_entries = 256 * 4;
+    rob_entries = 128;
+    itlb_entries = 32;
+    dtlb_entries = 32;
+    l2_tlb_entries = 1024;
+    l1i_kb = 64;
+    l1d_kb = 64;
+    l2_kb = 1024;
+    clock_ghz = 2.5;
+    base_ipc = 2.0;
+  }
+
+let ems_weak =
+  {
+    name = "EMS-weak";
+    pipeline = In_order;
+    fetch_width = 1;
+    decode_width = 1;
+    issue_mem = 1;
+    issue_int = 1;
+    issue_fp = 1;
+    btb_entries = 128;
+    rob_entries = 0;
+    itlb_entries = 8;
+    dtlb_entries = 8;
+    l2_tlb_entries = 0;
+    l1i_kb = 16;
+    l1d_kb = 16;
+    l2_kb = 256;
+    clock_ghz = 0.75;
+    base_ipc = 0.7;
+  }
+
+let ems_medium =
+  {
+    name = "EMS-medium";
+    pipeline = Out_of_order;
+    fetch_width = 4;
+    decode_width = 2;
+    issue_mem = 1;
+    issue_int = 2;
+    issue_fp = 1;
+    btb_entries = 128 * 2;
+    rob_entries = 96;
+    itlb_entries = 16;
+    dtlb_entries = 16;
+    l2_tlb_entries = 0;
+    l1i_kb = 32;
+    l1d_kb = 32;
+    l2_kb = 512;
+    clock_ghz = 0.75;
+    base_ipc = 1.5;
+  }
+
+let ems_strong =
+  {
+    name = "EMS-strong";
+    pipeline = Out_of_order;
+    fetch_width = 8;
+    decode_width = 4;
+    issue_mem = 2;
+    issue_int = 3;
+    issue_fp = 1;
+    btb_entries = 256 * 4;
+    rob_entries = 128;
+    itlb_entries = 32;
+    dtlb_entries = 32;
+    l2_tlb_entries = 0;
+    l1i_kb = 64;
+    l1d_kb = 64;
+    l2_kb = 512;
+    clock_ghz = 0.75;
+    base_ipc = 2.0;
+  }
+
+type ems_kind = Weak | Medium | Strong
+
+let ems_core = function Weak -> ems_weak | Medium -> ems_medium | Strong -> ems_strong
+let ems_kind_name = function Weak -> "weak" | Medium -> "medium" | Strong -> "strong"
+
+type mem_latency = {
+  l1_hit : int;
+  l2_hit : int;
+  llc_hit : int;
+  dram : int;
+  encryption_extra : int;
+  integrity_extra : int;
+}
+
+let default_latency =
+  { l1_hit = 4; l2_hit = 14; llc_hit = 40; dram = 200; encryption_extra = 9; integrity_extra = 4 }
+
+let ptw_level_cycles = 20
+let bitmap_check_cycles = 8
+
+type transport = {
+  emcall_entry_ns : float;
+  packet_build_ns : float;
+  fabric_hop_ns : float;
+  interrupt_ns : float;
+  poll_slot_ns : float;
+}
+
+let default_transport =
+  {
+    emcall_entry_ns = 120.0;
+    packet_build_ns = 60.0;
+    fabric_hop_ns = 40.0;
+    interrupt_ns = 200.0;
+    poll_slot_ns = 100.0;
+  }
+
+type accelerator = {
+  pe_rows : int;
+  pe_cols : int;
+  global_buffer_kb : int;
+  accumulator_kb : int;
+  acc_clock_ghz : float;
+}
+
+let gemmini =
+  { pe_rows = 16; pe_cols = 16; global_buffer_kb = 256; accumulator_kb = 64; acc_clock_ghz = 1.0 }
+
+type t = {
+  cs_cores : int;
+  ems_cores : int;
+  ems_kind : ems_kind;
+  latency : mem_latency;
+  transport : transport;
+  crypto_engine : bool;
+  memory_mb : int;
+  ems_memory_mb : int;
+  context_switch_hz : float;
+}
+
+let default =
+  {
+    cs_cores = 4;
+    ems_cores = 1;
+    ems_kind = Medium;
+    latency = default_latency;
+    transport = default_transport;
+    crypto_engine = true;
+    memory_mb = 256;
+    ems_memory_mb = 64;
+    context_switch_hz = 100.0;
+  }
+
+let recommended_ems ~cs_cores =
+  if cs_cores <= 8 then (1, Weak) else if cs_cores <= 16 then (2, Weak) else (2, Medium)
+
+let pp_core fmt c =
+  Format.fprintf fmt "%s (%s, fetch %d, %.2f GHz, IPC %.1f, L1 %d/%dKB, L2 %dKB)" c.name
+    (match c.pipeline with In_order -> "in-order" | Out_of_order -> "OoO")
+    c.fetch_width c.clock_ghz c.base_ipc c.l1i_kb c.l1d_kb c.l2_kb
+
+let bitmap_retrieve_avg_cycles = 20.0

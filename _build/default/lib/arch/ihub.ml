@@ -1,0 +1,51 @@
+type initiator = Cs_software | Ems | Dma of int
+type direction = Load | Store
+type denial = Ems_private_memory | Outside_dma_window | Dma_window_readonly
+
+type window = { base_frame : int; frames : int; writable : bool }
+
+type t = {
+  mem : Phys_mem.t;
+  dma_windows : (int, window) Hashtbl.t;
+  mutable denials : int;
+}
+
+let create mem = { mem; dma_windows = Hashtbl.create 8; denials = 0 }
+
+let configure_dma_window t ~channel ~base_frame ~frames ~writable =
+  if base_frame < 0 || frames <= 0 || base_frame + frames > Phys_mem.frames t.mem then
+    invalid_arg "Ihub.configure_dma_window: region out of range";
+  Hashtbl.replace t.dma_windows channel { base_frame; frames; writable }
+
+let clear_dma_window t ~channel = Hashtbl.remove t.dma_windows channel
+
+let deny t reason =
+  t.denials <- t.denials + 1;
+  Error reason
+
+let check t ~initiator ~direction ~frame =
+  match initiator with
+  | Ems -> Ok () (* unidirectional: EMS sees everything *)
+  | Cs_software -> (
+    match Phys_mem.owner t.mem frame with
+    | Phys_mem.Ems_private -> deny t Ems_private_memory
+    | Phys_mem.Free | Phys_mem.Cs_os | Phys_mem.Pool | Phys_mem.Enclave _ | Phys_mem.Shared _
+    | Phys_mem.Page_table _ | Phys_mem.Bitmap_region ->
+      (* Enclave/bitmap frames are filtered by the PTW bitmap check,
+         not by iHub; iHub only hides the EMS address space. *)
+      Ok ())
+  | Dma channel -> (
+    match Hashtbl.find_opt t.dma_windows channel with
+    | None -> deny t Outside_dma_window
+    | Some w ->
+      if frame < w.base_frame || frame >= w.base_frame + w.frames then
+        deny t Outside_dma_window
+      else if direction = Store && not w.writable then deny t Dma_window_readonly
+      else Ok ())
+
+let denials t = t.denials
+
+let pp_denial fmt = function
+  | Ems_private_memory -> Format.pp_print_string fmt "ems-private-memory"
+  | Outside_dma_window -> Format.pp_print_string fmt "outside-dma-window"
+  | Dma_window_readonly -> Format.pp_print_string fmt "dma-window-readonly"

@@ -1,0 +1,48 @@
+(** iHub: the on-chip bridge enforcing unidirectional isolation and
+    the DMA whitelist (paper Sec. III-A, V-C).
+
+    Access rules:
+    - EMS may read/write the whole CS memory space (management needs
+      it) and CS I/O devices.
+    - CS may never touch EMS-private frames or the mailbox internals.
+    - Peripheral DMA is filtered by a whitelist of (base, size,
+      permission) register pairs, configurable *only* by EMS; any DMA
+      outside its window is discarded.
+
+    [check] is the hardware filter; the CS/EMS software layers route
+    every cross-boundary access through it, and attack tests assert
+    the denials. *)
+
+type initiator =
+  | Cs_software  (** any CS core, any privilege *)
+  | Ems  (** the EMS core(s) *)
+  | Dma of int  (** peripheral DMA, channel id *)
+
+type direction = Load | Store
+
+type denial =
+  | Ems_private_memory  (** CS touched an EMS-private frame *)
+  | Outside_dma_window
+  | Dma_window_readonly
+
+type t
+
+val create : Phys_mem.t -> t
+
+(** [configure_dma_window t ~channel ~base_frame ~frames ~writable]
+    installs/overwrites the whitelist entry for [channel]. EMS-only
+    path (callers enforce). *)
+val configure_dma_window :
+  t -> channel:int -> base_frame:int -> frames:int -> writable:bool -> unit
+
+(** [clear_dma_window t ~channel] removes the entry, blocking all DMA
+    from that channel. *)
+val clear_dma_window : t -> channel:int -> unit
+
+(** [check t ~initiator ~direction ~frame] applies the filter. *)
+val check : t -> initiator:initiator -> direction:direction -> frame:int -> (unit, denial) result
+
+(** Denied-access counter (attack telemetry). *)
+val denials : t -> int
+
+val pp_denial : Format.formatter -> denial -> unit

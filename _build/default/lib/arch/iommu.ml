@@ -1,0 +1,80 @@
+type access = Dma_read | Dma_write
+type fault = Unmapped | Write_to_readonly
+
+type entry = { frame : int; writable : bool; key_id : int }
+
+type t = {
+  tables : (int * int, entry) Hashtbl.t; (* (device, io_vpn) -> entry *)
+  iotlb : (int * int, entry) Hashtbl.t; (* cached translations *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable faults : int;
+}
+
+let iotlb_capacity = 64
+
+let create () =
+  { tables = Hashtbl.create 64; iotlb = Hashtbl.create iotlb_capacity; hits = 0; misses = 0; faults = 0 }
+
+type translation = { frame : int; key_id : int }
+
+let map t ~device ~io_vpn ~frame ~writable ?(key_id = 0) () =
+  if frame < 0 then invalid_arg "Iommu.map: negative frame";
+  Hashtbl.replace t.tables (device, io_vpn) { frame; writable; key_id };
+  (* Overwriting a live translation must not leave a stale IOTLB
+     entry pointing at the old frame. *)
+  Hashtbl.remove t.iotlb (device, io_vpn)
+
+let unmap t ~device ~io_vpn =
+  Hashtbl.remove t.tables (device, io_vpn);
+  Hashtbl.remove t.iotlb (device, io_vpn)
+
+let clear_device t ~device =
+  let keys tbl =
+    Hashtbl.fold (fun ((d, _) as k) _ acc -> if d = device then k :: acc else acc) tbl []
+  in
+  List.iter (Hashtbl.remove t.tables) (keys t.tables);
+  List.iter (Hashtbl.remove t.iotlb) (keys t.iotlb)
+
+let permit entry access =
+  match access with Dma_read -> true | Dma_write -> entry.writable
+
+let translate t ~device ~io_vpn ~access =
+  let key = (device, io_vpn) in
+  let checked entry =
+    if permit entry access then Ok { frame = entry.frame; key_id = entry.key_id }
+    else begin
+      t.faults <- t.faults + 1;
+      Error Write_to_readonly
+    end
+  in
+  match Hashtbl.find_opt t.iotlb key with
+  | Some entry ->
+    t.hits <- t.hits + 1;
+    checked entry
+  | None -> (
+    t.misses <- t.misses + 1;
+    match Hashtbl.find_opt t.tables key with
+    | None ->
+      t.faults <- t.faults + 1;
+      Error Unmapped
+    | Some entry ->
+      if Hashtbl.length t.iotlb >= iotlb_capacity then begin
+        (* Random-ish replacement: drop one resident entry. *)
+        match Hashtbl.fold (fun k _ _ -> Some k) t.iotlb None with
+        | Some victim -> Hashtbl.remove t.iotlb victim
+        | None -> ()
+      end;
+      Hashtbl.replace t.iotlb key entry;
+      checked entry)
+
+let iotlb_hits t = t.hits
+let iotlb_misses t = t.misses
+let faults t = t.faults
+
+let mappings_of t ~device =
+  Hashtbl.fold
+    (fun (d, io_vpn) (entry : entry) acc ->
+      if d = device then (io_vpn, entry.frame, entry.writable) :: acc else acc)
+    t.tables []
+  |> List.sort compare

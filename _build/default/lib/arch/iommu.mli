@@ -1,0 +1,50 @@
+(** IOMMU model with EMS-managed translation tables (paper Sec. V-B
+    and the GPU discussion in Sec. IX).
+
+    Peripherals that address memory through an IOMMU get a per-device
+    translation table mapping I/O virtual pages to physical frames
+    with a permission, plus an IOTLB that caches translations. Only
+    EMS configures the tables and invalidates the IOTLB — the
+    register interface is reachable solely through iHub, so untrusted
+    software cannot remap a device onto enclave memory. An unmapped
+    or permission-violating access is reported (and counted) exactly
+    like a discarded DMA. *)
+
+type access = Dma_read | Dma_write
+
+type fault = Unmapped | Write_to_readonly
+
+type t
+
+val create : unit -> t
+
+(** EMS-only configuration path. [map] installs/overwrites one I/O
+    page translation for [device]. [key_id] (default 0 = plaintext)
+    is the memory-encryption KeyID the device's accesses carry on the
+    bus, so DMA into encrypted shared enclave memory decrypts
+    transparently — the key itself never leaves the engine. *)
+val map : t -> device:int -> io_vpn:int -> frame:int -> writable:bool -> ?key_id:int -> unit -> unit
+
+(** [unmap] removes a translation and invalidates matching IOTLB
+    entries (the paper's IOTLB invalidation duty). *)
+val unmap : t -> device:int -> io_vpn:int -> unit
+
+(** [clear_device t ~device] removes every mapping of the device
+    (enclave teardown). *)
+val clear_device : t -> device:int -> unit
+
+type translation = { frame : int; key_id : int }
+
+(** [translate t ~device ~io_vpn ~access] — the hardware path used on
+    every DMA beat. Fills the IOTLB on success. *)
+val translate : t -> device:int -> io_vpn:int -> access:access -> (translation, fault) result
+
+(** IOTLB behaviour counters (hit/miss) and fault count. *)
+val iotlb_hits : t -> int
+
+val iotlb_misses : t -> int
+val faults : t -> int
+
+(** Mappings currently installed for a device (tests):
+    (io_vpn, frame, writable). *)
+val mappings_of : t -> device:int -> (int * int * bool) list

@@ -1,0 +1,49 @@
+type 'req packet = { request_id : int; sender_enclave : int option; body : 'req }
+
+type ('req, 'resp) t = {
+  requests : 'req packet Hypertee_util.Ring_queue.t;
+  responses : (int, 'resp) Hashtbl.t; (* request_id -> response *)
+  outstanding : (int, unit) Hashtbl.t; (* ids handed to EMS, not yet answered *)
+  mutable next_id : int;
+}
+
+let create ?(depth = 64) () =
+  {
+    requests = Hypertee_util.Ring_queue.create ~capacity:depth;
+    responses = Hashtbl.create depth;
+    outstanding = Hashtbl.create depth;
+    next_id = 1;
+  }
+
+let send_request t ~sender_enclave body =
+  let id = t.next_id in
+  let packet = { request_id = id; sender_enclave; body } in
+  if Hypertee_util.Ring_queue.push t.requests packet then begin
+    t.next_id <- t.next_id + 1;
+    Ok id
+  end
+  else Error `Full
+
+let recv_request t =
+  match Hypertee_util.Ring_queue.pop t.requests with
+  | Some packet ->
+    Hashtbl.replace t.outstanding packet.request_id ();
+    Some packet
+  | None -> None
+
+let send_response t ~request_id resp =
+  if not (Hashtbl.mem t.outstanding request_id) then
+    invalid_arg "Mailbox.send_response: unknown or already-answered request id";
+  Hashtbl.remove t.outstanding request_id;
+  Hashtbl.replace t.responses request_id resp
+
+let poll_response t ~request_id =
+  match Hashtbl.find_opt t.responses request_id with
+  | Some resp ->
+    Hashtbl.remove t.responses request_id;
+    Some resp
+  | None -> None
+
+let pending_requests t = Hypertee_util.Ring_queue.length t.requests
+let pending_responses t = Hashtbl.length t.responses
+let issued t = t.next_id - 1

@@ -1,0 +1,44 @@
+(** The iHub mailbox between CS and EMS (paper Fig. 3, Sec. III-C).
+
+    Two bounded hardware ring queues: requests (CS -> EMS) and
+    responses (EMS -> CS). Every request carries a unique request id
+    minted by the mailbox; a response is bound to exactly one request
+    id, and a consumer must present that id to collect it — this is
+    the "a request cannot access the other response packets" rule.
+    The queues are invisible to untrusted CS software; only EMCall
+    (CS side) and the EMS runtime (EMS side) hold a [t].
+
+    Payloads are opaque to the hardware, so the type is polymorphic
+    in the request/response body. *)
+
+type ('req, 'resp) t
+
+type 'req packet = { request_id : int; sender_enclave : int option; body : 'req }
+
+val create : ?depth:int -> unit -> ('req, 'resp) t
+
+(** CS side (EMCall): enqueue a request. [sender_enclave] is the
+    enclaveID EMCall stamps on the packet (None for host software).
+    Returns the minted request id, or [Error `Full] on back-pressure. *)
+val send_request : ('req, 'resp) t -> sender_enclave:int option -> 'req -> (int, [ `Full ]) result
+
+(** EMS side: dequeue the oldest pending request. *)
+val recv_request : ('req, 'resp) t -> 'req packet option
+
+(** EMS side: post the response for [request_id]. Raises
+    [Invalid_argument] if the id is unknown or already answered. *)
+val send_response : ('req, 'resp) t -> request_id:int -> 'resp -> unit
+
+(** CS side (EMCall polling): collect the response for [request_id]
+    if it has arrived. Collecting with a wrong id never yields
+    another request's response. *)
+val poll_response : ('req, 'resp) t -> request_id:int -> 'resp option
+
+(** Pending (sent, unconsumed) request count — used by the timing
+    model for queueing, never by untrusted code. *)
+val pending_requests : ('req, 'resp) t -> int
+
+val pending_responses : ('req, 'resp) t -> int
+
+(** Ids issued so far (tests). *)
+val issued : ('req, 'resp) t -> int

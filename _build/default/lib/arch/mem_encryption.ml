@@ -1,0 +1,77 @@
+exception Integrity_violation of { frame : int }
+
+type slot = { key : Hypertee_crypto.Aes.key; raw : bytes }
+
+type t = {
+  table : slot option array; (* index = KeyID; 0 is bypass *)
+  macs : (int * int, int) Hashtbl.t; (* (key_id, frame) -> 28-bit MAC *)
+  mac_key : bytes; (* engine-internal MAC key *)
+}
+
+let create ~slots =
+  if slots < 2 then invalid_arg "Mem_encryption.create: need at least 2 slots";
+  {
+    table = Array.make slots None;
+    macs = Hashtbl.create 256;
+    mac_key = Hypertee_crypto.Sha256.digest_string "hypertee-mee-mac-key";
+  }
+
+let slots t = Array.length t.table
+
+let check_key_id t key_id =
+  if key_id <= 0 || key_id >= slots t then
+    invalid_arg "Mem_encryption: key_id out of programmable range"
+
+let program t ~key_id key =
+  check_key_id t key_id;
+  if Bytes.length key <> 16 then invalid_arg "Mem_encryption.program: key must be 16 bytes";
+  t.table.(key_id) <- Some { key = Hypertee_crypto.Aes.expand key; raw = Bytes.copy key }
+
+let revoke t ~key_id =
+  check_key_id t key_id;
+  (match t.table.(key_id) with
+  | Some slot -> Hypertee_util.Bytes_ext.fill_zero slot.raw
+  | None -> ());
+  t.table.(key_id) <- None;
+  (* Drop MAC state for lines under this key: after reprogramming,
+     stale MACs must not satisfy a check. *)
+  let stale = Hashtbl.fold (fun (k, f) _ acc -> if k = key_id then (k, f) :: acc else acc) t.macs [] in
+  List.iter (Hashtbl.remove t.macs) stale
+
+let is_programmed t ~key_id = key_id > 0 && key_id < slots t && t.table.(key_id) <> None
+
+let slot_exn t key_id =
+  check_key_id t key_id;
+  match t.table.(key_id) with
+  | Some s -> s
+  | None -> invalid_arg "Mem_encryption: KeyID not programmed"
+
+let store t ~key_id ~frame data =
+  if key_id = 0 then data
+  else begin
+    let slot = slot_exn t key_id in
+    let ct = Hypertee_crypto.Aes.encrypt_page slot.key ~page_number:frame data in
+    Hashtbl.replace t.macs (key_id, frame) (Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key ct);
+    ct
+  end
+
+let load t ~key_id ~frame data =
+  if key_id = 0 then data
+  else begin
+    let slot = slot_exn t key_id in
+    (match Hashtbl.find_opt t.macs (key_id, frame) with
+    | Some mac when mac = Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key data -> ()
+    | Some _ -> raise (Integrity_violation { frame })
+    | None ->
+      (* Never stored under this key: decrypting garbage; a real
+         engine would also MAC-fault on uninitialised lines. *)
+      raise (Integrity_violation { frame }));
+    Hypertee_crypto.Aes.decrypt_page slot.key ~page_number:frame data
+  end
+
+let find_free_slot t =
+  let rec go i = if i >= slots t then None else if t.table.(i) = None then Some i else go (i + 1) in
+  go 1
+
+let extra_ns (lat : Config.mem_latency) ~cs_ghz =
+  float_of_int (lat.Config.encryption_extra + lat.Config.integrity_extra) /. cs_ghz

@@ -1,0 +1,49 @@
+(** Multi-key memory-encryption engine with integrity (Sec. IV-C).
+
+    Models an MKTME/SME-class engine sitting between the LLC and
+    DRAM. EMS (and only EMS, via iHub) programs KeyID -> AES-128 key
+    slots; every memory access carries a KeyID in the high bits of
+    the physical address, and the engine encrypts/decrypts per-line
+    with the selected key tweaked by the address. Integrity is a
+    truncated 28-bit SHA-3 MAC per line; a mismatch raises an
+    integrity exception (physical-tampering detection).
+
+    Functionally real: [store]/[load] below actually AES-CTR the
+    bytes and check real MACs, so the cold-boot and cross-key attack
+    tests read genuine ciphertext. KeyID 0 is the bypass slot
+    (plaintext, no MAC) used by non-enclave traffic. *)
+
+exception Integrity_violation of { frame : int }
+
+type t
+
+(** [create ~slots] an engine with KeyIDs 1..slots-1 programmable. *)
+val create : slots:int -> t
+
+val slots : t -> int
+
+(** [program t ~key_id key] installs a 16-byte key (EMS-only path).
+    Raises [Invalid_argument] on KeyID 0 or out of range. *)
+val program : t -> key_id:int -> bytes -> unit
+
+(** [revoke t ~key_id] erases the slot (KeyID reuse, Sec. IV-C). *)
+val revoke : t -> key_id:int -> unit
+
+val is_programmed : t -> key_id:int -> bool
+
+(** [store t ~key_id ~frame data] -> ciphertext as it would sit in
+    DRAM, recording the integrity MAC. [load] reverses and verifies.
+    Page-granular for the simulator's convenience. *)
+val store : t -> key_id:int -> frame:int -> bytes -> bytes
+
+val load : t -> key_id:int -> frame:int -> bytes -> bytes
+
+(** [raw_ciphertext_view] — what a physical attacker dumping DRAM
+    sees — is just the stored bytes; provided for attack tests. *)
+
+(** Find a free KeyID (lowest unprogrammed), if any. *)
+val find_free_slot : t -> int option
+
+(** Timing: extra nanoseconds an off-chip access pays for decryption
+    + MAC check, at the given DRAM parameters. *)
+val extra_ns : Config.mem_latency -> cs_ghz:float -> float

@@ -1,0 +1,118 @@
+let entries_per_node = 512
+let levels = 3
+let vpn_limit = entries_per_node * entries_per_node * entries_per_node
+
+type t = {
+  mem : Phys_mem.t;
+  node_owner : Phys_mem.owner;
+  alloc : unit -> int;
+  root : int;
+  mutable nodes : int list; (* all node frames, root included *)
+}
+
+let default_alloc mem () =
+  match Phys_mem.find_free mem ~n:1 with
+  | Some [ f ] -> f
+  | Some _ | None -> failwith "out of memory"
+
+let alloc_node mem alloc owner =
+  let f = alloc () in
+  Phys_mem.set_owner mem f owner;
+  Phys_mem.zero mem ~frame:f;
+  f
+
+let create mem ~node_owner ~alloc =
+  let root = alloc_node mem alloc node_owner in
+  { mem; node_owner; alloc; root; nodes = [ root ] }
+
+let root_frame t = t.root
+let node_frames t = t.nodes
+
+let index_at ~vpn level =
+  (* level 0 is the root stride (most significant 9 bits). *)
+  (vpn lsr (9 * (levels - 1 - level))) land (entries_per_node - 1)
+
+let check_vpn vpn =
+  if vpn < 0 || vpn >= vpn_limit then invalid_arg "Page_table: vpn out of range"
+
+let read_entry t node idx = Pte.decode (Phys_mem.read_u64 t.mem ~frame:node ~off:(8 * idx))
+
+let write_entry t node idx pte =
+  Phys_mem.write_u64 t.mem ~frame:node ~off:(8 * idx) (Pte.encode pte)
+
+let map t ~vpn pte =
+  check_vpn vpn;
+  let rec go node level =
+    let idx = index_at ~vpn level in
+    if level = levels - 1 then write_entry t node idx pte
+    else begin
+      let entry = read_entry t node idx in
+      let child =
+        if entry.Pte.valid && not (Pte.is_leaf entry) then entry.Pte.ppn
+        else begin
+          let f = alloc_node t.mem t.alloc t.node_owner in
+          t.nodes <- f :: t.nodes;
+          write_entry t node idx (Pte.table ~ppn:f);
+          f
+        end
+      in
+      go child (level + 1)
+    end
+  in
+  go t.root 0
+
+let with_leaf t ~vpn f =
+  check_vpn vpn;
+  let rec go node level =
+    let idx = index_at ~vpn level in
+    let entry = read_entry t node idx in
+    if not entry.Pte.valid then ()
+    else if level = levels - 1 then f node idx entry
+    else if Pte.is_leaf entry then () (* no superpages in this model *)
+    else go entry.Pte.ppn (level + 1)
+  in
+  go t.root 0
+
+let unmap t ~vpn = with_leaf t ~vpn (fun node idx _ -> write_entry t node idx Pte.invalid)
+
+let lookup t ~vpn =
+  let result = ref None in
+  with_leaf t ~vpn (fun _ _ entry -> if entry.Pte.valid then result := Some entry);
+  !result
+
+let walk_frames t ~vpn =
+  check_vpn vpn;
+  let rec go node level acc =
+    let idx = index_at ~vpn level in
+    let acc = (node, 8 * idx) :: acc in
+    let entry = read_entry t node idx in
+    if (not entry.Pte.valid) || level = levels - 1 || Pte.is_leaf entry then List.rev acc
+    else go entry.Pte.ppn (level + 1) acc
+  in
+  go t.root 0 []
+
+let update_flags t ~vpn ~accessed ~dirty =
+  with_leaf t ~vpn (fun node idx entry ->
+      let entry =
+        {
+          entry with
+          Pte.accessed = entry.Pte.accessed || accessed;
+          dirty = entry.Pte.dirty || dirty;
+        }
+      in
+      write_entry t node idx entry)
+
+let entries t =
+  let acc = ref [] in
+  let rec go node level prefix =
+    for idx = entries_per_node - 1 downto 0 do
+      let entry = read_entry t node idx in
+      if entry.Pte.valid then begin
+        let vpn = (prefix lsl 9) lor idx in
+        if level = levels - 1 then acc := (vpn, entry) :: !acc
+        else if not (Pte.is_leaf entry) then go entry.Pte.ppn (level + 1) vpn
+      end
+    done
+  in
+  go t.root 0 0;
+  !acc

@@ -1,0 +1,57 @@
+(** Sv39-style three-level radix page table stored in physical frames.
+
+    Each table node occupies one 4 KiB frame holding 512 little-endian
+    64-bit entries; a walk resolves a 27-bit virtual page number in
+    three 9-bit strides. HyperTEE keeps one such table per process
+    *and* a dedicated private table per enclave (Sec. IV-A), both
+    built from this module — the difference is who owns the frames
+    the nodes live in. *)
+
+type t
+
+(** [create mem ~node_owner ~alloc] builds an empty table. Node
+    frames (root included) are obtained from [alloc] — the CS OS
+    free-list for process tables, the EMS enclave pool for enclave
+    tables — then stamped [node_owner] and zeroed. [alloc] must
+    return a distinct usable frame each call and may raise
+    [Failure _] when memory is exhausted. *)
+val create : Phys_mem.t -> node_owner:Phys_mem.owner -> alloc:(unit -> int) -> t
+
+(** [default_alloc mem] draws directly from free physical frames —
+    convenient for tests. *)
+val default_alloc : Phys_mem.t -> unit -> int
+
+(** Root frame number — the value loaded into the satp register. *)
+val root_frame : t -> int
+
+(** All frames used by table nodes (root included). *)
+val node_frames : t -> int list
+
+(** [map t ~vpn pte] installs a leaf for virtual page [vpn],
+    allocating intermediate nodes as needed. Replaces any existing
+    mapping. *)
+val map : t -> vpn:int -> Pte.t -> unit
+
+(** [unmap t ~vpn] invalidates the leaf (no node reclamation,
+    matching real kernels' lazy behaviour). No-op if unmapped. *)
+val unmap : t -> vpn:int -> unit
+
+(** [lookup t ~vpn] walks the tree in software (no timing), returning
+    the leaf if present and valid. *)
+val lookup : t -> vpn:int -> Pte.t option
+
+(** [walk_frames t ~vpn] is the list of (frame, byte offset) touched
+    by a hardware walk of [vpn], root first — what the PTW model
+    charges for. The walk stops early at an invalid entry. *)
+val walk_frames : t -> vpn:int -> (int * int) list
+
+(** [update_flags t ~vpn ~accessed ~dirty] ORs the A/D bits into an
+    existing leaf (hardware-managed A/D update); false leaves a flag
+    unchanged. No-op when unmapped. *)
+val update_flags : t -> vpn:int -> accessed:bool -> dirty:bool -> unit
+
+(** All valid (vpn, pte) leaves, ascending vpn (test support). *)
+val entries : t -> (int * Pte.t) list
+
+(** Maximum mappable vpn (exclusive). *)
+val vpn_limit : int

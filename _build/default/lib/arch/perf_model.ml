@@ -1,0 +1,83 @@
+type mem_behavior = {
+  mem_refs_per_kinst : float;
+  l1_mpki : float;
+  l2_mpki : float;
+  llc_mpki : float;
+  tlb_mpki : float;
+}
+
+type scenario = {
+  memory_encryption : bool;
+  bitmap_checking : bool;
+  extra_tlb_flushes_per_sec : float;
+}
+
+let native = { memory_encryption = false; bitmap_checking = false; extra_tlb_flushes_per_sec = 0.0 }
+let m_encrypt = { native with memory_encryption = true }
+let bitmap = { native with bitmap_checking = true }
+
+type result = { cycles : float; time_ns : float; base_cycles : float; stall_cycles : float }
+
+(* Out-of-order cores overlap a fraction of each miss's latency with
+   useful work (memory-level parallelism); in-order cores stall for
+   the full latency. *)
+let overlap_factor (core : Config.core) =
+  match core.Config.pipeline with Config.Out_of_order -> 0.45 | Config.In_order -> 1.0
+
+let tlb_walk_cycles (_core : Config.core) = float_of_int (3 * Config.ptw_level_cycles)
+
+let tlb_refill_cycles (core : Config.core) (lat : Config.mem_latency) =
+  (* After a flush, roughly the working set of resident entries must
+     be re-walked. Charge half the TLB capacity (not all entries were
+     live) at walk cost plus one L2-class access for the PTE line. *)
+  let live = float_of_int (core.Config.dtlb_entries + core.Config.itlb_entries) /. 2.0 in
+  live *. (tlb_walk_cycles core +. float_of_int lat.Config.l2_hit)
+
+let stall_per_kinst core lat behavior scenario =
+  let ov = overlap_factor core in
+  let l1_pen = float_of_int (lat.Config.l2_hit - lat.Config.l1_hit) in
+  let l2_pen = float_of_int (lat.Config.llc_hit - lat.Config.l2_hit) in
+  let off_chip_pen =
+    float_of_int lat.Config.dram
+    +.
+    if scenario.memory_encryption then
+      float_of_int (lat.Config.encryption_extra + lat.Config.integrity_extra)
+    else 0.0
+  in
+  let mem_stalls =
+    (behavior.l1_mpki *. l1_pen *. ov)
+    +. (behavior.l2_mpki *. l2_pen *. ov)
+    +. (behavior.llc_mpki *. off_chip_pen *. ov)
+  in
+  let tlb_stalls =
+    behavior.tlb_mpki
+    *. (tlb_walk_cycles core
+       +. if scenario.bitmap_checking then Config.bitmap_retrieve_avg_cycles else 0.0)
+  in
+  mem_stalls +. tlb_stalls
+
+let run core lat ~instructions ~behavior ~scenario =
+  let base_cycles = instructions /. core.Config.base_ipc in
+  let stall_cycles = instructions /. 1000.0 *. stall_per_kinst core lat behavior scenario in
+  let raw_cycles = base_cycles +. stall_cycles in
+  (* TLB flushes per second depend on the runtime, which depends on
+     the flush cost; one fixed-point refinement is ample at these
+     magnitudes. *)
+  let flush_cost_total =
+    if scenario.extra_tlb_flushes_per_sec <= 0.0 then 0.0
+    else begin
+      let refill = tlb_refill_cycles core lat in
+      let time_s cycles = cycles /. (core.Config.clock_ghz *. 1e9) in
+      let flushes = scenario.extra_tlb_flushes_per_sec *. time_s raw_cycles in
+      let once = flushes *. refill in
+      let flushes' = scenario.extra_tlb_flushes_per_sec *. time_s (raw_cycles +. once) in
+      flushes' *. refill
+    end
+  in
+  let cycles = raw_cycles +. flush_cost_total in
+  {
+    cycles;
+    time_ns = cycles /. core.Config.clock_ghz;
+    base_cycles;
+    stall_cycles = stall_cycles +. flush_cost_total;
+  }

@@ -1,0 +1,58 @@
+(** Analytic core-timing model.
+
+    Converts a workload's dynamic characteristics (instruction count,
+    memory-reference density, per-level miss densities) into cycles
+    on a given core configuration. This is the substitution for the
+    paper's FPGA measurement: the evaluation's numbers are all ratios
+    of such times under different security mechanisms, which depend
+    on the *densities* (misses per kilo-instruction), not on RTL
+    detail.
+
+    Model: cycles = instructions / base_ipc
+                  + sum over levels (misses * penalty * overlap)
+                  + tlb_misses * (walk + optional bitmap retrieve)
+    where [overlap] discounts memory stalls on out-of-order cores
+    (MLP hides part of the latency). *)
+
+type mem_behavior = {
+  mem_refs_per_kinst : float;  (** loads+stores per 1000 instructions *)
+  l1_mpki : float;  (** L1D misses per kinst *)
+  l2_mpki : float;  (** L2 misses per kinst *)
+  llc_mpki : float;  (** off-chip accesses per kinst *)
+  tlb_mpki : float;  (** d-TLB misses per kinst *)
+}
+
+(** Knobs the security mechanisms toggle (scenario names of
+    Sec. VII-A: Native / M_encrypt / Bitmap). *)
+type scenario = {
+  memory_encryption : bool;  (** adds engine latency to off-chip accesses *)
+  bitmap_checking : bool;  (** adds bitmap retrieval to TLB-miss walks *)
+  extra_tlb_flushes_per_sec : float;  (** Fig. 11: flushes from bitmap updates *)
+}
+
+val native : scenario
+val m_encrypt : scenario
+val bitmap : scenario
+
+type result = {
+  cycles : float;
+  time_ns : float;
+  base_cycles : float;  (** pipeline-only component *)
+  stall_cycles : float;  (** memory + TLB component *)
+}
+
+(** [run core latency ~instructions ~behavior ~scenario] computes the
+    execution time of a straight-line region on [core]. TLB-flush
+    costs are added from [extra_tlb_flushes_per_sec] by a fixed-point
+    iteration (flush count depends on runtime). *)
+val run :
+  Config.core ->
+  Config.mem_latency ->
+  instructions:float ->
+  behavior:mem_behavior ->
+  scenario:scenario ->
+  result
+
+(** Cost of refilling the TLB after one flush: the average number of
+    extra walks a flush induces, in cycles (used by Fig. 11). *)
+val tlb_refill_cycles : Config.core -> Config.mem_latency -> float

@@ -1,0 +1,109 @@
+type owner =
+  | Free
+  | Cs_os
+  | Pool
+  | Enclave of int
+  | Shared of int
+  | Page_table of int
+  | Ems_private
+  | Bitmap_region
+
+let page_size = Hypertee_util.Units.page_size
+
+type t = {
+  owners : owner array;
+  contents : bytes option array; (* lazily allocated *)
+}
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Phys_mem.create: need at least one frame";
+  { owners = Array.make frames Free; contents = Array.make frames None }
+
+let frames t = Array.length t.owners
+
+let check_frame t frame =
+  if frame < 0 || frame >= frames t then invalid_arg "Phys_mem: frame out of range"
+
+let owner t frame =
+  check_frame t frame;
+  t.owners.(frame)
+
+let set_owner t frame o =
+  check_frame t frame;
+  t.owners.(frame) <- o
+
+let count_owned t pred = Array.fold_left (fun acc o -> if pred o then acc + 1 else acc) 0 t.owners
+
+let materialize t frame =
+  match t.contents.(frame) with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make page_size '\000' in
+    t.contents.(frame) <- Some b;
+    b
+
+let read t ~frame =
+  check_frame t frame;
+  match t.contents.(frame) with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make page_size '\000'
+
+let write t ~frame data =
+  check_frame t frame;
+  if Bytes.length data <> page_size then invalid_arg "Phys_mem.write: data must be one page";
+  t.contents.(frame) <- Some (Bytes.copy data)
+
+let read_sub t ~frame ~off ~len =
+  check_frame t frame;
+  if off < 0 || len < 0 || off + len > page_size then invalid_arg "Phys_mem.read_sub: bad slice";
+  match t.contents.(frame) with
+  | Some b -> Bytes.sub b off len
+  | None -> Bytes.make len '\000'
+
+let write_sub t ~frame ~off data =
+  check_frame t frame;
+  let len = Bytes.length data in
+  if off < 0 || off + len > page_size then invalid_arg "Phys_mem.write_sub: bad slice";
+  let b = materialize t frame in
+  Bytes.blit data 0 b off len
+
+let zero t ~frame =
+  check_frame t frame;
+  match t.contents.(frame) with
+  | Some b -> Bytes.fill b 0 page_size '\000'
+  | None -> ()
+
+let read_u64 t ~frame ~off =
+  check_frame t frame;
+  if off < 0 || off + 8 > page_size then invalid_arg "Phys_mem.read_u64: bad offset";
+  match t.contents.(frame) with
+  | Some b -> Hypertee_util.Bytes_ext.get_u64_le b off
+  | None -> 0L
+
+let write_u64 t ~frame ~off v =
+  check_frame t frame;
+  if off < 0 || off + 8 > page_size then invalid_arg "Phys_mem.write_u64: bad offset";
+  Hypertee_util.Bytes_ext.set_u64_le (materialize t frame) off v
+
+let find_free t ~n =
+  let acc = ref [] and found = ref 0 in
+  let total = frames t in
+  let i = ref 0 in
+  while !found < n && !i < total do
+    if t.owners.(!i) = Free then begin
+      acc := !i :: !acc;
+      incr found
+    end;
+    incr i
+  done;
+  if !found = n then Some (List.rev !acc) else None
+
+let pp_owner fmt = function
+  | Free -> Format.pp_print_string fmt "free"
+  | Cs_os -> Format.pp_print_string fmt "cs-os"
+  | Pool -> Format.pp_print_string fmt "pool"
+  | Enclave id -> Format.fprintf fmt "enclave:%d" id
+  | Shared id -> Format.fprintf fmt "shared:%d" id
+  | Page_table id -> Format.fprintf fmt "pt:%d" id
+  | Ems_private -> Format.pp_print_string fmt "ems"
+  | Bitmap_region -> Format.pp_print_string fmt "bitmap"

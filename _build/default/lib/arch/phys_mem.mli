@@ -1,0 +1,60 @@
+(** Physical memory: an array of 4 KiB frames with ownership metadata
+    and lazily allocated byte contents.
+
+    Frame ownership is the ground truth that the bitmap, the page
+    ownership table, and the DMA whitelist are all views of; the
+    property tests check those views against this. Contents are only
+    materialised for frames that are actually written, so simulating
+    a 256 MiB platform does not cost 256 MiB. *)
+
+type owner =
+  | Free  (** in the CS OS free list *)
+  | Cs_os  (** kernel or normal application memory *)
+  | Pool  (** in the EMS enclave memory pool, not yet mapped *)
+  | Enclave of int  (** private enclave page (enclave id) *)
+  | Shared of int  (** enclave shared-memory page (shm id) *)
+  | Page_table of int  (** enclave page-table page (enclave id) *)
+  | Ems_private  (** EMS-reserved (invisible to CS) *)
+  | Bitmap_region  (** holds the bitmap itself *)
+
+type t
+
+(** [create ~frames] makes a memory of [frames] 4 KiB frames, all
+    [Free]. *)
+val create : frames:int -> t
+
+val frames : t -> int
+val owner : t -> int -> owner
+val set_owner : t -> int -> owner -> unit
+
+(** Count frames matching a predicate. *)
+val count_owned : t -> (owner -> bool) -> int
+
+(** [read t ~frame] is a copy of the frame's 4096 bytes (zeros if
+    never written). *)
+val read : t -> frame:int -> bytes
+
+(** [write t ~frame data] replaces the frame contents. [data] must be
+    exactly 4096 bytes. *)
+val write : t -> frame:int -> bytes -> unit
+
+(** [read_sub t ~frame ~off ~len] / [write_sub t ~frame ~off data]
+    partial access within one frame. *)
+val read_sub : t -> frame:int -> off:int -> len:int -> bytes
+
+val write_sub : t -> frame:int -> off:int -> bytes -> unit
+
+(** [zero t ~frame] clears contents (page scrubbing on free). *)
+val zero : t -> frame:int -> unit
+
+(** 64-bit load/store at a byte offset inside a frame (little-endian);
+    used by the page-table radix nodes. *)
+val read_u64 : t -> frame:int -> off:int -> int64
+
+val write_u64 : t -> frame:int -> off:int -> int64 -> unit
+
+(** [find_free t ~n] returns [n] free frame numbers (ascending) or
+    [None] if memory is exhausted. Does not change ownership. *)
+val find_free : t -> n:int -> int list option
+
+val pp_owner : Format.formatter -> owner -> unit

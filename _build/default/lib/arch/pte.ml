@@ -1,0 +1,87 @@
+type t = {
+  valid : bool;
+  readable : bool;
+  writable : bool;
+  executable : bool;
+  user : bool;
+  global : bool;
+  accessed : bool;
+  dirty : bool;
+  ppn : int;
+  key_id : int;
+}
+
+let invalid =
+  {
+    valid = false;
+    readable = false;
+    writable = false;
+    executable = false;
+    user = false;
+    global = false;
+    accessed = false;
+    dirty = false;
+    ppn = 0;
+    key_id = 0;
+  }
+
+let leaf ~ppn ~r ~w ~x ~key_id =
+  if ppn < 0 || ppn >= 1 lsl 28 then invalid_arg "Pte.leaf: ppn out of range";
+  if key_id < 0 || key_id >= 1 lsl 16 then invalid_arg "Pte.leaf: key_id out of range";
+  {
+    valid = true;
+    readable = r;
+    writable = w;
+    executable = x;
+    user = true;
+    global = false;
+    accessed = false;
+    dirty = false;
+    ppn;
+    key_id;
+  }
+
+let table ~ppn =
+  if ppn < 0 || ppn >= 1 lsl 28 then invalid_arg "Pte.table: ppn out of range";
+  { invalid with valid = true; ppn }
+
+let is_leaf t = t.readable || t.writable || t.executable
+
+let bit b pos = if b then Int64.shift_left 1L pos else 0L
+
+let encode t =
+  let open Int64 in
+  logor
+    (logor
+       (logor (bit t.valid 0) (logor (bit t.readable 1) (bit t.writable 2)))
+       (logor (bit t.executable 3) (logor (bit t.user 4) (bit t.global 5))))
+    (logor
+       (logor (bit t.accessed 6) (bit t.dirty 7))
+       (logor (shift_left (of_int t.ppn) 10) (shift_left (of_int t.key_id) 48)))
+
+let decode v =
+  let open Int64 in
+  let flag pos = logand (shift_right_logical v pos) 1L = 1L in
+  {
+    valid = flag 0;
+    readable = flag 1;
+    writable = flag 2;
+    executable = flag 3;
+    user = flag 4;
+    global = flag 5;
+    accessed = flag 6;
+    dirty = flag 7;
+    ppn = to_int (logand (shift_right_logical v 10) 0xFFFFFFFL);
+    key_id = to_int (logand (shift_right_logical v 48) 0xFFFFL);
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "pte{ppn=%d key=%d %s%s%s%s%s%s%s%s}" t.ppn t.key_id
+    (if t.valid then "V" else "-")
+    (if t.readable then "R" else "-")
+    (if t.writable then "W" else "-")
+    (if t.executable then "X" else "-")
+    (if t.user then "U" else "-")
+    (if t.global then "G" else "-")
+    (if t.accessed then "A" else "-")
+    (if t.dirty then "D" else "-")

@@ -1,0 +1,43 @@
+(** Page-table entry encoding.
+
+    Sv39-style 64-bit leaf entries, with the HyperTEE extension from
+    Sec. IV-C: the memory-encryption KeyID rides in the high bits of
+    the PTE (the paper's front-side bus carries a 40-bit physical
+    address and a 16-bit KeyID). Layout used here:
+
+    bits 0..7   flags (V R W X U G A D)
+    bits 10..37 physical page number (28 bits)
+    bits 48..63 KeyID
+*)
+
+type t = {
+  valid : bool;
+  readable : bool;
+  writable : bool;
+  executable : bool;
+  user : bool;
+  global : bool;
+  accessed : bool;
+  dirty : bool;
+  ppn : int;
+  key_id : int;
+}
+
+(** All-flags-false, ppn 0, key 0 — an invalid entry. *)
+val invalid : t
+
+(** [leaf ~ppn ~r ~w ~x ~key_id] a valid user leaf. *)
+val leaf : ppn:int -> r:bool -> w:bool -> x:bool -> key_id:int -> t
+
+(** [table ~ppn] a valid non-leaf pointer (R=W=X=0). *)
+val table : ppn:int -> t
+
+val is_leaf : t -> bool
+
+(** 64-bit wire encoding / decoding, the exact bits stored in page
+    table frames. *)
+val encode : t -> int64
+
+val decode : int64 -> t
+
+val pp : Format.formatter -> t -> unit

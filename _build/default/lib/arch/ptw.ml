@@ -1,0 +1,95 @@
+type access = Read | Write | Execute
+type fault = Page_fault | Permission_fault | Bitmap_fault
+
+type outcome = {
+  frame : int;
+  key_id : int;
+  tlb_hit : bool;
+  walked_levels : int;
+  bitmap_checked : bool;
+  cycles : int;
+}
+
+type t = {
+  tlb : Tlb.t;
+  bitmap : Bitmap.t;
+  mutable is_enclave : bool;
+  mutable bitmap_lookups : int;
+  mutable bitmap_faults : int;
+}
+
+let create tlb ~bitmap =
+  { tlb; bitmap; is_enclave = false; bitmap_lookups = 0; bitmap_faults = 0 }
+
+let set_enclave_mode t mode =
+  if t.is_enclave <> mode then Tlb.flush t.tlb;
+  t.is_enclave <- mode
+
+let enclave_mode t = t.is_enclave
+let tlb t = t.tlb
+let bitmap_lookups t = t.bitmap_lookups
+let bitmap_faults t = t.bitmap_faults
+
+let permits (pte : Pte.t) access =
+  match access with
+  | Read -> pte.Pte.readable
+  | Write -> pte.Pte.writable
+  | Execute -> pte.Pte.executable
+
+let translate t ~table ~vpn ~access =
+  match Tlb.lookup t.tlb ~vpn with
+  | Some entry when entry.Tlb.checked || t.is_enclave ->
+    if permits entry.Tlb.pte access then
+      Ok
+        {
+          frame = entry.Tlb.pte.Pte.ppn;
+          key_id = entry.Tlb.pte.Pte.key_id;
+          tlb_hit = true;
+          walked_levels = 0;
+          bitmap_checked = false;
+          cycles = 0;
+        }
+    else Error Permission_fault
+  | Some _ | None -> (
+    (* Hardware walk. Unchecked resident entries are conservatively
+       re-walked; in practice EMCall's flush discipline means resident
+       entries are always checked, so this path is cold. *)
+    let walk = Page_table.walk_frames table ~vpn in
+    let levels = List.length walk in
+    let walk_cycles = levels * Config.ptw_level_cycles in
+    match Page_table.lookup table ~vpn with
+    | None -> Error Page_fault
+    | Some pte ->
+      if not (permits pte access) then Error Permission_fault
+      else begin
+        (* Fig. 5: translated PPN indexes the bitmap. Enclave-mode
+           accesses skip the check (their page table is EMS-private). *)
+        let bitmap_checked = not t.is_enclave in
+        let fault =
+          if bitmap_checked then begin
+            t.bitmap_lookups <- t.bitmap_lookups + 1;
+            Bitmap.get t.bitmap ~frame:pte.Pte.ppn
+          end
+          else false
+        in
+        if fault then begin
+          t.bitmap_faults <- t.bitmap_faults + 1;
+          Error Bitmap_fault
+        end
+        else begin
+          Page_table.update_flags table ~vpn ~accessed:true ~dirty:(access = Write);
+          Tlb.insert t.tlb { Tlb.vpn; pte; checked = true };
+          let cycles =
+            walk_cycles + if bitmap_checked then Config.bitmap_check_cycles else 0
+          in
+          Ok
+            {
+              frame = pte.Pte.ppn;
+              key_id = pte.Pte.key_id;
+              tlb_hit = false;
+              walked_levels = levels;
+              bitmap_checked;
+              cycles;
+            }
+        end
+      end)

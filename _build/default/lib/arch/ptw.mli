@@ -1,0 +1,57 @@
+(** Page-table walker with HyperTEE bitmap checking (paper Fig. 5).
+
+    The walker owns a TLB and two HyperTEE control registers:
+
+    - [BM_BASE]: base frame of the bitmap region;
+    - [IS_ENCLAVE]: whether the core currently runs an enclave.
+
+    Both are writable only from the highest privilege level (EMCall);
+    the API takes them at construction / via privileged setters.
+
+    Behaviour on a memory access (Fig. 5): TLB hit on a checked entry
+    -> proceed. TLB miss -> hardware walk; the translated frame is
+    then looked up in the bitmap. In non-enclave mode, hitting an
+    enclave-owned frame raises an access exception; in enclave mode
+    the bitmap check is skipped (the enclave's own private page table
+    is trusted — only EMS can write it). The TLB entry is inserted
+    with [checked = true] after a successful check, so repeat
+    accesses pay nothing. *)
+
+type access = Read | Write | Execute
+
+type fault =
+  | Page_fault  (** no valid mapping — EMS handles these in HyperTEE *)
+  | Permission_fault  (** mapped but R/W/X disallow the access *)
+  | Bitmap_fault  (** non-enclave access touched enclave memory *)
+
+type outcome = {
+  frame : int;  (** translated physical frame *)
+  key_id : int;  (** KeyID from the PTE, rides the bus *)
+  tlb_hit : bool;
+  walked_levels : int;  (** 0 on TLB hit *)
+  bitmap_checked : bool;  (** a bitmap lookup was performed *)
+  cycles : int;  (** timing charge for translation only *)
+}
+
+type t
+
+val create : Tlb.t -> bitmap:Bitmap.t -> t
+
+(** Privileged register updates (EMCall only — the caller enforces
+    that). Switching page tables or enclave mode flushes the TLB. *)
+val set_enclave_mode : t -> bool -> unit
+
+val enclave_mode : t -> bool
+
+(** [translate t ~table ~vpn ~access] performs the full Fig. 5 flow
+    against the given page table (the satp the core currently uses).
+    Updates PTE A/D bits on success like a hardware walker. *)
+val translate : t -> table:Page_table.t -> vpn:int -> access:access -> (outcome, fault) result
+
+val tlb : t -> Tlb.t
+
+(** Count of bitmap lookups performed (Fig. 10 denominator). *)
+val bitmap_lookups : t -> int
+
+(** Count of bitmap faults raised (attack detection). *)
+val bitmap_faults : t -> int

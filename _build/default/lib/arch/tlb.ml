@@ -1,0 +1,69 @@
+type entry = { vpn : int; pte : Pte.t; checked : bool }
+
+type slot = { entry : entry; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  slots : (int, slot) Hashtbl.t; (* vpn -> slot *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+}
+
+let create ~entries =
+  if entries <= 0 then invalid_arg "Tlb.create: need at least one entry";
+  { capacity = entries; slots = Hashtbl.create entries; tick = 0; hits = 0; misses = 0; flushes = 0 }
+
+let capacity t = t.capacity
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.last_use <- t.tick
+
+let lookup t ~vpn =
+  match Hashtbl.find_opt t.slots vpn with
+  | Some slot ->
+    t.hits <- t.hits + 1;
+    touch t slot;
+    Some slot.entry
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun vpn slot ->
+      match !victim with
+      | None -> victim := Some (vpn, slot.last_use)
+      | Some (_, lu) -> if slot.last_use < lu then victim := Some (vpn, slot.last_use))
+    t.slots;
+  match !victim with Some (vpn, _) -> Hashtbl.remove t.slots vpn | None -> ()
+
+let insert t entry =
+  (match Hashtbl.find_opt t.slots entry.vpn with
+  | Some _ -> Hashtbl.remove t.slots entry.vpn
+  | None -> if Hashtbl.length t.slots >= t.capacity then evict_lru t);
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.slots entry.vpn { entry; last_use = t.tick }
+
+let mark_checked t ~vpn =
+  match Hashtbl.find_opt t.slots vpn with
+  | Some slot -> Hashtbl.replace t.slots vpn { slot with entry = { slot.entry with checked = true } }
+  | None -> ()
+
+let flush t =
+  Hashtbl.reset t.slots;
+  t.flushes <- t.flushes + 1
+
+let flush_vpn t ~vpn = Hashtbl.remove t.slots vpn
+let occupancy t = Hashtbl.length t.slots
+let hits t = t.hits
+let misses t = t.misses
+let flushes t = t.flushes
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.flushes <- 0

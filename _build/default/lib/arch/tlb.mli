@@ -1,0 +1,42 @@
+(** TLB model with the HyperTEE "checked" bit (Fig. 5).
+
+    Fully associative with true-LRU replacement (small structure, so
+    LRU is what hardware ships). Each entry caches a translation and
+    whether the bitmap check has already passed for it; a hit on a
+    checked entry skips the bitmap lookup entirely, which is why the
+    paper's overhead concentrates in TLB-miss-heavy workloads
+    (xalancbmk, Fig. 10). EMCall flushes on enclave context switches
+    and bitmap updates. *)
+
+type t
+
+type entry = { vpn : int; pte : Pte.t; checked : bool }
+
+val create : entries:int -> t
+
+val capacity : t -> int
+
+(** [lookup t ~vpn] is a hit (refreshes recency) or a miss. *)
+val lookup : t -> vpn:int -> entry option
+
+(** [insert t entry] fills the TLB, evicting LRU if full. *)
+val insert : t -> entry -> unit
+
+(** [mark_checked t ~vpn] sets the checked bit on a resident entry. *)
+val mark_checked : t -> vpn:int -> unit
+
+(** [flush t] clears everything (context switch). *)
+val flush : t -> unit
+
+(** [flush_vpn t ~vpn] targeted invalidation (bitmap change on one
+    page). *)
+val flush_vpn : t -> vpn:int -> unit
+
+val occupancy : t -> int
+
+(** Hit/miss counters since creation or [reset_counters]. *)
+val hits : t -> int
+
+val misses : t -> int
+val flushes : t -> int
+val reset_counters : t -> unit

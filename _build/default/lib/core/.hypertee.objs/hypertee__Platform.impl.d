@@ -1,0 +1,1 @@
+lib/core/platform.ml: Array Bytes Hypertee_arch Hypertee_crypto Hypertee_cs Hypertee_ems Hypertee_util List Printf

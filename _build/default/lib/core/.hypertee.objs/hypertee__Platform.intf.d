@@ -1,0 +1,1 @@
+lib/core/platform.mli: Hypertee_arch Hypertee_crypto Hypertee_cs Hypertee_ems Hypertee_util

@@ -1,0 +1,1 @@
+lib/core/sdk.ml: Bytes Hypertee_arch Hypertee_crypto Hypertee_cs Hypertee_ems Hypertee_util Int64 List Platform Result Session Stdlib

@@ -1,0 +1,1 @@
+lib/core/sdk.mli: Hypertee_ems Platform Session

@@ -1,0 +1,1 @@
+lib/core/session.ml: Buffer Bytes Hypertee_arch Hypertee_crypto Hypertee_cs Hypertee_ems Hypertee_util Platform Printf Stdlib

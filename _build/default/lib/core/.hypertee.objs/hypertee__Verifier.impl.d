@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Bytes Hypertee_crypto Hypertee_ems Platform Session

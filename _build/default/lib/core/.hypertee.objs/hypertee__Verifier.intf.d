@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Hypertee_crypto Hypertee_ems Hypertee_util Session

@@ -1,0 +1,239 @@
+module Config = Hypertee_arch.Config
+module Phys_mem = Hypertee_arch.Phys_mem
+module Bitmap = Hypertee_arch.Bitmap
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Ihub = Hypertee_arch.Ihub
+module Iommu = Hypertee_arch.Iommu
+module Mailbox = Hypertee_arch.Mailbox
+module Ptw = Hypertee_arch.Ptw
+module Tlb = Hypertee_arch.Tlb
+module Page_table = Hypertee_arch.Page_table
+module Pte = Hypertee_arch.Pte
+module Types = Hypertee_ems.Types
+module Runtime = Hypertee_ems.Runtime
+module Keymgmt = Hypertee_ems.Keymgmt
+module Cost = Hypertee_ems.Cost
+module Os = Hypertee_cs.Os
+module Emcall = Hypertee_cs.Emcall
+module Traps = Hypertee_cs.Traps
+
+type t = {
+  config : Config.t;
+  rng : Hypertee_util.Xrng.t;
+  mem : Phys_mem.t;
+  bitmap : Bitmap.t;
+  mee : Mem_encryption.t;
+  ihub : Ihub.t;
+  iommu : Iommu.t;
+  os : Os.t;
+  keys : Keymgmt.t;
+  runtime : Runtime.t;
+  mailbox : (Types.request, Types.response) Mailbox.t;
+  emcall : Emcall.t;
+  traps : Traps.t;
+  ptws : Ptw.t array;
+  engine : Hypertee_crypto.Engine.t;
+  cost : Cost.t;
+  platform_measurement : bytes;
+}
+
+let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) () =
+  let rng = Hypertee_util.Xrng.create seed in
+  let frames = config.Config.memory_mb * Hypertee_util.Units.mib / Hypertee_util.Units.page_size in
+  let mem = Phys_mem.create ~frames in
+  let bitmap = Bitmap.create mem in
+  (* Reserve the EMS private address space (Sec. III-D optimisation 3:
+     carved out of physical memory at boot by the initialisation
+     logic). *)
+  let ems_frames =
+    config.Config.ems_memory_mb * Hypertee_util.Units.mib / Hypertee_util.Units.page_size
+  in
+  (match Phys_mem.find_free mem ~n:ems_frames with
+  | Some fs -> List.iter (fun f -> Phys_mem.set_owner mem f Phys_mem.Ems_private) fs
+  | None -> failwith "Platform.create: memory too small for EMS carve-out");
+  let mee = Mem_encryption.create ~slots:256 in
+  let ihub = Ihub.create mem in
+  let iommu = Iommu.create () in
+  let os = Os.create mem in
+  let keys = Keymgmt.provision (Hypertee_util.Xrng.split rng) in
+  (* Secure boot (Sec. VI): the BootROM verifies the encrypted EMS
+     Runtime against the EEPROM hash, then the CS firmware; the
+     resulting platform measurement covers the verified TCB. *)
+  let provisioned =
+    Hypertee_ems.Boot.provision
+      (Hypertee_util.Xrng.split rng)
+      ~runtime_image:(Bytes.of_string "hypertee-ems-runtime-v1")
+      ~firmware_image:(Bytes.of_string "hypertee-emcall-firmware-v1")
+  in
+  let platform_measurement =
+    match Hypertee_ems.Boot.boot provisioned with
+    | Hypertee_ems.Boot.Booted { platform_measurement; _ } -> platform_measurement
+    | Hypertee_ems.Boot.Halted { at; reason } ->
+      failwith
+        (Printf.sprintf "Platform.create: secure boot halted at %s: %s"
+           (Hypertee_ems.Boot.stage_name at) reason)
+  in
+  let engine =
+    if config.Config.crypto_engine then Hypertee_crypto.Engine.default_hardware
+    else Hypertee_crypto.Engine.default_software
+  in
+  let cost = Cost.create ~ems:(Config.ems_core config.Config.ems_kind) ~engine in
+  let runtime =
+    Runtime.create
+      ~rng:(Hypertee_util.Xrng.split rng)
+      ~mem ~bitmap ~mee ~keys ~cost
+      ~os_request:(fun ~n -> Os.pool_request os ~n)
+      ~os_return:(fun ~frames -> Os.pool_return os ~frames)
+      ~platform_measurement
+  in
+  let mailbox = Mailbox.create ~depth:256 () in
+  (* EMS workers serve the request queue in randomized order at
+     primitive granularity (Fig. 3 / Sec. III-C). *)
+  let scheduler =
+    Hypertee_ems.Scheduler.create (Hypertee_util.Xrng.split rng) ~workers:config.Config.ems_cores
+  in
+  let ems_service () =
+    let rec enqueue () =
+      match Mailbox.recv_request mailbox with
+      | None -> ()
+      | Some packet ->
+        Hypertee_ems.Scheduler.submit scheduler ~id:packet.Mailbox.request_id (fun () ->
+            let response =
+              Runtime.handle runtime ~sender:packet.Mailbox.sender_enclave packet.Mailbox.body
+            in
+            Mailbox.send_response mailbox ~request_id:packet.Mailbox.request_id response);
+        enqueue ()
+    in
+    enqueue ();
+    ignore (Hypertee_ems.Scheduler.dispatch scheduler)
+  in
+  let emcall =
+    Emcall.create
+      ~rng:(Hypertee_util.Xrng.split rng)
+      ~transport:config.Config.transport ~mailbox ~ems_service
+      ~service_ns:(fun request -> Runtime.service_ns runtime request)
+  in
+  let traps = Traps.create emcall in
+  let ptws =
+    Array.init config.Config.cs_cores (fun _ ->
+        Ptw.create (Tlb.create ~entries:Config.cs_core.Config.dtlb_entries) ~bitmap)
+  in
+  let t =
+    {
+      config;
+      rng;
+      mem;
+      bitmap;
+      mee;
+      ihub;
+      iommu;
+      os;
+      keys;
+      runtime;
+      mailbox;
+      emcall;
+      traps;
+      ptws;
+      engine;
+      cost;
+      platform_measurement;
+    }
+  in
+  (* EMCall flushes every core's TLB on context switches and bitmap
+     updates. *)
+  Array.iter (fun ptw -> Emcall.register_tlb_flush_hook emcall (fun () -> Tlb.flush (Ptw.tlb ptw))) ptws;
+  t
+
+let config t = t.config
+let os t = t.os
+let mem t = t.mem
+let rng t = t.rng
+let platform_measurement t = t.platform_measurement
+let ek_public t = Keymgmt.ek_public t.keys
+let ak_public t = Keymgmt.ak_public t.keys
+let invoke t ~caller request = Emcall.invoke t.emcall ~caller request
+let traps t = t.traps
+let last_invoke_ns t = Emcall.last_latency_ns t.emcall
+let ptw t ~core = t.ptws.(core)
+
+type host_fault =
+  | Fault of Ptw.fault
+  | Hub_denied of Ihub.denial
+  | Integrity_violation
+
+let host_access t ~table ~vpn ~access k =
+  let ptw = t.ptws.(0) in
+  match Ptw.translate ptw ~table ~vpn ~access with
+  | Error f -> Error (Fault f)
+  | Ok outcome -> (
+    let dir = if access = Ptw.Write then Ihub.Store else Ihub.Load in
+    match Ihub.check t.ihub ~initiator:Ihub.Cs_software ~direction:dir ~frame:outcome.Ptw.frame with
+    | Error d -> Error (Hub_denied d)
+    | Ok () -> k outcome)
+
+let host_read t ~table ~vpn ~off ~len =
+  host_access t ~table ~vpn ~access:Ptw.Read (fun outcome ->
+      let raw = Phys_mem.read t.mem ~frame:outcome.Ptw.frame in
+      match Mem_encryption.load t.mee ~key_id:outcome.Ptw.key_id ~frame:outcome.Ptw.frame raw with
+      | plaintext -> Ok (Bytes.sub plaintext off len)
+      | exception Mem_encryption.Integrity_violation _ -> Error Integrity_violation)
+
+let host_write t ~table ~vpn ~off data =
+  host_access t ~table ~vpn ~access:Ptw.Write (fun outcome ->
+      let frame = outcome.Ptw.frame in
+      if outcome.Ptw.key_id = 0 then begin
+        Phys_mem.write_sub t.mem ~frame ~off data;
+        Ok ()
+      end
+      else begin
+        (* Read-modify-write through the engine. *)
+        match Mem_encryption.load t.mee ~key_id:outcome.Ptw.key_id ~frame (Phys_mem.read t.mem ~frame) with
+        | plaintext ->
+          Bytes.blit data 0 plaintext off (Bytes.length data);
+          Phys_mem.write t.mem ~frame
+            (Mem_encryption.store t.mee ~key_id:outcome.Ptw.key_id ~frame plaintext);
+          Ok ()
+        | exception Mem_encryption.Integrity_violation _ -> Error Integrity_violation
+      end)
+
+let dma_read t ~channel ~frame =
+  match Ihub.check t.ihub ~initiator:(Ihub.Dma channel) ~direction:Ihub.Load ~frame with
+  | Error d -> Error (Hub_denied d)
+  | Ok () -> Ok (Phys_mem.read t.mem ~frame)
+
+let dma_write t ~channel ~frame data =
+  match Ihub.check t.ihub ~initiator:(Ihub.Dma channel) ~direction:Ihub.Store ~frame with
+  | Error d -> Error (Hub_denied d)
+  | Ok () ->
+    Phys_mem.write t.mem ~frame data;
+    Ok ()
+
+let with_measured_enclave t ~enclave k =
+  match Runtime.find_enclave t.runtime enclave with
+  | None -> Error "no such enclave"
+  | Some e -> (
+    match e.Hypertee_ems.Enclave.measurement with
+    | None -> Error "enclave not measured"
+    | Some m -> k m)
+
+let seal t ~enclave data =
+  with_measured_enclave t ~enclave (fun m ->
+      Ok (Hypertee_ems.Attest.seal t.keys ~enclave_measurement:m data))
+
+let unseal t ~enclave blob =
+  with_measured_enclave t ~enclave (fun m ->
+      match Hypertee_ems.Attest.unseal t.keys ~enclave_measurement:m blob with
+      | Some data -> Ok data
+      | None -> Error "unseal failed: tampered blob or wrong enclave")
+
+module Internals = struct
+  let runtime t = t.runtime
+  let emcall t = t.emcall
+  let bitmap t = t.bitmap
+  let mee t = t.mee
+  let ihub t = t.ihub
+  let iommu t = t.iommu
+  let keys t = t.keys
+  let cost t = t.cost
+  let engine t = t.engine
+end

@@ -1,0 +1,98 @@
+(** A complete HyperTEE platform instance.
+
+    Assembles the two subsystems of the paper's Fig. 1: physical
+    memory with the bitmap region, the multi-key memory-encryption
+    engine, iHub with the mailbox, the CS OS and per-core PTWs/TLBs,
+    and the EMS runtime behind the EMCall gate. Deterministic given a
+    seed.
+
+    The only route from CS software to enclave management is
+    [emcall]/[invoke]; the mailbox and the EMS runtime are private to
+    this module, which is the type-level expression of the paper's
+    isolation (untrusted code cannot reach them). Test-only escape
+    hatches live in [Internals]. *)
+
+type t
+
+val create : ?seed:int64 -> ?config:Hypertee_arch.Config.t -> unit -> t
+
+val config : t -> Hypertee_arch.Config.t
+val os : t -> Hypertee_cs.Os.t
+val mem : t -> Hypertee_arch.Phys_mem.t
+val rng : t -> Hypertee_util.Xrng.t
+
+(** Secure-boot report: measured EMS runtime / CS firmware hashes
+    (Sec. VI). The platform measurement signed in quotes. *)
+val platform_measurement : t -> bytes
+
+(** Public keys a remote verifier uses. *)
+val ek_public : t -> Hypertee_crypto.Rsa.public
+
+val ak_public : t -> Hypertee_crypto.Rsa.public
+
+(** [invoke t ~caller request] — the EMCall gate. *)
+val invoke :
+  t ->
+  caller:Hypertee_cs.Emcall.caller ->
+  Hypertee_ems.Types.request ->
+  (Hypertee_ems.Types.response, Hypertee_cs.Emcall.rejection) result
+
+(** Round-trip latency of the last successful invoke (ns). *)
+val last_invoke_ns : t -> float
+
+(** The trap dispatcher (interrupt/exception routing, Sec. III-B). *)
+val traps : t -> Hypertee_cs.Traps.t
+
+(** PTW of CS core [i] (for host-access simulation and tests). *)
+val ptw : t -> core:int -> Hypertee_arch.Ptw.t
+
+(** Host-software load/store at (process page table, vpn, offset):
+    the full hardware path — iHub filter, PTW with bitmap check,
+    memory-encryption engine with the PTE's KeyID. This is what a
+    (possibly malicious) OS or HostApp can do to memory. *)
+type host_fault =
+  | Fault of Hypertee_arch.Ptw.fault
+  | Hub_denied of Hypertee_arch.Ihub.denial
+  | Integrity_violation
+
+val host_read :
+  t ->
+  table:Hypertee_arch.Page_table.t ->
+  vpn:int ->
+  off:int ->
+  len:int ->
+  (bytes, host_fault) result
+
+val host_write :
+  t ->
+  table:Hypertee_arch.Page_table.t ->
+  vpn:int ->
+  off:int ->
+  bytes ->
+  (unit, host_fault) result
+
+(** DMA access on behalf of peripheral [channel] (whitelist-checked,
+    bypasses the PTW like real DMA). *)
+val dma_read : t -> channel:int -> frame:int -> (bytes, host_fault) result
+
+val dma_write : t -> channel:int -> frame:int -> bytes -> (unit, host_fault) result
+
+(** EMS-side services the examples need that are not Table II
+    primitives (sealing runs on EMS, Sec. VI). *)
+val seal : t -> enclave:Hypertee_ems.Types.enclave_id -> bytes -> (bytes, string) result
+
+val unseal : t -> enclave:Hypertee_ems.Types.enclave_id -> bytes -> (bytes, string) result
+
+(** Internals exposed for tests, the benchmark harness and the attack
+    suite — not part of the user-facing API. *)
+module Internals : sig
+  val runtime : t -> Hypertee_ems.Runtime.t
+  val emcall : t -> Hypertee_cs.Emcall.t
+  val bitmap : t -> Hypertee_arch.Bitmap.t
+  val mee : t -> Hypertee_arch.Mem_encryption.t
+  val ihub : t -> Hypertee_arch.Ihub.t
+  val iommu : t -> Hypertee_arch.Iommu.t
+  val keys : t -> Hypertee_ems.Keymgmt.t
+  val cost : t -> Hypertee_ems.Cost.t
+  val engine : t -> Hypertee_crypto.Engine.t
+end

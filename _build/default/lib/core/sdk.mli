@@ -1,0 +1,50 @@
+(** Host-application SDK (paper Sec. III-B, Fig. 2).
+
+    What the HyperTEE SDK generates around a programmer's enclave:
+    the HostApp-side launch sequence (ECREATE, EADD of each code/data
+    page, EMEAS), the expected-measurement computation the build
+    system emits at compile time, and entry/exit. The OS-privilege
+    primitives are issued through the OS (caller [Os_kernel]), as a
+    host application would via syscalls. *)
+
+type image = {
+  code : bytes;  (** enclave text *)
+  data : bytes;  (** initialised data *)
+  config : Hypertee_ems.Types.enclave_config;
+}
+
+(** [image_of_code ?config ~code ~data ()] builds an image, growing
+    [config]'s page counts to fit the byte sizes. *)
+val image_of_code : ?config:Hypertee_ems.Types.enclave_config -> code:bytes -> data:bytes -> unit -> image
+
+(** [expected_measurement image] — what the compiler records next to
+    the binary (Fig. 2's "measurement" output); remote verifiers
+    compare quotes against this. *)
+val expected_measurement : image -> bytes
+
+(** [launch platform image] runs the full launch flow and returns the
+    enclave id, after checking EMS's measurement equals the expected
+    one (a mismatch means the OS tampered with the binary in
+    flight). *)
+val launch : Platform.t -> image -> (Hypertee_ems.Types.enclave_id, string) result
+
+(** [enter platform ~enclave] — EENTER; gives a running session. *)
+val enter : Platform.t -> enclave:Hypertee_ems.Types.enclave_id -> (Session.t, string) result
+
+(** [resume platform ~enclave] — ERESUME after an interrupt parked
+    the enclave (Sec. III-B); gives back a running session. *)
+val resume : Platform.t -> enclave:Hypertee_ems.Types.enclave_id -> (Session.t, string) result
+
+(** [destroy platform ~enclave] — EDESTROY via the OS. *)
+val destroy : Platform.t -> enclave:Hypertee_ems.Types.enclave_id -> (unit, string) result
+
+(** [host_write_staging platform ~enclave ~off data] /
+    [host_read_staging] — the HostApp side of the staging window used
+    to pass encrypted inputs in and results out (Sec. IV-A "Data
+    movement between HostApp and Enclave"). The window is enclave
+    memory mapped shared with the host. *)
+val host_write_staging :
+  Platform.t -> enclave:Hypertee_ems.Types.enclave_id -> off:int -> bytes -> (unit, string) result
+
+val host_read_staging :
+  Platform.t -> enclave:Hypertee_ems.Types.enclave_id -> off:int -> len:int -> (bytes, string) result

@@ -1,0 +1,89 @@
+type capability = Defended | Partial | Vulnerable
+
+type attack_class =
+  | Alloc_channel
+  | Page_table_channel
+  | Swap_channel
+  | Comm_channel
+  | Uarch_on_management
+
+type tee = Sgx | Sev | Tdx | Cca | Trustzone | Keystone | Penglai | Cure | Hypertee
+
+let all_tees = [ Sgx; Sev; Tdx; Cca; Trustzone; Keystone; Penglai; Cure; Hypertee ]
+
+let all_attacks =
+  [ Alloc_channel; Page_table_channel; Swap_channel; Comm_channel; Uarch_on_management ]
+
+let tee_name = function
+  | Sgx -> "SGX"
+  | Sev -> "SEV"
+  | Tdx -> "TDX"
+  | Cca -> "CCA"
+  | Trustzone -> "TrustZone"
+  | Keystone -> "KeyStone"
+  | Penglai -> "Penglai"
+  | Cure -> "CURE"
+  | Hypertee -> "HyperTEE"
+
+let attack_name = function
+  | Alloc_channel -> "Allocation"
+  | Page_table_channel -> "Page table"
+  | Swap_channel -> "Swapping"
+  | Comm_channel -> "Communication"
+  | Uarch_on_management -> "uArch on mgmt"
+
+(* Paper Table VI. Management tasks in SGX/SEV live in the untrusted
+   OS/hypervisor (everything exposed). TDX/CCA protect page tables
+   via a trusted module but allocation/swapping/communication remain
+   observable, and the module shares hardware with attackers.
+   TrustZone/Keystone manage memory inside the trusted
+   world/security monitor (memory channels closed) but offer no
+   managed communication and, being logically isolated only, remain
+   partly exposed to uarch channels. Penglai/CURE protect page
+   tables specifically. HyperTEE decouples everything onto EMS. *)
+let defends tee attack =
+  match (tee, attack) with
+  | Hypertee, _ -> Defended
+  | Sgx, _ -> Vulnerable
+  | Sev, Uarch_on_management -> Partial
+  | Sev, _ -> Vulnerable
+  | (Tdx | Cca), Page_table_channel -> Defended
+  | (Tdx | Cca), _ -> Vulnerable
+  | Trustzone, (Alloc_channel | Page_table_channel | Swap_channel) -> Defended
+  | Trustzone, (Comm_channel | Uarch_on_management) -> Vulnerable
+  | Keystone, (Alloc_channel | Page_table_channel | Swap_channel) -> Defended
+  | Keystone, Comm_channel -> Vulnerable
+  | Keystone, Uarch_on_management -> Partial
+  | Penglai, Page_table_channel -> Defended
+  | Penglai, Uarch_on_management -> Partial
+  | Penglai, (Alloc_channel | Swap_channel | Comm_channel) -> Vulnerable
+  | Cure, Page_table_channel -> Defended
+  | Cure, Uarch_on_management -> Partial
+  | Cure, (Alloc_channel | Swap_channel | Comm_channel) -> Vulnerable
+
+let capability_symbol = function
+  | Defended -> "yes"
+  | Partial -> "partial"
+  | Vulnerable -> "no"
+
+type risk = { confidentiality : bool; integrity : bool; availability : bool }
+
+let risk_of_management_attack = { confidentiality = true; integrity = true; availability = true }
+let risk_of_enclave_attack = { confidentiality = true; integrity = false; availability = false }
+
+let yesno b = if b then "Yes" else "No"
+
+let table_i_rows () =
+  let m = risk_of_management_attack and e = risk_of_enclave_attack in
+  [
+    [ "Compromise Confidentiality"; yesno m.confidentiality; yesno e.confidentiality ];
+    [ "Compromise Integrity"; yesno m.integrity; yesno e.integrity ];
+    [ "Compromise Availability"; yesno m.availability; yesno e.availability ];
+  ]
+
+let table_vi_rows () =
+  List.map
+    (fun tee ->
+      tee_name tee
+      :: List.map (fun attack -> capability_symbol (defends tee attack)) all_attacks)
+    all_tees

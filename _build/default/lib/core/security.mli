@@ -1,0 +1,51 @@
+(** Qualitative security model (paper Tables I and VI).
+
+    Table I contrasts the blast radius of attacks on management tasks
+    vs. attacks on enclaves themselves. Table VI scores nine TEE
+    designs against the four controlled-channel classes and
+    microarchitectural side channels on *management tasks*. The
+    scores are encoded as data with the paper's justification per
+    cell, and the [hypertee] row is cross-checked by the attack
+    regression tests (a claim of [Defended] has a test exercising the
+    defense). *)
+
+type capability = Defended | Partial | Vulnerable
+
+type attack_class =
+  | Alloc_channel  (** allocation-based controlled channel *)
+  | Page_table_channel  (** page-table management based *)
+  | Swap_channel  (** page-swapping based *)
+  | Comm_channel  (** communication management *)
+  | Uarch_on_management  (** microarchitectural side channels on management tasks *)
+
+type tee =
+  | Sgx
+  | Sev
+  | Tdx
+  | Cca
+  | Trustzone
+  | Keystone
+  | Penglai
+  | Cure
+  | Hypertee
+
+val all_tees : tee list
+val all_attacks : attack_class list
+val tee_name : tee -> string
+val attack_name : attack_class -> string
+
+(** Table VI cell. *)
+val defends : tee -> attack_class -> capability
+
+val capability_symbol : capability -> string
+
+(** Table I: which CIA properties each attack target compromises. *)
+type risk = { confidentiality : bool; integrity : bool; availability : bool }
+
+val risk_of_management_attack : risk
+val risk_of_enclave_attack : risk
+
+(** Rendered tables for the harness. *)
+val table_i_rows : unit -> string list list
+
+val table_vi_rows : unit -> string list list

@@ -1,0 +1,184 @@
+module Types = Hypertee_ems.Types
+module Enclave = Hypertee_ems.Enclave
+module Page_table = Hypertee_arch.Page_table
+module Pte = Hypertee_arch.Pte
+module Phys_mem = Hypertee_arch.Phys_mem
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Emcall = Hypertee_cs.Emcall
+
+let page_size = Hypertee_util.Units.page_size
+
+type t = { platform : Platform.t; enclave : Enclave.t; mutable live : bool }
+
+let make platform ~enclave = { platform; enclave; live = true }
+let enclave_id t = t.enclave.Enclave.id
+let platform t = t.platform
+
+let check_live t = if not t.live then invalid_arg "Session: enclave has exited"
+
+let caller t = Emcall.User_enclave t.enclave.Enclave.id
+
+let invoke t request =
+  check_live t;
+  match Platform.invoke t.platform ~caller:(caller t) request with
+  | Ok response -> response
+  | Error Emcall.Cross_privilege -> Types.Err (Types.Permission_denied "cross-privilege")
+  | Error Emcall.Mailbox_full -> Types.Err (Types.Invalid_argument_ "mailbox full")
+
+(* Resolve a fault the way hardware + EMCall would: page faults
+   inside the enclave go to EMS (demand alloc / swap-in). *)
+let resolve_fault t ~vpn =
+  match invoke t (Types.Page_fault { enclave = t.enclave.Enclave.id; vpn }) with
+  | Types.Ok_alloc _ -> true
+  | _ -> false
+
+let rec pte_of_vpn t ~vpn ~retried =
+  match Page_table.lookup t.enclave.Enclave.page_table ~vpn with
+  | Some pte -> pte
+  | None ->
+    if (not retried) && resolve_fault t ~vpn then pte_of_vpn t ~vpn ~retried:true
+    else failwith (Printf.sprintf "Session: unresolvable fault at vpn %#x" vpn)
+
+let load_page t pte =
+  let frame = pte.Pte.ppn in
+  let mee = Platform.Internals.mee t.platform in
+  let raw = Phys_mem.read (Platform.mem t.platform) ~frame in
+  Mem_encryption.load mee ~key_id:pte.Pte.key_id ~frame raw
+
+let store_page t pte plaintext =
+  let frame = pte.Pte.ppn in
+  let mee = Platform.Internals.mee t.platform in
+  Phys_mem.write (Platform.mem t.platform) ~frame
+    (Mem_encryption.store mee ~key_id:pte.Pte.key_id ~frame plaintext)
+
+let read t ~va ~len =
+  check_live t;
+  let out = Buffer.create len in
+  let remaining = ref len and cursor = ref va in
+  while !remaining > 0 do
+    let vpn = !cursor / page_size and off = !cursor mod page_size in
+    let chunk = Stdlib.min !remaining (page_size - off) in
+    let pte = pte_of_vpn t ~vpn ~retried:false in
+    if not pte.Pte.readable then failwith "Session.read: page not readable";
+    let page = load_page t pte in
+    Buffer.add_subbytes out page off chunk;
+    cursor := !cursor + chunk;
+    remaining := !remaining - chunk
+  done;
+  Buffer.to_bytes out
+
+let write t ~va data =
+  check_live t;
+  let remaining = ref (Bytes.length data) and cursor = ref va and src = ref 0 in
+  while !remaining > 0 do
+    let vpn = !cursor / page_size and off = !cursor mod page_size in
+    let chunk = Stdlib.min !remaining (page_size - off) in
+    let pte = pte_of_vpn t ~vpn ~retried:false in
+    if not pte.Pte.writable then failwith "Session.write: page not writable";
+    let page = load_page t pte in
+    Bytes.blit data !src page off chunk;
+    store_page t pte page;
+    cursor := !cursor + chunk;
+    src := !src + chunk;
+    remaining := !remaining - chunk
+  done
+
+let read_u64 t ~va = Hypertee_util.Bytes_ext.get_u64_le (read t ~va ~len:8) 0
+
+let write_u64 t ~va v =
+  let b = Bytes.create 8 in
+  Hypertee_util.Bytes_ext.set_u64_le b 0 v;
+  write t ~va b
+
+let heap_va t = t.enclave.Enclave.layout.Enclave.heap_base * page_size
+let staging_va t = t.enclave.Enclave.layout.Enclave.staging_base * page_size
+let stack_va t = t.enclave.Enclave.layout.Enclave.stack_base * page_size
+
+let lift = function
+  | Types.Err e -> Error e
+  | other -> Ok other
+
+let alloc t ~pages =
+  match lift (invoke t (Types.Alloc { enclave = enclave_id t; pages })) with
+  | Ok (Types.Ok_alloc { base_vpn; _ }) -> Ok (base_vpn * page_size)
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error e -> Error e
+
+let free t ~va ~pages =
+  match lift (invoke t (Types.Free { enclave = enclave_id t; vpn = va / page_size; pages })) with
+  | Ok Types.Ok_unit -> Ok ()
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error e -> Error e
+
+let shmget t ~pages ~max_perm =
+  match lift (invoke t (Types.Shmget { owner = enclave_id t; pages; max_perm })) with
+  | Ok (Types.Ok_shm { shm }) -> Ok shm
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error e -> Error e
+
+let shmshr t ~shm ~grantee ~perm =
+  match lift (invoke t (Types.Shmshr { owner = enclave_id t; shm; grantee; perm })) with
+  | Ok Types.Ok_unit -> Ok ()
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error e -> Error e
+
+let shmat t ~shm ~perm =
+  match lift (invoke t (Types.Shmat { enclave = enclave_id t; shm; requested_perm = perm })) with
+  | Ok (Types.Ok_shmat { base_vpn; _ }) -> Ok (base_vpn * page_size)
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error e -> Error e
+
+let shmdt t ~shm =
+  match lift (invoke t (Types.Shmdt { enclave = enclave_id t; shm })) with
+  | Ok Types.Ok_unit -> Ok ()
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error e -> Error e
+
+let shmdes t ~shm =
+  match lift (invoke t (Types.Shmdes { owner = enclave_id t; shm })) with
+  | Ok Types.Ok_unit -> Ok ()
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error e -> Error e
+
+let attest t ~user_data =
+  match lift (invoke t (Types.Attest { enclave = enclave_id t; user_data })) with
+  | Ok (Types.Ok_attest { quote }) -> Ok quote
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error e -> Error e
+
+let local_attest ~challenger ~verifier =
+  check_live challenger;
+  check_live verifier;
+  if not (Platform.mem challenger.platform == Platform.mem verifier.platform) then
+    Error "enclaves are not on the same platform"
+  else begin
+    (* Both sides run a DH exchange; the verifier's report is keyed by
+       the challenger's measurement (Sec. VI). *)
+    let keys = Platform.Internals.keys challenger.platform in
+    let cm = Enclave.measurement_exn challenger.enclave in
+    let vm = Enclave.measurement_exn verifier.enclave in
+    let rng = Platform.rng challenger.platform in
+    let a = Hypertee_crypto.Dh.generate rng in
+    let b = Hypertee_crypto.Dh.generate rng in
+    let report = Hypertee_ems.Attest.make_report keys ~verifier_measurement:vm ~challenger_measurement:cm in
+    if not (Hypertee_ems.Attest.verify_report keys report) then Error "report verification failed"
+    else begin
+      let k1 =
+        Hypertee_crypto.Dh.session_key ~secret:a.Hypertee_crypto.Dh.secret
+          ~peer_public:b.Hypertee_crypto.Dh.public ~context:"hypertee-local-attest"
+      in
+      let k2 =
+        Hypertee_crypto.Dh.session_key ~secret:b.Hypertee_crypto.Dh.secret
+          ~peer_public:a.Hypertee_crypto.Dh.public ~context:"hypertee-local-attest"
+      in
+      if Bytes.equal k1 k2 then Ok k1 else Error "key agreement failed"
+    end
+  end
+
+let exit t =
+  match lift (invoke t (Types.Exit { enclave = enclave_id t })) with
+  | Ok Types.Ok_unit ->
+    t.live <- false;
+    Ok ()
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error e -> Error e

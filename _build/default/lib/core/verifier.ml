@@ -1,0 +1,60 @@
+module Attest = Hypertee_ems.Attest
+
+type outcome = { session_key : bytes; quote : Attest.quote }
+
+type failure =
+  | Bad_quote_encoding
+  | Bad_platform_signature
+  | Bad_quote_signature
+  | Measurement_mismatch of { expected : bytes; got : bytes }
+  | Key_exchange_failed
+
+let failure_message = function
+  | Bad_quote_encoding -> "quote could not be decoded"
+  | Bad_platform_signature -> "platform certificate signature invalid"
+  | Bad_quote_signature -> "enclave quote signature invalid"
+  | Measurement_mismatch _ -> "enclave measurement does not match the expected binary"
+  | Key_exchange_failed -> "Diffie-Hellman exchange failed"
+
+let attest_enclave ~rng ~ek ~ak ~expected_measurement session =
+  (* Step 1: both sides generate DH ephemerals. The enclave's public
+     value is bound into the quote's user data. *)
+  let user = Hypertee_crypto.Dh.generate rng in
+  let enclave_kp = Hypertee_crypto.Dh.generate (Platform.rng (Session.platform session)) in
+  let enclave_pub_bytes = Hypertee_crypto.Bignum.to_bytes_be ~len:32 enclave_kp.Hypertee_crypto.Dh.public in
+  (* Step 2: the enclave requests a quote over its DH share. *)
+  match Session.attest session ~user_data:enclave_pub_bytes with
+  | Error _ -> Error Bad_quote_encoding
+  | Ok quote_bytes -> (
+    match Attest.quote_of_bytes quote_bytes with
+    | None -> Error Bad_quote_encoding
+    | Some quote ->
+      (* Step 3: verify signatures, then the measurement. *)
+      if
+        not
+          (Hypertee_crypto.Rsa.verify ek ~msg:quote.Attest.platform_measurement
+             ~signature:quote.Attest.platform_signature)
+      then Error Bad_platform_signature
+      else if not (Attest.verify_quote ~ek ~ak quote) then Error Bad_quote_signature
+      else if not (Bytes.equal quote.Attest.enclave_measurement expected_measurement) then
+        Error
+          (Measurement_mismatch
+             { expected = expected_measurement; got = quote.Attest.enclave_measurement })
+      else begin
+        (* Step 4: derive the session key from the authenticated DH
+           shares. *)
+        let quoted_pub = Hypertee_crypto.Bignum.of_bytes_be quote.Attest.user_data in
+        if not (Hypertee_crypto.Dh.valid_public quoted_pub) then Error Key_exchange_failed
+        else begin
+          let k_user =
+            Hypertee_crypto.Dh.session_key ~secret:user.Hypertee_crypto.Dh.secret
+              ~peer_public:quoted_pub ~context:"hypertee-remote-attest"
+          in
+          let k_enclave =
+            Hypertee_crypto.Dh.session_key ~secret:enclave_kp.Hypertee_crypto.Dh.secret
+              ~peer_public:user.Hypertee_crypto.Dh.public ~context:"hypertee-remote-attest"
+          in
+          if Bytes.equal k_user k_enclave then Ok { session_key = k_user; quote }
+          else Error Key_exchange_failed
+        end
+      end)

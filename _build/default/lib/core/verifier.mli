@@ -1,0 +1,35 @@
+(** Remote-verifier model for the SIGMA-based attestation flow
+    (paper Sec. VI, "Remote attestation").
+
+    Plays the remote user: negotiates a DH key with the enclave,
+    receives the platform + enclave certificates (the EATTEST quote),
+    checks both signatures against the published EK/AK public keys,
+    and compares the enclave measurement against the build-time
+    expectation. On success both sides hold a shared session key for
+    provisioning secrets into the enclave. *)
+
+type outcome = {
+  session_key : bytes;  (** 16-byte AES key shared with the enclave *)
+  quote : Hypertee_ems.Attest.quote;
+}
+
+type failure =
+  | Bad_quote_encoding
+  | Bad_platform_signature
+  | Bad_quote_signature
+  | Measurement_mismatch of { expected : bytes; got : bytes }
+  | Key_exchange_failed
+
+(** [attest_enclave ~rng ~ek ~ak ~expected_measurement session] runs
+    the full flow against a live enclave session. The enclave binds
+    its DH public value into the quote's user data, which is what
+    defeats relay/man-in-the-middle splicing. *)
+val attest_enclave :
+  rng:Hypertee_util.Xrng.t ->
+  ek:Hypertee_crypto.Rsa.public ->
+  ak:Hypertee_crypto.Rsa.public ->
+  expected_measurement:bytes ->
+  Session.t ->
+  (outcome, failure) result
+
+val failure_message : failure -> string

@@ -1,0 +1,1 @@
+lib/crypto/aes.ml: Array Bytes Char Hypertee_util Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/crypto/dh.mli: Bignum Hypertee_util

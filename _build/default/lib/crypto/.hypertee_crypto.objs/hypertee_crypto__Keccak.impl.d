@@ -1,0 +1,1 @@
+lib/crypto/keccak.ml: Array Bytes Char Hypertee_util Int64

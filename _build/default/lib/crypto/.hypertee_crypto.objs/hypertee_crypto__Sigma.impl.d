@@ -1,0 +1,1 @@
+lib/crypto/sigma.ml: Bignum Bytes Dh Hmac Hypertee_util

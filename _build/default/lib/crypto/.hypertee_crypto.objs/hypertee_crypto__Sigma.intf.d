@@ -1,0 +1,1 @@
+lib/crypto/sigma.mli: Bignum Hypertee_util

@@ -1,0 +1,222 @@
+(* AES-128 per FIPS 197. The S-box is computed at load time from the
+   GF(2^8) inverse plus the affine transform rather than pasted as a
+   table, which also documents where the constants come from. *)
+
+let block_size = 16
+
+(* --- GF(2^8) arithmetic, modulus x^8 + x^4 + x^3 + x + 1 (0x11B) --- *)
+
+let xtime a = if a land 0x80 <> 0 then ((a lsl 1) lxor 0x11B) land 0xFF else (a lsl 1) land 0xFF
+
+let gmul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 <> 0 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc land 0xFF
+
+let sbox, inv_sbox =
+  let s = Array.make 256 0 and inv = Array.make 256 0 in
+  (* Build the multiplicative inverse table via generator 3 (log/alog). *)
+  let alog = Array.make 256 0 and log = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    alog.(i) <- !x;
+    log.(!x) <- i;
+    x := gmul !x 3
+  done;
+  let inverse a = if a = 0 then 0 else alog.((255 - log.(a)) mod 255) in
+  let affine a =
+    let rot v n = ((v lsl n) lor (v lsr (8 - n))) land 0xFF in
+    a lxor rot a 1 lxor rot a 2 lxor rot a 3 lxor rot a 4 lxor 0x63
+  in
+  for a = 0 to 255 do
+    s.(a) <- affine (inverse a)
+  done;
+  for a = 0 to 255 do
+    inv.(s.(a)) <- a
+  done;
+  (s, inv)
+
+(* --- Key schedule --- *)
+
+type key = { enc : int array array (* 11 round keys of 16 bytes *) }
+
+let expand key_bytes =
+  if Bytes.length key_bytes <> 16 then invalid_arg "Aes.expand: key must be 16 bytes";
+  (* Words as 4-byte arrays. *)
+  let w = Array.make 44 [||] in
+  for i = 0 to 3 do
+    w.(i) <- Array.init 4 (fun j -> Char.code (Bytes.get key_bytes ((4 * i) + j)))
+  done;
+  let rcon = ref 1 in
+  for i = 4 to 43 do
+    let temp = Array.copy w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* RotWord + SubWord + Rcon *)
+      let t0 = temp.(0) in
+      temp.(0) <- sbox.(temp.(1)) lxor !rcon;
+      temp.(1) <- sbox.(temp.(2));
+      temp.(2) <- sbox.(temp.(3));
+      temp.(3) <- sbox.(t0);
+      rcon := xtime !rcon
+    end;
+    w.(i) <- Array.init 4 (fun j -> w.(i - 4).(j) lxor temp.(j))
+  done;
+  let enc =
+    Array.init 11 (fun r -> Array.init 16 (fun j -> w.((4 * r) + (j / 4)).(j mod 4)))
+  in
+  { enc }
+
+(* --- Rounds. State is a 16-byte int array in column-major order,
+   matching the round-key layout above. The GF multiplications by the
+   fixed MixColumns coefficients are table lookups (this is the hot
+   path of the whole memory-encryption model). --- *)
+
+let mul_table k = Array.init 256 (fun a -> gmul a k)
+let m2 = mul_table 2
+let m3 = mul_table 3
+let m9 = mul_table 9
+let m11 = mul_table 11
+let m13 = mul_table 13
+let m14 = mul_table 14
+
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let sub_bytes state =
+  for i = 0 to 15 do
+    state.(i) <- sbox.(state.(i))
+  done
+
+let inv_sub_bytes state =
+  for i = 0 to 15 do
+    state.(i) <- inv_sbox.(state.(i))
+  done
+
+(* Row r of the state lives at indices r, r+4, r+8, r+12; row r
+   rotates left by r positions. *)
+let shift_rows state =
+  let t = state.(1) in
+  state.(1) <- state.(5); state.(5) <- state.(9); state.(9) <- state.(13); state.(13) <- t;
+  let t0 = state.(2) and t1 = state.(6) in
+  state.(2) <- state.(10); state.(6) <- state.(14); state.(10) <- t0; state.(14) <- t1;
+  let t = state.(15) in
+  state.(15) <- state.(11); state.(11) <- state.(7); state.(7) <- state.(3); state.(3) <- t
+
+let inv_shift_rows state =
+  let t = state.(13) in
+  state.(13) <- state.(9); state.(9) <- state.(5); state.(5) <- state.(1); state.(1) <- t;
+  let t0 = state.(2) and t1 = state.(6) in
+  state.(2) <- state.(10); state.(6) <- state.(14); state.(10) <- t0; state.(14) <- t1;
+  let t = state.(3) in
+  state.(3) <- state.(7); state.(7) <- state.(11); state.(11) <- state.(15); state.(15) <- t
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) in
+    let a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- m2.(a0) lxor m3.(a1) lxor a2 lxor a3;
+    state.((4 * c) + 1) <- a0 lxor m2.(a1) lxor m3.(a2) lxor a3;
+    state.((4 * c) + 2) <- a0 lxor a1 lxor m2.(a2) lxor m3.(a3);
+    state.((4 * c) + 3) <- m3.(a0) lxor a1 lxor a2 lxor m2.(a3)
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c) and a1 = state.((4 * c) + 1) in
+    let a2 = state.((4 * c) + 2) and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- m14.(a0) lxor m11.(a1) lxor m13.(a2) lxor m9.(a3);
+    state.((4 * c) + 1) <- m9.(a0) lxor m14.(a1) lxor m11.(a2) lxor m13.(a3);
+    state.((4 * c) + 2) <- m13.(a0) lxor m9.(a1) lxor m14.(a2) lxor m11.(a3);
+    state.((4 * c) + 3) <- m11.(a0) lxor m13.(a1) lxor m9.(a2) lxor m14.(a3)
+  done
+
+let state_of_bytes b =
+  if Bytes.length b <> 16 then invalid_arg "Aes: block must be 16 bytes";
+  Array.init 16 (fun i -> Char.code (Bytes.get b i))
+
+let bytes_of_state state =
+  let out = Bytes.create 16 in
+  Array.iteri (fun i v -> Bytes.set out i (Char.chr v)) state;
+  out
+
+let encrypt_block key src =
+  let state = state_of_bytes src in
+  add_round_key state key.enc.(0);
+  for round = 1 to 9 do
+    sub_bytes state;
+    shift_rows state;
+    mix_columns state;
+    add_round_key state key.enc.(round)
+  done;
+  sub_bytes state;
+  shift_rows state;
+  add_round_key state key.enc.(10);
+  bytes_of_state state
+
+let decrypt_block key src =
+  let state = state_of_bytes src in
+  add_round_key state key.enc.(10);
+  for round = 9 downto 1 do
+    inv_shift_rows state;
+    inv_sub_bytes state;
+    add_round_key state key.enc.(round);
+    inv_mix_columns state
+  done;
+  inv_shift_rows state;
+  inv_sub_bytes state;
+  add_round_key state key.enc.(0);
+  bytes_of_state state
+
+let ctr key ~nonce data =
+  if Bytes.length nonce <> 16 then invalid_arg "Aes.ctr: nonce must be 16 bytes";
+  let len = Bytes.length data in
+  let out = Bytes.copy data in
+  let counter = Bytes.copy nonce in
+  let bump () =
+    (* Increment the low 64 bits big-endian. *)
+    let rec go i = if i >= 8 then () else
+      let v = (Char.code (Bytes.get counter (15 - i)) + 1) land 0xFF in
+      Bytes.set counter (15 - i) (Char.chr v);
+      if v = 0 then go (i + 1)
+    in
+    go 0
+  in
+  let blocks = (len + 15) / 16 in
+  for b = 0 to blocks - 1 do
+    let ks = encrypt_block key counter in
+    let off = 16 * b in
+    let n = Stdlib.min 16 (len - off) in
+    for i = 0 to n - 1 do
+      Bytes.set out (off + i)
+        (Char.chr (Char.code (Bytes.get out (off + i)) lxor Char.code (Bytes.get ks i)))
+    done;
+    bump ()
+  done;
+  out
+
+let tweak_nonce ~page_number =
+  let nonce = Bytes.make 16 '\000' in
+  Hypertee_util.Bytes_ext.set_u64_be nonce 8 (Int64.of_int page_number);
+  nonce
+
+let encrypt_page key ~page_number data = ctr key ~nonce:(tweak_nonce ~page_number) data
+let decrypt_page key ~page_number data = ctr key ~nonce:(tweak_nonce ~page_number) data
+
+let cbc_mac key data =
+  let len = Bytes.length data in
+  let blocks = (len + 15) / 16 in
+  let acc = ref (Bytes.make 16 '\000') in
+  for b = 0 to Stdlib.max 0 (blocks - 1) do
+    let block = Bytes.make 16 '\000' in
+    let off = 16 * b in
+    Bytes.blit data off block 0 (Stdlib.min 16 (len - off));
+    acc := encrypt_block key (Hypertee_util.Bytes_ext.xor !acc block)
+  done;
+  if blocks = 0 then acc := encrypt_block key !acc;
+  !acc

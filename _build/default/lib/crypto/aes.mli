@@ -1,0 +1,34 @@
+(** AES-128 block cipher (FIPS 197) and counter/XTS-like modes.
+
+    This is the cipher behind the multi-key memory-encryption engine
+    (Sec. IV-C), page swapping (EWB), shared-memory encryption
+    (Sec. V-A), data sealing, and the conventional software-crypto
+    communication baseline of Fig. 12. *)
+
+type key
+
+val block_size : int
+
+(** Expand a 16-byte key. Raises [Invalid_argument] otherwise. *)
+val expand : bytes -> key
+
+(** [encrypt_block key src] / [decrypt_block key src] on exactly one
+    16-byte block. *)
+val encrypt_block : key -> bytes -> bytes
+
+val decrypt_block : key -> bytes -> bytes
+
+(** CTR mode: encryption and decryption are the same operation. The
+    16-byte [nonce] seeds the counter; data of any length. *)
+val ctr : key -> nonce:bytes -> bytes -> bytes
+
+(** Tweaked page encryption used by the memory engine: the physical
+    page number acts as the tweak so that identical plaintext at
+    different addresses yields different ciphertext. *)
+val encrypt_page : key -> page_number:int -> bytes -> bytes
+
+val decrypt_page : key -> page_number:int -> bytes -> bytes
+
+(** CBC-MAC style tag (not for new protocol designs; used only as the
+    legacy software baseline's authentication). 16 bytes. *)
+val cbc_mac : key -> bytes -> bytes

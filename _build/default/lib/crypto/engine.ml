@@ -1,0 +1,51 @@
+type mode =
+  | Software of { core_ghz : float; cycles_per_byte_aes : float; cycles_per_byte_sha : float }
+  | Hardware
+
+type t = { mode : mode }
+
+let create mode = { mode }
+let mode t = t.mode
+
+let default_software =
+  create (Software { core_ghz = 0.75; cycles_per_byte_aes = 40.0; cycles_per_byte_sha = 28.0 })
+
+let default_hardware = create Hardware
+
+(* Table III engine rates. *)
+let hw_aes_gbps = 1.24
+let hw_sha_gbps = 16.1
+let hw_rsa_sign_ops = 123.0
+let hw_rsa_verify_ops = 10_000.0
+
+(* A fixed per-operation setup cost (descriptor write, DMA kick). *)
+let hw_setup_ns = 200.0
+
+let aes_ns t ~bytes =
+  let bytes = float_of_int bytes in
+  match t.mode with
+  | Hardware -> hw_setup_ns +. (bytes *. 8.0 /. hw_aes_gbps)
+  | Software s -> bytes *. s.cycles_per_byte_aes /. s.core_ghz
+
+let sha256_ns t ~bytes =
+  let bytes = float_of_int bytes in
+  match t.mode with
+  | Hardware -> hw_setup_ns +. (bytes *. 8.0 /. hw_sha_gbps)
+  | Software s -> bytes *. s.cycles_per_byte_sha /. s.core_ghz
+
+let rsa_sign_ns t =
+  match t.mode with
+  | Hardware -> 1e9 /. hw_rsa_sign_ops
+  | Software s ->
+    (* ~ 60x slower in software than the dedicated multiplier. *)
+    1e9 /. hw_rsa_sign_ops *. 60.0 *. (0.75 /. s.core_ghz)
+
+let rsa_verify_ns t =
+  match t.mode with
+  | Hardware -> 1e9 /. hw_rsa_verify_ops
+  | Software s -> 1e9 /. hw_rsa_verify_ops *. 60.0 *. (0.75 /. s.core_ghz)
+
+let modexp_ns t =
+  (* A DH exponentiation costs about the same as an RSA signature of
+     comparable operand width. *)
+  rsa_sign_ns t

@@ -1,0 +1,41 @@
+let block = 64 (* SHA-256 block size *)
+
+let hmac ~key msg =
+  let key =
+    if Bytes.length key > block then Sha256.digest key else key
+  in
+  let k = Bytes.make block '\000' in
+  Bytes.blit key 0 k 0 (Bytes.length key);
+  let ipad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x36)) k in
+  let opad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x5c)) k in
+  let inner = Sha256.init () in
+  Sha256.update inner ipad;
+  Sha256.update inner msg;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.update outer opad;
+  Sha256.update outer inner_digest;
+  Sha256.finalize outer
+
+let extract ~salt ikm =
+  let salt = if Bytes.length salt = 0 then Bytes.make 32 '\000' else salt in
+  hmac ~key:salt ikm
+
+let expand ~prk ~info len =
+  if len > 255 * 32 then invalid_arg "Hmac.expand: length too large";
+  let out = Buffer.create len in
+  let prev = ref Bytes.empty in
+  let counter = ref 1 in
+  while Buffer.length out < len do
+    let msg = Bytes.create (Bytes.length !prev + Bytes.length info + 1) in
+    Bytes.blit !prev 0 msg 0 (Bytes.length !prev);
+    Bytes.blit info 0 msg (Bytes.length !prev) (Bytes.length info);
+    Bytes.set msg (Bytes.length msg - 1) (Char.chr !counter);
+    let t = hmac ~key:prk msg in
+    prev := t;
+    incr counter;
+    Buffer.add_bytes out t
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len
+
+let derive ~ikm ~salt ~info len = expand ~prk:(extract ~salt ikm) ~info:(Bytes.of_string info) len

@@ -1,0 +1,120 @@
+(* Keccak-f[1600] with rate 1088 / capacity 512 (SHA3-256), per FIPS
+   202. State is 25 lanes of 64 bits held as an int64 array in
+   column-major (x + 5*y) order. *)
+
+let round_constants =
+  [|
+    0x0000000000000001L; 0x0000000000008082L; 0x800000000000808aL;
+    0x8000000080008000L; 0x000000000000808bL; 0x0000000080000001L;
+    0x8000000080008081L; 0x8000000000008009L; 0x000000000000008aL;
+    0x0000000000000088L; 0x0000000080008009L; 0x000000008000000aL;
+    0x000000008000808bL; 0x800000000000008bL; 0x8000000000008089L;
+    0x8000000000008003L; 0x8000000000008002L; 0x8000000000000080L;
+    0x000000000000800aL; 0x800000008000000aL; 0x8000000080008081L;
+    0x8000000000008080L; 0x0000000080000001L; 0x8000000080008008L;
+  |]
+
+(* Rotation offsets, indexed x + 5*y. *)
+let rho_offsets =
+  [| 0; 1; 62; 28; 27; 36; 44; 6; 55; 20; 3; 10; 43; 25; 39; 41; 45; 15; 21; 8; 18; 2; 61; 56; 14 |]
+
+let rotl64 x n =
+  if n = 0 then x
+  else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+(* Scratch buffers hoisted out of the permutation: keccak_f runs once
+   per 136 absorbed bytes, so per-call allocation would dominate the
+   page-MAC path. Single-threaded simulator, so sharing is safe. *)
+let c = Array.make 5 0L
+let d = Array.make 5 0L
+let b = Array.make 25 0L
+
+let keccak_f state =
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor state.(x)
+          (Int64.logxor state.(x + 5)
+             (Int64.logxor state.(x + 10) (Int64.logxor state.(x + 15) state.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+    done;
+    for i = 0 to 24 do
+      state.(i) <- Int64.logxor state.(i) d.(i mod 5)
+    done;
+    (* rho + pi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let src = x + (5 * y) in
+        let dst = y + (5 * (((2 * x) + (3 * y)) mod 5)) in
+        b.(dst) <- rotl64 state.(src) rho_offsets.(src)
+      done
+    done;
+    (* chi *)
+    for y = 0 to 4 do
+      for x = 0 to 4 do
+        let i = x + (5 * y) in
+        state.(i) <-
+          Int64.logxor b.(i)
+            (Int64.logand (Int64.lognot b.(((x + 1) mod 5) + (5 * y))) b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    state.(0) <- Int64.logxor state.(0) round_constants.(round)
+  done
+
+let rate_bytes = 136 (* 1088 bits *)
+
+let sha3_256 msg =
+  let state = Array.make 25 0L in
+  let len = Bytes.length msg in
+  (* Absorb full rate blocks. *)
+  let absorb_block block off blen =
+    (* Build a padded 136-byte buffer view lane by lane. *)
+    for lane = 0 to (rate_bytes / 8) - 1 do
+      let acc = ref 0L in
+      for byte = 7 downto 0 do
+        let idx = (lane * 8) + byte in
+        let v = if idx < blen then Char.code (Bytes.get block (off + idx)) else 0 in
+        acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int v)
+      done;
+      state.(lane) <- Int64.logxor state.(lane) !acc
+    done;
+    keccak_f state
+  in
+  let full_blocks = len / rate_bytes in
+  for i = 0 to full_blocks - 1 do
+    absorb_block msg (i * rate_bytes) rate_bytes
+  done;
+  (* Final block with pad10*1 and SHA-3 domain bits 0b01 -> 0x06. *)
+  let tail_len = len - (full_blocks * rate_bytes) in
+  let final = Bytes.make rate_bytes '\000' in
+  Bytes.blit msg (full_blocks * rate_bytes) final 0 tail_len;
+  Bytes.set final tail_len '\x06';
+  Bytes.set final (rate_bytes - 1)
+    (Char.chr (Char.code (Bytes.get final (rate_bytes - 1)) lor 0x80));
+  absorb_block final 0 rate_bytes;
+  (* Squeeze 32 bytes (< rate, single squeeze). *)
+  let out = Bytes.create 32 in
+  for lane = 0 to 3 do
+    Hypertee_util.Bytes_ext.set_u64_le out (8 * lane) state.(lane)
+  done;
+  out
+
+let sha3_256_string s = sha3_256 (Bytes.of_string s)
+
+let mac_28bit ~key data =
+  let buf = Bytes.create (Bytes.length key + Bytes.length data) in
+  Bytes.blit key 0 buf 0 (Bytes.length key);
+  Bytes.blit data 0 buf (Bytes.length key) (Bytes.length data);
+  let d = sha3_256 buf in
+  (* Truncate to 28 bits, matching the engine's per-line tag width. *)
+  let v =
+    (Char.code (Bytes.get d 0) lsl 24)
+    lor (Char.code (Bytes.get d 1) lsl 16)
+    lor (Char.code (Bytes.get d 2) lsl 8)
+    lor Char.code (Bytes.get d 3)
+  in
+  v land 0xFFFFFFF

@@ -1,0 +1,17 @@
+(** Keccak-f[1600] sponge and SHA3-256 (FIPS 202).
+
+    The paper's memory-integrity engine uses a SHA-3-based MAC
+    (Sec. IV-C); [mac_28bit] produces the truncated 28-bit tag that
+    engine stores per cache line. *)
+
+(** SHA3-256 one-shot digest (32 bytes). *)
+val sha3_256 : bytes -> bytes
+
+(** SHA3-256 of a string. *)
+val sha3_256_string : string -> bytes
+
+(** [mac_28bit ~key data] is the 28-bit truncated SHA3 MAC used by
+    the memory-integrity engine, returned as a non-negative int. The
+    key is absorbed before the data (KMAC-style prefix keying is fine
+    for a sponge). *)
+val mac_28bit : key:bytes -> bytes -> int

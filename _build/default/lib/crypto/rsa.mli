@@ -1,0 +1,29 @@
+(** RSA-lite signatures (512-bit modulus, e = 65537).
+
+    Implements the signing service of the EMS crypto engine: platform
+    certificates are signed with the Endorsement Key and enclave
+    quotes with the Attestation Key (Sec. VI). 512-bit keys keep
+    schoolbook-bignum key generation fast; the protocol shape
+    (hash, pad, modexp, verify) is the real one. Not secure at this
+    size — this is a simulator, not a product. *)
+
+type public = { n : Bignum.t; e : Bignum.t }
+type keypair = { public : public; d : Bignum.t }
+
+(** Modulus size in bits used throughout (512). *)
+val modulus_bits : int
+
+(** Deterministic keypair from the given RNG. *)
+val generate : Hypertee_util.Xrng.t -> keypair
+
+(** [sign key msg] hashes [msg] with SHA-256, pads (PKCS#1-v1.5
+    style) and exponentiates. *)
+val sign : keypair -> bytes -> bytes
+
+(** [verify pub ~msg ~signature] checks the padded digest. *)
+val verify : public -> msg:bytes -> signature:bytes -> bool
+
+(** Serialize a public key for embedding in certificates. *)
+val public_to_bytes : public -> bytes
+
+val public_of_bytes : bytes -> public

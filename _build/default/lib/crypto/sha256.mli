@@ -1,0 +1,28 @@
+(** SHA-256 (FIPS 180-4).
+
+    Used for enclave measurement (EMEAS), HMAC/HKDF key derivation,
+    and signature digests. Incremental interface so measurement can
+    be extended page by page as EADD loads an enclave. *)
+
+type ctx
+
+val digest_size : int
+
+(** Fresh hashing context. *)
+val init : unit -> ctx
+
+(** [update ctx b] absorbs all of [b]. *)
+val update : ctx -> bytes -> unit
+
+(** [update_sub ctx b ~off ~len] absorbs a slice. *)
+val update_sub : ctx -> bytes -> off:int -> len:int -> unit
+
+(** [finalize ctx] pads and produces the 32-byte digest. The context
+    must not be used afterwards. *)
+val finalize : ctx -> bytes
+
+(** One-shot digest. *)
+val digest : bytes -> bytes
+
+(** One-shot digest of a string. *)
+val digest_string : string -> bytes

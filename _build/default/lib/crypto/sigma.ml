@@ -1,0 +1,22 @@
+type role = Initiator | Responder
+type session = { role : role; keypair : Dh.keypair }
+
+let start rng role = { role; keypair = Dh.generate rng }
+let public_of s = s.keypair.Dh.public
+
+let derive_keys s ~peer_public =
+  let raw =
+    Bignum.to_bytes_be ~len:32 (Dh.shared_secret ~secret:s.keypair.Dh.secret ~peer_public)
+  in
+  let okm = Hmac.derive ~ikm:raw ~salt:Bytes.empty ~info:"sigma-session-v1" 32 in
+  (Bytes.sub okm 0 16, Bytes.sub okm 16 16)
+
+let transcript ~initiator_pub ~responder_pub ~payload =
+  let a = Bignum.to_bytes_be ~len:32 initiator_pub in
+  let b = Bignum.to_bytes_be ~len:32 responder_pub in
+  Bytes.concat Bytes.empty [ Bytes.of_string "SIGMA1"; a; b; payload ]
+
+let authenticate ~mac_key t = Hmac.hmac ~key:mac_key t
+
+let check ~mac_key ~transcript ~tag =
+  Hypertee_util.Bytes_ext.equal_ct (authenticate ~mac_key transcript) tag

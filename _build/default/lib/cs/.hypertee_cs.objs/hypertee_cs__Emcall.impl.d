@@ -1,0 +1,1 @@
+lib/cs/emcall.ml: Float Hypertee_arch Hypertee_ems Hypertee_util List

@@ -1,0 +1,1 @@
+lib/cs/emcall.mli: Hypertee_arch Hypertee_ems Hypertee_util

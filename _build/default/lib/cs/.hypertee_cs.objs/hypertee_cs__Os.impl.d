@@ -1,0 +1,1 @@
+lib/cs/os.ml: Hypertee_arch List

@@ -1,0 +1,1 @@
+lib/cs/os.mli: Hypertee_arch

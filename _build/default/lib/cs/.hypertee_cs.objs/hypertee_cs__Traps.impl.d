@@ -1,0 +1,1 @@
+lib/cs/traps.ml: Emcall Hypertee_ems

@@ -1,0 +1,1 @@
+lib/cs/traps.mli: Emcall Hypertee_ems

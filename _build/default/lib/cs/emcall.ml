@@ -1,0 +1,115 @@
+module Types = Hypertee_ems.Types
+module Mailbox = Hypertee_arch.Mailbox
+module Config = Hypertee_arch.Config
+
+type caller = Os_kernel | User_host | User_enclave of Types.enclave_id
+type rejection = Cross_privilege | Mailbox_full
+
+type t = {
+  rng : Hypertee_util.Xrng.t;
+  transport : Config.transport;
+  mailbox : (Types.request, Types.response) Mailbox.t;
+  ems_service : unit -> unit;
+  service_ns : Types.request -> float;
+  mutable last_latency_ns : float;
+  mutable rejected : int;
+  mutable tlb_flushes : int;
+  mutable flush_hooks : (unit -> unit) list;
+}
+
+let create ~rng ~transport ~mailbox ~ems_service ~service_ns =
+  {
+    rng;
+    transport;
+    mailbox;
+    ems_service;
+    service_ns;
+    last_latency_ns = 0.0;
+    rejected = 0;
+    tlb_flushes = 0;
+    flush_hooks = [];
+  }
+
+let caller_privilege = function
+  | Os_kernel -> Types.Os
+  | User_host | User_enclave _ -> Types.User
+
+let sender_of_caller = function
+  | Os_kernel | User_host -> None
+  | User_enclave id -> Some id
+
+(* Does the response imply the bitmap changed? Those force a TLB
+   shoot-down so stale "checked" entries cannot bypass the check. *)
+let bitmap_changed request response =
+  match (request, response) with
+  | _, Types.Err _ -> false
+  | (Types.Create _ | Types.Alloc _ | Types.Free _ | Types.Writeback _ | Types.Destroy _
+    | Types.Shmget _ | Types.Shmdes _ | Types.Page_fault _), _ ->
+    true
+  | ( ( Types.Add _ | Types.Enter _ | Types.Resume _ | Types.Exit _ | Types.Shmat _
+      | Types.Shmdt _ | Types.Shmshr _ | Types.Measure _ | Types.Attest _
+      | Types.Interrupt _ ),
+      _ ) ->
+    false
+
+let register_tlb_flush_hook t hook = t.flush_hooks <- hook :: t.flush_hooks
+
+let flush_tlbs t =
+  t.tlb_flushes <- t.tlb_flushes + 1;
+  List.iter (fun hook -> hook ()) t.flush_hooks
+
+let transport_ns t =
+  let tr = t.transport in
+  tr.Config.emcall_entry_ns +. tr.Config.packet_build_ns
+  +. (2.0 *. tr.Config.fabric_hop_ns)
+  +. tr.Config.interrupt_ns
+
+let invoke t ~caller request =
+  let opcode = Types.opcode_of_request request in
+  let required = Types.required_privilege opcode in
+  (* Page faults are forwarded by EMCall itself from trap context;
+     they bypass the privilege check (machine mode). *)
+  let is_fault =
+    match request with Types.Page_fault _ | Types.Interrupt _ -> true | _ -> false
+  in
+  if (not is_fault) && caller_privilege caller <> required then begin
+    t.rejected <- t.rejected + 1;
+    Error Cross_privilege
+  end
+  else begin
+    let sender = sender_of_caller caller in
+    match Mailbox.send_request t.mailbox ~sender_enclave:sender request with
+    | Error `Full ->
+      t.rejected <- t.rejected + 1;
+      Error Mailbox_full
+    | Ok request_id -> (
+      (* Doorbell: the EMS side drains the queue and posts responses. *)
+      t.ems_service ();
+      (* EMCall polls — never the untrusted interrupt path. Polling
+         quantises observable latency to poll slots and adds jitter,
+         the paper's obfuscation against timing side channels. *)
+      match Mailbox.poll_response t.mailbox ~request_id with
+      | None ->
+        (* EMS service did not answer: treat as fatal platform bug. *)
+        failwith "EMCall: EMS did not answer a delivered request"
+      | Some response ->
+        let service = t.service_ns request in
+        let raw = transport_ns t +. service in
+        let slot = t.transport.Config.poll_slot_ns in
+        let quantised = Float.of_int (int_of_float (raw /. slot) + 1) *. slot in
+        let jitter = Hypertee_util.Xrng.float t.rng *. slot in
+        t.last_latency_ns <- quantised +. jitter;
+        if bitmap_changed request response then flush_tlbs t;
+        (match (request, response) with
+        | (Types.Enter _ | Types.Resume _), Types.Ok_entered _ ->
+          (* Atomic CS register update: satp switch + IS_ENCLAVE are
+             performed by the platform layer inside the same gate
+             call; the TLB flush is issued here. *)
+          flush_tlbs t
+        | _ -> ());
+        Ok response)
+  end
+
+let last_latency_ns t = t.last_latency_ns
+let rejected t = t.rejected
+let tlb_flushes t = t.tlb_flushes

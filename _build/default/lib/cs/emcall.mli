@@ -1,0 +1,69 @@
+(** EMCall: the trusted call gate in CS firmware (paper Sec. III-B/C).
+
+    The only legal path from CS software to EMS. Runs at the highest
+    CS privilege level, so it can:
+
+    - check the caller's privilege mode against the primitive's
+      required mode (cross-privilege invocation is blocked);
+    - stamp the *hardware-known* current enclave identity on each
+      request (forgery of another enclave's identity is impossible);
+    - transmit over the private mailbox and poll for the response
+      bound to this request id (untrusted interrupt handlers never
+      touch responses);
+    - perform the CS-side register updates of EENTER/ERESUME
+      atomically: satp switch, IS_ENCLAVE flip, TLB flush;
+    - flush TLBs when EMS reports bitmap changes.
+
+    Timing: [last_latency_ns] exposes the modelled round-trip
+    (EMCall entry + packet build + fabric hops + doorbell + EMS
+    service + polling quantisation with obfuscation jitter). *)
+
+type caller = Os_kernel | User_host | User_enclave of Hypertee_ems.Types.enclave_id
+
+type rejection =
+  | Cross_privilege  (** caller mode does not match Table II *)
+  | Mailbox_full
+
+type t
+
+(** [create ~rng ~transport ~mailbox ~ems_service ~service_ns] wires
+    the gate to a mailbox whose EMS side is drained by [ems_service]
+    (the platform calls the runtime there). [service_ns] prices a
+    request for the timing model. *)
+val create :
+  rng:Hypertee_util.Xrng.t ->
+  transport:Hypertee_arch.Config.transport ->
+  mailbox:(Hypertee_ems.Types.request, Hypertee_ems.Types.response) Hypertee_arch.Mailbox.t ->
+  ems_service:(unit -> unit) ->
+  service_ns:(Hypertee_ems.Types.request -> float) ->
+  t
+
+(** [invoke t ~caller request] runs the full gate flow and returns
+    the EMS response, or a gate-level rejection before anything
+    reaches EMS. *)
+val invoke :
+  t ->
+  caller:caller ->
+  Hypertee_ems.Types.request ->
+  (Hypertee_ems.Types.response, rejection) result
+
+(** Modelled round-trip time of the last successful [invoke]. *)
+val last_latency_ns : t -> float
+
+(** Transport-only part of the round trip for a request of the given
+    EMS service time (used by the queueing experiment of Fig. 6). *)
+val transport_ns : t -> float
+
+(** Number of requests blocked at the gate (attack telemetry). *)
+val rejected : t -> int
+
+(** TLB flushes EMCall has issued (enclave context switches + bitmap
+    updates, Fig. 11). The platform layer registers per-core flush
+    callbacks. *)
+val tlb_flushes : t -> int
+
+val register_tlb_flush_hook : t -> (unit -> unit) -> unit
+
+(** [flush_tlbs t] — invoked on enclave context switch and on bitmap
+    updates (EMS responses that changed the bitmap). *)
+val flush_tlbs : t -> unit

@@ -1,0 +1,85 @@
+module Types = Hypertee_ems.Types
+
+type cause =
+  | Timer_interrupt
+  | External_interrupt
+  | Illegal_instruction
+  | Enclave_page_fault of { vpn : int }
+  | Misaligned_access of { va : int }
+  | Ecall
+
+type route = To_ems | To_cs_os
+
+(* Sec. III-B: "exceptions related to memory management, such as page
+   faults and misaligned memory accesses, are handled by EMS, while
+   others, such as timer interrupts and illegal instructions, are
+   responded by CS OS". *)
+let route_of_cause = function
+  | Enclave_page_fault _ | Misaligned_access _ -> To_ems
+  | Timer_interrupt | External_interrupt | Illegal_instruction | Ecall -> To_cs_os
+
+let cause_code = function
+  | Timer_interrupt -> 0x8000_0007
+  | External_interrupt -> 0x8000_000B
+  | Illegal_instruction -> 2
+  | Enclave_page_fault _ -> 13
+  | Misaligned_access _ -> 4
+  | Ecall -> 8
+
+let cause_name = function
+  | Timer_interrupt -> "timer interrupt"
+  | External_interrupt -> "external interrupt"
+  | Illegal_instruction -> "illegal instruction"
+  | Enclave_page_fault _ -> "enclave page fault"
+  | Misaligned_access _ -> "misaligned access"
+  | Ecall -> "environment call"
+
+type outcome = Resolved | Suspended_to_os | Fault of string
+
+type t = {
+  emcall : Emcall.t;
+  mutable to_ems : int;
+  mutable to_cs : int;
+  mutable last_recorded : (int * int) option;
+}
+
+let create emcall = { emcall; to_ems = 0; to_cs = 0; last_recorded = None }
+
+let deliver t ~enclave ~pc cause =
+  (* EMCall records the critical information first. *)
+  t.last_recorded <- Some (cause_code cause, pc);
+  match route_of_cause cause with
+  | To_ems -> (
+    t.to_ems <- t.to_ems + 1;
+    match cause with
+    | Enclave_page_fault { vpn } -> (
+      (* Machine-mode forwarding: bypasses the privilege gate. *)
+      match Emcall.invoke t.emcall ~caller:Emcall.User_host (Types.Page_fault { enclave; vpn }) with
+      | Ok (Types.Ok_alloc _) -> Resolved
+      | Ok (Types.Err e) -> Fault (Types.error_message e)
+      | Ok _ -> Fault "unexpected EMS response"
+      | Error _ -> Fault "gate rejected a fault forward")
+    | Misaligned_access _ ->
+      (* EMS policy for misalignment in this model: terminate is too
+         harsh, emulation is out of scope — report and park. *)
+      Fault "misaligned access in enclave"
+    | Timer_interrupt | External_interrupt | Illegal_instruction | Ecall ->
+      Fault "routing invariant violated")
+  | To_cs_os -> (
+    t.to_cs <- t.to_cs + 1;
+    (* World switch: EMS saves the enclave context (Interrupted);
+       EMCall's gate issues the TLB flush on the context switch. *)
+    match
+      Emcall.invoke t.emcall ~caller:Emcall.User_host
+        (Types.Interrupt { enclave; pc; cause = cause_code cause })
+    with
+    | Ok Types.Ok_unit ->
+      Emcall.flush_tlbs t.emcall;
+      Suspended_to_os
+    | Ok (Types.Err e) -> Fault (Types.error_message e)
+    | Ok _ -> Fault "unexpected EMS response"
+    | Error _ -> Fault "gate rejected the interrupt report")
+
+let routed_to_ems t = t.to_ems
+let routed_to_cs t = t.to_cs
+let last_recorded t = t.last_recorded

@@ -1,0 +1,55 @@
+(** Interrupt/exception routing during enclave execution (paper
+    Sec. III-B, "Secure handling of exception/interrupt in
+    enclaves").
+
+    Any trap taken while an enclave runs lands in EMCall first, which
+    records the cause and program counter and then routes it:
+    memory-management exceptions (page faults, misaligned accesses)
+    go to EMS; everything else (timer, illegal instruction, external
+    interrupts) goes to the CS OS — but only after EMCall has saved
+    the enclave context via EMS and atomically switched the CS
+    registers out of enclave mode, so the untrusted handler never
+    sees enclave state. *)
+
+type cause =
+  | Timer_interrupt
+  | External_interrupt
+  | Illegal_instruction
+  | Enclave_page_fault of { vpn : int }
+  | Misaligned_access of { va : int }
+  | Ecall  (** environment call out of the enclave *)
+
+type route = To_ems | To_cs_os
+
+(** The paper's routing policy: memory management to EMS, the rest to
+    the CS OS. *)
+val route_of_cause : cause -> route
+
+val cause_code : cause -> int
+val cause_name : cause -> string
+
+(** Outcome of delivering a trap to a running enclave. *)
+type outcome =
+  | Resolved  (** EMS handled it (e.g. demand paging); enclave continues *)
+  | Suspended_to_os  (** context saved, enclave Interrupted, CS OS runs *)
+  | Fault of string  (** the trap could not be handled *)
+
+type t
+
+(** [create emcall] — the trap dispatcher bound to a gate. *)
+val create : Emcall.t -> t
+
+(** [deliver t ~enclave ~pc cause] — the EMCall trap entry point:
+    record (cause, pc), route, and for OS-routed traps save the
+    enclave context in EMS (state becomes Interrupted) and flush the
+    TLB for the world switch. *)
+val deliver : t -> enclave:Hypertee_ems.Types.enclave_id -> pc:int -> cause -> outcome
+
+(** Traps routed to each side so far. *)
+val routed_to_ems : t -> int
+
+val routed_to_cs : t -> int
+
+(** The last recorded (cause code, pc) — what EMCall logs before
+    routing. *)
+val last_recorded : t -> (int * int) option

@@ -1,0 +1,1 @@
+lib/cvm/manager.ml: Array Buffer Bytes Hashtbl Hypertee Hypertee_arch Hypertee_crypto Hypertee_ems Hypertee_util Option Result Stdlib

@@ -1,0 +1,1 @@
+lib/cvm/manager.mli: Hypertee Hypertee_util

@@ -1,0 +1,1 @@
+lib/ems/attest.ml: Buffer Bytes Char Hypertee_crypto Hypertee_util Keymgmt

@@ -1,0 +1,1 @@
+lib/ems/attest.mli: Hypertee_crypto Keymgmt

@@ -1,0 +1,1 @@
+lib/ems/audit.ml: Format List Printf Types

@@ -1,0 +1,1 @@
+lib/ems/audit.mli: Format Types

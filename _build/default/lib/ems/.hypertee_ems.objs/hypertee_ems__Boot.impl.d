@@ -1,0 +1,1 @@
+lib/ems/boot.ml: Bytes Hypertee_crypto Hypertee_util

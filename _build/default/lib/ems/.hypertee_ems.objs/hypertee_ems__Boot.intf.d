@@ -1,0 +1,1 @@
+lib/ems/boot.mli: Hypertee_util

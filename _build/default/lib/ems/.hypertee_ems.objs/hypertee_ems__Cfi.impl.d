@@ -1,0 +1,1 @@
+lib/ems/cfi.ml: Hashtbl Hypertee_util Int Set Types

@@ -1,0 +1,1 @@
+lib/ems/cfi.mli: Types

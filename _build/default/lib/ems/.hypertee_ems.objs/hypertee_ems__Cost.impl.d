@@ -1,0 +1,1 @@
+lib/ems/cost.ml: Hypertee_arch Hypertee_crypto Hypertee_util Stdlib Types

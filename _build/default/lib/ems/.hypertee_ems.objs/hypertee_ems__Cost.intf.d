@@ -1,0 +1,1 @@
+lib/ems/cost.mli: Hypertee_arch Hypertee_crypto Types

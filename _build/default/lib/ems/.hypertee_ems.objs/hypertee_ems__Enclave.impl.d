@@ -1,0 +1,1 @@
+lib/ems/enclave.ml: Hashtbl Hypertee_arch Hypertee_crypto List Types

@@ -1,0 +1,1 @@
+lib/ems/enclave.mli: Hashtbl Hypertee_arch Hypertee_crypto Types

@@ -1,0 +1,1 @@
+lib/ems/keymgmt.ml: Bytes Hypertee_crypto Hypertee_util Int64

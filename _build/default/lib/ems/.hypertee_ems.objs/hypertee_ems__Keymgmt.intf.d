@@ -1,0 +1,1 @@
+lib/ems/keymgmt.mli: Hypertee_crypto Hypertee_util

@@ -1,0 +1,1 @@
+lib/ems/mem_pool.ml: Hypertee_arch Hypertee_util List Stdlib

@@ -1,0 +1,1 @@
+lib/ems/mem_pool.mli: Hypertee_arch Hypertee_util

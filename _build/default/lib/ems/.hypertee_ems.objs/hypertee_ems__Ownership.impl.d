@@ -1,0 +1,1 @@
+lib/ems/ownership.ml: Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/ems/ownership.mli: Types

@@ -1,0 +1,1 @@
+lib/ems/runtime.ml: Array Attest Audit Bytes Cost Enclave Hashtbl Hypertee_arch Hypertee_crypto Hypertee_util Int64 Keymgmt List Mem_pool Option Ownership Shm Stdlib Types

@@ -1,0 +1,1 @@
+lib/ems/runtime.mli: Audit Cost Enclave Hypertee_arch Hypertee_util Keymgmt Mem_pool Ownership Shm Types

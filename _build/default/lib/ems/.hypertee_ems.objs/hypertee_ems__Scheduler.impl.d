@@ -1,0 +1,1 @@
+lib/ems/scheduler.ml: Array Hypertee_util List

@@ -1,0 +1,1 @@
+lib/ems/scheduler.mli: Hypertee_util

@@ -1,0 +1,1 @@
+lib/ems/shm.ml: Hashtbl Types

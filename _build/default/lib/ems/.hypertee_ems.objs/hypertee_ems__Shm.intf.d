@@ -1,0 +1,1 @@
+lib/ems/shm.mli: Hashtbl Types

@@ -1,0 +1,1 @@
+lib/ems/types.ml: Format

@@ -1,0 +1,51 @@
+(** Measurement, attestation and sealing services (paper Sec. VI).
+
+    - Quotes: EMS signs (platform measurement, enclave measurement,
+      user data) — the platform certificate with EK, the enclave
+      quote with AK. A remote verifier checks both signatures and
+      compares measurements against expectations.
+    - Local attestation: a report MAC keyed by a report key derived
+      from the challenger's measurement and SK, so only EMS (and thus
+      only same-platform enclaves via EMS) can produce or check it.
+    - Sealing: AES-CTR + MAC under a sealing key derived from the
+      enclave measurement, so only the same enclave (same code) on
+      the same platform can unseal. *)
+
+(** The signed quote structure returned by EATTEST. *)
+type quote = {
+  platform_measurement : bytes;
+  enclave_measurement : bytes;
+  user_data : bytes;
+  platform_signature : bytes;  (** EK over platform measurement *)
+  quote_signature : bytes;  (** AK over the whole body *)
+}
+
+(** [make_quote keys ~platform_measurement ~enclave_measurement
+    ~user_data] — the EATTEST service routine. *)
+val make_quote :
+  Keymgmt.t -> platform_measurement:bytes -> enclave_measurement:bytes -> user_data:bytes -> quote
+
+(** Wire encoding (what travels to the remote verifier). *)
+val quote_to_bytes : quote -> bytes
+
+val quote_of_bytes : bytes -> quote option
+
+(** [verify_quote ~ek ~ak q] — the remote verifier's check: both
+    signatures valid under the published public keys. *)
+val verify_quote :
+  ek:Hypertee_crypto.Rsa.public -> ak:Hypertee_crypto.Rsa.public -> quote -> bool
+
+(** Local attestation report: MAC over (verifier measurement,
+    challenger measurement) under the report key. *)
+type report = { verifier_measurement : bytes; challenger_measurement : bytes; mac : bytes }
+
+val make_report :
+  Keymgmt.t -> verifier_measurement:bytes -> challenger_measurement:bytes -> report
+
+val verify_report : Keymgmt.t -> report -> bool
+
+(** [seal keys ~enclave_measurement data] -> sealed blob;
+    [unseal] inverts it, [None] on tamper or wrong measurement. *)
+val seal : Keymgmt.t -> enclave_measurement:bytes -> bytes -> bytes
+
+val unseal : Keymgmt.t -> enclave_measurement:bytes -> bytes -> bytes option

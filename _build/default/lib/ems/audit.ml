@@ -1,0 +1,45 @@
+type outcome = Served | Refused of string
+
+type entry = {
+  seq : int;
+  opcode : Types.opcode;
+  sender : Types.enclave_id option;
+  outcome : outcome;
+}
+
+type t = {
+  capacity : int;
+  mutable entries : entry list; (* newest first *)
+  mutable retained : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Audit.create: capacity must be positive";
+  { capacity; entries = []; retained = 0; total = 0 }
+
+let record t ~opcode ~sender ~outcome =
+  t.entries <- { seq = t.total; opcode; sender; outcome } :: t.entries;
+  t.total <- t.total + 1;
+  t.retained <- t.retained + 1;
+  if t.retained > t.capacity then begin
+    (* Drop the oldest half in one pass: amortised O(1) per record. *)
+    let keep = t.capacity / 2 in
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    t.entries <- take keep t.entries;
+    t.retained <- keep
+  end
+
+let entries t = List.rev t.entries
+let total t = t.total
+let refusals t = List.filter (fun e -> e.outcome <> Served) (entries t)
+let by_sender t ~sender = List.filter (fun e -> e.sender = sender) (entries t)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "#%d %s from %s: %s" e.seq
+    (Types.opcode_name e.opcode)
+    (match e.sender with Some id -> Printf.sprintf "enclave %d" id | None -> "host")
+    (match e.outcome with Served -> "served" | Refused reason -> "refused (" ^ reason ^ ")")

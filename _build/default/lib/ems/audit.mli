@@ -1,0 +1,43 @@
+(** EMS audit log.
+
+    EMS is the platform's root of trust for management decisions, so
+    it keeps an append-only record of every primitive it served:
+    opcode, the (EMCall-stamped) sender, the outcome, and a logical
+    sequence number. The log lives in EMS private memory — CS
+    software cannot read or truncate it — and is the forensic trail
+    for the availability/integrity arguments of Table I (e.g. "which
+    enclave asked to destroy this region, and was it refused?").
+
+    Bounded: the oldest entries are dropped beyond [capacity], with a
+    monotonically increasing sequence number so truncation is
+    evident. *)
+
+type outcome = Served | Refused of string
+
+type entry = {
+  seq : int;
+  opcode : Types.opcode;
+  sender : Types.enclave_id option;
+  outcome : outcome;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** [record t ~opcode ~sender ~outcome] appends one entry. *)
+val record : t -> opcode:Types.opcode -> sender:Types.enclave_id option -> outcome:outcome -> unit
+
+(** Entries currently retained, oldest first. *)
+val entries : t -> entry list
+
+(** Total entries ever recorded (survives truncation). *)
+val total : t -> int
+
+(** [refusals t] — retained entries whose outcome is [Refused]. *)
+val refusals : t -> entry list
+
+(** [by_sender t ~sender] — retained entries from one principal. *)
+val by_sender : t -> sender:Types.enclave_id option -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit

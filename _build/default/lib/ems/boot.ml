@@ -1,0 +1,59 @@
+type provisioned = {
+  flash_runtime : bytes;
+  eeprom_runtime_hash : bytes;
+  firmware : bytes;
+  eeprom_firmware_hash : bytes;
+  flash_key : bytes;
+}
+
+let flash_nonce = Bytes.make 16 '\x5f'
+
+let provision rng ~runtime_image ~firmware_image =
+  let flash_key = Hypertee_util.Xrng.bytes rng 16 in
+  let aes = Hypertee_crypto.Aes.expand flash_key in
+  {
+    flash_runtime = Hypertee_crypto.Aes.ctr aes ~nonce:flash_nonce runtime_image;
+    eeprom_runtime_hash = Hypertee_crypto.Sha256.digest runtime_image;
+    firmware = Bytes.copy firmware_image;
+    eeprom_firmware_hash = Hypertee_crypto.Sha256.digest firmware_image;
+    flash_key;
+  }
+
+type stage = Ems_boot_rom | Ems_runtime | Cs_firmware | Cs_os
+
+let stage_name = function
+  | Ems_boot_rom -> "EMS BootROM"
+  | Ems_runtime -> "EMS Runtime"
+  | Cs_firmware -> "CS firmware (EMCall)"
+  | Cs_os -> "CS OS"
+
+type outcome =
+  | Booted of { platform_measurement : bytes; stages : stage list }
+  | Halted of { at : stage; reason : string }
+
+let boot p =
+  (* Stage 1: BootROM decrypts the EMS Runtime from flash and checks
+     it against the EEPROM hash (physical tampering with flash or
+     EEPROM shows up here). *)
+  let aes = Hypertee_crypto.Aes.expand p.flash_key in
+  let runtime = Hypertee_crypto.Aes.ctr aes ~nonce:flash_nonce p.flash_runtime in
+  let runtime_hash = Hypertee_crypto.Sha256.digest runtime in
+  if not (Hypertee_util.Bytes_ext.equal_ct runtime_hash p.eeprom_runtime_hash) then
+    Halted { at = Ems_runtime; reason = "EMS Runtime hash mismatch" }
+  else begin
+    (* Stage 2: the now-trusted runtime verifies the CS firmware. *)
+    let firmware_hash = Hypertee_crypto.Sha256.digest p.firmware in
+    if not (Hypertee_util.Bytes_ext.equal_ct firmware_hash p.eeprom_firmware_hash) then
+      Halted { at = Cs_firmware; reason = "CS firmware (EMCall) hash mismatch" }
+    else begin
+      (* Stage 3: release the CS OS; the platform measurement covers
+         the verified software TCB. *)
+      let platform_measurement =
+        Hypertee_crypto.Sha256.digest (Bytes.cat runtime_hash firmware_hash)
+      in
+      Booted
+        { platform_measurement; stages = [ Ems_boot_rom; Ems_runtime; Cs_firmware; Cs_os ] }
+    end
+  end
+
+let booted = function Booted _ -> true | Halted _ -> false

@@ -1,0 +1,41 @@
+(** Secure boot (paper Sec. VI, "Secure boot").
+
+    Boot order after the chip's initialisation logic: the EMS BootROM
+    verifies the EMS Runtime — stored encrypted in private flash,
+    its expected hash burnt into on-chip EEPROM — then verifies the
+    CS firmware (EMCall) the same way, and only then releases the CS
+    OS. A mismatch at any stage halts the platform before the
+    compromised component runs.
+
+    Manufacturing ([provision]) produces the flash/EEPROM contents;
+    [boot] replays the chain and yields the platform measurement
+    (the value EMS later signs in attestation quotes), or the stage
+    that failed. *)
+
+type provisioned = {
+  flash_runtime : bytes;  (** AES-encrypted EMS Runtime image *)
+  eeprom_runtime_hash : bytes;  (** SHA-256 of the plaintext image *)
+  firmware : bytes;  (** EMCall firmware (plaintext, hash-checked) *)
+  eeprom_firmware_hash : bytes;
+  flash_key : bytes;  (** burnt into eFuse with the root keys *)
+}
+
+(** [provision rng ~runtime_image ~firmware_image] — the
+    manufacturing step. *)
+val provision :
+  Hypertee_util.Xrng.t -> runtime_image:bytes -> firmware_image:bytes -> provisioned
+
+type stage = Ems_boot_rom | Ems_runtime | Cs_firmware | Cs_os
+
+val stage_name : stage -> string
+
+type outcome =
+  | Booted of { platform_measurement : bytes; stages : stage list }
+  | Halted of { at : stage; reason : string }
+
+(** [boot p] replays the verification chain against the provisioned
+    storage. *)
+val boot : provisioned -> outcome
+
+(** Convenience predicates for tests. *)
+val booted : outcome -> bool

@@ -1,0 +1,45 @@
+(** Control-flow-integrity monitoring (paper Sec. IX, approach 3).
+
+    Hardware on the CS side records an enclave's control-flow
+    transfers into a buffer in the enclave's private memory; a
+    monitoring task on EMS drains the buffer, checks each transfer
+    against the enclave's control-flow policy, and terminates the
+    enclave on a violation. The paper notes this is safe to host on
+    EMS because the monitor's cache footprint is unrelated to any
+    management secret.
+
+    The policy is a set of allowed (source, target) edges plus a set
+    of valid indirect-branch targets — the usual coarse-grained
+    forward-edge CFI model. *)
+
+type policy
+
+(** [policy ~edges ~indirect_targets] — [edges] are allowed direct
+    transfers; any transfer into [indirect_targets] is also allowed
+    (function entry points for indirect calls / returns). *)
+val policy : edges:(int * int) list -> indirect_targets:int list -> policy
+
+type verdict =
+  | Clean of int  (** transfers checked *)
+  | Violation of { from_pc : int; to_pc : int }
+  | Buffer_overflow  (** hardware buffer wrapped before the monitor ran *)
+
+type t
+
+val create : ?buffer_capacity:int -> unit -> t
+
+(** [register t ~enclave p] installs the policy (at launch, derived
+    from the measured binary). *)
+val register : t -> enclave:Types.enclave_id -> policy -> unit
+
+(** Hardware side: append one transfer to the enclave's trace buffer. *)
+val record_transfer : t -> enclave:Types.enclave_id -> from_pc:int -> to_pc:int -> unit
+
+(** EMS side: drain and check the buffer. A violation or overflow
+    leaves the buffer drained and increments [violations]. *)
+val monitor : t -> enclave:Types.enclave_id -> verdict
+
+val violations : t -> int
+
+(** Pending (unmonitored) transfers for an enclave. *)
+val pending : t -> enclave:Types.enclave_id -> int

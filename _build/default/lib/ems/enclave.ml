@@ -1,0 +1,84 @@
+type state = Loading | Measured | Running | Interrupted | Destroyed
+
+type layout = {
+  code_base : int;
+  data_base : int;
+  heap_base : int;
+  stack_base : int;
+  staging_base : int;
+  shm_base : int;
+}
+
+type t = {
+  id : Types.enclave_id;
+  config : Types.enclave_config;
+  layout : layout;
+  page_table : Hypertee_arch.Page_table.t;
+  mutable key_id : int;
+  mutable key_parked : bool;
+  mutable state : state;
+  mutable measurement_ctx : Hypertee_crypto.Sha256.ctx option;
+  mutable measurement : bytes option;
+  mutable heap_cursor : int;
+  mutable shm_cursor : int;
+  mutable attached_shms : (Types.shm_id * int) list;
+  mutable saved_pc : int;
+  mutable swapped_out : (int, bytes) Hashtbl.t;
+  mutable staging_frames : int list;
+}
+
+let state_name = function
+  | Loading -> "loading"
+  | Measured -> "measured"
+  | Running -> "running"
+  | Interrupted -> "interrupted"
+  | Destroyed -> "destroyed"
+
+let make_layout (config : Types.enclave_config) =
+  let code_base = 0x100 in
+  let data_base = code_base + config.Types.code_pages in
+  let heap_base = data_base + config.Types.data_pages in
+  let stack_base = heap_base + config.Types.heap_pages + 0x1000 (* growth room *) in
+  let staging_base = stack_base + config.Types.stack_pages + 0x10 in
+  let shm_base = staging_base + config.Types.shared_pages + 0x10 in
+  { code_base; data_base; heap_base; stack_base; staging_base; shm_base }
+
+let create ~id ~config ~page_table ~key_id =
+  let layout = make_layout config in
+  {
+    id;
+    config;
+    layout;
+    page_table;
+    key_id;
+    key_parked = false;
+    state = Loading;
+    measurement_ctx = Some (Hypertee_crypto.Sha256.init ());
+    measurement = None;
+    heap_cursor = layout.heap_base + config.Types.heap_pages;
+    shm_cursor = layout.shm_base;
+    attached_shms = [];
+    saved_pc = 0;
+    swapped_out = Hashtbl.create 8;
+    staging_frames = [];
+  }
+
+let bad t = Error (Types.Bad_state (state_name t.state))
+
+let can_add t = match t.state with Loading -> Ok () | _ -> bad t
+let can_measure t = match t.state with Loading -> Ok () | _ -> bad t
+let can_enter t = match t.state with Measured -> Ok () | _ -> bad t
+let can_resume t = match t.state with Interrupted -> Ok () | _ -> bad t
+let can_exit t = match t.state with Running | Interrupted -> Ok () | _ -> bad t
+
+let static_vpns t =
+  let range base n = List.init n (fun i -> base + i) in
+  range t.layout.code_base t.config.Types.code_pages
+  @ range t.layout.data_base t.config.Types.data_pages
+  @ range t.layout.heap_base t.config.Types.heap_pages
+  @ range t.layout.stack_base t.config.Types.stack_pages
+
+let measurement_exn t =
+  match t.measurement with
+  | Some m -> m
+  | None -> invalid_arg "Enclave.measurement_exn: enclave not yet measured"

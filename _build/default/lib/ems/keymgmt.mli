@@ -1,0 +1,48 @@
+(** EMS key management (paper Sec. VI).
+
+    Root keys live in the (simulated) eFuse: the Endorsement Key (EK,
+    an RSA keypair whose public half a certificate authority vouches
+    for) and the Sealed Key (SK, a random symmetric root). Everything
+    else is derived: the Attestation Key (AK) from SK and a salt,
+    memory-encryption keys from SK and the enclave measurement,
+    report keys from SK and the challenger measurement, sealing keys
+    from SK and the enclave measurement. All derivation happens on
+    EMS; CS never sees any of these values. *)
+
+type t
+
+(** [provision rng] burns fresh root keys into the eFuse (the
+    manufacturing step). Deterministic given the RNG. *)
+val provision : Hypertee_util.Xrng.t -> t
+
+(** Public halves, exportable to verifiers. *)
+val ek_public : t -> Hypertee_crypto.Rsa.public
+
+val ak_public : t -> Hypertee_crypto.Rsa.public
+
+(** [sign_with_ek t msg] — platform certificate signature. *)
+val sign_with_ek : t -> bytes -> bytes
+
+(** [sign_with_ak t msg] — enclave quote signature. *)
+val sign_with_ak : t -> bytes -> bytes
+
+(** [memory_key t ~enclave_measurement ~enclave_id] 16-byte AES key
+    for enclave private memory. *)
+val memory_key : t -> enclave_measurement:bytes -> enclave_id:int -> bytes
+
+(** [shm_key t ~owner ~shm_id] dedicated shared-memory key derived
+    from the initial sender's id and the ShmID (Sec. V-A). *)
+val shm_key : t -> owner:int -> shm_id:int -> bytes
+
+(** [report_key t ~challenger_measurement] for local attestation. *)
+val report_key : t -> challenger_measurement:bytes -> bytes
+
+(** [sealing_key t ~enclave_measurement] for data sealing. *)
+val sealing_key : t -> enclave_measurement:bytes -> bytes
+
+(** [swap_key t] key protecting EWB page blobs. *)
+val swap_key : t -> bytes
+
+(** [erase t] overwrites the symmetric roots with random-looking
+    values (decommissioning); all further derivations differ. *)
+val erase : t -> Hypertee_util.Xrng.t -> unit

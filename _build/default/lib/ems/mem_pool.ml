@@ -1,0 +1,127 @@
+module Phys_mem = Hypertee_arch.Phys_mem
+module Bitmap = Hypertee_arch.Bitmap
+
+type t = {
+  rng : Hypertee_util.Xrng.t;
+  mem : Phys_mem.t;
+  bitmap : Bitmap.t;
+  os_request : n:int -> int list;
+  os_return : frames:int list -> unit;
+  mutable parked : int list;
+  mutable threshold : int; (* refill when available falls below this *)
+  mutable refill_events : int;
+  mutable outstanding : int; (* frames taken and not yet given back *)
+}
+
+let refill_batch = 64
+
+let randomize_threshold t =
+  (* Low-water mark between 1/8 and 1/2 of a refill batch. *)
+  t.threshold <- refill_batch / 8 + Hypertee_util.Xrng.int t.rng (refill_batch * 3 / 8)
+
+let park t frames =
+  List.iter
+    (fun f ->
+      Phys_mem.set_owner t.mem f Phys_mem.Pool;
+      Phys_mem.zero t.mem ~frame:f;
+      Bitmap.set t.bitmap ~frame:f)
+    frames;
+  t.parked <- frames @ t.parked
+
+let refill t ~need =
+  let n = Stdlib.max need refill_batch in
+  let got = t.os_request ~n in
+  if got <> [] then begin
+    t.refill_events <- t.refill_events + 1;
+    park t got;
+    randomize_threshold t
+  end;
+  List.length got
+
+let create rng ~mem ~bitmap ~os_request ~os_return ~initial_frames =
+  let t =
+    {
+      rng;
+      mem;
+      bitmap;
+      os_request;
+      os_return;
+      parked = [];
+      threshold = refill_batch / 4;
+      refill_events = 0;
+      outstanding = 0;
+    }
+  in
+  randomize_threshold t;
+  ignore (refill t ~need:initial_frames);
+  t
+
+let available t = List.length t.parked
+let refill_events t = t.refill_events
+let current_threshold t = t.threshold
+
+(* When a take ultimately fails, the refill attempts may have drained
+   the OS free list into the pool; hoarding those frames would starve
+   every non-pool allocation, so shrink back to one batch. *)
+let release_hoard t =
+  let surplus = available t - refill_batch in
+  if surplus > 0 then begin
+    let rec split k acc rest =
+      if k = 0 then (acc, rest)
+      else match rest with [] -> (acc, rest) | f :: tl -> split (k - 1) (f :: acc) tl
+    in
+    let released, rest = split surplus [] t.parked in
+    t.parked <- rest;
+    List.iter
+      (fun f ->
+        Phys_mem.zero t.mem ~frame:f;
+        Bitmap.clear t.bitmap ~frame:f;
+        Phys_mem.set_owner t.mem f Phys_mem.Free)
+      released;
+    t.os_return ~frames:released
+  end
+
+let rec take t ~n =
+  if available t >= n then begin
+    let rec split k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> assert false
+        | f :: tl -> split (k - 1) (f :: acc) tl
+    in
+    let taken, rest = split n [] t.parked in
+    t.parked <- rest;
+    t.outstanding <- t.outstanding + n;
+    (* Frames were zeroed when parked; zero again in case a test
+       scribbled on a parked frame. Bits already set. *)
+    List.iter (fun f -> Phys_mem.zero t.mem ~frame:f) taken;
+    if available t < t.threshold then ignore (refill t ~need:0);
+    Some taken
+  end
+  else if refill t ~need:(n - available t) > 0 then take t ~n
+  else begin
+    release_hoard t;
+    None
+  end
+
+let give_back t frames =
+  t.outstanding <- t.outstanding - List.length frames;
+  park t frames
+
+let surrender t ~n =
+  let n = Stdlib.min n (available t) in
+  let rec split k acc rest =
+    if k = 0 then (acc, rest)
+    else match rest with [] -> (acc, rest) | f :: tl -> split (k - 1) (f :: acc) tl
+  in
+  let released, rest = split n [] t.parked in
+  t.parked <- rest;
+  List.iter
+    (fun f ->
+      Phys_mem.zero t.mem ~frame:f;
+      Bitmap.clear t.bitmap ~frame:f;
+      Phys_mem.set_owner t.mem f Phys_mem.Free)
+    released;
+  t.os_return ~frames:released;
+  released

@@ -1,0 +1,51 @@
+(** Enclave memory pool (paper Sec. IV-A).
+
+    EMS proactively requests frames from the CS OS and parks them in
+    this pool; enclave allocations are then served from the pool
+    without notifying the OS, which is what defeats allocation-based
+    controlled channels — the OS only sees coarse, batched refills at
+    randomized thresholds instead of per-enclave demand.
+
+    Refill policy: when used frames exceed [threshold], the pool asks
+    the OS for [batch] more frames through the [os_request] callback
+    and re-randomizes the threshold, so an attacker cannot
+    reverse-engineer the refill boundary. Frames returning to the
+    pool via EFREE are zeroed before reuse; frames leaving the pool
+    back to the OS (EWB) are handled by the swap module. *)
+
+type t
+
+val create :
+  Hypertee_util.Xrng.t ->
+  mem:Hypertee_arch.Phys_mem.t ->
+  bitmap:Hypertee_arch.Bitmap.t ->
+  os_request:(n:int -> int list) ->
+  os_return:(frames:int list -> unit) ->
+  initial_frames:int ->
+  t
+
+(** Frames currently parked (free for enclave use). *)
+val available : t -> int
+
+(** Cumulative OS refill requests (the only events the OS observes —
+    the allocation-attack test counts these). *)
+val refill_events : t -> int
+
+(** [take t ~n] removes [n] frames from the pool for enclave mapping,
+    zeroing each and setting its bitmap bit. Triggers a proactive
+    refill when the low-water threshold is crossed. [None] when even
+    refilling cannot satisfy the request. *)
+val take : t -> n:int -> int list option
+
+(** [give_back t frames] returns previously [take]n frames (EFREE or
+    EDESTROY): each is zeroed; its bitmap bit stays set while parked
+    (pool frames are enclave memory per Sec. IV-A). *)
+val give_back : t -> int list -> unit
+
+(** [surrender t ~n] removes up to [n] frames from the pool to hand
+    back to the CS OS (EWB path): zeroes contents, clears bitmap
+    bits, marks frames [Free]. Returns the frames released. *)
+val surrender : t -> n:int -> int list
+
+(** Current randomized refill threshold (tests only). *)
+val current_threshold : t -> int

@@ -1,0 +1,48 @@
+type record =
+  | Private of Types.enclave_id
+  | Shared_page of { shm : Types.shm_id; attached : Types.enclave_id list }
+
+type t = { table : (int, record) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 256 }
+
+let claim_private t ~frame ~enclave =
+  if Hashtbl.mem t.table frame then false
+  else begin
+    Hashtbl.replace t.table frame (Private enclave);
+    true
+  end
+
+let claim_shared t ~frame ~shm =
+  if Hashtbl.mem t.table frame then false
+  else begin
+    Hashtbl.replace t.table frame (Shared_page { shm; attached = [] });
+    true
+  end
+
+let attach t ~frame ~enclave =
+  match Hashtbl.find_opt t.table frame with
+  | Some (Shared_page { shm; attached }) when not (List.mem enclave attached) ->
+    Hashtbl.replace t.table frame (Shared_page { shm; attached = enclave :: attached });
+    true
+  | Some (Shared_page _) | Some (Private _) | None -> false
+
+let detach t ~frame ~enclave =
+  match Hashtbl.find_opt t.table frame with
+  | Some (Shared_page { shm; attached }) ->
+    Hashtbl.replace t.table frame
+      (Shared_page { shm; attached = List.filter (fun e -> e <> enclave) attached })
+  | Some (Private _) | None -> ()
+
+let release t ~frame = Hashtbl.remove t.table frame
+let lookup t ~frame = Hashtbl.find_opt t.table frame
+let can_map_private t ~frame = not (Hashtbl.mem t.table frame)
+
+let frames_of t enclave =
+  Hashtbl.fold
+    (fun frame record acc ->
+      match record with Private e when e = enclave -> frame :: acc | _ -> acc)
+    t.table []
+  |> List.sort compare
+
+let size t = Hashtbl.length t.table

@@ -1,0 +1,43 @@
+(** Page-ownership table (paper Sec. IV-B, V-B).
+
+    EMS-private record of which enclave (or shared region) owns each
+    physical frame. Consulted before any mapping to guarantee a frame
+    is never mapped into two enclaves, and extended for shared pages
+    with the set of enclaves currently attached. The property tests
+    check this table against [Phys_mem] ownership. *)
+
+type record =
+  | Private of Types.enclave_id
+  | Shared_page of { shm : Types.shm_id; attached : Types.enclave_id list }
+
+type t
+
+val create : unit -> t
+
+(** [claim_private t ~frame ~enclave] registers ownership. Fails
+    (returns [false]) if the frame is already recorded. *)
+val claim_private : t -> frame:int -> enclave:Types.enclave_id -> bool
+
+(** [claim_shared t ~frame ~shm] marks a frame as part of a shared
+    region (no attachments yet). *)
+val claim_shared : t -> frame:int -> shm:Types.shm_id -> bool
+
+(** [attach t ~frame ~enclave] records an additional enclave mapping
+    of a shared frame; [false] on private frames or duplicates. *)
+val attach : t -> frame:int -> enclave:Types.enclave_id -> bool
+
+val detach : t -> frame:int -> enclave:Types.enclave_id -> unit
+
+(** [release t ~frame] forgets the frame entirely (free / swap-out). *)
+val release : t -> frame:int -> unit
+
+val lookup : t -> frame:int -> record option
+
+(** [can_map_private t ~frame] — the ECREATE/EALLOC pre-check. *)
+val can_map_private : t -> frame:int -> bool
+
+(** All frames owned by an enclave (private only). *)
+val frames_of : t -> Types.enclave_id -> int list
+
+(** Total records (tests). *)
+val size : t -> int

@@ -1,0 +1,55 @@
+(** The EMS Runtime: the software that executes enclave primitives.
+
+    Owns every piece of EMS-private state — control structures, the
+    enclave memory pool, the page-ownership table, shared-memory
+    control structures, root keys — and implements the service
+    routine behind each Table II primitive. CS software reaches it
+    only through the mailbox; [handle] is what an EMS worker core
+    runs for one request packet.
+
+    Every handler follows the paper's discipline: sanity-check the
+    arguments (Sec. III-B, mechanism 3), check the caller's identity
+    against the control structures, perform the state change, then
+    flush management data so CS observes a consistent view. *)
+
+type t
+
+val create :
+  rng:Hypertee_util.Xrng.t ->
+  mem:Hypertee_arch.Phys_mem.t ->
+  bitmap:Hypertee_arch.Bitmap.t ->
+  mee:Hypertee_arch.Mem_encryption.t ->
+  keys:Keymgmt.t ->
+  cost:Cost.t ->
+  os_request:(n:int -> int list) ->
+  os_return:(frames:int list -> unit) ->
+  platform_measurement:bytes ->
+  t
+
+(** [handle t ~sender request] runs one primitive. [sender] is the
+    enclaveID EMCall stamped on the packet ([None] = host software);
+    handlers that act on an enclave's own resources verify it. *)
+val handle : t -> sender:Types.enclave_id option -> Types.request -> Types.response
+
+(** Service-time model for the request (timing layer). *)
+val service_ns : t -> Types.request -> float
+
+(** Lookups used by the platform layer and tests. *)
+val find_enclave : t -> Types.enclave_id -> Enclave.t option
+
+val find_shm : t -> Types.shm_id -> Shm.region option
+val keys : t -> Keymgmt.t
+val pool : t -> Mem_pool.t
+val ownership : t -> Ownership.t
+val platform_measurement : t -> bytes
+
+(** The EMS-private audit log of served/refused primitives. *)
+val audit : t -> Audit.t
+val live_enclaves : t -> Types.enclave_id list
+
+(** Per-opcode served counters (telemetry / tests). *)
+val served : t -> Types.opcode -> int
+
+(** Swap-in support: does the enclave have an EWB-evicted page at
+    [vpn]? (EMCall routes such faults to EMS.) *)
+val has_swapped_page : t -> Types.enclave_id -> vpn:int -> bool

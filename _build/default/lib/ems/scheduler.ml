@@ -1,0 +1,35 @@
+type job = { id : int; run : unit -> unit }
+
+type t = {
+  rng : Hypertee_util.Xrng.t;
+  workers : int;
+  mutable queue : job list; (* reversed arrival order *)
+  mutable log : (int * int) list; (* reversed execution order *)
+  mutable executed : int;
+}
+
+let create rng ~workers =
+  if workers < 1 then invalid_arg "Scheduler.create: need at least one worker";
+  { rng; workers; queue = []; log = []; executed = 0 }
+
+let workers t = t.workers
+let submit t ~id run = t.queue <- { id; run } :: t.queue
+let pending t = List.length t.queue
+
+let dispatch t =
+  let batch = Array.of_list (List.rev t.queue) in
+  t.queue <- [];
+  (* Randomized dispatch order (Sec. III-C): neither arrival order
+     nor anything the submitter controls. *)
+  Hypertee_util.Xrng.shuffle t.rng batch;
+  Array.iteri
+    (fun i job ->
+      let worker = i mod t.workers in
+      job.run ();
+      t.executed <- t.executed + 1;
+      t.log <- (job.id, worker) :: t.log)
+    batch;
+  Array.length batch
+
+let execution_log t = List.rev t.log
+let executed t = t.executed

@@ -1,0 +1,38 @@
+(** EMS-side primitive scheduling (paper Fig. 3 and Sec. III-C).
+
+    Requests arriving from the mailbox are distributed over the EMS
+    worker cores and — as one of the timing-side-channel
+    countermeasures — dispatched in a randomized order rather than
+    arrival order, so a co-located attacker cannot line its own
+    primitives up against a victim's to learn execution order or
+    interleave with specific victim gadgets.
+
+    The functional simulator executes jobs synchronously, so this
+    module models the *order and placement* decisions: a batch of
+    pending jobs is shuffled, dealt round-robin to workers, and run.
+    Service remains at primitive granularity (a job never yields
+    mid-primitive — the property Sec. III-C relies on). *)
+
+type t
+
+val create : Hypertee_util.Xrng.t -> workers:int -> t
+
+val workers : t -> int
+
+(** [submit t ~id job] queues a primitive for execution. [id] is the
+    mailbox request id (used only for the audit trail). *)
+val submit : t -> id:int -> (unit -> unit) -> unit
+
+val pending : t -> int
+
+(** [dispatch t] takes the whole pending batch, shuffles it, assigns
+    jobs to workers round-robin and runs every job to completion.
+    Returns the number of jobs executed. *)
+val dispatch : t -> int
+
+(** Audit trail: (request id, worker) in execution order, most recent
+    batch last. Used by the tests that check the attacker cannot
+    predict ordering. *)
+val execution_log : t -> (int * int) list
+
+val executed : t -> int

@@ -1,0 +1,97 @@
+type connection = { perm : Types.perm; mutable attached_at : int option }
+
+type region = {
+  shm : Types.shm_id;
+  owner : Types.enclave_id;
+  frames : int list;
+  key_id : int;
+  max_perm : Types.perm;
+  legal : (Types.enclave_id, connection) Hashtbl.t;
+}
+
+type t = { regions : (Types.shm_id, region) Hashtbl.t }
+
+let create () = { regions = Hashtbl.create 16 }
+
+let register t ~shm ~owner ~frames ~key_id ~max_perm =
+  let legal = Hashtbl.create 4 in
+  Hashtbl.replace legal owner { perm = max_perm; attached_at = None };
+  let region = { shm; owner; frames; key_id; max_perm; legal } in
+  Hashtbl.replace t.regions shm region;
+  region
+
+let find t shm = Hashtbl.find_opt t.regions shm
+
+let clamp_perm max_perm requested =
+  match (max_perm, requested) with
+  | Types.Read_only, _ -> Types.Read_only
+  | Types.Read_write, p -> p
+
+let grant t ~shm ~caller ~grantee ~perm =
+  match find t shm with
+  | None -> Error Types.No_such_shm
+  | Some region ->
+    if caller <> region.owner then
+      Error (Types.Permission_denied "only the initial sender may grant access")
+    else begin
+      let perm = clamp_perm region.max_perm perm in
+      (match Hashtbl.find_opt region.legal grantee with
+      | Some conn -> Hashtbl.replace region.legal grantee { conn with perm }
+      | None -> Hashtbl.replace region.legal grantee { perm; attached_at = None });
+      Ok ()
+    end
+
+let attach t ~shm ~enclave ~requested_perm ~base_vpn =
+  match find t shm with
+  | None -> Error Types.No_such_shm
+  | Some region -> (
+    match Hashtbl.find_opt region.legal enclave with
+    | None -> Error Types.Not_registered
+    | Some conn -> (
+      match conn.attached_at with
+      | Some _ -> Error (Types.Invalid_argument_ "already attached")
+      | None ->
+        let granted = clamp_perm conn.perm requested_perm in
+        (* An attach may not exceed the granted permission. *)
+        if requested_perm = Types.Read_write && conn.perm = Types.Read_only then
+          Error (Types.Permission_denied "write access not granted")
+        else begin
+          conn.attached_at <- Some base_vpn;
+          Ok granted
+        end))
+
+let detach t ~shm ~enclave =
+  match find t shm with
+  | None -> Error Types.No_such_shm
+  | Some region -> (
+    match Hashtbl.find_opt region.legal enclave with
+    | Some ({ attached_at = Some _; _ } as conn) ->
+      conn.attached_at <- None;
+      Ok ()
+    | Some { attached_at = None; _ } | None ->
+      Error (Types.Invalid_argument_ "not attached"))
+
+let active_connections region =
+  Hashtbl.fold
+    (fun _ conn acc -> match conn.attached_at with Some _ -> acc + 1 | None -> acc)
+    region.legal 0
+
+let destroy t ~shm ~caller =
+  match find t shm with
+  | None -> Error Types.No_such_shm
+  | Some region ->
+    if caller <> region.owner then
+      Error (Types.Permission_denied "only the initial sender may destroy shared memory")
+    else if active_connections region > 0 then
+      Error (Types.Permission_denied "active connections remain")
+    else begin
+      Hashtbl.remove t.regions shm;
+      Ok region
+    end
+
+let attached_perm region enclave =
+  match Hashtbl.find_opt region.legal enclave with
+  | Some { attached_at = Some _; perm } -> Some perm
+  | Some { attached_at = None; _ } | None -> None
+
+let regions t = Hashtbl.fold (fun _ r acc -> r :: acc) t.regions []

@@ -1,0 +1,78 @@
+(** Shared-memory control structures (paper Sec. V).
+
+    Each region (identified by ShmID) records its initial sender
+    (owner), frames, encryption KeyID, the maximum permission the
+    owner declared at ESHMGET, the *legal connection list* populated
+    by ESHMSHR after local attestation, and the active attachments.
+    The access-control rules of Sec. V-C are enforced here:
+
+    - only enclaves on the legal connection list may attach, at no
+      more than their granted permission (anti brute-force ShmID
+      guessing);
+    - only the initial sender may destroy the region, and only when
+      no connection is active (anti malicious-release);
+    - permission updates go through the owner. *)
+
+type connection = { perm : Types.perm; mutable attached_at : int option (* base vpn *) }
+
+type region = {
+  shm : Types.shm_id;
+  owner : Types.enclave_id;
+  frames : int list;
+  key_id : int;
+  max_perm : Types.perm;
+  legal : (Types.enclave_id, connection) Hashtbl.t;
+}
+
+type t
+
+val create : unit -> t
+
+(** [register t ~shm ~owner ~frames ~key_id ~max_perm] records a new
+    region (ESHMGET). The owner is implicitly on the legal list with
+    [max_perm] and not yet attached. *)
+val register :
+  t ->
+  shm:Types.shm_id ->
+  owner:Types.enclave_id ->
+  frames:int list ->
+  key_id:int ->
+  max_perm:Types.perm ->
+  region
+
+val find : t -> Types.shm_id -> region option
+
+(** [grant t ~shm ~caller ~grantee ~perm] — ESHMSHR. Fails unless
+    [caller] is the owner; clamps [perm] to [max_perm]. *)
+val grant :
+  t ->
+  shm:Types.shm_id ->
+  caller:Types.enclave_id ->
+  grantee:Types.enclave_id ->
+  perm:Types.perm ->
+  (unit, Types.error) result
+
+(** [attach t ~shm ~enclave ~requested_perm] — ESHMAT access check.
+    Returns the effective permission. *)
+val attach :
+  t ->
+  shm:Types.shm_id ->
+  enclave:Types.enclave_id ->
+  requested_perm:Types.perm ->
+  base_vpn:int ->
+  (Types.perm, Types.error) result
+
+(** [detach t ~shm ~enclave] — ESHMDT. *)
+val detach : t -> shm:Types.shm_id -> enclave:Types.enclave_id -> (unit, Types.error) result
+
+(** [destroy t ~shm ~caller] — ESHMDES. Only the owner, only with no
+    active connections. Returns the region for frame reclamation. *)
+val destroy : t -> shm:Types.shm_id -> caller:Types.enclave_id -> (region, Types.error) result
+
+(** Active-connection count (attached enclaves). *)
+val active_connections : region -> int
+
+(** Effective permission of an attached enclave, if attached. *)
+val attached_perm : region -> Types.enclave_id -> Types.perm option
+
+val regions : t -> region list

@@ -1,0 +1,155 @@
+type enclave_id = int
+type shm_id = int
+type perm = Read_only | Read_write
+type privilege = Os | User
+
+type opcode =
+  | ECREATE
+  | EADD
+  | EENTER
+  | ERESUME
+  | EEXIT
+  | EDESTROY
+  | EALLOC
+  | EFREE
+  | EWB
+  | ESHMGET
+  | ESHMAT
+  | ESHMDT
+  | ESHMSHR
+  | ESHMDES
+  | EMEAS
+  | EATTEST
+
+let all_opcodes =
+  [
+    ECREATE; EADD; EENTER; ERESUME; EEXIT; EDESTROY; EALLOC; EFREE; EWB; ESHMGET; ESHMAT;
+    ESHMDT; ESHMSHR; ESHMDES; EMEAS; EATTEST;
+  ]
+
+let opcode_name = function
+  | ECREATE -> "ECREATE"
+  | EADD -> "EADD"
+  | EENTER -> "EENTER"
+  | ERESUME -> "ERESUME"
+  | EEXIT -> "EEXIT"
+  | EDESTROY -> "EDESTROY"
+  | EALLOC -> "EALLOC"
+  | EFREE -> "EFREE"
+  | EWB -> "EWB"
+  | ESHMGET -> "ESHMGET"
+  | ESHMAT -> "ESHMAT"
+  | ESHMDT -> "ESHMDT"
+  | ESHMSHR -> "ESHMSHR"
+  | ESHMDES -> "ESHMDES"
+  | EMEAS -> "EMEAS"
+  | EATTEST -> "EATTEST"
+
+(* Table II privilege column. *)
+let required_privilege = function
+  | ECREATE | EADD | EENTER | ERESUME | EDESTROY | EWB | EMEAS -> Os
+  | EEXIT | EALLOC | EFREE | ESHMGET | ESHMAT | ESHMDT | ESHMSHR | ESHMDES | EATTEST -> User
+
+let opcode_semantics = function
+  | ECREATE -> "Create an enclave"
+  | EADD -> "Load codes and data to an enclave"
+  | EENTER -> "Start executing an enclave"
+  | ERESUME -> "Resume enclave execution"
+  | EEXIT -> "Exit enclave execution"
+  | EDESTROY -> "Destroy an enclave"
+  | EALLOC -> "Allocate enclave memory"
+  | EFREE -> "Release enclave memory"
+  | EWB -> "Swap enclave memory"
+  | ESHMGET -> "Apply shared memory from EMS"
+  | ESHMAT -> "Attach shared memory to enclaves"
+  | ESHMDT -> "Detach enclave shared memory"
+  | ESHMSHR -> "Share memory with an enclave"
+  | ESHMDES -> "Destroy enclave shared memory"
+  | EMEAS -> "Measure code and data of enclave"
+  | EATTEST -> "Sign enclave and platform"
+
+type enclave_config = {
+  code_pages : int;
+  data_pages : int;
+  heap_pages : int;
+  stack_pages : int;
+  shared_pages : int;
+}
+
+let default_config =
+  { code_pages = 4; data_pages = 4; heap_pages = 16; stack_pages = 4; shared_pages = 4 }
+
+let total_static_pages c = c.code_pages + c.data_pages + c.heap_pages + c.stack_pages
+
+type request =
+  | Create of { config : enclave_config }
+  | Add of { enclave : enclave_id; vpn : int; data : bytes; executable : bool }
+  | Enter of { enclave : enclave_id }
+  | Resume of { enclave : enclave_id }
+  | Exit of { enclave : enclave_id }
+  | Destroy of { enclave : enclave_id }
+  | Alloc of { enclave : enclave_id; pages : int }
+  | Free of { enclave : enclave_id; vpn : int; pages : int }
+  | Writeback of { pages_hint : int }
+  | Shmget of { owner : enclave_id; pages : int; max_perm : perm }
+  | Shmat of { enclave : enclave_id; shm : shm_id; requested_perm : perm }
+  | Shmdt of { enclave : enclave_id; shm : shm_id }
+  | Shmshr of { owner : enclave_id; shm : shm_id; grantee : enclave_id; perm : perm }
+  | Shmdes of { owner : enclave_id; shm : shm_id }
+  | Measure of { enclave : enclave_id }
+  | Attest of { enclave : enclave_id; user_data : bytes }
+  | Page_fault of { enclave : enclave_id; vpn : int }
+  | Interrupt of { enclave : enclave_id; pc : int; cause : int }
+
+let opcode_of_request = function
+  | Create _ -> ECREATE
+  | Add _ -> EADD
+  | Enter _ -> EENTER
+  | Resume _ | Interrupt _ -> ERESUME
+  | Exit _ -> EEXIT
+  | Destroy _ -> EDESTROY
+  | Alloc _ | Page_fault _ -> EALLOC
+  | Free _ -> EFREE
+  | Writeback _ -> EWB
+  | Shmget _ -> ESHMGET
+  | Shmat _ -> ESHMAT
+  | Shmdt _ -> ESHMDT
+  | Shmshr _ -> ESHMSHR
+  | Shmdes _ -> ESHMDES
+  | Measure _ -> EMEAS
+  | Attest _ -> EATTEST
+
+type error =
+  | No_such_enclave
+  | No_such_shm
+  | Bad_state of string
+  | Out_of_memory
+  | Out_of_key_ids
+  | Permission_denied of string
+  | Not_registered
+  | Invalid_argument_ of string
+
+let error_message = function
+  | No_such_enclave -> "no such enclave"
+  | No_such_shm -> "no such shared-memory region"
+  | Bad_state s -> "bad enclave state: " ^ s
+  | Out_of_memory -> "out of memory"
+  | Out_of_key_ids -> "memory-encryption KeyIDs exhausted"
+  | Permission_denied s -> "permission denied: " ^ s
+  | Not_registered -> "enclave not in the legal connection list"
+  | Invalid_argument_ s -> "invalid argument: " ^ s
+
+type response =
+  | Ok_unit
+  | Ok_created of { enclave : enclave_id }
+  | Ok_entered of { enclave : enclave_id }
+  | Ok_alloc of { base_vpn : int; pages : int }
+  | Ok_writeback of { frames : int list; blobs : (int * bytes) list }
+  | Ok_shm of { shm : shm_id }
+  | Ok_shmat of { base_vpn : int; pages : int }
+  | Ok_measure of { measurement : bytes }
+  | Ok_attest of { quote : bytes }
+  | Err of error
+
+let pp_opcode fmt op = Format.pp_print_string fmt (opcode_name op)
+let pp_error fmt e = Format.pp_print_string fmt (error_message e)

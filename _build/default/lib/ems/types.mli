@@ -1,0 +1,110 @@
+(** Shared vocabulary of the enclave-management interface.
+
+    Defines the 16 enclave primitives of paper Table II with their
+    privilege requirements, the request/response payloads carried
+    through the mailbox, and the error space EMS can report. Both
+    EMCall (CS side) and the EMS runtime depend on these types — they
+    are the wire format of the decoupled architecture. *)
+
+type enclave_id = int
+type shm_id = int
+
+(** Access permission on shared memory. *)
+type perm = Read_only | Read_write
+
+(** Who may invoke a primitive (Table II "Priv." column). *)
+type privilege = Os | User
+
+(** The primitive opcodes of Table II. *)
+type opcode =
+  | ECREATE
+  | EADD
+  | EENTER
+  | ERESUME
+  | EEXIT
+  | EDESTROY
+  | EALLOC
+  | EFREE
+  | EWB
+  | ESHMGET
+  | ESHMAT
+  | ESHMDT
+  | ESHMSHR
+  | ESHMDES
+  | EMEAS
+  | EATTEST
+
+val all_opcodes : opcode list
+val opcode_name : opcode -> string
+val required_privilege : opcode -> privilege
+val opcode_semantics : opcode -> string
+
+(** Static resource declaration from the enclave's configuration file
+    (Sec. III-B: heap/stack sizes etc. declared before compilation). *)
+type enclave_config = {
+  code_pages : int;
+  data_pages : int;
+  heap_pages : int;
+  stack_pages : int;
+  shared_pages : int;  (** HostApp <-> enclave staging region *)
+}
+
+val default_config : enclave_config
+val total_static_pages : enclave_config -> int
+
+(** Request payloads. The [enclave_id] argument EMCall stamps on each
+    packet travels in the mailbox envelope, not here. *)
+type request =
+  | Create of { config : enclave_config }
+  | Add of { enclave : enclave_id; vpn : int; data : bytes; executable : bool }
+  | Enter of { enclave : enclave_id }
+  | Resume of { enclave : enclave_id }
+  | Exit of { enclave : enclave_id }
+  | Destroy of { enclave : enclave_id }
+  | Alloc of { enclave : enclave_id; pages : int }
+  | Free of { enclave : enclave_id; vpn : int; pages : int }
+  | Writeback of { pages_hint : int }  (** CS OS asks for frames to reclaim *)
+  | Shmget of { owner : enclave_id; pages : int; max_perm : perm }
+  | Shmat of { enclave : enclave_id; shm : shm_id; requested_perm : perm }
+  | Shmdt of { enclave : enclave_id; shm : shm_id }
+  | Shmshr of { owner : enclave_id; shm : shm_id; grantee : enclave_id; perm : perm }
+  | Shmdes of { owner : enclave_id; shm : shm_id }
+  | Measure of { enclave : enclave_id }
+  | Attest of { enclave : enclave_id; user_data : bytes }
+  | Page_fault of { enclave : enclave_id; vpn : int }
+      (** forwarded by EMCall when an enclave faults (Sec. III-B) *)
+  | Interrupt of { enclave : enclave_id; pc : int; cause : int }
+      (** EMCall reports an interrupt/exception during enclave
+          execution: EMS saves the context into the ECS and parks the
+          enclave in Interrupted state until ERESUME (Sec. III-B) *)
+
+val opcode_of_request : request -> opcode
+
+type error =
+  | No_such_enclave
+  | No_such_shm
+  | Bad_state of string  (** life-cycle violation, e.g. EADD after EENTER *)
+  | Out_of_memory
+  | Out_of_key_ids
+  | Permission_denied of string
+  | Not_registered  (** ESHMAT without a legal-connection entry *)
+  | Invalid_argument_ of string  (** failed the EMS sanity check *)
+
+val error_message : error -> string
+
+(** Response payloads, matched to requests by mailbox request id. *)
+type response =
+  | Ok_unit
+  | Ok_created of { enclave : enclave_id }
+  | Ok_entered of { enclave : enclave_id }
+  | Ok_alloc of { base_vpn : int; pages : int }
+  | Ok_writeback of { frames : int list; blobs : (int * bytes) list }
+      (** frames handed back to CS OS and their encrypted contents *)
+  | Ok_shm of { shm : shm_id }
+  | Ok_shmat of { base_vpn : int; pages : int }
+  | Ok_measure of { measurement : bytes }
+  | Ok_attest of { quote : bytes }
+  | Err of error
+
+val pp_opcode : Format.formatter -> opcode -> unit
+val pp_error : Format.formatter -> error -> unit

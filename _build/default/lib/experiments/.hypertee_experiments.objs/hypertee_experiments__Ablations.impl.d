@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Hypertee_arch Hypertee_crypto Hypertee_ems Hypertee_util List Stdlib

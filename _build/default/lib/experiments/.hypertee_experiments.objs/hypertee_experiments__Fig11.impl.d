@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Hypertee_arch Hypertee_ems Hypertee_workloads List Stdlib

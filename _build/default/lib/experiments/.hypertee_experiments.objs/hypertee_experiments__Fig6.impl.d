@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Float Hypertee_arch Hypertee_crypto Hypertee_ems Hypertee_sim Hypertee_util List

@@ -1,0 +1,1 @@
+lib/experiments/fig8a.ml: Float Hypertee_arch Hypertee_crypto Hypertee_ems Hypertee_util List

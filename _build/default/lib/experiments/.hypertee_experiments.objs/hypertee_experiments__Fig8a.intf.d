@@ -1,0 +1,1 @@
+lib/experiments/fig8a.mli: Hypertee_arch

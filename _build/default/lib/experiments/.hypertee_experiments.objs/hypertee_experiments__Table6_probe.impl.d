@@ -1,0 +1,1 @@
+lib/experiments/table6_probe.ml: Ablations Bytes Hypertee Hypertee_arch Hypertee_ems Hypertee_util List

@@ -1,0 +1,1 @@
+lib/experiments/table6_probe.mli: Hypertee

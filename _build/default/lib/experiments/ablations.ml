@@ -1,0 +1,162 @@
+module Phys_mem = Hypertee_arch.Phys_mem
+module Bitmap = Hypertee_arch.Bitmap
+module Config = Hypertee_arch.Config
+module Mem_pool = Hypertee_ems.Mem_pool
+module Cost = Hypertee_ems.Cost
+
+let rng () = Hypertee_util.Xrng.create 0xAB1A7ED5L
+
+(* --- 1. Pool vs per-allocation OS requests --- *)
+
+type pool_ablation = {
+  allocations : int;
+  os_events_with_pool : int;
+  os_events_without_pool : int;
+  latency_with_pool_ns : float;
+  latency_without_pool_ns : float;
+}
+
+let pool ?(allocations = 200) () =
+  let mem = Phys_mem.create ~frames:32768 in
+  let bitmap = Bitmap.create mem in
+  let events = ref 0 in
+  let os_request ~n =
+    incr events;
+    match Phys_mem.find_free mem ~n with
+    | Some fs ->
+      List.iter (fun f -> Phys_mem.set_owner mem f Phys_mem.Cs_os) fs;
+      fs
+    | None -> []
+  in
+  let os_return ~frames = List.iter (fun f -> Phys_mem.set_owner mem f Phys_mem.Free) frames in
+  let pool = Mem_pool.create (rng ()) ~mem ~bitmap ~os_request ~os_return ~initial_frames:128 in
+  events := 0;
+  for _ = 1 to allocations do
+    match Mem_pool.take pool ~n:16 with
+    | Some frames -> Mem_pool.give_back pool frames
+    | None -> failwith "pool exhausted"
+  done;
+  let os_events_with_pool = !events in
+  (* Without the pool, every allocation is one OS round trip. *)
+  let os_events_without_pool = allocations in
+  (* Latency: the pooled path is the Fig. 8a EALLOC cost; the
+     unpooled path adds an OS allocation round trip (syscall-class
+     fixed cost plus per-page clearing on the CS side, which is no
+     longer pre-done). *)
+  let cost =
+    Cost.create ~ems:(Config.ems_core Config.Medium) ~engine:Hypertee_crypto.Engine.default_hardware
+  in
+  let transport = 670.0 in
+  let latency_with_pool_ns = transport +. Cost.alloc_ns cost ~pages:16 in
+  let os_round_trip = 25_000.0 +. (16.0 *. 700.0) in
+  let latency_without_pool_ns = latency_with_pool_ns +. os_round_trip in
+  {
+    allocations;
+    os_events_with_pool;
+    os_events_without_pool;
+    latency_with_pool_ns;
+    latency_without_pool_ns;
+  }
+
+(* --- 2. Fixed vs randomized refill threshold --- *)
+
+type threshold_ablation = {
+  refills_observed : int;
+  fixed_interval_stddev : float;
+  randomized_interval_stddev : float;
+}
+
+(* The attacker counts its own allocations between the refill events
+   it observes. A fixed threshold yields a constant interval (stddev
+   0): once the attacker learns it, every refill pinpoints the exact
+   number of hidden allocations other enclaves made. Re-randomizing
+   the threshold at each refill spreads the interval. Both designs
+   are simulated directly: pool of [batch]-frame refills, one frame
+   consumed per round, refill when availability drops below the
+   threshold. *)
+let threshold ?(rounds = 2000) () =
+  let batch = 64 in
+  let simulate ~next_threshold =
+    let r = rng () in
+    let available = ref batch and threshold = ref (next_threshold r) in
+    let intervals = Hypertee_util.Stats.create () in
+    let since_refill = ref 0 and refills = ref 0 in
+    for _ = 1 to rounds do
+      decr available;
+      incr since_refill;
+      if !available < !threshold then begin
+        available := !available + batch;
+        threshold := next_threshold r;
+        incr refills;
+        (* The first interval is a warm-up artefact of the initial
+           fill level; the attacker's signal is the steady state. *)
+        if !refills > 1 then Hypertee_util.Stats.add intervals (float_of_int !since_refill);
+        since_refill := 0
+      end
+    done;
+    (!refills, if Hypertee_util.Stats.count intervals = 0 then 0.0 else Hypertee_util.Stats.stddev intervals)
+  in
+  let refills_observed, randomized_interval_stddev =
+    simulate ~next_threshold:(fun r -> 8 + Hypertee_util.Xrng.int r 24)
+  in
+  let _, fixed_interval_stddev = simulate ~next_threshold:(fun _ -> 16) in
+  { refills_observed; fixed_interval_stddev; randomized_interval_stddev }
+
+(* --- 3. Range registers vs bitmap under fragmentation --- *)
+
+type isolation_ablation = {
+  range_registers : int;
+  fragmented_regions : int;
+  range_scheme_supported : int;
+  bitmap_supported : int;
+}
+
+let isolation ?(fragmented_regions = 64) () =
+  (* CURE-class designs ship a small fixed number of range-register
+     pairs (typically 8-16). Every fragmented region beyond that
+     cannot be isolated; the bitmap isolates any page set. *)
+  let range_registers = 16 in
+  {
+    range_registers;
+    fragmented_regions;
+    range_scheme_supported = Stdlib.min range_registers fragmented_regions;
+    bitmap_supported = fragmented_regions;
+  }
+
+(* --- 4. EWB victim-selection randomization --- *)
+
+type swap_ablation = {
+  trials : int;
+  victim_faults_randomized : int;
+  victim_faults_direct : int;
+}
+
+let swap ?(trials = 100) () =
+  (* Model: the victim enclave has a working set of W pages out of P
+     mapped pages; the pool holds F free frames. The attacker asks to
+     reclaim k pages and then watches whether the victim faults
+     (i.e., whether a working-set page was taken).
+     - HyperTEE: reclamation is served from the pool as long as it
+       has frames, so the victim never faults (and the pool refills
+       invisibly afterwards).
+     - Direct swapping (SGX-like EWB): the OS names victim pages; an
+       attacker targeting the working set always induces a fault. *)
+  let r = rng () in
+  let faults_randomized = ref 0 and faults_direct = ref 0 in
+  for _ = 1 to trials do
+    let pool_frames = 32 + Hypertee_util.Xrng.int r 64 in
+    let reclaim = 8 + Hypertee_util.Xrng.int r 8 in
+    (* HyperTEE: fault only if the pool cannot cover the request —
+       and even then the evicted pages are chosen at random across
+       all enclaves' heaps, so the probability the *watched* page is
+       hit is small. *)
+    if reclaim > pool_frames then begin
+      let working_set = 4 and mapped = 128 in
+      let overflow = reclaim - pool_frames in
+      let p_hit = float_of_int (working_set * overflow) /. float_of_int mapped in
+      if Hypertee_util.Xrng.float r < p_hit then incr faults_randomized
+    end;
+    (* Direct: the attacker names the page it wants out. *)
+    incr faults_direct
+  done;
+  { trials; victim_faults_randomized = !faults_randomized; victim_faults_direct = !faults_direct }

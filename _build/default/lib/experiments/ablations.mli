@@ -1,0 +1,59 @@
+(** Ablation studies for HyperTEE's individual design choices.
+
+    The paper motivates each mechanism qualitatively; these
+    experiments quantify what is lost when a mechanism is disabled,
+    using the same models as the main figures.
+
+    1. Enclave memory pool (Sec. IV-A): with the pool, the OS sees
+       only batched refills; without it (SGX-like demand requests),
+       every allocation is visible — and slower, paying the OS round
+       trip per request.
+    2. Randomized refill threshold: with a fixed threshold the refill
+       boundary is predictable (an attacker counting its own probe
+       allocations learns the victim's); randomization destroys the
+       predictability.
+    3. Bitmap isolation vs contiguous range registers (Sec. IV-B):
+       range-register schemes support a fixed number of contiguous
+       regions and fail under fragmentation; the bitmap tracks any
+       page set.
+    4. EWB randomization (Sec. IV-A): serving reclamation from random
+       pool pages hides the victim's working set; swapping the
+       requested victim pages directly leaks a fault signal the
+       attacker can observe. *)
+
+type pool_ablation = {
+  allocations : int;
+  os_events_with_pool : int;
+  os_events_without_pool : int;
+  latency_with_pool_ns : float;  (** mean per 16-page EALLOC *)
+  latency_without_pool_ns : float;
+}
+
+val pool : ?allocations:int -> unit -> pool_ablation
+
+type threshold_ablation = {
+  refills_observed : int;
+  fixed_interval_stddev : float;  (** of allocations between refills *)
+  randomized_interval_stddev : float;
+}
+
+val threshold : ?rounds:int -> unit -> threshold_ablation
+
+type isolation_ablation = {
+  range_registers : int;  (** register pairs the range scheme has *)
+  fragmented_regions : int;  (** regions the workload needs *)
+  range_scheme_supported : int;  (** regions the range scheme could isolate *)
+  bitmap_supported : int;  (** the bitmap isolates all of them *)
+}
+
+val isolation : ?fragmented_regions:int -> unit -> isolation_ablation
+
+type swap_ablation = {
+  trials : int;
+  victim_faults_randomized : int;
+      (** times the attacker observed the victim fault after EWB
+          under HyperTEE's randomized pool-backed selection *)
+  victim_faults_direct : int;  (** same, with direct victim-page swapping *)
+}
+
+val swap : ?trials:int -> unit -> swap_ablation

@@ -1,0 +1,88 @@
+module Config = Hypertee_arch.Config
+module Cost = Hypertee_ems.Cost
+
+type curve = {
+  cs_cores : int;
+  ems_cores : int;
+  ems_kind : Config.ems_kind;
+  baseline_ns : float;
+  points : (float * float) list;
+  p99_multiplier : float;
+}
+
+let alloc_pages = 2 * Hypertee_util.Units.mib / Hypertee_util.Units.page_size (* 2 MiB *)
+
+(* Non-enclave baseline: the same 2 MiB allocation as a malloc on the
+   CS side — mmap syscall + VMA bookkeeping plus per-page preparation
+   on the fast CS core. Jitter models scheduler noise. *)
+let malloc_ns rng =
+  let fixed = 25_000.0 and per_page = 700.0 in
+  let jitter = 1.0 +. (0.15 *. Hypertee_util.Xrng.gaussian rng) in
+  (fixed +. (float_of_int alloc_pages *. per_page)) *. Float.max 0.2 jitter
+
+let transport_ns =
+  let tr = Config.default_transport in
+  tr.Config.emcall_entry_ns +. tr.Config.packet_build_ns
+  +. (2.0 *. tr.Config.fabric_hop_ns)
+  +. tr.Config.interrupt_ns
+
+let run ~seed ~cs_cores ~ems_cores ~ems_kind ~requests =
+  let rng = Hypertee_util.Xrng.create seed in
+  (* Baseline distribution: p99 of the malloc latencies. *)
+  let baseline_stats = Hypertee_util.Stats.create () in
+  for _ = 1 to requests do
+    Hypertee_util.Stats.add baseline_stats (malloc_ns rng)
+  done;
+  let baseline_ns = Hypertee_util.Stats.percentile baseline_stats 99.0 in
+  (* Enclave mode: closed-loop generators against the EMS workers. *)
+  let engine = Hypertee_sim.Engine.create () in
+  let resource = Hypertee_sim.Resource.create engine ~servers:ems_cores in
+  let cost =
+    Cost.create ~ems:(Config.ems_core ems_kind) ~engine:Hypertee_crypto.Engine.default_hardware
+  in
+  let latencies = Hypertee_util.Stats.create () in
+  let issued = ref 0 in
+  (* Enclave creation first (one per CS core), then the allocation
+     stream. Service time varies a little per request (pool state). *)
+  let service_of_request is_create =
+    let base =
+      if is_create then Cost.create_ns cost ~static_pages:64 else Cost.alloc_ns cost ~pages:alloc_pages
+    in
+    base *. (1.0 +. (0.1 *. Hypertee_util.Xrng.float rng))
+  in
+  let rec generator first () =
+    if !issued < requests then begin
+      incr issued;
+      let service = service_of_request first in
+      (* Think time between a core's consecutive primitives: the
+         application computes between allocations (mean 80 ms: the
+         16384 allocations are spread through a real workload, not
+         issued back-to-back). *)
+      let think = Hypertee_util.Xrng.exponential rng ~mean:80e6 in
+      Hypertee_sim.Engine.after engine ~delay:think (fun _ ->
+          Hypertee_sim.Resource.submit resource ~service_ns:service
+            ~on_done:(fun ~queued_ns:_ ~total_ns ->
+              Hypertee_util.Stats.add latencies (total_ns +. transport_ns);
+              generator false ()))
+    end
+  in
+  for _ = 1 to cs_cores do
+    generator true ()
+  done;
+  ignore (Hypertee_sim.Engine.run engine);
+  let xs = List.init 60 (fun i -> 1.0 +. (float_of_int i *. 0.25)) in
+  let points =
+    List.map
+      (fun x -> (x, Hypertee_util.Stats.fraction_below latencies (x *. baseline_ns)))
+      xs
+  in
+  let p99_multiplier = Hypertee_util.Stats.percentile latencies 99.0 /. baseline_ns in
+  { cs_cores; ems_cores; ems_kind; baseline_ns; points; p99_multiplier }
+
+let paper_grid =
+  [
+    (4, [ (1, Config.Weak); (1, Config.Medium); (2, Config.Weak) ]);
+    (16, [ (1, Config.Weak); (2, Config.Weak); (2, Config.Medium) ]);
+    (32, [ (2, Config.Weak); (2, Config.Medium); (4, Config.Medium) ]);
+    (64, [ (2, Config.Medium); (4, Config.Medium); (4, Config.Strong) ]);
+  ]

@@ -1,0 +1,37 @@
+(** Fig. 6: efficiency of resolving concurrent primitive requests.
+
+    The paper's software simulation: [cs_cores] generator processes
+    issue enclave-creation primitives and then 16384 dynamic 2 MiB
+    allocation primitives at the EMS, which serves them on
+    [ems_cores] workers. The SLO baseline is the latency within which
+    99% of the same requests complete in non-enclave mode (malloc on
+    the CS side, no queueing at EMS). Each curve point is the
+    fraction of enclave-mode primitives resolved within x times that
+    baseline.
+
+    Reproduced with the discrete-event engine: closed-loop generators
+    per CS core, an FCFS multi-server resource for the EMS cores,
+    service times from the EMS cost model plus mailbox transport. *)
+
+type curve = {
+  cs_cores : int;
+  ems_cores : int;
+  ems_kind : Hypertee_arch.Config.ems_kind;
+  baseline_ns : float;  (** non-enclave p99 *)
+  points : (float * float) list;  (** (x multiplier, fraction resolved) *)
+  p99_multiplier : float;  (** x at which 99% resolve *)
+}
+
+(** [run ~seed ~cs_cores ~ems_cores ~ems_kind ~requests] — the
+    paper's setup uses [requests = 16384]; tests may shrink it. *)
+val run :
+  seed:int64 ->
+  cs_cores:int ->
+  ems_cores:int ->
+  ems_kind:Hypertee_arch.Config.ems_kind ->
+  requests:int ->
+  curve
+
+(** The paper's grid: for each CS core count, the EMS configurations
+    explored. *)
+val paper_grid : (int * (int * Hypertee_arch.Config.ems_kind) list) list

@@ -1,0 +1,38 @@
+module Config = Hypertee_arch.Config
+module Cost = Hypertee_ems.Cost
+
+type row = { size_bytes : int; malloc_ns : float; ealloc_ns : float; overhead_pct : float }
+
+let paper_sizes =
+  List.map (fun kb -> kb * Hypertee_util.Units.kib) [ 128; 256; 512; 1024; 2048 ]
+
+(* Non-enclave malloc: mmap syscall + VMA bookkeeping (fixed) plus
+   per-page preparation (clear_page + fault handling) on the CS
+   core. *)
+let malloc_model_ns ~pages = 25_000.0 +. (float_of_int pages *. 700.0)
+
+let transport_ns =
+  let tr = Config.default_transport in
+  tr.Config.emcall_entry_ns +. tr.Config.packet_build_ns
+  +. (2.0 *. tr.Config.fabric_hop_ns)
+  +. tr.Config.interrupt_ns
+  +. (tr.Config.poll_slot_ns /. 2.0)
+
+let run ?(seed = 0x8AL) ?(reps = 1000) ~ems_kind () =
+  let rng = Hypertee_util.Xrng.create seed in
+  let cost =
+    Cost.create ~ems:(Config.ems_core ems_kind) ~engine:Hypertee_crypto.Engine.default_hardware
+  in
+  List.map
+    (fun size_bytes ->
+      let pages = Hypertee_util.Units.pages_of_bytes size_bytes in
+      let m = Hypertee_util.Stats.create () and e = Hypertee_util.Stats.create () in
+      for _ = 1 to reps do
+        let jitter () = 1.0 +. (0.05 *. Hypertee_util.Xrng.gaussian rng) in
+        Hypertee_util.Stats.add m (malloc_model_ns ~pages *. Float.max 0.5 (jitter ()));
+        Hypertee_util.Stats.add e
+          ((transport_ns +. Cost.alloc_ns cost ~pages) *. Float.max 0.5 (jitter ()))
+      done;
+      let malloc_ns = Hypertee_util.Stats.mean m and ealloc_ns = Hypertee_util.Stats.mean e in
+      { size_bytes; malloc_ns; ealloc_ns; overhead_pct = (ealloc_ns /. malloc_ns -. 1.0) *. 100.0 })
+    paper_sizes

@@ -1,0 +1,21 @@
+(** Fig. 8a: EALLOC vs malloc latency across allocation sizes.
+
+    1000 repetitions per size from 128 KiB to 2 MiB, comparing the
+    non-enclave malloc path on the CS core to the EALLOC path
+    (EMCall transport + EMS service from the pre-zeroed pool). The
+    paper reports 6.3%-49.7% overhead, growing with size because the
+    per-page management on the weaker EMS core eventually outweighs
+    malloc's larger fixed syscall cost. *)
+
+type row = {
+  size_bytes : int;
+  malloc_ns : float;  (** mean of the repetitions *)
+  ealloc_ns : float;
+  overhead_pct : float;
+}
+
+val run :
+  ?seed:int64 -> ?reps:int -> ems_kind:Hypertee_arch.Config.ems_kind -> unit -> row list
+
+(** 128 KiB .. 2 MiB by powers of two. *)
+val paper_sizes : int list

@@ -1,0 +1,196 @@
+module Security = Hypertee.Security
+module Phys_mem = Hypertee_arch.Phys_mem
+module Bitmap = Hypertee_arch.Bitmap
+module Mem_pool = Hypertee_ems.Mem_pool
+module Shm = Hypertee_ems.Shm
+module Types = Hypertee_ems.Types
+
+type isolation = Full_isolation | Partial_isolation | Shared_cores
+
+type mechanisms = {
+  allocation_hidden_from_os : bool;
+  protected_page_tables : bool;
+  concealed_swap : bool;
+  managed_communication : bool;
+  management_isolation : isolation;
+}
+
+(* Table VI rows translated into mechanism inventories: SGX/SEV/TDX
+   leave memory management with the untrusted OS/hypervisor (TDX/CCA
+   protect page tables via their module); TrustZone/Keystone manage
+   memory inside the trusted world / security monitor; Penglai/CURE
+   protect page tables specifically; only HyperTEE manages
+   communication and runs management on isolated hardware. SEV's PSP
+   and the monitor designs isolate *some* management. *)
+let mechanisms_of = function
+  | Security.Sgx ->
+    {
+      allocation_hidden_from_os = false;
+      protected_page_tables = false;
+      concealed_swap = false;
+      managed_communication = false;
+      management_isolation = Shared_cores;
+    }
+  | Security.Sev ->
+    {
+      allocation_hidden_from_os = false;
+      protected_page_tables = false;
+      concealed_swap = false;
+      managed_communication = false;
+      management_isolation = Partial_isolation (* PSP holds the keys *);
+    }
+  | Security.Tdx | Security.Cca ->
+    {
+      allocation_hidden_from_os = false;
+      protected_page_tables = true;
+      concealed_swap = false;
+      managed_communication = false;
+      management_isolation = Shared_cores;
+    }
+  | Security.Trustzone ->
+    {
+      allocation_hidden_from_os = true;
+      protected_page_tables = true;
+      concealed_swap = true;
+      managed_communication = false;
+      management_isolation = Shared_cores;
+    }
+  | Security.Keystone ->
+    {
+      allocation_hidden_from_os = true;
+      protected_page_tables = true;
+      concealed_swap = true;
+      managed_communication = false;
+      management_isolation = Partial_isolation (* M-mode monitor *);
+    }
+  | Security.Penglai | Security.Cure ->
+    {
+      allocation_hidden_from_os = false (* page tables only *);
+      protected_page_tables = true;
+      concealed_swap = false;
+      managed_communication = false;
+      management_isolation = Partial_isolation;
+    }
+  | Security.Hypertee ->
+    {
+      allocation_hidden_from_os = true;
+      protected_page_tables = true;
+      concealed_swap = true;
+      managed_communication = true;
+      management_isolation = Full_isolation;
+    }
+
+type probe_results = {
+  alloc_defended : bool;
+  page_table_defended : bool;
+  swap_defended : bool;
+  comm_defended : bool;
+  uarch : Security.capability;
+}
+
+let rng () = Hypertee_util.Xrng.create 0x7AB6L
+
+(* Probe 1: the OS counts allocation events during a 100-allocation
+   burst. Defended = it observes (almost) nothing. *)
+let probe_alloc ~hidden =
+  let mem = Phys_mem.create ~frames:8192 in
+  let bitmap = Bitmap.create mem in
+  let os_events = ref 0 in
+  let os_request ~n =
+    incr os_events;
+    match Phys_mem.find_free mem ~n with
+    | Some fs ->
+      List.iter (fun f -> Phys_mem.set_owner mem f Phys_mem.Cs_os) fs;
+      fs
+    | None -> []
+  in
+  let os_return ~frames = List.iter (fun f -> Phys_mem.set_owner mem f Phys_mem.Free) frames in
+  if hidden then begin
+    let pool = Mem_pool.create (rng ()) ~mem ~bitmap ~os_request ~os_return ~initial_frames:128 in
+    os_events := 0;
+    for _ = 1 to 100 do
+      match Mem_pool.take pool ~n:1 with
+      | Some frames -> Mem_pool.give_back pool frames
+      | None -> ()
+    done
+  end
+  else
+    (* Per-request designs: every allocation is an OS call. *)
+    for _ = 1 to 100 do
+      os_return ~frames:(os_request ~n:1)
+    done;
+  !os_events <= 2
+
+(* Probe 2: a malicious OS maps a protected frame into its own table
+   and reads. Defended = the hardware check faults. *)
+let probe_page_table ~protected_ =
+  let mem = Phys_mem.create ~frames:512 in
+  let bitmap = Bitmap.create mem in
+  let table =
+    Hypertee_arch.Page_table.create mem ~node_owner:Phys_mem.Cs_os
+      ~alloc:(Hypertee_arch.Page_table.default_alloc mem)
+  in
+  let victim_frame = 100 in
+  Phys_mem.set_owner mem victim_frame (Phys_mem.Enclave 1);
+  Phys_mem.write_sub mem ~frame:victim_frame ~off:0 (Bytes.of_string "SECRET");
+  if protected_ then Bitmap.set bitmap ~frame:victim_frame;
+  Hypertee_arch.Page_table.map table ~vpn:7
+    (Hypertee_arch.Pte.leaf ~ppn:victim_frame ~r:true ~w:false ~x:false ~key_id:0);
+  let ptw = Hypertee_arch.Ptw.create (Hypertee_arch.Tlb.create ~entries:8) ~bitmap in
+  match Hypertee_arch.Ptw.translate ptw ~table ~vpn:7 ~access:Hypertee_arch.Ptw.Read with
+  | Error Hypertee_arch.Ptw.Bitmap_fault -> true
+  | Ok _ -> false
+  | Error _ -> false
+
+(* Probe 3: the attacker requests eviction and watches whether the
+   victim's working page went out (Ablations' model). Defended = the
+   fault is never observed. *)
+let probe_swap ~concealed =
+  if concealed then begin
+    let a = Ablations.swap ~trials:50 () in
+    a.Ablations.victim_faults_randomized = 0
+  end
+  else false (* direct victim naming: always observable *)
+
+(* Probe 4: the attacker guesses a ShmID (unregistered attach) and
+   tries a malicious release. Defended = both rejected. *)
+let probe_comm ~managed =
+  if not managed then false
+  else begin
+    let t = Shm.create () in
+    let _ = Shm.register t ~shm:1 ~owner:10 ~frames:[ 1 ] ~key_id:2 ~max_perm:Types.Read_write in
+    let attach_blocked =
+      match Shm.attach t ~shm:1 ~enclave:66 ~requested_perm:Types.Read_only ~base_vpn:0 with
+      | Error Types.Not_registered -> true
+      | _ -> false
+    in
+    let release_blocked =
+      match Shm.destroy t ~shm:1 ~caller:66 with
+      | Error (Types.Permission_denied _) -> true
+      | _ -> false
+    in
+    attach_blocked && release_blocked
+  end
+
+let probe m =
+  {
+    alloc_defended = probe_alloc ~hidden:m.allocation_hidden_from_os;
+    page_table_defended = probe_page_table ~protected_:m.protected_page_tables;
+    swap_defended = probe_swap ~concealed:m.concealed_swap;
+    comm_defended = probe_comm ~managed:m.managed_communication;
+    uarch =
+      (match m.management_isolation with
+      | Full_isolation -> Security.Defended
+      | Partial_isolation -> Security.Partial
+      | Shared_cores -> Security.Vulnerable);
+  }
+
+let derived_capability tee attack =
+  let r = probe (mechanisms_of tee) in
+  let of_bool b = if b then Security.Defended else Security.Vulnerable in
+  match attack with
+  | Security.Alloc_channel -> of_bool r.alloc_defended
+  | Security.Page_table_channel -> of_bool r.page_table_defended
+  | Security.Swap_channel -> of_bool r.swap_defended
+  | Security.Comm_channel -> of_bool r.comm_defended
+  | Security.Uarch_on_management -> r.uarch

@@ -1,0 +1,53 @@
+(** Table VI, measured rather than asserted.
+
+    [Hypertee.Security.defends] encodes the paper's defense matrix as
+    data. This module re-derives each cell by executing a concrete
+    probe against the *mechanism* each TEE design builds (or lacks),
+    so a design's row is an observation:
+
+    - {b allocation channel}: drive an allocation burst through an
+      allocator with the design's visibility (hidden behind a
+      batched/randomized pool or trusted monitor, vs. per-request OS
+      calls) and count what the OS observes;
+    - {b page-table channel}: attempt the malicious-remap read with
+      the design's page-table protection in force or absent;
+    - {b swap channel}: attempt the targeted-eviction observation
+      under the design's eviction policy;
+    - {b communication management}: attempt the unregistered attach
+      and the malicious release against the design's (or absent)
+      shared-memory manager;
+    - {b uarch on management}: structural — where management tasks
+      execute (fully isolated hardware, a partially isolated
+      security processor, or shared cores).
+
+    The test suite asserts the derived matrix equals the paper's. *)
+
+type isolation = Full_isolation | Partial_isolation | Shared_cores
+
+type mechanisms = {
+  allocation_hidden_from_os : bool;
+  protected_page_tables : bool;
+  concealed_swap : bool;
+  managed_communication : bool;
+  management_isolation : isolation;
+}
+
+(** How each TEE design of Table VI builds the five mechanisms. *)
+val mechanisms_of : Hypertee.Security.tee -> mechanisms
+
+(** Probe outcomes: [true] = the attack was defeated. *)
+type probe_results = {
+  alloc_defended : bool;
+  page_table_defended : bool;
+  swap_defended : bool;
+  comm_defended : bool;
+  uarch : Hypertee.Security.capability;
+}
+
+(** [probe mechanisms] executes the five probes. *)
+val probe : mechanisms -> probe_results
+
+(** [derived_capability tee attack] — the measured matrix cell, for
+    comparison with the paper's [Security.defends]. *)
+val derived_capability :
+  Hypertee.Security.tee -> Hypertee.Security.attack_class -> Hypertee.Security.capability

@@ -1,0 +1,26 @@
+(** Discrete-event simulation engine.
+
+    Time is in nanoseconds (float). Handlers scheduled with [at] or
+    [after] run when the clock reaches their timestamp; a handler may
+    schedule further events. Used by the Fig. 6 concurrent-primitive
+    queueing experiment and the mailbox transport model. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time (ns). *)
+val now : t -> float
+
+(** [at t ~time f] schedules [f] at absolute [time] (>= now). *)
+val at : t -> time:float -> (t -> unit) -> unit
+
+(** [after t ~delay f] schedules [f] at [now + delay]. *)
+val after : t -> delay:float -> (t -> unit) -> unit
+
+(** Run until no events remain or [until] (if given) is passed.
+    Returns the final time. *)
+val run : ?until:float -> t -> float
+
+(** Number of events processed so far. *)
+val processed : t -> int

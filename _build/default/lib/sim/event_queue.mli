@@ -1,0 +1,18 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Ties are broken by insertion order so simulations are
+    deterministic regardless of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push q ~time x] schedules [x] at [time]. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** Earliest event (and its time); [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+val peek_time : 'a t -> float option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

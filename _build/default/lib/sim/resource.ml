@@ -1,0 +1,38 @@
+type job = {
+  arrival : float;
+  service_ns : float;
+  on_done : queued_ns:float -> total_ns:float -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  servers : int;
+  mutable busy : int;
+  waiting : job Queue.t;
+  mutable completed : int;
+}
+
+let create engine ~servers =
+  if servers < 1 then invalid_arg "Resource.create: need at least one server";
+  { engine; servers; busy = 0; waiting = Queue.create (); completed = 0 }
+
+let rec start t job =
+  t.busy <- t.busy + 1;
+  let started = Engine.now t.engine in
+  Engine.after t.engine ~delay:job.service_ns (fun _ ->
+      t.busy <- t.busy - 1;
+      t.completed <- t.completed + 1;
+      let finished = Engine.now t.engine in
+      job.on_done ~queued_ns:(started -. job.arrival) ~total_ns:(finished -. job.arrival);
+      dispatch t)
+
+and dispatch t =
+  if t.busy < t.servers && not (Queue.is_empty t.waiting) then start t (Queue.pop t.waiting)
+
+let submit t ~service_ns ~on_done =
+  let job = { arrival = Engine.now t.engine; service_ns; on_done } in
+  if t.busy < t.servers then start t job else Queue.push job t.waiting
+
+let queue_length t = Queue.length t.waiting
+let busy t = t.busy
+let completed t = t.completed

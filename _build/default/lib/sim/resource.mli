@@ -1,0 +1,26 @@
+(** Multi-server FCFS resource for the discrete-event engine.
+
+    Models a pool of identical servers (e.g. the EMS cores serving
+    primitive requests in Fig. 6): jobs arrive, wait in FIFO order
+    for a free server, hold it for their service time, then release
+    it and run a completion callback. *)
+
+type t
+
+(** [create engine ~servers] with [servers >= 1]. *)
+val create : Engine.t -> servers:int -> t
+
+(** [submit t ~service_ns ~on_done] enqueues a job at the current
+    simulated time. [on_done ~queued_ns ~total_ns] fires at
+    completion with the time spent waiting and the total
+    queueing+service latency. *)
+val submit : t -> service_ns:float -> on_done:(queued_ns:float -> total_ns:float -> unit) -> unit
+
+(** Jobs currently waiting (excludes in-service). *)
+val queue_length : t -> int
+
+(** Servers currently busy. *)
+val busy : t -> int
+
+(** Total jobs completed. *)
+val completed : t -> int

@@ -1,0 +1,1 @@
+lib/util/xrng.ml: Array Bytes Char Float Hashtbl Int64

@@ -1,0 +1,89 @@
+let hex_digit n = "0123456789abcdef".[n]
+
+let to_hex b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) (hex_digit (c lsr 4));
+    Bytes.set out ((2 * i) + 1) (hex_digit (c land 0xF))
+  done;
+  Bytes.unsafe_to_string out
+
+let of_hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Bytes_ext.of_hex: not a hex digit"
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Bytes_ext.of_hex: odd length";
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let hi = of_hex_digit s.[2 * i] and lo = of_hex_digit s.[(2 * i) + 1] in
+    Bytes.set out i (Char.chr ((hi lsl 4) lor lo))
+  done;
+  out
+
+let get_u32_be b off =
+  let g i = Int32.of_int (Char.code (Bytes.get b (off + i))) in
+  let ( <| ) x k = Int32.shift_left x k in
+  Int32.logor
+    (Int32.logor (g 0 <| 24) (g 1 <| 16))
+    (Int32.logor (g 2 <| 8) (g 3))
+
+let set_u32_be b off v =
+  let s i k = Bytes.set b (off + i) (Char.chr (Int32.to_int (Int32.shift_right_logical v k) land 0xFF)) in
+  s 0 24; s 1 16; s 2 8; s 3 0
+
+let get_u64_le b off =
+  let acc = ref 0L in
+  for i = 7 downto 0 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  !acc
+
+let set_u64_le b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+  done
+
+let get_u64_be b off =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  !acc
+
+let set_u64_be b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * (7 - i))) land 0xFF))
+  done
+
+let xor_into ~src ~dst =
+  if Bytes.length src <> Bytes.length dst then invalid_arg "Bytes_ext.xor_into: length mismatch";
+  for i = 0 to Bytes.length src - 1 do
+    Bytes.unsafe_set dst i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor Char.code (Bytes.unsafe_get src i)))
+  done
+
+let xor a b =
+  let out = Bytes.copy a in
+  xor_into ~src:b ~dst:out;
+  out
+
+let equal_ct a b =
+  if Bytes.length a <> Bytes.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to Bytes.length a - 1 do
+      acc := !acc lor (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i))
+    done;
+    !acc = 0
+  end
+
+let fill_zero b = Bytes.fill b 0 (Bytes.length b) '\000'

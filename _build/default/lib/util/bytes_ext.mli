@@ -1,0 +1,37 @@
+(** Byte-string helpers shared by the crypto and memory subsystems. *)
+
+(** Lowercase hex encoding of a byte string. *)
+val to_hex : bytes -> string
+
+(** Inverse of [to_hex]. Raises [Invalid_argument] on odd length or
+    non-hex characters. *)
+val of_hex : string -> bytes
+
+(** Big-endian 32-bit load/store. Offsets are byte offsets. *)
+val get_u32_be : bytes -> int -> int32
+
+val set_u32_be : bytes -> int -> int32 -> unit
+
+(** Little-endian 64-bit load/store. *)
+val get_u64_le : bytes -> int -> int64
+
+val set_u64_le : bytes -> int -> int64 -> unit
+
+(** Big-endian 64-bit load/store. *)
+val get_u64_be : bytes -> int -> int64
+
+val set_u64_be : bytes -> int -> int64 -> unit
+
+(** [xor_into ~src ~dst] xors [src] into [dst] in place; lengths must
+    match. *)
+val xor_into : src:bytes -> dst:bytes -> unit
+
+(** [xor a b] is a fresh buffer [a XOR b]; lengths must match. *)
+val xor : bytes -> bytes -> bytes
+
+(** Constant-time-style equality (compares every byte; no early
+    exit). *)
+val equal_ct : bytes -> bytes -> bool
+
+(** [fill_zero b] overwrites [b] with zero bytes (key erasure). *)
+val fill_zero : bytes -> unit

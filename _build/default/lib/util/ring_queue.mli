@@ -1,0 +1,34 @@
+(** Bounded FIFO ring queue.
+
+    Models the hardware ring task queues of EMCall (Tx/Rx) and the
+    mailbox request/response queues (paper Fig. 3). Bounded because
+    hardware queues have fixed capacity; [push] reports back-pressure
+    instead of growing. *)
+
+type 'a t
+
+(** [create ~capacity] is an empty queue. Requires [capacity > 0]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+(** [push q x] enqueues [x]; [false] when the queue is full
+    (hardware back-pressure, caller must retry). *)
+val push : 'a t -> 'a -> bool
+
+(** [pop q] dequeues the oldest element, [None] when empty. *)
+val pop : 'a t -> 'a option
+
+(** [peek q] is the oldest element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** Oldest-first listing, for inspection in tests. *)
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit
+
+(** [iter f q] applies [f] oldest-first without dequeuing. *)
+val iter : ('a -> unit) -> 'a t -> unit

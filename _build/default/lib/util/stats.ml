@@ -1,0 +1,103 @@
+type t = {
+  mutable data : float array;
+  mutable len : int;
+  mutable sum : float;
+  mutable m : float; (* Welford running mean *)
+  mutable s : float; (* Welford running sum of squares of deltas *)
+  mutable mn : float;
+  mutable mx : float;
+  mutable sorted : float array option; (* cache, invalidated on add *)
+}
+
+let create () =
+  {
+    data = Array.make 16 0.0;
+    len = 0;
+    sum = 0.0;
+    m = 0.0;
+    s = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+    sorted = None;
+  }
+
+let add t x =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0.0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.m in
+  t.m <- t.m +. (delta /. float_of_int t.len);
+  t.s <- t.s +. (delta *. (x -. t.m));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  t.sorted <- None
+
+let count t = t.len
+let total t = t.sum
+let mean t = if t.len = 0 then 0.0 else t.sum /. float_of_int t.len
+
+let require_nonempty t name =
+  if t.len = 0 then invalid_arg (Printf.sprintf "Stats.%s: empty" name)
+
+let min t =
+  require_nonempty t "min";
+  t.mn
+
+let max t =
+  require_nonempty t "max";
+  t.mx
+
+let stddev t = if t.len = 0 then 0.0 else sqrt (t.s /. float_of_int t.len)
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.sub t.data 0 t.len in
+    Array.sort compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  require_nonempty t "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = sorted t in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+  end
+
+let samples t = Array.sub t.data 0 t.len
+
+let fraction_below t x =
+  if t.len = 0 then 0.0
+  else begin
+    let a = sorted t in
+    (* Binary search for the first element > x. *)
+    let rec go lo hi = if lo >= hi then lo else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) <= x then go (mid + 1) hi else go lo mid
+    in
+    float_of_int (go 0 (Array.length a)) /. float_of_int t.len
+  end
+
+let mean_of a =
+  if Array.length a = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let geomean_of a =
+  if Array.length a = 0 then 0.0
+  else begin
+    let log_sum = Array.fold_left (fun acc x -> acc +. log x) 0.0 a in
+    exp (log_sum /. float_of_int (Array.length a))
+  end

@@ -1,0 +1,38 @@
+(** Descriptive statistics over float samples.
+
+    Used by the benchmark harness (percentile/SLO curves of Fig. 6,
+    averages of Figs. 7–12) and by simulator counters. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one observation. *)
+val add : t -> float -> unit
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+
+(** Sample minimum / maximum. Raise [Invalid_argument] when empty. *)
+val min : t -> float
+
+val max : t -> float
+
+(** Population standard deviation (Welford). *)
+val stddev : t -> float
+
+(** [percentile t p] with [p] in \[0, 100\], linear interpolation
+    between closest ranks. Raises [Invalid_argument] when empty. *)
+val percentile : t -> float -> float
+
+(** All recorded samples, in insertion order. *)
+val samples : t -> float array
+
+(** [fraction_below t x] is the empirical CDF at [x]. *)
+val fraction_below : t -> float -> float
+
+(** Summary helpers for whole arrays. *)
+val mean_of : float array -> float
+
+val geomean_of : float array -> float

@@ -1,0 +1,48 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ~headers ?aligns rows =
+  let ncols =
+    List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) (List.length headers) rows
+  in
+  let aligns =
+    match aligns with
+    | None -> Array.make ncols Left
+    | Some l ->
+      let a = Array.make ncols Left in
+      List.iteri (fun i al -> if i < ncols then a.(i) <- al) l;
+      a
+  in
+  let normalize row =
+    let row = Array.of_list row in
+    Array.init ncols (fun i -> if i < Array.length row then row.(i) else "")
+  in
+  let headers = normalize headers in
+  let rows = List.map normalize rows in
+  let widths = Array.map String.length headers in
+  let widen row = Array.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row in
+  List.iter widen rows;
+  let sep =
+    let dashes = Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths) in
+    "+" ^ String.concat "+" dashes ^ "+"
+  in
+  let line row =
+    let cells =
+      Array.to_list (Array.mapi (fun i cell -> " " ^ pad aligns.(i) widths.(i) cell ^ " ") row)
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((sep :: line headers :: sep :: body) @ [ sep ])
+
+let print ~headers ?aligns rows = print_endline (render ~headers ?aligns rows)
+let fmt_f ~digits v = Printf.sprintf "%.*f" digits v
+let pct v = Printf.sprintf "%.1f%%" v
+let speedup v = Printf.sprintf "%.1fx" v

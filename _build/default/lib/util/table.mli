@@ -1,0 +1,24 @@
+(** ASCII table rendering for the benchmark harness.
+
+    Every experiment prints its rows through this module so that the
+    paper-vs-measured output has one consistent look. *)
+
+type align = Left | Right
+
+(** [render ~headers ?aligns rows] lays out a boxed table. [aligns]
+    defaults to left for every column; short rows are padded. *)
+val render : headers:string list -> ?aligns:align list -> string list list -> string
+
+(** [print ~headers ?aligns rows] renders to stdout with a trailing
+    newline. *)
+val print : headers:string list -> ?aligns:align list -> string list list -> unit
+
+(** Format a float with [digits] decimals, e.g. [fmt_f ~digits:1 2.04
+    = "2.0"]. *)
+val fmt_f : digits:int -> float -> string
+
+(** Percentage with one decimal and a "%" suffix. *)
+val pct : float -> string
+
+(** Speedup like "4.1x". *)
+val speedup : float -> string

@@ -1,0 +1,20 @@
+let kib = 1024
+let mib = 1024 * kib
+let gib = 1024 * mib
+let page_size = 4 * kib
+let pages_of_bytes n = (n + page_size - 1) / page_size
+
+let show_bytes n =
+  let f = float_of_int n in
+  if n >= gib then Printf.sprintf "%.1fGiB" (f /. float_of_int gib)
+  else if n >= mib then Printf.sprintf "%.1fMiB" (f /. float_of_int mib)
+  else if n >= kib then Printf.sprintf "%.1fKiB" (f /. float_of_int kib)
+  else Printf.sprintf "%dB" n
+
+let ns_of_cycles ~cycles ~hz = cycles /. hz *. 1e9
+
+let show_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2fus" (ns /. 1e3)
+  else Printf.sprintf "%.0fns" ns

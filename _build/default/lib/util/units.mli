@@ -1,0 +1,20 @@
+(** Size/time constants and human-readable formatting. *)
+
+val kib : int
+val mib : int
+val gib : int
+
+(** Page size used throughout the platform (4 KiB). *)
+val page_size : int
+
+(** [pages_of_bytes n] is the page count covering [n] bytes. *)
+val pages_of_bytes : int -> int
+
+(** "4.0KiB", "2.0MiB", ... *)
+val show_bytes : int -> string
+
+(** Cycles to nanoseconds at a given clock (Hz). *)
+val ns_of_cycles : cycles:float -> hz:float -> float
+
+(** "1.2us", "3.4ms", ... from nanoseconds. *)
+val show_ns : float -> string

@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generator.
+
+    The whole reproduction must be reproducible given a seed, so no
+    module may use [Stdlib.Random]'s global state. [Xrng] implements
+    splitmix64 (for seeding) feeding xoshiro256** (for the stream),
+    the combination recommended by the xoshiro authors. Each
+    simulation component owns its own generator so that adding a
+    component does not perturb the random stream of the others. *)
+
+type t
+
+(** [create seed] makes an independent generator from a 64-bit seed. *)
+val create : int64 -> t
+
+(** [split t] derives a new generator whose stream is independent of
+    [t]'s future output. Used to hand sub-components their own RNG. *)
+val split : t -> t
+
+(** [copy t] duplicates the generator state (same future stream). *)
+val copy : t -> t
+
+(** Next raw 64-bit value. *)
+val next64 : t -> int64
+
+(** [int t bound] is uniform in \[0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** [float t] is uniform in \[0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** Exponentially distributed value with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** Standard normal via Box–Muller. *)
+val gaussian : t -> float
+
+(** [bytes t n] is [n] random bytes. *)
+val bytes : t -> int -> bytes
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t a] picks a uniform element. Requires [a] non-empty. *)
+val choose : t -> 'a array -> 'a
+
+(** [sample_without_replacement t ~n ~from] picks [n] distinct
+    indices in \[0, from). Requires [n <= from]. *)
+val sample_without_replacement : t -> n:int -> from:int -> int list

@@ -1,0 +1,1 @@
+lib/workloads/memstream.ml: Hypertee_arch Hypertee_util List

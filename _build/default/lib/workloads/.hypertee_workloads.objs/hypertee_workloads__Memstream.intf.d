@@ -1,0 +1,1 @@
+lib/workloads/memstream.mli: Hypertee_arch

@@ -1,0 +1,1 @@
+lib/workloads/profile.ml: Format Hypertee_arch Hypertee_ems Hypertee_util List Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Hypertee_arch Hypertee_crypto Hypertee_ems Hypertee_util List Profile Stdlib

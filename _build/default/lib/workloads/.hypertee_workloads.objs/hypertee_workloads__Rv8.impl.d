@@ -1,0 +1,1 @@
+lib/workloads/rv8.ml: Hypertee_arch List Profile String

@@ -1,0 +1,1 @@
+lib/workloads/rv8.mli: Profile

@@ -1,0 +1,1 @@
+lib/workloads/tracegen.ml: Float Hypertee_arch Hypertee_util List

@@ -1,0 +1,1 @@
+lib/workloads/tracegen.mli: Hypertee_arch Hypertee_util

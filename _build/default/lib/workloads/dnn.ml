@@ -1,0 +1,120 @@
+type layer = {
+  name : string;
+  macs : float;
+  input_bytes : int;
+  output_bytes : int;
+  weight_bytes : int;
+}
+
+type network = { name : string; layers : layer list }
+
+let total_macs n = List.fold_left (fun acc l -> acc +. l.macs) 0.0 n.layers
+
+let total_activation_bytes n =
+  List.fold_left (fun acc l -> acc + l.output_bytes) 0 n.layers
+
+let total_weight_bytes n = List.fold_left (fun acc l -> acc + l.weight_bytes) 0 n.layers
+
+(* Convolution stage helper: [reps] identical blocks, activations in
+   NHWC int8 (1 byte/element), weights int8. *)
+let conv name ~reps ~macs_m ~in_hw ~in_c ~out_hw ~out_c ~weight_k =
+  List.init reps (fun i ->
+      {
+        name = Printf.sprintf "%s.%d" name i;
+        macs = macs_m *. 1e6;
+        input_bytes = in_hw * in_hw * in_c;
+        output_bytes = out_hw * out_hw * out_c;
+        weight_bytes = weight_k * 1024;
+      })
+
+let fc name ~inputs ~outputs =
+  {
+    name;
+    macs = float_of_int (inputs * outputs);
+    input_bytes = inputs;
+    output_bytes = outputs;
+    weight_bytes = inputs * outputs;
+  }
+
+(* ResNet-50, aggregated per stage (224x224 input, ~4.1 GMACs,
+   ~25.5 M parameters). Stage MACs and tensor shapes follow the
+   standard architecture. *)
+let resnet50 =
+  {
+    name = "ResNet50";
+    layers =
+      conv "conv1" ~reps:1 ~macs_m:118.0 ~in_hw:224 ~in_c:3 ~out_hw:112 ~out_c:64 ~weight_k:9
+      @ conv "conv2" ~reps:3 ~macs_m:230.0 ~in_hw:56 ~in_c:64 ~out_hw:56 ~out_c:256 ~weight_k:70
+      @ conv "conv3" ~reps:4 ~macs_m:220.0 ~in_hw:28 ~in_c:256 ~out_hw:28 ~out_c:512 ~weight_k:280
+      @ conv "conv4" ~reps:6 ~macs_m:220.0 ~in_hw:14 ~in_c:512 ~out_hw:14 ~out_c:1024 ~weight_k:1100
+      @ conv "conv5" ~reps:3 ~macs_m:240.0 ~in_hw:7 ~in_c:1024 ~out_hw:7 ~out_c:2048 ~weight_k:4400
+      @ [ fc "fc1000" ~inputs:2048 ~outputs:1000 ];
+  }
+
+(* MobileNetV1 (~569 MMACs, ~4.2 M parameters), aggregated into its
+   depthwise-separable stages. *)
+let mobilenet =
+  {
+    name = "MobileNet";
+    layers =
+      conv "conv1" ~reps:1 ~macs_m:10.8 ~in_hw:224 ~in_c:3 ~out_hw:112 ~out_c:32 ~weight_k:1
+      @ conv "ds2" ~reps:2 ~macs_m:38.0 ~in_hw:112 ~in_c:32 ~out_hw:112 ~out_c:64 ~weight_k:6
+      @ conv "ds3" ~reps:2 ~macs_m:40.0 ~in_hw:56 ~in_c:128 ~out_hw:56 ~out_c:128 ~weight_k:18
+      @ conv "ds4" ~reps:2 ~macs_m:40.0 ~in_hw:28 ~in_c:256 ~out_hw:28 ~out_c:256 ~weight_k:68
+      @ conv "ds5" ~reps:6 ~macs_m:40.0 ~in_hw:14 ~in_c:512 ~out_hw:14 ~out_c:512 ~weight_k:264
+      @ conv "ds6" ~reps:2 ~macs_m:40.0 ~in_hw:7 ~in_c:1024 ~out_hw:7 ~out_c:1024 ~weight_k:1050
+      @ [ fc "fc1000" ~inputs:1024 ~outputs:1000 ];
+  }
+
+(* MLPs: small compute, weight-dominated transfers — which is exactly
+   why Fig. 12 shows them benefiting most from removing the software
+   crypto on the data path. *)
+let mlp_mnist =
+  {
+    name = "MLP-mnist";
+    layers =
+      [
+        fc "fc1" ~inputs:784 ~outputs:2500;
+        fc "fc2" ~inputs:2500 ~outputs:2000;
+        fc "fc3" ~inputs:2000 ~outputs:1500;
+        fc "fc4" ~inputs:1500 ~outputs:1000;
+        fc "fc5" ~inputs:1000 ~outputs:10;
+      ];
+  }
+
+let mlp_committee =
+  {
+    name = "MLP-committee";
+    layers =
+      [
+        fc "fc1" ~inputs:784 ~outputs:1200;
+        fc "fc2" ~inputs:1200 ~outputs:1200;
+        fc "fc3" ~inputs:1200 ~outputs:10;
+      ];
+  }
+
+let mlp_autoencoder =
+  {
+    name = "MLP-autoenc";
+    layers =
+      [
+        fc "enc1" ~inputs:2048 ~outputs:1024;
+        fc "enc2" ~inputs:1024 ~outputs:512;
+        fc "dec1" ~inputs:512 ~outputs:1024;
+        fc "dec2" ~inputs:1024 ~outputs:2048;
+      ];
+  }
+
+let mlp_multimodal =
+  {
+    name = "MLP-multimodal";
+    layers =
+      [
+        fc "audio" ~inputs:1536 ~outputs:1024;
+        fc "video" ~inputs:2304 ~outputs:1024;
+        fc "fuse1" ~inputs:2048 ~outputs:1024;
+        fc "fuse2" ~inputs:1024 ~outputs:512;
+      ];
+  }
+
+let all = [ resnet50; mobilenet; mlp_mnist; mlp_committee; mlp_autoencoder; mlp_multimodal ]

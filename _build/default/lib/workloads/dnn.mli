@@ -1,0 +1,41 @@
+(** DNN inference workloads for the enclave-communication experiment
+    (paper Fig. 12, Sec. VII-D).
+
+    Each network is a list of layers with MAC counts and
+    input/output activation sizes; the accelerator model turns MACs
+    into cycles, and the communication model charges for moving
+    activations (and, on the first inference, weights) between the
+    user enclave, the driver enclave and the accelerator — encrypted
+    in software for the conventional baseline, plaintext shared
+    enclave memory for HyperTEE. *)
+
+type layer = {
+  name : string;
+  macs : float;  (** multiply-accumulates *)
+  input_bytes : int;
+  output_bytes : int;
+  weight_bytes : int;
+}
+
+type network = { name : string; layers : layer list }
+
+(** Total MACs / bytes helpers. *)
+val total_macs : network -> float
+
+val total_activation_bytes : network -> int
+val total_weight_bytes : network -> int
+
+(** The paper's six models. *)
+val resnet50 : network
+
+val mobilenet : network
+
+(** Four MLPs (the paper cites handwriting-recognition, digit
+    committee, speech-enhancement autoencoder and multimodal MLPs). *)
+val mlp_mnist : network
+
+val mlp_committee : network
+val mlp_autoencoder : network
+val mlp_multimodal : network
+
+val all : network list

@@ -1,0 +1,26 @@
+(** MemStream: the streaming memory microbenchmark of Fig. 8b.
+
+    Sweeps a buffer much larger than the last-level cache so nearly
+    every cache line comes from DRAM, exposing the worst-case latency
+    of the memory-encryption + integrity engine. Run against the real
+    [Cache] model: a simulated address stream is pushed through an
+    L1/L2 hierarchy and the cycle cost is accumulated per access,
+    with the engine's extra latency applied to off-chip misses when
+    encryption is on. *)
+
+type result = {
+  size_bytes : int;
+  accesses : int;
+  l2_misses : int;
+  cycles_plain : float;
+  cycles_encrypted : float;
+  overhead_pct : float;
+}
+
+(** [run ~size_bytes ~latency] streams sequentially over the buffer
+    (one pass, 64 B stride reads plus a read-modify-write every 4th
+    line, like STREAM's triad mix). *)
+val run : size_bytes:int -> latency:Hypertee_arch.Config.mem_latency -> result
+
+(** The paper's sweep: 4, 8, 16, 32, 64 MiB. *)
+val paper_sizes : int list

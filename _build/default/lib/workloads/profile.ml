@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  instructions : float;
+  behavior : Hypertee_arch.Perf_model.mem_behavior;
+  code_kb : int;
+  data_kb : int;
+  heap_kb : int;
+  dynamic_allocs : (int * int) list;
+}
+
+let kb_pages kb = Hypertee_util.Units.pages_of_bytes (kb * 1024)
+
+let enclave_config t =
+  {
+    Hypertee_ems.Types.code_pages = Stdlib.max 1 (kb_pages t.code_kb);
+    data_pages = Stdlib.max 1 (kb_pages t.data_kb);
+    heap_pages = Stdlib.max 1 (kb_pages t.heap_kb);
+    stack_pages = 4;
+    shared_pages = 4;
+  }
+
+let load_pages t = Stdlib.max 1 (kb_pages t.code_kb) + Stdlib.max 1 (kb_pages t.data_kb)
+let measured_bytes t = load_pages t * Hypertee_util.Units.page_size
+let alloc_invocations t = List.fold_left (fun acc (_, times) -> acc + times) 0 t.dynamic_allocs
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%.0fM instr, %.1f LLC mpki, %.2f dTLB mpki)" t.name
+    (t.instructions /. 1e6)
+    t.behavior.Hypertee_arch.Perf_model.llc_mpki
+    t.behavior.Hypertee_arch.Perf_model.tlb_mpki

@@ -1,0 +1,36 @@
+(** Workload profiles: the dynamic characteristics that drive the
+    analytic timing model.
+
+    Each benchmark the paper runs (rv8, wolfSSL, SPEC CPU2017,
+    MemStream, DNN inference) is represented by its instruction count
+    and memory-behaviour densities, plus the trace of enclave
+    primitives an enclave port of it issues (creation, per-page
+    loads, dynamic allocations). The profiles are synthetic but
+    calibrated: miss densities are set from published
+    characterisations so the paper's ratios emerge from the model
+    rather than being hard-coded. *)
+
+type t = {
+  name : string;
+  instructions : float;  (** dynamic instruction count of one run *)
+  behavior : Hypertee_arch.Perf_model.mem_behavior;
+  code_kb : int;  (** binary text size to EADD *)
+  data_kb : int;  (** initialised data to EADD *)
+  heap_kb : int;  (** static heap reservation *)
+  dynamic_allocs : (int * int) list;
+      (** (pages, times): EALLOC traffic the enclave port issues *)
+}
+
+(** Enclave configuration matching the profile's footprint. *)
+val enclave_config : t -> Hypertee_ems.Types.enclave_config
+
+(** Pages EADD'd at launch (code + data). *)
+val load_pages : t -> int
+
+(** Bytes measured by EMEAS/EADD at launch. *)
+val measured_bytes : t -> int
+
+(** Total EALLOC invocations of one run. *)
+val alloc_invocations : t -> int
+
+val pp : Format.formatter -> t -> unit

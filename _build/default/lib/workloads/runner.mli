@@ -1,0 +1,42 @@
+(** Workload runner: turns a profile into the paper's scenario times.
+
+    Computes, for one profile on one platform configuration, the
+    Host-Native execution time and the enclave execution time with
+    its primitive overhead broken out — the quantities behind Fig. 7
+    (EMS core configurations), Table IV (crypto engine on/off),
+    Fig. 9 (all memory management on wolfSSL) and Fig. 10 (bitmap
+    checking on non-enclave workloads). *)
+
+type enclave_run = {
+  native_ns : float;  (** Host-Native baseline *)
+  exec_ns : float;  (** enclave compute time (with memory encryption) *)
+  primitive_ns : float;  (** total EMS service time of all primitives *)
+  emeas_ns : float;  (** the EMEAS share (EADD hashing + finalise) *)
+  transport_ns : float;  (** EMCall/mailbox round-trip share *)
+  total_ns : float;  (** exec + primitives + transport *)
+  overhead_pct : float;  (** total vs native *)
+  primitives_pct : float;  (** (primitive+transport) vs native — Table IV rows *)
+  emeas_pct : float;
+}
+
+(** [run_enclave profile ~ems_kind ~crypto_engine ?flushes_per_sec ()]
+    models a full enclave run: launch (ECREATE + per-page EADD +
+    EMEAS), EENTER, execution with memory encryption, the profile's
+    EALLOC churn, EEXIT and EDESTROY. *)
+val run_enclave :
+  Profile.t ->
+  ems_kind:Hypertee_arch.Config.ems_kind ->
+  crypto_engine:bool ->
+  ?flushes_per_sec:float ->
+  unit ->
+  enclave_run
+
+type host_run = {
+  native_ns : float;
+  bitmap_ns : float;  (** with bitmap checking on PTW *)
+  overhead_pct : float;
+}
+
+(** [run_host_bitmap profile] — Fig. 10: the same non-enclave
+    workload with and without bitmap checking. *)
+val run_host_bitmap : ?flushes_per_sec:float -> Profile.t -> host_run

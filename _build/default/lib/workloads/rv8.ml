@@ -1,0 +1,111 @@
+module Pm = Hypertee_arch.Perf_model
+
+(* Cache-resident compute kernels share a light memory profile;
+   miniz (compression) and qsort stream more data. Densities are per
+   kilo-instruction. *)
+let light =
+  { Pm.mem_refs_per_kinst = 280.0; l1_mpki = 4.0; l2_mpki = 0.8; llc_mpki = 0.15; tlb_mpki = 0.05 }
+
+let streaming =
+  { Pm.mem_refs_per_kinst = 350.0; l1_mpki = 18.0; l2_mpki = 5.0; llc_mpki = 1.2; tlb_mpki = 0.2 }
+
+(* One run's heap churn: rv8 workloads allocate working buffers as
+   they go; the enclave ports issue the same traffic as EALLOCs. *)
+let churn times = [ (16, times) ]
+
+let aes =
+  {
+    Profile.name = "aes";
+    instructions = 970e6;
+    behavior = light;
+    code_kb = 256;
+    data_kb = 32;
+    heap_kb = 512;
+    dynamic_allocs = churn 80;
+  }
+
+let dhrystone =
+  {
+    Profile.name = "dhrystone";
+    instructions = 350e6;
+    behavior = light;
+    code_kb = 256;
+    data_kb = 32;
+    heap_kb = 256;
+    dynamic_allocs = churn 80;
+  }
+
+let miniz =
+  {
+    Profile.name = "miniz";
+    instructions = 760e6;
+    behavior = streaming;
+    code_kb = 256;
+    data_kb = 32;
+    heap_kb = 2048;
+    dynamic_allocs = churn 80;
+  }
+
+let norx =
+  {
+    Profile.name = "norx";
+    instructions = 640e6;
+    behavior = light;
+    code_kb = 256;
+    data_kb = 32;
+    heap_kb = 512;
+    dynamic_allocs = churn 80;
+  }
+
+let primes =
+  {
+    Profile.name = "primes";
+    instructions = 1280e6;
+    behavior = light;
+    code_kb = 256;
+    data_kb = 32;
+    heap_kb = 256;
+    dynamic_allocs = churn 80;
+  }
+
+let qsort =
+  {
+    Profile.name = "qsort";
+    instructions = 2250e6;
+    behavior = streaming;
+    code_kb = 256;
+    data_kb = 32;
+    heap_kb = 4096;
+    dynamic_allocs = churn 80;
+  }
+
+let sha512 =
+  {
+    Profile.name = "sha512";
+    instructions = 620e6;
+    behavior = light;
+    code_kb = 256;
+    data_kb = 32;
+    heap_kb = 256;
+    dynamic_allocs = churn 80;
+  }
+
+(* wolfSSL streams TLS record buffers through the cache: a modest
+   off-chip component that the memory-encryption engine taxes
+   (Fig. 9). *)
+let wolfssl_behavior =
+  { Pm.mem_refs_per_kinst = 300.0; l1_mpki = 8.0; l2_mpki = 2.2; llc_mpki = 0.8; tlb_mpki = 0.1 }
+
+let wolfssl =
+  {
+    Profile.name = "wolfSSL";
+    instructions = 660e6;
+    behavior = wolfssl_behavior;
+    code_kb = 544;
+    data_kb = 48;
+    heap_kb = 1024;
+    dynamic_allocs = churn 160;
+  }
+
+let suite = [ aes; dhrystone; miniz; norx; primes; qsort; sha512; wolfssl ]
+let by_name name = List.find_opt (fun p -> String.lowercase_ascii p.Profile.name = String.lowercase_ascii name) suite

@@ -1,0 +1,22 @@
+(** RV8 benchmark suite profiles plus wolfSSL (paper Sec. VII-A).
+
+    The eight enclave workloads of Table IV / Fig. 7: aes, dhrystone,
+    miniz, norx, primes, qsort, sha512, wolfSSL. Profiles carry the
+    dynamic instruction counts, memory behaviour, binary footprints
+    and heap-churn (EALLOC) traffic of one run; the runner turns them
+    into times. Binary sizes are statically-linked rv8 builds
+    (~280 KiB); wolfSSL is larger (~580 KiB). *)
+
+val aes : Profile.t
+val dhrystone : Profile.t
+val miniz : Profile.t
+val norx : Profile.t
+val primes : Profile.t
+val qsort : Profile.t
+val sha512 : Profile.t
+val wolfssl : Profile.t
+
+(** Table IV / Fig. 7 order. *)
+val suite : Profile.t list
+
+val by_name : string -> Profile.t option

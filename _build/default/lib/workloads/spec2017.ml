@@ -1,0 +1,35 @@
+module Pm = Hypertee_arch.Perf_model
+
+(* Non-enclave workloads: footprint fields are unused by Fig. 10 but
+   filled in so the profiles can also run as enclave ports. Miss
+   densities (per kilo-instruction) follow the usual published
+   characterisations: mcf and omnetpp are LLC-hungry, xalancbmk is
+   the dTLB outlier (~0.8% of accesses vs <0.2% elsewhere). *)
+let mk name instructions ~refs ~l1 ~l2 ~llc ~tlb =
+  {
+    Profile.name;
+    instructions;
+    behavior =
+      { Pm.mem_refs_per_kinst = refs; l1_mpki = l1; l2_mpki = l2; llc_mpki = llc; tlb_mpki = tlb };
+    code_kb = 1024;
+    data_kb = 256;
+    heap_kb = 8192;
+    dynamic_allocs = [ (64, 16) ];
+  }
+
+let perlbench = mk "perlbench_r" 2000e6 ~refs:380.0 ~l1:12.0 ~l2:2.0 ~llc:0.8 ~tlb:0.65
+let gcc = mk "gcc_r" 1400e6 ~refs:400.0 ~l1:18.0 ~l2:4.5 ~llc:2.2 ~tlb:0.8
+let mcf = mk "mcf_r" 1800e6 ~refs:420.0 ~l1:55.0 ~l2:22.0 ~llc:12.0 ~tlb:1.8
+let omnetpp = mk "omnetpp_r" 1500e6 ~refs:410.0 ~l1:38.0 ~l2:14.0 ~llc:8.0 ~tlb:1.5
+let xalancbmk = mk "xalancbmk_r" 1600e6 ~refs:360.0 ~l1:26.0 ~l2:7.0 ~llc:2.5 ~tlb:2.55
+let x264 = mk "x264_r" 2400e6 ~refs:330.0 ~l1:8.0 ~l2:1.5 ~llc:0.6 ~tlb:0.35
+let deepsjeng = mk "deepsjeng_r" 1900e6 ~refs:300.0 ~l1:9.0 ~l2:2.5 ~llc:1.1 ~tlb:0.55
+let leela = mk "leela_r" 2100e6 ~refs:290.0 ~l1:10.0 ~l2:2.2 ~llc:0.9 ~tlb:0.5
+let exchange2 = mk "exchange2_r" 2600e6 ~refs:250.0 ~l1:2.0 ~l2:0.3 ~llc:0.1 ~tlb:0.2
+let xz = mk "xz_r" 1700e6 ~refs:370.0 ~l1:24.0 ~l2:9.0 ~llc:4.5 ~tlb:1.0
+
+let suite =
+  [ perlbench; gcc; mcf; omnetpp; xalancbmk; x264; deepsjeng; leela; exchange2; xz ]
+
+let by_name name =
+  List.find_opt (fun p -> String.lowercase_ascii p.Profile.name = String.lowercase_ascii name) suite

@@ -1,0 +1,23 @@
+(** SPEC CPU2017 integer profiles (paper Fig. 10).
+
+    Ten intrate benchmarks with reference-input-scale instruction
+    counts and memory/TLB behaviour set from published
+    characterisations (cache-hungry mcf/omnetpp, TLB-hungry
+    xalancbmk with ~0.8% dTLB miss rate vs <0.2% for the rest, as
+    the paper notes). These run as *non-enclave* workloads: Fig. 10
+    measures only the bitmap-checking cost added to their page-table
+    walks. *)
+
+val perlbench : Profile.t
+val gcc : Profile.t
+val mcf : Profile.t
+val omnetpp : Profile.t
+val xalancbmk : Profile.t
+val x264 : Profile.t
+val deepsjeng : Profile.t
+val leela : Profile.t
+val exchange2 : Profile.t
+val xz : Profile.t
+
+val suite : Profile.t list
+val by_name : string -> Profile.t option

@@ -1,0 +1,138 @@
+module Cache = Hypertee_arch.Cache
+module Tlb = Hypertee_arch.Tlb
+module Pte = Hypertee_arch.Pte
+module Config = Hypertee_arch.Config
+
+type spec = {
+  hot_bytes : int;
+  warm_bytes : int;
+  cold_bytes : int;
+  hot_fraction : float;
+  warm_fraction : float;
+}
+
+let default_spec =
+  {
+    hot_bytes = 16 * 1024;
+    warm_bytes = 256 * 1024;
+    cold_bytes = 16 * 1024 * 1024;
+    hot_fraction = 0.90;
+    warm_fraction = 0.07;
+  }
+
+type result = {
+  accesses : int;
+  l1_miss_rate : float;
+  l2_miss_rate : float;
+  tlb_miss_rate : float;
+  cycles : float;
+}
+
+(* Region base addresses, page-aligned and disjoint. *)
+let hot_base = 0
+let warm_base = 1 lsl 30
+let cold_base = 1 lsl 31
+
+let run ?(warmup = 0) rng spec ~accesses ~latency =
+  let l1 = Cache.create ~size_bytes:(64 * 1024) ~ways:8 ~line_bytes:64 in
+  let l2 = Cache.create ~size_bytes:(1024 * 1024) ~ways:16 ~line_bytes:64 in
+  let tlb = Tlb.create ~entries:32 in
+  let cycles = ref 0.0 in
+  let l1_misses = ref 0 and l2_misses = ref 0 and tlb_misses = ref 0 in
+  let cold_cursor = ref 0 in
+  (* Deterministic pre-fill: touch every line of the resident regions
+     once so the measured phase sees steady state, not the compulsory
+     fill. (The L1 refills the hot set naturally; the L2 retains the
+     warm set.) *)
+  for line = 0 to (spec.warm_bytes / 64) - 1 do
+    ignore (Cache.access l1 ~addr:(warm_base + (64 * line)));
+    ignore (Cache.access l2 ~addr:(warm_base + (64 * line)))
+  done;
+  for line = 0 to (spec.hot_bytes / 64) - 1 do
+    ignore (Cache.access l1 ~addr:(hot_base + (64 * line)));
+    ignore (Cache.access l2 ~addr:(hot_base + (64 * line)))
+  done;
+  for access = 1 to warmup + accesses do
+    let counting = access > warmup in
+    let addr =
+      let p = Hypertee_util.Xrng.float rng in
+      if p < spec.hot_fraction then hot_base + Hypertee_util.Xrng.int rng spec.hot_bytes
+      else if p < spec.hot_fraction +. spec.warm_fraction then
+        warm_base + Hypertee_util.Xrng.int rng spec.warm_bytes
+      else begin
+        (* Sequential stream with wrap-around: compulsory misses. *)
+        cold_cursor := (!cold_cursor + 64) mod spec.cold_bytes;
+        cold_base + !cold_cursor
+      end
+    in
+    (* TLB first (4 KiB pages); a miss charges a walk. The tracegen
+       TLB is standalone — no page table behind it — so fills are
+       synthesized directly. *)
+    let vpn = addr / 4096 in
+    (match Tlb.lookup tlb ~vpn with
+    | Some _ -> ()
+    | None ->
+      if counting then incr tlb_misses;
+      cycles := !cycles +. float_of_int (3 * Config.ptw_level_cycles);
+      Tlb.insert tlb { Tlb.vpn; pte = Pte.leaf ~ppn:(vpn land 0xFFFFFF) ~r:true ~w:true ~x:false ~key_id:0; checked = true });
+    if Cache.access l1 ~addr then cycles := !cycles +. float_of_int latency.Config.l1_hit
+    else begin
+      if counting then incr l1_misses;
+      if Cache.access l2 ~addr then cycles := !cycles +. float_of_int latency.Config.l2_hit
+      else begin
+        if counting then incr l2_misses;
+        cycles := !cycles +. float_of_int latency.Config.dram
+      end
+    end
+  done;
+  let f = float_of_int in
+  {
+    accesses;
+    l1_miss_rate = f !l1_misses /. f accesses;
+    l2_miss_rate = f !l2_misses /. f accesses;
+    tlb_miss_rate = f !tlb_misses /. f accesses;
+    cycles = !cycles;
+  }
+
+(* Requested miss densities are per kilo-instruction at ~300 memory
+   references per kinst; convert to per-access rates and steer the
+   cold/warm fractions toward them. A compulsory-miss stream misses
+   every line (1/64th of accesses at 64 B lines within a line-sized
+   step), so cold_fraction ~ off-chip rate; the warm set sized beyond
+   L1 supplies the extra L1 misses. *)
+let calibrate rng ~l1_mpki ~llc_mpki ~accesses =
+  let refs_per_kinst = 300.0 in
+  let l1_target = l1_mpki /. refs_per_kinst in
+  let llc_target = llc_mpki /. refs_per_kinst in
+  let warmup = 4 * accesses in
+  let spec = ref { default_spec with hot_fraction = 1.0; warm_fraction = 0.0 } in
+  let best =
+    ref (run ~warmup (Hypertee_util.Xrng.copy rng) !spec ~accesses ~latency:Config.default_latency)
+  in
+  let best_err = ref infinity in
+  (* Coarse grid search over the two fractions. *)
+  List.iter
+    (fun cold ->
+      List.iter
+        (fun warm ->
+          if cold +. warm < 0.9 then begin
+            let candidate =
+              { default_spec with warm_fraction = warm; hot_fraction = 1.0 -. cold -. warm }
+            in
+            let r =
+              run ~warmup (Hypertee_util.Xrng.copy rng) candidate ~accesses
+                ~latency:Config.default_latency
+            in
+            let err =
+              Float.abs (r.l1_miss_rate -. l1_target) /. Float.max 1e-6 l1_target
+              +. (Float.abs (r.l2_miss_rate -. llc_target) /. Float.max 1e-6 llc_target)
+            in
+            if err < !best_err then begin
+              best_err := err;
+              best := r;
+              spec := candidate
+            end
+          end)
+        [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ])
+    [ 0.0; 0.0002; 0.0005; 0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1 ];
+  (!spec, !best)

@@ -1,0 +1,57 @@
+(** Synthetic memory-trace generation and trace-driven simulation.
+
+    The evaluation figures use the analytic model
+    ([Hypertee_arch.Perf_model]); this module provides the
+    cross-check: generate an address stream with controlled locality,
+    push it through the real [Cache]/[Tlb] models, and compare the
+    measured miss densities against what a profile claims. The test
+    suite uses it to validate that the analytic inputs are achievable
+    memory behaviours, and MemStream-style experiments use it
+    directly.
+
+    The generator mixes three access classes, a standard synthetic
+    workload recipe:
+    - {b hot}: uniform over a small resident set (cache hits),
+    - {b warm}: uniform over a mid-size set (L2-resident),
+    - {b cold}: a sequential streaming pointer (compulsory misses). *)
+
+type spec = {
+  hot_bytes : int;  (** resident working set *)
+  warm_bytes : int;  (** second-level working set *)
+  cold_bytes : int;  (** streamed region *)
+  hot_fraction : float;  (** probability an access is hot *)
+  warm_fraction : float;  (** probability it is warm; rest is cold *)
+}
+
+(** A balanced default: 16 KiB hot / 256 KiB warm / 16 MiB cold. *)
+val default_spec : spec
+
+type result = {
+  accesses : int;
+  l1_miss_rate : float;
+  l2_miss_rate : float;  (** of all accesses (off-chip rate) *)
+  tlb_miss_rate : float;
+  cycles : float;  (** simple in-order charge per the latency config *)
+}
+
+(** [run ?warmup rng spec ~accesses ~latency] simulates the stream
+    through a fresh L1 (64 KiB/8w) + L2 (1 MiB/16w) hierarchy and a
+    32-entry TLB. The first [warmup] accesses (default 0) run but are
+    excluded from the miss counts, removing the compulsory-fill
+    transient. *)
+val run :
+  ?warmup:int ->
+  Hypertee_util.Xrng.t ->
+  spec ->
+  accesses:int ->
+  latency:Hypertee_arch.Config.mem_latency ->
+  result
+
+(** [calibrate rng ~l1_mpki ~llc_mpki ~accesses] searches the mix
+    fractions for a spec whose measured miss densities land near the
+    requested per-kilo-instruction targets (assuming
+    [Perf_model]-style 300 refs/kinst), demonstrating the analytic
+    profiles correspond to realisable address streams. Returns the
+    spec and its measured result. *)
+val calibrate :
+  Hypertee_util.Xrng.t -> l1_mpki:float -> llc_mpki:float -> accesses:int -> spec * result

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Bytes Char Hypertee Hypertee_arch Hypertee_cs Hypertee_ems List Option Platform Result Sdk Session

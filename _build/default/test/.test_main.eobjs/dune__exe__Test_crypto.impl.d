@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Alcotest Bignum Bytes Char Dh Engine Float Gen Hmac Hypertee_crypto Hypertee_util Int64 Keccak List QCheck QCheck_alcotest Rsa Sha256 Sigma Stdlib

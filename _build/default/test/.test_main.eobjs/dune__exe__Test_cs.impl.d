@@ -1,0 +1,1 @@
+test/test_cs.ml: Alcotest Bytes Hypertee_arch Hypertee_cs Hypertee_ems Hypertee_util List Option

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Bytes Hypertee_accel Hypertee_arch Hypertee_util Hypertee_workloads Int64 List Printf

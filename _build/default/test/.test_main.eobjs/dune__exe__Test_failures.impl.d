@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Bytes Hypertee Hypertee_arch Hypertee_cs Hypertee_ems Hypertee_util Option Platform Result Sdk Session

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Bytes Char Hashtbl Hypertee Hypertee_arch Hypertee_cs Hypertee_ems Hypertee_util List Option Platform Printf Result Sdk Session Verifier

@@ -1,0 +1,1 @@
+test/test_properties.ml: Bytes Gen Hypertee Hypertee_arch Hypertee_crypto Hypertee_cvm Hypertee_ems Hypertee_util Lazy List Platform QCheck QCheck_alcotest Result Sdk Session

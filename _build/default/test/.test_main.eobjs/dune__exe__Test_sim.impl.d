@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Event_queue Gen Hypertee_sim List QCheck QCheck_alcotest Resource

@@ -1,0 +1,1 @@
+test/test_traps.ml: Alcotest Bytes Hypertee Hypertee_arch Hypertee_cs Hypertee_ems Option Platform Result Sdk Session

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Bytes_ext Float Fun Gen Hypertee_util Int64 List QCheck QCheck_alcotest Queue Ring_queue Stats Stdlib String Table Units Xrng

@@ -1,0 +1,200 @@
+(* Tests for hypertee_cs: the OS model and the EMCall gate. *)
+
+module Os = Hypertee_cs.Os
+module Emcall = Hypertee_cs.Emcall
+module Types = Hypertee_ems.Types
+module Phys_mem = Hypertee_arch.Phys_mem
+module Page_table = Hypertee_arch.Page_table
+module Mailbox = Hypertee_arch.Mailbox
+module Config = Hypertee_arch.Config
+
+let check = Alcotest.check
+
+(* --- Os --- *)
+
+let fresh_os () = Os.create (Phys_mem.create ~frames:512)
+
+let test_os_alloc_free () =
+  let os = fresh_os () in
+  let before = Os.free_count os in
+  let frames = Os.alloc_frames os ~n:10 in
+  check Alcotest.int "ten frames" 10 (List.length frames);
+  check Alcotest.int "free count dropped" (before - 10) (Os.free_count os);
+  List.iter
+    (fun f -> check Alcotest.bool "owned by OS" true (Phys_mem.owner (Os.mem os) f = Phys_mem.Cs_os))
+    frames;
+  Os.free_frames os ~frames;
+  check Alcotest.int "free count restored" before (Os.free_count os)
+
+let test_os_spawn_and_malloc () =
+  let os = fresh_os () in
+  let p = Os.spawn os in
+  check Alcotest.int "pid assigned" 1 p.Os.pid;
+  (match Os.malloc_pages os p ~pages:4 with
+  | Some base ->
+    check Alcotest.int "mapped count" 4 p.Os.mapped_pages;
+    (match Page_table.lookup p.Os.page_table ~vpn:base with
+    | Some pte -> check Alcotest.bool "writable mapping" true pte.Hypertee_arch.Pte.writable
+    | None -> Alcotest.fail "mapping missing");
+    Os.free_pages os p ~vpn:base ~pages:4;
+    check Alcotest.int "unmapped" 0 p.Os.mapped_pages;
+    check Alcotest.bool "pte gone" true (Page_table.lookup p.Os.page_table ~vpn:base = None)
+  | None -> Alcotest.fail "malloc failed")
+
+let test_os_malloc_distinct_regions () =
+  let os = fresh_os () in
+  let p = Os.spawn os in
+  let a = Option.get (Os.malloc_pages os p ~pages:2) in
+  let b = Option.get (Os.malloc_pages os p ~pages:2) in
+  check Alcotest.bool "regions do not overlap" true (b >= a + 2)
+
+let test_os_pool_hooks () =
+  let os = fresh_os () in
+  check Alcotest.int "no refills yet" 0 (Os.ems_refill_requests os);
+  let frames = Os.pool_request os ~n:8 in
+  check Alcotest.int "eight granted" 8 (List.length frames);
+  check Alcotest.int "counted" 1 (Os.ems_refill_requests os);
+  Os.pool_return os ~frames;
+  List.iter
+    (fun f -> check Alcotest.bool "returned" true (Phys_mem.owner (Os.mem os) f = Phys_mem.Free))
+    frames
+
+(* --- Emcall --- *)
+
+(* A stub EMS that answers every request with Ok_unit, for testing
+   the gate in isolation. *)
+let gate_fixture () =
+  let mailbox : (Types.request, Types.response) Mailbox.t = Mailbox.create () in
+  let served = ref [] in
+  let ems_service () =
+    let rec drain () =
+      match Mailbox.recv_request mailbox with
+      | Some p ->
+        served := (p.Mailbox.sender_enclave, p.Mailbox.body) :: !served;
+        Mailbox.send_response mailbox ~request_id:p.Mailbox.request_id Types.Ok_unit;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  in
+  let emcall =
+    Emcall.create
+      ~rng:(Hypertee_util.Xrng.create 3L)
+      ~transport:Config.default_transport ~mailbox ~ems_service
+      ~service_ns:(fun _ -> 1000.0)
+  in
+  (emcall, served)
+
+let all_callers = [ Emcall.Os_kernel; Emcall.User_host; Emcall.User_enclave 42 ]
+
+let request_of_opcode op : Types.request =
+  match op with
+  | Types.ECREATE -> Types.Create { config = Types.default_config }
+  | Types.EADD -> Types.Add { enclave = 1; vpn = 0; data = Bytes.empty; executable = false }
+  | Types.EENTER -> Types.Enter { enclave = 1 }
+  | Types.ERESUME -> Types.Resume { enclave = 1 }
+  | Types.EEXIT -> Types.Exit { enclave = 1 }
+  | Types.EDESTROY -> Types.Destroy { enclave = 1 }
+  | Types.EALLOC -> Types.Alloc { enclave = 1; pages = 1 }
+  | Types.EFREE -> Types.Free { enclave = 1; vpn = 0; pages = 1 }
+  | Types.EWB -> Types.Writeback { pages_hint = 1 }
+  | Types.ESHMGET -> Types.Shmget { owner = 1; pages = 1; max_perm = Types.Read_only }
+  | Types.ESHMAT -> Types.Shmat { enclave = 1; shm = 1; requested_perm = Types.Read_only }
+  | Types.ESHMDT -> Types.Shmdt { enclave = 1; shm = 1 }
+  | Types.ESHMSHR -> Types.Shmshr { owner = 1; shm = 1; grantee = 2; perm = Types.Read_only }
+  | Types.ESHMDES -> Types.Shmdes { owner = 1; shm = 1 }
+  | Types.EMEAS -> Types.Measure { enclave = 1 }
+  | Types.EATTEST -> Types.Attest { enclave = 1; user_data = Bytes.empty }
+
+(* The full cross-privilege matrix of Sec. III-B mechanism 1: every
+   opcode x every caller; exactly the privilege-matching cells pass
+   the gate. *)
+let test_privilege_matrix () =
+  let emcall, _ = gate_fixture () in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun caller ->
+          let caller_priv =
+            match caller with Emcall.Os_kernel -> Types.Os | _ -> Types.User
+          in
+          let expected_pass = caller_priv = Types.required_privilege op in
+          match Emcall.invoke emcall ~caller (request_of_opcode op) with
+          | Ok _ ->
+            if not expected_pass then
+              Alcotest.failf "%s passed the gate from the wrong privilege" (Types.opcode_name op)
+          | Error Emcall.Cross_privilege ->
+            if expected_pass then
+              Alcotest.failf "%s wrongly blocked" (Types.opcode_name op)
+          | Error Emcall.Mailbox_full -> Alcotest.fail "unexpected back-pressure")
+        all_callers)
+    Types.all_opcodes
+
+let test_identity_stamping () =
+  let emcall, served = gate_fixture () in
+  ignore (Emcall.invoke emcall ~caller:(Emcall.User_enclave 9) (request_of_opcode Types.EALLOC));
+  ignore (Emcall.invoke emcall ~caller:Emcall.Os_kernel (request_of_opcode Types.ECREATE));
+  (match !served with
+  | [ (None, Types.Create _); (Some 9, Types.Alloc _) ] -> ()
+  | _ -> Alcotest.fail "sender identities not stamped correctly");
+  check Alcotest.int "no rejections" 0 (Emcall.rejected emcall)
+
+let test_page_fault_bypasses_privilege () =
+  let emcall, _ = gate_fixture () in
+  (* Page faults are forwarded from trap context regardless of the
+     interrupted privilege level. *)
+  match Emcall.invoke emcall ~caller:Emcall.User_host (Types.Page_fault { enclave = 1; vpn = 0 }) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "fault forwarding must not be privilege-gated"
+
+let test_latency_model () =
+  let emcall, _ = gate_fixture () in
+  ignore (Emcall.invoke emcall ~caller:Emcall.Os_kernel (request_of_opcode Types.ECREATE));
+  let l1 = Emcall.last_latency_ns emcall in
+  check Alcotest.bool "positive latency" true (l1 > 0.0);
+  check Alcotest.bool "at least transport + service" true
+    (l1 >= Emcall.transport_ns emcall +. 1000.0 -. 1.0);
+  (* Quantised to poll slots with jitter: never an exact multiple by
+     more than one slot above the raw value. *)
+  let slot = Config.default_transport.Config.poll_slot_ns in
+  check Alcotest.bool "bounded by two extra slots" true
+    (l1 <= Emcall.transport_ns emcall +. 1000.0 +. (2.0 *. slot))
+
+let test_flush_hooks () =
+  let emcall, _ = gate_fixture () in
+  let flushed = ref 0 in
+  Emcall.register_tlb_flush_hook emcall (fun () -> incr flushed);
+  Emcall.register_tlb_flush_hook emcall (fun () -> incr flushed);
+  (* EALLOC changes the bitmap -> flush fires on all hooks. *)
+  ignore (Emcall.invoke emcall ~caller:(Emcall.User_enclave 1) (request_of_opcode Types.EALLOC));
+  check Alcotest.int "both hooks ran" 2 !flushed;
+  check Alcotest.int "flush counted" 1 (Emcall.tlb_flushes emcall);
+  (* EATTEST does not change the bitmap. *)
+  ignore (Emcall.invoke emcall ~caller:(Emcall.User_enclave 1) (request_of_opcode Types.EATTEST));
+  check Alcotest.int "no flush for attest" 2 !flushed
+
+let test_rejection_counter () =
+  let emcall, _ = gate_fixture () in
+  ignore (Emcall.invoke emcall ~caller:Emcall.User_host (request_of_opcode Types.ECREATE));
+  ignore (Emcall.invoke emcall ~caller:Emcall.Os_kernel (request_of_opcode Types.EALLOC));
+  check Alcotest.int "two rejections" 2 (Emcall.rejected emcall)
+
+let suite =
+  [
+    ( "cs.os",
+      [
+        Alcotest.test_case "alloc/free frames" `Quick test_os_alloc_free;
+        Alcotest.test_case "spawn and malloc" `Quick test_os_spawn_and_malloc;
+        Alcotest.test_case "malloc regions distinct" `Quick test_os_malloc_distinct_regions;
+        Alcotest.test_case "pool hooks" `Quick test_os_pool_hooks;
+      ] );
+    ( "cs.emcall",
+      [
+        Alcotest.test_case "privilege matrix (16 ops x 3 callers)" `Quick test_privilege_matrix;
+        Alcotest.test_case "identity stamping" `Quick test_identity_stamping;
+        Alcotest.test_case "page fault bypasses privilege" `Quick test_page_fault_bypasses_privilege;
+        Alcotest.test_case "latency model" `Quick test_latency_model;
+        Alcotest.test_case "TLB flush hooks" `Quick test_flush_hooks;
+        Alcotest.test_case "rejection counter" `Quick test_rejection_counter;
+      ] );
+  ]

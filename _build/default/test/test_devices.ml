@@ -1,0 +1,187 @@
+(* Tests for the trace generator (cross-validating the analytic perf
+   model) and the functional NIC model. *)
+
+module Tracegen = Hypertee_workloads.Tracegen
+module Nic = Hypertee_accel.Nic
+module Phys_mem = Hypertee_arch.Phys_mem
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Ihub = Hypertee_arch.Ihub
+module Config = Hypertee_arch.Config
+module Bx = Hypertee_util.Bytes_ext
+
+let check = Alcotest.check
+let rng () = Hypertee_util.Xrng.create 0xDE7L
+
+(* --- Tracegen --- *)
+
+let test_trace_hot_only_hits () =
+  let spec = { Tracegen.default_spec with Tracegen.hot_fraction = 1.0; warm_fraction = 0.0 } in
+  let r = Tracegen.run (rng ()) spec ~accesses:50_000 ~latency:Config.default_latency in
+  (* 16 KiB resident in a 64 KiB L1: almost everything hits after
+     warm-up. *)
+  check Alcotest.bool "tiny L1 miss rate" true (r.Tracegen.l1_miss_rate < 0.02);
+  check Alcotest.bool "negligible off-chip" true (r.Tracegen.l2_miss_rate < 0.01);
+  check Alcotest.bool "tiny TLB miss rate" true (r.Tracegen.tlb_miss_rate < 0.01)
+
+let test_trace_cold_stream_misses () =
+  let spec =
+    { Tracegen.default_spec with Tracegen.hot_fraction = 0.0; warm_fraction = 0.0 }
+  in
+  let r = Tracegen.run (rng ()) spec ~accesses:50_000 ~latency:Config.default_latency in
+  (* A pure stream over 16 MiB: every access a new line -> misses
+     everywhere. *)
+  check Alcotest.bool "stream misses L1" true (r.Tracegen.l1_miss_rate > 0.95);
+  check Alcotest.bool "stream misses L2" true (r.Tracegen.l2_miss_rate > 0.95)
+
+let test_trace_warm_set_l2_resident () =
+  let spec =
+    { Tracegen.default_spec with Tracegen.hot_fraction = 0.0; warm_fraction = 1.0 }
+  in
+  let r = Tracegen.run (rng ()) spec ~accesses:100_000 ~latency:Config.default_latency in
+  (* 256 KiB working set: misses the 64 KiB L1 often, but fits in the
+     1 MiB L2. *)
+  check Alcotest.bool "L1-hostile" true (r.Tracegen.l1_miss_rate > 0.4);
+  check Alcotest.bool "L2-resident" true (r.Tracegen.l2_miss_rate < 0.05)
+
+let test_trace_cycles_scale_with_misses () =
+  let hot = { Tracegen.default_spec with Tracegen.hot_fraction = 1.0; warm_fraction = 0.0 } in
+  let cold = { Tracegen.default_spec with Tracegen.hot_fraction = 0.0; warm_fraction = 0.0 } in
+  let rh = Tracegen.run (rng ()) hot ~accesses:20_000 ~latency:Config.default_latency in
+  let rc = Tracegen.run (rng ()) cold ~accesses:20_000 ~latency:Config.default_latency in
+  check Alcotest.bool "misses cost cycles" true (rc.Tracegen.cycles > 5.0 *. rh.Tracegen.cycles)
+
+let test_trace_calibration_matches_profile () =
+  (* The rv8 'light' profile claims L1 4 mpki / LLC 0.15 mpki; the
+     calibrated stream must land within a factor of ~2.5 of both,
+     showing the analytic inputs are realisable. *)
+  let l1_mpki = 4.0 and llc_mpki = 0.15 in
+  let _, r = Tracegen.calibrate (rng ()) ~l1_mpki ~llc_mpki ~accesses:60_000 in
+  let refs = 300.0 in
+  let got_l1 = r.Tracegen.l1_miss_rate *. refs in
+  let got_llc = r.Tracegen.l2_miss_rate *. refs in
+  check Alcotest.bool "L1 density in range" true (got_l1 > l1_mpki /. 2.5 && got_l1 < l1_mpki *. 2.5);
+  check Alcotest.bool "LLC density in range" true
+    (got_llc > llc_mpki /. 3.0 && got_llc < llc_mpki *. 3.0)
+
+(* --- NIC --- *)
+
+type fixture = {
+  mem : Phys_mem.t;
+  mee : Mem_encryption.t;
+  ihub : Ihub.t;
+  nic : Nic.t;
+}
+
+let nic_fixture () =
+  let mem = Phys_mem.create ~frames:64 in
+  let mee = Mem_encryption.create ~slots:8 in
+  let ihub = Ihub.create mem in
+  let nic = Nic.create ~mem ~mee ~ihub ~channel:2 in
+  { mem; mee; ihub; nic }
+
+(* Build a descriptor at slot [i] of the (plaintext) ring frame. *)
+let write_descriptor mem ~ring_frame ~slot ~payload_frame ~off ~len =
+  let d = Bytes.create 16 in
+  Bx.set_u64_le d 0 (Int64.of_int payload_frame);
+  Bx.set_u64_le d 8 (Int64.logor (Int64.of_int off) (Int64.shift_left (Int64.of_int len) 32));
+  Phys_mem.write_sub mem ~frame:ring_frame ~off:(slot * 16) d
+
+let test_nic_requires_ring () =
+  let f = nic_fixture () in
+  match Nic.transmit f.nic ~head:0 ~count:1 with
+  | Error Nic.No_ring -> ()
+  | _ -> Alcotest.fail "transmit without a ring must fail"
+
+let test_nic_whitelisted_transmit () =
+  let f = nic_fixture () in
+  (* Ring in frame 2, payload in frame 3; EMS opens the window. *)
+  Ihub.configure_dma_window f.ihub ~channel:2 ~base_frame:2 ~frames:2 ~writable:false;
+  Phys_mem.write_sub f.mem ~frame:3 ~off:100 (Bytes.of_string "packet-one");
+  write_descriptor f.mem ~ring_frame:2 ~slot:0 ~payload_frame:3 ~off:100 ~len:10;
+  Nic.set_tx_ring f.nic ~frame:2 ~key_id:0 ~entries:8;
+  (match Nic.transmit f.nic ~head:0 ~count:1 with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "transmit failed");
+  check (Alcotest.list Alcotest.bytes) "frame on the wire" [ Bytes.of_string "packet-one" ]
+    (Nic.wire f.nic);
+  check Alcotest.int "counted" 1 (Nic.frames_sent f.nic)
+
+let test_nic_blocked_outside_window () =
+  let f = nic_fixture () in
+  (* Window covers only the ring; the payload frame is outside. *)
+  Ihub.configure_dma_window f.ihub ~channel:2 ~base_frame:2 ~frames:1 ~writable:false;
+  write_descriptor f.mem ~ring_frame:2 ~slot:0 ~payload_frame:9 ~off:0 ~len:8;
+  Nic.set_tx_ring f.nic ~frame:2 ~key_id:0 ~entries:8;
+  match Nic.transmit f.nic ~head:0 ~count:1 with
+  | Error (Nic.Dma_denied Ihub.Outside_dma_window) ->
+    check Alcotest.int "nothing on the wire" 0 (List.length (Nic.wire f.nic))
+  | _ -> Alcotest.fail "payload fetch outside the window must be dropped"
+
+let test_nic_malicious_descriptor_rejected () =
+  let f = nic_fixture () in
+  Ihub.configure_dma_window f.ihub ~channel:2 ~base_frame:0 ~frames:64 ~writable:false;
+  Nic.set_tx_ring f.nic ~frame:2 ~key_id:0 ~entries:8;
+  (* Length that escapes the payload frame. *)
+  write_descriptor f.mem ~ring_frame:2 ~slot:0 ~payload_frame:3 ~off:4000 ~len:500;
+  (match Nic.transmit f.nic ~head:0 ~count:1 with
+  | Error (Nic.Bad_descriptor _) -> ()
+  | _ -> Alcotest.fail "overflowing descriptor accepted");
+  (* Frame number out of range. *)
+  write_descriptor f.mem ~ring_frame:2 ~slot:1 ~payload_frame:9999 ~off:0 ~len:8;
+  match Nic.transmit f.nic ~head:1 ~count:1 with
+  | Error (Nic.Bad_descriptor _) -> ()
+  | _ -> Alcotest.fail "wild frame accepted"
+
+let test_nic_encrypted_payload_path () =
+  let f = nic_fixture () in
+  Ihub.configure_dma_window f.ihub ~channel:2 ~base_frame:2 ~frames:4 ~writable:false;
+  (* Payload lives encrypted under key 3 (a shared-memory page); the
+     NIC's payload fetches carry that KeyID. *)
+  Mem_encryption.program f.mee ~key_id:3 (Bytes.make 16 'k');
+  let page = Bytes.make 4096 '\000' in
+  Bytes.blit_string "ciphertext-at-rest" 0 page 0 18;
+  Phys_mem.write f.mem ~frame:4 (Mem_encryption.store f.mee ~key_id:3 ~frame:4 page);
+  write_descriptor f.mem ~ring_frame:2 ~slot:0 ~payload_frame:4 ~off:0 ~len:18;
+  Nic.set_tx_ring f.nic ~frame:2 ~key_id:0 ~entries:8;
+  Nic.set_payload_key_id f.nic 3;
+  (match Nic.transmit f.nic ~head:0 ~count:1 with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "encrypted transmit failed");
+  check (Alcotest.list Alcotest.bytes) "decrypted payload on the wire"
+    [ Bytes.of_string "ciphertext-at-rest" ] (Nic.wire f.nic)
+
+let test_nic_ring_wraparound () =
+  let f = nic_fixture () in
+  Ihub.configure_dma_window f.ihub ~channel:2 ~base_frame:2 ~frames:4 ~writable:false;
+  Nic.set_tx_ring f.nic ~frame:2 ~key_id:0 ~entries:4;
+  for slot = 0 to 3 do
+    Phys_mem.write_sub f.mem ~frame:3 ~off:(slot * 16) (Bytes.of_string (Printf.sprintf "frame-%d" slot));
+    write_descriptor f.mem ~ring_frame:2 ~slot ~payload_frame:3 ~off:(slot * 16) ~len:7
+  done;
+  (match Nic.transmit f.nic ~head:2 ~count:4 with
+  | Ok 4 -> ()
+  | _ -> Alcotest.fail "wraparound transmit failed");
+  check (Alcotest.list Alcotest.bytes) "ring order with wrap"
+    (List.map Bytes.of_string [ "frame-2"; "frame-3"; "frame-0"; "frame-1" ])
+    (Nic.wire f.nic)
+
+let suite =
+  [
+    ( "devices.tracegen",
+      [
+        Alcotest.test_case "hot set hits" `Quick test_trace_hot_only_hits;
+        Alcotest.test_case "cold stream misses" `Quick test_trace_cold_stream_misses;
+        Alcotest.test_case "warm set is L2-resident" `Quick test_trace_warm_set_l2_resident;
+        Alcotest.test_case "cycles scale with misses" `Quick test_trace_cycles_scale_with_misses;
+        Alcotest.test_case "calibration matches profile" `Quick test_trace_calibration_matches_profile;
+      ] );
+    ( "devices.nic",
+      [
+        Alcotest.test_case "requires a ring" `Quick test_nic_requires_ring;
+        Alcotest.test_case "whitelisted transmit" `Quick test_nic_whitelisted_transmit;
+        Alcotest.test_case "blocked outside the window" `Quick test_nic_blocked_outside_window;
+        Alcotest.test_case "malicious descriptors rejected" `Quick test_nic_malicious_descriptor_rejected;
+        Alcotest.test_case "encrypted payload path" `Quick test_nic_encrypted_payload_path;
+        Alcotest.test_case "ring wraparound" `Quick test_nic_ring_wraparound;
+      ] );
+  ]

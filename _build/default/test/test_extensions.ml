@@ -1,0 +1,544 @@
+(* Tests for the Sec. IX extension features: Merkle trees, the IOMMU,
+   CFI monitoring, CVM lifecycle / snapshots / migration, and the
+   ablation experiments. *)
+
+module Merkle = Hypertee_crypto.Merkle
+module Iommu = Hypertee_arch.Iommu
+module Cfi = Hypertee_ems.Cfi
+module Manager = Hypertee_cvm.Manager
+module A = Hypertee_experiments.Ablations
+
+let check = Alcotest.check
+let prop = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+(* --- Merkle --- *)
+
+let blocks n = List.init n (fun i -> Bytes.make 64 (Char.chr (65 + (i mod 26))))
+
+let test_merkle_root_deterministic () =
+  let t1 = Merkle.build (blocks 7) and t2 = Merkle.build (blocks 7) in
+  check Alcotest.bytes "same blocks, same root" (Merkle.root t1) (Merkle.root t2);
+  let t3 = Merkle.build (blocks 8) in
+  check Alcotest.bool "different blocks, different root" false
+    (Bytes.equal (Merkle.root t1) (Merkle.root t3))
+
+let test_merkle_single_leaf () =
+  let t = Merkle.build [ Bytes.of_string "only" ] in
+  check Alcotest.int "one leaf" 1 (Merkle.leaf_count t);
+  check Alcotest.bool "verifies" true
+    (Merkle.verify ~root:(Merkle.root t) ~index:0 ~leaf_count:1 (Merkle.proof t ~index:0)
+       (Bytes.of_string "only"))
+
+let test_merkle_proofs_all_indices () =
+  List.iter
+    (fun n ->
+      let bs = blocks n in
+      let t = Merkle.build bs in
+      List.iteri
+        (fun i b ->
+          check Alcotest.bool
+            (Printf.sprintf "n=%d i=%d verifies" n i)
+            true
+            (Merkle.verify ~root:(Merkle.root t) ~index:i ~leaf_count:n (Merkle.proof t ~index:i) b))
+        bs)
+    [ 1; 2; 3; 4; 5; 7; 8; 16; 17 ]
+
+let test_merkle_rejects_wrong_block () =
+  let t = Merkle.build (blocks 8) in
+  let proof = Merkle.proof t ~index:3 in
+  check Alcotest.bool "forged block rejected" false
+    (Merkle.verify ~root:(Merkle.root t) ~index:3 ~leaf_count:8 proof (Bytes.of_string "forged"))
+
+let test_merkle_rejects_wrong_index () =
+  let bs = blocks 8 in
+  let t = Merkle.build bs in
+  let proof = Merkle.proof t ~index:3 in
+  check Alcotest.bool "proof bound to its index" false
+    (Merkle.verify ~root:(Merkle.root t) ~index:4 ~leaf_count:8 proof (List.nth bs 4))
+
+let test_merkle_update () =
+  let bs = blocks 8 in
+  let t = Merkle.build bs in
+  let t' = Merkle.update t ~index:2 (Bytes.of_string "replaced") in
+  check Alcotest.bool "root changed" false (Bytes.equal (Merkle.root t) (Merkle.root t'));
+  check Alcotest.bool "new block verifies" true
+    (Merkle.verify ~root:(Merkle.root t') ~index:2 ~leaf_count:8 (Merkle.proof t' ~index:2)
+       (Bytes.of_string "replaced"));
+  (* Equal to a fresh build of the updated list. *)
+  let rebuilt = Merkle.build (List.mapi (fun i b -> if i = 2 then Bytes.of_string "replaced" else b) bs) in
+  check Alcotest.bytes "incremental = rebuild" (Merkle.root rebuilt) (Merkle.root t')
+
+let prop_merkle_verify_roundtrip =
+  prop
+    (QCheck.Test.make ~name:"every leaf of a random tree verifies" ~count:40
+       QCheck.(pair (int_range 1 24) (int_bound 1000))
+       (fun (n, salt) ->
+         let bs = List.init n (fun i -> Bytes.of_string (Printf.sprintf "blk-%d-%d" salt i)) in
+         let t = Merkle.build bs in
+         List.for_all
+           (fun i ->
+             Merkle.verify ~root:(Merkle.root t) ~index:i ~leaf_count:n (Merkle.proof t ~index:i)
+               (List.nth bs i))
+           (List.init n Fun.id)))
+
+(* --- Iommu --- *)
+
+let test_iommu_translate () =
+  let io = Iommu.create () in
+  Iommu.map io ~device:1 ~io_vpn:5 ~frame:42 ~writable:false ();
+  (match Iommu.translate io ~device:1 ~io_vpn:5 ~access:Iommu.Dma_read with
+  | Ok tr -> check Alcotest.int "translated" 42 tr.Iommu.frame
+  | Error _ -> Alcotest.fail "mapped read must succeed");
+  (match Iommu.translate io ~device:1 ~io_vpn:5 ~access:Iommu.Dma_write with
+  | Error Iommu.Write_to_readonly -> ()
+  | _ -> Alcotest.fail "read-only mapping must reject writes");
+  match Iommu.translate io ~device:1 ~io_vpn:6 ~access:Iommu.Dma_read with
+  | Error Iommu.Unmapped -> ()
+  | _ -> Alcotest.fail "unmapped access must fault"
+
+let test_iommu_devices_isolated () =
+  let io = Iommu.create () in
+  Iommu.map io ~device:1 ~io_vpn:5 ~frame:42 ~writable:true ();
+  match Iommu.translate io ~device:2 ~io_vpn:5 ~access:Iommu.Dma_read with
+  | Error Iommu.Unmapped -> ()
+  | _ -> Alcotest.fail "device 2 must not use device 1's table"
+
+let test_iommu_iotlb_and_invalidation () =
+  let io = Iommu.create () in
+  Iommu.map io ~device:1 ~io_vpn:5 ~frame:42 ~writable:true ();
+  ignore (Iommu.translate io ~device:1 ~io_vpn:5 ~access:Iommu.Dma_read);
+  ignore (Iommu.translate io ~device:1 ~io_vpn:5 ~access:Iommu.Dma_read);
+  check Alcotest.int "second access hits the IOTLB" 1 (Iommu.iotlb_hits io);
+  (* Remap must invalidate: the stale frame must not be returned. *)
+  Iommu.map io ~device:1 ~io_vpn:5 ~frame:99 ~writable:true ();
+  (match Iommu.translate io ~device:1 ~io_vpn:5 ~access:Iommu.Dma_read with
+  | Ok tr -> check Alcotest.int "no stale IOTLB entry" 99 tr.Iommu.frame
+  | Error _ -> Alcotest.fail "remapped access must succeed");
+  Iommu.unmap io ~device:1 ~io_vpn:5;
+  match Iommu.translate io ~device:1 ~io_vpn:5 ~access:Iommu.Dma_read with
+  | Error Iommu.Unmapped -> ()
+  | _ -> Alcotest.fail "unmap must invalidate the IOTLB"
+
+let test_iommu_clear_device () =
+  let io = Iommu.create () in
+  Iommu.map io ~device:7 ~io_vpn:1 ~frame:10 ~writable:true ();
+  Iommu.map io ~device:7 ~io_vpn:2 ~frame:11 ~writable:true ();
+  Iommu.map io ~device:8 ~io_vpn:1 ~frame:12 ~writable:true ();
+  Iommu.clear_device io ~device:7;
+  check Alcotest.int "device 7 cleared" 0 (List.length (Iommu.mappings_of io ~device:7));
+  check Alcotest.int "device 8 untouched" 1 (List.length (Iommu.mappings_of io ~device:8));
+  check Alcotest.bool "faults counted" true
+    (match Iommu.translate io ~device:7 ~io_vpn:1 ~access:Iommu.Dma_read with
+    | Error Iommu.Unmapped -> Iommu.faults io > 0
+    | _ -> false)
+
+(* --- GPU --- *)
+
+module Gpu = Hypertee_accel.Gpu
+
+let gpu_fixture () =
+  let mem = Hypertee_arch.Phys_mem.create ~frames:64 in
+  let mee = Hypertee_arch.Mem_encryption.create ~slots:8 in
+  let iommu = Iommu.create () in
+  let gpu = Gpu.create ~mem ~mee ~iommu ~device:3 in
+  (mem, mee, iommu, gpu)
+
+let test_gpu_binding () =
+  let _, _, _, gpu = gpu_fixture () in
+  (match Gpu.submit gpu ~from:1 (Gpu.Reduce_sum { src = 0; out = 64; length = 1 }) with
+  | Error Gpu.Not_bound -> ()
+  | _ -> Alcotest.fail "unbound GPU must reject everything");
+  Gpu.bind gpu ~driver:7;
+  check Alcotest.bool "bound" true (Gpu.bound_to gpu = Some 7);
+  (match Gpu.submit gpu ~from:8 (Gpu.Reduce_sum { src = 0; out = 64; length = 1 }) with
+  | Error Gpu.Wrong_enclave -> ()
+  | _ -> Alcotest.fail "wrong enclave must be rejected");
+  Gpu.unbind gpu;
+  check Alcotest.bool "unbound" true (Gpu.bound_to gpu = None)
+
+let test_gpu_vector_add_through_iommu () =
+  let mem, mee, iommu, gpu = gpu_fixture () in
+  Gpu.bind gpu ~driver:7;
+  (* Two encrypted pages mapped at io_vpn 0 and 1 with key 2. *)
+  Hypertee_arch.Mem_encryption.program mee ~key_id:2 (Bytes.make 16 'k');
+  let zero = Bytes.make 4096 '\000' in
+  List.iter
+    (fun frame ->
+      Hypertee_arch.Phys_mem.write mem ~frame
+        (Hypertee_arch.Mem_encryption.store mee ~key_id:2 ~frame zero))
+    [ 10; 11 ];
+  Iommu.map iommu ~device:3 ~io_vpn:0 ~frame:10 ~writable:true ~key_id:2 ();
+  Iommu.map iommu ~device:3 ~io_vpn:1 ~frame:11 ~writable:true ~key_id:2 ();
+  (* Seed inputs directly through the engine. *)
+  let page = Bytes.make 4096 '\000' in
+  for i = 0 to 63 do
+    Hypertee_util.Bytes_ext.set_u64_le page (8 * i) (Int64.of_int (i + 1));
+    Hypertee_util.Bytes_ext.set_u64_le page (512 + (8 * i)) (Int64.of_int (10 * (i + 1)))
+  done;
+  Hypertee_arch.Phys_mem.write mem ~frame:10
+    (Hypertee_arch.Mem_encryption.store mee ~key_id:2 ~frame:10 page);
+  (match Gpu.submit gpu ~from:7 (Gpu.Vector_add { a = 0; b = 512; out = 4096; length = 64 }) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "kernel failed");
+  (* Check results landed encrypted in frame 11. *)
+  let out =
+    Hypertee_arch.Mem_encryption.load mee ~key_id:2 ~frame:11
+      (Hypertee_arch.Phys_mem.read mem ~frame:11)
+  in
+  for i = 0 to 63 do
+    check Alcotest.int64
+      (Printf.sprintf "element %d" i)
+      (Int64.of_int (11 * (i + 1)))
+      (Hypertee_util.Bytes_ext.get_u64_le out (8 * i))
+  done;
+  check Alcotest.int "completed" 1 (Gpu.completed gpu)
+
+let test_gpu_confined_by_iommu () =
+  let _, _, iommu, gpu = gpu_fixture () in
+  Gpu.bind gpu ~driver:7;
+  (match Gpu.submit gpu ~from:7 (Gpu.Reduce_sum { src = 0; out = 8; length = 1 }) with
+  | Error (Gpu.Iommu_fault Iommu.Unmapped) -> ()
+  | _ -> Alcotest.fail "unmapped GPU access must fault");
+  (* A read-only mapping rejects the output write. *)
+  Iommu.map iommu ~device:3 ~io_vpn:0 ~frame:5 ~writable:false ();
+  match Gpu.submit gpu ~from:7 (Gpu.Vector_scale { src = 0; out = 16; factor = 2L; length = 1 }) with
+  | Error (Gpu.Iommu_fault Iommu.Write_to_readonly) -> ()
+  | _ -> Alcotest.fail "read-only IOMMU mapping must reject the write"
+
+(* --- CFI --- *)
+
+let simple_policy =
+  Cfi.policy ~edges:[ (0x100, 0x200); (0x200, 0x300); (0x300, 0x100) ] ~indirect_targets:[ 0x400 ]
+
+let test_cfi_clean_trace () =
+  let t = Cfi.create () in
+  Cfi.register t ~enclave:1 simple_policy;
+  Cfi.record_transfer t ~enclave:1 ~from_pc:0x100 ~to_pc:0x200;
+  Cfi.record_transfer t ~enclave:1 ~from_pc:0x200 ~to_pc:0x300;
+  Cfi.record_transfer t ~enclave:1 ~from_pc:0x999 ~to_pc:0x400 (* indirect target: allowed *);
+  (match Cfi.monitor t ~enclave:1 with
+  | Cfi.Clean n -> check Alcotest.int "three transfers checked" 3 n
+  | _ -> Alcotest.fail "clean trace flagged");
+  check Alcotest.int "buffer drained" 0 (Cfi.pending t ~enclave:1);
+  check Alcotest.int "no violations" 0 (Cfi.violations t)
+
+let test_cfi_detects_rop_edge () =
+  let t = Cfi.create () in
+  Cfi.register t ~enclave:1 simple_policy;
+  Cfi.record_transfer t ~enclave:1 ~from_pc:0x100 ~to_pc:0x200;
+  Cfi.record_transfer t ~enclave:1 ~from_pc:0x200 ~to_pc:0xBAD;
+  (match Cfi.monitor t ~enclave:1 with
+  | Cfi.Violation { from_pc; to_pc } ->
+    check Alcotest.int "from" 0x200 from_pc;
+    check Alcotest.int "to" 0xBAD to_pc
+  | _ -> Alcotest.fail "hijacked edge not detected");
+  check Alcotest.int "violation counted" 1 (Cfi.violations t)
+
+let test_cfi_overflow_is_conservative () =
+  let t = Cfi.create ~buffer_capacity:4 () in
+  Cfi.register t ~enclave:1 simple_policy;
+  for _ = 1 to 10 do
+    Cfi.record_transfer t ~enclave:1 ~from_pc:0x100 ~to_pc:0x200
+  done;
+  match Cfi.monitor t ~enclave:1 with
+  | Cfi.Buffer_overflow -> check Alcotest.int "counted as violation" 1 (Cfi.violations t)
+  | _ -> Alcotest.fail "overflow must be flagged"
+
+let test_cfi_unmonitored_enclave () =
+  let t = Cfi.create () in
+  Cfi.record_transfer t ~enclave:9 ~from_pc:1 ~to_pc:2;
+  match Cfi.monitor t ~enclave:9 with
+  | Cfi.Clean 0 -> ()
+  | _ -> Alcotest.fail "unmonitored enclave must be a no-op"
+
+(* --- CVM --- *)
+
+let fresh_manager seed = Manager.create (Hypertee.Platform.create ~seed ())
+
+let test_cvm_lifecycle () =
+  let m = fresh_manager 0xC1L in
+  let cvm =
+    Result.get_ok (Manager.launch m ~vcpus:2 ~memory_pages:8 ~image:(Bytes.of_string "guest"))
+  in
+  check Alcotest.bool "running" true (Manager.state m cvm = Some Manager.Running);
+  check Alcotest.int "pages" 8 (Manager.memory_pages m cvm);
+  Result.get_ok (Manager.suspend m cvm);
+  check Alcotest.bool "suspended" true (Manager.state m cvm = Some Manager.Suspended);
+  check Alcotest.bool "double suspend rejected" true (Result.is_error (Manager.suspend m cvm));
+  Result.get_ok (Manager.resume m cvm);
+  Result.get_ok (Manager.destroy m cvm);
+  check Alcotest.bool "destroyed" true (Manager.state m cvm = Some Manager.Destroyed);
+  check Alcotest.bool "operations rejected after destroy" true
+    (Result.is_error (Manager.guest_read m cvm ~gpa:0 ~len:4))
+
+let test_cvm_guest_memory () =
+  let m = fresh_manager 0xC2L in
+  let image = Bytes.of_string "kernel image bytes" in
+  let cvm = Result.get_ok (Manager.launch m ~vcpus:1 ~memory_pages:4 ~image) in
+  (* The image is loaded at gpa 0. *)
+  check Alcotest.bytes "image loaded" image
+    (Result.get_ok (Manager.guest_read m cvm ~gpa:0 ~len:(Bytes.length image)));
+  (* Cross-page write/read. *)
+  let big = Bytes.init 6000 (fun i -> Char.chr (i land 0xff)) in
+  Result.get_ok (Manager.guest_write m cvm ~gpa:3000 big);
+  check Alcotest.bytes "cross-page roundtrip" big
+    (Result.get_ok (Manager.guest_read m cvm ~gpa:3000 ~len:6000));
+  check Alcotest.bool "out of range rejected" true
+    (Result.is_error (Manager.guest_read m cvm ~gpa:(4 * 4096 - 2) ~len:4))
+
+let test_cvm_memory_is_encrypted () =
+  let m = fresh_manager 0xC3L in
+  let cvm = Result.get_ok (Manager.launch m ~vcpus:1 ~memory_pages:2 ~image:Bytes.empty) in
+  let secret = Bytes.of_string "guest-secret-0123456789" in
+  Result.get_ok (Manager.guest_write m cvm ~gpa:0 secret);
+  (* Scan all of physical memory for the plaintext. *)
+  let mem = Hypertee.Platform.mem (Manager.platform m) in
+  let found = ref false in
+  for f = 0 to Hypertee_arch.Phys_mem.frames mem - 1 do
+    let page = Hypertee_arch.Phys_mem.read mem ~frame:f in
+    for i = 0 to 4096 - Bytes.length secret do
+      if Bytes.equal (Bytes.sub page i (Bytes.length secret)) secret then found := true
+    done
+  done;
+  check Alcotest.bool "no plaintext anywhere in DRAM" false !found
+
+let test_cvm_snapshot_restore () =
+  let m = fresh_manager 0xC4L in
+  let cvm = Result.get_ok (Manager.launch m ~vcpus:1 ~memory_pages:4 ~image:Bytes.empty) in
+  Result.get_ok (Manager.guest_write m cvm ~gpa:100 (Bytes.of_string "state"));
+  let snap = Result.get_ok (Manager.snapshot m cvm) in
+  (* Mutate after the snapshot; restore must roll back. *)
+  Result.get_ok (Manager.guest_write m cvm ~gpa:100 (Bytes.of_string "later"));
+  let restored = Result.get_ok (Manager.restore m snap) in
+  check Alcotest.bytes "snapshot state" (Bytes.of_string "state")
+    (Result.get_ok (Manager.guest_read m restored ~gpa:100 ~len:5))
+
+let test_cvm_snapshot_tamper_detected () =
+  let m = fresh_manager 0xC5L in
+  let cvm = Result.get_ok (Manager.launch m ~vcpus:1 ~memory_pages:4 ~image:Bytes.empty) in
+  let snap = Result.get_ok (Manager.snapshot m cvm) in
+  let pages = Array.map Bytes.copy snap.Manager.encrypted_pages in
+  Bytes.set pages.(1) 7 (Char.chr (Char.code (Bytes.get pages.(1) 7) lxor 1));
+  (match Manager.restore m { snap with Manager.encrypted_pages = pages } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered snapshot restored");
+  check Alcotest.int "tamper counted" 1 (Manager.tamper_detections m)
+
+let test_cvm_migration () =
+  let src = fresh_manager 0xC6L and dst = fresh_manager 0xC7L in
+  let cvm = Result.get_ok (Manager.launch src ~vcpus:2 ~memory_pages:4 ~image:Bytes.empty) in
+  Result.get_ok (Manager.guest_write src cvm ~gpa:0 (Bytes.of_string "migrate-me"));
+  let rng = Hypertee_util.Xrng.create 1L in
+  let dst_id = Result.get_ok (Manager.migrate ~src ~dst ~rng cvm) in
+  check Alcotest.bool "source destroyed" true (Manager.state src cvm = Some Manager.Destroyed);
+  check Alcotest.bytes "state arrived intact" (Bytes.of_string "migrate-me")
+    (Result.get_ok (Manager.guest_read dst dst_id ~gpa:0 ~len:10));
+  (* Measurement travels with the CVM. *)
+  check Alcotest.bool "measurement preserved" true
+    (Manager.measurement dst dst_id = Manager.measurement src cvm)
+
+let test_cvm_frames_reclaimed () =
+  let m = fresh_manager 0xC8L in
+  let pool =
+    Hypertee_ems.Runtime.pool (Hypertee.Platform.Internals.runtime (Manager.platform m))
+  in
+  let before = Hypertee_ems.Mem_pool.available pool in
+  let cvm = Result.get_ok (Manager.launch m ~vcpus:1 ~memory_pages:16 ~image:Bytes.empty) in
+  Result.get_ok (Manager.destroy m cvm);
+  check Alcotest.bool "pool conserved" true (Hypertee_ems.Mem_pool.available pool >= before)
+
+let test_cvm_bad_dimensions () =
+  let m = fresh_manager 0xC9L in
+  check Alcotest.bool "zero pages rejected" true
+    (Result.is_error (Manager.launch m ~vcpus:1 ~memory_pages:0 ~image:Bytes.empty));
+  check Alcotest.bool "zero vcpus rejected" true
+    (Result.is_error (Manager.launch m ~vcpus:0 ~memory_pages:4 ~image:Bytes.empty));
+  check Alcotest.bool "oversized image rejected" true
+    (Result.is_error (Manager.launch m ~vcpus:1 ~memory_pages:1 ~image:(Bytes.create 8192)))
+
+(* --- Ablations --- *)
+
+let test_ablation_pool () =
+  let a = A.pool () in
+  check Alcotest.bool "pool hides events" true (a.A.os_events_with_pool < a.A.os_events_without_pool / 10);
+  check Alcotest.bool "pool is faster" true (a.A.latency_with_pool_ns < a.A.latency_without_pool_ns)
+
+let test_ablation_threshold () =
+  let a = A.threshold () in
+  check Alcotest.bool "several refills" true (a.A.refills_observed > 5);
+  check (Alcotest.float 1e-9) "fixed is fully predictable" 0.0 a.A.fixed_interval_stddev;
+  check Alcotest.bool "randomized spreads" true (a.A.randomized_interval_stddev > 2.0)
+
+let test_ablation_isolation () =
+  let a = A.isolation () in
+  check Alcotest.bool "range scheme saturates" true (a.A.range_scheme_supported < a.A.fragmented_regions);
+  check Alcotest.int "bitmap covers all" a.A.fragmented_regions a.A.bitmap_supported
+
+let test_ablation_swap () =
+  let a = A.swap () in
+  check Alcotest.int "direct swapping always observable" a.A.trials a.A.victim_faults_direct;
+  check Alcotest.bool "randomized hides the victim" true
+    (a.A.victim_faults_randomized * 10 < a.A.victim_faults_direct)
+
+let suite =
+  [
+    ( "ext.merkle",
+      [
+        Alcotest.test_case "deterministic root" `Quick test_merkle_root_deterministic;
+        Alcotest.test_case "single leaf" `Quick test_merkle_single_leaf;
+        Alcotest.test_case "proofs for all indices" `Quick test_merkle_proofs_all_indices;
+        Alcotest.test_case "rejects wrong block" `Quick test_merkle_rejects_wrong_block;
+        Alcotest.test_case "rejects wrong index" `Quick test_merkle_rejects_wrong_index;
+        Alcotest.test_case "incremental update" `Quick test_merkle_update;
+        prop_merkle_verify_roundtrip;
+      ] );
+    ( "ext.iommu",
+      [
+        Alcotest.test_case "translate + permissions" `Quick test_iommu_translate;
+        Alcotest.test_case "devices isolated" `Quick test_iommu_devices_isolated;
+        Alcotest.test_case "IOTLB + invalidation" `Quick test_iommu_iotlb_and_invalidation;
+        Alcotest.test_case "clear device" `Quick test_iommu_clear_device;
+      ] );
+    ( "ext.gpu",
+      [
+        Alcotest.test_case "control-path binding" `Quick test_gpu_binding;
+        Alcotest.test_case "vector add through IOMMU + engine" `Quick test_gpu_vector_add_through_iommu;
+        Alcotest.test_case "confined by IOMMU" `Quick test_gpu_confined_by_iommu;
+      ] );
+    ( "ext.cfi",
+      [
+        Alcotest.test_case "clean trace" `Quick test_cfi_clean_trace;
+        Alcotest.test_case "detects hijacked edge" `Quick test_cfi_detects_rop_edge;
+        Alcotest.test_case "overflow conservative" `Quick test_cfi_overflow_is_conservative;
+        Alcotest.test_case "unmonitored no-op" `Quick test_cfi_unmonitored_enclave;
+      ] );
+    ( "ext.cvm",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_cvm_lifecycle;
+        Alcotest.test_case "guest memory" `Quick test_cvm_guest_memory;
+        Alcotest.test_case "memory encrypted" `Quick test_cvm_memory_is_encrypted;
+        Alcotest.test_case "snapshot/restore" `Quick test_cvm_snapshot_restore;
+        Alcotest.test_case "snapshot tamper detected" `Quick test_cvm_snapshot_tamper_detected;
+        Alcotest.test_case "migration" `Quick test_cvm_migration;
+        Alcotest.test_case "frames reclaimed" `Quick test_cvm_frames_reclaimed;
+        Alcotest.test_case "bad dimensions" `Quick test_cvm_bad_dimensions;
+      ] );
+    ( "ext.ablations",
+      [
+        Alcotest.test_case "pool" `Quick test_ablation_pool;
+        Alcotest.test_case "threshold randomization" `Quick test_ablation_threshold;
+        Alcotest.test_case "isolation scalability" `Quick test_ablation_isolation;
+        Alcotest.test_case "swap randomization" `Quick test_ablation_swap;
+      ] );
+  ]
+
+(* --- Secure boot (Sec. VI) --- *)
+
+module Boot = Hypertee_ems.Boot
+
+let provision_boot () =
+  Boot.provision
+    (Hypertee_util.Xrng.create 0xB007L)
+    ~runtime_image:(Bytes.of_string "the EMS runtime binary")
+    ~firmware_image:(Bytes.of_string "the EMCall firmware binary")
+
+let test_boot_clean_chain () =
+  match Boot.boot (provision_boot ()) with
+  | Boot.Booted { platform_measurement; stages } ->
+    check Alcotest.int "measurement size" 32 (Bytes.length platform_measurement);
+    check Alcotest.int "four stages" 4 (List.length stages)
+  | Boot.Halted { reason; _ } -> Alcotest.failf "clean boot halted: %s" reason
+
+let test_boot_deterministic_measurement () =
+  match (Boot.boot (provision_boot ()), Boot.boot (provision_boot ())) with
+  | Boot.Booted { platform_measurement = a; _ }, Boot.Booted { platform_measurement = b; _ } ->
+    check Alcotest.bytes "same images, same measurement" a b
+  | _ -> Alcotest.fail "boot failed"
+
+let test_boot_runtime_in_flash_is_ciphertext () =
+  let p = provision_boot () in
+  check Alcotest.bool "flash does not hold the plaintext runtime" false
+    (Bytes.equal p.Boot.flash_runtime (Bytes.of_string "the EMS runtime binary"))
+
+let test_boot_detects_flash_tamper () =
+  let p = provision_boot () in
+  let flash = Bytes.copy p.Boot.flash_runtime in
+  Bytes.set flash 3 (Char.chr (Char.code (Bytes.get flash 3) lxor 1));
+  match Boot.boot { p with Boot.flash_runtime = flash } with
+  | Boot.Halted { at = Boot.Ems_runtime; _ } -> ()
+  | Boot.Halted { at; _ } -> Alcotest.failf "halted at the wrong stage: %s" (Boot.stage_name at)
+  | Boot.Booted _ -> Alcotest.fail "tampered runtime booted"
+
+let test_boot_detects_firmware_tamper () =
+  let p = provision_boot () in
+  let firmware = Bytes.copy p.Boot.firmware in
+  Bytes.set firmware 0 'X';
+  match Boot.boot { p with Boot.firmware } with
+  | Boot.Halted { at = Boot.Cs_firmware; _ } -> ()
+  | Boot.Halted { at; _ } -> Alcotest.failf "halted at the wrong stage: %s" (Boot.stage_name at)
+  | Boot.Booted _ -> Alcotest.fail "tampered firmware booted"
+
+let test_boot_detects_eeprom_tamper () =
+  let p = provision_boot () in
+  let h = Bytes.copy p.Boot.eeprom_runtime_hash in
+  Bytes.set h 0 (Char.chr (Char.code (Bytes.get h 0) lxor 1));
+  check Alcotest.bool "EEPROM tamper halts boot" false
+    (Boot.booted (Boot.boot { p with Boot.eeprom_runtime_hash = h }))
+
+let boot_suite =
+  ( "ext.boot",
+    [
+      Alcotest.test_case "clean chain" `Quick test_boot_clean_chain;
+      Alcotest.test_case "deterministic measurement" `Quick test_boot_deterministic_measurement;
+      Alcotest.test_case "flash holds ciphertext" `Quick test_boot_runtime_in_flash_is_ciphertext;
+      Alcotest.test_case "flash tamper detected" `Quick test_boot_detects_flash_tamper;
+      Alcotest.test_case "firmware tamper detected" `Quick test_boot_detects_firmware_tamper;
+      Alcotest.test_case "EEPROM tamper detected" `Quick test_boot_detects_eeprom_tamper;
+    ] )
+
+let suite = suite @ [ boot_suite ]
+
+(* --- Table VI derived by probing (not asserted) --- *)
+
+module T6 = Hypertee_experiments.Table6_probe
+module Security = Hypertee.Security
+
+let test_table6_probes_match_paper () =
+  List.iter
+    (fun tee ->
+      List.iter
+        (fun attack ->
+          let derived = T6.derived_capability tee attack in
+          let paper = Security.defends tee attack in
+          if derived <> paper then
+            Alcotest.failf "%s / %s: probed %s but the paper says %s" (Security.tee_name tee)
+              (Security.attack_name attack)
+              (Security.capability_symbol derived)
+              (Security.capability_symbol paper))
+        Security.all_attacks)
+    Security.all_tees
+
+let test_table6_hypertee_row_fully_defended () =
+  let r = T6.probe (T6.mechanisms_of Security.Hypertee) in
+  check Alcotest.bool "alloc" true r.T6.alloc_defended;
+  check Alcotest.bool "page table" true r.T6.page_table_defended;
+  check Alcotest.bool "swap" true r.T6.swap_defended;
+  check Alcotest.bool "comm" true r.T6.comm_defended;
+  check Alcotest.bool "uarch" true (r.T6.uarch = Security.Defended)
+
+let test_table6_sgx_row_fully_exposed () =
+  let r = T6.probe (T6.mechanisms_of Security.Sgx) in
+  check Alcotest.bool "alloc" false r.T6.alloc_defended;
+  check Alcotest.bool "page table" false r.T6.page_table_defended;
+  check Alcotest.bool "swap" false r.T6.swap_defended;
+  check Alcotest.bool "comm" false r.T6.comm_defended
+
+let table6_suite =
+  ( "ext.table6_probe",
+    [
+      Alcotest.test_case "probed matrix = paper matrix (45 cells)" `Quick test_table6_probes_match_paper;
+      Alcotest.test_case "HyperTEE row fully defended" `Quick test_table6_hypertee_row_fully_defended;
+      Alcotest.test_case "SGX row fully exposed" `Quick test_table6_sgx_row_fully_exposed;
+    ] )
+
+let suite = suite @ [ table6_suite ]

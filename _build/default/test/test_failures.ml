@@ -1,0 +1,286 @@
+(* Failure injection: resource exhaustion, error-path cleanliness and
+   recovery. A production TEE must degrade cleanly when KeyIDs,
+   memory or mailbox slots run out — and recover once resources
+   return. *)
+
+open Hypertee
+module Types = Hypertee_ems.Types
+module Runtime = Hypertee_ems.Runtime
+module Emcall = Hypertee_cs.Emcall
+module Config = Hypertee_arch.Config
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Phys_mem = Hypertee_arch.Phys_mem
+
+let check = Alcotest.check
+
+let tiny_image = Sdk.image_of_code ~code:(Bytes.of_string "x") ~data:Bytes.empty ()
+
+let small_config =
+  {
+    Types.code_pages = 1;
+    data_pages = 1;
+    heap_pages = 1;
+    stack_pages = 1;
+    shared_pages = 1;
+  }
+
+let small_image = { tiny_image with Sdk.config = small_config }
+
+(* --- KeyID exhaustion (Sec. IV-C) --- *)
+
+let test_keyid_exhaustion_and_recovery () =
+  let platform = Platform.create ~seed:0xF1L () in
+  let mee = Platform.Internals.mee platform in
+  (* Burn every programmable slot except a handful. *)
+  let rec burn () =
+    match Mem_encryption.find_free_slot mee with
+    | Some key_id when key_id < Mem_encryption.slots mee - 3 ->
+      Mem_encryption.program mee ~key_id (Bytes.make 16 'x');
+      burn ()
+    | _ -> ()
+  in
+  burn ();
+  (* A few launches still fit; keep them Running so their keys are
+     not parkable (Sec. IV-C parking only suspends idle enclaves). *)
+  let e1 = Result.get_ok (Sdk.launch platform small_image) in
+  let _s1 = Result.get_ok (Sdk.enter platform ~enclave:e1) in
+  let e2 = Result.get_ok (Sdk.launch platform small_image) in
+  let _s2 = Result.get_ok (Sdk.enter platform ~enclave:e2) in
+  let e3 = Result.get_ok (Sdk.launch platform small_image) in
+  let _s3 = Result.get_ok (Sdk.enter platform ~enclave:e3) in
+  (* ...then the well is dry. *)
+  (match Sdk.launch platform small_image with
+  | Error m -> check Alcotest.string "reported as KeyID exhaustion" (Types.error_message Types.Out_of_key_ids) m
+  | Ok _ -> Alcotest.fail "launch must fail with no KeyIDs left");
+  (* Destroying an enclave releases its KeyID; launching works again. *)
+  Result.get_ok (Sdk.destroy platform ~enclave:e2);
+  (match Sdk.launch platform small_image with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "recovery failed: %s" m);
+  ignore (e1, e3)
+
+(* --- Memory exhaustion --- *)
+
+let test_memory_exhaustion_clean_failure () =
+  (* A platform so small that a large enclave cannot fit. *)
+  let config = { Config.default with Config.memory_mb = 2; ems_memory_mb = 1 } in
+  let platform = Platform.create ~seed:0xF2L ~config () in
+  let huge =
+    {
+      tiny_image with
+      Sdk.config = { small_config with Types.heap_pages = 4096 };
+    }
+  in
+  (match Sdk.launch platform huge with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized enclave must not launch");
+  (* The failure must not leak the KeyID it grabbed: a small enclave
+     still launches afterwards. *)
+  match Sdk.launch platform small_image with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "small launch after failed big launch: %s" m
+
+let test_alloc_failure_reports_out_of_memory () =
+  let config = { Config.default with Config.memory_mb = 2; ems_memory_mb = 1 } in
+  let platform = Platform.create ~seed:0xF3L ~config () in
+  let enclave = Result.get_ok (Sdk.launch platform small_image) in
+  let session = Result.get_ok (Sdk.enter platform ~enclave) in
+  match Session.alloc session ~pages:8192 with
+  | Error Types.Out_of_memory -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Types.error_message e)
+  | Ok _ -> Alcotest.fail "impossible allocation succeeded"
+
+(* --- Mailbox pressure --- *)
+
+let test_mailbox_depth_is_not_observable_failure () =
+  (* The platform drains the mailbox synchronously inside the gate,
+     so sustained load never wedges it: a long burst of primitives
+     all succeed. *)
+  let platform = Platform.create ~seed:0xF4L () in
+  let enclave = Result.get_ok (Sdk.launch platform tiny_image) in
+  let session = Result.get_ok (Sdk.enter platform ~enclave) in
+  for _ = 1 to 500 do
+    match Session.alloc session ~pages:1 with
+    | Ok va -> ignore (Session.free session ~va ~pages:1)
+    | Error e -> Alcotest.failf "burst failed: %s" (Types.error_message e)
+  done
+
+(* --- Error paths leave no partial state --- *)
+
+let test_failed_create_leaves_no_ownership () =
+  let config = { Config.default with Config.memory_mb = 2; ems_memory_mb = 1 } in
+  let platform = Platform.create ~seed:0xF5L ~config () in
+  let runtime = Platform.Internals.runtime platform in
+  let before = Hypertee_ems.Ownership.size (Runtime.ownership runtime) in
+  let huge =
+    { tiny_image with Sdk.config = { small_config with Types.heap_pages = 4096 } }
+  in
+  (match Sdk.launch platform huge with Error _ -> () | Ok _ -> Alcotest.fail "must fail");
+  (* No enclave exists, so no private ownership should remain from
+     the failed attempt beyond what a subsequent launch can reuse. *)
+  check Alcotest.bool "no stuck live enclaves" true (Runtime.live_enclaves runtime = []);
+  ignore before
+
+let test_double_destroy_rejected () =
+  let platform = Platform.create ~seed:0xF6L () in
+  let enclave = Result.get_ok (Sdk.launch platform tiny_image) in
+  Result.get_ok (Sdk.destroy platform ~enclave);
+  match Sdk.destroy platform ~enclave with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double destroy must be rejected"
+
+let test_shm_of_destroyed_owner () =
+  let platform = Platform.create ~seed:0xF7L () in
+  let owner = Result.get_ok (Sdk.launch platform tiny_image) in
+  let session = Result.get_ok (Sdk.enter platform ~enclave:owner) in
+  let shm = Result.get_ok (Session.shmget session ~pages:1 ~max_perm:Types.Read_write) in
+  Result.get_ok (Sdk.destroy platform ~enclave:owner);
+  (* The region's owner is gone; a third party still cannot grab it. *)
+  let other = Result.get_ok (Sdk.launch platform small_image) in
+  let other_s = Result.get_ok (Sdk.enter platform ~enclave:other) in
+  match Session.shmat other_s ~shm ~perm:Types.Read_only with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "orphaned shm must not be attachable without a grant"
+
+(* --- Random-operation robustness (monkey test) --- *)
+
+let test_random_operation_storm () =
+  let platform = Platform.create ~seed:0xF8L () in
+  let rng = Hypertee_util.Xrng.create 0x5708L in
+  let live = ref [] in
+  for _ = 1 to 120 do
+    match Hypertee_util.Xrng.int rng 6 with
+    | 0 -> (
+      match Sdk.launch platform small_image with
+      | Ok e -> live := e :: !live
+      | Error _ -> ())
+    | 1 -> (
+      match !live with
+      | e :: rest ->
+        (match Sdk.destroy platform ~enclave:e with Ok () -> live := rest | Error _ -> ())
+      | [] -> ())
+    | 2 -> (
+      match !live with
+      | e :: _ -> (
+        match Sdk.enter platform ~enclave:e with
+        | Ok s -> (
+          match Session.alloc s ~pages:(1 + Hypertee_util.Xrng.int rng 4) with
+          | Ok va -> ignore (Session.free s ~va ~pages:1)
+          | Error _ -> ())
+        | Error _ -> ())
+      | [] -> ())
+    | 3 ->
+      ignore
+        (Platform.invoke platform ~caller:Emcall.Os_kernel
+           (Types.Writeback { pages_hint = 1 + Hypertee_util.Xrng.int rng 8 }))
+    | 4 ->
+      (* Hostile junk at the gate. *)
+      ignore
+        (Platform.invoke platform ~caller:Emcall.User_host
+           (Types.Destroy { enclave = Hypertee_util.Xrng.int rng 100 }))
+    | _ ->
+      ignore
+        (Platform.invoke platform ~caller:Emcall.Os_kernel
+           (Types.Enter { enclave = Hypertee_util.Xrng.int rng 100 }))
+  done;
+  (* The survivors are still fully functional. *)
+  match Sdk.launch platform tiny_image with
+  | Ok e -> (
+    match Sdk.enter platform ~enclave:e with
+    | Ok s ->
+      Session.write s ~va:(Session.heap_va s) (Bytes.of_string "alive");
+      check Alcotest.bytes "platform still healthy" (Bytes.of_string "alive")
+        (Session.read s ~va:(Session.heap_va s) ~len:5)
+    | Error m -> Alcotest.failf "enter after storm: %s" m)
+  | Error m -> Alcotest.failf "launch after storm: %s" m
+
+let suite =
+  [
+    ( "failures",
+      [
+        Alcotest.test_case "KeyID exhaustion and recovery" `Quick test_keyid_exhaustion_and_recovery;
+        Alcotest.test_case "memory exhaustion clean failure" `Quick test_memory_exhaustion_clean_failure;
+        Alcotest.test_case "alloc failure reports out-of-memory" `Quick test_alloc_failure_reports_out_of_memory;
+        Alcotest.test_case "mailbox burst" `Quick test_mailbox_depth_is_not_observable_failure;
+        Alcotest.test_case "failed create leaves no state" `Quick test_failed_create_leaves_no_ownership;
+        Alcotest.test_case "double destroy rejected" `Quick test_double_destroy_rejected;
+        Alcotest.test_case "orphaned shm not attachable" `Quick test_shm_of_destroyed_owner;
+        Alcotest.test_case "random operation storm" `Quick test_random_operation_storm;
+      ] );
+  ]
+
+(* --- KeyID parking (Sec. IV-C: suspend an enclave to release a
+   KeyID) --- *)
+
+let test_keyid_parking_under_pressure () =
+  let platform = Platform.create ~seed:0xF9L () in
+  let mee = Platform.Internals.mee platform in
+  (* Leave exactly one programmable slot free. *)
+  let rec burn () =
+    match Mem_encryption.find_free_slot mee with
+    | Some key_id when key_id < Mem_encryption.slots mee - 1 ->
+      Mem_encryption.program mee ~key_id (Bytes.make 16 'x');
+      burn ()
+    | _ -> ()
+  in
+  burn ();
+  (* Victim takes the last slot, writes a secret, exits (idle). *)
+  let victim = Result.get_ok (Sdk.launch platform small_image) in
+  let vs = Result.get_ok (Sdk.enter platform ~enclave:victim) in
+  Session.write vs ~va:(Session.heap_va vs) (Bytes.of_string "park me");
+  Result.get_ok (Session.exit vs);
+  (* A new launch finds no slot; EMS parks the idle victim's key. *)
+  let newcomer = Result.get_ok (Sdk.launch platform small_image) in
+  let runtime = Platform.Internals.runtime platform in
+  let vecs = Option.get (Runtime.find_enclave runtime victim) in
+  check Alcotest.bool "victim key parked" true vecs.Hypertee_ems.Enclave.key_parked;
+  (* The newcomer works normally. *)
+  let ns = Result.get_ok (Sdk.enter platform ~enclave:newcomer) in
+  Session.write ns ~va:(Session.heap_va ns) (Bytes.of_string "fresh");
+  check Alcotest.bytes "newcomer memory fine" (Bytes.of_string "fresh")
+    (Session.read ns ~va:(Session.heap_va ns) ~len:5);
+  (* While parked, DRAM holds the victim's pages under the swap key:
+     still no plaintext anywhere. *)
+  let mem = Platform.mem platform in
+  let leaked = ref false in
+  for f = 0 to Phys_mem.frames mem - 1 do
+    let page = Phys_mem.read mem ~frame:f in
+    for i = 0 to 4096 - 7 do
+      if Bytes.equal (Bytes.sub page i 7) (Bytes.of_string "park me") then leaked := true
+    done
+  done;
+  check Alcotest.bool "parked pages stay ciphertext" false !leaked;
+  (* Entering the victim revives it: the newcomer must exit first so
+     a slot (or another parkable victim) exists. *)
+  Result.get_ok (Session.exit ns);
+  Result.get_ok (Sdk.destroy platform ~enclave:newcomer);
+  let vs' = Result.get_ok (Sdk.enter platform ~enclave:victim) in
+  let v' = Option.get (Runtime.find_enclave runtime victim) in
+  check Alcotest.bool "revived" false v'.Hypertee_ems.Enclave.key_parked;
+  check Alcotest.bytes "memory intact across park/revive" (Bytes.of_string "park me")
+    (Session.read vs' ~va:(Session.heap_va vs') ~len:7)
+
+let test_keyid_parking_no_victim () =
+  let platform = Platform.create ~seed:0xFAL () in
+  let mee = Platform.Internals.mee platform in
+  let rec burn () =
+    match Mem_encryption.find_free_slot mee with
+    | Some key_id ->
+      Mem_encryption.program mee ~key_id (Bytes.make 16 'x');
+      burn ()
+    | None -> ()
+  in
+  burn ();
+  (* Slots full and no idle enclave to park: creation fails cleanly. *)
+  match Sdk.launch platform small_image with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "launch must fail with nothing to park"
+
+let parking_suite =
+  ( "failures.keyid_parking",
+    [
+      Alcotest.test_case "park and revive under pressure" `Quick test_keyid_parking_under_pressure;
+      Alcotest.test_case "no parkable victim" `Quick test_keyid_parking_no_victim;
+    ] )
+
+let suite = suite @ [ parking_suite ]

@@ -1,0 +1,178 @@
+(* Tests for hypertee_sim: event queue ordering, engine scheduling,
+   multi-server resource semantics. *)
+
+open Hypertee_sim
+
+let check = Alcotest.check
+let prop = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+(* --- Event_queue --- *)
+
+let test_eq_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  check (Alcotest.option (Alcotest.pair (Alcotest.float 0.0) Alcotest.string)) "a first"
+    (Some (1.0, "a")) (Event_queue.pop q);
+  check (Alcotest.option (Alcotest.pair (Alcotest.float 0.0) Alcotest.string)) "b second"
+    (Some (2.0, "b")) (Event_queue.pop q);
+  check (Alcotest.option (Alcotest.pair (Alcotest.float 0.0) Alcotest.string)) "c third"
+    (Some (3.0, "c")) (Event_queue.pop q);
+  check Alcotest.bool "empty" true (Event_queue.is_empty q)
+
+let test_eq_tie_break_fifo () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.push q ~time:5.0 i
+  done;
+  for i = 0 to 9 do
+    match Event_queue.pop q with
+    | Some (_, v) -> check Alcotest.int "insertion order on ties" i v
+    | None -> Alcotest.fail "queue exhausted early"
+  done
+
+let test_eq_peek () =
+  let q = Event_queue.create () in
+  check (Alcotest.option (Alcotest.float 0.0)) "empty peek" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:7.0 ();
+  check (Alcotest.option (Alcotest.float 0.0)) "peek time" (Some 7.0) (Event_queue.peek_time q);
+  check Alcotest.int "length" 1 (Event_queue.length q)
+
+let prop_eq_sorted_drain =
+  prop
+    (QCheck.Test.make ~name:"drain yields sorted times" ~count:100
+       QCheck.(list (float_range 0.0 1000.0))
+       (fun times ->
+         let q = Event_queue.create () in
+         List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+         let rec drain last =
+           match Event_queue.pop q with
+           | None -> true
+           | Some (t, ()) -> t >= last && drain t
+         in
+         drain neg_infinity))
+
+(* --- Engine --- *)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.at e ~time:10.0 (fun _ -> log := "b" :: !log);
+  Engine.at e ~time:5.0 (fun _ -> log := "a" :: !log);
+  Engine.after e ~delay:20.0 (fun _ -> log := "c" :: !log);
+  let final = Engine.run e in
+  check (Alcotest.list Alcotest.string) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check (Alcotest.float 0.0) "final clock" 20.0 final;
+  check Alcotest.int "processed" 3 (Engine.processed e)
+
+let test_engine_cascade () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick engine =
+    incr count;
+    if !count < 5 then Engine.after engine ~delay:1.0 tick
+  in
+  Engine.after e ~delay:1.0 tick;
+  let final = Engine.run e in
+  check Alcotest.int "five ticks" 5 !count;
+  check (Alcotest.float 0.0) "clock advanced" 5.0 final
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.at e ~time:(float_of_int i) (fun _ -> incr count)
+  done;
+  let final = Engine.run ~until:5.5 e in
+  check Alcotest.int "only events before the limit" 5 !count;
+  check (Alcotest.float 0.0) "clock at limit" 5.5 final
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.at e ~time:10.0 (fun eng ->
+      Alcotest.check_raises "past scheduling rejected" (Invalid_argument "Engine.at: time in the past")
+        (fun () -> Engine.at eng ~time:5.0 (fun _ -> ())));
+  ignore (Engine.run e)
+
+(* --- Resource --- *)
+
+let test_resource_single_server_serializes () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 in
+  let completions = ref [] in
+  for i = 1 to 3 do
+    Resource.submit r ~service_ns:10.0 ~on_done:(fun ~queued_ns ~total_ns:_ ->
+        completions := (i, queued_ns) :: !completions)
+  done;
+  ignore (Engine.run e);
+  let completions = List.rev !completions in
+  check Alcotest.int "all done" 3 (List.length completions);
+  (* FCFS: queueing delays are 0, 10, 20. *)
+  List.iteri
+    (fun idx (_, queued) ->
+      check (Alcotest.float 1e-9) "queueing delay" (float_of_int idx *. 10.0) queued)
+    completions;
+  check Alcotest.int "completed counter" 3 (Resource.completed r)
+
+let test_resource_parallel_servers () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:3 in
+  let max_total = ref 0.0 in
+  for _ = 1 to 3 do
+    Resource.submit r ~service_ns:10.0 ~on_done:(fun ~queued_ns:_ ~total_ns ->
+        if total_ns > !max_total then max_total := total_ns)
+  done;
+  ignore (Engine.run e);
+  check (Alcotest.float 1e-9) "no queueing with enough servers" 10.0 !max_total
+
+let test_resource_queue_length () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 in
+  Resource.submit r ~service_ns:10.0 ~on_done:(fun ~queued_ns:_ ~total_ns:_ -> ());
+  Resource.submit r ~service_ns:10.0 ~on_done:(fun ~queued_ns:_ ~total_ns:_ -> ());
+  check Alcotest.int "one waiting" 1 (Resource.queue_length r);
+  check Alcotest.int "one in service" 1 (Resource.busy r);
+  ignore (Engine.run e);
+  check Alcotest.int "drained" 0 (Resource.queue_length r)
+
+let prop_resource_conservation =
+  prop
+    (QCheck.Test.make ~name:"every submitted job completes" ~count:50
+       QCheck.(pair (int_range 1 4) (list_of_size Gen.(int_range 1 40) (float_range 1.0 50.0)))
+       (fun (servers, services) ->
+         let e = Engine.create () in
+         let r = Resource.create e ~servers in
+         let done_count = ref 0 in
+         List.iter
+           (fun s ->
+             Resource.submit r ~service_ns:s ~on_done:(fun ~queued_ns:_ ~total_ns:_ ->
+                 incr done_count))
+           services;
+         ignore (Engine.run e);
+         !done_count = List.length services))
+
+let suite =
+  [
+    ( "sim.event_queue",
+      [
+        Alcotest.test_case "ordering" `Quick test_eq_ordering;
+        Alcotest.test_case "FIFO tie-break" `Quick test_eq_tie_break_fifo;
+        Alcotest.test_case "peek/length" `Quick test_eq_peek;
+        prop_eq_sorted_drain;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+        Alcotest.test_case "cascading events" `Quick test_engine_cascade;
+        Alcotest.test_case "until limit" `Quick test_engine_until;
+        Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+      ] );
+    ( "sim.resource",
+      [
+        Alcotest.test_case "single server FCFS" `Quick test_resource_single_server_serializes;
+        Alcotest.test_case "parallel servers" `Quick test_resource_parallel_servers;
+        Alcotest.test_case "queue length" `Quick test_resource_queue_length;
+        prop_resource_conservation;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+(* Tests for interrupt/exception routing (Sec. III-B): cause
+   recording, the EMS-vs-OS routing policy, the
+   interrupt -> Interrupted -> ERESUME cycle, and demand paging
+   through the trap path. *)
+
+open Hypertee
+module Traps = Hypertee_cs.Traps
+module Types = Hypertee_ems.Types
+module Runtime = Hypertee_ems.Runtime
+module Enclave = Hypertee_ems.Enclave
+module Emcall = Hypertee_cs.Emcall
+module Tlb = Hypertee_arch.Tlb
+module Ptw = Hypertee_arch.Ptw
+
+let check = Alcotest.check
+
+let setup () =
+  let platform = Platform.create ~seed:0x7261AL () in
+  let image = Sdk.image_of_code ~code:(Bytes.of_string "trap victim") ~data:Bytes.empty () in
+  let enclave = Result.get_ok (Sdk.launch platform image) in
+  let session = Result.get_ok (Sdk.enter platform ~enclave) in
+  (platform, enclave, session)
+
+let test_routing_policy () =
+  let open Traps in
+  check Alcotest.bool "page fault -> EMS" true (route_of_cause (Enclave_page_fault { vpn = 1 }) = To_ems);
+  check Alcotest.bool "misaligned -> EMS" true (route_of_cause (Misaligned_access { va = 3 }) = To_ems);
+  check Alcotest.bool "timer -> OS" true (route_of_cause Timer_interrupt = To_cs_os);
+  check Alcotest.bool "illegal instr -> OS" true (route_of_cause Illegal_instruction = To_cs_os);
+  check Alcotest.bool "external -> OS" true (route_of_cause External_interrupt = To_cs_os);
+  check Alcotest.bool "ecall -> OS" true (route_of_cause Ecall = To_cs_os)
+
+let test_timer_parks_enclave () =
+  let platform, enclave, _ = setup () in
+  let traps = Platform.traps platform in
+  (match Traps.deliver traps ~enclave ~pc:0x1234 Traps.Timer_interrupt with
+  | Traps.Suspended_to_os -> ()
+  | Traps.Resolved -> Alcotest.fail "timer must suspend, not resolve"
+  | Traps.Fault m -> Alcotest.failf "fault: %s" m);
+  let ecs = Option.get (Runtime.find_enclave (Platform.Internals.runtime platform) enclave) in
+  check Alcotest.bool "state Interrupted" true (ecs.Enclave.state = Enclave.Interrupted);
+  check Alcotest.int "PC saved in the ECS" 0x1234 ecs.Enclave.saved_pc;
+  check Alcotest.bool "cause + pc recorded by EMCall" true
+    (Traps.last_recorded traps = Some (Traps.cause_code Traps.Timer_interrupt, 0x1234));
+  check Alcotest.int "routed to CS" 1 (Traps.routed_to_cs traps)
+
+let test_resume_after_interrupt () =
+  let platform, enclave, session = setup () in
+  Session.write session ~va:(Session.heap_va session) (Bytes.of_string "before");
+  let traps = Platform.traps platform in
+  (match Traps.deliver traps ~enclave ~pc:0x99 Traps.External_interrupt with
+  | Traps.Suspended_to_os -> ()
+  | _ -> Alcotest.fail "expected suspension");
+  (* ERESUME brings the enclave back with its memory intact. *)
+  let session' = Result.get_ok (Sdk.resume platform ~enclave) in
+  let ecs = Option.get (Runtime.find_enclave (Platform.Internals.runtime platform) enclave) in
+  check Alcotest.bool "running again" true (ecs.Enclave.state = Enclave.Running);
+  check Alcotest.bytes "memory survived the world switch" (Bytes.of_string "before")
+    (Session.read session' ~va:(Session.heap_va session') ~len:6)
+
+let test_resume_requires_interrupted () =
+  let platform, enclave, _ = setup () in
+  match Sdk.resume platform ~enclave with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ERESUME of a running enclave must fail"
+
+let test_page_fault_routed_and_resolved () =
+  let platform, enclave, _ = setup () in
+  let traps = Platform.traps platform in
+  let ecs = Option.get (Runtime.find_enclave (Platform.Internals.runtime platform) enclave) in
+  let vpn = ecs.Enclave.heap_cursor + 1 in
+  (match Traps.deliver traps ~enclave ~pc:0x88 (Traps.Enclave_page_fault { vpn }) with
+  | Traps.Resolved -> ()
+  | Traps.Suspended_to_os -> Alcotest.fail "memory faults must go to EMS, not the OS"
+  | Traps.Fault m -> Alcotest.failf "fault: %s" m);
+  check Alcotest.bool "page now mapped" true
+    (Hypertee_arch.Page_table.lookup ecs.Enclave.page_table ~vpn <> None);
+  check Alcotest.bool "enclave kept running" true (ecs.Enclave.state = Enclave.Running);
+  check Alcotest.int "routed to EMS" 1 (Traps.routed_to_ems traps)
+
+let test_fault_outside_growable_region () =
+  let platform, enclave, _ = setup () in
+  let traps = Platform.traps platform in
+  match Traps.deliver traps ~enclave ~pc:0x88 (Traps.Enclave_page_fault { vpn = 5 }) with
+  | Traps.Fault _ -> ()
+  | _ -> Alcotest.fail "a wild fault must not silently map memory"
+
+let test_interrupt_of_idle_enclave_rejected () =
+  let platform, enclave, session = setup () in
+  Result.get_ok (Session.exit session);
+  let traps = Platform.traps platform in
+  match Traps.deliver traps ~enclave ~pc:0 Traps.Timer_interrupt with
+  | Traps.Fault _ -> ()
+  | _ -> Alcotest.fail "interrupting a non-running enclave must be rejected"
+
+let test_world_switch_flushes_tlb () =
+  let platform, enclave, _ = setup () in
+  (* Warm core 0's TLB via a host access. *)
+  let proc = Hypertee_cs.Os.spawn (Platform.os platform) in
+  (match Hypertee_cs.Os.malloc_pages (Platform.os platform) proc ~pages:1 with
+  | Some base ->
+    ignore (Platform.host_read platform ~table:proc.Hypertee_cs.Os.page_table ~vpn:base ~off:0 ~len:1)
+  | None -> Alcotest.fail "malloc failed");
+  let tlb = Ptw.tlb (Platform.ptw platform ~core:0) in
+  check Alcotest.bool "TLB warm" true (Tlb.occupancy tlb > 0);
+  (match Traps.deliver (Platform.traps platform) ~enclave ~pc:0 Traps.Timer_interrupt with
+  | Traps.Suspended_to_os -> ()
+  | _ -> Alcotest.fail "expected suspension");
+  check Alcotest.int "TLB flushed on the world switch" 0 (Tlb.occupancy tlb)
+
+let suite =
+  [
+    ( "traps",
+      [
+        Alcotest.test_case "routing policy (Sec. III-B)" `Quick test_routing_policy;
+        Alcotest.test_case "timer parks the enclave" `Quick test_timer_parks_enclave;
+        Alcotest.test_case "interrupt -> ERESUME cycle" `Quick test_resume_after_interrupt;
+        Alcotest.test_case "resume requires Interrupted" `Quick test_resume_requires_interrupted;
+        Alcotest.test_case "page fault resolved by EMS" `Quick test_page_fault_routed_and_resolved;
+        Alcotest.test_case "wild fault rejected" `Quick test_fault_outside_growable_region;
+        Alcotest.test_case "idle enclave not interruptible" `Quick test_interrupt_of_idle_enclave_rejected;
+        Alcotest.test_case "world switch flushes TLB" `Quick test_world_switch_flushes_tlb;
+      ] );
+  ]

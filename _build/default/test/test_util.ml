@@ -1,0 +1,351 @@
+(* Tests for hypertee_util: PRNG, statistics, ring queue, byte
+   helpers, table rendering, units. *)
+
+open Hypertee_util
+
+let check = Alcotest.check
+let prop = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+(* --- Xrng --- *)
+
+let test_rng_deterministic () =
+  let a = Xrng.create 42L and b = Xrng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Xrng.next64 a) (Xrng.next64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Xrng.create 42L and b = Xrng.create 43L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Xrng.next64 a <> Xrng.next64 b then differs := true
+  done;
+  check Alcotest.bool "streams differ" true !differs
+
+let test_rng_split_independent () =
+  let a = Xrng.create 7L in
+  let b = Xrng.split a in
+  let xs = List.init 50 (fun _ -> Xrng.next64 a) in
+  let ys = List.init 50 (fun _ -> Xrng.next64 b) in
+  check Alcotest.bool "split streams differ" true (xs <> ys)
+
+let test_rng_copy () =
+  let a = Xrng.create 9L in
+  ignore (Xrng.next64 a);
+  let b = Xrng.copy a in
+  check Alcotest.int64 "copy continues identically" (Xrng.next64 a) (Xrng.next64 b)
+
+let test_rng_int_bounds () =
+  let rng = Xrng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Xrng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int out of bounds"
+  done
+
+let test_rng_int_covers_range () =
+  let rng = Xrng.create 2L in
+  let seen = Array.make 7 false in
+  for _ = 1 to 1000 do
+    seen.(Xrng.int rng 7) <- true
+  done;
+  check Alcotest.bool "all values hit" true (Array.for_all (fun x -> x) seen)
+
+let test_rng_float_unit_interval () =
+  let rng = Xrng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Xrng.float rng in
+    if v < 0.0 || v >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_rng_float_mean () =
+  let rng = Xrng.create 4L in
+  let sum = ref 0.0 in
+  for _ = 1 to 10000 do
+    sum := !sum +. Xrng.float rng
+  done;
+  let mean = !sum /. 10000.0 in
+  check Alcotest.bool "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_rng_exponential_mean () =
+  let rng = Xrng.create 5L in
+  let sum = ref 0.0 in
+  for _ = 1 to 20000 do
+    sum := !sum +. Xrng.exponential rng ~mean:3.0
+  done;
+  let mean = !sum /. 20000.0 in
+  check Alcotest.bool "exponential mean near 3" true (Float.abs (mean -. 3.0) < 0.15)
+
+let test_rng_shuffle_permutation () =
+  let rng = Xrng.create 6L in
+  let a = Array.init 50 Fun.id in
+  Xrng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Xrng.create 8L in
+  for _ = 1 to 50 do
+    let s = Xrng.sample_without_replacement rng ~n:10 ~from:30 in
+    check Alcotest.int "ten samples" 10 (List.length s);
+    check Alcotest.int "distinct" 10 (List.length (List.sort_uniq compare s));
+    List.iter (fun v -> if v < 0 || v >= 30 then Alcotest.fail "out of range") s
+  done
+
+let prop_int_in =
+  prop
+    (QCheck.Test.make ~name:"int_in stays in range" ~count:500
+       QCheck.(pair small_int small_int)
+       (fun (a, b) ->
+         let lo = Stdlib.min a b and hi = Stdlib.max a b in
+         let rng = Xrng.create (Int64.of_int (a + (b * 1000))) in
+         let v = Xrng.int_in rng lo hi in
+         v >= lo && v <= hi))
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 4.0 (Stats.max s);
+  check Alcotest.int "count" 4 (Stats.count s);
+  check (Alcotest.float 1e-9) "total" 10.0 (Stats.total s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p0 = min" 1.0 (Stats.percentile s 0.0);
+  check (Alcotest.float 1e-9) "p100 = max" 100.0 (Stats.percentile s 100.0);
+  check (Alcotest.float 0.6) "p50 ~ median" 50.5 (Stats.percentile s 50.0)
+
+let test_stats_stddev () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check (Alcotest.float 1e-9) "known population stddev" 2.0 (Stats.stddev s)
+
+let test_stats_fraction_below () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check (Alcotest.float 1e-9) "half below 2" 0.5 (Stats.fraction_below s 2.0);
+  check (Alcotest.float 1e-9) "all below 10" 1.0 (Stats.fraction_below s 10.0);
+  check (Alcotest.float 1e-9) "none below 0.5" 0.0 (Stats.fraction_below s 0.5)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check (Alcotest.float 0.0) "mean of empty" 0.0 (Stats.mean s);
+  Alcotest.check_raises "min raises" (Invalid_argument "Stats.min: empty") (fun () ->
+      ignore (Stats.min s))
+
+let test_geomean () =
+  check (Alcotest.float 1e-9) "geomean" 2.0 (Stats.geomean_of [| 1.0; 2.0; 4.0 |])
+
+let prop_percentile_monotone =
+  prop
+    (QCheck.Test.make ~name:"percentiles are monotone" ~count:100
+       QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0.0 1000.0))
+       (fun xs ->
+         let s = Stats.create () in
+         List.iter (Stats.add s) xs;
+         let ps = [ 0.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ] in
+         let vals = List.map (Stats.percentile s) ps in
+         let rec sorted = function
+           | a :: (b :: _ as rest) -> a <= b +. 1e-9 && sorted rest
+           | _ -> true
+         in
+         sorted vals))
+
+(* --- Ring_queue --- *)
+
+let test_ring_fifo () =
+  let q = Ring_queue.create ~capacity:4 in
+  List.iter (fun x -> assert (Ring_queue.push q x)) [ 1; 2; 3 ];
+  check (Alcotest.option Alcotest.int) "pop 1" (Some 1) (Ring_queue.pop q);
+  check (Alcotest.option Alcotest.int) "pop 2" (Some 2) (Ring_queue.pop q);
+  assert (Ring_queue.push q 4);
+  check (Alcotest.option Alcotest.int) "pop 3" (Some 3) (Ring_queue.pop q);
+  check (Alcotest.option Alcotest.int) "pop 4" (Some 4) (Ring_queue.pop q);
+  check (Alcotest.option Alcotest.int) "empty" None (Ring_queue.pop q)
+
+let test_ring_capacity () =
+  let q = Ring_queue.create ~capacity:2 in
+  check Alcotest.bool "push ok" true (Ring_queue.push q 1);
+  check Alcotest.bool "push ok" true (Ring_queue.push q 2);
+  check Alcotest.bool "back-pressure" false (Ring_queue.push q 3);
+  check Alcotest.int "length" 2 (Ring_queue.length q);
+  ignore (Ring_queue.pop q);
+  check Alcotest.bool "space again" true (Ring_queue.push q 3)
+
+let test_ring_peek_clear () =
+  let q = Ring_queue.create ~capacity:3 in
+  ignore (Ring_queue.push q 7);
+  check (Alcotest.option Alcotest.int) "peek" (Some 7) (Ring_queue.peek q);
+  check Alcotest.int "peek does not consume" 1 (Ring_queue.length q);
+  Ring_queue.clear q;
+  check Alcotest.bool "cleared" true (Ring_queue.is_empty q)
+
+let test_ring_to_list () =
+  let q = Ring_queue.create ~capacity:3 in
+  List.iter (fun x -> ignore (Ring_queue.push q x)) [ 1; 2; 3 ];
+  ignore (Ring_queue.pop q);
+  ignore (Ring_queue.push q 4);
+  check (Alcotest.list Alcotest.int) "wrap-around order" [ 2; 3; 4 ] (Ring_queue.to_list q)
+
+let prop_ring_matches_queue =
+  prop
+    (QCheck.Test.make ~name:"ring queue behaves like Queue" ~count:200
+       QCheck.(list (option small_nat))
+       (fun ops ->
+         (* Some n = push n, None = pop. *)
+         let rq = Ring_queue.create ~capacity:1000 in
+         let q = Queue.create () in
+         List.for_all
+           (function
+             | Some n ->
+               let pushed = Ring_queue.push rq n in
+               if pushed then Queue.push n q;
+               (* Back-pressure is correct exactly when full. *)
+               pushed || Queue.length q = 1000
+             | None -> (
+               match (Ring_queue.pop rq, Queue.take_opt q) with
+               | Some a, Some b -> a = b
+               | None, None -> true
+               | _ -> false))
+           ops))
+
+(* --- Bytes_ext --- *)
+
+let test_hex_roundtrip () =
+  let b = Bytes.of_string "\x00\x01\xfe\xff hello" in
+  check Alcotest.bytes "roundtrip" b (Bytes_ext.of_hex (Bytes_ext.to_hex b))
+
+let test_hex_known () =
+  check Alcotest.string "encoding" "00ff10" (Bytes_ext.to_hex (Bytes.of_string "\x00\xff\x10"))
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Bytes_ext.of_hex: odd length") (fun () ->
+      ignore (Bytes_ext.of_hex "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Bytes_ext.of_hex: not a hex digit")
+    (fun () -> ignore (Bytes_ext.of_hex "zz"))
+
+let test_u32_u64 () =
+  let b = Bytes.make 16 '\000' in
+  Bytes_ext.set_u32_be b 0 0xDEADBEEFl;
+  check Alcotest.int32 "u32 be" 0xDEADBEEFl (Bytes_ext.get_u32_be b 0);
+  Bytes_ext.set_u64_le b 4 0x0123456789ABCDEFL;
+  check Alcotest.int64 "u64 le" 0x0123456789ABCDEFL (Bytes_ext.get_u64_le b 4);
+  Bytes_ext.set_u64_be b 8 0x0123456789ABCDEFL;
+  check Alcotest.int64 "u64 be" 0x0123456789ABCDEFL (Bytes_ext.get_u64_be b 8)
+
+let test_xor () =
+  let a = Bytes.of_string "\x0f\xf0" and b = Bytes.of_string "\xff\xff" in
+  check Alcotest.bytes "xor" (Bytes.of_string "\xf0\x0f") (Bytes_ext.xor a b);
+  check Alcotest.bytes "self-inverse" a (Bytes_ext.xor (Bytes_ext.xor a b) b)
+
+let test_equal_ct () =
+  check Alcotest.bool "equal" true (Bytes_ext.equal_ct (Bytes.of_string "ab") (Bytes.of_string "ab"));
+  check Alcotest.bool "unequal" false (Bytes_ext.equal_ct (Bytes.of_string "ab") (Bytes.of_string "ac"));
+  check Alcotest.bool "length mismatch" false (Bytes_ext.equal_ct (Bytes.of_string "a") (Bytes.of_string "ab"))
+
+let test_fill_zero () =
+  let b = Bytes.of_string "secret" in
+  Bytes_ext.fill_zero b;
+  check Alcotest.bytes "zeroed" (Bytes.make 6 '\000') b
+
+let prop_u64_le_roundtrip =
+  prop
+    (QCheck.Test.make ~name:"u64 le roundtrip" ~count:200 QCheck.int64 (fun v ->
+         let b = Bytes.create 8 in
+         Bytes_ext.set_u64_le b 0 v;
+         Bytes_ext.get_u64_le b 0 = v))
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let s = Table.render ~headers:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333"; "4" ] ] in
+  check Alcotest.bool "contains header" true (String.length s > 0 && String.contains s 'a');
+  (* All lines equal width. *)
+  let lines = String.split_on_char '\n' s in
+  let widths = List.map String.length lines in
+  check Alcotest.bool "rectangular" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_short_rows_padded () =
+  let s = Table.render ~headers:[ "x"; "y"; "z" ] [ [ "1" ] ] in
+  check Alcotest.bool "no exception, rendered" true (String.length s > 0)
+
+let test_formats () =
+  check Alcotest.string "pct" "3.1%" (Table.pct 3.14);
+  check Alcotest.string "speedup" "4.0x" (Table.speedup 4.04);
+  check Alcotest.string "fmt_f" "2.50" (Table.fmt_f ~digits:2 2.5)
+
+(* --- Units --- *)
+
+let test_units () =
+  check Alcotest.int "page size" 4096 Units.page_size;
+  check Alcotest.int "pages of 1 byte" 1 (Units.pages_of_bytes 1);
+  check Alcotest.int "pages of 4096" 1 (Units.pages_of_bytes 4096);
+  check Alcotest.int "pages of 4097" 2 (Units.pages_of_bytes 4097);
+  check Alcotest.int "pages of 0" 0 (Units.pages_of_bytes 0);
+  check Alcotest.string "KiB" "4.0KiB" (Units.show_bytes 4096);
+  check Alcotest.string "MiB" "2.0MiB" (Units.show_bytes (2 * 1024 * 1024));
+  check Alcotest.string "ns" "500ns" (Units.show_ns 500.0);
+  check Alcotest.string "us" "1.50us" (Units.show_ns 1500.0)
+
+let suite =
+  [
+    ( "util.xrng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+        Alcotest.test_case "float in [0,1)" `Quick test_rng_float_unit_interval;
+        Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+        Alcotest.test_case "sample without replacement" `Quick test_rng_sample_without_replacement;
+        prop_int_in;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basic" `Quick test_stats_basic;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "fraction_below" `Quick test_stats_fraction_below;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+        Alcotest.test_case "geomean" `Quick test_geomean;
+        prop_percentile_monotone;
+      ] );
+    ( "util.ring_queue",
+      [
+        Alcotest.test_case "fifo" `Quick test_ring_fifo;
+        Alcotest.test_case "capacity back-pressure" `Quick test_ring_capacity;
+        Alcotest.test_case "peek and clear" `Quick test_ring_peek_clear;
+        Alcotest.test_case "wrap-around to_list" `Quick test_ring_to_list;
+        prop_ring_matches_queue;
+      ] );
+    ( "util.bytes_ext",
+      [
+        Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        Alcotest.test_case "hex known" `Quick test_hex_known;
+        Alcotest.test_case "hex invalid" `Quick test_hex_invalid;
+        Alcotest.test_case "u32/u64 accessors" `Quick test_u32_u64;
+        Alcotest.test_case "xor" `Quick test_xor;
+        Alcotest.test_case "constant-time equal" `Quick test_equal_ct;
+        Alcotest.test_case "fill_zero" `Quick test_fill_zero;
+        prop_u64_le_roundtrip;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render rectangular" `Quick test_table_render;
+        Alcotest.test_case "short rows padded" `Quick test_table_short_rows_padded;
+        Alcotest.test_case "formatters" `Quick test_formats;
+      ] );
+    ( "util.units", [ Alcotest.test_case "conversions" `Quick test_units ] );
+  ]
