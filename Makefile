@@ -1,0 +1,21 @@
+.PHONY: all build test chaos-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Deterministic quick availability sweep: exercises the fault injector,
+# EMCall retry/timeout, the EMS watchdog and integrity containment.
+chaos-smoke: build
+	dune exec bench/main.exe -- chaos --smoke
+
+# The gate for a change: everything builds, the full test suite is
+# green, and the chaos smoke sweep completes without a hang.
+check: build test chaos-smoke
+
+clean:
+	dune clean

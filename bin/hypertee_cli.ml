@@ -8,7 +8,8 @@
      cost <primitive>         service-time breakdown on each EMS core
      slo                      the Fig. 6 queueing experiment for one setup
      area                     the Table V area report
-     security                 the Table I / Table VI matrices *)
+     security                 the Table I / Table VI matrices
+     chaos                    fault-injection availability sweep *)
 
 open Cmdliner
 module Types = Hypertee_ems.Types
@@ -250,6 +251,48 @@ let security_cmd =
   in
   Cmd.v (Cmd.info "security" ~doc:"Table I and Table VI matrices") Term.(const run $ const ())
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let ops_arg =
+    Arg.(value & opt int 2000 & info [ "ops" ] ~docv:"N" ~doc:"EMCall invocations per sweep point.")
+  in
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"Quick sweep (300 ops per point).")
+  in
+  let run seed ops smoke =
+    let ops = if smoke then 300 else ops in
+    let seed = Int64.of_int seed in
+    Printf.printf "chaos sweep: ops=%d per point, seed=%Ld\n" ops seed;
+    Printf.printf "recovery machinery: EMCall retry/timeout, EMS watchdog, integrity containment\n";
+    let points = Hypertee_experiments.Chaos.run ~seed ~ops in
+    Table.print
+      ~headers:
+        [
+          "fault rate"; "ops"; "success"; "degraded"; "timeouts"; "killed"; "p50 (us)"; "p99 (us)";
+          "injected"; "recovered"; "retries";
+        ]
+      (List.map
+         (fun (p : Hypertee_experiments.Chaos.point) ->
+           [
+             Printf.sprintf "%.2f" p.Hypertee_experiments.Chaos.fault_rate;
+             string_of_int p.Hypertee_experiments.Chaos.ops;
+             Printf.sprintf "%.1f%%" (100.0 *. p.Hypertee_experiments.Chaos.success_rate);
+             string_of_int p.Hypertee_experiments.Chaos.degraded;
+             string_of_int p.Hypertee_experiments.Chaos.timeouts;
+             string_of_int p.Hypertee_experiments.Chaos.enclaves_killed;
+             Printf.sprintf "%.1f" (p.Hypertee_experiments.Chaos.p50_ns /. 1e3);
+             Printf.sprintf "%.1f" (p.Hypertee_experiments.Chaos.p99_ns /. 1e3);
+             string_of_int p.Hypertee_experiments.Chaos.injected;
+             string_of_int p.Hypertee_experiments.Chaos.recovered;
+             string_of_int p.Hypertee_experiments.Chaos.retries;
+           ])
+         points)
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Availability sweep under deterministic fault injection")
+    Term.(const run $ seed_arg $ ops_arg $ smoke_arg)
+
 let () =
   let doc = "HyperTEE: a decoupled TEE architecture simulator (MICRO 2024 reproduction)" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -257,4 +300,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "hypertee" ~version:"1.0.0" ~doc)
-          [ info_cmd; demo_cmd; attest_cmd; primitives_cmd; cost_cmd; slo_cmd; area_cmd; security_cmd ]))
+          [
+            info_cmd; demo_cmd; attest_cmd; primitives_cmd; cost_cmd; slo_cmd; area_cmd;
+            security_cmd; chaos_cmd;
+          ]))

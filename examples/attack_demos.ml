@@ -87,14 +87,16 @@ let () =
        (Types.Create { config = Types.default_config })
    with
   | Error Hypertee_cs.Emcall.Cross_privilege -> good "EMCall blocked user-mode ECREATE (OS-only)"
-  | Error Hypertee_cs.Emcall.Mailbox_full -> bad "unexpected mailbox state"
+  | Error Hypertee_cs.Emcall.Mailbox_full | Error Hypertee_cs.Emcall.Timeout ->
+    bad "unexpected mailbox state"
   | Ok _ -> bad "user code invoked an OS-privilege primitive");
   (match
      Hypertee.Platform.invoke platform ~caller:Hypertee_cs.Emcall.Os_kernel
        (Types.Attest { enclave = victim_id; user_data = Bytes.empty })
    with
   | Error Hypertee_cs.Emcall.Cross_privilege -> good "EMCall blocked OS-mode EATTEST (user-only)"
-  | Error Hypertee_cs.Emcall.Mailbox_full -> bad "unexpected mailbox state"
+  | Error Hypertee_cs.Emcall.Mailbox_full | Error Hypertee_cs.Emcall.Timeout ->
+    bad "unexpected mailbox state"
   | Ok _ -> bad "OS invoked a user-privilege primitive");
 
   print_endline "5. forged-identity primitive:";

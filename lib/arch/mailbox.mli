@@ -9,13 +9,26 @@
     (CS side) and the EMS runtime (EMS side) hold a [t].
 
     Payloads are opaque to the hardware, so the type is polymorphic
-    in the request/response body. *)
+    in the request/response body.
+
+    Fault model: with an injector installed ({!set_fault_injector})
+    the response fabric can drop, duplicate or corrupt packets. The
+    mailbox keeps a bounded cache of answered requests, so a lost or
+    corrupted response can be retransmitted by id
+    ({!resend_request}) without re-executing the request — the
+    exactly-once guarantee EMCall's retry path relies on. Without an
+    injector every fault path is dead code and behaviour is
+    unchanged. *)
 
 type ('req, 'resp) t
 
 type 'req packet = { request_id : int; sender_enclave : int option; body : 'req }
 
 val create : ?depth:int -> unit -> ('req, 'resp) t
+
+(** Install the platform's fault injector (consulted on every
+    response posting). *)
+val set_fault_injector : ('req, 'resp) t -> Hypertee_faults.Fault.t -> unit
 
 (** CS side (EMCall): enqueue a request. [sender_enclave] is the
     enclaveID EMCall stamps on the packet (None for host software).
@@ -25,14 +38,34 @@ val send_request : ('req, 'resp) t -> sender_enclave:int option -> 'req -> (int,
 (** EMS side: dequeue the oldest pending request. *)
 val recv_request : ('req, 'resp) t -> 'req packet option
 
-(** EMS side: post the response for [request_id]. Raises
-    [Invalid_argument] if the id is unknown or already answered. *)
-val send_response : ('req, 'resp) t -> request_id:int -> 'resp -> unit
+(** EMS side: post the response for [request_id]. Returns
+    [Error `Unknown_or_answered] if the id was never handed out by
+    {!recv_request} or was already answered — a faulty or malicious
+    EMS worker can never crash the platform through this edge, and a
+    double post (e.g. after a watchdog re-dispatch raced the original
+    worker) is suppressed rather than delivered twice. *)
+val send_response :
+  ('req, 'resp) t -> request_id:int -> 'resp -> (unit, [ `Unknown_or_answered ]) result
 
 (** CS side (EMCall polling): collect the response for [request_id]
     if it has arrived. Collecting with a wrong id never yields
-    another request's response. *)
+    another request's response. A corrupted packet is detected here
+    (CRC), discarded and reported as [None]. *)
 val poll_response : ('req, 'resp) t -> request_id:int -> 'resp option
+
+(** CS side: drop any remaining (duplicate) response copies for an id
+    whose response was already accepted. Returns how many copies were
+    discarded. *)
+val discard_response : ('req, 'resp) t -> request_id:int -> int
+
+(** CS side (EMCall retry): ask for [request_id] again.
+    [`Pending] — the request is still queued, executing, or its
+    response is already waiting: keep polling. [`Retransmitted] — the
+    response had been posted but was lost; a fresh copy was posted
+    from the answered cache (crossing the faulty fabric again).
+    [`Unknown] — the id was never seen (or aged out of the cache). *)
+val resend_request :
+  ('req, 'resp) t -> request_id:int -> [ `Pending | `Retransmitted | `Unknown ]
 
 (** Pending (sent, unconsumed) request count — used by the timing
     model for queueing, never by untrusted code. *)
@@ -42,3 +75,10 @@ val pending_responses : ('req, 'resp) t -> int
 
 (** Ids issued so far (tests). *)
 val issued : ('req, 'resp) t -> int
+
+(** Fault telemetry: responses dropped / duplicated by the injected
+    fabric, and corrupted packets caught by the CRC at poll time. *)
+val dropped : ('req, 'resp) t -> int
+
+val duplicated : ('req, 'resp) t -> int
+val corrupt_detected : ('req, 'resp) t -> int

@@ -6,6 +6,8 @@ type t = {
   table : slot option array; (* index = KeyID; 0 is bypass *)
   macs : (int * int, int) Hashtbl.t; (* (key_id, frame) -> 28-bit MAC *)
   mac_key : bytes; (* engine-internal MAC key *)
+  mutable faults : Hypertee_faults.Fault.t option;
+  mutable bit_flips : int;
 }
 
 let create ~slots =
@@ -14,7 +16,12 @@ let create ~slots =
     table = Array.make slots None;
     macs = Hashtbl.create 256;
     mac_key = Hypertee_crypto.Sha256.digest_string "hypertee-mee-mac-key";
+    faults = None;
+    bit_flips = 0;
   }
+
+let set_fault_injector t inj = t.faults <- Some inj
+let bit_flips t = t.bit_flips
 
 let slots t = Array.length t.table
 
@@ -55,9 +62,28 @@ let store t ~key_id ~frame data =
     ct
   end
 
+(* Injected DRAM bit flip: flip one deterministic-random bit of the
+   ciphertext as the line arrives from memory. The SHA-3 MAC check
+   below must catch it — that is the integrity property under test. *)
+let maybe_flip t data =
+  match t.faults with
+  | None -> data
+  | Some inj ->
+    let module F = Hypertee_faults.Fault in
+    if Bytes.length data > 0 && F.fire inj F.Memory_bit_flip then begin
+      t.bit_flips <- t.bit_flips + 1;
+      let bit = F.draw_int inj F.Memory_bit_flip (8 * Bytes.length data) in
+      let flipped = Bytes.copy data in
+      let byte = bit / 8 in
+      Bytes.set flipped byte (Char.chr (Char.code (Bytes.get flipped byte) lxor (1 lsl (bit mod 8))));
+      flipped
+    end
+    else data
+
 let load t ~key_id ~frame data =
   if key_id = 0 then data
   else begin
+    let data = maybe_flip t data in
     let slot = slot_exn t key_id in
     (match Hashtbl.find_opt t.macs (key_id, frame) with
     | Some mac when mac = Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key data -> ()

@@ -44,6 +44,14 @@ val load : t -> key_id:int -> frame:int -> bytes -> bytes
 (** Find a free KeyID (lowest unprogrammed), if any. *)
 val find_free_slot : t -> int option
 
+(** Install a fault injector: [load] then flips one
+    deterministic-random ciphertext bit whenever the
+    [Memory_bit_flip] site fires, which the MAC check must catch. *)
+val set_fault_injector : t -> Hypertee_faults.Fault.t -> unit
+
+(** Bit flips injected so far. *)
+val bit_flips : t -> int
+
 (** Timing: extra nanoseconds an off-chip access pays for decryption
     + MAC check, at the given DRAM parameters. *)
 val extra_ns : Config.mem_latency -> cs_ghz:float -> float

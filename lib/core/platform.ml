@@ -17,6 +17,8 @@ module Os = Hypertee_cs.Os
 module Emcall = Hypertee_cs.Emcall
 module Traps = Hypertee_cs.Traps
 
+module Fault = Hypertee_faults.Fault
+
 type t = {
   config : Config.t;
   rng : Hypertee_util.Xrng.t;
@@ -35,9 +37,11 @@ type t = {
   engine : Hypertee_crypto.Engine.t;
   cost : Cost.t;
   platform_measurement : bytes;
+  scheduler : Hypertee_ems.Scheduler.t;
+  faults : Fault.t option;
 }
 
-let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) () =
+let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?faults () =
   let rng = Hypertee_util.Xrng.create seed in
   let frames = config.Config.memory_mb * Hypertee_util.Units.mib / Hypertee_util.Units.page_size in
   let mem = Phys_mem.create ~frames in
@@ -73,10 +77,23 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) () =
         (Printf.sprintf "Platform.create: secure boot halted at %s: %s"
            (Hypertee_ems.Boot.stage_name at) reason)
   in
+  (* Compile the fault plan into one injector shared by every hook of
+     this platform instance. With no plan the hooks stay [None] and
+     every fault path is provably dead: no RNG draw, no branch taken,
+     byte-identical behaviour. *)
+  let injector = Option.map Fault.create faults in
+  let install setter target = Option.iter (fun inj -> setter target inj) injector in
   let engine =
-    if config.Config.crypto_engine then Hypertee_crypto.Engine.default_hardware
-    else Hypertee_crypto.Engine.default_software
+    let base =
+      if config.Config.crypto_engine then Hypertee_crypto.Engine.default_hardware
+      else Hypertee_crypto.Engine.default_software
+    in
+    (* The defaults are shared constants: only a private copy may
+       carry an injector. *)
+    match injector with None -> base | Some _ -> Hypertee_crypto.Engine.copy base
   in
+  install Hypertee_crypto.Engine.set_fault_injector engine;
+  install Mem_encryption.set_fault_injector mee;
   let cost = Cost.create ~ems:(Config.ems_core config.Config.ems_kind) ~engine in
   let runtime =
     Runtime.create
@@ -87,11 +104,14 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) () =
       ~platform_measurement
   in
   let mailbox = Mailbox.create ~depth:256 () in
+  install Mailbox.set_fault_injector mailbox;
   (* EMS workers serve the request queue in randomized order at
      primitive granularity (Fig. 3 / Sec. III-C). *)
   let scheduler =
     Hypertee_ems.Scheduler.create (Hypertee_util.Xrng.split rng) ~workers:config.Config.ems_cores
   in
+  install Hypertee_ems.Scheduler.set_fault_injector scheduler;
+  let audit = Runtime.audit runtime in
   let ems_service () =
     let rec enqueue () =
       match Mailbox.recv_request mailbox with
@@ -101,18 +121,42 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) () =
             let response =
               Runtime.handle runtime ~sender:packet.Mailbox.sender_enclave packet.Mailbox.body
             in
-            Mailbox.send_response mailbox ~request_id:packet.Mailbox.request_id response);
+            match Mailbox.send_response mailbox ~request_id:packet.Mailbox.request_id response with
+            | Ok () -> ()
+            | Error `Unknown_or_answered ->
+              (* A confused or re-dispatched worker answering twice
+                 must never reach a caller — or crash the platform. *)
+              Hypertee_ems.Audit.record_fault audit ~site:"mailbox"
+                ~detail:
+                  (Printf.sprintf "duplicate response for request %d suppressed"
+                     packet.Mailbox.request_id)
+                ~recovered:true);
         enqueue ()
     in
     enqueue ();
-    ignore (Hypertee_ems.Scheduler.dispatch scheduler)
+    ignore (Hypertee_ems.Scheduler.dispatch scheduler);
+    (* Watchdog sweep (runs on every doorbell): restart dead/stalled
+       workers and re-dispatch their in-flight requests under the
+       original ids, so the request/response binding survives. *)
+    match Hypertee_ems.Scheduler.watchdog_scan scheduler with
+    | { Hypertee_ems.Scheduler.dead_workers = 0; redispatched = [] } -> ()
+    | { Hypertee_ems.Scheduler.dead_workers; redispatched } ->
+      Hypertee_ems.Audit.record_fault audit ~site:"ems-worker"
+        ~detail:
+          (Printf.sprintf "watchdog restarted %d worker(s), re-dispatched request(s) %s"
+             dead_workers
+             (String.concat "," (List.map string_of_int redispatched)))
+        ~recovered:true;
+      ignore (Hypertee_ems.Scheduler.dispatch scheduler)
   in
   let emcall =
     Emcall.create
       ~rng:(Hypertee_util.Xrng.split rng)
       ~transport:config.Config.transport ~mailbox ~ems_service
       ~service_ns:(fun request -> Runtime.service_ns runtime request)
+      ()
   in
+  install Emcall.set_fault_injector emcall;
   let traps = Traps.create emcall in
   let ptws =
     Array.init config.Config.cs_cores (fun _ ->
@@ -137,6 +181,8 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) () =
       engine;
       cost;
       platform_measurement;
+      scheduler;
+      faults = injector;
     }
   in
   (* EMCall flushes every core's TLB on context switches and bitmap
@@ -236,4 +282,6 @@ module Internals = struct
   let keys t = t.keys
   let cost t = t.cost
   let engine t = t.engine
+  let scheduler t = t.scheduler
+  let faults t = t.faults
 end

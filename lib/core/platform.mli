@@ -14,7 +14,16 @@
 
 type t
 
-val create : ?seed:int64 -> ?config:Hypertee_arch.Config.t -> unit -> t
+(** [create ?seed ?config ?faults ()] — [faults] is a deterministic
+    fault plan (see {!Hypertee_faults.Fault}); when omitted every
+    fault hook is a no-op and the platform behaves byte-identically
+    to a fault-free build. *)
+val create :
+  ?seed:int64 ->
+  ?config:Hypertee_arch.Config.t ->
+  ?faults:Hypertee_faults.Fault.plan ->
+  unit ->
+  t
 
 val config : t -> Hypertee_arch.Config.t
 val os : t -> Hypertee_cs.Os.t
@@ -95,4 +104,6 @@ module Internals : sig
   val keys : t -> Hypertee_ems.Keymgmt.t
   val cost : t -> Hypertee_ems.Cost.t
   val engine : t -> Hypertee_crypto.Engine.t
+  val scheduler : t -> Hypertee_ems.Scheduler.t
+  val faults : t -> Hypertee_faults.Fault.t option
 end

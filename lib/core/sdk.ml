@@ -61,6 +61,7 @@ let os_invoke platform request =
   | Ok response -> Ok response
   | Error Emcall.Cross_privilege -> Error "EMCall rejected: cross-privilege"
   | Error Emcall.Mailbox_full -> Error "EMCall rejected: mailbox full"
+  | Error Emcall.Timeout -> Error "EMCall rejected: response timeout"
 
 let ( let* ) = Result.bind
 

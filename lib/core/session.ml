@@ -24,6 +24,7 @@ let invoke t request =
   | Ok response -> response
   | Error Emcall.Cross_privilege -> Types.Err (Types.Permission_denied "cross-privilege")
   | Error Emcall.Mailbox_full -> Types.Err (Types.Invalid_argument_ "mailbox full")
+  | Error Emcall.Timeout -> Types.Err (Types.Invalid_argument_ "EMS response timeout")
 
 (* Resolve a fault the way hardware + EMCall would: page faults
    inside the enclave go to EMS (demand alloc / swap-in). *)

@@ -2,10 +2,21 @@ type mode =
   | Software of { core_ghz : float; cycles_per_byte_aes : float; cycles_per_byte_sha : float }
   | Hardware
 
-type t = { mode : mode }
+type t = {
+  mode : mode;
+  mutable faults : Hypertee_faults.Fault.t option;
+  mutable transients : int;
+}
 
-let create mode = { mode }
+let create mode = { mode; faults = None; transients = 0 }
 let mode t = t.mode
+
+(* [default_software]/[default_hardware] are shared constants, so a
+   fault injector is never installed on them directly — callers that
+   want faults make a private copy first. *)
+let copy t = { mode = t.mode; faults = t.faults; transients = 0 }
+let set_fault_injector t inj = t.faults <- Some inj
+let transient_errors t = t.transients
 
 let default_software =
   create (Software { core_ghz = 0.75; cycles_per_byte_aes = 40.0; cycles_per_byte_sha = 28.0 })
@@ -21,19 +32,40 @@ let hw_rsa_verify_ops = 10_000.0
 (* A fixed per-operation setup cost (descriptor write, DMA kick). *)
 let hw_setup_ns = 200.0
 
+(* Transient engine errors (a flipped descriptor bit, a DMA CRC
+   miss): the driver retries transparently, so a fault never
+   surfaces functionally — the operation just pays [intensity]
+   extra runs of itself. *)
+let transient_factor t =
+  match t.faults with
+  | None -> 1.0
+  | Some inj ->
+    let module F = Hypertee_faults.Fault in
+    if F.fire inj F.Crypto_transient then begin
+      t.transients <- t.transients + 1;
+      1.0 +. F.intensity inj F.Crypto_transient
+    end
+    else 1.0
+
 let aes_ns t ~bytes =
   let bytes = float_of_int bytes in
+  transient_factor t
+  *.
   match t.mode with
   | Hardware -> hw_setup_ns +. (bytes *. 8.0 /. hw_aes_gbps)
   | Software s -> bytes *. s.cycles_per_byte_aes /. s.core_ghz
 
 let sha256_ns t ~bytes =
   let bytes = float_of_int bytes in
+  transient_factor t
+  *.
   match t.mode with
   | Hardware -> hw_setup_ns +. (bytes *. 8.0 /. hw_sha_gbps)
   | Software s -> bytes *. s.cycles_per_byte_sha /. s.core_ghz
 
 let rsa_sign_ns t =
+  transient_factor t
+  *.
   match t.mode with
   | Hardware -> 1e9 /. hw_rsa_sign_ops
   | Software s ->
@@ -41,6 +73,8 @@ let rsa_sign_ns t =
     1e9 /. hw_rsa_sign_ops *. 60.0 *. (0.75 /. s.core_ghz)
 
 let rsa_verify_ns t =
+  transient_factor t
+  *.
   match t.mode with
   | Hardware -> 1e9 /. hw_rsa_verify_ops
   | Software s -> 1e9 /. hw_rsa_verify_ops *. 60.0 *. (0.75 /. s.core_ghz)

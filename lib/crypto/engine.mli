@@ -17,6 +17,18 @@ type t
 val create : mode -> t
 val mode : t -> mode
 
+(** Private copy (for installing a fault injector without touching
+    the shared [default_*] instances). *)
+val copy : t -> t
+
+(** Install a fault injector: each priced operation may then suffer a
+    transient engine error, retried transparently by the driver at
+    the cost of [intensity] extra runs. *)
+val set_fault_injector : t -> Hypertee_faults.Fault.t -> unit
+
+(** Transient errors injected (and absorbed) so far. *)
+val transient_errors : t -> int
+
 (** Defaults: EMS core at 750 MHz (Table V timing analysis), software
     AES ~ 40 cycles/B and SHA-256 ~ 28 cycles/B (table-based software
     implementations without ISA extensions). *)

@@ -1,9 +1,19 @@
 module Types = Hypertee_ems.Types
 module Mailbox = Hypertee_arch.Mailbox
 module Config = Hypertee_arch.Config
+module Fault = Hypertee_faults.Fault
 
 type caller = Os_kernel | User_host | User_enclave of Types.enclave_id
-type rejection = Cross_privilege | Mailbox_full
+type rejection = Cross_privilege | Mailbox_full | Timeout
+
+(* Recovery policy of the gate: how many poll slots to wait for a
+   response, how many times to re-ask the mailbox for it (each
+   re-ask doubles the backoff), before giving up with [Timeout].
+   The bounds make [invoke] provably hang-free: at most
+   [poll_budget * (max_retries + 1)] polls per call. *)
+type retry_policy = { poll_budget : int; max_retries : int; backoff_base_ns : float }
+
+let default_retry_policy = { poll_budget = 8; max_retries = 4; backoff_base_ns = 2_000.0 }
 
 type t = {
   rng : Hypertee_util.Xrng.t;
@@ -11,24 +21,39 @@ type t = {
   mailbox : (Types.request, Types.response) Mailbox.t;
   ems_service : unit -> unit;
   service_ns : Types.request -> float;
+  retry : retry_policy;
+  mutable faults : Fault.t option;
   mutable last_latency_ns : float;
   mutable rejected : int;
   mutable tlb_flushes : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable duplicates_discarded : int;
   mutable flush_hooks : (unit -> unit) list;
 }
 
-let create ~rng ~transport ~mailbox ~ems_service ~service_ns =
+let create ?(retry = default_retry_policy) ~rng ~transport ~mailbox ~ems_service ~service_ns ()
+    =
+  if retry.poll_budget < 1 then invalid_arg "Emcall.create: poll_budget must be >= 1";
+  if retry.max_retries < 0 then invalid_arg "Emcall.create: max_retries must be >= 0";
   {
     rng;
     transport;
     mailbox;
     ems_service;
     service_ns;
+    retry;
+    faults = None;
     last_latency_ns = 0.0;
     rejected = 0;
     tlb_flushes = 0;
+    timeouts = 0;
+    retries = 0;
+    duplicates_discarded = 0;
     flush_hooks = [];
   }
+
+let set_fault_injector t inj = t.faults <- Some inj
 
 let caller_privilege = function
   | Os_kernel -> Types.Os
@@ -64,6 +89,36 @@ let transport_ns t =
   +. (2.0 *. tr.Config.fabric_hop_ns)
   +. tr.Config.interrupt_ns
 
+(* An injected interconnect latency spike: pure time, no packet
+   loss. Consumed only when a fault plan is installed. *)
+let transport_spike_ns t =
+  match t.faults with
+  | None -> 0.0
+  | Some inj ->
+    if Fault.fire inj Fault.Transport_delay then Fault.intensity inj Fault.Transport_delay
+    else 0.0
+
+let complete t ~request ~request_id ~extra_ns response =
+  (* Any further copies of this response are duplicates: detect and
+     discard them here, so a duplicated packet can never be mistaken
+     for the answer to a later request. *)
+  t.duplicates_discarded <- t.duplicates_discarded + Mailbox.discard_response t.mailbox ~request_id;
+  let service = t.service_ns request in
+  let raw = transport_ns t +. service +. extra_ns in
+  let slot = t.transport.Config.poll_slot_ns in
+  let quantised = Float.of_int (int_of_float (raw /. slot) + 1) *. slot in
+  let jitter = Hypertee_util.Xrng.float t.rng *. slot in
+  t.last_latency_ns <- quantised +. jitter;
+  if bitmap_changed request response then flush_tlbs t;
+  (match (request, response) with
+  | (Types.Enter _ | Types.Resume _), Types.Ok_entered _ ->
+    (* Atomic CS register update: satp switch + IS_ENCLAVE are
+       performed by the platform layer inside the same gate
+       call; the TLB flush is issued here. *)
+    flush_tlbs t
+  | _ -> ());
+  Ok response
+
 let invoke t ~caller request =
   let opcode = Types.opcode_of_request request in
   let required = Types.required_privilege opcode in
@@ -82,34 +137,54 @@ let invoke t ~caller request =
     | Error `Full ->
       t.rejected <- t.rejected + 1;
       Error Mailbox_full
-    | Ok request_id -> (
+    | Ok request_id ->
       (* Doorbell: the EMS side drains the queue and posts responses. *)
       t.ems_service ();
       (* EMCall polls — never the untrusted interrupt path. Polling
          quantises observable latency to poll slots and adds jitter,
-         the paper's obfuscation against timing side channels. *)
-      match Mailbox.poll_response t.mailbox ~request_id with
-      | None ->
-        (* EMS service did not answer: treat as fatal platform bug. *)
-        failwith "EMCall: EMS did not answer a delivered request"
-      | Some response ->
-        let service = t.service_ns request in
-        let raw = transport_ns t +. service in
-        let slot = t.transport.Config.poll_slot_ns in
-        let quantised = Float.of_int (int_of_float (raw /. slot) + 1) *. slot in
-        let jitter = Hypertee_util.Xrng.float t.rng *. slot in
-        t.last_latency_ns <- quantised +. jitter;
-        if bitmap_changed request response then flush_tlbs t;
-        (match (request, response) with
-        | (Types.Enter _ | Types.Resume _), Types.Ok_entered _ ->
-          (* Atomic CS register update: satp switch + IS_ENCLAVE are
-             performed by the platform layer inside the same gate
-             call; the TLB flush is issued here. *)
-          flush_tlbs t
-        | _ -> ());
-        Ok response)
+         the paper's obfuscation against timing side channels.
+
+         Under faults the response may be late (stalled worker), lost
+         (dropped packet) or garbled (bad CRC): poll up to
+         [poll_budget] slots — each poll re-rings the doorbell, which
+         runs the EMS watchdog — then re-ask the mailbox for the
+         response by id with exponential backoff. Re-asking hits the
+         answered cache, never re-executes the primitive: delivery is
+         exactly-once by construction. *)
+      let slot_ns = t.transport.Config.poll_slot_ns in
+      let rec await ~polls ~retry_count ~extra_ns =
+        match Mailbox.poll_response t.mailbox ~request_id with
+        | Some response -> complete t ~request ~request_id ~extra_ns response
+        | None ->
+          if polls < t.retry.poll_budget then begin
+            t.ems_service ();
+            await ~polls:(polls + 1) ~retry_count ~extra_ns:(extra_ns +. slot_ns)
+          end
+          else if retry_count < t.retry.max_retries then begin
+            t.retries <- t.retries + 1;
+            ignore (Mailbox.resend_request t.mailbox ~request_id);
+            t.ems_service ();
+            let backoff =
+              t.retry.backoff_base_ns *. Float.of_int (1 lsl retry_count)
+            in
+            await ~polls:0 ~retry_count:(retry_count + 1) ~extra_ns:(extra_ns +. backoff)
+          end
+          else begin
+            t.timeouts <- t.timeouts + 1;
+            (* Whatever arrives after the deadline is stale: make sure
+               a late or duplicated response can never be collected by
+               a future request (ids are unique, but the slot should
+               not linger). *)
+            ignore (Mailbox.discard_response t.mailbox ~request_id);
+            Error Timeout
+          end
+      in
+      await ~polls:0 ~retry_count:0 ~extra_ns:(transport_spike_ns t)
   end
 
 let last_latency_ns t = t.last_latency_ns
 let rejected t = t.rejected
 let tlb_flushes t = t.tlb_flushes
+let timeouts t = t.timeouts
+let retries t = t.retries
+let duplicates_discarded t = t.duplicates_discarded

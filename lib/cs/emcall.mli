@@ -14,33 +14,59 @@
       atomically: satp switch, IS_ENCLAVE flip, TLB flush;
     - flush TLBs when EMS reports bitmap changes.
 
+    Recovery (availability, Table I): a response that fails to
+    arrive within the poll budget — stalled worker, dropped or
+    corrupted packet — is re-requested from the mailbox by id with
+    bounded exponential backoff. Re-requests are idempotent (served
+    from the mailbox's answered cache, never re-executed), duplicate
+    responses are detected and discarded, and an exhausted budget
+    surfaces as the [Timeout] rejection: [invoke] can never hang and
+    never raises.
+
     Timing: [last_latency_ns] exposes the modelled round-trip
     (EMCall entry + packet build + fabric hops + doorbell + EMS
-    service + polling quantisation with obfuscation jitter). *)
+    service + polling quantisation with obfuscation jitter, plus any
+    injected transport spikes, poll waits and retry backoff). *)
 
 type caller = Os_kernel | User_host | User_enclave of Hypertee_ems.Types.enclave_id
 
 type rejection =
   | Cross_privilege  (** caller mode does not match Table II *)
   | Mailbox_full
+  | Timeout  (** no response within the poll/retry budget *)
+
+type retry_policy = {
+  poll_budget : int;  (** poll slots waited before each re-request *)
+  max_retries : int;  (** re-requests before giving up *)
+  backoff_base_ns : float;  (** backoff added per retry, doubling *)
+}
+
+val default_retry_policy : retry_policy
 
 type t
 
-(** [create ~rng ~transport ~mailbox ~ems_service ~service_ns] wires
-    the gate to a mailbox whose EMS side is drained by [ems_service]
-    (the platform calls the runtime there). [service_ns] prices a
-    request for the timing model. *)
+(** [create ~rng ~transport ~mailbox ~ems_service ~service_ns ()]
+    wires the gate to a mailbox whose EMS side is drained by
+    [ems_service] (the platform calls the runtime there; each poll
+    re-rings it, which also runs the EMS watchdog). [service_ns]
+    prices a request for the timing model. *)
 val create :
+  ?retry:retry_policy ->
   rng:Hypertee_util.Xrng.t ->
   transport:Hypertee_arch.Config.transport ->
   mailbox:(Hypertee_ems.Types.request, Hypertee_ems.Types.response) Hypertee_arch.Mailbox.t ->
   ems_service:(unit -> unit) ->
   service_ns:(Hypertee_ems.Types.request -> float) ->
+  unit ->
   t
 
+(** Install the platform's fault injector (transport latency
+    spikes). *)
+val set_fault_injector : t -> Hypertee_faults.Fault.t -> unit
+
 (** [invoke t ~caller request] runs the full gate flow and returns
-    the EMS response, or a gate-level rejection before anything
-    reaches EMS. *)
+    the EMS response, or a gate-level rejection. Total work is
+    bounded: at most [poll_budget * (max_retries + 1)] polls. *)
 val invoke :
   t ->
   caller:caller ->
@@ -56,6 +82,13 @@ val transport_ns : t -> float
 
 (** Number of requests blocked at the gate (attack telemetry). *)
 val rejected : t -> int
+
+(** Recovery telemetry: invocations that exhausted the retry budget,
+    re-requests issued, duplicate response copies discarded. *)
+val timeouts : t -> int
+
+val retries : t -> int
+val duplicates_discarded : t -> int
 
 (** TLB flushes EMCall has issued (enclave context switches + bitmap
     updates, Fig. 11). The platform layer registers per-core flush

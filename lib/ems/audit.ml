@@ -7,16 +7,29 @@ type entry = {
   outcome : outcome;
 }
 
+type fault_event = { fault_seq : int; site : string; detail : string; recovered : bool }
+
 type t = {
   capacity : int;
   mutable entries : entry list; (* newest first *)
   mutable retained : int;
   mutable total : int;
+  mutable faults : fault_event list; (* newest first *)
+  mutable faults_retained : int;
+  mutable faults_total : int;
 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Audit.create: capacity must be positive";
-  { capacity; entries = []; retained = 0; total = 0 }
+  {
+    capacity;
+    entries = [];
+    retained = 0;
+    total = 0;
+    faults = [];
+    faults_retained = 0;
+    faults_total = 0;
+  }
 
 let record t ~opcode ~sender ~outcome =
   t.entries <- { seq = t.total; opcode; sender; outcome } :: t.entries;
@@ -33,8 +46,21 @@ let record t ~opcode ~sender ~outcome =
     t.retained <- keep
   end
 
+let record_fault t ~site ~detail ~recovered =
+  t.faults <- { fault_seq = t.faults_total; site; detail; recovered } :: t.faults;
+  t.faults_total <- t.faults_total + 1;
+  t.faults_retained <- t.faults_retained + 1;
+  if t.faults_retained > t.capacity then begin
+    let keep = t.capacity / 2 in
+    let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+    t.faults <- take keep t.faults;
+    t.faults_retained <- keep
+  end
+
 let entries t = List.rev t.entries
 let total t = t.total
+let fault_events t = List.rev t.faults
+let faults_total t = t.faults_total
 let refusals t = List.filter (fun e -> e.outcome <> Served) (entries t)
 let by_sender t ~sender = List.filter (fun e -> e.sender = sender) (entries t)
 

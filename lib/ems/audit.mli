@@ -21,6 +21,13 @@ type entry = {
   outcome : outcome;
 }
 
+(** A platform fault (injected or organic) and whether the recovery
+    machinery absorbed it: worker crash/stall + watchdog restart,
+    response loss + retransmission, memory integrity violation +
+    enclave termination. Separate from the primitive log so the
+    forensic trail distinguishes "what was asked" from "what broke". *)
+type fault_event = { fault_seq : int; site : string; detail : string; recovered : bool }
+
 type t
 
 val create : ?capacity:int -> unit -> t
@@ -28,11 +35,21 @@ val create : ?capacity:int -> unit -> t
 (** [record t ~opcode ~sender ~outcome] appends one entry. *)
 val record : t -> opcode:Types.opcode -> sender:Types.enclave_id option -> outcome:outcome -> unit
 
+(** [record_fault t ~site ~detail ~recovered] appends one fault
+    event (bounded like the primitive log). *)
+val record_fault : t -> site:string -> detail:string -> recovered:bool -> unit
+
 (** Entries currently retained, oldest first. *)
 val entries : t -> entry list
 
 (** Total entries ever recorded (survives truncation). *)
 val total : t -> int
+
+(** Fault events currently retained, oldest first. *)
+val fault_events : t -> fault_event list
+
+(** Total fault events ever recorded (survives truncation). *)
+val faults_total : t -> int
 
 (** [refusals t] — retained entries whose outcome is [Refused]. *)
 val refusals : t -> entry list

@@ -660,10 +660,62 @@ let dispatch t ~sender request =
   | Types.Interrupt { enclave; pc; cause } -> handle_interrupt t ~enclave ~pc ~cause
 
 
+(* The enclave a request acts on, if any — the victim EMS terminates
+   when serving the request trips a memory-integrity fault. *)
+let enclave_of_request = function
+  | Types.Create _ | Types.Writeback _ -> None
+  | Types.Add { enclave; _ }
+  | Types.Enter { enclave }
+  | Types.Resume { enclave }
+  | Types.Exit { enclave }
+  | Types.Destroy { enclave }
+  | Types.Alloc { enclave; _ }
+  | Types.Free { enclave; _ }
+  | Types.Shmat { enclave; _ }
+  | Types.Shmdt { enclave; _ }
+  | Types.Measure { enclave }
+  | Types.Attest { enclave; _ }
+  | Types.Page_fault { enclave; _ }
+  | Types.Interrupt { enclave; _ } ->
+    Some enclave
+  | Types.Shmget { owner; _ } | Types.Shmshr { owner; _ } | Types.Shmdes { owner; _ } ->
+    Some owner
+
+(* Containment (Table I availability): a MAC failure while serving a
+   primitive is a compromise of that enclave's memory, never of the
+   platform. EMS terminates the affected enclave, records the event,
+   and keeps serving everyone else. *)
+let contain_integrity_fault t request ~frame =
+  let victim =
+    match enclave_of_request request with
+    | Some _ as v -> v
+    | None -> (
+      (* The request names no enclave (e.g. EWB touching victim
+         pages): the compromised memory still has an owner. *)
+      match Ownership.lookup t.ownership ~frame with
+      | Some (Ownership.Private id) -> Some id
+      | Some (Ownership.Shared_page _) | None -> None)
+  in
+  (match victim with
+  | Some id when Hashtbl.mem t.enclaves id ->
+    (try ignore (handle_destroy t ~enclave:id) with _ -> Hashtbl.remove t.enclaves id)
+  | _ -> ());
+  Audit.record_fault t.audit ~site:"memory-integrity"
+    ~detail:
+      (Printf.sprintf "MAC mismatch at frame %d%s" frame
+         (match victim with
+         | Some id -> Printf.sprintf "; enclave %d terminated" id
+         | None -> ""))
+    ~recovered:false;
+  Types.Err (Types.Integrity_failure { frame })
+
 let handle t ~sender request =
   let opcode = Types.opcode_of_request request in
   count t opcode;
-  let response = dispatch t ~sender request in
+  let response =
+    try dispatch t ~sender request with
+    | Mem_encryption.Integrity_violation { frame } -> contain_integrity_fault t request ~frame
+  in
   let outcome =
     match response with
     | Types.Err e -> Audit.Refused (Types.error_message e)

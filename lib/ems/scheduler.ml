@@ -1,20 +1,57 @@
+module Fault = Hypertee_faults.Fault
+
 type job = { id : int; run : unit -> unit }
+
+type watchdog_report = { dead_workers : int; redispatched : int list }
 
 type t = {
   rng : Hypertee_util.Xrng.t;
   workers : int;
+  alive : bool array;
   mutable queue : job list; (* reversed arrival order *)
+  mutable parked : job list; (* in-flight on dead/stalled workers *)
   mutable log : (int * int) list; (* reversed execution order *)
   mutable executed : int;
+  mutable crashes : int;
+  mutable stalls : int;
+  mutable restarts : int;
+  mutable faults : Fault.t option;
 }
 
 let create rng ~workers =
   if workers < 1 then invalid_arg "Scheduler.create: need at least one worker";
-  { rng; workers; queue = []; log = []; executed = 0 }
+  {
+    rng;
+    workers;
+    alive = Array.make workers true;
+    queue = [];
+    parked = [];
+    log = [];
+    executed = 0;
+    crashes = 0;
+    stalls = 0;
+    restarts = 0;
+    faults = None;
+  }
 
 let workers t = t.workers
+let set_fault_injector t inj = t.faults <- Some inj
 let submit t ~id run = t.queue <- { id; run } :: t.queue
-let pending t = List.length t.queue
+let pending t = List.length t.queue + List.length t.parked
+let alive_workers t = Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 t.alive
+
+(* Does the injected fault plan take this worker down before the job
+   completes? A crash loses the job with the worker; a stall wedges
+   the worker with the job still in hand. Either way the job is
+   parked for the watchdog, which re-dispatches it under its original
+   request id so the request/response binding survives. *)
+let strike t =
+  match t.faults with
+  | None -> `Run
+  | Some inj ->
+    if Fault.fire inj Fault.Worker_crash then `Crash
+    else if Fault.fire inj Fault.Worker_stall then `Stall
+    else `Run
 
 let dispatch t =
   let batch = Array.of_list (List.rev t.queue) in
@@ -22,14 +59,50 @@ let dispatch t =
   (* Randomized dispatch order (Sec. III-C): neither arrival order
      nor anything the submitter controls. *)
   Hypertee_util.Xrng.shuffle t.rng batch;
+  let ran = ref 0 in
   Array.iteri
     (fun i job ->
-      let worker = i mod t.workers in
-      job.run ();
-      t.executed <- t.executed + 1;
-      t.log <- (job.id, worker) :: t.log)
+      if alive_workers t = 0 then
+        (* Every worker is down: the job waits for the watchdog. *)
+        t.parked <- job :: t.parked
+      else begin
+        (* Round-robin over the workers that are still alive. *)
+        let rec pick w = if t.alive.(w) then w else pick ((w + 1) mod t.workers) in
+        let worker = pick (i mod t.workers) in
+        match strike t with
+        | `Crash ->
+          t.alive.(worker) <- false;
+          t.crashes <- t.crashes + 1;
+          t.parked <- job :: t.parked
+        | `Stall ->
+          t.alive.(worker) <- false;
+          t.stalls <- t.stalls + 1;
+          t.parked <- job :: t.parked
+        | `Run ->
+          job.run ();
+          incr ran;
+          t.executed <- t.executed + 1;
+          t.log <- (job.id, worker) :: t.log
+      end)
     batch;
-  Array.length batch
+  !ran
+
+let watchdog_scan t =
+  let dead = t.workers - alive_workers t in
+  if dead = 0 && t.parked = [] then { dead_workers = 0; redispatched = [] }
+  else begin
+    Array.fill t.alive 0 t.workers true;
+    t.restarts <- t.restarts + dead;
+    let recovered = List.rev t.parked in
+    t.parked <- [];
+    (* Re-dispatch under the original ids: prepend so the recovered
+       jobs keep their arrival position relative to new submissions. *)
+    t.queue <- t.queue @ List.rev recovered;
+    { dead_workers = dead; redispatched = List.map (fun j -> j.id) recovered }
+  end
 
 let execution_log t = List.rev t.log
 let executed t = t.executed
+let crashes t = t.crashes
+let stalls t = t.stalls
+let restarts t = t.restarts

@@ -11,24 +11,48 @@
     module models the *order and placement* decisions: a batch of
     pending jobs is shuffled, dealt round-robin to workers, and run.
     Service remains at primitive granularity (a job never yields
-    mid-primitive — the property Sec. III-C relies on). *)
+    mid-primitive — the property Sec. III-C relies on).
+
+    Fault model: with an injector installed, a worker can crash or
+    stall mid-request. The affected job is parked (never silently
+    lost) and the worker marked dead; {!watchdog_scan} — EMS's
+    recovery sweep, run on every doorbell — revives dead workers and
+    re-queues parked jobs under their original request ids, so the
+    request/response binding is preserved across recovery. *)
 
 type t
+
+type watchdog_report = { dead_workers : int; redispatched : int list }
 
 val create : Hypertee_util.Xrng.t -> workers:int -> t
 
 val workers : t -> int
 
+(** Install the platform's fault injector (consulted per job run). *)
+val set_fault_injector : t -> Hypertee_faults.Fault.t -> unit
+
 (** [submit t ~id job] queues a primitive for execution. [id] is the
-    mailbox request id (used only for the audit trail). *)
+    mailbox request id (used for the audit trail and for watchdog
+    re-dispatch). *)
 val submit : t -> id:int -> (unit -> unit) -> unit
 
+(** Jobs awaiting execution, including parked in-flight jobs. *)
 val pending : t -> int
 
 (** [dispatch t] takes the whole pending batch, shuffles it, assigns
-    jobs to workers round-robin and runs every job to completion.
-    Returns the number of jobs executed. *)
+    jobs to the live workers round-robin and runs every job to
+    completion. Returns the number of jobs executed (jobs whose
+    worker crashed or stalled are parked instead). *)
 val dispatch : t -> int
+
+(** Workers currently alive (all of them unless faults struck). *)
+val alive_workers : t -> int
+
+(** [watchdog_scan t] — detect dead/stalled workers, restart them and
+    re-queue their in-flight jobs for the next {!dispatch}. Returns
+    what was recovered; [{ dead_workers = 0; redispatched = [] }]
+    when all is well. *)
+val watchdog_scan : t -> watchdog_report
 
 (** Audit trail: (request id, worker) in execution order, most recent
     batch last. Used by the tests that check the attacker cannot
@@ -36,3 +60,10 @@ val dispatch : t -> int
 val execution_log : t -> (int * int) list
 
 val executed : t -> int
+
+(** Fault telemetry: worker crashes / stalls injected, and watchdog
+    restarts performed. *)
+val crashes : t -> int
+
+val stalls : t -> int
+val restarts : t -> int

@@ -128,6 +128,7 @@ type error =
   | Permission_denied of string
   | Not_registered
   | Invalid_argument_ of string
+  | Integrity_failure of { frame : int }
 
 let error_message = function
   | No_such_enclave -> "no such enclave"
@@ -138,6 +139,8 @@ let error_message = function
   | Permission_denied s -> "permission denied: " ^ s
   | Not_registered -> "enclave not in the legal connection list"
   | Invalid_argument_ s -> "invalid argument: " ^ s
+  | Integrity_failure { frame } ->
+    Printf.sprintf "memory integrity violation at frame %d: enclave terminated" frame
 
 type response =
   | Ok_unit

@@ -89,6 +89,9 @@ type error =
   | Permission_denied of string
   | Not_registered  (** ESHMAT without a legal-connection entry *)
   | Invalid_argument_ of string  (** failed the EMS sanity check *)
+  | Integrity_failure of { frame : int }
+      (** the memory-encryption MAC caught tampering (or an injected
+          bit flip); EMS terminated the affected enclave *)
 
 val error_message : error -> string
 

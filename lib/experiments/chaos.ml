@@ -1,0 +1,153 @@
+module Types = Hypertee_ems.Types
+module Emcall = Hypertee_cs.Emcall
+module Fault = Hypertee_faults.Fault
+module Platform = Hypertee.Platform
+module Xrng = Hypertee_util.Xrng
+module Stats = Hypertee_util.Stats
+
+type point = {
+  fault_rate : float;
+  ops : int;
+  ok : int;
+  degraded : int;
+  timeouts : int;
+  success_rate : float;
+  p50_ns : float;
+  p99_ns : float;
+  injected : int;
+  recovered : int;
+  enclaves_killed : int;
+  retries : int;
+}
+
+let default_rates = [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ]
+
+(* Workload state per live enclave: the launch pipeline (EADD pages,
+   then EMEAS) followed by steady-state management traffic. *)
+type enclave_state = {
+  id : Types.enclave_id;
+  mutable added : int;
+  mutable measured : bool;
+  mutable regions : (int * int) list; (* (base_vpn, pages) from EALLOC *)
+}
+
+let launch_adds = 2
+let fleet_target = 3
+
+let page_data i = Bytes.make 64 (Char.chr (Char.code 'a' + (i mod 26)))
+
+(* One iteration = exactly one EMCall. Picks the next sensible
+   primitive for the current fleet state; the point of the sweep is
+   that the *platform* keeps its promises, so the workload itself is
+   always semantically valid against the state the workload believes
+   in — divergence (a fault killed an enclave under us) lands in the
+   [degraded] bucket and the bookkeeping resyncs. *)
+let next_request rng fleet =
+  match List.find_opt (fun e -> not e.measured) !fleet with
+  | Some e when e.added < launch_adds ->
+    ( Emcall.Os_kernel,
+      Types.Add
+        { enclave = e.id; vpn = 0x100 + e.added; data = page_data e.added; executable = true },
+      `Added e )
+  | Some e -> (Emcall.Os_kernel, Types.Measure { enclave = e.id }, `Measured e)
+  | None ->
+    if List.length !fleet < fleet_target then
+      (Emcall.Os_kernel, Types.Create { config = Types.default_config }, `Created)
+    else begin
+      let arr = Array.of_list !fleet in
+      let e = arr.(Xrng.int rng (Array.length arr)) in
+      match Xrng.int rng 10 with
+      | 0 | 1 | 2 -> (Emcall.User_enclave e.id, Types.Alloc { enclave = e.id; pages = 2 }, `Alloced e)
+      | 3 | 4 -> (
+        match e.regions with
+        | (base_vpn, pages) :: _ ->
+          (Emcall.User_enclave e.id, Types.Free { enclave = e.id; vpn = base_vpn; pages }, `Freed e)
+        | [] -> (Emcall.User_enclave e.id, Types.Alloc { enclave = e.id; pages = 2 }, `Alloced e))
+      | 5 | 6 ->
+        ( Emcall.User_enclave e.id,
+          Types.Attest { enclave = e.id; user_data = Bytes.of_string "chaos" },
+          `Noop )
+      | 7 ->
+        (* Big enough to drain the EMS pool and force eviction of
+           enclave heap pages — the path that decrypts lines through
+           the encryption engine, where injected bit flips land.
+           Evicted pages are unmapped until faulted back in, so stop
+           trusting earlier EALLOC regions for the Free arm. *)
+        List.iter (fun e -> e.regions <- []) !fleet;
+        (Emcall.Os_kernel, Types.Writeback { pages_hint = 48 }, `Noop)
+      | 8 -> (Emcall.Os_kernel, Types.Destroy { enclave = e.id }, `Destroyed e)
+      | _ ->
+        List.iter (fun e -> e.regions <- []) !fleet;
+        (Emcall.Os_kernel, Types.Writeback { pages_hint = 8 }, `Noop)
+    end
+
+let drop fleet id = fleet := List.filter (fun e -> e.id <> id) !fleet
+
+let run_point ~seed ~fault_rate ~ops =
+  let faults = Fault.uniform ~seed:(Int64.add seed 0x5EEDL) ~rate:fault_rate () in
+  let platform = Platform.create ~seed ~faults () in
+  let rng = Xrng.create (Int64.add seed 17L) in
+  let fleet = ref [] in
+  let ok = ref 0 and degraded = ref 0 and timeouts = ref 0 in
+  let latencies = Stats.create () in
+  for _ = 1 to ops do
+    let caller, request, effect = next_request rng fleet in
+    match Platform.invoke platform ~caller request with
+    | Ok (Types.Err err) ->
+      incr degraded;
+      (* Resync the workload's view: an enclave the platform no
+         longer serves (integrity-terminated, or its state diverged
+         after a lost/killed operation) leaves the fleet. *)
+      (match (err, effect) with
+      | (Types.No_such_enclave | Types.Integrity_failure _), (`Added e | `Measured e | `Alloced e | `Freed e | `Destroyed e)
+        ->
+        drop fleet e.id
+      | _ -> ())
+    | Ok response -> (
+      incr ok;
+      Stats.add latencies (Platform.last_invoke_ns platform);
+      match (effect, response) with
+      | `Created, Types.Ok_created { enclave } ->
+        fleet := { id = enclave; added = 0; measured = false; regions = [] } :: !fleet
+      | `Added e, _ -> e.added <- e.added + 1
+      | `Measured e, _ -> e.measured <- true
+      | `Alloced e, Types.Ok_alloc { base_vpn; pages } -> e.regions <- (base_vpn, pages) :: e.regions
+      | `Freed e, _ -> e.regions <- (match e.regions with [] -> [] | _ :: tl -> tl)
+      | `Destroyed e, _ -> drop fleet e.id
+      | _ -> ())
+    | Error Emcall.Timeout -> (
+      incr timeouts;
+      (* The outcome of a timed-out primitive is unknown; drop the
+         target so later ops do not cascade on stale bookkeeping. *)
+      match effect with
+      | `Added e | `Measured e | `Alloced e | `Freed e | `Destroyed e -> drop fleet e.id
+      | `Created | `Noop -> ())
+    | Error (Emcall.Cross_privilege | Emcall.Mailbox_full) -> incr degraded
+  done;
+  let audit = Hypertee_ems.Runtime.audit (Platform.Internals.runtime platform) in
+  let events = Hypertee_ems.Audit.fault_events audit in
+  let recovered = List.length (List.filter (fun e -> e.Hypertee_ems.Audit.recovered) events) in
+  let enclaves_killed =
+    List.length
+      (List.filter (fun e -> e.Hypertee_ems.Audit.site = "memory-integrity") events)
+  in
+  let injected =
+    match Platform.Internals.faults platform with Some inj -> Fault.total_fired inj | None -> 0
+  in
+  let pct p = if Stats.count latencies = 0 then 0.0 else Stats.percentile latencies p in
+  {
+    fault_rate;
+    ops;
+    ok = !ok;
+    degraded = !degraded;
+    timeouts = !timeouts;
+    success_rate = float_of_int !ok /. float_of_int (Stdlib.max 1 ops);
+    p50_ns = pct 50.0;
+    p99_ns = pct 99.0;
+    injected;
+    recovered;
+    enclaves_killed;
+    retries = Emcall.retries (Platform.Internals.emcall platform);
+  }
+
+let run ~seed ~ops = List.map (fun fault_rate -> run_point ~seed ~fault_rate ~ops) default_rates

@@ -1,0 +1,38 @@
+(** Chaos availability sweep (Table I availability claim).
+
+    Runs a mixed enclave-management workload against a platform with
+    a {!Hypertee_faults.Fault.uniform} plan at increasing fault
+    rates, and reports how gracefully the service-level objectives
+    degrade: success rate, p50/p99 invoke latency, how many faults
+    the recovery machinery absorbed (EMCall retries + EMS watchdog),
+    and how many enclaves integrity containment had to terminate.
+
+    Deterministic given [seed]: the workload decisions and every
+    fault schedule derive from it. The [fault_rate = 0.0] point uses
+    the same injector machinery as the rest of the sweep, so the
+    sweep's own baseline is honest. *)
+
+type point = {
+  fault_rate : float;  (** per-opportunity probability at every site *)
+  ops : int;  (** EMCall invocations issued *)
+  ok : int;  (** served with a non-error response *)
+  degraded : int;  (** served, but with an EMS error (fault cascades) *)
+  timeouts : int;  (** retry budget exhausted at the gate *)
+  success_rate : float;  (** ok / ops *)
+  p50_ns : float;  (** median invoke latency over successful ops *)
+  p99_ns : float;
+  injected : int;  (** faults actually fired by the injector *)
+  recovered : int;  (** fault events the platform absorbed (audit) *)
+  enclaves_killed : int;  (** integrity containment terminations *)
+  retries : int;  (** mailbox re-requests issued by the gate *)
+}
+
+(** Fault rates of the default sweep (includes 0.0). *)
+val default_rates : float list
+
+(** [run_point ~seed ~fault_rate ~ops] — one sweep point on a fresh
+    platform. Never raises: every fault outcome is a counted bucket. *)
+val run_point : seed:int64 -> fault_rate:float -> ops:int -> point
+
+(** [run ~seed ~ops] — the full sweep over [default_rates]. *)
+val run : seed:int64 -> ops:int -> point list

@@ -1,0 +1,120 @@
+type site =
+  | Mailbox_drop
+  | Mailbox_duplicate
+  | Mailbox_corrupt
+  | Transport_delay
+  | Worker_stall
+  | Worker_crash
+  | Crypto_transient
+  | Memory_bit_flip
+
+let all_sites =
+  [
+    Mailbox_drop; Mailbox_duplicate; Mailbox_corrupt; Transport_delay; Worker_stall;
+    Worker_crash; Crypto_transient; Memory_bit_flip;
+  ]
+
+let site_name = function
+  | Mailbox_drop -> "mailbox-drop"
+  | Mailbox_duplicate -> "mailbox-duplicate"
+  | Mailbox_corrupt -> "mailbox-corrupt"
+  | Transport_delay -> "transport-delay"
+  | Worker_stall -> "worker-stall"
+  | Worker_crash -> "worker-crash"
+  | Crypto_transient -> "crypto-transient"
+  | Memory_bit_flip -> "memory-bit-flip"
+
+let site_index = function
+  | Mailbox_drop -> 0
+  | Mailbox_duplicate -> 1
+  | Mailbox_corrupt -> 2
+  | Transport_delay -> 3
+  | Worker_stall -> 4
+  | Worker_crash -> 5
+  | Crypto_transient -> 6
+  | Memory_bit_flip -> 7
+
+let n_sites = List.length all_sites
+
+type schedule = Never | Always | Probability of float | Every_nth of int | Once_at of int
+
+type rule = { site : site; schedule : schedule; intensity : float }
+
+type plan = { seed : int64; plan_rules : rule list }
+
+let check_rule r =
+  (match r.schedule with
+  | Probability p when not (p >= 0.0 && p <= 1.0) ->
+    invalid_arg "Fault.plan: probability must be in [0,1]"
+  | Every_nth n when n < 1 -> invalid_arg "Fault.plan: Every_nth needs n >= 1"
+  | Once_at n when n < 1 -> invalid_arg "Fault.plan: Once_at needs n >= 1"
+  | _ -> ());
+  r
+
+let plan ?(seed = 0xFA17L) rules = { seed; plan_rules = List.map check_rule rules }
+
+let default_intensity = function
+  | Transport_delay -> 50_000.0 (* a 50 us interconnect hiccup *)
+  | Crypto_transient -> 1.0 (* one transparent retry: cost doubles *)
+  | _ -> 1.0
+
+let uniform ?(seed = 0xFA17L) ~rate () =
+  plan ~seed
+    (List.map
+       (fun site -> { site; schedule = Probability rate; intensity = default_intensity site })
+       all_sites)
+
+let rules p = p.plan_rules
+let seed p = p.seed
+
+type slot = {
+  rule : rule;
+  rng : Hypertee_util.Xrng.t;
+  mutable seen : int;
+  mutable hits : int;
+}
+
+type t = { slots : slot array }
+
+let create p =
+  let master = Hypertee_util.Xrng.create p.seed in
+  (* Every site gets its own split, in a fixed order independent of
+     the rule list, so two plans with the same seed drive each site
+     with the same stream regardless of which other sites are
+     enabled. *)
+  let rngs = Array.init n_sites (fun _ -> Hypertee_util.Xrng.split master) in
+  let slots =
+    Array.of_list
+      (List.map
+         (fun site ->
+           let rule =
+             match List.find_opt (fun r -> r.site = site) p.plan_rules with
+             | Some r -> r
+             | None -> { site; schedule = Never; intensity = 0.0 }
+           in
+           { rule; rng = rngs.(site_index site); seen = 0; hits = 0 })
+         all_sites)
+  in
+  { slots }
+
+let slot t site = t.slots.(site_index site)
+
+let fire t site =
+  let s = slot t site in
+  s.seen <- s.seen + 1;
+  let hit =
+    match s.rule.schedule with
+    | Never -> false
+    | Always -> true
+    | Probability p -> Hypertee_util.Xrng.float s.rng < p
+    | Every_nth n -> s.seen mod n = 0
+    | Once_at n -> s.seen = n
+  in
+  if hit then s.hits <- s.hits + 1;
+  hit
+
+let intensity t site = (slot t site).rule.intensity
+let draw_int t site bound = Hypertee_util.Xrng.int (slot t site).rng bound
+let fired t site = (slot t site).hits
+let opportunities t site = (slot t site).seen
+let total_fired t = Array.fold_left (fun acc s -> acc + s.hits) 0 t.slots

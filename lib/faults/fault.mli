@@ -1,0 +1,79 @@
+(** Deterministic fault-injection plans.
+
+    The availability claim of Table I is that enclave management keeps
+    working when parts of the platform misbehave. To reproduce that
+    claim the simulator needs misbehaviour on demand: this module
+    describes *where* faults strike (a {!site}), *when* they strike (a
+    {!schedule}) and *how hard* (an intensity), and compiles the plan
+    into an injector the hardware models consult at each opportunity.
+
+    Determinism: every site owns an independent RNG split from the
+    plan seed, so (a) the same plan replays the same fault trace, and
+    (b) enabling one site never perturbs another site's schedule. A
+    disabled plan ([None] injector everywhere) is a provable no-op:
+    no RNG draw, no behaviour change, byte-identical experiment
+    output. *)
+
+(** Injection sites threaded through the request path. *)
+type site =
+  | Mailbox_drop  (** response packet lost on the fabric *)
+  | Mailbox_duplicate  (** response packet delivered twice *)
+  | Mailbox_corrupt  (** response payload corrupted (bad CRC) *)
+  | Transport_delay  (** latency spike on the CS-EMS interconnect *)
+  | Worker_stall  (** an EMS worker wedges mid-request *)
+  | Worker_crash  (** an EMS worker dies, losing its in-flight request *)
+  | Crypto_transient  (** crypto engine returns a transient error *)
+  | Memory_bit_flip  (** DRAM bit flip under an enclave key *)
+
+val all_sites : site list
+val site_name : site -> string
+
+(** When a site fires, counted in *opportunities* (times the hook is
+    consulted). *)
+type schedule =
+  | Never
+  | Always
+  | Probability of float  (** iid with this probability per opportunity *)
+  | Every_nth of int  (** fires on the n-th, 2n-th, ... opportunity *)
+  | Once_at of int  (** fires exactly once, on the n-th opportunity *)
+
+type rule = { site : site; schedule : schedule; intensity : float }
+
+(** A fault plan: seed plus one rule per site (unlisted sites are
+    [Never]). *)
+type plan
+
+val plan : ?seed:int64 -> rule list -> plan
+
+(** [uniform ~rate ()] puts [Probability rate] on every site with a
+    default intensity — the knob the chaos sweep turns. *)
+val uniform : ?seed:int64 -> rate:float -> unit -> plan
+
+val rules : plan -> rule list
+val seed : plan -> int64
+
+(** A compiled plan with per-site counters. One injector is shared by
+    all hooks of one platform instance. *)
+type t
+
+val create : plan -> t
+
+(** [fire t site] consumes one opportunity at [site] and says whether
+    the fault strikes now. *)
+val fire : t -> site -> bool
+
+(** Configured intensity of the site's rule (0 when unlisted).
+    Meaning is per-site: extra nanoseconds for [Transport_delay],
+    retry-cost multiplier for [Crypto_transient], ignored
+    elsewhere. *)
+val intensity : t -> site -> float
+
+(** [draw_int t site bound] — deterministic per-site randomness for
+    fault shaping (e.g. which bit to flip). *)
+val draw_int : t -> site -> int -> int
+
+(** Times the site actually fired / was consulted. *)
+val fired : t -> site -> int
+
+val opportunities : t -> site -> int
+val total_fired : t -> int

@@ -478,6 +478,11 @@ let test_mee_slot_management () =
 
 (* --- Mailbox --- *)
 
+let respond_ok mb ~request_id body =
+  match Mailbox.send_response mb ~request_id body with
+  | Ok () -> ()
+  | Error `Unknown_or_answered -> Alcotest.fail "send_response rejected a live request id"
+
 let test_mailbox_request_response () =
   let mb = Mailbox.create () in
   let id1 = Result.get_ok (Mailbox.send_request mb ~sender_enclave:None "req1") in
@@ -487,12 +492,12 @@ let test_mailbox_request_response () =
   | Some p ->
     check Alcotest.string "fifo order" "req1" p.Mailbox.body;
     check (Alcotest.option Alcotest.int) "host sender" None p.Mailbox.sender_enclave;
-    Mailbox.send_response mb ~request_id:p.Mailbox.request_id "resp1"
+    respond_ok mb ~request_id:p.Mailbox.request_id "resp1"
   | None -> Alcotest.fail "no request");
   (match Mailbox.recv_request mb with
   | Some p ->
     check (Alcotest.option Alcotest.int) "enclave stamped" (Some 4) p.Mailbox.sender_enclave;
-    Mailbox.send_response mb ~request_id:p.Mailbox.request_id "resp2"
+    respond_ok mb ~request_id:p.Mailbox.request_id "resp2"
   | None -> Alcotest.fail "no request");
   (* Responses are bound to their ids — collecting with the wrong id
      never yields another's response. *)
@@ -503,9 +508,40 @@ let test_mailbox_request_response () =
 
 let test_mailbox_unknown_response_rejected () =
   let mb : (string, string) Mailbox.t = Mailbox.create () in
-  Alcotest.check_raises "unknown id"
-    (Invalid_argument "Mailbox.send_response: unknown or already-answered request id") (fun () ->
-      Mailbox.send_response mb ~request_id:999 "spoof")
+  (* A faulty worker answering an unknown id gets an error back, not
+     an exception: the platform must survive confused workers. *)
+  (match Mailbox.send_response mb ~request_id:999 "spoof" with
+  | Error `Unknown_or_answered -> ()
+  | Ok () -> Alcotest.fail "spoofed response accepted");
+  (* Same for a double answer: the first one wins, the second is
+     rejected and the delivered value is the first. *)
+  let id = Result.get_ok (Mailbox.send_request mb ~sender_enclave:None "req") in
+  (match Mailbox.recv_request mb with
+  | Some p -> respond_ok mb ~request_id:p.Mailbox.request_id "first"
+  | None -> Alcotest.fail "no request");
+  (match Mailbox.send_response mb ~request_id:id "second" with
+  | Error `Unknown_or_answered -> ()
+  | Ok () -> Alcotest.fail "double answer accepted");
+  check (Alcotest.option Alcotest.string) "first answer delivered" (Some "first")
+    (Mailbox.poll_response mb ~request_id:id)
+
+let test_mailbox_retransmit_cache () =
+  let mb : (string, string) Mailbox.t = Mailbox.create () in
+  let id = Result.get_ok (Mailbox.send_request mb ~sender_enclave:None "req") in
+  check Alcotest.bool "pending before answer" true (Mailbox.resend_request mb ~request_id:id = `Pending);
+  (match Mailbox.recv_request mb with
+  | Some p -> respond_ok mb ~request_id:p.Mailbox.request_id "resp"
+  | None -> Alcotest.fail "no request");
+  check (Alcotest.option Alcotest.string) "delivered" (Some "resp")
+    (Mailbox.poll_response mb ~request_id:id);
+  (* A retransmit after consumption re-posts the cached response
+     without re-executing anything EMS-side. *)
+  check Alcotest.bool "retransmitted from cache" true
+    (Mailbox.resend_request mb ~request_id:id = `Retransmitted);
+  check Alcotest.int "no new request enqueued" 0 (Mailbox.pending_requests mb);
+  check (Alcotest.option Alcotest.string) "cached copy delivered" (Some "resp")
+    (Mailbox.poll_response mb ~request_id:id);
+  check Alcotest.bool "unknown id" true (Mailbox.resend_request mb ~request_id:777 = `Unknown)
 
 let test_mailbox_backpressure () =
   let mb : (int, int) Mailbox.t = Mailbox.create ~depth:2 () in
@@ -697,6 +733,7 @@ let suite =
       [
         Alcotest.test_case "request/response binding" `Quick test_mailbox_request_response;
         Alcotest.test_case "unknown response rejected" `Quick test_mailbox_unknown_response_rejected;
+        Alcotest.test_case "retransmit cache" `Quick test_mailbox_retransmit_cache;
         Alcotest.test_case "back-pressure" `Quick test_mailbox_backpressure;
       ] );
     ( "arch.ihub",

@@ -71,7 +71,9 @@ let gate_fixture () =
       match Mailbox.recv_request mailbox with
       | Some p ->
         served := (p.Mailbox.sender_enclave, p.Mailbox.body) :: !served;
-        Mailbox.send_response mailbox ~request_id:p.Mailbox.request_id Types.Ok_unit;
+        (match Mailbox.send_response mailbox ~request_id:p.Mailbox.request_id Types.Ok_unit with
+        | Ok () -> ()
+        | Error `Unknown_or_answered -> Alcotest.fail "stub EMS answered twice");
         drain ()
       | None -> ()
     in
@@ -81,7 +83,7 @@ let gate_fixture () =
     Emcall.create
       ~rng:(Hypertee_util.Xrng.create 3L)
       ~transport:Config.default_transport ~mailbox ~ems_service
-      ~service_ns:(fun _ -> 1000.0)
+      ~service_ns:(fun _ -> 1000.0) ()
   in
   (emcall, served)
 
@@ -126,7 +128,8 @@ let test_privilege_matrix () =
           | Error Emcall.Cross_privilege ->
             if expected_pass then
               Alcotest.failf "%s wrongly blocked" (Types.opcode_name op)
-          | Error Emcall.Mailbox_full -> Alcotest.fail "unexpected back-pressure")
+          | Error Emcall.Mailbox_full -> Alcotest.fail "unexpected back-pressure"
+          | Error Emcall.Timeout -> Alcotest.fail "unexpected timeout")
         all_callers)
     Types.all_opcodes
 

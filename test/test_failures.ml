@@ -283,4 +283,228 @@ let parking_suite =
       Alcotest.test_case "no parkable victim" `Quick test_keyid_parking_no_victim;
     ] )
 
-let suite = suite @ [ parking_suite ]
+(* --- Injected faults (Hypertee_faults): delivery and recovery
+   guarantees under dropped/duplicated/corrupted responses, crashed
+   and stalled EMS workers, and flipped memory bits. *)
+
+module Fault = Hypertee_faults.Fault
+
+let prop = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+(* An image with enough heap for long EALLOC sequences. *)
+let roomy_image =
+  { tiny_image with Sdk.config = { Types.default_config with Types.heap_pages = 128 } }
+
+let alloc_or_fail platform ~enclave ~pages =
+  match
+    Platform.invoke platform ~caller:(Emcall.User_enclave enclave)
+      (Types.Alloc { enclave; pages })
+  with
+  | Ok (Types.Ok_alloc { base_vpn; _ }) -> base_vpn
+  | Ok (Types.Err e) -> QCheck.Test.fail_reportf "EALLOC refused: %s" (Types.error_message e)
+  | Ok _ -> QCheck.Test.fail_report "unexpected EALLOC response"
+  | Error Emcall.Timeout -> QCheck.Test.fail_report "timeout under a recoverable schedule"
+  | Error _ -> QCheck.Test.fail_report "gate rejection"
+
+(* Exactly-once: the enclave heap is a bump allocator, so the k-th
+   successful one-page EALLOC must return first_vpn + k - 1. A lost
+   response that was recovered by re-*executing* (rather than
+   retransmitting) the primitive would skip a vpn; a duplicate
+   delivered twice would repeat one. *)
+let prop_exactly_once_under_mailbox_faults =
+  prop
+    (QCheck.Test.make ~name:"exactly-once delivery under drop/duplicate/corrupt schedules"
+       ~count:12
+       QCheck.(tup3 (int_range 4 16) (int_bound 3) (int_bound 999))
+       (fun (ops, which, salt) ->
+         let site =
+           match which with
+           | 0 -> Fault.Mailbox_drop
+           | 1 -> Fault.Mailbox_duplicate
+           | 2 -> Fault.Mailbox_corrupt
+           | _ -> Fault.Mailbox_drop
+         in
+         let faults =
+           Fault.plan
+             ~seed:(Int64.of_int (0xD00 + salt))
+             [
+               { Fault.site; schedule = Fault.Every_nth 3; intensity = 0.0 };
+               { Fault.site = Fault.Mailbox_duplicate; schedule = Fault.Every_nth 5; intensity = 0.0 };
+             ]
+         in
+         let platform = Platform.create ~seed:(Int64.of_int (777 + salt)) ~faults () in
+         let enclave = Result.get_ok (Sdk.launch platform roomy_image) in
+         let first = alloc_or_fail platform ~enclave ~pages:1 in
+         for k = 1 to ops do
+           let vpn = alloc_or_fail platform ~enclave ~pages:1 in
+           if vpn <> first + k then
+             QCheck.Test.fail_reportf "alloc %d returned vpn %d, expected %d (lost or re-executed)"
+               k vpn (first + k)
+         done;
+         true))
+
+(* Request/response binding: two enclaves with different allocation
+   strides, interleaved under drop+duplicate faults. A response that
+   crossed over to the other enclave's invoke would break that
+   enclave's arithmetic sequence. *)
+let prop_no_cross_delivery_under_faults =
+  prop
+    (QCheck.Test.make ~name:"no response reaches the wrong request id under faults" ~count:10
+       QCheck.(list_of_size Gen.(int_range 4 24) bool)
+       (fun picks ->
+         let faults =
+           Fault.plan ~seed:0xC805L
+             [
+               { Fault.site = Fault.Mailbox_drop; schedule = Fault.Every_nth 4; intensity = 0.0 };
+               { Fault.site = Fault.Mailbox_duplicate; schedule = Fault.Every_nth 3; intensity = 0.0 };
+             ]
+         in
+         let platform = Platform.create ~seed:0x1BADL ~faults () in
+         let e1 = Result.get_ok (Sdk.launch platform roomy_image) in
+         let e2 = Result.get_ok (Sdk.launch platform roomy_image) in
+         let c1 = ref 0 and c2 = ref 0 in
+         let b1 = alloc_or_fail platform ~enclave:e1 ~pages:1 in
+         let b2 = alloc_or_fail platform ~enclave:e2 ~pages:3 in
+         List.iter
+           (fun pick_first ->
+             if pick_first then begin
+               incr c1;
+               let vpn = alloc_or_fail platform ~enclave:e1 ~pages:1 in
+               if vpn <> b1 + !c1 then
+                 QCheck.Test.fail_reportf "enclave 1 got vpn %d, expected %d" vpn (b1 + !c1)
+             end
+             else begin
+               incr c2;
+               let vpn = alloc_or_fail platform ~enclave:e2 ~pages:3 in
+               if vpn <> b2 + (3 * !c2) then
+                 QCheck.Test.fail_reportf "enclave 2 got vpn %d, expected %d" vpn (b2 + (3 * !c2))
+             end)
+           picks;
+         true))
+
+(* Watchdog: crashed/stalled workers lose their in-flight requests;
+   the watchdog must revive the workers and re-dispatch the parked
+   jobs under their original ids, so every invoke still completes
+   with its own response. *)
+let prop_watchdog_redispatch_preserves_binding =
+  prop
+    (QCheck.Test.make ~name:"watchdog re-dispatch preserves request/response binding" ~count:10
+       QCheck.(tup3 (int_range 4 16) (int_bound 50) (int_bound 999))
+       (fun (ops, pct, salt) ->
+         (* crash/stall probabilities up to 0.5 each: recovery fits
+            easily inside the gate's poll/retry budget. *)
+         let p = float_of_int pct /. 100.0 in
+         let faults =
+           Fault.plan
+             ~seed:(Int64.of_int (0xCAFE + salt))
+             [
+               { Fault.site = Fault.Worker_crash; schedule = Fault.Probability p; intensity = 0.0 };
+               { Fault.site = Fault.Worker_stall; schedule = Fault.Probability (p /. 2.0); intensity = 0.0 };
+             ]
+         in
+         let platform = Platform.create ~seed:(Int64.of_int (31 + salt)) ~faults () in
+         let enclave = Result.get_ok (Sdk.launch platform roomy_image) in
+         let first = alloc_or_fail platform ~enclave ~pages:1 in
+         for k = 1 to ops do
+           let vpn = alloc_or_fail platform ~enclave ~pages:1 in
+           if vpn <> first + k then
+             QCheck.Test.fail_reportf "alloc %d returned vpn %d, expected %d" k vpn (first + k)
+         done;
+         let sched = Platform.Internals.scheduler platform in
+         let module S = Hypertee_ems.Scheduler in
+         if S.crashes sched + S.stalls sched > 0 && S.restarts sched = 0 then
+           QCheck.Test.fail_report "workers died but the watchdog never restarted any";
+         true))
+
+let test_timeout_surfaces_cleanly () =
+  (* Every response post dropped, forever: the gate must give up with
+     [Timeout] after its bounded budget — no hang, no exception. *)
+  let faults =
+    Fault.plan [ { Fault.site = Fault.Mailbox_drop; schedule = Fault.Always; intensity = 0.0 } ]
+  in
+  let platform = Platform.create ~seed:0x7E0L ~faults () in
+  (match
+     Platform.invoke platform ~caller:Emcall.Os_kernel
+       (Types.Create { config = Types.default_config })
+   with
+  | Error Emcall.Timeout -> ()
+  | Ok _ -> Alcotest.fail "response crossed an always-drop fabric"
+  | Error _ -> Alcotest.fail "wrong rejection");
+  let emcall = Platform.Internals.emcall platform in
+  check Alcotest.int "timeout counted" 1 (Emcall.timeouts emcall);
+  check Alcotest.bool "retries were attempted" true (Emcall.retries emcall > 0);
+  (* Still alive and still bounded on the next call. *)
+  match
+    Platform.invoke platform ~caller:Emcall.Os_kernel (Types.Writeback { pages_hint = 1 })
+  with
+  | Error Emcall.Timeout -> ()
+  | _ -> Alcotest.fail "second invoke must also time out cleanly"
+
+let test_integrity_fault_kills_enclave_not_platform () =
+  (* Every DRAM line read under an enclave key arrives with a flipped
+     bit. The SHA-3 MAC must catch it, EMS must terminate the victim
+     — and only the victim. *)
+  let faults =
+    Fault.plan [ { Fault.site = Fault.Memory_bit_flip; schedule = Fault.Always; intensity = 0.0 } ]
+  in
+  let platform = Platform.create ~seed:0xB17L ~faults () in
+  let victim = Result.get_ok (Sdk.launch platform roomy_image) in
+  let session = Result.get_ok (Sdk.enter platform ~enclave:victim) in
+  (* Give the victim heap pages, then force writeback to evict them:
+     eviction decrypts through the engine and hits the flip. *)
+  (match Session.alloc session ~pages:8 with Ok _ -> () | Error _ -> Alcotest.fail "alloc");
+  (match
+     Platform.invoke platform ~caller:Emcall.Os_kernel (Types.Writeback { pages_hint = 400 })
+   with
+  | Ok (Types.Err (Types.Integrity_failure _)) -> ()
+  | Ok _ -> Alcotest.fail "flipped line passed the MAC check"
+  | Error _ -> Alcotest.fail "gate rejection");
+  let runtime = Platform.Internals.runtime platform in
+  check Alcotest.bool "victim terminated" false
+    (List.mem victim (Runtime.live_enclaves runtime));
+  let audit = Runtime.audit runtime in
+  check Alcotest.bool "containment recorded in the audit log" true
+    (List.exists
+       (fun (e : Hypertee_ems.Audit.fault_event) -> e.Hypertee_ems.Audit.site = "memory-integrity")
+       (Hypertee_ems.Audit.fault_events audit));
+  (* The platform survives: a fresh enclave launches and runs (its
+     launch path only stores; no flipped line is ever read back). *)
+  match Sdk.launch platform small_image with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "platform died with the enclave: %s" m
+
+let test_zero_rate_plan_is_inert () =
+  (* A uniform plan at rate 0.0 must behave exactly like no plan at
+     all: same responses, same modelled latencies. *)
+  let run faults =
+    let platform = Platform.create ~seed:0x5A5AL ?faults () in
+    let enclave = Result.get_ok (Sdk.launch platform roomy_image) in
+    let trace = ref [] in
+    for _ = 1 to 10 do
+      (match
+         Platform.invoke platform ~caller:(Emcall.User_enclave enclave)
+           (Types.Alloc { enclave; pages = 1 })
+       with
+      | Ok (Types.Ok_alloc { base_vpn; _ }) -> trace := float_of_int base_vpn :: !trace
+      | _ -> Alcotest.fail "alloc failed");
+      trace := Platform.last_invoke_ns platform :: !trace
+    done;
+    !trace
+  in
+  let bare = run None in
+  let zeroed = run (Some (Fault.uniform ~rate:0.0 ())) in
+  check (Alcotest.list (Alcotest.float 0.0)) "bit-identical trace" bare zeroed
+
+let fault_suite =
+  ( "failures.injected",
+    [
+      prop_exactly_once_under_mailbox_faults;
+      prop_no_cross_delivery_under_faults;
+      prop_watchdog_redispatch_preserves_binding;
+      Alcotest.test_case "timeout surfaces cleanly" `Quick test_timeout_surfaces_cleanly;
+      Alcotest.test_case "integrity fault kills enclave, not platform" `Quick
+        test_integrity_fault_kills_enclave_not_platform;
+      Alcotest.test_case "zero-rate plan is inert" `Quick test_zero_rate_plan_is_inert;
+    ] )
+
+let suite = suite @ [ parking_suite; fault_suite ]

@@ -154,8 +154,13 @@ let prop_mailbox_binding =
          let rec serve () =
            match Hypertee_arch.Mailbox.recv_request mb with
            | Some pkt ->
-             Hypertee_arch.Mailbox.send_response mb ~request_id:pkt.Hypertee_arch.Mailbox.request_id
-               (-pkt.Hypertee_arch.Mailbox.body);
+             (match
+                Hypertee_arch.Mailbox.send_response mb
+                  ~request_id:pkt.Hypertee_arch.Mailbox.request_id
+                  (-pkt.Hypertee_arch.Mailbox.body)
+              with
+             | Ok () -> ()
+             | Error `Unknown_or_answered -> QCheck.Test.fail_report "live id rejected");
              serve ()
            | None -> ()
          in
