@@ -1,4 +1,4 @@
-.PHONY: all build test chaos-smoke check clean
+.PHONY: all build test chaos-smoke check fmt clean
 
 all: build
 
@@ -16,6 +16,16 @@ chaos-smoke: build
 # The gate for a change: everything builds, the full test suite is
 # green, and the chaos smoke sweep completes without a hang.
 check: build test chaos-smoke
+
+# Format the tree in place with the pinned ocamlformat (.ocamlformat).
+# Skips with a notice when the binary is absent, so the target is safe
+# on minimal containers that only carry the compiler toolchain.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune fmt; \
+	else \
+		echo "ocamlformat not installed; skipping (pinned version in .ocamlformat)"; \
+	fi
 
 clean:
 	dune clean

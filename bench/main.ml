@@ -440,6 +440,16 @@ let chaos ?(ops = 2000) ?(seed = 0xC4A05L) () =
   note "        never crashes or hangs — faults cost latency and killed enclaves"
 
 (* ------------------------------------------------------------------ *)
+
+let scale ?(ops = 256) ?(seed = 0x5CA1EL) () =
+  section "Scale: CS cores x EMS shards x doorbell batch size";
+  note "EALLOC fleet workload; one doorbell drains a batch through the EMS scheduler;";
+  note "ops=%d per point, seed=%Ld; throughput = served / modelled EMS makespan" ops seed;
+  Hypertee_experiments.Scale.print ~seed ~ops ();
+  note "expect: per-call overhead strictly falls as the batch grows;";
+  note "        aggregate Mops/s rises with the shard count"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the implementation's hot paths: these
    measure the real OCaml code (not the timing models). *)
 
@@ -521,6 +531,7 @@ let all ?(fig6_requests = 16384) () =
   table6 ();
   ablations ();
   chaos ();
+  scale ();
   micro ();
   print_newline ()
 
@@ -545,8 +556,10 @@ let () =
   | _ :: [ "ablations" ] -> ablations ()
   | _ :: [ "chaos" ] -> chaos ()
   | _ :: [ "chaos"; "--smoke" ] -> chaos ~ops:300 ()
+  | _ :: [ "scale" ] -> scale ()
+  | _ :: [ "scale"; "--smoke" ] -> scale ~ops:64 ()
   | _ :: [ "micro" ] -> micro ()
   | _ ->
     prerr_endline
-      "usage: main.exe [quick|table1|table2|table3|table4|table5|table6|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablations|chaos|micro]";
+      "usage: main.exe [quick|table1|table2|table3|table4|table5|table6|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablations|chaos|scale|micro]";
     exit 2

@@ -9,7 +9,8 @@
      slo                      the Fig. 6 queueing experiment for one setup
      area                     the Table V area report
      security                 the Table I / Table VI matrices
-     chaos                    fault-injection availability sweep *)
+     chaos                    fault-injection availability sweep
+     scale                    CS cores x EMS shards x batch-size sweep *)
 
 open Cmdliner
 module Types = Hypertee_ems.Types
@@ -293,6 +294,25 @@ let chaos_cmd =
     (Cmd.info "chaos" ~doc:"Availability sweep under deterministic fault injection")
     Term.(const run $ seed_arg $ ops_arg $ smoke_arg)
 
+(* --- scale --- *)
+
+let scale_cmd =
+  let ops_arg =
+    Arg.(value & opt int 256 & info [ "ops" ] ~docv:"N" ~doc:"EALLOC primitives per grid point.")
+  in
+  let smoke_arg = Arg.(value & flag & info [ "smoke" ] ~doc:"Quick sweep (64 ops per point).") in
+  let run seed ops smoke =
+    let ops = if smoke then 64 else ops in
+    let seed = Int64.of_int seed in
+    Printf.printf "scalability sweep: ops=%d per point, seed=%Ld\n" ops seed;
+    Printf.printf "one doorbell drains a batch; EMS shards serve disjoint enclave id classes\n";
+    Hypertee_experiments.Scale.print ~seed ~ops ()
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Scalability sweep: CS cores x EMS shards x doorbell batch size")
+    Term.(const run $ seed_arg $ ops_arg $ smoke_arg)
+
 let () =
   let doc = "HyperTEE: a decoupled TEE architecture simulator (MICRO 2024 reproduction)" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -302,5 +322,5 @@ let () =
           (Cmd.info "hypertee" ~version:"1.0.0" ~doc)
           [
             info_cmd; demo_cmd; attest_cmd; primitives_cmd; cost_cmd; slo_cmd; area_cmd;
-            security_cmd; chaos_cmd;
+            security_cmd; chaos_cmd; scale_cmd;
           ]))

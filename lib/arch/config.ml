@@ -134,6 +134,7 @@ type transport = {
   fabric_hop_ns : float;
   interrupt_ns : float;
   poll_slot_ns : float;
+  watchdog_sweep_ns : float;
 }
 
 let default_transport =
@@ -143,7 +144,15 @@ let default_transport =
     fabric_hop_ns = 40.0;
     interrupt_ns = 200.0;
     poll_slot_ns = 100.0;
+    watchdog_sweep_ns = 80.0;
   }
+
+(* Shared transport cost of one doorbell service round: both fabric
+   hops, the doorbell interrupt, and the watchdog sweep the EMS runs
+   after the drain. A batch of k requests drained by one doorbell
+   pays this once, so the per-EMCall share falls as k grows. *)
+let doorbell_shared_ns tr =
+  (2.0 *. tr.fabric_hop_ns) +. tr.interrupt_ns +. tr.watchdog_sweep_ns
 
 type accelerator = {
   pe_rows : int;
@@ -159,6 +168,7 @@ let gemmini =
 type t = {
   cs_cores : int;
   ems_cores : int;
+  ems_shards : int;
   ems_kind : ems_kind;
   latency : mem_latency;
   transport : transport;
@@ -172,6 +182,7 @@ let default =
   {
     cs_cores = 4;
     ems_cores = 1;
+    ems_shards = 1;
     ems_kind = Medium;
     latency = default_latency;
     transport = default_transport;

@@ -68,9 +68,16 @@ type transport = {
   fabric_hop_ns : float;  (** CS <-> iHub <-> EMS one way *)
   interrupt_ns : float;  (** doorbell to EMS *)
   poll_slot_ns : float;  (** EMCall polling granularity *)
+  watchdog_sweep_ns : float;
+      (** EMS watchdog sweep after a doorbell drain (batch path) *)
 }
 
 val default_transport : transport
+
+(** Shared cost of one doorbell service round (both fabric hops +
+    doorbell interrupt + watchdog sweep): paid once per drained
+    batch, so the per-EMCall share is [doorbell_shared_ns /. k]. *)
+val doorbell_shared_ns : transport -> float
 
 (** Gemmini-class accelerator (Table III bottom). *)
 type accelerator = {
@@ -87,6 +94,7 @@ val gemmini : accelerator
 type t = {
   cs_cores : int;
   ems_cores : int;
+  ems_shards : int;  (** independent EMS instances the platform hosts *)
   ems_kind : ems_kind;
   latency : mem_latency;
   transport : transport;

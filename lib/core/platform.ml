@@ -19,6 +19,16 @@ module Traps = Hypertee_cs.Traps
 
 module Fault = Hypertee_faults.Fault
 
+(* One EMS instance: its runtime (private control structures, pool,
+   audit log), its mailbox, and its worker scheduler. The memory
+   fabric — physical memory, bitmap, encryption engine, root keys —
+   is platform-wide and shared by every shard. *)
+type ems_shard = {
+  runtime : Runtime.t;
+  mailbox : (Types.request, Types.response) Mailbox.t;
+  scheduler : Hypertee_ems.Scheduler.t;
+}
+
 type t = {
   config : Config.t;
   rng : Hypertee_util.Xrng.t;
@@ -29,19 +39,19 @@ type t = {
   iommu : Iommu.t;
   os : Os.t;
   keys : Keymgmt.t;
-  runtime : Runtime.t;
-  mailbox : (Types.request, Types.response) Mailbox.t;
+  shards : ems_shard array;
   emcall : Emcall.t;
   traps : Traps.t;
   ptws : Ptw.t array;
   engine : Hypertee_crypto.Engine.t;
   cost : Cost.t;
   platform_measurement : bytes;
-  scheduler : Hypertee_ems.Scheduler.t;
   faults : Fault.t option;
 }
 
 let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?faults () =
+  let shard_count = config.Config.ems_shards in
+  if shard_count < 1 then failwith "Platform.create: ems_shards must be >= 1";
   let rng = Hypertee_util.Xrng.create seed in
   let frames = config.Config.memory_mb * Hypertee_util.Units.mib / Hypertee_util.Units.page_size in
   let mem = Phys_mem.create ~frames in
@@ -95,33 +105,55 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
   install Hypertee_crypto.Engine.set_fault_injector engine;
   install Mem_encryption.set_fault_injector mee;
   let cost = Cost.create ~ems:(Config.ems_core config.Config.ems_kind) ~engine in
-  let runtime =
-    Runtime.create
-      ~rng:(Hypertee_util.Xrng.split rng)
-      ~mem ~bitmap ~mee ~keys ~cost
-      ~os_request:(fun ~n -> Os.pool_request os ~n)
-      ~os_return:(fun ~frames -> Os.pool_return os ~frames)
-      ~platform_measurement
+  (* EMS shards: shard [s] assigns enclave/shm ids from the residue
+     class s+1 (mod shard_count), so [(id-1) mod shard_count] is the
+     affinity function the gate routes by. Built in index order so
+     the RNG split sequence is deterministic — and, for one shard,
+     identical to the historical single-EMS platform. *)
+  let make_shard s =
+    let runtime =
+      Runtime.create ~first_enclave_id:(s + 1) ~first_shm_id:(s + 1) ~id_stride:shard_count
+        ~rng:(Hypertee_util.Xrng.split rng)
+        ~mem ~bitmap ~mee ~keys ~cost
+        ~os_request:(fun ~n -> Os.pool_request os ~n)
+        ~os_return:(fun ~frames -> Os.pool_return os ~frames)
+        ~platform_measurement ()
+    in
+    let mailbox = Mailbox.create ~depth:256 () in
+    install Mailbox.set_fault_injector mailbox;
+    (* EMS workers serve the request queue in randomized order at
+       primitive granularity (Fig. 3 / Sec. III-C). *)
+    let scheduler =
+      Hypertee_ems.Scheduler.create (Hypertee_util.Xrng.split rng)
+        ~workers:config.Config.ems_cores
+    in
+    install Hypertee_ems.Scheduler.set_fault_injector scheduler;
+    { runtime; mailbox; scheduler }
   in
-  let mailbox = Mailbox.create ~depth:256 () in
-  install Mailbox.set_fault_injector mailbox;
-  (* EMS workers serve the request queue in randomized order at
-     primitive granularity (Fig. 3 / Sec. III-C). *)
-  let scheduler =
-    Hypertee_ems.Scheduler.create (Hypertee_util.Xrng.split rng) ~workers:config.Config.ems_cores
+  let shards =
+    let rec build s acc =
+      if s = shard_count then Array.of_list (List.rev acc)
+      else build (s + 1) (make_shard s :: acc)
+    in
+    build 0 []
   in
-  install Hypertee_ems.Scheduler.set_fault_injector scheduler;
-  let audit = Runtime.audit runtime in
-  let ems_service () =
+  (* A doorbell on shard [sh] drains *all* pending requests of that
+     shard's mailbox into the scheduler, dispatches, then runs the
+     watchdog: one ring serves a whole batch. *)
+  let ems_service sh () =
+    let audit = Runtime.audit sh.runtime in
     let rec enqueue () =
-      match Mailbox.recv_request mailbox with
+      match Mailbox.recv_request sh.mailbox with
       | None -> ()
       | Some packet ->
-        Hypertee_ems.Scheduler.submit scheduler ~id:packet.Mailbox.request_id (fun () ->
+        Hypertee_ems.Scheduler.submit sh.scheduler ~id:packet.Mailbox.request_id (fun () ->
             let response =
-              Runtime.handle runtime ~sender:packet.Mailbox.sender_enclave packet.Mailbox.body
+              Runtime.handle sh.runtime ~sender:packet.Mailbox.sender_enclave
+                packet.Mailbox.body
             in
-            match Mailbox.send_response mailbox ~request_id:packet.Mailbox.request_id response with
+            match
+              Mailbox.send_response sh.mailbox ~request_id:packet.Mailbox.request_id response
+            with
             | Ok () -> ()
             | Error `Unknown_or_answered ->
               (* A confused or re-dispatched worker answering twice
@@ -134,11 +166,11 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
         enqueue ()
     in
     enqueue ();
-    ignore (Hypertee_ems.Scheduler.dispatch scheduler);
+    ignore (Hypertee_ems.Scheduler.dispatch sh.scheduler);
     (* Watchdog sweep (runs on every doorbell): restart dead/stalled
        workers and re-dispatch their in-flight requests under the
        original ids, so the request/response binding survives. *)
-    match Hypertee_ems.Scheduler.watchdog_scan scheduler with
+    match Hypertee_ems.Scheduler.watchdog_scan sh.scheduler with
     | { Hypertee_ems.Scheduler.dead_workers = 0; redispatched = [] } -> ()
     | { Hypertee_ems.Scheduler.dead_workers; redispatched } ->
       Hypertee_ems.Audit.record_fault audit ~site:"ems-worker"
@@ -147,13 +179,32 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
              dead_workers
              (String.concat "," (List.map string_of_int redispatched)))
         ~recovered:true;
-      ignore (Hypertee_ems.Scheduler.dispatch scheduler)
+      ignore (Hypertee_ems.Scheduler.dispatch sh.scheduler)
+  in
+  (* Affinity routing, inside the gate: a request acting on enclave
+     [id] goes to the shard that owns the id's residue class;
+     requests naming no enclave (ECREATE, EWB) round-robin across
+     shards, which together with each shard's id stride spreads new
+     enclaves evenly. *)
+  let rr_cursor = ref 0 in
+  let route request =
+    match Runtime.enclave_of_request request with
+    | Some id when id > 0 -> (id - 1) mod shard_count
+    | _ ->
+      let s = !rr_cursor in
+      rr_cursor := (s + 1) mod shard_count;
+      s
+  in
+  let gate_shards =
+    Array.map
+      (fun sh -> { Emcall.mailbox = sh.mailbox; Emcall.ems_service = ems_service sh })
+      shards
   in
   let emcall =
-    Emcall.create
+    Emcall.create_sharded
       ~rng:(Hypertee_util.Xrng.split rng)
-      ~transport:config.Config.transport ~mailbox ~ems_service
-      ~service_ns:(fun request -> Runtime.service_ns runtime request)
+      ~transport:config.Config.transport ~shards:gate_shards ~route
+      ~service_ns:(fun request -> Runtime.service_ns shards.(0).runtime request)
       ()
   in
   install Emcall.set_fault_injector emcall;
@@ -173,15 +224,13 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
       iommu;
       os;
       keys;
-      runtime;
-      mailbox;
+      shards;
       emcall;
       traps;
       ptws;
       engine;
       cost;
       platform_measurement;
-      scheduler;
       faults = injector;
     }
   in
@@ -198,9 +247,19 @@ let platform_measurement t = t.platform_measurement
 let ek_public t = Keymgmt.ek_public t.keys
 let ak_public t = Keymgmt.ak_public t.keys
 let invoke t ~caller request = Emcall.invoke t.emcall ~caller request
+let invoke_timed t ~caller request = Emcall.invoke_timed t.emcall ~caller request
+let invoke_batch t requests = Emcall.invoke_batch t.emcall requests
+let batch_overhead_ns t ~batch = Emcall.per_call_overhead_ns t.emcall ~batch
 let traps t = t.traps
 let last_invoke_ns t = Emcall.last_latency_ns t.emcall
 let ptw t ~core = t.ptws.(core)
+let shard_count t = Array.length t.shards
+
+let shard_of_enclave t enclave =
+  if enclave > 0 then (enclave - 1) mod Array.length t.shards else 0
+
+(* Enclave lookups must follow the same affinity the gate routes by. *)
+let owning_runtime t enclave = t.shards.(shard_of_enclave t enclave).runtime
 
 type host_fault =
   | Fault of Ptw.fault
@@ -255,7 +314,7 @@ let dma_write t ~channel ~frame data =
     Ok ()
 
 let with_measured_enclave t ~enclave k =
-  match Runtime.find_enclave t.runtime enclave with
+  match Runtime.find_enclave (owning_runtime t enclave) enclave with
   | None -> Error "no such enclave"
   | Some e -> (
     match e.Hypertee_ems.Enclave.measurement with
@@ -273,7 +332,9 @@ let unseal t ~enclave blob =
       | None -> Error "unseal failed: tampered blob or wrong enclave")
 
 module Internals = struct
-  let runtime t = t.runtime
+  let runtime t = t.shards.(0).runtime
+  let runtimes t = Array.map (fun sh -> sh.runtime) t.shards
+  let runtime_of_shard t s = t.shards.(s).runtime
   let emcall t = t.emcall
   let bitmap t = t.bitmap
   let mee t = t.mee
@@ -282,6 +343,7 @@ module Internals = struct
   let keys t = t.keys
   let cost t = t.cost
   let engine t = t.engine
-  let scheduler t = t.scheduler
+  let scheduler t = t.shards.(0).scheduler
+  let schedulers t = Array.map (fun sh -> sh.scheduler) t.shards
   let faults t = t.faults
 end

@@ -39,14 +39,47 @@ val ek_public : t -> Hypertee_crypto.Rsa.public
 
 val ak_public : t -> Hypertee_crypto.Rsa.public
 
-(** [invoke t ~caller request] — the EMCall gate. *)
+(** [invoke t ~caller request] — the EMCall gate. With several EMS
+    shards configured ([Config.ems_shards]), the gate routes the
+    request to the shard owning the target enclave's id class;
+    privilege checks and identity stamping are unaffected. *)
 val invoke :
   t ->
   caller:Hypertee_cs.Emcall.caller ->
   Hypertee_ems.Types.request ->
   (Hypertee_ems.Types.response, Hypertee_cs.Emcall.rejection) result
 
-(** Round-trip latency of the last successful invoke (ns). *)
+(** Like [invoke], also returning this call's modelled round-trip
+    time (ns) — use this when callers interleave or batch. *)
+val invoke_timed :
+  t ->
+  caller:Hypertee_cs.Emcall.caller ->
+  Hypertee_ems.Types.request ->
+  (Hypertee_ems.Types.response * float, Hypertee_cs.Emcall.rejection) result
+
+(** [invoke_batch t requests] — one doorbell per involved shard
+    drains the whole batch through the EMS scheduler; results in
+    request order, each with its own modelled latency, with the
+    shared transport round amortized over the per-shard batch
+    size. *)
+val invoke_batch :
+  t ->
+  (Hypertee_cs.Emcall.caller * Hypertee_ems.Types.request) list ->
+  (Hypertee_ems.Types.response * float, Hypertee_cs.Emcall.rejection) result list
+
+(** Modelled per-EMCall gate + transport overhead at a given batch
+    size (strictly decreasing in [batch]). *)
+val batch_overhead_ns : t -> batch:int -> float
+
+(** Number of EMS shards this platform hosts, and the shard an
+    enclave id is served by ([(id-1) mod shard_count]). *)
+val shard_count : t -> int
+
+val shard_of_enclave : t -> Hypertee_ems.Types.enclave_id -> int
+
+(** Round-trip latency of the last successful invoke (ns).
+    Meaningful only for a single sequential caller — batched or
+    interleaved callers must use [invoke_timed]/[invoke_batch]. *)
 val last_invoke_ns : t -> float
 
 (** The trap dispatcher (interrupt/exception routing, Sec. III-B). *)
@@ -95,7 +128,11 @@ val unseal : t -> enclave:Hypertee_ems.Types.enclave_id -> bytes -> (bytes, stri
 (** Internals exposed for tests, the benchmark harness and the attack
     suite — not part of the user-facing API. *)
 module Internals : sig
+  (** Runtime of shard 0 (the only shard in the default config). *)
   val runtime : t -> Hypertee_ems.Runtime.t
+
+  val runtimes : t -> Hypertee_ems.Runtime.t array
+  val runtime_of_shard : t -> int -> Hypertee_ems.Runtime.t
   val emcall : t -> Hypertee_cs.Emcall.t
   val bitmap : t -> Hypertee_arch.Bitmap.t
   val mee : t -> Hypertee_arch.Mem_encryption.t
@@ -105,5 +142,8 @@ module Internals : sig
   val cost : t -> Hypertee_ems.Cost.t
   val engine : t -> Hypertee_crypto.Engine.t
   val scheduler : t -> Hypertee_ems.Scheduler.t
+  (** Scheduler of shard 0. *)
+
+  val schedulers : t -> Hypertee_ems.Scheduler.t array
   val faults : t -> Hypertee_faults.Fault.t option
 end

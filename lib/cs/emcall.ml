@@ -15,11 +15,18 @@ type retry_policy = { poll_budget : int; max_retries : int; backoff_base_ns : fl
 
 let default_retry_policy = { poll_budget = 8; max_retries = 4; backoff_base_ns = 2_000.0 }
 
+(* One EMS instance as the gate sees it: its private mailbox and the
+   doorbell that makes it drain the queue. *)
+type shard = {
+  mailbox : (Types.request, Types.response) Mailbox.t;
+  ems_service : unit -> unit;
+}
+
 type t = {
   rng : Hypertee_util.Xrng.t;
   transport : Config.transport;
-  mailbox : (Types.request, Types.response) Mailbox.t;
-  ems_service : unit -> unit;
+  shards : shard array;
+  route : Types.request -> int;
   service_ns : Types.request -> float;
   retry : retry_policy;
   mutable faults : Fault.t option;
@@ -32,15 +39,16 @@ type t = {
   mutable flush_hooks : (unit -> unit) list;
 }
 
-let create ?(retry = default_retry_policy) ~rng ~transport ~mailbox ~ems_service ~service_ns ()
-    =
+let create_sharded ?(retry = default_retry_policy) ~rng ~transport ~shards ~route ~service_ns
+    () =
   if retry.poll_budget < 1 then invalid_arg "Emcall.create: poll_budget must be >= 1";
   if retry.max_retries < 0 then invalid_arg "Emcall.create: max_retries must be >= 0";
+  if Array.length shards = 0 then invalid_arg "Emcall.create: need at least one EMS shard";
   {
     rng;
     transport;
-    mailbox;
-    ems_service;
+    shards;
+    route;
     service_ns;
     retry;
     faults = None;
@@ -52,6 +60,21 @@ let create ?(retry = default_retry_policy) ~rng ~transport ~mailbox ~ems_service
     duplicates_discarded = 0;
     flush_hooks = [];
   }
+
+let create ?retry ~rng ~transport ~mailbox ~ems_service ~service_ns () =
+  create_sharded ?retry ~rng ~transport
+    ~shards:[| { mailbox; ems_service } |]
+    ~route:(fun _ -> 0) ~service_ns ()
+
+let shard_count t = Array.length t.shards
+
+(* The affinity function is provided by the platform and untrusted
+   input never reaches it directly, but clamp defensively: a routing
+   bug must not crash the gate. *)
+let shard_of t request =
+  let n = Array.length t.shards in
+  let i = t.route request in
+  if i >= 0 && i < n then i else ((i mod n) + n) mod n
 
 let set_fault_injector t inj = t.faults <- Some inj
 
@@ -89,6 +112,16 @@ let transport_ns t =
   +. (2.0 *. tr.Config.fabric_hop_ns)
   +. tr.Config.interrupt_ns
 
+(* Batched doorbell timing: one doorbell drains [batch] pending
+   requests, so the shared transport round (fabric hops + doorbell
+   interrupt + watchdog sweep) is paid once and split across the
+   batch; only gate entry and packet build stay per-call. *)
+let per_call_overhead_ns t ~batch =
+  if batch < 1 then invalid_arg "Emcall.per_call_overhead_ns: batch must be >= 1";
+  let tr = t.transport in
+  tr.Config.emcall_entry_ns +. tr.Config.packet_build_ns
+  +. (Config.doorbell_shared_ns tr /. Float.of_int batch)
+
 (* An injected interconnect latency spike: pure time, no packet
    loss. Consumed only when a fault plan is installed. *)
 let transport_spike_ns t =
@@ -98,17 +131,19 @@ let transport_spike_ns t =
     if Fault.fire inj Fault.Transport_delay then Fault.intensity inj Fault.Transport_delay
     else 0.0
 
-let complete t ~request ~request_id ~extra_ns response =
+let complete t shard ~request ~request_id ~overhead_ns ~extra_ns response =
   (* Any further copies of this response are duplicates: detect and
      discard them here, so a duplicated packet can never be mistaken
      for the answer to a later request. *)
-  t.duplicates_discarded <- t.duplicates_discarded + Mailbox.discard_response t.mailbox ~request_id;
+  t.duplicates_discarded <-
+    t.duplicates_discarded + Mailbox.discard_response shard.mailbox ~request_id;
   let service = t.service_ns request in
-  let raw = transport_ns t +. service +. extra_ns in
+  let raw = overhead_ns +. service +. extra_ns in
   let slot = t.transport.Config.poll_slot_ns in
   let quantised = Float.of_int (int_of_float (raw /. slot) + 1) *. slot in
   let jitter = Hypertee_util.Xrng.float t.rng *. slot in
-  t.last_latency_ns <- quantised +. jitter;
+  let latency = quantised +. jitter in
+  t.last_latency_ns <- latency;
   if bitmap_changed request response then flush_tlbs t;
   (match (request, response) with
   | (Types.Enter _ | Types.Resume _), Types.Ok_entered _ ->
@@ -117,9 +152,9 @@ let complete t ~request ~request_id ~extra_ns response =
        call; the TLB flush is issued here. *)
     flush_tlbs t
   | _ -> ());
-  Ok response
+  Ok (response, latency)
 
-let invoke t ~caller request =
+let gate_check t ~caller request =
   let opcode = Types.opcode_of_request request in
   let required = Types.required_privilege opcode in
   (* Page faults are forwarded by EMCall itself from trap context;
@@ -131,56 +166,101 @@ let invoke t ~caller request =
     t.rejected <- t.rejected + 1;
     Error Cross_privilege
   end
-  else begin
-    let sender = sender_of_caller caller in
-    match Mailbox.send_request t.mailbox ~sender_enclave:sender request with
+  else Ok (sender_of_caller caller)
+
+(* EMCall polls — never the untrusted interrupt path. Polling
+   quantises observable latency to poll slots and adds jitter, the
+   paper's obfuscation against timing side channels.
+
+   Under faults the response may be late (stalled worker), lost
+   (dropped packet) or garbled (bad CRC): poll up to [poll_budget]
+   slots — each poll re-rings the doorbell, which runs the EMS
+   watchdog — then re-ask the mailbox for the response by id with
+   exponential backoff. Re-asking hits the answered cache, never
+   re-executes the primitive: delivery is exactly-once by
+   construction. *)
+let await t shard ~request ~request_id ~overhead_ns ~extra_ns =
+  let slot_ns = t.transport.Config.poll_slot_ns in
+  let rec go ~polls ~retry_count ~extra_ns =
+    match Mailbox.poll_response shard.mailbox ~request_id with
+    | Some response -> complete t shard ~request ~request_id ~overhead_ns ~extra_ns response
+    | None ->
+      if polls < t.retry.poll_budget then begin
+        shard.ems_service ();
+        go ~polls:(polls + 1) ~retry_count ~extra_ns:(extra_ns +. slot_ns)
+      end
+      else if retry_count < t.retry.max_retries then begin
+        t.retries <- t.retries + 1;
+        ignore (Mailbox.resend_request shard.mailbox ~request_id);
+        shard.ems_service ();
+        let backoff = t.retry.backoff_base_ns *. Float.of_int (1 lsl retry_count) in
+        go ~polls:0 ~retry_count:(retry_count + 1) ~extra_ns:(extra_ns +. backoff)
+      end
+      else begin
+        t.timeouts <- t.timeouts + 1;
+        (* Whatever arrives after the deadline is stale: make sure
+           a late or duplicated response can never be collected by
+           a future request (ids are unique, but the slot should
+           not linger). *)
+        ignore (Mailbox.discard_response shard.mailbox ~request_id);
+        Error Timeout
+      end
+  in
+  go ~polls:0 ~retry_count:0 ~extra_ns
+
+let invoke_timed t ~caller request =
+  match gate_check t ~caller request with
+  | Error _ as e -> e
+  | Ok sender -> (
+    let shard = t.shards.(shard_of t request) in
+    match Mailbox.send_request shard.mailbox ~sender_enclave:sender request with
     | Error `Full ->
       t.rejected <- t.rejected + 1;
       Error Mailbox_full
     | Ok request_id ->
       (* Doorbell: the EMS side drains the queue and posts responses. *)
-      t.ems_service ();
-      (* EMCall polls — never the untrusted interrupt path. Polling
-         quantises observable latency to poll slots and adds jitter,
-         the paper's obfuscation against timing side channels.
+      shard.ems_service ();
+      await t shard ~request ~request_id ~overhead_ns:(transport_ns t)
+        ~extra_ns:(transport_spike_ns t))
 
-         Under faults the response may be late (stalled worker), lost
-         (dropped packet) or garbled (bad CRC): poll up to
-         [poll_budget] slots — each poll re-rings the doorbell, which
-         runs the EMS watchdog — then re-ask the mailbox for the
-         response by id with exponential backoff. Re-asking hits the
-         answered cache, never re-executes the primitive: delivery is
-         exactly-once by construction. *)
-      let slot_ns = t.transport.Config.poll_slot_ns in
-      let rec await ~polls ~retry_count ~extra_ns =
-        match Mailbox.poll_response t.mailbox ~request_id with
-        | Some response -> complete t ~request ~request_id ~extra_ns response
-        | None ->
-          if polls < t.retry.poll_budget then begin
-            t.ems_service ();
-            await ~polls:(polls + 1) ~retry_count ~extra_ns:(extra_ns +. slot_ns)
-          end
-          else if retry_count < t.retry.max_retries then begin
-            t.retries <- t.retries + 1;
-            ignore (Mailbox.resend_request t.mailbox ~request_id);
-            t.ems_service ();
-            let backoff =
-              t.retry.backoff_base_ns *. Float.of_int (1 lsl retry_count)
-            in
-            await ~polls:0 ~retry_count:(retry_count + 1) ~extra_ns:(extra_ns +. backoff)
-          end
-          else begin
-            t.timeouts <- t.timeouts + 1;
-            (* Whatever arrives after the deadline is stale: make sure
-               a late or duplicated response can never be collected by
-               a future request (ids are unique, but the slot should
-               not linger). *)
-            ignore (Mailbox.discard_response t.mailbox ~request_id);
-            Error Timeout
-          end
-      in
-      await ~polls:0 ~retry_count:0 ~extra_ns:(transport_spike_ns t)
-  end
+let invoke t ~caller request = Result.map fst (invoke_timed t ~caller request)
+
+(* One doorbell per shard drains every request of the batch that
+   landed there (through the EMS scheduler), so the shared transport
+   round amortizes over the per-shard batch size. Results come back
+   in request order, each with its own modelled latency. *)
+let invoke_batch t requests =
+  let sent =
+    List.map
+      (fun (caller, request) ->
+        match gate_check t ~caller request with
+        | Error rejection -> Error rejection
+        | Ok sender -> (
+          let idx = shard_of t request in
+          let shard = t.shards.(idx) in
+          match Mailbox.send_request shard.mailbox ~sender_enclave:sender request with
+          | Error `Full ->
+            t.rejected <- t.rejected + 1;
+            Error Mailbox_full
+          | Ok request_id -> Ok (idx, request_id, request)))
+      requests
+  in
+  (* Per-shard batch sizes, for the amortized timing model. *)
+  let per_shard = Array.make (Array.length t.shards) 0 in
+  List.iter
+    (function Ok (idx, _, _) -> per_shard.(idx) <- per_shard.(idx) + 1 | Error _ -> ())
+    sent;
+  (* One doorbell per shard with pending work: the drain serves the
+     whole batch before any caller starts polling. *)
+  Array.iteri (fun idx k -> if k > 0 then t.shards.(idx).ems_service ()) per_shard;
+  List.map
+    (function
+      | Error rejection -> Error rejection
+      | Ok (idx, request_id, request) ->
+        let shard = t.shards.(idx) in
+        let overhead_ns = per_call_overhead_ns t ~batch:per_shard.(idx) in
+        await t shard ~request ~request_id ~overhead_ns ~extra_ns:(transport_spike_ns t))
+    sent
 
 let last_latency_ns t = t.last_latency_ns
 let rejected t = t.rejected

@@ -14,6 +14,12 @@
       atomically: satp switch, IS_ENCLAVE flip, TLB flush;
     - flush TLBs when EMS reports bitmap changes.
 
+    Sharding: the platform may host several independent EMS
+    instances. The gate holds one mailbox + doorbell per shard and
+    routes each request by the platform-provided affinity function —
+    privilege checks and identity stamping happen here, once, no
+    matter how many shards serve behind the gate.
+
     Recovery (availability, Table I): a response that fails to
     arrive within the poll budget — stalled worker, dropped or
     corrupted packet — is re-requested from the mailbox by id with
@@ -23,10 +29,13 @@
     surfaces as the [Timeout] rejection: [invoke] can never hang and
     never raises.
 
-    Timing: [last_latency_ns] exposes the modelled round-trip
-    (EMCall entry + packet build + fabric hops + doorbell + EMS
-    service + polling quantisation with obfuscation jitter, plus any
-    injected transport spikes, poll waits and retry backoff). *)
+    Timing: [invoke_timed] returns the modelled round-trip (EMCall
+    entry + packet build + fabric hops + doorbell + EMS service +
+    polling quantisation with obfuscation jitter, plus any injected
+    transport spikes, poll waits and retry backoff) alongside the
+    response. [invoke_batch] models one doorbell draining a batch:
+    the shared transport round amortizes over the per-shard batch
+    size. *)
 
 type caller = Os_kernel | User_host | User_enclave of Hypertee_ems.Types.enclave_id
 
@@ -43,13 +52,21 @@ type retry_policy = {
 
 val default_retry_policy : retry_policy
 
+(** One EMS instance behind the gate: its private mailbox and the
+    doorbell that makes it drain the queue (the platform calls the
+    runtime there; each poll re-rings it, which also runs the EMS
+    watchdog). *)
+type shard = {
+  mailbox : (Hypertee_ems.Types.request, Hypertee_ems.Types.response) Hypertee_arch.Mailbox.t;
+  ems_service : unit -> unit;
+}
+
 type t
 
 (** [create ~rng ~transport ~mailbox ~ems_service ~service_ns ()]
-    wires the gate to a mailbox whose EMS side is drained by
-    [ems_service] (the platform calls the runtime there; each poll
-    re-rings it, which also runs the EMS watchdog). [service_ns]
-    prices a request for the timing model. *)
+    wires a single-shard gate (the common case and the historical
+    interface). [service_ns] prices a request for the timing
+    model. *)
 val create :
   ?retry:retry_policy ->
   rng:Hypertee_util.Xrng.t ->
@@ -59,6 +76,22 @@ val create :
   service_ns:(Hypertee_ems.Types.request -> float) ->
   unit ->
   t
+
+(** [create_sharded ~shards ~route ...] wires the gate to several EMS
+    instances; [route] maps a request to the index of the shard that
+    owns the enclave it acts on (out-of-range indices are clamped).
+    @raise Invalid_argument on an empty shard array. *)
+val create_sharded :
+  ?retry:retry_policy ->
+  rng:Hypertee_util.Xrng.t ->
+  transport:Hypertee_arch.Config.transport ->
+  shards:shard array ->
+  route:(Hypertee_ems.Types.request -> int) ->
+  service_ns:(Hypertee_ems.Types.request -> float) ->
+  unit ->
+  t
+
+val shard_count : t -> int
 
 (** Install the platform's fault injector (transport latency
     spikes). *)
@@ -73,12 +106,42 @@ val invoke :
   Hypertee_ems.Types.request ->
   (Hypertee_ems.Types.response, rejection) result
 
-(** Modelled round-trip time of the last successful [invoke]. *)
+(** Like [invoke], also returning this call's modelled round-trip
+    time — the value to use when callers interleave, where the
+    [last_latency_ns] cell would race. *)
+val invoke_timed :
+  t ->
+  caller:caller ->
+  Hypertee_ems.Types.request ->
+  (Hypertee_ems.Types.response * float, rejection) result
+
+(** [invoke_batch t requests] sends every request, rings each
+    involved shard's doorbell once (the EMS drains the whole batch
+    through its scheduler), then collects the responses in request
+    order. Each result carries its own modelled latency; the shared
+    transport round is split over the per-shard batch size. *)
+val invoke_batch :
+  t ->
+  (caller * Hypertee_ems.Types.request) list ->
+  (Hypertee_ems.Types.response * float, rejection) result list
+
+(** Modelled round-trip time of the last completed call. Meaningful
+    only for a single sequential caller; batched or interleaved
+    callers must use the latency returned by [invoke_timed] /
+    [invoke_batch]. *)
 val last_latency_ns : t -> float
 
 (** Transport-only part of the round trip for a request of the given
     EMS service time (used by the queueing experiment of Fig. 6). *)
 val transport_ns : t -> float
+
+(** Modelled per-EMCall gate + transport overhead when one doorbell
+    drains [batch] requests: entry and packet build stay per-call,
+    the shared round (fabric hops + doorbell + watchdog sweep) is
+    paid once and split [batch] ways. Strictly decreasing in
+    [batch].
+    @raise Invalid_argument if [batch < 1]. *)
+val per_call_overhead_ns : t -> batch:int -> float
 
 (** Number of requests blocked at the gate (attack telemetry). *)
 val rejected : t -> int

@@ -1,0 +1,44 @@
+type handler = State.t -> sender:Types.enclave_id option -> Types.request -> Types.response
+
+type t = { handlers : (Types.opcode, string * handler) Hashtbl.t }
+
+let create () = { handlers = Hashtbl.create 24 }
+
+let register t ~service ~opcodes handler =
+  List.iter
+    (fun opcode ->
+      (match Hashtbl.find_opt t.handlers opcode with
+      | Some (owner, _) ->
+        invalid_arg
+          (Printf.sprintf "Registry.register: %s already bound to service %s"
+             (Types.opcode_name opcode) owner)
+      | None -> ());
+      Hashtbl.replace t.handlers opcode (service, handler))
+    opcodes
+
+let find t opcode =
+  match Hashtbl.find_opt t.handlers opcode with
+  | Some (_, handler) -> Some handler
+  | None -> None
+
+let service_of t opcode =
+  match Hashtbl.find_opt t.handlers opcode with
+  | Some (service, _) -> Some service
+  | None -> None
+
+let services t =
+  Hashtbl.fold
+    (fun _ (service, _) acc -> if List.mem service acc then acc else service :: acc)
+    t.handlers []
+  |> List.sort compare
+
+let opcodes t = Hashtbl.fold (fun op _ acc -> op :: acc) t.handlers [] |> List.sort compare
+
+let dispatch t state ~sender request =
+  let opcode = Types.opcode_of_request request in
+  match find t opcode with
+  | Some handler -> handler state ~sender request
+  | None ->
+    Types.Err
+      (Types.Invalid_argument_
+         (Printf.sprintf "no service registered for %s" (Types.opcode_name opcode)))

@@ -1,0 +1,34 @@
+(** Typed primitive-dispatch registry.
+
+    Each EMS service module ([Svc_lifecycle], [Svc_memory],
+    [Svc_shm], [Svc_attest]) registers a handler for the Table II
+    opcodes in its domain; [Runtime.handle] looks the handler up by
+    the request's opcode and invokes it with the shared [State.t].
+    Registration is exclusive: binding an opcode twice is a
+    programming error and raises. *)
+
+type handler = State.t -> sender:Types.enclave_id option -> Types.request -> Types.response
+
+type t
+
+val create : unit -> t
+
+(** [register t ~service ~opcodes handler] binds [handler] to every
+    opcode in [opcodes] on behalf of [service].
+    @raise Invalid_argument if any opcode is already bound. *)
+val register : t -> service:string -> opcodes:Types.opcode list -> handler -> unit
+
+val find : t -> Types.opcode -> handler option
+
+(** Name of the service a given opcode is bound to, if any. *)
+val service_of : t -> Types.opcode -> string option
+
+(** Distinct registered service names, sorted. *)
+val services : t -> string list
+
+(** All bound opcodes, sorted. *)
+val opcodes : t -> Types.opcode list
+
+(** Route one request to its service handler; an unbound opcode is
+    refused, never a crash. *)
+val dispatch : t -> State.t -> sender:Types.enclave_id option -> Types.request -> Types.response

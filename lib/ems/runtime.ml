@@ -1,667 +1,42 @@
-module Phys_mem = Hypertee_arch.Phys_mem
-module Bitmap = Hypertee_arch.Bitmap
 module Mem_encryption = Hypertee_arch.Mem_encryption
-module Page_table = Hypertee_arch.Page_table
-module Pte = Hypertee_arch.Pte
 
-type t = {
-  rng : Hypertee_util.Xrng.t;
-  mem : Phys_mem.t;
-  bitmap : Bitmap.t;
-  mee : Mem_encryption.t;
-  keys : Keymgmt.t;
-  cost : Cost.t;
-  pool : Mem_pool.t;
-  ownership : Ownership.t;
-  shms : Shm.t;
-  enclaves : (Types.enclave_id, Enclave.t) Hashtbl.t;
-  audit : Audit.t;
-  platform_measurement : bytes;
-  served : (Types.opcode, int) Hashtbl.t;
-  os_request : n:int -> int list;
-  os_return : frames:int list -> unit;
-  mutable next_enclave_id : int;
-  mutable next_shm_id : int;
-}
+type t = { state : State.t; registry : Registry.t }
 
-let create ~rng ~mem ~bitmap ~mee ~keys ~cost ~os_request ~os_return ~platform_measurement =
-  let pool_rng = Hypertee_util.Xrng.split rng in
-  let pool =
-    Mem_pool.create pool_rng ~mem ~bitmap ~os_request ~os_return ~initial_frames:128
+let build_registry () =
+  let registry = Registry.create () in
+  Svc_lifecycle.register registry;
+  Svc_memory.register registry;
+  Svc_shm.register registry;
+  Svc_attest.register registry;
+  registry
+
+let create ?first_enclave_id ?first_shm_id ?id_stride ~rng ~mem ~bitmap ~mee ~keys ~cost
+    ~os_request ~os_return ~platform_measurement () =
+  let state =
+    State.create ?first_enclave_id ?first_shm_id ?id_stride ~rng ~mem ~bitmap ~mee ~keys
+      ~cost ~os_request ~os_return ~platform_measurement ()
   in
-  {
-    rng;
-    mem;
-    bitmap;
-    mee;
-    keys;
-    cost;
-    pool;
-    ownership = Ownership.create ();
-    shms = Shm.create ();
-    enclaves = Hashtbl.create 16;
-    audit = Audit.create ();
-    platform_measurement;
-    served = Hashtbl.create 16;
-    os_request;
-    os_return;
-    next_enclave_id = 1;
-    next_shm_id = 1;
-  }
+  { state; registry = build_registry () }
 
-let keys t = t.keys
-let pool t = t.pool
-let ownership t = t.ownership
-let platform_measurement t = t.platform_measurement
-let find_enclave t id = Hashtbl.find_opt t.enclaves id
-let find_shm t id = Shm.find t.shms id
-let served t op = Option.value ~default:0 (Hashtbl.find_opt t.served op)
-let live_enclaves t = Hashtbl.fold (fun id _ acc -> id :: acc) t.enclaves [] |> List.sort compare
-let audit t = t.audit
-let service_ns t request = Cost.service_ns t.cost request
+(* Delegated lookups: the public surface is unchanged from the
+   monolithic runtime. *)
+let keys t = State.keys t.state
+let pool t = State.pool t.state
+let ownership t = State.ownership t.state
+let platform_measurement t = State.platform_measurement t.state
+let find_enclave t id = State.find_enclave t.state id
+let find_shm t id = State.find_shm t.state id
+let served t op = State.served t.state op
+let live_enclaves t = State.live_enclaves t.state
+let audit t = State.audit t.state
+let service_ns t request = State.service_ns t.state request
+let has_swapped_page t enclave ~vpn = State.has_swapped_page t.state enclave ~vpn
+let services t = Registry.services t.registry
+let service_of t opcode = Registry.service_of t.registry opcode
 
-let count t op = Hashtbl.replace t.served op (served t op + 1)
-
-(* --- helpers --- *)
-
-let ( let* ) r f = match r with Ok v -> f v | Error e -> Types.Err e
-
-let get_enclave t id =
-  match Hashtbl.find_opt t.enclaves id with
-  | Some e when e.Enclave.state <> Enclave.Destroyed -> Ok e
-  | Some _ | None -> Error Types.No_such_enclave
-
-(* Identity check: a user-privilege primitive acting on enclave [id]
-   must come from that enclave itself (sender stamped by EMCall) or
-   from its host application (sender = None) for the setup
-   primitives. [strict] requires the enclave itself. *)
-let check_identity ~sender ~target ~strict =
-  match sender with
-  | Some s when s = target -> Ok ()
-  | Some _ -> Error (Types.Permission_denied "request forged for another enclave")
-  | None ->
-    if strict then Error (Types.Permission_denied "primitive must be issued from the enclave")
-    else Ok ()
-
-let take_pool_frames t ~n =
-  match Mem_pool.take t.pool ~n with Some fs -> Ok fs | None -> Error Types.Out_of_memory
-
-(* Initialise a freshly mapped page through the encryption engine so
-   DRAM holds valid (encrypted-zero) content with a valid MAC; an
-   uninitialised line would otherwise MAC-fault on first load. *)
-let store_zero_page t ~key_id ~frame =
-  let zero = Bytes.make Hypertee_util.Units.page_size '\000' in
-  Phys_mem.write t.mem ~frame (Mem_encryption.store t.mee ~key_id ~frame zero)
-
-let map_private_page t (e : Enclave.t) ~vpn ~frame ~r ~w ~x =
-  if not (Ownership.claim_private t.ownership ~frame ~enclave:e.Enclave.id) then
-    Error (Types.Invalid_argument_ "frame already owned")
-  else begin
-    Phys_mem.set_owner t.mem frame (Phys_mem.Enclave e.Enclave.id);
-    Page_table.map e.Enclave.page_table ~vpn
-      (Pte.leaf ~ppn:frame ~r ~w ~x ~key_id:e.Enclave.key_id);
-    store_zero_page t ~key_id:e.Enclave.key_id ~frame;
-    Ok ()
-  end
-
-let unmap_private_page t (e : Enclave.t) ~vpn =
-  match Page_table.lookup e.Enclave.page_table ~vpn with
-  | None -> Error (Types.Invalid_argument_ "page not mapped")
-  | Some pte ->
-    let frame = pte.Pte.ppn in
-    Page_table.unmap e.Enclave.page_table ~vpn;
-    Ownership.release t.ownership ~frame;
-    Phys_mem.zero t.mem ~frame;
-    Ok frame
-
-(* --- KeyID pressure (Sec. IV-C) ---
-
-   "In case of KeyID exhaustion, EMS can suspend an enclave to
-   release a KeyID." Parking a victim's key re-encrypts its private
-   pages in place under the EMS swap key and revokes the slot;
-   revival (at the next EENTER) assigns a fresh KeyID and restores
-   the pages. EMCall's context-switch flush covers the TLB/cache
-   coherence the paper requires. *)
-
-let private_leaves (e : Enclave.t) =
-  List.filter
-    (fun (_, pte) -> pte.Pte.key_id = e.Enclave.key_id)
-    (Page_table.entries e.Enclave.page_table)
-
-let park_key t (e : Enclave.t) =
-  let swap_key = Hypertee_crypto.Aes.expand (Keymgmt.swap_key t.keys) in
-  List.iter
-    (fun (vpn, pte) ->
-      let frame = pte.Pte.ppn in
-      let pt = Mem_encryption.load t.mee ~key_id:pte.Pte.key_id ~frame (Phys_mem.read t.mem ~frame) in
-      Phys_mem.write t.mem ~frame (Hypertee_crypto.Aes.encrypt_page swap_key ~page_number:vpn pt))
-    (private_leaves e);
-  Mem_encryption.revoke t.mee ~key_id:e.Enclave.key_id;
-  e.Enclave.key_parked <- true
-
-(* A parkable victim: measured, idle, key not already parked. *)
-let find_parkable t ~except =
-  Hashtbl.fold
-    (fun id (e : Enclave.t) acc ->
-      match acc with
-      | Some _ -> acc
-      | None ->
-        if id <> except && e.Enclave.state = Enclave.Measured && not e.Enclave.key_parked then
-          Some e
-        else None)
-    t.enclaves None
-
-(* Allocate a KeyID, parking an idle enclave's key if the engine is
-   full. [except] is the enclave the allocation serves. *)
-let allocate_key_id t ~except =
-  match Mem_encryption.find_free_slot t.mee with
-  | Some key_id -> Some key_id
-  | None -> (
-    match find_parkable t ~except with
-    | Some victim ->
-      park_key t victim;
-      Mem_encryption.find_free_slot t.mee
-    | None -> None)
-
-let revive_key t (e : Enclave.t) =
-  match allocate_key_id t ~except:e.Enclave.id with
-  | None -> Error Types.Out_of_key_ids
-  | Some key_id ->
-    let measurement = Option.value ~default:Bytes.empty e.Enclave.measurement in
-    let key = Keymgmt.memory_key t.keys ~enclave_measurement:measurement ~enclave_id:e.Enclave.id in
-    Mem_encryption.program t.mee ~key_id key;
-    let swap_key = Hypertee_crypto.Aes.expand (Keymgmt.swap_key t.keys) in
-    (* The parked leaves still carry the old KeyID in their PTEs. *)
-    let old_key = e.Enclave.key_id in
-    List.iter
-      (fun (vpn, pte) ->
-        if pte.Pte.key_id = old_key then begin
-          let frame = pte.Pte.ppn in
-          let pt =
-            Hypertee_crypto.Aes.decrypt_page swap_key ~page_number:vpn (Phys_mem.read t.mem ~frame)
-          in
-          Phys_mem.write t.mem ~frame (Mem_encryption.store t.mee ~key_id ~frame pt);
-          Page_table.map e.Enclave.page_table ~vpn { pte with Pte.key_id }
-        end)
-      (Page_table.entries e.Enclave.page_table);
-    e.Enclave.key_id <- key_id;
-    e.Enclave.key_parked <- false;
-    Ok ()
-
-(* --- primitive handlers --- *)
-
-let handle_create t (config : Types.enclave_config) =
-  let sane =
-    config.Types.code_pages > 0 && config.Types.code_pages <= 4096
-    && config.Types.data_pages >= 0
-    && config.Types.heap_pages >= 0
-    && config.Types.stack_pages > 0
-    && config.Types.shared_pages >= 0
-    && Types.total_static_pages config <= 65536
-  in
-  if not sane then Types.Err (Types.Invalid_argument_ "enclave configuration out of bounds")
-  else begin
-    match allocate_key_id t ~except:(-1) with
-    | None -> Types.Err Types.Out_of_key_ids
-    | Some key_id -> (
-      let id = t.next_enclave_id in
-      (* Private page table backed by pool frames (enclave memory). *)
-      let pt_alloc () =
-        match Mem_pool.take t.pool ~n:1 with
-        | Some [ f ] -> f
-        | Some _ | None -> failwith "out of memory"
-      in
-      match
-        Page_table.create t.mem ~node_owner:(Phys_mem.Page_table id) ~alloc:pt_alloc
-      with
-      | exception Failure _ -> Types.Err Types.Out_of_memory
-      | page_table -> (
-        let e = Enclave.create ~id ~config ~page_table ~key_id in
-        (* The memory key is bound to the (not yet final) identity;
-           derive from the enclave id now, rebound at EMEAS time in
-           principle — the simulator derives from id only. *)
-        let key = Keymgmt.memory_key t.keys ~enclave_measurement:Bytes.empty ~enclave_id:id in
-        Mem_encryption.program t.mee ~key_id key;
-        (* Any failure from here on must tear the half-built enclave
-           down completely: pages back to the pool, ownership records
-           dropped, the KeyID released. *)
-        let teardown err =
-          let frames = Ownership.frames_of t.ownership id in
-          List.iter (fun frame -> Ownership.release t.ownership ~frame) frames;
-          Mem_pool.give_back t.pool frames;
-          Mem_pool.give_back t.pool (Page_table.node_frames page_table);
-          Mem_encryption.revoke t.mee ~key_id;
-          Types.Err err
-        in
-        (* Static allocation at creation (Sec. IV-A): map code, data,
-           heap, stack pages from the pool. Page-table node allocation
-           can also exhaust the pool mid-mapping ([Failure]). *)
-        let vpns = Enclave.static_vpns e in
-        try
-        match take_pool_frames t ~n:(List.length vpns) with
-        | Error err -> teardown err
-        | Ok frames ->
-          let result =
-            List.fold_left2
-              (fun acc vpn frame ->
-                match acc with
-                | Error _ -> acc
-                | Ok () ->
-                  let x = vpn < e.Enclave.layout.Enclave.data_base in
-                  (match map_private_page t e ~vpn ~frame ~r:true ~w:(not x) ~x with
-                  | Ok () -> Ok ()
-                  | Error err -> Error err))
-              (Ok ()) vpns frames
-          in
-          (match result with
-          | Error err -> teardown err
-          | Ok () ->
-            (* Staging window: HostApp memory mapped into the enclave
-               address space in plaintext (KeyID 0) so the host can
-               pass encrypted inputs in and read results out
-               (Sec. IV-A). Not enclave memory: no bitmap bit. *)
-            let staging = t.os_request ~n:config.Types.shared_pages in
-            if List.length staging < config.Types.shared_pages then begin
-              t.os_return ~frames:staging;
-              teardown Types.Out_of_memory
-            end
-            else begin
-              List.iteri
-                (fun i frame ->
-                  Page_table.map e.Enclave.page_table
-                    ~vpn:(e.Enclave.layout.Enclave.staging_base + i)
-                    (Pte.leaf ~ppn:frame ~r:true ~w:true ~x:false ~key_id:0))
-                staging;
-              e.Enclave.staging_frames <- staging;
-              t.next_enclave_id <- id + 1;
-              Hashtbl.replace t.enclaves id e;
-              Types.Ok_created { enclave = id }
-            end)
-        with Failure _ -> teardown Types.Out_of_memory))
-  end
-
-let measurement_update (e : Enclave.t) ~vpn data =
-  match e.Enclave.measurement_ctx with
-  | Some ctx ->
-    let header = Bytes.create 8 in
-    Hypertee_util.Bytes_ext.set_u64_le header 0 (Int64.of_int vpn);
-    Hypertee_crypto.Sha256.update ctx header;
-    Hypertee_crypto.Sha256.update ctx data
-  | None -> ()
-
-let handle_add t ~sender ~enclave ~vpn ~data ~executable =
-  ignore sender;
-  let* e = get_enclave t enclave in
-  let* () = Enclave.can_add e in
-  if Bytes.length data > Hypertee_util.Units.page_size then
-    Types.Err (Types.Invalid_argument_ "EADD data exceeds one page")
-  else begin
-    match Page_table.lookup e.Enclave.page_table ~vpn with
-    | None -> Types.Err (Types.Invalid_argument_ "EADD target page not mapped")
-    | Some pte ->
-      let page = Bytes.make Hypertee_util.Units.page_size '\000' in
-      Bytes.blit data 0 page 0 (Bytes.length data);
-      (* Store through the memory-encryption engine: DRAM holds
-         ciphertext under the enclave's key. *)
-      let ct = Mem_encryption.store t.mee ~key_id:pte.Pte.key_id ~frame:pte.Pte.ppn page in
-      Phys_mem.write t.mem ~frame:pte.Pte.ppn ct;
-      measurement_update e ~vpn page;
-      ignore executable;
-      Types.Ok_unit
-  end
-
-let handle_measure t ~enclave =
-  let* e = get_enclave t enclave in
-  let* () = Enclave.can_measure e in
-  (match e.Enclave.measurement_ctx with
-  | None -> Types.Err (Types.Bad_state "measurement already finalized")
-  | Some ctx ->
-    let m = Hypertee_crypto.Sha256.finalize ctx in
-    e.Enclave.measurement_ctx <- None;
-    e.Enclave.measurement <- Some m;
-    e.Enclave.state <- Enclave.Measured;
-    Types.Ok_measure { measurement = m })
-
-let handle_enter t ~enclave =
-  let* e = get_enclave t enclave in
-  let* () = Enclave.can_enter e in
-  let* () = if e.Enclave.key_parked then revive_key t e else Ok () in
-  e.Enclave.state <- Enclave.Running;
-  Types.Ok_entered { enclave }
-
-let handle_resume t ~enclave =
-  let* e = get_enclave t enclave in
-  let* () = Enclave.can_resume e in
-  e.Enclave.state <- Enclave.Running;
-  Types.Ok_entered { enclave }
-
-let handle_interrupt t ~enclave ~pc ~cause =
-  ignore cause;
-  let* e = get_enclave t enclave in
-  match e.Enclave.state with
-  | Enclave.Running ->
-    (* Save the interrupted context into the ECS (EMS-private) and
-       park the enclave; EMCall performs the CS register switch. *)
-    e.Enclave.saved_pc <- pc;
-    e.Enclave.state <- Enclave.Interrupted;
-    Types.Ok_unit
-  | _ -> Types.Err (Types.Bad_state (Enclave.state_name e.Enclave.state))
-
-let handle_exit t ~sender ~enclave =
-  let* e = get_enclave t enclave in
-  let* () = check_identity ~sender ~target:enclave ~strict:true in
-  let* () = Enclave.can_exit e in
-  e.Enclave.state <- Enclave.Measured;
-  Types.Ok_unit
-
-let detach_shm_frames t (e : Enclave.t) shm_id =
-  match Shm.find t.shms shm_id with
-  | None -> ()
-  | Some region ->
-    List.iter (fun frame -> Ownership.detach t.ownership ~frame ~enclave:e.Enclave.id)
-      region.Shm.frames;
-    ignore (Shm.detach t.shms ~shm:shm_id ~enclave:e.Enclave.id)
-
-let handle_destroy t ~enclave =
-  let* e = get_enclave t enclave in
-  (* Detach any shared memory first (connections must not leak). *)
-  List.iter (fun (shm_id, _) -> detach_shm_frames t e shm_id) e.Enclave.attached_shms;
-  e.Enclave.attached_shms <- [];
-  (* Reclaim private pages: zero, return to pool. *)
-  let private_frames = Ownership.frames_of t.ownership e.Enclave.id in
-  List.iter (fun frame -> Ownership.release t.ownership ~frame) private_frames;
-  Mem_pool.give_back t.pool private_frames;
-  (* Page-table frames are enclave memory too. *)
-  let pt_frames = Page_table.node_frames e.Enclave.page_table in
-  Mem_pool.give_back t.pool pt_frames;
-  (* Staging frames were host memory: hand them back to the OS. *)
-  t.os_return ~frames:e.Enclave.staging_frames;
-  e.Enclave.staging_frames <- [];
-  (* KeyID release requires TLB+cache flush on CS (EMCall does it);
-     EMS side revokes the slot — unless it was already parked away. *)
-  if not e.Enclave.key_parked then Mem_encryption.revoke t.mee ~key_id:e.Enclave.key_id;
-  e.Enclave.state <- Enclave.Destroyed;
-  Hashtbl.remove t.enclaves enclave;
-  Types.Ok_unit
-
-let handle_alloc t ~sender ~enclave ~pages =
-  let* e = get_enclave t enclave in
-  let* () = check_identity ~sender ~target:enclave ~strict:false in
-  if pages <= 0 || pages > 16384 then Types.Err (Types.Invalid_argument_ "bad page count")
-  else begin
-    let* frames = take_pool_frames t ~n:pages in
-    let base_vpn = e.Enclave.heap_cursor in
-    let result =
-      List.fold_left
-        (fun (i, acc) frame ->
-          match acc with
-          | Error _ -> (i, acc)
-          | Ok () ->
-            (i + 1, map_private_page t e ~vpn:(base_vpn + i) ~frame ~r:true ~w:true ~x:false))
-        (0, Ok ()) frames
-      |> snd
-    in
-    match result with
-    | Error err -> Types.Err err
-    | Ok () ->
-      e.Enclave.heap_cursor <- base_vpn + pages;
-      Types.Ok_alloc { base_vpn; pages }
-  end
-
-let handle_free t ~sender ~enclave ~vpn ~pages =
-  let* e = get_enclave t enclave in
-  let* () = check_identity ~sender ~target:enclave ~strict:false in
-  if pages <= 0 then Types.Err (Types.Invalid_argument_ "bad page count")
-  else begin
-    let rec go i acc =
-      if i = pages then Ok (List.rev acc)
-      else
-        match unmap_private_page t e ~vpn:(vpn + i) with
-        | Ok frame -> go (i + 1) (frame :: acc)
-        | Error e -> Error e
-    in
-    match go 0 [] with
-    | Error err -> Types.Err err
-    | Ok frames ->
-      Mem_pool.give_back t.pool frames;
-      Types.Ok_unit
-  end
-
-(* EWB (Sec. IV-A): serve reclamation from *unused pool frames*, in a
-   randomized quantity, so the OS never learns which enclave pages
-   are live. Pool frames are encrypted before leaving EMS custody
-   (their zeroed contents must be indistinguishable from real data).
-   If the pool cannot cover the request, evict real enclave pages:
-   encrypt into the owner's swap store, invalidate the PTE, clear the
-   bitmap bit, return the frame. *)
-let handle_writeback t ~pages_hint =
-  if pages_hint <= 0 || pages_hint > 4096 then
-    Types.Err (Types.Invalid_argument_ "bad page hint")
-  else begin
-    let jitter = Hypertee_util.Xrng.int t.rng (1 + (pages_hint / 2)) in
-    let want = pages_hint + jitter in
-    let swap_key = Hypertee_crypto.Aes.expand (Keymgmt.swap_key t.keys) in
-    let from_pool = Mem_pool.surrender t.pool ~n:want in
-    let blobs =
-      List.map
-        (fun frame ->
-          let content = Bytes.make Hypertee_util.Units.page_size '\000' in
-          (frame, Hypertee_crypto.Aes.encrypt_page swap_key ~page_number:frame content))
-        from_pool
-    in
-    let missing = want - List.length from_pool in
-    let evicted =
-      if missing <= 0 then []
-      else begin
-        (* Candidate victims: heap pages of live enclaves, chosen at
-           random (Sec. IV-A point 3). *)
-        let candidates =
-          Hashtbl.fold
-            (fun _ (e : Enclave.t) acc ->
-              List.fold_left
-                (fun acc vpn ->
-                  match Page_table.lookup e.Enclave.page_table ~vpn with
-                  | Some pte -> (e, vpn, pte) :: acc
-                  | None -> acc)
-                acc
-                (List.init
-                   (Stdlib.max 0 (e.Enclave.heap_cursor - e.Enclave.layout.Enclave.heap_base))
-                   (fun i -> e.Enclave.layout.Enclave.heap_base + i)))
-            t.enclaves []
-          |> Array.of_list
-        in
-        Hypertee_util.Xrng.shuffle t.rng candidates;
-        let n = Stdlib.min missing (Array.length candidates) in
-        List.init n (fun i ->
-            let e, vpn, pte = candidates.(i) in
-            let frame = pte.Pte.ppn in
-            (* Read ciphertext, decrypt under the enclave key, then
-               re-encrypt under the swap key with vpn binding. *)
-            let ct = Phys_mem.read t.mem ~frame in
-            let pt = Mem_encryption.load t.mee ~key_id:pte.Pte.key_id ~frame ct in
-            let blob = Hypertee_crypto.Aes.encrypt_page swap_key ~page_number:vpn pt in
-            Hashtbl.replace e.Enclave.swapped_out vpn blob;
-            Page_table.unmap e.Enclave.page_table ~vpn;
-            Ownership.release t.ownership ~frame;
-            Bitmap.clear t.bitmap ~frame;
-            Phys_mem.zero t.mem ~frame;
-            Phys_mem.set_owner t.mem frame Phys_mem.Free;
-            (frame, Hypertee_crypto.Aes.encrypt_page swap_key ~page_number:frame pt))
-      end
-    in
-    let all = blobs @ evicted in
-    Types.Ok_writeback { frames = List.map fst all; blobs = all }
-  end
-
-let has_swapped_page t enclave ~vpn =
-  match Hashtbl.find_opt t.enclaves enclave with
-  | Some e -> Hashtbl.mem e.Enclave.swapped_out vpn
-  | None -> false
-
-let handle_page_fault t ~enclave ~vpn =
-  let* e = get_enclave t enclave in
-  match Hashtbl.find_opt e.Enclave.swapped_out vpn with
-  | Some blob -> (
-    (* Swap-in: restore the page from the encrypted blob. *)
-    let* frames = take_pool_frames t ~n:1 in
-    match frames with
-    | [ frame ] ->
-      let swap_key = Hypertee_crypto.Aes.expand (Keymgmt.swap_key t.keys) in
-      let pt = Hypertee_crypto.Aes.decrypt_page swap_key ~page_number:vpn blob in
-      (match map_private_page t e ~vpn ~frame ~r:true ~w:true ~x:false with
-      | Error err -> Types.Err err
-      | Ok () ->
-        let ct = Mem_encryption.store t.mee ~key_id:e.Enclave.key_id ~frame pt in
-        Phys_mem.write t.mem ~frame ct;
-        Hashtbl.remove e.Enclave.swapped_out vpn;
-        Types.Ok_alloc { base_vpn = vpn; pages = 1 })
-    | _ -> Types.Err Types.Out_of_memory)
-  | None ->
-    (* Demand allocation within the growth region. *)
-    if vpn >= e.Enclave.layout.Enclave.heap_base && vpn < e.Enclave.layout.Enclave.stack_base
-    then begin
-      let* frames = take_pool_frames t ~n:1 in
-      match frames with
-      | [ frame ] -> (
-        match map_private_page t e ~vpn ~frame ~r:true ~w:true ~x:false with
-        | Error err -> Types.Err err
-        | Ok () ->
-          if vpn >= e.Enclave.heap_cursor then e.Enclave.heap_cursor <- vpn + 1;
-          Types.Ok_alloc { base_vpn = vpn; pages = 1 })
-      | _ -> Types.Err Types.Out_of_memory
-    end
-    else Types.Err (Types.Invalid_argument_ "fault outside growable region")
-
-let handle_shmget t ~sender ~owner ~pages ~max_perm =
-  let* _e = get_enclave t owner in
-  let* () = check_identity ~sender ~target:owner ~strict:true in
-  if pages <= 0 || pages > 4096 then Types.Err (Types.Invalid_argument_ "bad page count")
-  else begin
-    match Mem_encryption.find_free_slot t.mee with
-    | None -> Types.Err Types.Out_of_key_ids
-    | Some key_id -> (
-      let* frames = take_pool_frames t ~n:pages in
-      let shm = t.next_shm_id in
-      let claim_ok =
-        List.for_all (fun frame -> Ownership.claim_shared t.ownership ~frame ~shm) frames
-      in
-      if not claim_ok then Types.Err (Types.Invalid_argument_ "frame already owned")
-      else begin
-        List.iter (fun frame -> Phys_mem.set_owner t.mem frame (Phys_mem.Shared shm)) frames;
-        (* Dedicated key derived from initial sender + ShmID (Sec. V-A). *)
-        let key = Keymgmt.shm_key t.keys ~owner ~shm_id:shm in
-        Mem_encryption.program t.mee ~key_id key;
-        List.iter (fun frame -> store_zero_page t ~key_id ~frame) frames;
-        ignore (Shm.register t.shms ~shm ~owner ~frames ~key_id ~max_perm);
-        t.next_shm_id <- shm + 1;
-        Types.Ok_shm { shm }
-      end)
-  end
-
-let handle_shmshr t ~sender ~owner ~shm ~grantee ~perm =
-  let* _e = get_enclave t owner in
-  let* () = check_identity ~sender ~target:owner ~strict:true in
-  let* _g = get_enclave t grantee in
-  (match Shm.grant t.shms ~shm ~caller:owner ~grantee ~perm with
-  | Ok () -> Types.Ok_unit
-  | Error err -> Types.Err err)
-
-let handle_shmat t ~sender ~enclave ~shm ~requested_perm =
-  let* e = get_enclave t enclave in
-  let* () = check_identity ~sender ~target:enclave ~strict:true in
-  match Shm.find t.shms shm with
-  | None -> Types.Err Types.No_such_shm
-  | Some region -> (
-    let base_vpn = e.Enclave.shm_cursor in
-    match Shm.attach t.shms ~shm ~enclave ~requested_perm ~base_vpn with
-    | Error err -> Types.Err err
-    | Ok granted ->
-      let writable = granted = Types.Read_write in
-      List.iteri
-        (fun i frame ->
-          ignore (Ownership.attach t.ownership ~frame ~enclave);
-          Page_table.map e.Enclave.page_table ~vpn:(base_vpn + i)
-            (Pte.leaf ~ppn:frame ~r:true ~w:writable ~x:false ~key_id:region.Shm.key_id))
-        region.Shm.frames;
-      let pages = List.length region.Shm.frames in
-      e.Enclave.shm_cursor <- base_vpn + pages + 1;
-      e.Enclave.attached_shms <- (shm, base_vpn) :: e.Enclave.attached_shms;
-      Types.Ok_shmat { base_vpn; pages })
-
-let handle_shmdt t ~sender ~enclave ~shm =
-  let* e = get_enclave t enclave in
-  let* () = check_identity ~sender ~target:enclave ~strict:true in
-  match List.assoc_opt shm e.Enclave.attached_shms with
-  | None -> Types.Err (Types.Invalid_argument_ "not attached")
-  | Some base_vpn -> (
-    match Shm.find t.shms shm with
-    | None -> Types.Err Types.No_such_shm
-    | Some region -> (
-      match Shm.detach t.shms ~shm ~enclave with
-      | Error err -> Types.Err err
-      | Ok () ->
-        List.iteri
-          (fun i frame ->
-            Ownership.detach t.ownership ~frame ~enclave;
-            Page_table.unmap e.Enclave.page_table ~vpn:(base_vpn + i))
-          region.Shm.frames;
-        e.Enclave.attached_shms <- List.remove_assoc shm e.Enclave.attached_shms;
-        Types.Ok_unit))
-
-let handle_shmdes t ~sender ~owner ~shm =
-  let* _e = get_enclave t owner in
-  let* () = check_identity ~sender ~target:owner ~strict:true in
-  match Shm.destroy t.shms ~shm ~caller:owner with
-  | Error err -> Types.Err err
-  | Ok region ->
-    List.iter
-      (fun frame ->
-        Ownership.release t.ownership ~frame;
-        Phys_mem.zero t.mem ~frame)
-      region.Shm.frames;
-    Mem_pool.give_back t.pool region.Shm.frames;
-    Mem_encryption.revoke t.mee ~key_id:region.Shm.key_id;
-    Types.Ok_unit
-
-let handle_attest t ~sender ~enclave ~user_data =
-  let* e = get_enclave t enclave in
-  let* () = check_identity ~sender ~target:enclave ~strict:true in
-  match e.Enclave.measurement with
-  | None -> Types.Err (Types.Bad_state "enclave not measured")
-  | Some m ->
-    let quote =
-      Attest.make_quote t.keys ~platform_measurement:t.platform_measurement
-        ~enclave_measurement:m ~user_data
-    in
-    Types.Ok_attest { quote = Attest.quote_to_bytes quote }
-
-let dispatch t ~sender request =
-  match request with
-  | Types.Create { config } -> handle_create t config
-  | Types.Add { enclave; vpn; data; executable } ->
-    handle_add t ~sender ~enclave ~vpn ~data ~executable
-  | Types.Enter { enclave } -> handle_enter t ~enclave
-  | Types.Resume { enclave } -> handle_resume t ~enclave
-  | Types.Exit { enclave } -> handle_exit t ~sender ~enclave
-  | Types.Destroy { enclave } -> handle_destroy t ~enclave
-  | Types.Alloc { enclave; pages } -> handle_alloc t ~sender ~enclave ~pages
-  | Types.Free { enclave; vpn; pages } -> handle_free t ~sender ~enclave ~vpn ~pages
-  | Types.Writeback { pages_hint } -> handle_writeback t ~pages_hint
-  | Types.Shmget { owner; pages; max_perm } -> handle_shmget t ~sender ~owner ~pages ~max_perm
-  | Types.Shmat { enclave; shm; requested_perm } ->
-    handle_shmat t ~sender ~enclave ~shm ~requested_perm
-  | Types.Shmdt { enclave; shm } -> handle_shmdt t ~sender ~enclave ~shm
-  | Types.Shmshr { owner; shm; grantee; perm } ->
-    handle_shmshr t ~sender ~owner ~shm ~grantee ~perm
-  | Types.Shmdes { owner; shm } -> handle_shmdes t ~sender ~owner ~shm
-  | Types.Measure { enclave } -> handle_measure t ~enclave
-  | Types.Attest { enclave; user_data } -> handle_attest t ~sender ~enclave ~user_data
-  | Types.Page_fault { enclave; vpn } -> handle_page_fault t ~enclave ~vpn
-  | Types.Interrupt { enclave; pc; cause } -> handle_interrupt t ~enclave ~pc ~cause
-
-
-(* The enclave a request acts on, if any — the victim EMS terminates
-   when serving the request trips a memory-integrity fault. *)
+(* The enclave a request acts on, if any — the victim when serving
+   the request trips a memory-integrity fault, and the affinity key
+   the platform shards by. *)
 let enclave_of_request = function
   | Types.Create _ | Types.Writeback _ -> None
   | Types.Add { enclave; _ }
@@ -686,21 +61,23 @@ let enclave_of_request = function
    platform. EMS terminates the affected enclave, records the event,
    and keeps serving everyone else. *)
 let contain_integrity_fault t request ~frame =
+  let state = t.state in
   let victim =
     match enclave_of_request request with
     | Some _ as v -> v
     | None -> (
       (* The request names no enclave (e.g. EWB touching victim
          pages): the compromised memory still has an owner. *)
-      match Ownership.lookup t.ownership ~frame with
+      match Ownership.lookup state.State.ownership ~frame with
       | Some (Ownership.Private id) -> Some id
       | Some (Ownership.Shared_page _) | None -> None)
   in
   (match victim with
-  | Some id when Hashtbl.mem t.enclaves id ->
-    (try ignore (handle_destroy t ~enclave:id) with _ -> Hashtbl.remove t.enclaves id)
+  | Some id when Hashtbl.mem state.State.enclaves id ->
+    (try ignore (Svc_lifecycle.destroy state ~enclave:id)
+     with _ -> Hashtbl.remove state.State.enclaves id)
   | _ -> ());
-  Audit.record_fault t.audit ~site:"memory-integrity"
+  Audit.record_fault state.State.audit ~site:"memory-integrity"
     ~detail:
       (Printf.sprintf "MAC mismatch at frame %d%s" frame
          (match victim with
@@ -711,9 +88,9 @@ let contain_integrity_fault t request ~frame =
 
 let handle t ~sender request =
   let opcode = Types.opcode_of_request request in
-  count t opcode;
+  State.count t.state opcode;
   let response =
-    try dispatch t ~sender request with
+    try Registry.dispatch t.registry t.state ~sender request with
     | Mem_encryption.Integrity_violation { frame } -> contain_integrity_fault t request ~frame
   in
   let outcome =
@@ -721,5 +98,5 @@ let handle t ~sender request =
     | Types.Err e -> Audit.Refused (Types.error_message e)
     | _ -> Audit.Served
   in
-  Audit.record t.audit ~opcode ~sender ~outcome;
+  Audit.record (State.audit t.state) ~opcode ~sender ~outcome;
   response

@@ -1,11 +1,15 @@
-(** The EMS Runtime: the software that executes enclave primitives.
+(** The EMS Runtime: a thin dispatch shell over the primitive
+    service registry.
 
-    Owns every piece of EMS-private state — control structures, the
-    enclave memory pool, the page-ownership table, shared-memory
-    control structures, root keys — and implements the service
-    routine behind each Table II primitive. CS software reaches it
-    only through the mailbox; [handle] is what an EMS worker core
-    runs for one request packet.
+    The EMS-private state — control structures, the enclave memory
+    pool, the page-ownership table, shared-memory control
+    structures, root keys — lives in [State.t]; the service routine
+    behind each Table II primitive lives in one of the per-domain
+    service modules ([Svc_lifecycle], [Svc_memory], [Svc_shm],
+    [Svc_attest]), registered in a [Registry.t] keyed by opcode.
+    [handle] is what an EMS worker core runs for one request packet:
+    count, look the service up, invoke it with the shared state,
+    contain integrity faults, record the outcome in the audit log.
 
     Every handler follows the paper's discipline: sanity-check the
     arguments (Sec. III-B, mechanism 3), check the caller's identity
@@ -14,7 +18,17 @@
 
 type t
 
+(** [create ()] builds a runtime with all four services registered.
+
+    The optional id parameters support platform sharding: shard [s]
+    of [n] runs with [first_enclave_id = s+1], [first_shm_id = s+1]
+    and [id_stride = n], so each shard assigns ids from a disjoint
+    residue class and [(id-1) mod n] recovers the owning shard. The
+    defaults (1, 1, 1) are the single-shard behaviour. *)
 val create :
+  ?first_enclave_id:int ->
+  ?first_shm_id:int ->
+  ?id_stride:int ->
   rng:Hypertee_util.Xrng.t ->
   mem:Hypertee_arch.Phys_mem.t ->
   bitmap:Hypertee_arch.Bitmap.t ->
@@ -24,6 +38,7 @@ val create :
   os_request:(n:int -> int list) ->
   os_return:(frames:int list -> unit) ->
   platform_measurement:bytes ->
+  unit ->
   t
 
 (** [handle t ~sender request] runs one primitive. [sender] is the
@@ -53,3 +68,12 @@ val served : t -> Types.opcode -> int
 (** Swap-in support: does the enclave have an EWB-evicted page at
     [vpn]? (EMCall routes such faults to EMS.) *)
 val has_swapped_page : t -> Types.enclave_id -> vpn:int -> bool
+
+(** Registry introspection (telemetry / tests). *)
+val services : t -> string list
+
+val service_of : t -> Types.opcode -> string option
+
+(** The enclave a request acts on, if any — the integrity-fault
+    victim, and the affinity key the platform shards by. *)
+val enclave_of_request : Types.request -> Types.enclave_id option

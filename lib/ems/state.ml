@@ -1,0 +1,215 @@
+module Phys_mem = Hypertee_arch.Phys_mem
+module Bitmap = Hypertee_arch.Bitmap
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Page_table = Hypertee_arch.Page_table
+module Pte = Hypertee_arch.Pte
+
+type t = {
+  rng : Hypertee_util.Xrng.t;
+  mem : Phys_mem.t;
+  bitmap : Bitmap.t;
+  mee : Mem_encryption.t;
+  keys : Keymgmt.t;
+  cost : Cost.t;
+  pool : Mem_pool.t;
+  ownership : Ownership.t;
+  shms : Shm.t;
+  enclaves : (Types.enclave_id, Enclave.t) Hashtbl.t;
+  audit : Audit.t;
+  platform_measurement : bytes;
+  served : (Types.opcode, int) Hashtbl.t;
+  os_request : n:int -> int list;
+  os_return : frames:int list -> unit;
+  id_stride : int;
+  mutable next_enclave_id : int;
+  mutable next_shm_id : int;
+}
+
+let create ?(first_enclave_id = 1) ?(first_shm_id = 1) ?(id_stride = 1) ~rng ~mem ~bitmap ~mee
+    ~keys ~cost ~os_request ~os_return ~platform_measurement () =
+  if id_stride < 1 then invalid_arg "State.create: id_stride must be >= 1";
+  let pool_rng = Hypertee_util.Xrng.split rng in
+  let pool =
+    Mem_pool.create pool_rng ~mem ~bitmap ~os_request ~os_return ~initial_frames:128
+  in
+  {
+    rng;
+    mem;
+    bitmap;
+    mee;
+    keys;
+    cost;
+    pool;
+    ownership = Ownership.create ();
+    shms = Shm.create ();
+    enclaves = Hashtbl.create 16;
+    audit = Audit.create ();
+    platform_measurement;
+    served = Hashtbl.create 16;
+    os_request;
+    os_return;
+    id_stride;
+    next_enclave_id = first_enclave_id;
+    next_shm_id = first_shm_id;
+  }
+
+let keys t = t.keys
+let pool t = t.pool
+let ownership t = t.ownership
+let platform_measurement t = t.platform_measurement
+let find_enclave t id = Hashtbl.find_opt t.enclaves id
+let find_shm t id = Shm.find t.shms id
+let served t op = Option.value ~default:0 (Hashtbl.find_opt t.served op)
+let live_enclaves t = Hashtbl.fold (fun id _ acc -> id :: acc) t.enclaves [] |> List.sort compare
+let audit t = t.audit
+let service_ns t request = Cost.service_ns t.cost request
+
+let count t op = Hashtbl.replace t.served op (served t op + 1)
+
+(* --- helpers shared by the service modules --- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Types.Err e
+
+let get_enclave t id =
+  match Hashtbl.find_opt t.enclaves id with
+  | Some e when e.Enclave.state <> Enclave.Destroyed -> Ok e
+  | Some _ | None -> Error Types.No_such_enclave
+
+(* Identity check: a user-privilege primitive acting on enclave [id]
+   must come from that enclave itself (sender stamped by EMCall) or
+   from its host application (sender = None) for the setup
+   primitives. [strict] requires the enclave itself. *)
+let check_identity ~sender ~target ~strict =
+  match sender with
+  | Some s when s = target -> Ok ()
+  | Some _ -> Error (Types.Permission_denied "request forged for another enclave")
+  | None ->
+    if strict then Error (Types.Permission_denied "primitive must be issued from the enclave")
+    else Ok ()
+
+let take_pool_frames t ~n =
+  match Mem_pool.take t.pool ~n with Some fs -> Ok fs | None -> Error Types.Out_of_memory
+
+(* Initialise a freshly mapped page through the encryption engine so
+   DRAM holds valid (encrypted-zero) content with a valid MAC; an
+   uninitialised line would otherwise MAC-fault on first load. *)
+let store_zero_page t ~key_id ~frame =
+  let zero = Bytes.make Hypertee_util.Units.page_size '\000' in
+  Phys_mem.write t.mem ~frame (Mem_encryption.store t.mee ~key_id ~frame zero)
+
+let map_private_page t (e : Enclave.t) ~vpn ~frame ~r ~w ~x =
+  if not (Ownership.claim_private t.ownership ~frame ~enclave:e.Enclave.id) then
+    Error (Types.Invalid_argument_ "frame already owned")
+  else begin
+    Phys_mem.set_owner t.mem frame (Phys_mem.Enclave e.Enclave.id);
+    Page_table.map e.Enclave.page_table ~vpn
+      (Pte.leaf ~ppn:frame ~r ~w ~x ~key_id:e.Enclave.key_id);
+    store_zero_page t ~key_id:e.Enclave.key_id ~frame;
+    Ok ()
+  end
+
+let unmap_private_page t (e : Enclave.t) ~vpn =
+  match Page_table.lookup e.Enclave.page_table ~vpn with
+  | None -> Error (Types.Invalid_argument_ "page not mapped")
+  | Some pte ->
+    let frame = pte.Pte.ppn in
+    Page_table.unmap e.Enclave.page_table ~vpn;
+    Ownership.release t.ownership ~frame;
+    Phys_mem.zero t.mem ~frame;
+    Ok frame
+
+(* --- KeyID pressure (Sec. IV-C) ---
+
+   "In case of KeyID exhaustion, EMS can suspend an enclave to
+   release a KeyID." Parking a victim's key re-encrypts its private
+   pages in place under the EMS swap key and revokes the slot;
+   revival (at the next EENTER) assigns a fresh KeyID and restores
+   the pages. EMCall's context-switch flush covers the TLB/cache
+   coherence the paper requires. *)
+
+let private_leaves (e : Enclave.t) =
+  List.filter
+    (fun (_, pte) -> pte.Pte.key_id = e.Enclave.key_id)
+    (Page_table.entries e.Enclave.page_table)
+
+let park_key t (e : Enclave.t) =
+  let swap_key = Hypertee_crypto.Aes.expand (Keymgmt.swap_key t.keys) in
+  List.iter
+    (fun (vpn, pte) ->
+      let frame = pte.Pte.ppn in
+      let pt = Mem_encryption.load t.mee ~key_id:pte.Pte.key_id ~frame (Phys_mem.read t.mem ~frame) in
+      Phys_mem.write t.mem ~frame (Hypertee_crypto.Aes.encrypt_page swap_key ~page_number:vpn pt))
+    (private_leaves e);
+  Mem_encryption.revoke t.mee ~key_id:e.Enclave.key_id;
+  e.Enclave.key_parked <- true
+
+(* A parkable victim: measured, idle, key not already parked. *)
+let find_parkable t ~except =
+  Hashtbl.fold
+    (fun id (e : Enclave.t) acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if id <> except && e.Enclave.state = Enclave.Measured && not e.Enclave.key_parked then
+          Some e
+        else None)
+    t.enclaves None
+
+(* Allocate a KeyID, parking an idle enclave's key if the engine is
+   full. [except] is the enclave the allocation serves. *)
+let allocate_key_id t ~except =
+  match Mem_encryption.find_free_slot t.mee with
+  | Some key_id -> Some key_id
+  | None -> (
+    match find_parkable t ~except with
+    | Some victim ->
+      park_key t victim;
+      Mem_encryption.find_free_slot t.mee
+    | None -> None)
+
+let revive_key t (e : Enclave.t) =
+  match allocate_key_id t ~except:e.Enclave.id with
+  | None -> Error Types.Out_of_key_ids
+  | Some key_id ->
+    let measurement = Option.value ~default:Bytes.empty e.Enclave.measurement in
+    let key = Keymgmt.memory_key t.keys ~enclave_measurement:measurement ~enclave_id:e.Enclave.id in
+    Mem_encryption.program t.mee ~key_id key;
+    let swap_key = Hypertee_crypto.Aes.expand (Keymgmt.swap_key t.keys) in
+    (* The parked leaves still carry the old KeyID in their PTEs. *)
+    let old_key = e.Enclave.key_id in
+    List.iter
+      (fun (vpn, pte) ->
+        if pte.Pte.key_id = old_key then begin
+          let frame = pte.Pte.ppn in
+          let pt =
+            Hypertee_crypto.Aes.decrypt_page swap_key ~page_number:vpn (Phys_mem.read t.mem ~frame)
+          in
+          Phys_mem.write t.mem ~frame (Mem_encryption.store t.mee ~key_id ~frame pt);
+          Page_table.map e.Enclave.page_table ~vpn { pte with Pte.key_id }
+        end)
+      (Page_table.entries e.Enclave.page_table);
+    e.Enclave.key_id <- key_id;
+    e.Enclave.key_parked <- false;
+    Ok ()
+
+let measurement_update (e : Enclave.t) ~vpn data =
+  match e.Enclave.measurement_ctx with
+  | Some ctx ->
+    let header = Bytes.create 8 in
+    Hypertee_util.Bytes_ext.set_u64_le header 0 (Int64.of_int vpn);
+    Hypertee_crypto.Sha256.update ctx header;
+    Hypertee_crypto.Sha256.update ctx data
+  | None -> ()
+
+let detach_shm_frames t (e : Enclave.t) shm_id =
+  match Shm.find t.shms shm_id with
+  | None -> ()
+  | Some region ->
+    List.iter (fun frame -> Ownership.detach t.ownership ~frame ~enclave:e.Enclave.id)
+      region.Shm.frames;
+    ignore (Shm.detach t.shms ~shm:shm_id ~enclave:e.Enclave.id)
+
+let has_swapped_page t enclave ~vpn =
+  match Hashtbl.find_opt t.enclaves enclave with
+  | Some e -> Hashtbl.mem e.Enclave.swapped_out vpn
+  | None -> false

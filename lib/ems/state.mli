@@ -1,0 +1,94 @@
+(** Shared EMS runtime state, passed explicitly to every primitive
+    service module.
+
+    This is the record that used to live inside [Runtime]: control
+    structures, the enclave memory pool, the page-ownership table,
+    shared-memory control structures, root keys, the audit log. The
+    service modules ([Svc_lifecycle], [Svc_memory], [Svc_shm],
+    [Svc_attest]) receive it explicitly — there is no global.
+
+    The record is exposed (not abstract) because the service modules
+    are the implementation of the EMS and manipulate the state
+    directly; external consumers go through [Runtime], whose type
+    stays abstract. *)
+
+type t = {
+  rng : Hypertee_util.Xrng.t;
+  mem : Hypertee_arch.Phys_mem.t;
+  bitmap : Hypertee_arch.Bitmap.t;
+  mee : Hypertee_arch.Mem_encryption.t;
+  keys : Keymgmt.t;
+  cost : Cost.t;
+  pool : Mem_pool.t;
+  ownership : Ownership.t;
+  shms : Shm.t;
+  enclaves : (Types.enclave_id, Enclave.t) Hashtbl.t;
+  audit : Audit.t;
+  platform_measurement : bytes;
+  served : (Types.opcode, int) Hashtbl.t;
+  os_request : n:int -> int list;
+  os_return : frames:int list -> unit;
+  id_stride : int;
+      (** Distance between consecutive ids this shard assigns; with N
+          shards, shard [s] uses [first_*_id = s+1] and stride [N] so
+          id ranges never collide and [(id-1) mod N] recovers the
+          shard — the affinity function the EMCall gate routes by. *)
+  mutable next_enclave_id : int;
+  mutable next_shm_id : int;
+}
+
+val create :
+  ?first_enclave_id:int ->
+  ?first_shm_id:int ->
+  ?id_stride:int ->
+  rng:Hypertee_util.Xrng.t ->
+  mem:Hypertee_arch.Phys_mem.t ->
+  bitmap:Hypertee_arch.Bitmap.t ->
+  mee:Hypertee_arch.Mem_encryption.t ->
+  keys:Keymgmt.t ->
+  cost:Cost.t ->
+  os_request:(n:int -> int list) ->
+  os_return:(frames:int list -> unit) ->
+  platform_measurement:bytes ->
+  unit ->
+  t
+
+(** Lookups shared by [Runtime] and the platform layer. *)
+
+val keys : t -> Keymgmt.t
+val pool : t -> Mem_pool.t
+val ownership : t -> Ownership.t
+val platform_measurement : t -> bytes
+val find_enclave : t -> Types.enclave_id -> Enclave.t option
+val find_shm : t -> Types.shm_id -> Shm.region option
+val served : t -> Types.opcode -> int
+val live_enclaves : t -> Types.enclave_id list
+val audit : t -> Audit.t
+val service_ns : t -> Types.request -> float
+val count : t -> Types.opcode -> unit
+val has_swapped_page : t -> Types.enclave_id -> vpn:int -> bool
+
+(** Helpers shared by the service modules. *)
+
+val ( let* ) : ('a, Types.error) result -> ('a -> Types.response) -> Types.response
+val get_enclave : t -> Types.enclave_id -> (Enclave.t, Types.error) result
+
+val check_identity :
+  sender:Types.enclave_id option -> target:Types.enclave_id -> strict:bool ->
+  (unit, Types.error) result
+
+val take_pool_frames : t -> n:int -> (int list, Types.error) result
+val store_zero_page : t -> key_id:int -> frame:int -> unit
+
+val map_private_page :
+  t -> Enclave.t -> vpn:int -> frame:int -> r:bool -> w:bool -> x:bool ->
+  (unit, Types.error) result
+
+val unmap_private_page : t -> Enclave.t -> vpn:int -> (int, Types.error) result
+
+(** KeyID pressure (Sec. IV-C): parking and revival. *)
+
+val allocate_key_id : t -> except:Types.enclave_id -> int option
+val revive_key : t -> Enclave.t -> (unit, Types.error) result
+val measurement_update : Enclave.t -> vpn:int -> bytes -> unit
+val detach_shm_frames : t -> Enclave.t -> Types.shm_id -> unit

@@ -1,0 +1,10 @@
+(** Measurement & attestation service.
+
+    Serves EMEAS (finalize the build-time measurement) and EATTEST
+    (sign a quote binding platform + enclave measurements,
+    Sec. V-B). *)
+
+val name : string
+val opcodes : Types.opcode list
+val handle : Registry.handler
+val register : Registry.t -> unit

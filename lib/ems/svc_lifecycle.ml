@@ -1,0 +1,194 @@
+(** Lifecycle service: ECREATE, EADD, EENTER, ERESUME (incl. the
+    interrupt save path), EEXIT, EDESTROY. *)
+
+module Phys_mem = Hypertee_arch.Phys_mem
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Page_table = Hypertee_arch.Page_table
+module Pte = Hypertee_arch.Pte
+open State
+
+let name = "lifecycle"
+let opcodes = Types.[ ECREATE; EADD; EENTER; ERESUME; EEXIT; EDESTROY ]
+
+let handle_create t (config : Types.enclave_config) =
+  let sane =
+    config.Types.code_pages > 0 && config.Types.code_pages <= 4096
+    && config.Types.data_pages >= 0
+    && config.Types.heap_pages >= 0
+    && config.Types.stack_pages > 0
+    && config.Types.shared_pages >= 0
+    && Types.total_static_pages config <= 65536
+  in
+  if not sane then Types.Err (Types.Invalid_argument_ "enclave configuration out of bounds")
+  else begin
+    match allocate_key_id t ~except:(-1) with
+    | None -> Types.Err Types.Out_of_key_ids
+    | Some key_id -> (
+      let id = t.next_enclave_id in
+      (* Private page table backed by pool frames (enclave memory). *)
+      let pt_alloc () =
+        match Mem_pool.take t.pool ~n:1 with
+        | Some [ f ] -> f
+        | Some _ | None -> failwith "out of memory"
+      in
+      match
+        Page_table.create t.mem ~node_owner:(Phys_mem.Page_table id) ~alloc:pt_alloc
+      with
+      | exception Failure _ -> Types.Err Types.Out_of_memory
+      | page_table -> (
+        let e = Enclave.create ~id ~config ~page_table ~key_id in
+        (* The memory key is bound to the (not yet final) identity;
+           derive from the enclave id now, rebound at EMEAS time in
+           principle — the simulator derives from id only. *)
+        let key = Keymgmt.memory_key t.keys ~enclave_measurement:Bytes.empty ~enclave_id:id in
+        Mem_encryption.program t.mee ~key_id key;
+        (* Any failure from here on must tear the half-built enclave
+           down completely: pages back to the pool, ownership records
+           dropped, the KeyID released. *)
+        let teardown err =
+          let frames = Ownership.frames_of t.ownership id in
+          List.iter (fun frame -> Ownership.release t.ownership ~frame) frames;
+          Mem_pool.give_back t.pool frames;
+          Mem_pool.give_back t.pool (Page_table.node_frames page_table);
+          Mem_encryption.revoke t.mee ~key_id;
+          Types.Err err
+        in
+        (* Static allocation at creation (Sec. IV-A): map code, data,
+           heap, stack pages from the pool. Page-table node allocation
+           can also exhaust the pool mid-mapping ([Failure]). *)
+        let vpns = Enclave.static_vpns e in
+        try
+        match take_pool_frames t ~n:(List.length vpns) with
+        | Error err -> teardown err
+        | Ok frames ->
+          let result =
+            List.fold_left2
+              (fun acc vpn frame ->
+                match acc with
+                | Error _ -> acc
+                | Ok () ->
+                  let x = vpn < e.Enclave.layout.Enclave.data_base in
+                  (match map_private_page t e ~vpn ~frame ~r:true ~w:(not x) ~x with
+                  | Ok () -> Ok ()
+                  | Error err -> Error err))
+              (Ok ()) vpns frames
+          in
+          (match result with
+          | Error err -> teardown err
+          | Ok () ->
+            (* Staging window: HostApp memory mapped into the enclave
+               address space in plaintext (KeyID 0) so the host can
+               pass encrypted inputs in and read results out
+               (Sec. IV-A). Not enclave memory: no bitmap bit. *)
+            let staging = t.os_request ~n:config.Types.shared_pages in
+            if List.length staging < config.Types.shared_pages then begin
+              t.os_return ~frames:staging;
+              teardown Types.Out_of_memory
+            end
+            else begin
+              List.iteri
+                (fun i frame ->
+                  Page_table.map e.Enclave.page_table
+                    ~vpn:(e.Enclave.layout.Enclave.staging_base + i)
+                    (Pte.leaf ~ppn:frame ~r:true ~w:true ~x:false ~key_id:0))
+                staging;
+              e.Enclave.staging_frames <- staging;
+              t.next_enclave_id <- id + t.id_stride;
+              Hashtbl.replace t.enclaves id e;
+              Types.Ok_created { enclave = id }
+            end)
+        with Failure _ -> teardown Types.Out_of_memory))
+  end
+
+let handle_add t ~sender ~enclave ~vpn ~data ~executable =
+  ignore sender;
+  let* e = get_enclave t enclave in
+  let* () = Enclave.can_add e in
+  if Bytes.length data > Hypertee_util.Units.page_size then
+    Types.Err (Types.Invalid_argument_ "EADD data exceeds one page")
+  else begin
+    match Page_table.lookup e.Enclave.page_table ~vpn with
+    | None -> Types.Err (Types.Invalid_argument_ "EADD target page not mapped")
+    | Some pte ->
+      let page = Bytes.make Hypertee_util.Units.page_size '\000' in
+      Bytes.blit data 0 page 0 (Bytes.length data);
+      (* Store through the memory-encryption engine: DRAM holds
+         ciphertext under the enclave's key. *)
+      let ct = Mem_encryption.store t.mee ~key_id:pte.Pte.key_id ~frame:pte.Pte.ppn page in
+      Phys_mem.write t.mem ~frame:pte.Pte.ppn ct;
+      measurement_update e ~vpn page;
+      ignore executable;
+      Types.Ok_unit
+  end
+
+let handle_enter t ~enclave =
+  let* e = get_enclave t enclave in
+  let* () = Enclave.can_enter e in
+  let* () = if e.Enclave.key_parked then revive_key t e else Ok () in
+  e.Enclave.state <- Enclave.Running;
+  Types.Ok_entered { enclave }
+
+let handle_resume t ~enclave =
+  let* e = get_enclave t enclave in
+  let* () = Enclave.can_resume e in
+  e.Enclave.state <- Enclave.Running;
+  Types.Ok_entered { enclave }
+
+let handle_interrupt t ~enclave ~pc ~cause =
+  ignore cause;
+  let* e = get_enclave t enclave in
+  match e.Enclave.state with
+  | Enclave.Running ->
+    (* Save the interrupted context into the ECS (EMS-private) and
+       park the enclave; EMCall performs the CS register switch. *)
+    e.Enclave.saved_pc <- pc;
+    e.Enclave.state <- Enclave.Interrupted;
+    Types.Ok_unit
+  | _ -> Types.Err (Types.Bad_state (Enclave.state_name e.Enclave.state))
+
+let handle_exit t ~sender ~enclave =
+  let* e = get_enclave t enclave in
+  let* () = check_identity ~sender ~target:enclave ~strict:true in
+  let* () = Enclave.can_exit e in
+  e.Enclave.state <- Enclave.Measured;
+  Types.Ok_unit
+
+let handle_destroy t ~enclave =
+  let* e = get_enclave t enclave in
+  (* Detach any shared memory first (connections must not leak). *)
+  List.iter (fun (shm_id, _) -> detach_shm_frames t e shm_id) e.Enclave.attached_shms;
+  e.Enclave.attached_shms <- [];
+  (* Reclaim private pages: zero, return to pool. *)
+  let private_frames = Ownership.frames_of t.ownership e.Enclave.id in
+  List.iter (fun frame -> Ownership.release t.ownership ~frame) private_frames;
+  Mem_pool.give_back t.pool private_frames;
+  (* Page-table frames are enclave memory too. *)
+  let pt_frames = Page_table.node_frames e.Enclave.page_table in
+  Mem_pool.give_back t.pool pt_frames;
+  (* Staging frames were host memory: hand them back to the OS. *)
+  t.os_return ~frames:e.Enclave.staging_frames;
+  e.Enclave.staging_frames <- [];
+  (* KeyID release requires TLB+cache flush on CS (EMCall does it);
+     EMS side revokes the slot — unless it was already parked away. *)
+  if not e.Enclave.key_parked then Mem_encryption.revoke t.mee ~key_id:e.Enclave.key_id;
+  e.Enclave.state <- Enclave.Destroyed;
+  Hashtbl.remove t.enclaves enclave;
+  Types.Ok_unit
+
+(* Direct entry point for integrity containment: [Runtime] terminates
+   a compromised enclave without a round trip through dispatch. *)
+let destroy = handle_destroy
+
+let handle t ~sender (request : Types.request) =
+  match request with
+  | Types.Create { config } -> handle_create t config
+  | Types.Add { enclave; vpn; data; executable } ->
+    handle_add t ~sender ~enclave ~vpn ~data ~executable
+  | Types.Enter { enclave } -> handle_enter t ~enclave
+  | Types.Resume { enclave } -> handle_resume t ~enclave
+  | Types.Interrupt { enclave; pc; cause } -> handle_interrupt t ~enclave ~pc ~cause
+  | Types.Exit { enclave } -> handle_exit t ~sender ~enclave
+  | Types.Destroy { enclave } -> handle_destroy t ~enclave
+  | _ -> Types.Err (Types.Invalid_argument_ "request outside the lifecycle service")
+
+let register registry = Registry.register registry ~service:name ~opcodes handle

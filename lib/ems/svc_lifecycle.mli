@@ -1,0 +1,14 @@
+(** Lifecycle service: build, run, tear down enclaves.
+
+    Serves ECREATE, EADD, EENTER, ERESUME (and the interrupt save
+    path that shares its opcode), EEXIT, EDESTROY. *)
+
+val name : string
+val opcodes : Types.opcode list
+
+(** Direct destroy entry for integrity containment: terminate an
+    enclave without going through opcode dispatch. *)
+val destroy : State.t -> enclave:Types.enclave_id -> Types.response
+
+val handle : Registry.handler
+val register : Registry.t -> unit

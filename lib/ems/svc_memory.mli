@@ -1,0 +1,10 @@
+(** Memory service: dynamic enclave memory management.
+
+    Serves EALLOC (both explicit allocation and the page-fault path
+    that shares its opcode: demand paging and EWB swap-in), EFREE,
+    and EWB reclamation. *)
+
+val name : string
+val opcodes : Types.opcode list
+val handle : Registry.handler
+val register : Registry.t -> unit

@@ -1,0 +1,115 @@
+(** Shared-memory service: ESHMGET, ESHMSHR, ESHMAT, ESHMDT,
+    ESHMDES (Sec. V-A). *)
+
+module Phys_mem = Hypertee_arch.Phys_mem
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Page_table = Hypertee_arch.Page_table
+module Pte = Hypertee_arch.Pte
+open State
+
+let name = "shm"
+let opcodes = Types.[ ESHMGET; ESHMAT; ESHMDT; ESHMSHR; ESHMDES ]
+
+let handle_shmget t ~sender ~owner ~pages ~max_perm =
+  let* _e = get_enclave t owner in
+  let* () = check_identity ~sender ~target:owner ~strict:true in
+  if pages <= 0 || pages > 4096 then Types.Err (Types.Invalid_argument_ "bad page count")
+  else begin
+    match Mem_encryption.find_free_slot t.mee with
+    | None -> Types.Err Types.Out_of_key_ids
+    | Some key_id -> (
+      let* frames = take_pool_frames t ~n:pages in
+      let shm = t.next_shm_id in
+      let claim_ok =
+        List.for_all (fun frame -> Ownership.claim_shared t.ownership ~frame ~shm) frames
+      in
+      if not claim_ok then Types.Err (Types.Invalid_argument_ "frame already owned")
+      else begin
+        List.iter (fun frame -> Phys_mem.set_owner t.mem frame (Phys_mem.Shared shm)) frames;
+        (* Dedicated key derived from initial sender + ShmID (Sec. V-A). *)
+        let key = Keymgmt.shm_key t.keys ~owner ~shm_id:shm in
+        Mem_encryption.program t.mee ~key_id key;
+        List.iter (fun frame -> store_zero_page t ~key_id ~frame) frames;
+        ignore (Shm.register t.shms ~shm ~owner ~frames ~key_id ~max_perm);
+        t.next_shm_id <- shm + t.id_stride;
+        Types.Ok_shm { shm }
+      end)
+  end
+
+let handle_shmshr t ~sender ~owner ~shm ~grantee ~perm =
+  let* _e = get_enclave t owner in
+  let* () = check_identity ~sender ~target:owner ~strict:true in
+  let* _g = get_enclave t grantee in
+  (match Shm.grant t.shms ~shm ~caller:owner ~grantee ~perm with
+  | Ok () -> Types.Ok_unit
+  | Error err -> Types.Err err)
+
+let handle_shmat t ~sender ~enclave ~shm ~requested_perm =
+  let* e = get_enclave t enclave in
+  let* () = check_identity ~sender ~target:enclave ~strict:true in
+  match Shm.find t.shms shm with
+  | None -> Types.Err Types.No_such_shm
+  | Some region -> (
+    let base_vpn = e.Enclave.shm_cursor in
+    match Shm.attach t.shms ~shm ~enclave ~requested_perm ~base_vpn with
+    | Error err -> Types.Err err
+    | Ok granted ->
+      let writable = granted = Types.Read_write in
+      List.iteri
+        (fun i frame ->
+          ignore (Ownership.attach t.ownership ~frame ~enclave);
+          Page_table.map e.Enclave.page_table ~vpn:(base_vpn + i)
+            (Pte.leaf ~ppn:frame ~r:true ~w:writable ~x:false ~key_id:region.Shm.key_id))
+        region.Shm.frames;
+      let pages = List.length region.Shm.frames in
+      e.Enclave.shm_cursor <- base_vpn + pages + 1;
+      e.Enclave.attached_shms <- (shm, base_vpn) :: e.Enclave.attached_shms;
+      Types.Ok_shmat { base_vpn; pages })
+
+let handle_shmdt t ~sender ~enclave ~shm =
+  let* e = get_enclave t enclave in
+  let* () = check_identity ~sender ~target:enclave ~strict:true in
+  match List.assoc_opt shm e.Enclave.attached_shms with
+  | None -> Types.Err (Types.Invalid_argument_ "not attached")
+  | Some base_vpn -> (
+    match Shm.find t.shms shm with
+    | None -> Types.Err Types.No_such_shm
+    | Some region -> (
+      match Shm.detach t.shms ~shm ~enclave with
+      | Error err -> Types.Err err
+      | Ok () ->
+        List.iteri
+          (fun i frame ->
+            Ownership.detach t.ownership ~frame ~enclave;
+            Page_table.unmap e.Enclave.page_table ~vpn:(base_vpn + i))
+          region.Shm.frames;
+        e.Enclave.attached_shms <- List.remove_assoc shm e.Enclave.attached_shms;
+        Types.Ok_unit))
+
+let handle_shmdes t ~sender ~owner ~shm =
+  let* _e = get_enclave t owner in
+  let* () = check_identity ~sender ~target:owner ~strict:true in
+  match Shm.destroy t.shms ~shm ~caller:owner with
+  | Error err -> Types.Err err
+  | Ok region ->
+    List.iter
+      (fun frame ->
+        Ownership.release t.ownership ~frame;
+        Phys_mem.zero t.mem ~frame)
+      region.Shm.frames;
+    Mem_pool.give_back t.pool region.Shm.frames;
+    Mem_encryption.revoke t.mee ~key_id:region.Shm.key_id;
+    Types.Ok_unit
+
+let handle t ~sender (request : Types.request) =
+  match request with
+  | Types.Shmget { owner; pages; max_perm } -> handle_shmget t ~sender ~owner ~pages ~max_perm
+  | Types.Shmat { enclave; shm; requested_perm } ->
+    handle_shmat t ~sender ~enclave ~shm ~requested_perm
+  | Types.Shmdt { enclave; shm } -> handle_shmdt t ~sender ~enclave ~shm
+  | Types.Shmshr { owner; shm; grantee; perm } ->
+    handle_shmshr t ~sender ~owner ~shm ~grantee ~perm
+  | Types.Shmdes { owner; shm } -> handle_shmdes t ~sender ~owner ~shm
+  | _ -> Types.Err (Types.Invalid_argument_ "request outside the shm service")
+
+let register registry = Registry.register registry ~service:name ~opcodes handle

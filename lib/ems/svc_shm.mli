@@ -1,0 +1,8 @@
+(** Shared-memory service: owner-granted enclave-to-enclave sharing.
+
+    Serves ESHMGET, ESHMSHR, ESHMAT, ESHMDT, ESHMDES (Sec. V-A). *)
+
+val name : string
+val opcodes : Types.opcode list
+val handle : Registry.handler
+val register : Registry.t -> unit

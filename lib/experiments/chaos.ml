@@ -92,8 +92,8 @@ let run_point ~seed ~fault_rate ~ops =
   let latencies = Stats.create () in
   for _ = 1 to ops do
     let caller, request, effect = next_request rng fleet in
-    match Platform.invoke platform ~caller request with
-    | Ok (Types.Err err) ->
+    match Platform.invoke_timed platform ~caller request with
+    | Ok (Types.Err err, _) ->
       incr degraded;
       (* Resync the workload's view: an enclave the platform no
          longer serves (integrity-terminated, or its state diverged
@@ -103,9 +103,9 @@ let run_point ~seed ~fault_rate ~ops =
         ->
         drop fleet e.id
       | _ -> ())
-    | Ok response -> (
+    | Ok (response, latency_ns) -> (
       incr ok;
-      Stats.add latencies (Platform.last_invoke_ns platform);
+      Stats.add latencies latency_ns;
       match (effect, response) with
       | `Created, Types.Ok_created { enclave } ->
         fleet := { id = enclave; added = 0; measured = false; regions = [] } :: !fleet

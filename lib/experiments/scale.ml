@@ -1,0 +1,142 @@
+module Platform = Hypertee.Platform
+module Emcall = Hypertee_cs.Emcall
+module Types = Hypertee_ems.Types
+module Config = Hypertee_arch.Config
+module Cost = Hypertee_ems.Cost
+
+type point = {
+  cs_cores : int;
+  shards : int;
+  batch : int;
+  ops : int;
+  ok : int;
+  overhead_ns : float;
+  mean_latency_ns : float;
+  ems_busy_ns : float;
+  throughput_mops : float;
+}
+
+let default_batches = [ 1; 2; 4; 8; 16 ]
+let default_shards = [ 1; 2; 4; 8 ]
+let default_ops = 256
+
+(* One grid point: a fresh platform with [shards] EMS instances and
+   one enclave per CS core; [ops] EALLOC primitives issued in groups
+   of [batch], spread round-robin over the enclaves (i.e. over the
+   CS cores), each group delivered through one [Platform.invoke_batch]
+   doorbell round. *)
+let run_point ~seed ~cs_cores ~shards ~batch ~ops =
+  if cs_cores < 1 || shards < 1 || batch < 1 || ops < 1 then
+    invalid_arg "Scale.run_point: all parameters must be >= 1";
+  let config = { Config.default with Config.cs_cores; ems_shards = shards } in
+  let platform = Platform.create ~seed ~config () in
+  (* Fleet setup: ECREATE round-robins across shards inside the gate,
+     and each shard assigns ids from its own residue class, so the
+     fleet lands evenly. *)
+  let enclaves =
+    List.filter_map
+      (fun _ ->
+        match
+          Platform.invoke platform ~caller:Emcall.Os_kernel
+            (Types.Create { config = Types.default_config })
+        with
+        | Ok (Types.Ok_created { enclave }) -> Some enclave
+        | _ -> None)
+      (List.init cs_cores Fun.id)
+  in
+  let fleet = Array.of_list enclaves in
+  if Array.length fleet = 0 then failwith "Scale.run_point: no enclave could be created";
+  let alloc_request i =
+    (Emcall.User_host, Types.Alloc { enclave = fleet.(i mod Array.length fleet); pages = 1 })
+  in
+  (* The EMS-side makespan model: within one doorbell round each
+     shard serves its slice of the batch back-to-back and pays the
+     shared transport round (fabric hops + doorbell + watchdog
+     sweep) once; shards run in parallel, so the round costs the
+     *maximum* shard busy time. Aggregate throughput is served
+     primitives over the summed round makespans. *)
+  let shared_ns = Config.doorbell_shared_ns config.Config.transport in
+  let service_ns request = Cost.service_ns (Platform.Internals.cost platform) request in
+  let ok = ref 0 in
+  let latency_sum = ref 0.0 in
+  let busy_ns = ref 0.0 in
+  let issued = ref 0 in
+  while !issued < ops do
+    let k = Stdlib.min batch (ops - !issued) in
+    let requests = List.init k (fun j -> alloc_request (!issued + j)) in
+    let per_shard = Array.make shards 0.0 in
+    List.iter
+      (fun (_, request) ->
+        let s =
+          match request with
+          | Types.Alloc { enclave; _ } -> Platform.shard_of_enclave platform enclave
+          | _ -> 0
+        in
+        per_shard.(s) <- per_shard.(s) +. service_ns request)
+      requests;
+    let round_ns =
+      Array.fold_left
+        (fun acc busy -> if busy > 0.0 then Stdlib.max acc (busy +. shared_ns) else acc)
+        0.0 per_shard
+    in
+    busy_ns := !busy_ns +. round_ns;
+    List.iter
+      (function
+        | Ok (Types.Err _, _) | Error _ -> ()
+        | Ok (_, latency) ->
+          incr ok;
+          latency_sum := !latency_sum +. latency)
+      (Platform.invoke_batch platform requests);
+    issued := !issued + k
+  done;
+  {
+    cs_cores;
+    shards;
+    batch;
+    ops;
+    ok = !ok;
+    overhead_ns = Platform.batch_overhead_ns platform ~batch;
+    mean_latency_ns = (if !ok = 0 then 0.0 else !latency_sum /. float_of_int !ok);
+    ems_busy_ns = !busy_ns;
+    throughput_mops =
+      (if !busy_ns <= 0.0 then 0.0 else float_of_int !ok /. (!busy_ns /. 1e3));
+  }
+
+(* The two published sweeps: batching amortization at one shard, and
+   shard scaling at a fixed batch size. *)
+let batch_sweep ~seed ?(cs_cores = 8) ?(ops = default_ops) () =
+  List.map (fun batch -> run_point ~seed ~cs_cores ~shards:1 ~batch ~ops) default_batches
+
+let shard_sweep ~seed ?(cs_cores = 8) ?(batch = 8) ?(ops = default_ops) () =
+  List.map (fun shards -> run_point ~seed ~cs_cores ~shards ~batch ~ops) default_shards
+
+let run ~seed ?(ops = default_ops) () =
+  (batch_sweep ~seed ~ops (), shard_sweep ~seed ~ops ())
+
+let point_row p =
+  [
+    string_of_int p.cs_cores;
+    string_of_int p.shards;
+    string_of_int p.batch;
+    Printf.sprintf "%d/%d" p.ok p.ops;
+    Hypertee_util.Table.fmt_f ~digits:1 p.overhead_ns;
+    Hypertee_util.Table.fmt_f ~digits:2 (p.mean_latency_ns /. 1e3);
+    Hypertee_util.Table.fmt_f ~digits:3 p.throughput_mops;
+  ]
+
+let headers =
+  [ "CS cores"; "shards"; "batch"; "served"; "gate+transport (ns/call)"; "mean rtt (us)"; "Mops/s" ]
+
+let aligns = Hypertee_util.Table.[ Right; Right; Right; Right; Right; Right; Right ]
+
+let print ?out ~seed ?(ops = default_ops) () =
+  let batch_points, shard_points = run ~seed ~ops () in
+  let say fmt =
+    match out with
+    | None -> Printf.printf fmt
+    | Some ch -> Printf.fprintf ch fmt
+  in
+  say "batching amortization (1 shard): shared doorbell round splits over the batch\n";
+  Hypertee_util.Table.print ?out ~headers ~aligns (List.map point_row batch_points);
+  say "EMS shard scaling (batch=8): affinity-routed shards serve in parallel\n";
+  Hypertee_util.Table.print ?out ~headers ~aligns (List.map point_row shard_points)

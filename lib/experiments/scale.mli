@@ -1,0 +1,50 @@
+(** Scalability sweep: CS cores × EMS shards × doorbell batch size.
+
+    The paper's scalability argument (Sec. VII, Fig. 11) rests on
+    the EMS side keeping up as CS core count grows. This sweep
+    exercises the two mechanisms the platform has for that:
+
+    - {b batching}: one doorbell drains a batch of pending requests
+      through the EMS scheduler, so the shared transport round
+      (fabric hops + doorbell interrupt + watchdog sweep) amortizes
+      — modelled per-EMCall overhead strictly decreases with batch
+      size;
+    - {b sharding}: N independent EMS instances serve disjoint
+      enclave id classes behind the same gate, so aggregate
+      primitive throughput scales with shard count.
+
+    Deterministic given [seed]: every platform, workload decision
+    and timing draw derives from it. *)
+
+type point = {
+  cs_cores : int;
+  shards : int;
+  batch : int;
+  ops : int;  (** EALLOC primitives issued *)
+  ok : int;  (** served successfully *)
+  overhead_ns : float;
+      (** modelled per-EMCall gate + transport overhead at this
+          batch size (analytic, jitter-free) *)
+  mean_latency_ns : float;  (** measured mean round trip *)
+  ems_busy_ns : float;  (** summed EMS-side makespan of all rounds *)
+  throughput_mops : float;  (** ok / ems_busy, in primitives/us *)
+}
+
+val default_batches : int list
+val default_shards : int list
+val default_ops : int
+
+(** One grid point on a fresh platform. *)
+val run_point : seed:int64 -> cs_cores:int -> shards:int -> batch:int -> ops:int -> point
+
+(** Batching amortization at one shard (over [default_batches]). *)
+val batch_sweep : seed:int64 -> ?cs_cores:int -> ?ops:int -> unit -> point list
+
+(** Shard scaling at a fixed batch (over [default_shards]). *)
+val shard_sweep : seed:int64 -> ?cs_cores:int -> ?batch:int -> ?ops:int -> unit -> point list
+
+(** Both sweeps: [(batch_points, shard_points)]. *)
+val run : seed:int64 -> ?ops:int -> unit -> point list * point list
+
+(** Render both sweeps as tables to [out] (default stdout). *)
+val print : ?out:out_channel -> seed:int64 -> ?ops:int -> unit -> unit

@@ -42,7 +42,9 @@ let render ~headers ?aligns rows =
   let body = List.map line rows in
   String.concat "\n" ((sep :: line headers :: sep :: body) @ [ sep ])
 
-let print ~headers ?aligns rows = print_endline (render ~headers ?aligns rows)
+let print ?(out = stdout) ~headers ?aligns rows =
+  output_string out (render ~headers ?aligns rows);
+  output_char out '\n'
 let fmt_f ~digits v = Printf.sprintf "%.*f" digits v
 let pct v = Printf.sprintf "%.1f%%" v
 let speedup v = Printf.sprintf "%.1fx" v

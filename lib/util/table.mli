@@ -9,9 +9,11 @@ type align = Left | Right
     defaults to left for every column; short rows are padded. *)
 val render : headers:string list -> ?aligns:align list -> string list list -> string
 
-(** [print ~headers ?aligns rows] renders to stdout with a trailing
-    newline. *)
-val print : headers:string list -> ?aligns:align list -> string list list -> unit
+(** [print ?out ~headers ?aligns rows] renders to [out] (default
+    [stdout]) with a trailing newline — callers that capture or
+    redirect output pass their own channel, so library code never
+    hard-codes the destination. *)
+val print : ?out:out_channel -> headers:string list -> ?aligns:align list -> string list list -> unit
 
 (** Format a float with [digits] decimals, e.g. [fmt_f ~digits:1 2.04
     = "2.0"]. *)

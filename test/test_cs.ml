@@ -182,6 +182,112 @@ let test_rejection_counter () =
   ignore (Emcall.invoke emcall ~caller:Emcall.Os_kernel (request_of_opcode Types.EALLOC));
   check Alcotest.int "two rejections" 2 (Emcall.rejected emcall)
 
+(* --- Batched transport and sharded gate --- *)
+
+(* A stub EMS per shard that echoes the Alloc payload back, so tests
+   can verify which request a response belongs to. *)
+let echo_fixture ~shards () =
+  let served = Array.make shards [] in
+  let make_shard s =
+    let mailbox : (Types.request, Types.response) Mailbox.t = Mailbox.create () in
+    let ems_service () =
+      let rec drain () =
+        match Mailbox.recv_request mailbox with
+        | Some p ->
+          served.(s) <- (p.Mailbox.sender_enclave, p.Mailbox.body) :: served.(s);
+          let response =
+            match p.Mailbox.body with
+            | Types.Alloc { enclave; pages } -> Types.Ok_alloc { base_vpn = enclave; pages }
+            | _ -> Types.Ok_unit
+          in
+          (match Mailbox.send_response mailbox ~request_id:p.Mailbox.request_id response with
+          | Ok () -> ()
+          | Error `Unknown_or_answered -> Alcotest.fail "stub EMS answered twice");
+          drain ()
+        | None -> ()
+      in
+      drain ()
+    in
+    { Emcall.mailbox; ems_service }
+  in
+  let route = function
+    | Types.Alloc { enclave; _ } -> (enclave - 1) mod shards
+    | _ -> 0
+  in
+  let emcall =
+    Emcall.create_sharded
+      ~rng:(Hypertee_util.Xrng.create 9L)
+      ~transport:Config.default_transport
+      ~shards:(Array.init shards make_shard)
+      ~route
+      ~service_ns:(fun _ -> 1000.0) ()
+  in
+  (emcall, served)
+
+let test_invoke_timed_returns_latency () =
+  let emcall, _ = gate_fixture () in
+  match Emcall.invoke_timed emcall ~caller:Emcall.Os_kernel (request_of_opcode Types.ECREATE) with
+  | Ok (Types.Ok_unit, latency) ->
+    check Alcotest.bool "positive latency" true (latency > 0.0);
+    (* The returned value is the same quantity the legacy cell holds —
+       but owned by this call, so interleaved callers cannot race. *)
+    check (Alcotest.float 1e-9) "agrees with last_latency cell" (Emcall.last_latency_ns emcall)
+      latency
+  | Ok _ -> Alcotest.fail "stub EMS must answer Ok_unit"
+  | Error _ -> Alcotest.fail "gate must pass an OS-mode ECREATE"
+
+let test_batch_preserves_bindings () =
+  let emcall, served = echo_fixture ~shards:2 () in
+  let n = 9 in
+  let requests =
+    List.init n (fun i ->
+        (Emcall.User_host, Types.Alloc { enclave = i + 1; pages = 10 * (i + 1) }))
+  in
+  let results = Emcall.invoke_batch emcall requests in
+  check Alcotest.int "one result per request" n (List.length results);
+  List.iteri
+    (fun i result ->
+      match result with
+      | Ok (Types.Ok_alloc { base_vpn; pages }, latency) ->
+        (* The echo proves the response came back to the request that
+           produced it, across shard boundaries. *)
+        check Alcotest.int "response bound to its request slot" (i + 1) base_vpn;
+        check Alcotest.int "payload preserved" (10 * (i + 1)) pages;
+        check Alcotest.bool "per-call latency positive" true (latency > 0.0)
+      | _ -> Alcotest.failf "slot %d: wrong or missing response" i)
+    results;
+  check Alcotest.bool "shard 0 served its id class" true (List.length served.(0) > 0);
+  check Alcotest.bool "shard 1 served its id class" true (List.length served.(1) > 0)
+
+let test_batch_overhead_amortizes () =
+  let emcall, _ = gate_fixture () in
+  let overheads =
+    List.map (fun batch -> Emcall.per_call_overhead_ns emcall ~batch) [ 1; 2; 4; 8; 16 ]
+  in
+  let rec strictly_decreasing = function
+    | a :: (b :: _ as rest) -> a > b && strictly_decreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "per-call overhead strictly decreases with batch" true
+    (strictly_decreasing overheads);
+  Alcotest.check_raises "batch below one rejected"
+    (Invalid_argument "Emcall.per_call_overhead_ns: batch must be >= 1") (fun () ->
+      ignore (Emcall.per_call_overhead_ns emcall ~batch:0))
+
+let test_batch_rejects_only_cross_privilege_slots () =
+  let emcall, _ = echo_fixture ~shards:1 () in
+  let requests =
+    [
+      (Emcall.User_host, Types.Alloc { enclave = 1; pages = 1 });
+      (Emcall.User_host, Types.Create { config = Types.default_config });
+      (Emcall.User_host, Types.Alloc { enclave = 2; pages = 2 });
+    ]
+  in
+  (match Emcall.invoke_batch emcall requests with
+  | [ Ok _; Error Emcall.Cross_privilege; Ok _ ] -> ()
+  | _ -> Alcotest.fail "exactly the cross-privilege slot must be rejected");
+  check Alcotest.int "rejection counted" 1 (Emcall.rejected emcall)
+
 let suite =
   [
     ( "cs.os",
@@ -199,5 +305,13 @@ let suite =
         Alcotest.test_case "latency model" `Quick test_latency_model;
         Alcotest.test_case "TLB flush hooks" `Quick test_flush_hooks;
         Alcotest.test_case "rejection counter" `Quick test_rejection_counter;
+      ] );
+    ( "cs.emcall.batch",
+      [
+        Alcotest.test_case "invoke_timed returns latency" `Quick test_invoke_timed_returns_latency;
+        Alcotest.test_case "batch preserves bindings" `Quick test_batch_preserves_bindings;
+        Alcotest.test_case "batch overhead amortizes" `Quick test_batch_overhead_amortizes;
+        Alcotest.test_case "cross-privilege slot isolated" `Quick
+          test_batch_rejects_only_cross_privilege_slots;
       ] );
   ]

@@ -626,11 +626,148 @@ let test_audit_queries () =
   check Alcotest.int "by sender" 2 (List.length (Audit.by_sender a ~sender:(Some 7)));
   check Alcotest.int "host entries" 1 (List.length (Audit.by_sender a ~sender:None))
 
+let test_audit_truncation_drops_oldest () =
+  let capacity = 10 in
+  let a = Audit.create ~capacity () in
+  for i = 0 to 24 do
+    Audit.record a ~opcode:Types.EALLOC ~sender:(Some (i mod 3)) ~outcome:Audit.Served
+  done;
+  let seqs = List.map (fun e -> e.Audit.seq) (Audit.entries a) in
+  (* Truncation removes from the *old* end: the retained window is a
+     strictly increasing suffix of the full history. *)
+  check Alcotest.bool "oldest entries gone" true (List.hd seqs >= Audit.total a - capacity);
+  check Alcotest.int "newest entry kept" 24 (List.nth seqs (List.length seqs - 1));
+  let rec strictly = function
+    | a :: (b :: _ as rest) -> a < b && strictly rest
+    | _ -> true
+  in
+  check Alcotest.bool "seq strictly monotonic" true (strictly seqs)
+
+let test_audit_fault_events_truncate () =
+  let capacity = 8 in
+  let a = Audit.create ~capacity () in
+  for i = 0 to 29 do
+    Audit.record_fault a ~site:"worker" ~detail:(string_of_int i) ~recovered:(i mod 2 = 0)
+  done;
+  check Alcotest.int "fault total survives truncation" 30 (Audit.faults_total a);
+  let evs = Audit.fault_events a in
+  check Alcotest.bool "bounded retention" true (List.length evs <= capacity);
+  let seqs = List.map (fun e -> e.Audit.fault_seq) evs in
+  check Alcotest.bool "oldest fault events gone" true (List.hd seqs >= 30 - capacity);
+  check Alcotest.int "newest fault event kept" 29 (List.nth seqs (List.length seqs - 1));
+  let rec strictly = function
+    | a :: (b :: _ as rest) -> a < b && strictly rest
+    | _ -> true
+  in
+  check Alcotest.bool "fault_seq strictly monotonic" true (strictly seqs);
+  (* The two logs are independent: primitive entries untouched. *)
+  check Alcotest.int "primitive log untouched" 0 (Audit.total a)
+
 let audit_suite =
   ( "ems.audit",
     [
       Alcotest.test_case "records and truncates" `Quick test_audit_records_and_truncates;
       Alcotest.test_case "queries" `Quick test_audit_queries;
+      Alcotest.test_case "truncation drops oldest" `Quick test_audit_truncation_drops_oldest;
+      Alcotest.test_case "fault events truncate" `Quick test_audit_fault_events_truncate;
     ] )
 
 let suite = suite @ [ audit_suite ]
+
+(* --- Scheduler under batched dispatch and fault plans --- *)
+
+module Fault = Hypertee_faults.Fault
+
+let test_scheduler_same_seed_same_order () =
+  let order_with seed =
+    let s = Scheduler.create (Hypertee_util.Xrng.create seed) ~workers:3 in
+    for i = 0 to 19 do
+      Scheduler.submit s ~id:i (fun () -> ())
+    done;
+    ignore (Scheduler.dispatch s);
+    Scheduler.execution_log s
+  in
+  (* The shuffle is a function of the platform seed alone: same seed,
+     same dispatch order *and* placement. *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "same seed, same shuffled order" (order_with 42L) (order_with 42L)
+
+let test_scheduler_fairness_across_live_workers () =
+  let s = Scheduler.create (Hypertee_util.Xrng.create 7L) ~workers:4 in
+  let inj =
+    Fault.create
+      (Fault.plan [ { Fault.site = Fault.Worker_crash; schedule = Fault.Once_at 1; intensity = 0.0 } ])
+  in
+  Scheduler.set_fault_injector s inj;
+  for i = 0 to 12 do
+    Scheduler.submit s ~id:i (fun () -> ())
+  done;
+  (* The first strike kills one worker and parks its job; the rest of
+     the batch round-robins over the three survivors. *)
+  check Alcotest.int "twelve ran" 12 (Scheduler.dispatch s);
+  check Alcotest.int "crashed job parked, not lost" 1 (Scheduler.pending s);
+  check Alcotest.int "three live workers" 3 (Scheduler.alive_workers s);
+  let per_worker = Array.make 4 0 in
+  List.iter (fun (_, w) -> per_worker.(w) <- per_worker.(w) + 1) (Scheduler.execution_log s);
+  let dead = ref (-1) in
+  Array.iteri (fun w n -> if n = 0 then dead := w) per_worker;
+  check Alcotest.bool "exactly one silent worker" true (!dead >= 0);
+  Array.iteri
+    (fun w n -> if w <> !dead then check Alcotest.bool "live workers share the batch" true (n >= 12 / 4))
+    per_worker;
+  (* Watchdog revives the worker and re-queues the parked job under
+     its original id. *)
+  let report = Scheduler.watchdog_scan s in
+  check Alcotest.int "one dead worker found" 1 report.Scheduler.dead_workers;
+  check Alcotest.int "one job redispatched" 1 (List.length report.Scheduler.redispatched);
+  check Alcotest.int "recovered job runs" 1 (Scheduler.dispatch s);
+  check
+    (Alcotest.list Alcotest.int)
+    "every id executed exactly once" (List.init 13 Fun.id)
+    (List.sort compare (List.map fst (Scheduler.execution_log s)))
+
+let test_scheduler_batch_exactly_once_under_faults () =
+  let s = Scheduler.create (Hypertee_util.Xrng.create 11L) ~workers:4 in
+  let inj =
+    Fault.create
+      (Fault.plan ~seed:5L
+         [
+           { Fault.site = Fault.Worker_crash; schedule = Fault.Probability 0.2; intensity = 0.0 };
+           { Fault.site = Fault.Worker_stall; schedule = Fault.Probability 0.2; intensity = 0.0 };
+         ])
+  in
+  Scheduler.set_fault_injector s inj;
+  let counts = Array.make 40 0 in
+  for i = 0 to 39 do
+    Scheduler.submit s ~id:i (fun () -> counts.(i) <- counts.(i) + 1)
+  done;
+  (* Doorbell loop: dispatch, then the watchdog sweep — exactly the
+     per-doorbell EMS cycle of the batched transport. *)
+  let guard = ref 0 in
+  while Scheduler.pending s > 0 && !guard < 100 do
+    ignore (Scheduler.dispatch s);
+    ignore (Scheduler.watchdog_scan s);
+    incr guard
+  done;
+  check Alcotest.int "batch fully drained" 0 (Scheduler.pending s);
+  check Alcotest.bool "faults actually struck" true (Scheduler.crashes s + Scheduler.stalls s > 0);
+  Array.iteri
+    (fun i c -> check Alcotest.int (Printf.sprintf "job %d exactly once" i) 1 c)
+    counts;
+  (* Request ids survive parking/re-dispatch: the log holds every id
+     exactly once, so response bindings cannot cross. *)
+  check
+    (Alcotest.list Alcotest.int)
+    "ids preserved across recovery" (List.init 40 Fun.id)
+    (List.sort compare (List.map fst (Scheduler.execution_log s)))
+
+let scheduler_faults_suite =
+  ( "ems.scheduler.batched",
+    [
+      Alcotest.test_case "same seed, same dispatch order" `Quick test_scheduler_same_seed_same_order;
+      Alcotest.test_case "fairness across live workers" `Quick test_scheduler_fairness_across_live_workers;
+      Alcotest.test_case "exactly-once under fault plans" `Quick test_scheduler_batch_exactly_once_under_faults;
+    ] )
+
+let suite = suite @ [ scheduler_faults_suite ]

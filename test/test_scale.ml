@@ -1,0 +1,159 @@
+(* Tests for the scalability sweep (batching amortization and EMS
+   sharding) and for the enclave->shard affinity routing behind the
+   EMCall gate. *)
+
+open Hypertee
+module Scale = Hypertee_experiments.Scale
+module Types = Hypertee_ems.Types
+module Runtime = Hypertee_ems.Runtime
+module Emcall = Hypertee_cs.Emcall
+module Config = Hypertee_arch.Config
+module Fault = Hypertee_faults.Fault
+
+let check = Alcotest.check
+let seed = 0x5CA1EL
+
+let test_point_deterministic () =
+  let run () = Scale.run_point ~seed ~cs_cores:4 ~shards:2 ~batch:4 ~ops:32 in
+  check Alcotest.bool "identical seed, identical point" true (run () = run ());
+  let other = Scale.run_point ~seed:1L ~cs_cores:4 ~shards:2 ~batch:4 ~ops:32 in
+  check Alcotest.bool "different seed, different timings" true
+    ((run ()).Scale.mean_latency_ns <> other.Scale.mean_latency_ns)
+
+let test_overhead_decreases_with_batch () =
+  let points = Scale.batch_sweep ~seed ~ops:32 () in
+  check Alcotest.int "full grid" (List.length Scale.default_batches) (List.length points);
+  List.iter
+    (fun p -> check Alcotest.int "every primitive served" p.Scale.ops p.Scale.ok)
+    points;
+  let rec strictly_decreasing = function
+    | a :: (b :: _ as rest) -> a.Scale.overhead_ns > b.Scale.overhead_ns && strictly_decreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "per-EMCall overhead strictly decreases with batch" true
+    (strictly_decreasing points)
+
+let test_throughput_scales_with_shards () =
+  let points = Scale.shard_sweep ~seed ~ops:64 () in
+  check Alcotest.int "full grid" (List.length Scale.default_shards) (List.length points);
+  List.iter
+    (fun p -> check Alcotest.int "every primitive served" p.Scale.ops p.Scale.ok)
+    points;
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) ->
+      a.Scale.throughput_mops < b.Scale.throughput_mops && strictly_increasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "throughput strictly increases with shard count" true
+    (strictly_increasing points)
+
+let test_default_platform_is_single_shard () =
+  let platform = Platform.create ~seed () in
+  check Alcotest.int "one shard by default" 1 (Platform.shard_count platform);
+  check Alcotest.int "everything routes to it" 0 (Platform.shard_of_enclave platform 17)
+
+let test_affinity_routing () =
+  let shards = 4 in
+  let config = { Config.default with Config.ems_shards = shards } in
+  let platform = Platform.create ~seed ~config () in
+  let enclaves =
+    List.filter_map
+      (fun _ ->
+        match
+          Platform.invoke platform ~caller:Emcall.Os_kernel
+            (Types.Create { config = Types.default_config })
+        with
+        | Ok (Types.Ok_created { enclave }) -> Some enclave
+        | _ -> None)
+      (List.init 8 Fun.id)
+  in
+  check Alcotest.int "eight created across shards" 8 (List.length enclaves);
+  List.iter
+    (fun id ->
+      let s = Platform.shard_of_enclave platform id in
+      check Alcotest.int "affinity is the id residue class" ((id - 1) mod shards) s;
+      (* Exactly the owning shard's runtime holds the enclave. *)
+      for other = 0 to shards - 1 do
+        let holds =
+          Runtime.find_enclave (Platform.Internals.runtime_of_shard platform other) id <> None
+        in
+        check Alcotest.bool "enclave lives in its shard only" (other = s) holds
+      done)
+    enclaves;
+  (* A primitive on an enclave is served by its owning shard. *)
+  let id = List.nth enclaves 2 in
+  let owner = Platform.Internals.runtime_of_shard platform ((id - 1) mod shards) in
+  let before = Runtime.served owner Types.EALLOC in
+  (match Platform.invoke platform ~caller:Emcall.User_host (Types.Alloc { enclave = id; pages = 1 }) with
+  | Ok (Types.Ok_alloc _) -> ()
+  | _ -> Alcotest.fail "alloc through the gate failed");
+  check Alcotest.int "served by the owning shard" (before + 1) (Runtime.served owner Types.EALLOC)
+
+(* Batched invocation through the real platform keeps every response
+   bound to its request even while PR-1 fault plans drop, duplicate
+   and corrupt packets and crash workers mid-batch: the retry and
+   watchdog machinery recovers, and the measurement each slot gets
+   back is its own enclave's. *)
+let test_batch_bindings_survive_fault_plan () =
+  let plan =
+    Fault.plan ~seed:0xBADL
+      [
+        { Fault.site = Fault.Mailbox_drop; schedule = Fault.Probability 0.1; intensity = 0.0 };
+        { Fault.site = Fault.Mailbox_duplicate; schedule = Fault.Probability 0.1; intensity = 0.0 };
+        { Fault.site = Fault.Mailbox_corrupt; schedule = Fault.Probability 0.05; intensity = 0.0 };
+        { Fault.site = Fault.Transport_delay; schedule = Fault.Probability 0.2; intensity = 500.0 };
+        { Fault.site = Fault.Worker_crash; schedule = Fault.Probability 0.1; intensity = 0.0 };
+        { Fault.site = Fault.Worker_stall; schedule = Fault.Probability 0.1; intensity = 0.0 };
+      ]
+  in
+  let platform = Platform.create ~seed:0xB17CL ~faults:plan () in
+  let n = 4 in
+  let enclaves =
+    Array.init n (fun i ->
+        let image =
+          Sdk.image_of_code
+            ~code:(Bytes.of_string (Printf.sprintf "enclave body %d" i))
+            ~data:Bytes.empty ()
+        in
+        match Sdk.launch platform image with
+        | Ok enclave -> enclave
+        | Error m -> Alcotest.failf "launch %d: %s" i m)
+  in
+  (* Binding oracle: slot i asks for i+1 pages, and the response
+     echoes the page count; the heap cursor of each enclave advances
+     by exactly its own request size each round, so a response
+     crossing to the wrong slot is caught both ways. *)
+  let last_base = Array.make n (-1) in
+  for round = 1 to 3 do
+    let requests =
+      List.init n (fun i ->
+          (Emcall.User_host, Types.Alloc { enclave = enclaves.(i); pages = i + 1 }))
+    in
+    List.iteri
+      (fun i result ->
+        match result with
+        | Ok (Types.Ok_alloc { base_vpn; pages }, _) ->
+          check Alcotest.int "page count bound to its request" (i + 1) pages;
+          if round > 1 then
+            check Alcotest.int "heap cursor advanced by this slot's size"
+              (last_base.(i) + (i + 1))
+              base_vpn;
+          last_base.(i) <- base_vpn
+        | Ok _ -> Alcotest.fail "wrong response kind"
+        | Error _ -> Alcotest.fail "batched call failed despite retry budget")
+      (Platform.invoke_batch platform requests)
+  done
+
+let suite =
+  [
+    ( "experiments.scale",
+      [
+        Alcotest.test_case "point deterministic given seed" `Quick test_point_deterministic;
+        Alcotest.test_case "overhead decreases with batch" `Quick test_overhead_decreases_with_batch;
+        Alcotest.test_case "throughput scales with shards" `Quick test_throughput_scales_with_shards;
+        Alcotest.test_case "default platform single shard" `Quick test_default_platform_is_single_shard;
+        Alcotest.test_case "affinity routing" `Quick test_affinity_routing;
+        Alcotest.test_case "batch bindings survive faults" `Quick
+          test_batch_bindings_survive_fault_plan;
+      ] );
+  ]
