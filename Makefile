@@ -1,4 +1,4 @@
-.PHONY: all build test chaos-smoke check fmt clean
+.PHONY: all build test chaos-smoke bench-perf check fmt clean
 
 all: build
 
@@ -12,6 +12,12 @@ test: build
 # EMCall retry/timeout, the EMS watchdog and integrity containment.
 chaos-smoke: build
 	dune exec bench/main.exe -- chaos --smoke
+
+# Wall-clock MB/s microbenchmarks of the crypto data plane; writes
+# BENCH_perf.json so the throughput trajectory is tracked across PRs.
+# Not part of `check` — the numbers are machine-dependent.
+bench-perf: build
+	dune exec bin/hypertee_cli.exe -- perf --quick --json BENCH_perf.json
 
 # The gate for a change: everything builds, the full test suite is
 # green, and the chaos smoke sweep completes without a hang.

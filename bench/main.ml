@@ -450,6 +450,23 @@ let scale ?(ops = 256) ?(seed = 0x5CA1EL) () =
   note "        aggregate Mops/s rises with the shard count"
 
 (* ------------------------------------------------------------------ *)
+
+(* Wall-clock data-plane benchmark. Deliberately NOT part of all():
+   its numbers are machine-dependent and would make the full sweep's
+   output nondeterministic. *)
+let perf ?(quick = false) ?json () =
+  section "Perf: wall-clock crypto data plane (MB/s, real elapsed time)";
+  note "measures the implementation itself, not the timing models;";
+  note "the speedup-vs-reference row is the portable signal";
+  let samples = Hypertee_experiments.Perf.run ~quick () in
+  Hypertee_experiments.Perf.print samples;
+  match json with
+  | None -> ()
+  | Some path ->
+    Hypertee_experiments.Perf.write_json ~path samples;
+    note "wrote %d samples to %s" (List.length samples) path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the implementation's hot paths: these
    measure the real OCaml code (not the timing models). *)
 
@@ -559,7 +576,11 @@ let () =
   | _ :: [ "scale" ] -> scale ()
   | _ :: [ "scale"; "--smoke" ] -> scale ~ops:64 ()
   | _ :: [ "micro" ] -> micro ()
+  | _ :: [ "perf" ] -> perf ()
+  | _ :: [ "perf"; "--quick" ] -> perf ~quick:true ()
+  | _ :: [ "perf"; "--quick"; "--json"; path ] -> perf ~quick:true ~json:path ()
+  | _ :: [ "perf"; "--json"; path ] -> perf ~json:path ()
   | _ ->
     prerr_endline
-      "usage: main.exe [quick|table1|table2|table3|table4|table5|table6|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablations|chaos|scale|micro]";
+      "usage: main.exe [quick|table1|table2|table3|table4|table5|table6|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablations|chaos|scale|micro|perf [--quick] [--json PATH]]";
     exit 2

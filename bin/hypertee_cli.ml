@@ -313,6 +313,32 @@ let scale_cmd =
        ~doc:"Scalability sweep: CS cores x EMS shards x doorbell batch size")
     Term.(const run $ seed_arg $ ops_arg $ smoke_arg)
 
+(* --- perf --- *)
+
+let perf_cmd =
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shorter measurement windows and sweep.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the samples as a JSON array to $(docv).")
+  in
+  let run quick json =
+    Printf.printf "wall-clock data-plane benchmark (%s windows)\n"
+      (if quick then "quick" else "full");
+    let samples = Hypertee_experiments.Perf.run ~quick () in
+    Hypertee_experiments.Perf.print samples;
+    match json with
+    | None -> ()
+    | Some path ->
+      Hypertee_experiments.Perf.write_json ~path samples;
+      Printf.printf "wrote %d samples to %s\n" (List.length samples) path
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Wall-clock MB/s microbenchmarks of the crypto data plane")
+    Term.(const run $ quick_arg $ json_arg)
+
 let () =
   let doc = "HyperTEE: a decoupled TEE architecture simulator (MICRO 2024 reproduction)" in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -322,5 +348,5 @@ let () =
           (Cmd.info "hypertee" ~version:"1.0.0" ~doc)
           [
             info_cmd; demo_cmd; attest_cmd; primitives_cmd; cost_cmd; slo_cmd; area_cmd;
-            security_cmd; chaos_cmd; scale_cmd;
+            security_cmd; chaos_cmd; scale_cmd; perf_cmd;
           ]))

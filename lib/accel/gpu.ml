@@ -56,10 +56,7 @@ let load_page t ~io_vpn ~access =
     match Hashtbl.find_opt t.page_cache io_vpn with
     | Some page -> Ok (tr, page)
     | None -> (
-      match
-        Mem_encryption.load t.mee ~key_id:tr.Iommu.key_id ~frame:tr.Iommu.frame
-          (Phys_mem.read t.mem ~frame:tr.Iommu.frame)
-      with
+      match Mem_encryption.read_page t.mee t.mem ~key_id:tr.Iommu.key_id ~frame:tr.Iommu.frame with
       | page ->
         Hashtbl.replace t.page_cache io_vpn page;
         Ok (tr, page)
@@ -82,8 +79,7 @@ let writeback t =
     (fun io_vpn page ->
       match Iommu.translate t.iommu ~device:t.device ~io_vpn ~access:Iommu.Dma_read with
       | Ok tr ->
-        Phys_mem.write t.mem ~frame:tr.Iommu.frame
-          (Mem_encryption.store t.mee ~key_id:tr.Iommu.key_id ~frame:tr.Iommu.frame page)
+        Mem_encryption.write_page t.mee t.mem ~key_id:tr.Iommu.key_id ~frame:tr.Iommu.frame page
       | Error _ -> ())
     t.page_cache;
   Hashtbl.reset t.page_cache

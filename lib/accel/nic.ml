@@ -35,7 +35,7 @@ let dma_fetch t ~frame ~key_id =
   match Ihub.check t.ihub ~initiator:(Ihub.Dma t.channel) ~direction:Ihub.Load ~frame with
   | Error d -> Error (Dma_denied d)
   | Ok () -> (
-    match Mem_encryption.load t.mee ~key_id ~frame (Phys_mem.read t.mem ~frame) with
+    match Mem_encryption.read_page t.mee t.mem ~key_id ~frame with
     | page -> Ok page
     | exception Mem_encryption.Integrity_violation _ -> Error (Integrity frame))
 

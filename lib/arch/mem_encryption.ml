@@ -1,6 +1,10 @@
 exception Integrity_violation of { frame : int }
 
-type slot = { key : Hypertee_crypto.Aes.key; raw : bytes }
+type slot = {
+  key : Hypertee_crypto.Aes.key;
+  raw : bytes;
+  tweak : bytes; (* reusable 16-byte page-nonce buffer for this slot *)
+}
 
 type t = {
   table : slot option array; (* index = KeyID; 0 is bypass *)
@@ -32,7 +36,13 @@ let check_key_id t key_id =
 let program t ~key_id key =
   check_key_id t key_id;
   if Bytes.length key <> 16 then invalid_arg "Mem_encryption.program: key must be 16 bytes";
-  t.table.(key_id) <- Some { key = Hypertee_crypto.Aes.expand key; raw = Bytes.copy key }
+  t.table.(key_id) <-
+    Some
+      {
+        key = Hypertee_crypto.Aes.expand key;
+        raw = Bytes.copy key;
+        tweak = Bytes.make 16 '\000';
+      }
 
 let revoke t ~key_id =
   check_key_id t key_id;
@@ -53,18 +63,36 @@ let slot_exn t key_id =
   | Some s -> s
   | None -> invalid_arg "Mem_encryption: KeyID not programmed"
 
+(* Point the slot's reusable nonce buffer at this frame's tweak. *)
+let set_tweak slot ~frame =
+  Hypertee_util.Bytes_ext.set_u64_be slot.tweak 8 (Int64.of_int frame)
+
+let store_into t ~key_id ~frame ~src ~dst =
+  let len = Bytes.length src in
+  if Bytes.length dst <> len then invalid_arg "Mem_encryption.store_into: length mismatch";
+  if key_id = 0 then begin
+    if dst != src then Bytes.blit src 0 dst 0 len
+  end
+  else begin
+    let slot = slot_exn t key_id in
+    set_tweak slot ~frame;
+    Hypertee_crypto.Aes.ctr_into slot.key ~nonce:slot.tweak ~src ~src_off:0 ~dst ~dst_off:0 len;
+    Hashtbl.replace t.macs (key_id, frame) (Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key dst)
+  end
+
 let store t ~key_id ~frame data =
   if key_id = 0 then data
   else begin
-    let slot = slot_exn t key_id in
-    let ct = Hypertee_crypto.Aes.encrypt_page slot.key ~page_number:frame data in
-    Hashtbl.replace t.macs (key_id, frame) (Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key ct);
+    let ct = Bytes.create (Bytes.length data) in
+    store_into t ~key_id ~frame ~src:data ~dst:ct;
     ct
   end
 
 (* Injected DRAM bit flip: flip one deterministic-random bit of the
    ciphertext as the line arrives from memory. The SHA-3 MAC check
-   below must catch it — that is the integrity property under test. *)
+   below must catch it — that is the integrity property under test.
+   Never mutates [data] (which may be a borrowed DRAM page); the rare
+   fault path pays a copy. *)
 let maybe_flip t data =
   match t.faults with
   | None -> data
@@ -80,19 +108,105 @@ let maybe_flip t data =
     end
     else data
 
+(* MAC-check the full ciphertext [data] as it arrives from DRAM and
+   return the (possibly fault-flipped) buffer to decrypt from. *)
+let checked_ciphertext t ~key_id ~frame data =
+  let data = maybe_flip t data in
+  (match Hashtbl.find_opt t.macs (key_id, frame) with
+  | Some mac when mac = Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key data -> ()
+  | Some _ -> raise (Integrity_violation { frame })
+  | None ->
+    (* Never stored under this key: decrypting garbage; a real
+       engine would also MAC-fault on uninitialised lines. *)
+    raise (Integrity_violation { frame }));
+  data
+
+let load_into t ~key_id ~frame ~src ~dst =
+  let len = Bytes.length src in
+  if Bytes.length dst <> len then invalid_arg "Mem_encryption.load_into: length mismatch";
+  if key_id = 0 then begin
+    if dst != src then Bytes.blit src 0 dst 0 len
+  end
+  else begin
+    let data = checked_ciphertext t ~key_id ~frame src in
+    let slot = slot_exn t key_id in
+    set_tweak slot ~frame;
+    Hypertee_crypto.Aes.ctr_into slot.key ~nonce:slot.tweak ~src:data ~src_off:0 ~dst ~dst_off:0 len
+  end
+
+(* Decrypt only [off, off+len) of the page whose full ciphertext is
+   [src]. Integrity is still verified over the whole line — the MAC is
+   page-granular — but the keystream is only generated for the
+   requested range. *)
+let load_range_into t ~key_id ~frame ~src ~off ~len dst ~dst_off =
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Mem_encryption.load_range_into: bad slice";
+  if key_id = 0 then Bytes.blit src off dst dst_off len
+  else begin
+    let data = checked_ciphertext t ~key_id ~frame src in
+    let slot = slot_exn t key_id in
+    set_tweak slot ~frame;
+    Hypertee_crypto.Aes.ctr_into slot.key ~nonce:slot.tweak ~stream_off:off ~src:data ~src_off:off
+      ~dst ~dst_off len
+  end
+
 let load t ~key_id ~frame data =
   if key_id = 0 then data
   else begin
-    let data = maybe_flip t data in
-    let slot = slot_exn t key_id in
-    (match Hashtbl.find_opt t.macs (key_id, frame) with
-    | Some mac when mac = Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key data -> ()
-    | Some _ -> raise (Integrity_violation { frame })
-    | None ->
-      (* Never stored under this key: decrypting garbage; a real
-         engine would also MAC-fault on uninitialised lines. *)
-      raise (Integrity_violation { frame }));
-    Hypertee_crypto.Aes.decrypt_page slot.key ~page_number:frame data
+    let pt = Bytes.create (Bytes.length data) in
+    load_into t ~key_id ~frame ~src:data ~dst:pt;
+    pt
+  end
+
+(* --- Zero-copy data plane over physical memory. These helpers pair
+   the engine with [Phys_mem.borrow] so page reads and writes
+   transform DRAM in place instead of copying pages through both
+   layers. --- *)
+
+let page_size = Hypertee_util.Units.page_size
+
+(* Plaintext scratch for read-modify-write; single-threaded. *)
+let rmw_scratch = Bytes.create page_size
+
+let read_page t mem ~key_id ~frame =
+  if key_id = 0 then Phys_mem.read mem ~frame
+  else begin
+    let pt = Bytes.create page_size in
+    load_into t ~key_id ~frame ~src:(Phys_mem.borrow mem ~frame) ~dst:pt;
+    pt
+  end
+
+let read_range_into t mem ~key_id ~frame ~off ~len dst ~dst_off =
+  if key_id = 0 then Phys_mem.read_into mem ~frame ~off ~len dst ~dst_off
+  else load_range_into t ~key_id ~frame ~src:(Phys_mem.borrow mem ~frame) ~off ~len dst ~dst_off
+
+let read_range t mem ~key_id ~frame ~off ~len =
+  let out = Bytes.create len in
+  read_range_into t mem ~key_id ~frame ~off ~len out ~dst_off:0;
+  out
+
+let write_page t mem ~key_id ~frame src =
+  if Bytes.length src <> page_size then
+    invalid_arg "Mem_encryption.write_page: data must be one page";
+  let dram = Phys_mem.borrow mem ~frame in
+  if key_id = 0 then Bytes.blit src 0 dram 0 page_size
+  else store_into t ~key_id ~frame ~src ~dst:dram
+
+let update_range t mem ~key_id ~frame ~off ~src ~src_off ~len =
+  if off < 0 || len < 0 || off + len > page_size then
+    invalid_arg "Mem_encryption.update_range: bad slice";
+  if key_id = 0 then begin
+    let dram = Phys_mem.borrow mem ~frame in
+    Bytes.blit src src_off dram off len
+  end
+  else begin
+    (* Full-page read-modify-write: decrypting first keeps the
+       integrity check on the stale line (a tampered page still
+       faults even when only partially overwritten). *)
+    let dram = Phys_mem.borrow mem ~frame in
+    load_into t ~key_id ~frame ~src:dram ~dst:rmw_scratch;
+    Bytes.blit src src_off rmw_scratch off len;
+    store_into t ~key_id ~frame ~src:rmw_scratch ~dst:dram
   end
 
 let find_free_slot t =

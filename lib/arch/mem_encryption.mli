@@ -38,6 +38,50 @@ val store : t -> key_id:int -> frame:int -> bytes -> bytes
 
 val load : t -> key_id:int -> frame:int -> bytes -> bytes
 
+(** Allocation-free variants: [store_into] encrypts [src] into [dst]
+    (equal lengths; KeyID 0 is a plain copy) and records the MAC over
+    [dst]; [load_into] verifies the MAC over [src] and decrypts into
+    [dst]. [src] and [dst] may be the same buffer (in-place DRAM
+    transform). *)
+val store_into : t -> key_id:int -> frame:int -> src:bytes -> dst:bytes -> unit
+
+val load_into : t -> key_id:int -> frame:int -> src:bytes -> dst:bytes -> unit
+
+(** [load_range_into t ~key_id ~frame ~src ~off ~len dst ~dst_off]
+    decrypts only [off, off+len) of the full ciphertext page [src]
+    into [dst]. The integrity MAC is still verified over the whole
+    line; only the keystream for the requested range is generated. *)
+val load_range_into :
+  t -> key_id:int -> frame:int -> src:bytes -> off:int -> len:int -> bytes -> dst_off:int -> unit
+
+(** {2 Zero-copy data plane over physical memory}
+
+    Pairings with {!Phys_mem.borrow} that encrypt/decrypt DRAM in
+    place. KeyID 0 degenerates to plain reads/writes. *)
+
+(** [read_page t mem ~key_id ~frame] decrypts the frame into a fresh
+    page (the only allocation on the path). *)
+val read_page : t -> Phys_mem.t -> key_id:int -> frame:int -> bytes
+
+(** [read_range_into t mem ~key_id ~frame ~off ~len dst ~dst_off]
+    decrypts a sub-range of the frame straight into [dst] without any
+    intermediate page copy. *)
+val read_range_into :
+  t -> Phys_mem.t -> key_id:int -> frame:int -> off:int -> len:int -> bytes -> dst_off:int -> unit
+
+val read_range : t -> Phys_mem.t -> key_id:int -> frame:int -> off:int -> len:int -> bytes
+
+(** [write_page t mem ~key_id ~frame src] encrypts the page [src]
+    directly into the frame's DRAM buffer and records the MAC. *)
+val write_page : t -> Phys_mem.t -> key_id:int -> frame:int -> bytes -> unit
+
+(** [update_range t mem ~key_id ~frame ~off ~src ~src_off ~len]
+    read-modify-writes a sub-range of an encrypted frame in place.
+    The stale line's integrity is verified first (a tampered page
+    faults even when only partially overwritten). *)
+val update_range :
+  t -> Phys_mem.t -> key_id:int -> frame:int -> off:int -> src:bytes -> src_off:int -> len:int -> unit
+
 (** [raw_ciphertext_view] — what a physical attacker dumping DRAM
     sees — is just the stored bytes; provided for attack tests. *)
 

@@ -53,6 +53,23 @@ let write t ~frame data =
   if Bytes.length data <> page_size then invalid_arg "Phys_mem.write: data must be one page";
   t.contents.(frame) <- Some (Bytes.copy data)
 
+(* Expose the live underlying page so the memory-encryption engine can
+   encrypt/decrypt DRAM in place instead of copying pages through the
+   API. Materialises on first touch; callers own the aliasing rules
+   (see DESIGN.md "Data-plane performance"). *)
+let borrow t ~frame =
+  check_frame t frame;
+  materialize t frame
+
+let read_into t ~frame ~off ~len dst ~dst_off =
+  check_frame t frame;
+  if off < 0 || len < 0 || off + len > page_size then invalid_arg "Phys_mem.read_into: bad slice";
+  if dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Phys_mem.read_into: destination out of bounds";
+  match t.contents.(frame) with
+  | Some b -> Bytes.blit b off dst dst_off len
+  | None -> Bytes.fill dst dst_off len '\000'
+
 let read_sub t ~frame ~off ~len =
   check_frame t frame;
   if off < 0 || len < 0 || off + len > page_size then invalid_arg "Phys_mem.read_sub: bad slice";

@@ -38,6 +38,18 @@ val read : t -> frame:int -> bytes
     exactly 4096 bytes. *)
 val write : t -> frame:int -> bytes -> unit
 
+(** [borrow t ~frame] is the frame's live underlying buffer (4096
+    bytes), materialising it on first touch. Writes through the
+    result are writes to DRAM; the reference is only valid until the
+    frame is re-written via [write]. This is the zero-copy entry the
+    memory-encryption engine uses to transform pages in place. *)
+val borrow : t -> frame:int -> bytes
+
+(** [read_into t ~frame ~off ~len dst ~dst_off] copies a slice of the
+    frame into [dst] without allocating (zeros if the frame was never
+    written). *)
+val read_into : t -> frame:int -> off:int -> len:int -> bytes -> dst_off:int -> unit
+
 (** [read_sub t ~frame ~off ~len] / [write_sub t ~frame ~off data]
     partial access within one frame. *)
 val read_sub : t -> frame:int -> off:int -> len:int -> bytes

@@ -278,28 +278,23 @@ let host_access t ~table ~vpn ~access k =
 
 let host_read t ~table ~vpn ~off ~len =
   host_access t ~table ~vpn ~access:Ptw.Read (fun outcome ->
-      let raw = Phys_mem.read t.mem ~frame:outcome.Ptw.frame in
-      match Mem_encryption.load t.mee ~key_id:outcome.Ptw.key_id ~frame:outcome.Ptw.frame raw with
-      | plaintext -> Ok (Bytes.sub plaintext off len)
+      (* Decrypt only the requested range; no intermediate page copy. *)
+      match
+        Mem_encryption.read_range t.mee t.mem ~key_id:outcome.Ptw.key_id
+          ~frame:outcome.Ptw.frame ~off ~len
+      with
+      | plaintext -> Ok plaintext
       | exception Mem_encryption.Integrity_violation _ -> Error Integrity_violation)
 
 let host_write t ~table ~vpn ~off data =
   host_access t ~table ~vpn ~access:Ptw.Write (fun outcome ->
-      let frame = outcome.Ptw.frame in
-      if outcome.Ptw.key_id = 0 then begin
-        Phys_mem.write_sub t.mem ~frame ~off data;
-        Ok ()
-      end
-      else begin
-        (* Read-modify-write through the engine. *)
-        match Mem_encryption.load t.mee ~key_id:outcome.Ptw.key_id ~frame (Phys_mem.read t.mem ~frame) with
-        | plaintext ->
-          Bytes.blit data 0 plaintext off (Bytes.length data);
-          Phys_mem.write t.mem ~frame
-            (Mem_encryption.store t.mee ~key_id:outcome.Ptw.key_id ~frame plaintext);
-          Ok ()
-        | exception Mem_encryption.Integrity_violation _ -> Error Integrity_violation
-      end)
+      (* Read-modify-write through the engine, in place in DRAM. *)
+      match
+        Mem_encryption.update_range t.mee t.mem ~key_id:outcome.Ptw.key_id
+          ~frame:outcome.Ptw.frame ~off ~src:data ~src_off:0 ~len:(Bytes.length data)
+      with
+      | () -> Ok ()
+      | exception Mem_encryption.Integrity_violation _ -> Error Integrity_violation)
 
 let dma_read t ~channel ~frame =
   match Ihub.check t.ihub ~initiator:(Ihub.Dma channel) ~direction:Ihub.Load ~frame with

@@ -30,17 +30,21 @@ let pages_of_bytes b =
 
 (* Mirrors the EMS measurement: for each EADD'd page, a little-endian
    vpn header followed by the padded page contents, all chained
-   through one SHA-256 (Fig. 2's compile-time measurement). *)
+   through one SHA-256 (Fig. 2's compile-time measurement). Feeding
+   data then the shared zero page for the padding hashes the same
+   byte stream as building each padded page. *)
+let zero_pad = Bytes.make page_size '\000'
+
 let measure_pages pages =
   let ctx = Hypertee_crypto.Sha256.init () in
+  let header = Bytes.create 8 in
   List.iter
     (fun (vpn, data) ->
-      let header = Bytes.create 8 in
       Hypertee_util.Bytes_ext.set_u64_le header 0 (Int64.of_int vpn);
-      let page = Bytes.make page_size '\000' in
-      Bytes.blit data 0 page 0 (Bytes.length data);
       Hypertee_crypto.Sha256.update ctx header;
-      Hypertee_crypto.Sha256.update ctx page)
+      Hypertee_crypto.Sha256.update ctx data;
+      let pad = page_size - Bytes.length data in
+      if pad > 0 then Hypertee_crypto.Sha256.feed_sub ctx zero_pad ~off:0 ~len:pad)
     pages;
   Hypertee_crypto.Sha256.finalize ctx
 

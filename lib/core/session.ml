@@ -40,45 +40,38 @@ let rec pte_of_vpn t ~vpn ~retried =
     if (not retried) && resolve_fault t ~vpn then pte_of_vpn t ~vpn ~retried:true
     else failwith (Printf.sprintf "Session: unresolvable fault at vpn %#x" vpn)
 
-let load_page t pte =
-  let frame = pte.Pte.ppn in
-  let mee = Platform.Internals.mee t.platform in
-  let raw = Phys_mem.read (Platform.mem t.platform) ~frame in
-  Mem_encryption.load mee ~key_id:pte.Pte.key_id ~frame raw
-
-let store_page t pte plaintext =
-  let frame = pte.Pte.ppn in
-  let mee = Platform.Internals.mee t.platform in
-  Phys_mem.write (Platform.mem t.platform) ~frame
-    (Mem_encryption.store mee ~key_id:pte.Pte.key_id ~frame plaintext)
-
 let read t ~va ~len =
   check_live t;
-  let out = Buffer.create len in
-  let remaining = ref len and cursor = ref va in
+  let mee = Platform.Internals.mee t.platform in
+  let mem = Platform.mem t.platform in
+  let out = Bytes.create len in
+  let remaining = ref len and cursor = ref va and dst = ref 0 in
   while !remaining > 0 do
     let vpn = !cursor / page_size and off = !cursor mod page_size in
     let chunk = Stdlib.min !remaining (page_size - off) in
     let pte = pte_of_vpn t ~vpn ~retried:false in
     if not pte.Pte.readable then failwith "Session.read: page not readable";
-    let page = load_page t pte in
-    Buffer.add_subbytes out page off chunk;
+    (* Decrypt only the requested range, straight into the result. *)
+    Mem_encryption.read_range_into mee mem ~key_id:pte.Pte.key_id ~frame:pte.Pte.ppn ~off
+      ~len:chunk out ~dst_off:!dst;
     cursor := !cursor + chunk;
+    dst := !dst + chunk;
     remaining := !remaining - chunk
   done;
-  Buffer.to_bytes out
+  out
 
 let write t ~va data =
   check_live t;
+  let mee = Platform.Internals.mee t.platform in
+  let mem = Platform.mem t.platform in
   let remaining = ref (Bytes.length data) and cursor = ref va and src = ref 0 in
   while !remaining > 0 do
     let vpn = !cursor / page_size and off = !cursor mod page_size in
     let chunk = Stdlib.min !remaining (page_size - off) in
     let pte = pte_of_vpn t ~vpn ~retried:false in
     if not pte.Pte.writable then failwith "Session.write: page not writable";
-    let page = load_page t pte in
-    Bytes.blit data !src page off chunk;
-    store_page t pte page;
+    Mem_encryption.update_range mee mem ~key_id:pte.Pte.key_id ~frame:pte.Pte.ppn ~off ~src:data
+      ~src_off:!src ~len:chunk;
     cursor := !cursor + chunk;
     src := !src + chunk;
     remaining := !remaining - chunk

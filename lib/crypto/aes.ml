@@ -1,6 +1,20 @@
 (* AES-128 per FIPS 197. The S-box is computed at load time from the
    GF(2^8) inverse plus the affine transform rather than pasted as a
-   table, which also documents where the constants come from. *)
+   table, which also documents where the constants come from.
+
+   Two encryption paths coexist:
+
+   - the *T-table* path: SubBytes/ShiftRows/MixColumns fused into four
+     256-entry 32-bit tables, one lookup per state byte per round, with
+     [_into] variants that write into caller (or module) scratch. This
+     is the data plane behind the memory-encryption engine.
+   - the original byte-array *reference* path, retained for decryption
+     (which is cold) and as [ctr_reference] so tests and the perf
+     harness can assert the fast path is bit-identical and measure the
+     speedup.
+
+   The module-level scratch buffers follow the same convention as
+   [Keccak]: the simulator is single-threaded, so sharing is safe. *)
 
 let block_size = 16
 
@@ -40,9 +54,32 @@ let sbox, inv_sbox =
   done;
   (s, inv)
 
+(* --- Fused T-tables. te0.(x) packs the MixColumns column produced by
+   the substituted byte [sbox.(x)] landing in row 0 after ShiftRows;
+   te1..te3 are the same column rotated for rows 1..3. One round of
+   SubBytes+ShiftRows+MixColumns for an output column is then four
+   table lookups XORed together. Words are big-endian packed (row 0 in
+   the top byte), matching [Bytes.get_int32_be] on the input block. *)
+
+let te0, te1, te2, te3 =
+  let t0 = Array.make 256 0 and t1 = Array.make 256 0 in
+  let t2 = Array.make 256 0 and t3 = Array.make 256 0 in
+  for x = 0 to 255 do
+    let s = sbox.(x) in
+    let s2 = gmul s 2 and s3 = gmul s 3 in
+    t0.(x) <- (s2 lsl 24) lor (s lsl 16) lor (s lsl 8) lor s3;
+    t1.(x) <- (s3 lsl 24) lor (s2 lsl 16) lor (s lsl 8) lor s;
+    t2.(x) <- (s lsl 24) lor (s3 lsl 16) lor (s2 lsl 8) lor s;
+    t3.(x) <- (s lsl 24) lor (s lsl 16) lor (s3 lsl 8) lor s2
+  done;
+  (t0, t1, t2, t3)
+
 (* --- Key schedule --- *)
 
-type key = { enc : int array array (* 11 round keys of 16 bytes *) }
+type key = {
+  enc : int array array; (* 11 round keys of 16 bytes (reference/decrypt path) *)
+  rk : int array; (* the same schedule as 44 big-endian-packed 32-bit words *)
+}
 
 let expand key_bytes =
   if Bytes.length key_bytes <> 16 then invalid_arg "Aes.expand: key must be 16 bytes";
@@ -68,12 +105,15 @@ let expand key_bytes =
   let enc =
     Array.init 11 (fun r -> Array.init 16 (fun j -> w.((4 * r) + (j / 4)).(j mod 4)))
   in
-  { enc }
+  let rk =
+    Array.init 44 (fun i ->
+        (w.(i).(0) lsl 24) lor (w.(i).(1) lsl 16) lor (w.(i).(2) lsl 8) lor w.(i).(3))
+  in
+  { enc; rk }
 
-(* --- Rounds. State is a 16-byte int array in column-major order,
-   matching the round-key layout above. The GF multiplications by the
-   fixed MixColumns coefficients are table lookups (this is the hot
-   path of the whole memory-encryption model). --- *)
+(* --- Reference rounds. State is a 16-byte int array in column-major
+   order, matching the round-key layout above. Kept for decryption and
+   as the baseline the T-table path is checked against. --- *)
 
 let mul_table k = Array.init 256 (fun a -> gmul a k)
 let m2 = mul_table 2
@@ -145,7 +185,7 @@ let bytes_of_state state =
   Array.iteri (fun i v -> Bytes.set out i (Char.chr v)) state;
   out
 
-let encrypt_block key src =
+let encrypt_block_ref key src =
   let state = state_of_bytes src in
   add_round_key state key.enc.(0);
   for round = 1 to 9 do
@@ -173,50 +213,233 @@ let decrypt_block key src =
   add_round_key state key.enc.(0);
   bytes_of_state state
 
+(* --- T-table encryption. The state is four 32-bit column words; the
+   ShiftRows rotation shows up as each output column sampling a byte
+   from columns c, c+1, c+2, c+3 (mod 4). Written as a tail-recursive
+   round function over native ints so a block encryption performs no
+   allocation at all; the four output words land in [out]. *)
+
+let rec rounds rk r s0 s1 s2 s3 (out : int array) =
+  if r = 10 then begin
+    out.(0) <-
+      ((sbox.((s0 lsr 24) land 0xFF) lsl 24)
+      lor (sbox.((s1 lsr 16) land 0xFF) lsl 16)
+      lor (sbox.((s2 lsr 8) land 0xFF) lsl 8)
+      lor sbox.(s3 land 0xFF))
+      lxor rk.(40);
+    out.(1) <-
+      ((sbox.((s1 lsr 24) land 0xFF) lsl 24)
+      lor (sbox.((s2 lsr 16) land 0xFF) lsl 16)
+      lor (sbox.((s3 lsr 8) land 0xFF) lsl 8)
+      lor sbox.(s0 land 0xFF))
+      lxor rk.(41);
+    out.(2) <-
+      ((sbox.((s2 lsr 24) land 0xFF) lsl 24)
+      lor (sbox.((s3 lsr 16) land 0xFF) lsl 16)
+      lor (sbox.((s0 lsr 8) land 0xFF) lsl 8)
+      lor sbox.(s1 land 0xFF))
+      lxor rk.(42);
+    out.(3) <-
+      ((sbox.((s3 lsr 24) land 0xFF) lsl 24)
+      lor (sbox.((s0 lsr 16) land 0xFF) lsl 16)
+      lor (sbox.((s1 lsr 8) land 0xFF) lsl 8)
+      lor sbox.(s2 land 0xFF))
+      lxor rk.(43)
+  end
+  else begin
+    let base = 4 * r in
+    let t0 =
+      te0.((s0 lsr 24) land 0xFF) lxor te1.((s1 lsr 16) land 0xFF)
+      lxor te2.((s2 lsr 8) land 0xFF) lxor te3.(s3 land 0xFF) lxor rk.(base)
+    in
+    let t1 =
+      te0.((s1 lsr 24) land 0xFF) lxor te1.((s2 lsr 16) land 0xFF)
+      lxor te2.((s3 lsr 8) land 0xFF) lxor te3.(s0 land 0xFF) lxor rk.(base + 1)
+    in
+    let t2 =
+      te0.((s2 lsr 24) land 0xFF) lxor te1.((s3 lsr 16) land 0xFF)
+      lxor te2.((s0 lsr 8) land 0xFF) lxor te3.(s1 land 0xFF) lxor rk.(base + 2)
+    in
+    let t3 =
+      te0.((s3 lsr 24) land 0xFF) lxor te1.((s0 lsr 16) land 0xFF)
+      lxor te2.((s1 lsr 8) land 0xFF) lxor te3.(s2 land 0xFF) lxor rk.(base + 3)
+    in
+    rounds rk (r + 1) t0 t1 t2 t3 out
+  end
+
+let get_word b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF
+
+(* Encrypt the block at [src+src_off], leaving the four ciphertext
+   words in [out]. *)
+let encrypt_words key src ~src_off (out : int array) =
+  let rk = key.rk in
+  rounds rk 1
+    (get_word src src_off lxor rk.(0))
+    (get_word src (src_off + 4) lxor rk.(1))
+    (get_word src (src_off + 8) lxor rk.(2))
+    (get_word src (src_off + 12) lxor rk.(3))
+    out
+
+(* Shared output-word scratch for the block API (single-threaded). *)
+let block_words = Array.make 4 0
+
+let encrypt_block_into key src ~src_off dst ~dst_off =
+  if src_off < 0 || src_off + 16 > Bytes.length src
+     || dst_off < 0 || dst_off + 16 > Bytes.length dst
+  then invalid_arg "Aes.encrypt_block_into: block out of bounds";
+  encrypt_words key src ~src_off block_words;
+  Bytes.set_int32_be dst dst_off (Int32.of_int block_words.(0));
+  Bytes.set_int32_be dst (dst_off + 4) (Int32.of_int block_words.(1));
+  Bytes.set_int32_be dst (dst_off + 8) (Int32.of_int block_words.(2));
+  Bytes.set_int32_be dst (dst_off + 12) (Int32.of_int block_words.(3))
+
+let encrypt_block key src =
+  if Bytes.length src <> 16 then invalid_arg "Aes: block must be 16 bytes";
+  let out = Bytes.create 16 in
+  encrypt_block_into key src ~src_off:0 out ~dst_off:0;
+  out
+
+(* --- CTR mode. The nonce seeds a 16-byte counter whose low 64 bits
+   increment big-endian per block. The counter and keystream words are
+   module-level scratch; [ctr_into] streams src -> dst (aliasing
+   allowed) without allocating. --- *)
+
+(* Increment the low 64 bits of [counter] big-endian (one shared copy
+   of the bump logic; [ctr_reference] keeps its own verbatim). *)
+let bump counter =
+  let rec go i =
+    if i >= 8 then ()
+    else begin
+      let v = (Char.code (Bytes.get counter (15 - i)) + 1) land 0xFF in
+      Bytes.set counter (15 - i) (Char.chr v);
+      if v = 0 then go (i + 1)
+    end
+  in
+  go 0
+
+(* Advance the low 64 bits by [n] blocks at once: identical to [n]
+   bumps since both wrap modulo 2^64. *)
+let advance counter n =
+  if n <> 0 then begin
+    let lo = Hypertee_util.Bytes_ext.get_u64_be counter 8 in
+    Hypertee_util.Bytes_ext.set_u64_be counter 8 (Int64.add lo (Int64.of_int n))
+  end
+
+let ctr_counter = Bytes.create 16
+let ctr_words = Array.make 4 0
+
+(* XOR one keystream byte (big-endian position [i] within the block)
+   into a single src byte. Used only for ragged head/tail bytes. *)
+let xor_byte src src_i dst dst_i i =
+  let ks = (ctr_words.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xFF in
+  Bytes.set dst dst_i (Char.chr (Char.code (Bytes.get src src_i) lxor ks))
+
+let ctr_into key ~nonce ?(stream_off = 0) ~src ~src_off ~dst ~dst_off len =
+  if Bytes.length nonce <> 16 then invalid_arg "Aes.ctr: nonce must be 16 bytes";
+  if len < 0 || src_off < 0 || dst_off < 0 || stream_off < 0
+     || src_off + len > Bytes.length src
+     || dst_off + len > Bytes.length dst
+  then invalid_arg "Aes.ctr_into: slice out of bounds";
+  Bytes.blit nonce 0 ctr_counter 0 16;
+  advance ctr_counter (stream_off / 16);
+  let lead = stream_off mod 16 in
+  let pos = ref 0 in
+  (* Ragged head: keystream offset [lead] within the first block. *)
+  if lead <> 0 && len > 0 then begin
+    encrypt_words key ctr_counter ~src_off:0 ctr_words;
+    bump ctr_counter;
+    let n = Stdlib.min (16 - lead) len in
+    for i = 0 to n - 1 do
+      xor_byte src (src_off + i) dst (dst_off + i) (lead + i)
+    done;
+    pos := n
+  end;
+  (* Full blocks: word-wise XOR. *)
+  while len - !pos >= 16 do
+    encrypt_words key ctr_counter ~src_off:0 ctr_words;
+    bump ctr_counter;
+    let s = src_off + !pos and d = dst_off + !pos in
+    Bytes.set_int32_be dst d
+      (Int32.logxor (Bytes.get_int32_be src s) (Int32.of_int ctr_words.(0)));
+    Bytes.set_int32_be dst (d + 4)
+      (Int32.logxor (Bytes.get_int32_be src (s + 4)) (Int32.of_int ctr_words.(1)));
+    Bytes.set_int32_be dst (d + 8)
+      (Int32.logxor (Bytes.get_int32_be src (s + 8)) (Int32.of_int ctr_words.(2)));
+    Bytes.set_int32_be dst (d + 12)
+      (Int32.logxor (Bytes.get_int32_be src (s + 12)) (Int32.of_int ctr_words.(3)));
+    pos := !pos + 16
+  done;
+  (* Ragged tail. *)
+  let rem = len - !pos in
+  if rem > 0 then begin
+    encrypt_words key ctr_counter ~src_off:0 ctr_words;
+    for i = 0 to rem - 1 do
+      xor_byte src (src_off + !pos + i) dst (dst_off + !pos + i) i
+    done
+  end
+
 let ctr key ~nonce data =
+  let len = Bytes.length data in
+  let out = Bytes.create len in
+  ctr_into key ~nonce ~src:data ~src_off:0 ~dst:out ~dst_off:0 len;
+  out
+
+(* The pre-T-table CTR implementation, verbatim (including its
+   per-block allocations). The perf harness measures the fast path
+   against this, and tests assert bit-identical output. *)
+let ctr_reference key ~nonce data =
   if Bytes.length nonce <> 16 then invalid_arg "Aes.ctr: nonce must be 16 bytes";
   let len = Bytes.length data in
   let out = Bytes.copy data in
   let counter = Bytes.copy nonce in
-  let bump () =
-    (* Increment the low 64 bits big-endian. *)
-    let rec go i = if i >= 8 then () else
-      let v = (Char.code (Bytes.get counter (15 - i)) + 1) land 0xFF in
-      Bytes.set counter (15 - i) (Char.chr v);
-      if v = 0 then go (i + 1)
-    in
-    go 0
-  in
   let blocks = (len + 15) / 16 in
   for b = 0 to blocks - 1 do
-    let ks = encrypt_block key counter in
+    let ks = encrypt_block_ref key counter in
     let off = 16 * b in
     let n = Stdlib.min 16 (len - off) in
     for i = 0 to n - 1 do
       Bytes.set out (off + i)
         (Char.chr (Char.code (Bytes.get out (off + i)) lxor Char.code (Bytes.get ks i)))
     done;
-    bump ()
+    bump counter
   done;
   out
 
-let tweak_nonce ~page_number =
-  let nonce = Bytes.make 16 '\000' in
-  Hypertee_util.Bytes_ext.set_u64_be nonce 8 (Int64.of_int page_number);
-  nonce
+(* --- Tweaked page encryption. The page number lands big-endian in
+   the low 8 bytes of a reusable nonce buffer. --- *)
 
-let encrypt_page key ~page_number data = ctr key ~nonce:(tweak_nonce ~page_number) data
-let decrypt_page key ~page_number data = ctr key ~nonce:(tweak_nonce ~page_number) data
+let page_nonce = Bytes.make 16 '\000'
+
+let set_page_nonce ~page_number =
+  Hypertee_util.Bytes_ext.set_u64_be page_nonce 8 (Int64.of_int page_number)
+
+let encrypt_page_into key ~page_number ?(page_off = 0) ~src ~src_off ~dst ~dst_off len =
+  set_page_nonce ~page_number;
+  ctr_into key ~nonce:page_nonce ~stream_off:page_off ~src ~src_off ~dst ~dst_off len
+
+let decrypt_page_into = encrypt_page_into
+
+let encrypt_page key ~page_number data =
+  set_page_nonce ~page_number;
+  ctr key ~nonce:page_nonce data
+
+let decrypt_page = encrypt_page
+
+(* --- CBC-MAC. One block of scratch; the accumulator doubles as the
+   output, so the whole MAC performs a single allocation. --- *)
+
+let cbc_block = Bytes.create 16
 
 let cbc_mac key data =
   let len = Bytes.length data in
   let blocks = (len + 15) / 16 in
-  let acc = ref (Bytes.make 16 '\000') in
-  for b = 0 to Stdlib.max 0 (blocks - 1) do
-    let block = Bytes.make 16 '\000' in
+  let acc = Bytes.make 16 '\000' in
+  for b = 0 to blocks - 1 do
     let off = 16 * b in
-    Bytes.blit data off block 0 (Stdlib.min 16 (len - off));
-    acc := encrypt_block key (Hypertee_util.Bytes_ext.xor !acc block)
+    Bytes.fill cbc_block 0 16 '\000';
+    Bytes.blit data off cbc_block 0 (Stdlib.min 16 (len - off));
+    Hypertee_util.Bytes_ext.xor_into ~src:acc ~dst:cbc_block;
+    encrypt_block_into key cbc_block ~src_off:0 acc ~dst_off:0
   done;
-  if blocks = 0 then acc := encrypt_block key !acc;
-  !acc
+  if blocks = 0 then encrypt_block_into key acc ~src_off:0 acc ~dst_off:0;
+  acc

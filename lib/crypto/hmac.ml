@@ -1,19 +1,31 @@
 let block = 64 (* SHA-256 block size *)
 
+(* Reused pad buffer and contexts (single-threaded): the padded key is
+   XORed to the ipad in place, then flipped to the opad by XORing with
+   0x36 lxor 0x5c. Only the inner digest and the result allocate. *)
+let pad = Bytes.create block
+let inner = Sha256.init ()
+let outer = Sha256.init ()
+let inner_digest = Bytes.create 32
+
 let hmac ~key msg =
   let key =
     if Bytes.length key > block then Sha256.digest key else key
   in
-  let k = Bytes.make block '\000' in
-  Bytes.blit key 0 k 0 (Bytes.length key);
-  let ipad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x36)) k in
-  let opad = Bytes.map (fun c -> Char.chr (Char.code c lxor 0x5c)) k in
-  let inner = Sha256.init () in
-  Sha256.update inner ipad;
+  Bytes.fill pad 0 block '\000';
+  Bytes.blit key 0 pad 0 (Bytes.length key);
+  for i = 0 to block - 1 do
+    Bytes.set pad i (Char.chr (Char.code (Bytes.get pad i) lxor 0x36))
+  done;
+  Sha256.reset inner;
+  Sha256.update inner pad;
   Sha256.update inner msg;
-  let inner_digest = Sha256.finalize inner in
-  let outer = Sha256.init () in
-  Sha256.update outer opad;
+  Sha256.finalize_into inner inner_digest ~off:0;
+  for i = 0 to block - 1 do
+    Bytes.set pad i (Char.chr (Char.code (Bytes.get pad i) lxor (0x36 lxor 0x5c)))
+  done;
+  Sha256.reset outer;
+  Sha256.update outer pad;
   Sha256.update outer inner_digest;
   Sha256.finalize outer
 

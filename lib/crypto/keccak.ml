@@ -67,54 +67,85 @@ let keccak_f state =
 
 let rate_bytes = 136 (* 1088 bits *)
 
-let sha3_256 msg =
-  let state = Array.make 25 0L in
-  let len = Bytes.length msg in
-  (* Absorb full rate blocks. *)
-  let absorb_block block off blen =
-    (* Build a padded 136-byte buffer view lane by lane. *)
-    for lane = 0 to (rate_bytes / 8) - 1 do
-      let acc = ref 0L in
-      for byte = 7 downto 0 do
-        let idx = (lane * 8) + byte in
-        let v = if idx < blen then Char.code (Bytes.get block (off + idx)) else 0 in
-        acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int v)
-      done;
-      state.(lane) <- Int64.logxor state.(lane) !acc
-    done;
-    keccak_f state
-  in
-  let full_blocks = len / rate_bytes in
-  for i = 0 to full_blocks - 1 do
-    absorb_block msg (i * rate_bytes) rate_bytes
+(* Module-level sponge (state + partial-block buffer), reset before
+   each digest. Lanes absorb as whole little-endian 64-bit word loads
+   rather than byte-by-byte; the partial buffer only sees ragged
+   message tails. Single-threaded simulator, so sharing is safe. *)
+let st = Array.make 25 0L
+let partial = Bytes.create rate_bytes
+let partial_len = ref 0
+
+let sponge_reset () =
+  Array.fill st 0 25 0L;
+  partial_len := 0
+
+(* XOR one full rate block at [block+off] into the state and permute. *)
+let absorb_block block off =
+  for lane = 0 to (rate_bytes / 8) - 1 do
+    st.(lane) <- Int64.logxor st.(lane) (Bytes.get_int64_le block (off + (8 * lane)))
   done;
-  (* Final block with pad10*1 and SHA-3 domain bits 0b01 -> 0x06. *)
-  let tail_len = len - (full_blocks * rate_bytes) in
-  let final = Bytes.make rate_bytes '\000' in
-  Bytes.blit msg (full_blocks * rate_bytes) final 0 tail_len;
-  Bytes.set final tail_len '\x06';
-  Bytes.set final (rate_bytes - 1)
-    (Char.chr (Char.code (Bytes.get final (rate_bytes - 1)) lor 0x80));
-  absorb_block final 0 rate_bytes;
-  (* Squeeze 32 bytes (< rate, single squeeze). *)
-  let out = Bytes.create 32 in
+  keccak_f st
+
+let absorb msg ~off ~len =
+  let pos = ref off and remaining = ref len in
+  if !partial_len > 0 then begin
+    let take = Stdlib.min !remaining (rate_bytes - !partial_len) in
+    Bytes.blit msg !pos partial !partial_len take;
+    partial_len := !partial_len + take;
+    pos := !pos + take;
+    remaining := !remaining - take;
+    if !partial_len = rate_bytes then begin
+      absorb_block partial 0;
+      partial_len := 0
+    end
+  end;
+  while !remaining >= rate_bytes do
+    absorb_block msg !pos;
+    pos := !pos + rate_bytes;
+    remaining := !remaining - rate_bytes
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit msg !pos partial 0 !remaining;
+    partial_len := !partial_len + !remaining
+  end
+
+(* pad10*1 with SHA-3 domain bits 0b01 -> 0x06, then squeeze 32 bytes
+   (< rate, single squeeze) into [out+off]. *)
+let finalize_into out ~off =
+  Bytes.fill partial !partial_len (rate_bytes - !partial_len) '\000';
+  Bytes.set partial !partial_len '\x06';
+  Bytes.set partial (rate_bytes - 1)
+    (Char.chr (Char.code (Bytes.get partial (rate_bytes - 1)) lor 0x80));
+  absorb_block partial 0;
   for lane = 0 to 3 do
-    Hypertee_util.Bytes_ext.set_u64_le out (8 * lane) state.(lane)
-  done;
+    Hypertee_util.Bytes_ext.set_u64_le out (off + (8 * lane)) st.(lane)
+  done
+
+let sha3_256 msg =
+  sponge_reset ();
+  absorb msg ~off:0 ~len:(Bytes.length msg);
+  let out = Bytes.create 32 in
+  finalize_into out ~off:0;
   out
 
 let sha3_256_string s = sha3_256 (Bytes.of_string s)
 
+(* Digest scratch for the MAC path: the tag is an int, so nothing the
+   caller sees aliases this buffer. *)
+let mac_digest = Bytes.create 32
+
 let mac_28bit ~key data =
-  let buf = Bytes.create (Bytes.length key + Bytes.length data) in
-  Bytes.blit key 0 buf 0 (Bytes.length key);
-  Bytes.blit data 0 buf (Bytes.length key) (Bytes.length data);
-  let d = sha3_256 buf in
+  (* Streaming key || data through the sponge is byte-identical to
+     hashing their concatenation, minus the concat buffer. *)
+  sponge_reset ();
+  absorb key ~off:0 ~len:(Bytes.length key);
+  absorb data ~off:0 ~len:(Bytes.length data);
+  finalize_into mac_digest ~off:0;
   (* Truncate to 28 bits, matching the engine's per-line tag width. *)
   let v =
-    (Char.code (Bytes.get d 0) lsl 24)
-    lor (Char.code (Bytes.get d 1) lsl 16)
-    lor (Char.code (Bytes.get d 2) lsl 8)
-    lor Char.code (Bytes.get d 3)
+    (Char.code (Bytes.get mac_digest 0) lsl 24)
+    lor (Char.code (Bytes.get mac_digest 1) lsl 16)
+    lor (Char.code (Bytes.get mac_digest 2) lsl 8)
+    lor Char.code (Bytes.get mac_digest 3)
   in
   v land 0xFFFFFFF

@@ -4,10 +4,25 @@
 
 type t = { levels : bytes array array }
 
-let leaf_hash block = Sha256.digest (Bytes.cat (Bytes.of_string "\x00leaf") block)
+(* Domain tags and a reused context: feeding tag and operands through
+   one streaming context hashes the same byte sequence as the old
+   concat-then-digest, without building the concatenation. *)
+let leaf_tag = Bytes.of_string "\x00leaf"
+let node_tag = Bytes.of_string "\x01node"
+let hctx = Sha256.init ()
+
+let leaf_hash block =
+  Sha256.reset hctx;
+  Sha256.update hctx leaf_tag;
+  Sha256.update hctx block;
+  Sha256.finalize hctx
 
 let node_hash left right =
-  Sha256.digest (Bytes.concat Bytes.empty [ Bytes.of_string "\x01node"; left; right ])
+  Sha256.reset hctx;
+  Sha256.update hctx node_tag;
+  Sha256.update hctx left;
+  Sha256.update hctx right;
+  Sha256.finalize hctx
 
 let parent_level level =
   let n = Array.length level in

@@ -26,31 +26,31 @@ type ctx = {
   w : int array; (* message schedule scratch *)
 }
 
+let iv =
+  [|
+    0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
+    0x1f83d9ab; 0x5be0cd19;
+  |]
+
 let init () =
-  {
-    h =
-      [|
-        0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a; 0x510e527f; 0x9b05688c;
-        0x1f83d9ab; 0x5be0cd19;
-      |];
-    buf = Bytes.create 64;
-    buf_len = 0;
-    total = 0;
-    w = Array.make 64 0;
-  }
+  { h = Array.copy iv; buf = Bytes.create 64; buf_len = 0; total = 0; w = Array.make 64 0 }
+
+(* Rewind a context to the freshly-initialised state so hot callers
+   (HMAC, Merkle) can reuse one allocation. *)
+let reset ctx =
+  Array.blit iv 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- 0
 
 let mask32 = 0xFFFFFFFF
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
 
 let compress ctx block off =
   let w = ctx.w in
+  (* Whole-word loads; the mask brings the (possibly negative) int32
+     into the 0..2^32-1 range the additive steps expect. *)
   for i = 0 to 15 do
-    let base = off + (4 * i) in
-    w.(i) <-
-      (Char.code (Bytes.get block base) lsl 24)
-      lor (Char.code (Bytes.get block (base + 1)) lsl 16)
-      lor (Char.code (Bytes.get block (base + 2)) lsl 8)
-      lor Char.code (Bytes.get block (base + 3))
+    w.(i) <- Int32.to_int (Bytes.get_int32_be block (off + (4 * i))) land 0xFFFFFFFF
   done;
   for i = 16 to 63 do
     let s0 = rotr w.(i - 15) 7 lxor rotr w.(i - 15) 18 lxor (w.(i - 15) lsr 3) in
@@ -114,24 +114,36 @@ let update_sub ctx b ~off ~len =
 
 let update ctx b = update_sub ctx b ~off:0 ~len:(Bytes.length b)
 
-let finalize ctx =
+(* [feed_sub] is the name the data-plane callers use; identical to
+   [update_sub]. *)
+let feed_sub = update_sub
+
+(* Padding scratch: at most 64 pad bytes plus the 8-byte length. *)
+let pad_scratch = Bytes.create 72
+
+let finalize_into ctx dst ~off =
+  if off < 0 || off + 32 > Bytes.length dst then
+    invalid_arg "Sha256.finalize_into: digest out of bounds";
   let bit_len = Int64.mul (Int64.of_int ctx.total) 8L in
   (* Pad: 0x80, zeros, 8-byte big-endian bit length. *)
   let pad_len =
     let rem = (ctx.total + 1 + 8) mod 64 in
     if rem = 0 then 1 else 1 + (64 - rem)
   in
-  let pad = Bytes.make (pad_len + 8) '\000' in
-  Bytes.set pad 0 '\x80';
-  Hypertee_util.Bytes_ext.set_u64_be pad pad_len bit_len;
+  Bytes.fill pad_scratch 0 (pad_len + 8) '\000';
+  Bytes.set pad_scratch 0 '\x80';
+  Hypertee_util.Bytes_ext.set_u64_be pad_scratch pad_len bit_len;
   (* Absorb padding without recounting it in [total]. *)
   let saved_total = ctx.total in
-  update ctx pad;
+  update_sub ctx pad_scratch ~off:0 ~len:(pad_len + 8);
   ctx.total <- saved_total;
-  let out = Bytes.create 32 in
   for i = 0 to 7 do
-    Hypertee_util.Bytes_ext.set_u32_be out (4 * i) (Int32.of_int ctx.h.(i))
-  done;
+    Hypertee_util.Bytes_ext.set_u32_be dst (off + (4 * i)) (Int32.of_int ctx.h.(i))
+  done
+
+let finalize ctx =
+  let out = Bytes.create 32 in
+  finalize_into ctx out ~off:0;
   out
 
 let digest b =

@@ -11,15 +11,27 @@ val digest_size : int
 (** Fresh hashing context. *)
 val init : unit -> ctx
 
+(** [reset ctx] rewinds a context to the freshly-initialised state so
+    hot callers can reuse one allocation across digests. *)
+val reset : ctx -> unit
+
 (** [update ctx b] absorbs all of [b]. *)
 val update : ctx -> bytes -> unit
 
 (** [update_sub ctx b ~off ~len] absorbs a slice. *)
 val update_sub : ctx -> bytes -> off:int -> len:int -> unit
 
+(** [feed_sub ctx b ~off ~len] absorbs a slice without copying it
+    first — the data-plane name for [update_sub]. *)
+val feed_sub : ctx -> bytes -> off:int -> len:int -> unit
+
 (** [finalize ctx] pads and produces the 32-byte digest. The context
-    must not be used afterwards. *)
+    must not be used afterwards (or must be [reset] first). *)
 val finalize : ctx -> bytes
+
+(** [finalize_into ctx dst ~off] writes the 32-byte digest at
+    [dst+off] without allocating. *)
+val finalize_into : ctx -> bytes -> off:int -> unit
 
 (** One-shot digest. *)
 val digest : bytes -> bytes

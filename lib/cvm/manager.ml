@@ -55,11 +55,11 @@ let ( let* ) = Result.bind
 
 let store_page t cvm ~page data =
   let frame = cvm.frames.(page) in
-  Phys_mem.write (mem t) ~frame (Mem_encryption.store (mee t) ~key_id:cvm.key_id ~frame data)
+  Mem_encryption.write_page (mee t) (mem t) ~key_id:cvm.key_id ~frame data
 
-let load_page t cvm ~page =
-  let frame = cvm.frames.(page) in
-  Mem_encryption.load (mee t) ~key_id:cvm.key_id ~frame (Phys_mem.read (mem t) ~frame)
+(* Reused page scratch for bulk image/snapshot streaming
+   (single-threaded, consumed before the next call). *)
+let page_scratch = Bytes.make page_size '\000'
 
 let launch t ~vcpus ~memory_pages ~image =
   if vcpus <= 0 || memory_pages <= 0 then Error "bad CVM dimensions"
@@ -94,12 +94,12 @@ let launch t ~vcpus ~memory_pages ~image =
         (* Load the image page by page through the engine. *)
         let pages = (Bytes.length image + page_size - 1) / page_size in
         for p = 0 to Array.length frames - 1 do
-          let page = Bytes.make page_size '\000' in
+          Bytes.fill page_scratch 0 page_size '\000';
           if p < pages then begin
             let off = p * page_size in
-            Bytes.blit image off page 0 (Stdlib.min page_size (Bytes.length image - off))
+            Bytes.blit image off page_scratch 0 (Stdlib.min page_size (Bytes.length image - off))
           end;
-          store_page t cvm ~page:p page
+          store_page t cvm ~page:p page_scratch
         done;
         t.next_id <- id + 1;
         Hashtbl.replace t.cvms id cvm;
@@ -114,16 +114,19 @@ let guest_access t id ~gpa ~len k =
 
 let guest_read t id ~gpa ~len =
   guest_access t id ~gpa ~len (fun cvm ->
-      let out = Buffer.create len in
-      let cursor = ref gpa and remaining = ref len in
+      let out = Bytes.create len in
+      let cursor = ref gpa and remaining = ref len and dst = ref 0 in
       while !remaining > 0 do
         let page = !cursor / page_size and off = !cursor mod page_size in
         let chunk = Stdlib.min !remaining (page_size - off) in
-        Buffer.add_subbytes out (load_page t cvm ~page) off chunk;
+        (* Decrypt only the requested range of each page. *)
+        Mem_encryption.read_range_into (mee t) (mem t) ~key_id:cvm.key_id
+          ~frame:cvm.frames.(page) ~off ~len:chunk out ~dst_off:!dst;
         cursor := !cursor + chunk;
+        dst := !dst + chunk;
         remaining := !remaining - chunk
       done;
-      Ok (Buffer.to_bytes out))
+      Ok out)
 
 let guest_write t id ~gpa data =
   guest_access t id ~gpa ~len:(Bytes.length data) (fun cvm ->
@@ -131,9 +134,8 @@ let guest_write t id ~gpa data =
       while !remaining > 0 do
         let page = !cursor / page_size and off = !cursor mod page_size in
         let chunk = Stdlib.min !remaining (page_size - off) in
-        let pagebytes = load_page t cvm ~page in
-        Bytes.blit data !src pagebytes off chunk;
-        store_page t cvm ~page pagebytes;
+        Mem_encryption.update_range (mee t) (mem t) ~key_id:cvm.key_id
+          ~frame:cvm.frames.(page) ~off ~src:data ~src_off:!src ~len:chunk;
         cursor := !cursor + chunk;
         src := !src + chunk;
         remaining := !remaining - chunk
@@ -184,9 +186,18 @@ let snapshot t id =
   let key_bytes = fresh_snapshot_key t in
   let key = Hypertee_crypto.Aes.expand key_bytes in
   let n = Array.length cvm.frames in
-  let plaintext = Array.init n (fun p -> load_page t cvm ~page:p) in
   let encrypted_pages =
-    Array.mapi (fun p page -> Hypertee_crypto.Aes.encrypt_page key ~page_number:p page) plaintext
+    Array.init n (fun p ->
+        let frame = cvm.frames.(p) in
+        (* Decrypt into scratch, re-encrypt under the snapshot key into
+           the retained blob: one allocation per page instead of two. *)
+        Mem_encryption.load_into (mee t) ~key_id:cvm.key_id ~frame
+          ~src:(Phys_mem.borrow (mem t) ~frame)
+          ~dst:page_scratch;
+        let ct = Bytes.create page_size in
+        Hypertee_crypto.Aes.encrypt_page_into key ~page_number:p ~src:page_scratch ~src_off:0
+          ~dst:ct ~dst_off:0 page_size;
+        ct)
   in
   (* Integrity root over the *ciphertext* (encrypt-then-MAC shape). *)
   let tree = Hypertee_crypto.Merkle.build (Array.to_list encrypted_pages) in
@@ -236,7 +247,10 @@ let restore_with t snap ~key_bytes ~root ~measurement =
             }
           in
           Array.iteri
-            (fun p ct -> store_page t cvm ~page:p (Hypertee_crypto.Aes.decrypt_page key ~page_number:p ct))
+            (fun p ct ->
+              Hypertee_crypto.Aes.decrypt_page_into key ~page_number:p ~src:ct ~src_off:0
+                ~dst:page_scratch ~dst_off:0 page_size;
+              store_page t cvm ~page:p page_scratch)
             snap.encrypted_pages;
           t.next_id <- id + 1;
           Hashtbl.replace t.cvms id cvm;

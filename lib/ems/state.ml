@@ -92,10 +92,12 @@ let take_pool_frames t ~n =
 
 (* Initialise a freshly mapped page through the encryption engine so
    DRAM holds valid (encrypted-zero) content with a valid MAC; an
-   uninitialised line would otherwise MAC-fault on first load. *)
+   uninitialised line would otherwise MAC-fault on first load. The
+   zero page is shared and only ever read. *)
+let zero_page = Bytes.make Hypertee_util.Units.page_size '\000'
+
 let store_zero_page t ~key_id ~frame =
-  let zero = Bytes.make Hypertee_util.Units.page_size '\000' in
-  Phys_mem.write t.mem ~frame (Mem_encryption.store t.mee ~key_id ~frame zero)
+  Mem_encryption.write_page t.mee t.mem ~key_id ~frame zero_page
 
 let map_private_page t (e : Enclave.t) ~vpn ~frame ~r ~w ~x =
   if not (Ownership.claim_private t.ownership ~frame ~enclave:e.Enclave.id) then
@@ -137,8 +139,12 @@ let park_key t (e : Enclave.t) =
   List.iter
     (fun (vpn, pte) ->
       let frame = pte.Pte.ppn in
-      let pt = Mem_encryption.load t.mee ~key_id:pte.Pte.key_id ~frame (Phys_mem.read t.mem ~frame) in
-      Phys_mem.write t.mem ~frame (Hypertee_crypto.Aes.encrypt_page swap_key ~page_number:vpn pt))
+      (* Decrypt under the enclave key, re-encrypt under the swap key
+         straight back into the same DRAM buffer. *)
+      let pt = Mem_encryption.read_page t.mee t.mem ~key_id:pte.Pte.key_id ~frame in
+      Hypertee_crypto.Aes.encrypt_page_into swap_key ~page_number:vpn ~src:pt ~src_off:0
+        ~dst:(Phys_mem.borrow t.mem ~frame) ~dst_off:0
+        (Bytes.length pt))
     (private_leaves e);
   Mem_encryption.revoke t.mee ~key_id:e.Enclave.key_id;
   e.Enclave.key_parked <- true
@@ -182,9 +188,10 @@ let revive_key t (e : Enclave.t) =
         if pte.Pte.key_id = old_key then begin
           let frame = pte.Pte.ppn in
           let pt =
-            Hypertee_crypto.Aes.decrypt_page swap_key ~page_number:vpn (Phys_mem.read t.mem ~frame)
+            Hypertee_crypto.Aes.decrypt_page swap_key ~page_number:vpn
+              (Phys_mem.borrow t.mem ~frame)
           in
-          Phys_mem.write t.mem ~frame (Mem_encryption.store t.mee ~key_id ~frame pt);
+          Mem_encryption.write_page t.mee t.mem ~key_id ~frame pt;
           Page_table.map e.Enclave.page_table ~vpn { pte with Pte.key_id }
         end)
       (Page_table.entries e.Enclave.page_table);
@@ -192,12 +199,14 @@ let revive_key t (e : Enclave.t) =
     e.Enclave.key_parked <- false;
     Ok ()
 
+(* Reused 8-byte header scratch for the measurement stream. *)
+let meas_header = Bytes.create 8
+
 let measurement_update (e : Enclave.t) ~vpn data =
   match e.Enclave.measurement_ctx with
   | Some ctx ->
-    let header = Bytes.create 8 in
-    Hypertee_util.Bytes_ext.set_u64_le header 0 (Int64.of_int vpn);
-    Hypertee_crypto.Sha256.update ctx header;
+    Hypertee_util.Bytes_ext.set_u64_le meas_header 0 (Int64.of_int vpn);
+    Hypertee_crypto.Sha256.feed_sub ctx meas_header ~off:0 ~len:8;
     Hypertee_crypto.Sha256.update ctx data
   | None -> ()
 

@@ -100,6 +100,9 @@ let handle_create t (config : Types.enclave_config) =
         with Failure _ -> teardown Types.Out_of_memory))
   end
 
+(* Reused EADD staging page, zero-padded per call (single-threaded). *)
+let add_page = Bytes.make Hypertee_util.Units.page_size '\000'
+
 let handle_add t ~sender ~enclave ~vpn ~data ~executable =
   ignore sender;
   let* e = get_enclave t enclave in
@@ -110,13 +113,13 @@ let handle_add t ~sender ~enclave ~vpn ~data ~executable =
     match Page_table.lookup e.Enclave.page_table ~vpn with
     | None -> Types.Err (Types.Invalid_argument_ "EADD target page not mapped")
     | Some pte ->
-      let page = Bytes.make Hypertee_util.Units.page_size '\000' in
-      Bytes.blit data 0 page 0 (Bytes.length data);
+      Bytes.fill add_page 0 Hypertee_util.Units.page_size '\000';
+      Bytes.blit data 0 add_page 0 (Bytes.length data);
       (* Store through the memory-encryption engine: DRAM holds
-         ciphertext under the enclave's key. *)
-      let ct = Mem_encryption.store t.mee ~key_id:pte.Pte.key_id ~frame:pte.Pte.ppn page in
-      Phys_mem.write t.mem ~frame:pte.Pte.ppn ct;
-      measurement_update e ~vpn page;
+         ciphertext under the enclave's key (encrypted in place, no
+         intermediate page copy). *)
+      Mem_encryption.write_page t.mee t.mem ~key_id:pte.Pte.key_id ~frame:pte.Pte.ppn add_page;
+      measurement_update e ~vpn add_page;
       ignore executable;
       Types.Ok_unit
   end

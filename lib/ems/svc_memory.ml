@@ -102,10 +102,9 @@ let handle_writeback t ~pages_hint =
         List.init n (fun i ->
             let e, vpn, pte = candidates.(i) in
             let frame = pte.Pte.ppn in
-            (* Read ciphertext, decrypt under the enclave key, then
-               re-encrypt under the swap key with vpn binding. *)
-            let ct = Phys_mem.read t.mem ~frame in
-            let pt = Mem_encryption.load t.mee ~key_id:pte.Pte.key_id ~frame ct in
+            (* Decrypt under the enclave key, then re-encrypt under
+               the swap key with vpn binding. *)
+            let pt = Mem_encryption.read_page t.mee t.mem ~key_id:pte.Pte.key_id ~frame in
             let blob = Hypertee_crypto.Aes.encrypt_page swap_key ~page_number:vpn pt in
             Hashtbl.replace e.Enclave.swapped_out vpn blob;
             Page_table.unmap e.Enclave.page_table ~vpn;
@@ -133,8 +132,7 @@ let handle_page_fault t ~enclave ~vpn =
       (match map_private_page t e ~vpn ~frame ~r:true ~w:true ~x:false with
       | Error err -> Types.Err err
       | Ok () ->
-        let ct = Mem_encryption.store t.mee ~key_id:e.Enclave.key_id ~frame pt in
-        Phys_mem.write t.mem ~frame ct;
+        Mem_encryption.write_page t.mee t.mem ~key_id:e.Enclave.key_id ~frame pt;
         Hashtbl.remove e.Enclave.swapped_out vpn;
         Types.Ok_alloc { base_vpn = vpn; pages = 1 })
     | _ -> Types.Err Types.Out_of_memory)

@@ -1,0 +1,187 @@
+(* Wall-clock microbenchmarks of the crypto data plane.
+
+   Unlike every other experiment (which reports *modelled* time from
+   the cost model), this harness measures real elapsed time of the
+   simulator's own hot paths, so the BENCH_perf.json trajectory shows
+   whether the implementation is getting faster or slower across PRs.
+   Numbers are machine-dependent by design; the speedup-vs-reference
+   ratio is the portable signal. *)
+
+module Aes = Hypertee_crypto.Aes
+module Sha256 = Hypertee_crypto.Sha256
+module Keccak = Hypertee_crypto.Keccak
+module Hmac = Hypertee_crypto.Hmac
+module Phys_mem = Hypertee_arch.Phys_mem
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Table = Hypertee_util.Table
+
+let page_size = Hypertee_util.Units.page_size
+
+type sample = {
+  target : string;
+  metric : string;
+  value : float;
+  unit_ : string;
+  runs : int;
+}
+
+(* Repeat [f] until at least [min_time] seconds elapse, growing the
+   repetition count geometrically; returns (ns per call, calls). *)
+let time_ns ~min_time f =
+  f () (* warmup, also JIT-free but faults in lazy pages/tables *);
+  let rec go reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= min_time then (dt *. 1e9 /. float_of_int reps, reps)
+    else
+      let guess =
+        if dt <= 0. then reps * 10
+        else int_of_float (ceil (float_of_int reps *. min_time *. 1.3 /. dt))
+      in
+      go (Stdlib.max (reps * 2) guess)
+  in
+  go 1
+
+let mb_per_s ~bytes ns = float_of_int bytes /. (ns /. 1e9) /. 1e6
+
+let throughput ~target ~min_time ~bytes f =
+  let ns, runs = time_ns ~min_time f in
+  { target; metric = "throughput"; value = mb_per_s ~bytes ns; unit_ = "MB/s"; runs }
+
+let latency ~target ~min_time f =
+  let ns, runs = time_ns ~min_time f in
+  { target; metric = "latency"; value = ns; unit_ = "ns/op"; runs }
+
+let run ?(quick = false) ?min_time_s () =
+  let min_time =
+    match min_time_s with Some s -> s | None -> if quick then 0.05 else 0.25
+  in
+  let key = Aes.expand (Bytes.init 16 (fun i -> Char.chr (0x40 + i))) in
+  let page = Bytes.init page_size (fun i -> Char.chr ((i * 31) land 0xFF)) in
+  let dst = Bytes.create page_size in
+  let tweak = Bytes.make 16 '\000' in
+  Hypertee_util.Bytes_ext.set_u64_be tweak 8 7L;
+  let samples = ref [] in
+  let push s = samples := s :: !samples in
+  (* AES-CTR page encryption: the T-table data plane vs the retained
+     pre-T-table reference, on the same 4 KiB page and tweak. *)
+  push
+    (throughput ~target:"aes-ctr-page" ~min_time ~bytes:page_size (fun () ->
+         Aes.encrypt_page_into key ~page_number:7 ~src:page ~src_off:0 ~dst ~dst_off:0 page_size));
+  push
+    (throughput ~target:"aes-ctr-page-reference" ~min_time ~bytes:page_size (fun () ->
+         ignore (Aes.ctr_reference key ~nonce:tweak page)));
+  (match !samples with
+  | [ reference; fast ] ->
+    push
+      {
+        target = "aes-ctr-page";
+        metric = "speedup-vs-reference";
+        value = fast.value /. reference.value;
+        unit_ = "x";
+        runs = fast.runs;
+      }
+  | _ -> ());
+  (* SHA-256: one-shot page digest and a 64 KiB streaming feed, the
+     shape of enclave measurement during Create_Enclave. *)
+  push
+    (throughput ~target:"sha256-page" ~min_time ~bytes:page_size (fun () ->
+         ignore (Sha256.digest page)));
+  let stream_pages = 16 in
+  let stream_ctx = Sha256.init () in
+  push
+    (throughput ~target:"sha256-stream-64k" ~min_time ~bytes:(stream_pages * page_size)
+       (fun () ->
+         Sha256.reset stream_ctx;
+         for _ = 1 to stream_pages do
+           Sha256.feed_sub stream_ctx page ~off:0 ~len:page_size
+         done;
+         Sha256.finalize_into stream_ctx dst ~off:0));
+  (* HMAC and the SHA-3 paths behind sealing and the MEE MAC. *)
+  let mac_key = Bytes.make 32 'K' in
+  push
+    (throughput ~target:"hmac-sha256-page" ~min_time ~bytes:page_size (fun () ->
+         ignore (Hmac.hmac ~key:mac_key page)));
+  push
+    (throughput ~target:"sha3-256-page" ~min_time ~bytes:page_size (fun () ->
+         ignore (Keccak.sha3_256 page)));
+  push
+    (throughput ~target:"keccak-mac28-page" ~min_time ~bytes:page_size (fun () ->
+         ignore (Keccak.mac_28bit ~key:mac_key page)));
+  (* MEE round trip: encrypt+MAC into DRAM, then verify+decrypt back —
+     what every enclave page touch pays. *)
+  let mee = Mem_encryption.create ~slots:4 in
+  Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'm');
+  let mem = Phys_mem.create ~frames:8 in
+  push
+    (throughput ~target:"mee-store-load-page" ~min_time ~bytes:(2 * page_size) (fun () ->
+         Mem_encryption.write_page mee mem ~key_id:1 ~frame:3 page;
+         Mem_encryption.read_range_into mee mem ~key_id:1 ~frame:3 ~off:0 ~len:page_size dst
+           ~dst_off:0));
+  (* End-to-end Create_Enclave: ECREATE + EADD of the image + EMEAS,
+     measurement-dominated. *)
+  let platform = Hypertee.Platform.create ~seed:0x9E2FL () in
+  let image =
+    Hypertee.Sdk.image_of_code
+      ~code:(Bytes.make (4 * page_size) 'c')
+      ~data:(Bytes.make (2 * page_size) 'd')
+      ()
+  in
+  push
+    (latency ~target:"create-enclave" ~min_time (fun () ->
+         match Hypertee.Sdk.launch platform image with
+         | Ok enclave -> (
+           match Hypertee.Sdk.destroy platform ~enclave with
+           | Ok () -> ()
+           | Error m -> failwith m)
+         | Error m -> failwith m));
+  (* A fig6-style sweep end to end: wall-clock of the discrete-event
+     simulation the paper figures are built from. *)
+  let requests = if quick then 512 else 4096 in
+  let t0 = Unix.gettimeofday () in
+  ignore
+    (Fig6.run ~seed:0x516L ~cs_cores:4 ~ems_cores:2 ~ems_kind:Hypertee_arch.Config.Medium
+       ~requests);
+  push
+    {
+      target = "fig6-sweep";
+      metric = "wall-clock";
+      value = Unix.gettimeofday () -. t0;
+      unit_ = "s";
+      runs = requests;
+    };
+  List.rev !samples
+
+let find samples ~target ~metric =
+  List.find_opt (fun s -> s.target = target && s.metric = metric) samples
+
+let print ?(out = stdout) samples =
+  Table.print ~out
+    ~headers:[ "target"; "metric"; "value"; "unit"; "runs" ]
+    ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Left; Table.Right ]
+    (List.map
+       (fun s ->
+         [ s.target; s.metric; Table.fmt_f ~digits:2 s.value; s.unit_; string_of_int s.runs ])
+       samples);
+  match find samples ~target:"aes-ctr-page" ~metric:"speedup-vs-reference" with
+  | Some s ->
+    Printf.fprintf out "AES-CTR 4 KiB page: %s over the pre-T-table reference\n"
+      (Table.speedup s.value)
+  | None -> ()
+
+let write_json ~path samples =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let n = List.length samples in
+  List.iteri
+    (fun i s ->
+      Printf.fprintf oc
+        "  {\"target\": %S, \"metric\": %S, \"value\": %.4f, \"unit\": %S, \"runs\": %d}%s\n"
+        s.target s.metric s.value s.unit_ s.runs
+        (if i = n - 1 then "" else ","))
+    samples;
+  output_string oc "]\n";
+  close_out oc

@@ -1,0 +1,26 @@
+(** Wall-clock microbenchmarks of the crypto data plane.
+
+    Every other experiment reports modelled time; this one measures
+    real elapsed time of the simulator's hot paths (AES-CTR pages,
+    SHA-256/SHA-3 hashing, the MEE round trip, Create_Enclave, and a
+    fig6-style sweep), so [BENCH_perf.json] tracks MB/s across PRs. *)
+
+type sample = {
+  target : string;  (** what was measured, e.g. ["aes-ctr-page"] *)
+  metric : string;  (** ["throughput"], ["latency"], ... *)
+  value : float;
+  unit_ : string;  (** ["MB/s"], ["ns/op"], ["x"], ["s"] *)
+  runs : int;  (** repetitions behind the reported value *)
+}
+
+val run : ?quick:bool -> ?min_time_s:float -> unit -> sample list
+(** Run the full suite. [quick] shortens the per-target measurement
+    window and the sweep; [min_time_s] overrides the window directly
+    (tests use a tiny value). *)
+
+val find : sample list -> target:string -> metric:string -> sample option
+val print : ?out:out_channel -> sample list -> unit
+
+val write_json : path:string -> sample list -> unit
+(** Write the samples as a JSON array of
+    [{"target", "metric", "value", "unit", "runs"}] objects. *)

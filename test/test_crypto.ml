@@ -95,11 +95,97 @@ let test_aes_fips_vector () =
     (hex (Aes.encrypt_block k pt));
   check Alcotest.bytes "decrypt inverts" pt (Aes.decrypt_block k (Aes.encrypt_block k pt))
 
+let sp800_38a_key = "2b7e151628aed2a6abf7158809cf4f3c"
+
+let sp800_38a_plaintext =
+  [
+    "6bc1bee22e409f96e93d7e117393172a";
+    "ae2d8a571e03ac9c9eb76fac45af8e51";
+    "30c81c46a35ce411e5fbc1191a0a52ef";
+    "f69f2445df4f9b17ad2b417be66c3710";
+  ]
+
 let test_aes_sp800_38a_ecb () =
-  (* NIST SP 800-38A F.1.1 ECB-AES128 block 1. *)
-  let k = Aes.expand (Bx.of_hex "2b7e151628aed2a6abf7158809cf4f3c") in
-  check Alcotest.string "SP800-38A" "3ad77bb40d7a3660a89ecaf32466ef97"
-    (hex (Aes.encrypt_block k (Bx.of_hex "6bc1bee22e409f96e93d7e117393172a")))
+  (* NIST SP 800-38A F.1.1 ECB-AES128, all four blocks. *)
+  let k = Aes.expand (Bx.of_hex sp800_38a_key) in
+  List.iter2
+    (fun pt expected ->
+      check Alcotest.string ("ECB " ^ pt) expected (hex (Aes.encrypt_block k (Bx.of_hex pt))))
+    sp800_38a_plaintext
+    [
+      "3ad77bb40d7a3660a89ecaf32466ef97";
+      "f5d3d58503b9699de785895a96fdbaaf";
+      "43b1cd7f598ece23881b00e3ed030688";
+      "7b0c785e27e8ad3f8223207104725dd4";
+    ]
+
+let test_aes_sp800_38a_ctr () =
+  (* NIST SP 800-38A F.5.1 CTR-AES128: the four blocks as one stream. *)
+  let k = Aes.expand (Bx.of_hex sp800_38a_key) in
+  let nonce = Bx.of_hex "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff" in
+  let pt = Bx.of_hex (String.concat "" sp800_38a_plaintext) in
+  check Alcotest.string "CTR F.5.1"
+    ("874d6191b620e3261bef6864990db6ce" ^ "9806f66b7970fdff8617187bb9fffdff"
+   ^ "5ae4df3edbd5d35e5b4f09020db03eab" ^ "1e031dda2fbe03d1792170a0f3009cee")
+    (hex (Aes.ctr k ~nonce pt));
+  (* The retained reference implementation produces the same bytes. *)
+  check Alcotest.bytes "reference matches" (Aes.ctr k ~nonce pt) (Aes.ctr_reference k ~nonce pt)
+
+let key_gen = QCheck.(string_of_size (Gen.return 16))
+
+let prop_ctr_matches_reference =
+  prop
+    (QCheck.Test.make ~name:"ctr = ctr_reference" ~count:100
+       QCheck.(triple key_gen key_gen (string_of_size Gen.(int_range 0 200)))
+       (fun (key, nonce, s) ->
+         let k = Aes.expand (Bytes.of_string key) in
+         let nonce = Bytes.of_string nonce in
+         let data = Bytes.of_string s in
+         Bytes.equal (Aes.ctr k ~nonce data) (Aes.ctr_reference k ~nonce data)))
+
+let prop_ctr_into_inplace =
+  prop
+    (QCheck.Test.make ~name:"in-place ctr_into twice = id" ~count:100
+       QCheck.(pair key_gen (string_of_size Gen.(int_range 0 200)))
+       (fun (nonce, s) ->
+         let k = Aes.expand (Bytes.make 16 'k') in
+         let nonce = Bytes.of_string nonce in
+         let buf = Bytes.of_string s in
+         let len = Bytes.length buf in
+         Aes.ctr_into k ~nonce ~src:buf ~src_off:0 ~dst:buf ~dst_off:0 len;
+         Aes.ctr_into k ~nonce ~src:buf ~src_off:0 ~dst:buf ~dst_off:0 len;
+         Bytes.equal buf (Bytes.of_string s)))
+
+let prop_ctr_stream_off =
+  prop
+    (QCheck.Test.make ~name:"ctr_into stream_off = slice of full stream" ~count:100
+       QCheck.(pair (int_range 0 200) (int_range 0 200))
+       (fun (off, len) ->
+         let k = Aes.expand (Bytes.make 16 'k') in
+         let nonce = Bytes.init 16 (fun i -> Char.chr (0xA0 + i)) in
+         let data = Bytes.init (off + len) (fun i -> Char.chr (i land 0xFF)) in
+         let full = Aes.ctr k ~nonce data in
+         let out = Bytes.create len in
+         Aes.ctr_into k ~nonce ~stream_off:off ~src:data ~src_off:off ~dst:out ~dst_off:0 len;
+         Bytes.equal out (Bytes.sub full off len)))
+
+let prop_encrypt_page_into =
+  (* encrypt_page_into is exactly CTR under the page tweak, to any
+     offset, and byte-identical to what the old allocating API did. *)
+  prop
+    (QCheck.Test.make ~name:"encrypt_page_into = reference ctr with tweak" ~count:50
+       QCheck.(triple (int_range 0 4095) (int_range 0 1000) small_nat)
+       (fun (page_off, len, page_number) ->
+         let len = Stdlib.min len (4096 - page_off) in
+         let k = Aes.expand (Bytes.make 16 'q') in
+         let page = Bytes.init 4096 (fun i -> Char.chr ((i * 7) land 0xFF)) in
+         let tweak = Bytes.make 16 '\000' in
+         Bx.set_u64_be tweak 8 (Int64.of_int page_number);
+         let full = Aes.ctr_reference k ~nonce:tweak page in
+         let out = Bytes.create len in
+         Aes.encrypt_page_into k ~page_number ~page_off ~src:page ~src_off:page_off ~dst:out
+           ~dst_off:0 len;
+         Bytes.equal out (Bytes.sub full page_off len)))
 
 let prop_aes_roundtrip =
   prop
@@ -405,13 +491,18 @@ let suite =
     ( "crypto.aes",
       [
         Alcotest.test_case "FIPS-197 vector" `Quick test_aes_fips_vector;
-        Alcotest.test_case "SP800-38A vector" `Quick test_aes_sp800_38a_ecb;
+        Alcotest.test_case "SP800-38A ECB vectors" `Quick test_aes_sp800_38a_ecb;
+        Alcotest.test_case "SP800-38A CTR vectors" `Quick test_aes_sp800_38a_ctr;
         Alcotest.test_case "ctr nonce matters" `Quick test_ctr_nonce_matters;
         Alcotest.test_case "ctr counter carry" `Quick test_ctr_counter_carry;
         Alcotest.test_case "page tweak" `Quick test_page_tweak;
         Alcotest.test_case "cbc-mac" `Quick test_cbc_mac;
         prop_aes_roundtrip;
         prop_ctr_roundtrip;
+        prop_ctr_matches_reference;
+        prop_ctr_into_inplace;
+        prop_ctr_stream_off;
+        prop_encrypt_page_into;
       ] );
     ( "crypto.hmac",
       [

@@ -1,0 +1,224 @@
+(* Tests for the zero-copy data plane: the MEE range operations over
+   Phys_mem, their equivalence with the allocating store/load pair,
+   the SDK measurement stream, and the perf harness plumbing. *)
+
+module Phys_mem = Hypertee_arch.Phys_mem
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Bx = Hypertee_util.Bytes_ext
+module Perf = Hypertee_experiments.Perf
+
+let check = Alcotest.check
+let prop = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+let page_size = Hypertee_util.Units.page_size
+
+let fresh () =
+  let mee = Mem_encryption.create ~slots:4 in
+  Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'A');
+  Mem_encryption.program mee ~key_id:2 (Bytes.make 16 'B');
+  let mem = Phys_mem.create ~frames:8 in
+  (mee, mem)
+
+let patterned seed = Bytes.init page_size (fun i -> Char.chr ((i * seed) land 0xFF))
+
+(* --- write_page / read_page vs the allocating store/load pair --- *)
+
+let test_page_roundtrip_matches_store () =
+  let mee, mem = fresh () in
+  let page = patterned 13 in
+  Mem_encryption.write_page mee mem ~key_id:1 ~frame:2 page;
+  (* The DRAM bytes are exactly what [store] would have produced. *)
+  let reference = Mem_encryption.store mee ~key_id:1 ~frame:2 page in
+  check Alcotest.bytes "DRAM ciphertext identical" reference (Phys_mem.read mem ~frame:2);
+  check Alcotest.bytes "read_page inverts" page
+    (Mem_encryption.read_page mee mem ~key_id:1 ~frame:2)
+
+let test_key0_passthrough () =
+  let mee, mem = fresh () in
+  let page = patterned 5 in
+  Mem_encryption.write_page mee mem ~key_id:0 ~frame:1 page;
+  check Alcotest.bytes "key 0 stores plaintext" page (Phys_mem.read mem ~frame:1);
+  check Alcotest.bytes "key 0 reads back" page (Mem_encryption.read_page mee mem ~key_id:0 ~frame:1);
+  Bytes.set page 0 'X';
+  check Alcotest.bool "write_page copied, not aliased" false
+    (Bytes.equal page (Phys_mem.read mem ~frame:1))
+
+let prop_read_range =
+  prop
+    (QCheck.Test.make ~name:"read_range = slice of read_page" ~count:60
+       QCheck.(pair (int_range 0 (page_size - 1)) (int_range 0 page_size))
+       (fun (off, len) ->
+         let len = Stdlib.min len (page_size - off) in
+         let mee, mem = fresh () in
+         let page = patterned 31 in
+         Mem_encryption.write_page mee mem ~key_id:1 ~frame:3 page;
+         let got = Mem_encryption.read_range mee mem ~key_id:1 ~frame:3 ~off ~len in
+         Bytes.equal got (Bytes.sub page off len)))
+
+let prop_update_range =
+  prop
+    (QCheck.Test.make ~name:"update_range = decrypt, blit, encrypt" ~count:60
+       QCheck.(triple (int_range 0 (page_size - 1)) (int_range 0 200) (int_range 1 250))
+       (fun (off, len, byte) ->
+         let len = Stdlib.min len (page_size - off) in
+         let mee, mem = fresh () in
+         let page = patterned 7 in
+         Mem_encryption.write_page mee mem ~key_id:1 ~frame:4 page;
+         let patch = Bytes.make len (Char.chr byte) in
+         Mem_encryption.update_range mee mem ~key_id:1 ~frame:4 ~off ~src:patch ~src_off:0 ~len;
+         let expected = Bytes.copy page in
+         Bytes.blit patch 0 expected off len;
+         Bytes.equal expected (Mem_encryption.read_page mee mem ~key_id:1 ~frame:4)))
+
+let test_tamper_detected_on_range_read () =
+  let mee, mem = fresh () in
+  Mem_encryption.write_page mee mem ~key_id:1 ~frame:2 (patterned 3);
+  (* A physical attacker flips one DRAM bit... *)
+  let dram = Phys_mem.borrow mem ~frame:2 in
+  Bytes.set dram 100 (Char.chr (Char.code (Bytes.get dram 100) lxor 0x10));
+  (* ...and even a sub-range read outside the flipped byte faults,
+     because the MAC covers the whole line. *)
+  (try
+     ignore (Mem_encryption.read_range mee mem ~key_id:1 ~frame:2 ~off:0 ~len:16);
+     Alcotest.fail "expected Integrity_violation"
+   with Mem_encryption.Integrity_violation { frame } -> check Alcotest.int "frame" 2 frame);
+  (* A partial overwrite of the tampered page must also fault (the
+     stale line is verified before the read-modify-write). *)
+  try
+    Mem_encryption.update_range mee mem ~key_id:1 ~frame:2 ~off:8 ~src:(Bytes.make 8 'z')
+      ~src_off:0 ~len:8;
+    Alcotest.fail "expected Integrity_violation on update"
+  with Mem_encryption.Integrity_violation _ -> ()
+
+let test_cross_key_garbles () =
+  let mee, mem = fresh () in
+  let page = patterned 11 in
+  Mem_encryption.write_page mee mem ~key_id:1 ~frame:5 page;
+  (* Reading under a different key either faults (MAC mismatch) —
+     there is no path that yields the plaintext. *)
+  match Mem_encryption.read_page mee mem ~key_id:2 ~frame:5 with
+  | p -> check Alcotest.bool "wrong key never decrypts" false (Bytes.equal p page)
+  | exception Mem_encryption.Integrity_violation _ -> ()
+
+let prop_phys_read_into =
+  prop
+    (QCheck.Test.make ~name:"Phys_mem.read_into = read_sub" ~count:60
+       QCheck.(pair (int_range 0 (page_size - 1)) (int_range 0 page_size))
+       (fun (off, len) ->
+         let len = Stdlib.min len (page_size - off) in
+         let mem = Phys_mem.create ~frames:2 in
+         Phys_mem.write mem ~frame:1 (patterned 9);
+         let dst = Bytes.make (len + 3) '\xAA' in
+         Phys_mem.read_into mem ~frame:1 ~off ~len dst ~dst_off:2;
+         Bytes.equal (Bytes.sub dst 2 len) (Phys_mem.read_sub mem ~frame:1 ~off ~len)
+         && Bytes.get dst 0 = '\xAA'
+         && Bytes.get dst (len + 2) = '\xAA'))
+
+let test_read_into_unmaterialized () =
+  (* An untouched frame reads as zeros without materializing. *)
+  let mem = Phys_mem.create ~frames:2 in
+  let dst = Bytes.make 8 'x' in
+  Phys_mem.read_into mem ~frame:0 ~off:100 ~len:8 dst ~dst_off:0;
+  check Alcotest.bytes "zeros" (Bytes.make 8 '\000') dst
+
+(* --- SDK measurement stream vs a hand-rolled padded reference --- *)
+
+let test_measurement_stream () =
+  let pages = [ (0x100, Bytes.of_string "short"); (0x101, Bytes.make page_size 'f') ] in
+  let reference =
+    let ctx = Hypertee_crypto.Sha256.init () in
+    List.iter
+      (fun (vpn, data) ->
+        let header = Bytes.create 8 in
+        Bx.set_u64_le header 0 (Int64.of_int vpn);
+        Hypertee_crypto.Sha256.update ctx header;
+        let padded = Bytes.make page_size '\000' in
+        Bytes.blit data 0 padded 0 (Bytes.length data);
+        Hypertee_crypto.Sha256.update ctx padded)
+      pages;
+    Hypertee_crypto.Sha256.finalize ctx
+  in
+  let ctx = Hypertee_crypto.Sha256.init () in
+  List.iter
+    (fun (vpn, data) ->
+      let header = Bytes.create 8 in
+      Bx.set_u64_le header 0 (Int64.of_int vpn);
+      Hypertee_crypto.Sha256.update ctx header;
+      Hypertee_crypto.Sha256.update ctx data;
+      let pad = page_size - Bytes.length data in
+      if pad > 0 then
+        Hypertee_crypto.Sha256.feed_sub ctx (Bytes.make page_size '\000') ~off:0 ~len:pad)
+    pages;
+  check Alcotest.bytes "streamed = padded" reference (Hypertee_crypto.Sha256.finalize ctx)
+
+let test_launch_measurement_still_verifies () =
+  (* End to end: the SDK-side streamed measurement must still agree
+     with the EMS-side measurement, or launch fails. *)
+  let platform = Hypertee.Platform.create ~seed:0xD47AL () in
+  let image =
+    Hypertee.Sdk.image_of_code
+      ~code:(Bytes.init 5000 (fun i -> Char.chr (i land 0xFF)))
+      ~data:(Bytes.of_string "trailing data, not page aligned")
+      ()
+  in
+  match Hypertee.Sdk.launch platform image with
+  | Ok enclave -> (
+    match Hypertee.Sdk.destroy platform ~enclave with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m)
+  | Error m -> Alcotest.fail m
+
+(* --- perf harness plumbing --- *)
+
+let test_perf_run_and_json () =
+  let samples = Perf.run ~quick:true ~min_time_s:0.0005 () in
+  check Alcotest.bool ">= 6 samples" true (List.length samples >= 6);
+  List.iter
+    (fun s ->
+      check Alcotest.bool (s.Perf.target ^ " positive") true (s.Perf.value > 0.0);
+      check Alcotest.bool (s.Perf.target ^ " ran") true (s.Perf.runs >= 1))
+    samples;
+  check Alcotest.bool "speedup sample present" true
+    (Perf.find samples ~target:"aes-ctr-page" ~metric:"speedup-vs-reference" <> None);
+  let path = Filename.temp_file "bench_perf" ".json" in
+  Perf.write_json ~path samples;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  check Alcotest.bool "json array" true
+    (String.length content > 2 && content.[0] = '[' && String.contains content ']');
+  List.iter
+    (fun s ->
+      check Alcotest.bool (s.Perf.target ^ " in json") true
+        (let re = Printf.sprintf "\"target\": %S" s.Perf.target in
+         let rec find i =
+           i + String.length re <= String.length content
+           && (String.sub content i (String.length re) = re || find (i + 1))
+         in
+         find 0))
+    samples
+
+let suite =
+  [
+    ( "dataplane.mee",
+      [
+        Alcotest.test_case "write_page matches store" `Quick test_page_roundtrip_matches_store;
+        Alcotest.test_case "key 0 passthrough" `Quick test_key0_passthrough;
+        Alcotest.test_case "tamper detected on range ops" `Quick test_tamper_detected_on_range_read;
+        Alcotest.test_case "cross-key never decrypts" `Quick test_cross_key_garbles;
+        prop_read_range;
+        prop_update_range;
+      ] );
+    ( "dataplane.phys_mem",
+      [
+        Alcotest.test_case "read_into unmaterialized frame" `Quick test_read_into_unmaterialized;
+        prop_phys_read_into;
+      ] );
+    ( "dataplane.measurement",
+      [
+        Alcotest.test_case "streamed = padded" `Quick test_measurement_stream;
+        Alcotest.test_case "launch still verifies" `Quick test_launch_measurement_still_verifies;
+      ] );
+    ("dataplane.perf", [ Alcotest.test_case "run + json" `Quick test_perf_run_and_json ]);
+  ]
