@@ -1,4 +1,4 @@
-.PHONY: all build test chaos-smoke bench-perf check fmt clean
+.PHONY: all build test chaos-smoke bench-perf check doc fmt clean
 
 all: build
 
@@ -22,6 +22,18 @@ bench-perf: build
 # The gate for a change: everything builds, the full test suite is
 # green, and the chaos smoke sweep completes without a hang.
 check: build test chaos-smoke
+
+# API reference from the .mli doc comments, built with odoc into
+# _build/default/_doc/_html. Skips with a notice when odoc is absent,
+# so the target is safe on containers that only carry the compiler;
+# CI installs odoc and fails the build on any documentation warning.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+		dune build @doc 2>&1 | tee /dev/stderr | grep -qi warning && exit 1 || true; \
+		echo "docs: _build/default/_doc/_html/index.html"; \
+	else \
+		echo "odoc not installed; skipping doc build"; \
+	fi
 
 # Format the tree in place with the pinned ocamlformat (.ocamlformat).
 # Skips with a notice when the binary is absent, so the target is safe

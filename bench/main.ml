@@ -412,30 +412,7 @@ let chaos ?(ops = 2000) ?(seed = 0xC4A05L) () =
   section "Chaos: availability SLO under injected platform faults";
   note "uniform fault plan over all sites (drop/dup/corrupt/stall/crash/flip/...);";
   note "ops=%d, seed=%Ld; recovery = EMCall retry + EMS watchdog + containment" ops seed;
-  let points = Hypertee_experiments.Chaos.run ~seed ~ops in
-  Table.print
-    ~headers:
-      [ "fault rate"; "ops"; "success"; "degraded"; "timeouts"; "killed"; "p50 (us)"; "p99 (us)";
-        "injected"; "recovered"; "retries" ]
-    ~aligns:
-      [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
-        Table.Right; Table.Right; Table.Right; Table.Right ]
-    (List.map
-       (fun (p : Hypertee_experiments.Chaos.point) ->
-         [
-           Printf.sprintf "%.2f" p.Hypertee_experiments.Chaos.fault_rate;
-           string_of_int p.Hypertee_experiments.Chaos.ops;
-           Table.pct (p.Hypertee_experiments.Chaos.success_rate *. 100.0);
-           string_of_int p.Hypertee_experiments.Chaos.degraded;
-           string_of_int p.Hypertee_experiments.Chaos.timeouts;
-           string_of_int p.Hypertee_experiments.Chaos.enclaves_killed;
-           Table.fmt_f ~digits:1 (p.Hypertee_experiments.Chaos.p50_ns /. 1e3);
-           Table.fmt_f ~digits:1 (p.Hypertee_experiments.Chaos.p99_ns /. 1e3);
-           string_of_int p.Hypertee_experiments.Chaos.injected;
-           string_of_int p.Hypertee_experiments.Chaos.recovered;
-           string_of_int p.Hypertee_experiments.Chaos.retries;
-         ])
-       points);
+  Hypertee_experiments.Chaos.print (Hypertee_experiments.Chaos.run ~seed ~ops);
   note "expect: success monotonically degrades with the rate; the platform itself";
   note "        never crashes or hangs — faults cost latency and killed enclaves"
 
@@ -448,6 +425,23 @@ let scale ?(ops = 256) ?(seed = 0x5CA1EL) () =
   Hypertee_experiments.Scale.print ~seed ~ops ();
   note "expect: per-call overhead strictly falls as the batch grows;";
   note "        aggregate Mops/s rises with the shard count"
+
+(* ------------------------------------------------------------------ *)
+
+let trace ?(quick = false) ?(path = "trace.json") name =
+  match Hypertee_experiments.Tracing.target_of_string name with
+  | None ->
+    Printf.eprintf "unknown trace target %S (one of: %s)\n" name
+      (String.concat " " Hypertee_experiments.Tracing.target_names);
+    exit 2
+  | Some target ->
+    section (Printf.sprintf "Trace: %s under the span tracer" name);
+    note "Chrome trace_event JSON; load the file in chrome://tracing or ui.perfetto.dev";
+    ignore (Hypertee_experiments.Tracing.run ~quick ~path target)
+
+let metrics () =
+  section "Metrics: platform telemetry registry after a mixed workload";
+  ignore (Hypertee_experiments.Tracing.metrics ())
 
 (* ------------------------------------------------------------------ *)
 
@@ -576,11 +570,16 @@ let () =
   | _ :: [ "scale" ] -> scale ()
   | _ :: [ "scale"; "--smoke" ] -> scale ~ops:64 ()
   | _ :: [ "micro" ] -> micro ()
+  | _ :: [ "metrics" ] -> metrics ()
+  | _ :: [ "trace"; name ] -> trace name
+  | _ :: [ "trace"; name; "--quick" ] -> trace ~quick:true name
+  | _ :: [ "trace"; name; "--json"; path ] -> trace ~path name
+  | _ :: [ "trace"; name; "--quick"; "--json"; path ] -> trace ~quick:true ~path name
   | _ :: [ "perf" ] -> perf ()
   | _ :: [ "perf"; "--quick" ] -> perf ~quick:true ()
   | _ :: [ "perf"; "--quick"; "--json"; path ] -> perf ~quick:true ~json:path ()
   | _ :: [ "perf"; "--json"; path ] -> perf ~json:path ()
   | _ ->
     prerr_endline
-      "usage: main.exe [quick|table1|table2|table3|table4|table5|table6|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablations|chaos|scale|micro|perf [--quick] [--json PATH]]";
+      "usage: main.exe [quick|table1|table2|table3|table4|table5|table6|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablations|chaos|scale|micro|metrics|trace TARGET [--quick] [--json PATH]|perf [--quick] [--json PATH]]";
     exit 2

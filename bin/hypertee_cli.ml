@@ -10,7 +10,9 @@
      area                     the Table V area report
      security                 the Table I / Table VI matrices
      chaos                    fault-injection availability sweep
-     scale                    CS cores x EMS shards x batch-size sweep *)
+     scale                    CS cores x EMS shards x batch-size sweep
+     trace <experiment>       traced run exported as Chrome trace_event JSON
+     metrics                  platform metrics registry after a mixed workload *)
 
 open Cmdliner
 module Types = Hypertee_ems.Types
@@ -266,29 +268,7 @@ let chaos_cmd =
     let seed = Int64.of_int seed in
     Printf.printf "chaos sweep: ops=%d per point, seed=%Ld\n" ops seed;
     Printf.printf "recovery machinery: EMCall retry/timeout, EMS watchdog, integrity containment\n";
-    let points = Hypertee_experiments.Chaos.run ~seed ~ops in
-    Table.print
-      ~headers:
-        [
-          "fault rate"; "ops"; "success"; "degraded"; "timeouts"; "killed"; "p50 (us)"; "p99 (us)";
-          "injected"; "recovered"; "retries";
-        ]
-      (List.map
-         (fun (p : Hypertee_experiments.Chaos.point) ->
-           [
-             Printf.sprintf "%.2f" p.Hypertee_experiments.Chaos.fault_rate;
-             string_of_int p.Hypertee_experiments.Chaos.ops;
-             Printf.sprintf "%.1f%%" (100.0 *. p.Hypertee_experiments.Chaos.success_rate);
-             string_of_int p.Hypertee_experiments.Chaos.degraded;
-             string_of_int p.Hypertee_experiments.Chaos.timeouts;
-             string_of_int p.Hypertee_experiments.Chaos.enclaves_killed;
-             Printf.sprintf "%.1f" (p.Hypertee_experiments.Chaos.p50_ns /. 1e3);
-             Printf.sprintf "%.1f" (p.Hypertee_experiments.Chaos.p99_ns /. 1e3);
-             string_of_int p.Hypertee_experiments.Chaos.injected;
-             string_of_int p.Hypertee_experiments.Chaos.recovered;
-             string_of_int p.Hypertee_experiments.Chaos.retries;
-           ])
-         points)
+    Hypertee_experiments.Chaos.print (Hypertee_experiments.Chaos.run ~seed ~ops)
   in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Availability sweep under deterministic fault injection")
@@ -312,6 +292,55 @@ let scale_cmd =
     (Cmd.info "scale"
        ~doc:"Scalability sweep: CS cores x EMS shards x doorbell batch size")
     Term.(const run $ seed_arg $ ops_arg $ smoke_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let target_arg =
+    let doc =
+      "Experiment to trace: " ^ String.concat ", " Hypertee_experiments.Tracing.target_names ^ "."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"CI-sized workload.") in
+  let out_arg =
+    Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Where to write the Chrome trace_event JSON.")
+  in
+  let run seed target quick path =
+    match Hypertee_experiments.Tracing.target_of_string target with
+    | None ->
+      `Error
+        (false,
+         Printf.sprintf "unknown experiment %S (one of: %s)" target
+           (String.concat ", " Hypertee_experiments.Tracing.target_names))
+    | Some t ->
+      ignore (Hypertee_experiments.Tracing.run ~quick ~seed:(Int64.of_int seed) ~path t);
+      Printf.printf "load %s in chrome://tracing or ui.perfetto.dev\n" path;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run an experiment under the span tracer and export Chrome trace_event JSON")
+    Term.(ret (const run $ seed_arg $ target_arg $ quick_arg $ out_arg))
+
+(* --- metrics --- *)
+
+let metrics_cmd =
+  let ops_arg =
+    Arg.(value & opt int 400 & info [ "ops" ] ~docv:"N" ~doc:"Mixed primitives to issue.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the registry as JSON to $(docv).")
+  in
+  let run seed ops json =
+    ignore (Hypertee_experiments.Tracing.metrics ~seed:(Int64.of_int seed) ~ops ?json ())
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a mixed workload and print the platform metrics registry")
+    Term.(const run $ seed_arg $ ops_arg $ json_arg)
 
 (* --- perf --- *)
 
@@ -348,5 +377,5 @@ let () =
           (Cmd.info "hypertee" ~version:"1.0.0" ~doc)
           [
             info_cmd; demo_cmd; attest_cmd; primitives_cmd; cost_cmd; slo_cmd; area_cmd;
-            security_cmd; chaos_cmd; scale_cmd; perf_cmd;
+            security_cmd; chaos_cmd; scale_cmd; trace_cmd; metrics_cmd; perf_cmd;
           ]))

@@ -146,3 +146,15 @@ let issued t = t.next_id - 1
 let dropped t = t.dropped
 let duplicated t = t.duplicated
 let corrupt_detected t = t.corrupt_detected
+
+let publish_metrics t ~prefix registry =
+  let module M = Hypertee_obs.Metrics in
+  let set name help v = M.set_counter (M.counter registry ~help (prefix ^ name)) v in
+  set "issued" "request ids issued" (issued t);
+  set "dropped" "response packets lost on the fabric" t.dropped;
+  set "duplicated" "response packets delivered twice" t.duplicated;
+  set "corrupt_detected" "responses discarded by the CRC check" t.corrupt_detected;
+  M.set_gauge (M.gauge registry ~help:"requests queued" (prefix ^ "pending_requests"))
+    (float_of_int (pending_requests t));
+  M.set_gauge (M.gauge registry ~help:"responses awaiting poll" (prefix ^ "pending_responses"))
+    (float_of_int (pending_responses t))

@@ -82,3 +82,8 @@ val dropped : ('req, 'resp) t -> int
 
 val duplicated : ('req, 'resp) t -> int
 val corrupt_detected : ('req, 'resp) t -> int
+
+(** Snapshot issued/dropped/duplicated/corrupt counters and the
+    pending-depth gauges into a metrics registry, each name prefixed
+    with [prefix] (e.g. ["shard0.mailbox."]). *)
+val publish_metrics : ('req, 'resp) t -> prefix:string -> Hypertee_obs.Metrics.t -> unit

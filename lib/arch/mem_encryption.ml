@@ -12,6 +12,11 @@ type t = {
   mac_key : bytes; (* engine-internal MAC key *)
   mutable faults : Hypertee_faults.Fault.t option;
   mutable bit_flips : int;
+  mutable stores : int;
+  mutable loads : int;
+  mutable range_loads : int;
+  mutable range_updates : int;
+  mutable mac_failures : int;
 }
 
 let create ~slots =
@@ -22,6 +27,11 @@ let create ~slots =
     mac_key = Hypertee_crypto.Sha256.digest_string "hypertee-mee-mac-key";
     faults = None;
     bit_flips = 0;
+    stores = 0;
+    loads = 0;
+    range_loads = 0;
+    range_updates = 0;
+    mac_failures = 0;
   }
 
 let set_fault_injector t inj = t.faults <- Some inj
@@ -74,6 +84,7 @@ let store_into t ~key_id ~frame ~src ~dst =
     if dst != src then Bytes.blit src 0 dst 0 len
   end
   else begin
+    t.stores <- t.stores + 1;
     let slot = slot_exn t key_id in
     set_tweak slot ~frame;
     Hypertee_crypto.Aes.ctr_into slot.key ~nonce:slot.tweak ~src ~src_off:0 ~dst ~dst_off:0 len;
@@ -114,10 +125,13 @@ let checked_ciphertext t ~key_id ~frame data =
   let data = maybe_flip t data in
   (match Hashtbl.find_opt t.macs (key_id, frame) with
   | Some mac when mac = Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key data -> ()
-  | Some _ -> raise (Integrity_violation { frame })
+  | Some _ ->
+    t.mac_failures <- t.mac_failures + 1;
+    raise (Integrity_violation { frame })
   | None ->
     (* Never stored under this key: decrypting garbage; a real
        engine would also MAC-fault on uninitialised lines. *)
+    t.mac_failures <- t.mac_failures + 1;
     raise (Integrity_violation { frame }));
   data
 
@@ -128,6 +142,7 @@ let load_into t ~key_id ~frame ~src ~dst =
     if dst != src then Bytes.blit src 0 dst 0 len
   end
   else begin
+    t.loads <- t.loads + 1;
     let data = checked_ciphertext t ~key_id ~frame src in
     let slot = slot_exn t key_id in
     set_tweak slot ~frame;
@@ -143,6 +158,7 @@ let load_range_into t ~key_id ~frame ~src ~off ~len dst ~dst_off =
     invalid_arg "Mem_encryption.load_range_into: bad slice";
   if key_id = 0 then Bytes.blit src off dst dst_off len
   else begin
+    t.range_loads <- t.range_loads + 1;
     let data = checked_ciphertext t ~key_id ~frame src in
     let slot = slot_exn t key_id in
     set_tweak slot ~frame;
@@ -203,6 +219,7 @@ let update_range t mem ~key_id ~frame ~off ~src ~src_off ~len =
     (* Full-page read-modify-write: decrypting first keeps the
        integrity check on the stale line (a tampered page still
        faults even when only partially overwritten). *)
+    t.range_updates <- t.range_updates + 1;
     let dram = Phys_mem.borrow mem ~frame in
     load_into t ~key_id ~frame ~src:dram ~dst:rmw_scratch;
     Bytes.blit src src_off rmw_scratch off len;
@@ -215,3 +232,13 @@ let find_free_slot t =
 
 let extra_ns (lat : Config.mem_latency) ~cs_ghz =
   float_of_int (lat.Config.encryption_extra + lat.Config.integrity_extra) /. cs_ghz
+
+let publish_metrics t registry =
+  let module M = Hypertee_obs.Metrics in
+  let set name help v = M.set_counter (M.counter registry ~help ("mee." ^ name)) v in
+  set "stores" "encrypted page stores" t.stores;
+  set "loads" "decrypted (MAC-checked) page loads" t.loads;
+  set "range_loads" "partial-page decrypts" t.range_loads;
+  set "range_updates" "encrypted read-modify-writes" t.range_updates;
+  set "mac_failures" "integrity-check failures" t.mac_failures;
+  set "bit_flips" "injected DRAM bit flips" t.bit_flips

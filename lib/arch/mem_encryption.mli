@@ -99,3 +99,7 @@ val bit_flips : t -> int
 (** Timing: extra nanoseconds an off-chip access pays for decryption
     + MAC check, at the given DRAM parameters. *)
 val extra_ns : Config.mem_latency -> cs_ghz:float -> float
+
+(** Snapshot engine counters (stores, loads, range ops, MAC
+    failures, bit flips) into a metrics registry under [mee.*]. *)
+val publish_metrics : t -> Hypertee_obs.Metrics.t -> unit

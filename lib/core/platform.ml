@@ -326,6 +326,21 @@ let unseal t ~enclave blob =
       | Some data -> Ok data
       | None -> Error "unseal failed: tampered blob or wrong enclave")
 
+(* One call gathers the whole platform's telemetry: the gate, every
+   shard's mailbox/scheduler/runtime, the encryption engine and the
+   fault injector each publish under their dotted prefix. *)
+let publish_metrics t registry =
+  Emcall.publish_metrics t.emcall registry;
+  Mem_encryption.publish_metrics t.mee registry;
+  Array.iteri
+    (fun s sh ->
+      let prefix name = Printf.sprintf "shard%d.%s." s name in
+      Mailbox.publish_metrics sh.mailbox ~prefix:(prefix "mailbox") registry;
+      Hypertee_ems.Scheduler.publish_metrics sh.scheduler ~prefix:(prefix "sched") registry;
+      Runtime.publish_metrics sh.runtime ~prefix:(prefix "ems") registry)
+    t.shards;
+  Option.iter (fun inj -> Fault.publish_metrics inj registry) t.faults
+
 module Internals = struct
   let runtime t = t.shards.(0).runtime
   let runtimes t = Array.map (fun sh -> sh.runtime) t.shards

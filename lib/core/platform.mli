@@ -125,6 +125,13 @@ val seal : t -> enclave:Hypertee_ems.Types.enclave_id -> bytes -> (bytes, string
 
 val unseal : t -> enclave:Hypertee_ems.Types.enclave_id -> bytes -> (bytes, string) result
 
+(** Snapshot the whole platform's telemetry into a metrics registry:
+    the EMCall gate ([emcall.*]), the encryption engine ([mee.*]),
+    every shard's mailbox / scheduler / runtime
+    ([shard<i>.mailbox.*], [shard<i>.sched.*], [shard<i>.ems.*]) and
+    the fault injector ([faults.*]) when one is installed. *)
+val publish_metrics : t -> Hypertee_obs.Metrics.t -> unit
+
 (** Internals exposed for tests, the benchmark harness and the attack
     suite — not part of the user-facing API. *)
 module Internals : sig

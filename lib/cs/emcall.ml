@@ -131,7 +131,49 @@ let transport_spike_ns t =
     if Fault.fire inj Fault.Transport_delay then Fault.intensity inj Fault.Transport_delay
     else 0.0
 
-let complete t shard ~request ~request_id ~overhead_ns ~extra_ns response =
+(* Lay one completed round trip out on the tracer's virtual cursor:
+   a parent EMCALL span on the gate track of the serving shard, with
+   children that partition it exactly —
+
+     gate      = EMCall entry + packet build
+     transport = the rest of the modelled overhead (fabric hops +
+                 doorbell, amortized when batched)
+     service   = the primitive's modelled service time
+     wait      = latency - overhead - service (poll quantisation,
+                 jitter, injected spikes, retry backoff; >= 0 because
+                 quantised latency never undercuts the raw cost)
+
+   so gate + transport + service + wait = latency by construction —
+   the reconciliation property test_obs.ml asserts. *)
+let trace_call t ~shard_idx ~request ~request_id ~overhead_ns ~service_ns ~latency_ns =
+  let module Trace = Hypertee_obs.Trace in
+  match Trace.installed () with
+  | None -> ()
+  | Some tracer ->
+    let tr = t.transport in
+    let gate_ns = tr.Config.emcall_entry_ns +. tr.Config.packet_build_ns in
+    let fabric_ns = overhead_ns -. gate_ns in
+    let wait_ns = latency_ns -. overhead_ns -. service_ns in
+    let start = Trace.now tracer in
+    let track = Trace.track_gate shard_idx in
+    let opcode = Types.opcode_name (Types.opcode_of_request request) in
+    let enclave = Hypertee_ems.Runtime.enclave_of_request request in
+    let parent =
+      Trace.emit ~track ?enclave ~opcode ~request_id ~cat:Trace.Emcall
+        ~name:("EMCALL:" ^ opcode) ~start_ns:start ~dur_ns:latency_ns ()
+    in
+    let child cat name off dur =
+      ignore
+        (Trace.emit ~track ~parent ?enclave ~opcode ~request_id ~cat ~name
+           ~start_ns:(start +. off) ~dur_ns:dur ())
+    in
+    child Trace.Gate "gate" 0.0 gate_ns;
+    child Trace.Transport "transport" gate_ns fabric_ns;
+    child Trace.Service "service" (gate_ns +. fabric_ns) service_ns;
+    child Trace.Wait "wait" (gate_ns +. fabric_ns +. service_ns) wait_ns;
+    Trace.advance tracer latency_ns
+
+let complete t shard ~shard_idx ~request ~request_id ~overhead_ns ~extra_ns response =
   (* Any further copies of this response are duplicates: detect and
      discard them here, so a duplicated packet can never be mistaken
      for the answer to a later request. *)
@@ -144,6 +186,9 @@ let complete t shard ~request ~request_id ~overhead_ns ~extra_ns response =
   let jitter = Hypertee_util.Xrng.float t.rng *. slot in
   let latency = quantised +. jitter in
   t.last_latency_ns <- latency;
+  if Hypertee_obs.Trace.enabled () then
+    trace_call t ~shard_idx ~request ~request_id ~overhead_ns ~service_ns:service
+      ~latency_ns:latency;
   if bitmap_changed request response then flush_tlbs t;
   (match (request, response) with
   | (Types.Enter _ | Types.Resume _), Types.Ok_entered _ ->
@@ -179,11 +224,12 @@ let gate_check t ~caller request =
    exponential backoff. Re-asking hits the answered cache, never
    re-executes the primitive: delivery is exactly-once by
    construction. *)
-let await t shard ~request ~request_id ~overhead_ns ~extra_ns =
+let await t shard ~shard_idx ~request ~request_id ~overhead_ns ~extra_ns =
   let slot_ns = t.transport.Config.poll_slot_ns in
   let rec go ~polls ~retry_count ~extra_ns =
     match Mailbox.poll_response shard.mailbox ~request_id with
-    | Some response -> complete t shard ~request ~request_id ~overhead_ns ~extra_ns response
+    | Some response ->
+      complete t shard ~shard_idx ~request ~request_id ~overhead_ns ~extra_ns response
     | None ->
       if polls < t.retry.poll_budget then begin
         shard.ems_service ();
@@ -191,6 +237,10 @@ let await t shard ~request ~request_id ~overhead_ns ~extra_ns =
       end
       else if retry_count < t.retry.max_retries then begin
         t.retries <- t.retries + 1;
+        if Hypertee_obs.Trace.enabled () then
+          Hypertee_obs.Trace.instant
+            ~track:(Hypertee_obs.Trace.track_gate shard_idx)
+            ~request_id ~cat:Hypertee_obs.Trace.Wait ~name:"emcall:retry" ();
         ignore (Mailbox.resend_request shard.mailbox ~request_id);
         shard.ems_service ();
         let backoff = t.retry.backoff_base_ns *. Float.of_int (1 lsl retry_count) in
@@ -198,6 +248,10 @@ let await t shard ~request ~request_id ~overhead_ns ~extra_ns =
       end
       else begin
         t.timeouts <- t.timeouts + 1;
+        if Hypertee_obs.Trace.enabled () then
+          Hypertee_obs.Trace.instant
+            ~track:(Hypertee_obs.Trace.track_gate shard_idx)
+            ~request_id ~cat:Hypertee_obs.Trace.Wait ~name:"emcall:timeout" ();
         (* Whatever arrives after the deadline is stale: make sure
            a late or duplicated response can never be collected by
            a future request (ids are unique, but the slot should
@@ -212,7 +266,8 @@ let invoke_timed t ~caller request =
   match gate_check t ~caller request with
   | Error _ as e -> e
   | Ok sender -> (
-    let shard = t.shards.(shard_of t request) in
+    let shard_idx = shard_of t request in
+    let shard = t.shards.(shard_idx) in
     match Mailbox.send_request shard.mailbox ~sender_enclave:sender request with
     | Error `Full ->
       t.rejected <- t.rejected + 1;
@@ -220,7 +275,7 @@ let invoke_timed t ~caller request =
     | Ok request_id ->
       (* Doorbell: the EMS side drains the queue and posts responses. *)
       shard.ems_service ();
-      await t shard ~request ~request_id ~overhead_ns:(transport_ns t)
+      await t shard ~shard_idx ~request ~request_id ~overhead_ns:(transport_ns t)
         ~extra_ns:(transport_spike_ns t))
 
 let invoke t ~caller request = Result.map fst (invoke_timed t ~caller request)
@@ -259,7 +314,8 @@ let invoke_batch t requests =
       | Ok (idx, request_id, request) ->
         let shard = t.shards.(idx) in
         let overhead_ns = per_call_overhead_ns t ~batch:per_shard.(idx) in
-        await t shard ~request ~request_id ~overhead_ns ~extra_ns:(transport_spike_ns t))
+        await t shard ~shard_idx:idx ~request ~request_id ~overhead_ns
+          ~extra_ns:(transport_spike_ns t))
     sent
 
 let last_latency_ns t = t.last_latency_ns
@@ -268,3 +324,13 @@ let tlb_flushes t = t.tlb_flushes
 let timeouts t = t.timeouts
 let retries t = t.retries
 let duplicates_discarded t = t.duplicates_discarded
+
+let publish_metrics t registry =
+  let module M = Hypertee_obs.Metrics in
+  let set name help v = M.set_counter (M.counter registry ~help ("emcall." ^ name)) v in
+  set "rejected" "requests blocked at the gate" t.rejected;
+  set "tlb_flushes" "TLB shoot-downs issued" t.tlb_flushes;
+  set "timeouts" "invocations that exhausted the retry budget" t.timeouts;
+  set "retries" "response re-requests issued" t.retries;
+  set "duplicates_discarded" "duplicate response copies discarded" t.duplicates_discarded;
+  set "shards" "EMS shards behind the gate" (shard_count t)

@@ -163,3 +163,18 @@ val register_tlb_flush_hook : t -> (unit -> unit) -> unit
 (** [flush_tlbs t] — invoked on enclave context switch and on bitmap
     updates (EMS responses that changed the bitmap). *)
 val flush_tlbs : t -> unit
+
+(** {2 Observability}
+
+    With a tracer installed ({!Hypertee_obs.Trace.install}) every
+    completed invocation lays an [EMCALL:<op>] span on the serving
+    shard's gate track, decomposed into gate / transport / service /
+    wait children that sum {e exactly} to the recorded latency, and
+    advances the tracer's virtual cursor by that latency. Retries and
+    timeouts appear as instant events. With no tracer the path is
+    allocation-free. *)
+
+(** Snapshot gate counters (rejected, TLB flushes, timeouts, retries,
+    duplicates discarded, shard count) into a metrics registry under
+    [emcall.*]. *)
+val publish_metrics : t -> Hypertee_obs.Metrics.t -> unit

@@ -28,6 +28,7 @@ val make_quote :
 (** Wire encoding (what travels to the remote verifier). *)
 val quote_to_bytes : quote -> bytes
 
+(** Decode a wire quote; [None] on malformed input. *)
 val quote_of_bytes : bytes -> quote option
 
 (** [verify_quote ~ek ~ak q] — the remote verifier's check: both
@@ -39,13 +40,17 @@ val verify_quote :
     challenger measurement) under the report key. *)
 type report = { verifier_measurement : bytes; challenger_measurement : bytes; mac : bytes }
 
+(** [make_report keys ~verifier_measurement ~challenger_measurement]
+    — the local-attestation service routine. *)
 val make_report :
   Keymgmt.t -> verifier_measurement:bytes -> challenger_measurement:bytes -> report
 
+(** Check a report MAC — succeeds only on the same platform. *)
 val verify_report : Keymgmt.t -> report -> bool
 
 (** [seal keys ~enclave_measurement data] -> sealed blob;
     [unseal] inverts it, [None] on tamper or wrong measurement. *)
 val seal : Keymgmt.t -> enclave_measurement:bytes -> bytes -> bytes
 
+(** Inverse of {!seal}; [None] on tamper or wrong measurement. *)
 val unseal : Keymgmt.t -> enclave_measurement:bytes -> bytes -> bytes option

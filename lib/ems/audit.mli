@@ -30,6 +30,7 @@ type fault_event = { fault_seq : int; site : string; detail : string; recovered 
 
 type t
 
+(** An empty log retaining at most [capacity] entries of each kind. *)
 val create : ?capacity:int -> unit -> t
 
 (** [record t ~opcode ~sender ~outcome] appends one entry. *)
@@ -57,4 +58,5 @@ val refusals : t -> entry list
 (** [by_sender t ~sender] — retained entries from one principal. *)
 val by_sender : t -> sender:Types.enclave_id option -> entry list
 
+(** Render one entry for logs and failure messages. *)
 val pp_entry : Format.formatter -> entry -> unit

@@ -27,6 +27,7 @@ val provision :
 
 type stage = Ems_boot_rom | Ems_runtime | Cs_firmware | Cs_os
 
+(** Human-readable stage label for reports. *)
 val stage_name : stage -> string
 
 type outcome =

@@ -26,6 +26,7 @@ type verdict =
 
 type t
 
+(** A monitor with per-enclave trace buffers of [buffer_capacity]. *)
 val create : ?buffer_capacity:int -> unit -> t
 
 (** [register t ~enclave p] installs the policy (at launch, derived
@@ -39,6 +40,7 @@ val record_transfer : t -> enclave:Types.enclave_id -> from_pc:int -> to_pc:int 
     leaves the buffer drained and increments [violations]. *)
 val monitor : t -> enclave:Types.enclave_id -> verdict
 
+(** Violations detected over the monitor's lifetime. *)
 val violations : t -> int
 
 (** Pending (unmonitored) transfers for an enclave. *)

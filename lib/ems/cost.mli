@@ -15,9 +15,14 @@
 
 type t
 
+(** [create ~ems ~engine] — a model for the given EMS core
+    strength and crypto engine (hardware or software timings). *)
 val create : ems:Hypertee_arch.Config.core -> engine:Hypertee_crypto.Engine.t -> t
 
+(** The core configuration the model was built for. *)
 val ems_core : t -> Hypertee_arch.Config.core
+
+(** The crypto-engine timing model in use. *)
 val engine : t -> Hypertee_crypto.Engine.t
 
 (** Fixed dispatch cost of any primitive. *)
@@ -34,12 +39,20 @@ val service_ns : t -> Types.request -> float
     explicitly). *)
 val create_ns : t -> static_pages:int -> float
 
+(** One EADD: map + copy + measurement-extend one page. *)
 val add_page_ns : t -> float
 
 (** Measurement finalization over [bytes] of loaded content. *)
 val measure_ns : t -> bytes:int -> float
 
+(** EALLOC of [pages] from the EMS pool. *)
 val alloc_ns : t -> pages:int -> float
+
+(** EATTEST: quote build + two signatures. *)
 val attest_ns : t -> float
+
+(** EENTER/ERESUME context switch into the enclave. *)
 val enter_ns : t -> float
+
+(** EWB writeback of [pages] (re-encryption included). *)
 val writeback_ns : t -> pages:int -> float

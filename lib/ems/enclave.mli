@@ -53,6 +53,7 @@ type t = {
           movement) *)
 }
 
+(** Human-readable state label for reports and errors. *)
 val state_name : state -> string
 
 (** [create ~id ~config ~page_table ~key_id] a fresh ECS in Loading
@@ -67,12 +68,21 @@ val create :
 (** Legal-transition checks; [Error] carries the offending state. *)
 val can_add : t -> (unit, Types.error) result
 
+(** EMEAS is legal only while still Loading. *)
 val can_measure : t -> (unit, Types.error) result
+
+(** EENTER requires a Measured (built, not yet entered) enclave. *)
 val can_enter : t -> (unit, Types.error) result
+
+(** ERESUME requires an Interrupted enclave. *)
 val can_resume : t -> (unit, Types.error) result
+
+(** EEXIT requires a Running or Interrupted enclave. *)
 val can_exit : t -> (unit, Types.error) result
 
 (** Virtual page ranges, derived from config + layout. *)
 val static_vpns : t -> int list
 
+(** The finalized measurement.
+    @raise Invalid_argument before EMEAS ran. *)
 val measurement_exn : t -> bytes

@@ -19,6 +19,7 @@ val provision : Hypertee_util.Xrng.t -> t
 val ek_public : t -> Hypertee_crypto.Rsa.public
 
 val ak_public : t -> Hypertee_crypto.Rsa.public
+(** Public half of the attestation key. *)
 
 (** [sign_with_ek t msg] — platform certificate signature. *)
 val sign_with_ek : t -> bytes -> bytes

@@ -15,6 +15,9 @@
 
 type t
 
+(** [create rng ~mem ~bitmap ~os_request ~os_return
+    ~initial_frames] builds a pool pre-filled with [initial_frames]
+    frames obtained through [os_request]. *)
 val create :
   Hypertee_util.Xrng.t ->
   mem:Hypertee_arch.Phys_mem.t ->

@@ -12,6 +12,7 @@ type record =
 
 type t
 
+(** An empty table. *)
 val create : unit -> t
 
 (** [claim_private t ~frame ~enclave] registers ownership. Fails
@@ -26,11 +27,13 @@ val claim_shared : t -> frame:int -> shm:Types.shm_id -> bool
     of a shared frame; [false] on private frames or duplicates. *)
 val attach : t -> frame:int -> enclave:Types.enclave_id -> bool
 
+(** Remove one enclave from a shared frame's attachment set. *)
 val detach : t -> frame:int -> enclave:Types.enclave_id -> unit
 
 (** [release t ~frame] forgets the frame entirely (free / swap-out). *)
 val release : t -> frame:int -> unit
 
+(** The ownership record of a frame, if any. *)
 val lookup : t -> frame:int -> record option
 
 (** [can_map_private t ~frame] — the ECREATE/EALLOC pre-check. *)

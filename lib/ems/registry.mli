@@ -11,6 +11,7 @@ type handler = State.t -> sender:Types.enclave_id option -> Types.request -> Typ
 
 type t
 
+(** An empty registry. *)
 val create : unit -> t
 
 (** [register t ~service ~opcodes handler] binds [handler] to every
@@ -18,6 +19,7 @@ val create : unit -> t
     @raise Invalid_argument if any opcode is already bound. *)
 val register : t -> service:string -> opcodes:Types.opcode list -> handler -> unit
 
+(** The handler bound to an opcode, if any. *)
 val find : t -> Types.opcode -> handler option
 
 (** Name of the service a given opcode is bound to, if any. *)

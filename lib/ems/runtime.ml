@@ -77,6 +77,10 @@ let contain_integrity_fault t request ~frame =
     (try ignore (Svc_lifecycle.destroy state ~enclave:id)
      with _ -> Hashtbl.remove state.State.enclaves id)
   | _ -> ());
+  if Hypertee_obs.Trace.enabled () then
+    Hypertee_obs.Trace.instant
+      ~track:(Hypertee_obs.Trace.track_ems state.State.shard)
+      ?enclave:victim ~cat:Hypertee_obs.Trace.Ems ~name:"ems:integrity-contained" ();
   Audit.record_fault state.State.audit ~site:"memory-integrity"
     ~detail:
       (Printf.sprintf "MAC mismatch at frame %d%s" frame
@@ -93,6 +97,20 @@ let handle t ~sender request =
     try Registry.dispatch t.registry t.state ~sender request with
     | Mem_encryption.Integrity_violation { frame } -> contain_integrity_fault t request ~frame
   in
+  (* EMS-side view of the primitive: one span on this shard's track,
+     as long as the modelled service time. The CS-side gate records
+     its own decomposition of the same round trip. *)
+  if Hypertee_obs.Trace.enabled () then begin
+    let module Trace = Hypertee_obs.Trace in
+    ignore
+      (Trace.emit
+         ~track:(Trace.track_ems t.state.State.shard)
+         ?enclave:(enclave_of_request request)
+         ~opcode:(Types.opcode_name opcode) ~cat:Trace.Ems
+         ~name:("EMS:" ^ Types.opcode_name opcode)
+         ~start_ns:(Trace.global_now ())
+         ~dur_ns:(State.service_ns t.state request) ())
+  end;
   let outcome =
     match response with
     | Types.Err e -> Audit.Refused (Types.error_message e)
@@ -100,3 +118,18 @@ let handle t ~sender request =
   in
   Audit.record (State.audit t.state) ~opcode ~sender ~outcome;
   response
+
+let publish_metrics t ~prefix registry =
+  let module M = Hypertee_obs.Metrics in
+  List.iter
+    (fun op ->
+      let n = served t op in
+      if n > 0 then
+        M.set_counter
+          (M.counter registry ~help:"primitives served"
+             (prefix ^ "served." ^ Types.opcode_name op))
+          n)
+    Types.all_opcodes;
+  M.set_counter
+    (M.counter registry ~help:"live enclaves" (prefix ^ "live_enclaves"))
+    (List.length (live_enclaves t))

@@ -52,14 +52,25 @@ val service_ns : t -> Types.request -> float
 (** Lookups used by the platform layer and tests. *)
 val find_enclave : t -> Types.enclave_id -> Enclave.t option
 
+(** Shared-memory region by id, if live. *)
 val find_shm : t -> Types.shm_id -> Shm.region option
+
+(** The key-management service (root, sealing and attestation keys). *)
 val keys : t -> Keymgmt.t
+
+(** The EMS-managed enclave memory pool. *)
 val pool : t -> Mem_pool.t
+
+(** The page-ownership table. *)
 val ownership : t -> Ownership.t
+
+(** Measurement of the EMS firmware itself, bound into quotes. *)
 val platform_measurement : t -> bytes
 
 (** The EMS-private audit log of served/refused primitives. *)
 val audit : t -> Audit.t
+
+(** Ids of enclaves not yet destroyed. *)
 val live_enclaves : t -> Types.enclave_id list
 
 (** Per-opcode served counters (telemetry / tests). *)
@@ -72,8 +83,14 @@ val has_swapped_page : t -> Types.enclave_id -> vpn:int -> bool
 (** Registry introspection (telemetry / tests). *)
 val services : t -> string list
 
+(** Name of the service registered for the opcode, if any. *)
 val service_of : t -> Types.opcode -> string option
 
 (** The enclave a request acts on, if any — the integrity-fault
     victim, and the affinity key the platform shards by. *)
 val enclave_of_request : Types.request -> Types.enclave_id option
+
+(** Snapshot per-opcode served counters and the live-enclave count
+    into a metrics registry, each name prefixed with [prefix] (e.g.
+    ["shard0.ems."]). Only opcodes served at least once appear. *)
+val publish_metrics : t -> prefix:string -> Hypertee_obs.Metrics.t -> unit

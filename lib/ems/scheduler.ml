@@ -73,11 +73,17 @@ let dispatch t =
         | `Crash ->
           t.alive.(worker) <- false;
           t.crashes <- t.crashes + 1;
-          t.parked <- job :: t.parked
+          t.parked <- job :: t.parked;
+          if Hypertee_obs.Trace.enabled () then
+            Hypertee_obs.Trace.instant ~cat:Hypertee_obs.Trace.Sched ~name:"sched:crash"
+              ~request_id:job.id ()
         | `Stall ->
           t.alive.(worker) <- false;
           t.stalls <- t.stalls + 1;
-          t.parked <- job :: t.parked
+          t.parked <- job :: t.parked;
+          if Hypertee_obs.Trace.enabled () then
+            Hypertee_obs.Trace.instant ~cat:Hypertee_obs.Trace.Sched ~name:"sched:stall"
+              ~request_id:job.id ()
         | `Run ->
           job.run ();
           incr ran;
@@ -93,6 +99,8 @@ let watchdog_scan t =
   else begin
     Array.fill t.alive 0 t.workers true;
     t.restarts <- t.restarts + dead;
+    if dead > 0 && Hypertee_obs.Trace.enabled () then
+      Hypertee_obs.Trace.instant ~cat:Hypertee_obs.Trace.Sched ~name:"sched:watchdog-restart" ();
     let recovered = List.rev t.parked in
     t.parked <- [];
     (* Re-dispatch under the original ids: prepend so the recovered
@@ -106,3 +114,13 @@ let executed t = t.executed
 let crashes t = t.crashes
 let stalls t = t.stalls
 let restarts t = t.restarts
+
+let publish_metrics t ~prefix registry =
+  let module M = Hypertee_obs.Metrics in
+  let set name help v = M.set_counter (M.counter registry ~help (prefix ^ name)) v in
+  set "executed" "jobs run to completion" t.executed;
+  set "crashes" "worker crashes injected" t.crashes;
+  set "stalls" "worker stalls injected" t.stalls;
+  set "restarts" "watchdog worker restarts" t.restarts;
+  M.set_gauge (M.gauge registry ~help:"jobs queued or parked" (prefix ^ "pending"))
+    (float_of_int (pending t))

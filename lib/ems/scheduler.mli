@@ -24,8 +24,11 @@ type t
 
 type watchdog_report = { dead_workers : int; redispatched : int list }
 
+(** [create rng ~workers] builds a scheduler over [workers] EMS
+    worker cores; [rng] drives the dispatch-order shuffle. *)
 val create : Hypertee_util.Xrng.t -> workers:int -> t
 
+(** Configured worker-core count. *)
 val workers : t -> int
 
 (** Install the platform's fault injector (consulted per job run). *)
@@ -59,11 +62,20 @@ val watchdog_scan : t -> watchdog_report
     predict ordering. *)
 val execution_log : t -> (int * int) list
 
+(** Jobs run to completion since creation. *)
 val executed : t -> int
 
 (** Fault telemetry: worker crashes / stalls injected, and watchdog
     restarts performed. *)
 val crashes : t -> int
 
+(** Worker stalls injected. *)
 val stalls : t -> int
+
+(** Watchdog worker restarts performed. *)
 val restarts : t -> int
+
+(** Snapshot executed/crash/stall/restart counters and the pending
+    gauge into a metrics registry, each name prefixed with [prefix]
+    (e.g. ["shard0.sched."]). *)
+val publish_metrics : t -> prefix:string -> Hypertee_obs.Metrics.t -> unit

@@ -26,6 +26,7 @@ type region = {
 
 type t
 
+(** An empty control-structure table. *)
 val create : unit -> t
 
 (** [register t ~shm ~owner ~frames ~key_id ~max_perm] records a new
@@ -40,6 +41,7 @@ val register :
   max_perm:Types.perm ->
   region
 
+(** The region registered under a ShmID, if any. *)
 val find : t -> Types.shm_id -> region option
 
 (** [grant t ~shm ~caller ~grantee ~perm] — ESHMSHR. Fails unless
@@ -75,4 +77,5 @@ val active_connections : region -> int
 (** Effective permission of an attached enclave, if attached. *)
 val attached_perm : region -> Types.enclave_id -> Types.perm option
 
+(** Every live region, in creation order. *)
 val regions : t -> region list

@@ -21,6 +21,7 @@ type t = {
   os_request : n:int -> int list;
   os_return : frames:int list -> unit;
   id_stride : int;
+  shard : int;
   mutable next_enclave_id : int;
   mutable next_shm_id : int;
 }
@@ -49,6 +50,7 @@ let create ?(first_enclave_id = 1) ?(first_shm_id = 1) ?(id_stride = 1) ~rng ~me
     os_request;
     os_return;
     id_stride;
+    shard = (first_enclave_id - 1) mod max 1 id_stride;
     next_enclave_id = first_enclave_id;
     next_shm_id = first_shm_id;
   }

@@ -33,10 +33,16 @@ type t = {
           shards, shard [s] uses [first_*_id = s+1] and stride [N] so
           id ranges never collide and [(id-1) mod N] recovers the
           shard — the affinity function the EMCall gate routes by. *)
+  shard : int;
+      (** This runtime's shard index, recovered from
+          [first_enclave_id] and [id_stride]; 0 for a single-shard
+          platform. Tags the tracer's EMS-side spans. *)
   mutable next_enclave_id : int;
   mutable next_shm_id : int;
 }
 
+(** Build the shared state; the id parameters are those of
+    {!Runtime.create} (platform sharding). *)
 val create :
   ?first_enclave_id:int ->
   ?first_shm_id:int ->
@@ -55,40 +61,85 @@ val create :
 
 (** Lookups shared by [Runtime] and the platform layer. *)
 
+(** The key-management service. *)
 val keys : t -> Keymgmt.t
+
+(** The enclave memory pool. *)
 val pool : t -> Mem_pool.t
+
+(** The page-ownership table. *)
 val ownership : t -> Ownership.t
+
+(** Measurement of the EMS firmware itself. *)
 val platform_measurement : t -> bytes
+
+(** Enclave control structure by id, if live. *)
 val find_enclave : t -> Types.enclave_id -> Enclave.t option
+
+(** Shared-memory region by id, if live. *)
 val find_shm : t -> Types.shm_id -> Shm.region option
+
+(** Times the opcode has been recorded via {!count}. *)
 val served : t -> Types.opcode -> int
+
+(** Ids of enclaves not yet destroyed. *)
 val live_enclaves : t -> Types.enclave_id list
+
+(** The EMS-private audit log. *)
 val audit : t -> Audit.t
+
+(** Service-time model for the request (timing layer). *)
 val service_ns : t -> Types.request -> float
+
+(** Record one served instance of the opcode. *)
 val count : t -> Types.opcode -> unit
+
+(** Does the enclave have an EWB-evicted page at [vpn]? *)
 val has_swapped_page : t -> Types.enclave_id -> vpn:int -> bool
 
 (** Helpers shared by the service modules. *)
 
+(** Handler idiom: early-return [Err e] on [Error e]. *)
 val ( let* ) : ('a, Types.error) result -> ('a -> Types.response) -> Types.response
+
+(** Enclave by id, or [Error No_such_enclave]. *)
 val get_enclave : t -> Types.enclave_id -> (Enclave.t, Types.error) result
 
+(** Sec. III-B identity check: a packet stamped with an enclave id
+    must name the enclave it acts on; [strict] additionally rejects
+    unstamped (host-software) senders. *)
 val check_identity :
   sender:Types.enclave_id option -> target:Types.enclave_id -> strict:bool ->
   (unit, Types.error) result
 
+(** Take [n] free frames from the pool, or [Error Out_of_memory]. *)
 val take_pool_frames : t -> n:int -> (int list, Types.error) result
+
+(** Write an encrypted all-zero page into [frame] under [key_id]. *)
 val store_zero_page : t -> key_id:int -> frame:int -> unit
 
+(** Map [vpn] to [frame] in the enclave's table and record
+    ownership. *)
 val map_private_page :
   t -> Enclave.t -> vpn:int -> frame:int -> r:bool -> w:bool -> x:bool ->
   (unit, Types.error) result
 
+(** Unmap [vpn], returning the freed frame. *)
 val unmap_private_page : t -> Enclave.t -> vpn:int -> (int, Types.error) result
 
 (** KeyID pressure (Sec. IV-C): parking and revival. *)
 
+(** A free MEE KeyID — parking a victim enclave's key when the
+    slots are exhausted ([except] is never chosen as victim);
+    [None] if no slot can be freed. *)
 val allocate_key_id : t -> except:Types.enclave_id -> int option
+
+(** Re-assign a KeyID to an enclave whose key was parked. *)
 val revive_key : t -> Enclave.t -> (unit, Types.error) result
+
+(** Extend the enclave's build measurement with page [vpn]'s
+    contents. *)
 val measurement_update : Enclave.t -> vpn:int -> bytes -> unit
+
+(** Unmap a detached shared region's pages from the enclave. *)
 val detach_shm_frames : t -> Enclave.t -> Types.shm_id -> unit

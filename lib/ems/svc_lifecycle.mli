@@ -3,12 +3,18 @@
     Serves ECREATE, EADD, EENTER, ERESUME (and the interrupt save
     path that shares its opcode), EEXIT, EDESTROY. *)
 
+(** Registry name of this service. *)
 val name : string
+
+(** The Table II opcodes this service claims. *)
 val opcodes : Types.opcode list
 
 (** Direct destroy entry for integrity containment: terminate an
     enclave without going through opcode dispatch. *)
 val destroy : State.t -> enclave:Types.enclave_id -> Types.response
 
+(** The service routine (dispatched through {!Registry}). *)
 val handle : Registry.handler
+
+(** Register {!handle} for each of {!opcodes}. *)
 val register : Registry.t -> unit

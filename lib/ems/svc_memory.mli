@@ -4,7 +4,14 @@
     that shares its opcode: demand paging and EWB swap-in), EFREE,
     and EWB reclamation. *)
 
+(** Registry name of this service. *)
 val name : string
+
+(** The Table II opcodes this service claims. *)
 val opcodes : Types.opcode list
+
+(** The service routine (dispatched through {!Registry}). *)
 val handle : Registry.handler
+
+(** Register {!handle} for each of {!opcodes}. *)
 val register : Registry.t -> unit

@@ -2,7 +2,14 @@
 
     Serves ESHMGET, ESHMSHR, ESHMAT, ESHMDT, ESHMDES (Sec. V-A). *)
 
+(** Registry name of this service. *)
 val name : string
+
+(** The Table II opcodes this service claims. *)
 val opcodes : Types.opcode list
+
+(** The service routine (dispatched through {!Registry}). *)
 val handle : Registry.handler
+
+(** Register {!handle} for each of {!opcodes}. *)
 val register : Registry.t -> unit

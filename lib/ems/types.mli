@@ -34,9 +34,16 @@ type opcode =
   | EMEAS
   | EATTEST
 
+(** Every opcode, in Table II order. *)
 val all_opcodes : opcode list
+
+(** Mnemonic, e.g. ["EALLOC"]. *)
 val opcode_name : opcode -> string
+
+(** Table II "Priv." column. *)
 val required_privilege : opcode -> privilege
+
+(** One-line description of the primitive (Table II). *)
 val opcode_semantics : opcode -> string
 
 (** Static resource declaration from the enclave's configuration file
@@ -49,7 +56,10 @@ type enclave_config = {
   shared_pages : int;  (** HostApp <-> enclave staging region *)
 }
 
+(** Small static layout used by tests and synthetic workloads. *)
 val default_config : enclave_config
+
+(** Pages ECREATE reserves up front for this configuration. *)
 val total_static_pages : enclave_config -> int
 
 (** Request payloads. The [enclave_id] argument EMCall stamps on each
@@ -78,6 +88,7 @@ type request =
           execution: EMS saves the context into the ECS and parks the
           enclave in Interrupted state until ERESUME (Sec. III-B) *)
 
+(** The Table II opcode a request is charged to. *)
 val opcode_of_request : request -> opcode
 
 type error =
@@ -93,6 +104,7 @@ type error =
       (** the memory-encryption MAC caught tampering (or an injected
           bit flip); EMS terminated the affected enclave *)
 
+(** Human-readable error text for reports and logs. *)
 val error_message : error -> string
 
 (** Response payloads, matched to requests by mailbox request id. *)
@@ -109,5 +121,6 @@ type response =
   | Ok_attest of { quote : bytes }
   | Err of error
 
+(** Formatters (also backing the Alcotest testables). *)
 val pp_opcode : Format.formatter -> opcode -> unit
 val pp_error : Format.formatter -> error -> unit

@@ -151,3 +151,30 @@ let run_point ~seed ~fault_rate ~ops =
   }
 
 let run ~seed ~ops = List.map (fun fault_rate -> run_point ~seed ~fault_rate ~ops) default_rates
+
+(* The one rendering of a sweep, shared by the CLI and the benchmark
+   harness — callers that capture output pass their own channel. *)
+let print ?(out = stdout) points =
+  Hypertee_util.Table.print ~out
+    ~headers:
+      [ "fault rate"; "ops"; "success"; "degraded"; "timeouts"; "killed"; "p50 (us)";
+        "p99 (us)"; "injected"; "recovered"; "retries" ]
+    ~aligns:
+      Hypertee_util.Table.
+        [ Right; Right; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+    (List.map
+       (fun p ->
+         [
+           Printf.sprintf "%.2f" p.fault_rate;
+           string_of_int p.ops;
+           Hypertee_util.Table.pct (p.success_rate *. 100.0);
+           string_of_int p.degraded;
+           string_of_int p.timeouts;
+           string_of_int p.enclaves_killed;
+           Hypertee_util.Table.fmt_f ~digits:1 (p.p50_ns /. 1e3);
+           Hypertee_util.Table.fmt_f ~digits:1 (p.p99_ns /. 1e3);
+           string_of_int p.injected;
+           string_of_int p.recovered;
+           string_of_int p.retries;
+         ])
+       points)

@@ -36,3 +36,8 @@ val run_point : seed:int64 -> fault_rate:float -> ops:int -> point
 
 (** [run ~seed ~ops] — the full sweep over [default_rates]. *)
 val run : seed:int64 -> ops:int -> point list
+
+(** [print ?out points] renders the sweep as the standard ASCII
+    table to [out] (default [stdout]) — the single formatting shared
+    by the CLI and the benchmark harness. *)
+val print : ?out:out_channel -> point list -> unit

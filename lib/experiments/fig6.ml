@@ -36,6 +36,11 @@ let run ~seed ~cs_cores ~ems_cores ~ems_kind ~requests =
   let baseline_ns = Hypertee_util.Stats.percentile baseline_stats 99.0 in
   (* Enclave mode: closed-loop generators against the EMS workers. *)
   let engine = Hypertee_sim.Engine.create () in
+  (* With a tracer installed, stamp spans with simulated time: CS
+     cores render on the gate tracks, EMS servers on the sim tracks
+     (the Resource emits those). *)
+  let tracer = Hypertee_obs.Trace.installed () in
+  Option.iter (fun tr -> Hypertee_sim.Engine.bind_tracer engine tr) tracer;
   let resource = Hypertee_sim.Resource.create engine ~servers:ems_cores in
   let cost =
     Cost.create ~ems:(Config.ems_core ems_kind) ~engine:Hypertee_crypto.Engine.default_hardware
@@ -50,7 +55,27 @@ let run ~seed ~cs_cores ~ems_cores ~ems_kind ~requests =
     in
     base *. (1.0 +. (0.1 *. Hypertee_util.Xrng.float rng))
   in
-  let rec generator first () =
+  (* Per-request trace: the EMCALL parent on the issuing core's gate
+     track, decomposed into queue + service + transport children that
+     sum exactly to the latency recorded in the statistics. *)
+  let trace_request ~core ~first ~queued_ns ~total_ns =
+    let module Trace = Hypertee_obs.Trace in
+    let finish = Hypertee_sim.Engine.now engine in
+    let arrival = finish -. total_ns in
+    let opcode = if first then "ECREATE" else "EALLOC" in
+    let track = Trace.track_gate core in
+    let parent =
+      Trace.emit ~track ~opcode ~cat:Trace.Emcall ~name:("EMCALL:" ^ opcode)
+        ~start_ns:arrival ~dur_ns:(total_ns +. transport_ns) ()
+    in
+    let child cat name off dur =
+      ignore (Trace.emit ~track ~parent ~opcode ~cat ~name ~start_ns:(arrival +. off) ~dur_ns:dur ())
+    in
+    child Trace.Queue "queue" 0.0 queued_ns;
+    child Trace.Service "service" queued_ns (total_ns -. queued_ns);
+    child Trace.Transport "transport" total_ns transport_ns
+  in
+  let rec generator ~core first () =
     if !issued < requests then begin
       incr issued;
       let service = service_of_request first in
@@ -61,15 +86,19 @@ let run ~seed ~cs_cores ~ems_cores ~ems_kind ~requests =
       let think = Hypertee_util.Xrng.exponential rng ~mean:80e6 in
       Hypertee_sim.Engine.after engine ~delay:think (fun _ ->
           Hypertee_sim.Resource.submit resource ~service_ns:service
-            ~on_done:(fun ~queued_ns:_ ~total_ns ->
+            ~on_done:(fun ~queued_ns ~total_ns ->
               Hypertee_util.Stats.add latencies (total_ns +. transport_ns);
-              generator false ()))
+              if Hypertee_obs.Trace.enabled () then
+                trace_request ~core ~first ~queued_ns ~total_ns;
+              generator ~core false ()))
     end
   in
-  for _ = 1 to cs_cores do
-    generator true ()
+  for core = 0 to cs_cores - 1 do
+    generator ~core true ()
   done;
   ignore (Hypertee_sim.Engine.run engine);
+  (* Release the tracer's clock back to its virtual cursor. *)
+  Option.iter (fun tr -> Hypertee_obs.Trace.set_clock tr None) tracer;
   let xs = List.init 60 (fun i -> 1.0 +. (float_of_int i *. 0.25)) in
   let points =
     List.map

@@ -110,7 +110,12 @@ let fire t site =
     | Every_nth n -> s.seen mod n = 0
     | Once_at n -> s.seen = n
   in
-  if hit then s.hits <- s.hits + 1;
+  if hit then begin
+    s.hits <- s.hits + 1;
+    if Hypertee_obs.Trace.enabled () then
+      Hypertee_obs.Trace.instant ~cat:Hypertee_obs.Trace.Fault
+        ~name:("fault:" ^ site_name site) ()
+  end;
   hit
 
 let intensity t site = (slot t site).rule.intensity
@@ -118,3 +123,17 @@ let draw_int t site bound = Hypertee_util.Xrng.int (slot t site).rng bound
 let fired t site = (slot t site).hits
 let opportunities t site = (slot t site).seen
 let total_fired t = Array.fold_left (fun acc s -> acc + s.hits) 0 t.slots
+
+let publish_metrics t registry =
+  let module M = Hypertee_obs.Metrics in
+  Array.iter
+    (fun s ->
+      let name = site_name s.rule.site in
+      M.set_counter
+        (M.counter registry ~help:"times this fault site fired" ("faults." ^ name ^ ".fired"))
+        s.hits;
+      M.set_counter
+        (M.counter registry ~help:"times this fault site was consulted"
+           ("faults." ^ name ^ ".opportunities"))
+        s.seen)
+    t.slots

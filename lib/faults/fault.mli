@@ -77,3 +77,7 @@ val fired : t -> site -> int
 
 val opportunities : t -> site -> int
 val total_fired : t -> int
+
+(** Snapshot the per-site fired/opportunity counters into a metrics
+    registry under [faults.<site>.*]. *)
+val publish_metrics : t -> Hypertee_obs.Metrics.t -> unit

@@ -1,0 +1,93 @@
+(** Metrics registry: counters, gauges and histograms.
+
+    One registry collects the telemetry the subsystems on both sides
+    of the EMS/CS boundary expose — the EMCall gate, the mailboxes,
+    the EMS runtimes and schedulers, the memory-encryption engine and
+    the fault injector each provide a [publish_metrics] that writes
+    its counters into a registry under a dotted-name prefix
+    ([emcall.timeouts], [shard0.mailbox.dropped], ...). Histograms
+    reuse the percentile machinery of {!Hypertee_util.Stats}, so the
+    p50/p99 columns of the rendered report agree with the figures the
+    benchmark harness prints.
+
+    Metrics are get-or-create by name: asking twice for the same name
+    returns the same instrument; asking for a name that exists with a
+    different kind raises [Invalid_argument] — a name collision is a
+    programming error, not a runtime condition. *)
+
+type t
+
+(** A fresh, empty registry. *)
+val create : unit -> t
+
+(** {2 Counters} — monotone integer totals. *)
+
+type counter
+
+(** [counter t name] — get or create the counter [name]. *)
+val counter : t -> ?help:string -> string -> counter
+
+(** [incr c] adds [by] (default 1). *)
+val incr : ?by:int -> counter -> unit
+
+(** [set_counter c v] — snapshot publishing: subsystems that already
+    keep their own totals write the current value instead of
+    replaying increments. *)
+val set_counter : counter -> int -> unit
+
+(** Current total. *)
+val counter_value : counter -> int
+
+(** {2 Gauges} — instantaneous float values. *)
+
+type gauge
+
+(** [gauge t name] — get or create the gauge [name]. *)
+val gauge : t -> ?help:string -> string -> gauge
+
+(** Overwrite the instantaneous value. *)
+val set_gauge : gauge -> float -> unit
+
+(** Last value set ([0.] initially). *)
+val gauge_value : gauge -> float
+
+(** {2 Histograms} — float sample distributions. *)
+
+type histogram
+
+(** [histogram t name] — get or create the histogram [name]. *)
+val histogram : t -> ?help:string -> string -> histogram
+
+(** Record one sample. *)
+val observe : histogram -> float -> unit
+
+(** Samples recorded. *)
+val histogram_count : histogram -> int
+
+(** [percentile h p] with [p] in \[0, 100\] — delegates to
+    {!Hypertee_util.Stats.percentile} (the oracle the tests compare
+    against). Raises [Invalid_argument] on an empty histogram. *)
+val percentile : histogram -> float -> float
+
+(** Sample mean ([0.] when empty). *)
+val histogram_mean : histogram -> float
+
+(** {2 Reporting} *)
+
+(** Registered names, sorted. *)
+val names : t -> string list
+
+(** Rendered rows for {!Hypertee_util.Table}: name, kind, count,
+    value (total / gauge / mean), p50, p99, help. Counter and gauge
+    rows leave the percentile columns as ["-"]. *)
+val headers : string list
+
+(** The rows described above, sorted by metric name. *)
+val rows : t -> string list list
+
+(** The full registry as an ASCII table. *)
+val render : t -> string
+
+(** JSON object keyed by metric name; histograms export count, mean,
+    min, max, p50, p99. *)
+val to_json : t -> string

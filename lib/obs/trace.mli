@@ -1,0 +1,220 @@
+(** Structured span/event tracer for the EMS/CS boundary.
+
+    The paper's evaluation (Sec. VII) is an exercise in attributing
+    time across the decoupled boundary: gate entry, packet build,
+    fabric hops, doorbell, EMS queueing, service, polling. This
+    module records those stages as {e typed spans} — each carrying
+    the enclave id, Table II opcode, mailbox request id and shard
+    that produced it — onto fixed-capacity per-track ring buffers,
+    and exports them as Chrome [trace_event] JSON (loadable in
+    [chrome://tracing] / Perfetto) or as an ASCII summary.
+
+    {2 Two time bases}
+
+    Spans carry explicit float nanosecond timestamps, so the tracer
+    works against either time base the simulator uses:
+
+    - {e modelled time}: the EMCall gate computes each round trip
+      from the transport/cost model and lays its spans out on a
+      virtual cursor ({!now}/{!advance});
+    - {e simulated or wall-clock time}: binding a clock with
+      {!set_clock} (e.g. the discrete-event engine's [now], see
+      [Hypertee_sim.Engine.bind_tracer]) makes {!now}, {!push} and
+      {!pop} read that clock instead.
+
+    {2 Cost discipline}
+
+    Instrumentation sites guard on {!enabled}, which is one mutable
+    load. With no tracer installed (the default) every helper
+    returns immediately and allocates nothing — the hot EMCall loop
+    is byte-identical to an uninstrumented build (asserted in
+    [test_obs.ml]). With tracing on, each span costs one record and
+    one ring-buffer slot; rings overwrite their oldest entry when
+    full ({!dropped} counts the overwrites), so memory is bounded
+    regardless of run length. *)
+
+(** Span taxonomy. The category is the coarse stage a span belongs
+    to; the span name refines it (e.g. [Emcall]/"EMCALL:EALLOC"). *)
+type category =
+  | Emcall  (** whole gate round trip, CS side *)
+  | Gate  (** EMCall entry + packet build *)
+  | Transport  (** fabric hops + doorbell interrupt *)
+  | Queue  (** waiting for a free EMS worker *)
+  | Service  (** the primitive's modelled service time *)
+  | Wait  (** polling quantisation, jitter, retry backoff *)
+  | Ems  (** EMS-side primitive execution *)
+  | Sched  (** EMS scheduler events *)
+  | Mee  (** memory-encryption engine *)
+  | Crypto  (** crypto engine *)
+  | Fault  (** injected fault instants *)
+  | Sim  (** discrete-event simulation spans *)
+  | Other
+
+(** Lower-case label used in summaries and Chrome [cat] fields. *)
+val category_name : category -> string
+
+(** One completed (or still open) span. [parent = -1] marks a root;
+    [enclave]/[request_id] are [-1] and [opcode] is [""] when not
+    applicable. [track] selects the ring buffer and the Chrome
+    rendering row (see the [track_*] conventions below). *)
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  cat : category;
+  track : int;
+  start_ns : float;
+  mutable dur_ns : float;
+  enclave : int;
+  opcode : string;
+  request_id : int;
+}
+
+type t
+
+(** [create ()] — [ring_capacity] is the per-track span budget
+    (default {!default_ring_capacity}); the oldest spans are
+    overwritten beyond it. *)
+val create : ?ring_capacity:int -> unit -> t
+
+(** 65536 spans per track. *)
+val default_ring_capacity : int
+
+(** The per-track capacity [t] was created with. *)
+val ring_capacity : t -> int
+
+(** {2 Track conventions}
+
+    The simulator separates timelines by role so exported traces
+    render one row per hardware actor. *)
+
+(** CS-side gate activity against EMS shard [s]. *)
+val track_gate : int -> int
+
+(** EMS-side execution on shard [s]. *)
+val track_ems : int -> int
+
+(** Discrete-event server [i] (Fig. 6 queueing model). *)
+val track_sim : int -> int
+
+(** Human-readable row label, e.g. ["gate/shard0"]. *)
+val track_name : int -> string
+
+(** {2 Global installation} *)
+
+(** [install t] makes [t] the process-wide tracer and enables the
+    emission helpers. Only one tracer is active at a time;
+    installing replaces the previous one. *)
+val install : t -> unit
+
+(** [uninstall ()] removes the active tracer; every emission helper
+    becomes an allocation-free no-op again. *)
+val uninstall : unit -> unit
+
+(** The active tracer, if any. *)
+val installed : unit -> t option
+
+(** [enabled ()] — true iff a tracer is installed and not paused.
+    The guard instrumentation sites check before doing any work. *)
+val enabled : unit -> bool
+
+(** Keep the tracer installed but stop recording ([pause]) and start
+    again ([resume]) — used to exclude setup phases from a trace. *)
+val pause : unit -> unit
+
+(** Re-enable recording after {!pause}. *)
+val resume : unit -> unit
+
+(** {2 Time} *)
+
+(** Current time: the bound clock if {!set_clock} installed one,
+    otherwise the virtual cursor. *)
+val now : t -> float
+
+(** {!now} of the installed tracer, or [0.0] when none is installed
+    — lets instrumentation sites take a timestamp without threading
+    the tracer value through. *)
+val global_now : unit -> float
+
+(** [set_clock t (Some f)] binds an external time source (simulated
+    or wall-clock); [None] reverts to the virtual cursor. *)
+val set_clock : t -> (unit -> float) option -> unit
+
+(** [advance t ns] moves the virtual cursor forward — the modelled
+    EMCall path advances it by each round trip's latency. No-op
+    when an external clock is bound. *)
+val advance : t -> float -> unit
+
+(** {2 Emission (against the installed tracer)}
+
+    All of these are no-ops returning [-1]/unit when {!enabled} is
+    false. *)
+
+(** [emit ~cat ~name ~start_ns ~dur_ns ()] records a completed span
+    with explicit timestamps and returns its id. *)
+val emit :
+  ?track:int ->
+  ?parent:int ->
+  ?enclave:int ->
+  ?opcode:string ->
+  ?request_id:int ->
+  cat:category ->
+  name:string ->
+  start_ns:float ->
+  dur_ns:float ->
+  unit ->
+  int
+
+(** [instant ~cat ~name ()] records a zero-duration event (e.g. an
+    injected fault) at [ts_ns] (default {!now}). *)
+val instant :
+  ?track:int -> ?ts_ns:float -> ?enclave:int -> ?request_id:int ->
+  cat:category -> name:string -> unit -> unit
+
+(** [push ~cat ~name ()] opens a span at {!now} nested under the
+    innermost open span and returns its id; [pop id] closes it,
+    stamping its duration from the clock.
+    @raise Invalid_argument
+      when [id] is not the innermost open span — ill-nested
+      instrumentation is a programming error, caught loudly. *)
+val push :
+  ?track:int -> ?enclave:int -> ?opcode:string -> ?request_id:int ->
+  cat:category -> name:string -> unit -> int
+
+(** [pop id] closes the span opened by {!push} (see its contract). *)
+val pop : int -> unit
+
+(** Spans opened by {!push} and not yet closed (0 in a well-formed
+    trace at rest). *)
+val open_spans : unit -> int
+
+(** {2 Inspection and export} *)
+
+(** All retained spans, sorted by start time (ties by id). Spans
+    still open appear with the duration they had at the last
+    observation. *)
+val spans : t -> span list
+
+(** Retained spans (at most tracks × ring capacity). *)
+val span_count : t -> int
+
+(** Spans lost to ring-buffer overwrites. *)
+val dropped : t -> int
+
+(** Drop every recorded span (rings keep their capacity). *)
+val clear : t -> unit
+
+(** Chrome [trace_event] JSON: an object with a ["traceEvents"]
+    array of complete ("ph":"X") and instant ("ph":"i") events plus
+    thread-name metadata per track. Timestamps are microseconds, as
+    the format requires. Loadable in [chrome://tracing] and
+    [ui.perfetto.dev]. *)
+val to_chrome_json : t -> string
+
+(** {!to_chrome_json} written to [path]. *)
+val write_chrome_json : t -> path:string -> unit
+
+(** ASCII rendering: a per-(category, name) aggregation table
+    (count, total, mean, share of traced time) followed by a
+    flame-style tree aggregated over parent/child name paths. *)
+val render_summary : t -> string

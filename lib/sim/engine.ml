@@ -33,3 +33,8 @@ let run ?until t =
   t.clock
 
 let processed t = t.processed
+
+(* Make the tracer read simulated time: spans pushed/popped while the
+   engine runs are stamped with the event clock. *)
+let bind_tracer t tracer =
+  Hypertee_obs.Trace.set_clock tracer (Some (fun () -> t.clock))

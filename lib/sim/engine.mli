@@ -7,6 +7,7 @@
 
 type t
 
+(** A fresh engine with an empty event queue at time 0. *)
 val create : unit -> t
 
 (** Current simulated time (ns). *)
@@ -24,3 +25,9 @@ val run : ?until:float -> t -> float
 
 (** Number of events processed so far. *)
 val processed : t -> int
+
+(** [bind_tracer t tracer] binds the tracer's clock to this engine's
+    simulated time ({!Hypertee_obs.Trace.set_clock}), so spans
+    emitted while the simulation runs are stamped with event time
+    rather than the tracer's virtual cursor. *)
+val bind_tracer : t -> Hypertee_obs.Trace.t -> unit

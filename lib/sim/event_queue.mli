@@ -5,6 +5,7 @@
 
 type 'a t
 
+(** An empty queue. *)
 val create : unit -> 'a t
 
 (** [push q ~time x] schedules [x] at [time]. *)
@@ -13,6 +14,11 @@ val push : 'a t -> time:float -> 'a -> unit
 (** Earliest event (and its time); [None] when empty. *)
 val pop : 'a t -> (float * 'a) option
 
+(** Time of the earliest event without removing it. *)
 val peek_time : 'a t -> float option
+
+(** Events currently queued. *)
 val length : 'a t -> int
+
+(** [true] iff no events are queued. *)
 val is_empty : 'a t -> bool

@@ -10,19 +10,42 @@ type t = {
   mutable busy : int;
   waiting : job Queue.t;
   mutable completed : int;
+  free_slots : int Queue.t; (* which server indices are idle *)
 }
 
 let create engine ~servers =
   if servers < 1 then invalid_arg "Resource.create: need at least one server";
-  { engine; servers; busy = 0; waiting = Queue.create (); completed = 0 }
+  let free_slots = Queue.create () in
+  for i = 0 to servers - 1 do
+    Queue.push i free_slots
+  done;
+  { engine; servers; busy = 0; waiting = Queue.create (); completed = 0; free_slots }
+
+(* With a tracer installed, each completion lays the job's life on
+   its server's sim track: the FIFO wait (if any) then the service
+   span — together they cover [arrival, finished). *)
+let trace_job ~slot ~arrival ~started ~service_ns =
+  let module Trace = Hypertee_obs.Trace in
+  let track = Trace.track_sim slot in
+  if started > arrival then
+    ignore
+      (Trace.emit ~track ~cat:Trace.Queue ~name:"sim:queued" ~start_ns:arrival
+         ~dur_ns:(started -. arrival) ());
+  ignore
+    (Trace.emit ~track ~cat:Trace.Sim ~name:"sim:service" ~start_ns:started
+       ~dur_ns:service_ns ())
 
 let rec start t job =
   t.busy <- t.busy + 1;
+  let slot = Queue.pop t.free_slots in
   let started = Engine.now t.engine in
   Engine.after t.engine ~delay:job.service_ns (fun _ ->
       t.busy <- t.busy - 1;
       t.completed <- t.completed + 1;
+      Queue.push slot t.free_slots;
       let finished = Engine.now t.engine in
+      if Hypertee_obs.Trace.enabled () then
+        trace_job ~slot ~arrival:job.arrival ~started ~service_ns:job.service_ns;
       job.on_done ~queued_ns:(started -. job.arrival) ~total_ns:(finished -. job.arrival);
       dispatch t)
 

@@ -3,7 +3,12 @@
     Models a pool of identical servers (e.g. the EMS cores serving
     primitive requests in Fig. 6): jobs arrive, wait in FIFO order
     for a free server, hold it for their service time, then release
-    it and run a completion callback. *)
+    it and run a completion callback.
+
+    Each job is placed on a specific server slot (FIFO over the
+    freed slots), and with a tracer installed every completion emits a
+    [sim:queued] + [sim:service] span pair on that slot's sim track
+    — one Chrome-trace row per modelled server. *)
 
 type t
 
