@@ -1,4 +1,4 @@
-.PHONY: all build test chaos-smoke bench-perf check doc fmt clean
+.PHONY: all build test chaos-smoke check-invariants bench-perf check doc fmt clean
 
 all: build
 
@@ -19,9 +19,17 @@ chaos-smoke: build
 bench-perf: build
 	dune exec bin/hypertee_cli.exe -- perf --quick --json BENCH_perf.json
 
+# Differential oracle + invariant sweep: replays a clean and a
+# fault-injected management workload under the EMCall oracle, then
+# runs a reduced explorer pass. Deterministic; exits non-zero on any
+# divergence or broken invariant.
+check-invariants: build
+	dune exec bin/hypertee_cli.exe -- check --calls 600 --seeds 12
+
 # The gate for a change: everything builds, the full test suite is
-# green, and the chaos smoke sweep completes without a hang.
-check: build test chaos-smoke
+# green, the chaos smoke sweep completes without a hang, and the
+# oracle/invariant pass holds.
+check: build test chaos-smoke check-invariants
 
 # API reference from the .mli doc comments, built with odoc into
 # _build/default/_doc/_html. Skips with a notice when odoc is absent,

@@ -70,9 +70,9 @@ let demo_cmd =
         Printf.printf "encrypted heap write/read: %S\n"
           (Bytes.to_string
              (Hypertee.Session.read session ~va:(Hypertee.Session.heap_va session) ~len:5));
-        (match Hypertee.Session.alloc session ~pages:4 with
-        | Ok va -> Printf.printf "EALLOC -> va %#x (%.1f us round trip)\n" va
-                     (Hypertee.Platform.last_invoke_ns platform /. 1e3)
+        (match Hypertee.Session.alloc_timed session ~pages:4 with
+        | Ok (va, latency_ns) ->
+          Printf.printf "EALLOC -> va %#x (%.1f us round trip)\n" va (latency_ns /. 1e3)
         | Error e -> Printf.printf "EALLOC failed: %s\n" (Types.error_message e));
         (match Hypertee.Sdk.destroy platform ~enclave with
         | Ok () -> print_endline "enclave destroyed"
@@ -293,6 +293,34 @@ let scale_cmd =
        ~doc:"Scalability sweep: CS cores x EMS shards x doorbell batch size")
     Term.(const run $ seed_arg $ ops_arg $ smoke_arg)
 
+(* --- check --- *)
+
+let check_cmd =
+  let deep_arg =
+    Arg.(
+      value & flag
+      & info [ "deep" ] ~doc:"Also MAC-verify every mapped enclave and shared page.")
+  in
+  let calls_arg =
+    Arg.(
+      value & opt int 1200
+      & info [ "calls" ] ~docv:"N" ~doc:"EMCalls per oracle replay (clean and fault-injected).")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "seeds" ] ~docv:"N" ~doc:"Interleaving-explorer scenarios to run.")
+  in
+  let run deep calls seeds =
+    if not (Hypertee_experiments.Verify.run ~deep ~calls ~seeds ()) then Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify platform invariants and replay the EMCall stream against a differential \
+          oracle")
+    Term.(const run $ deep_arg $ calls_arg $ seeds_arg)
+
 (* --- trace --- *)
 
 let trace_cmd =
@@ -377,5 +405,5 @@ let () =
           (Cmd.info "hypertee" ~version:"1.0.0" ~doc)
           [
             info_cmd; demo_cmd; attest_cmd; primitives_cmd; cost_cmd; slo_cmd; area_cmd;
-            security_cmd; chaos_cmd; scale_cmd; trace_cmd; metrics_cmd; perf_cmd;
+            security_cmd; chaos_cmd; scale_cmd; check_cmd; trace_cmd; metrics_cmd; perf_cmd;
           ]))

@@ -1,0 +1,61 @@
+module Fault = Hypertee_faults.Fault
+module Xrng = Hypertee_util.Xrng
+
+type scenario = {
+  seed : int64;
+  shards : int;
+  ems_cores : int;
+  batch : int;
+  ops : int;
+  fault_rate : float;
+  sites : Fault.site list;
+}
+
+let scenario_of_seed seed =
+  let rng = Xrng.create seed in
+  let shards = Xrng.int_in rng 1 3 in
+  let ems_cores = Xrng.int_in rng 1 3 in
+  let batch = Xrng.int_in rng 1 8 in
+  let ops = Xrng.int_in rng 40 120 in
+  (* Half the scenarios run clean so invariants are also exercised
+     without fault-recovery masking anything. *)
+  let faulty = Xrng.bool rng in
+  let fault_rate = if faulty then 0.02 +. (Xrng.float rng *. 0.13) else 0.0 in
+  let sites =
+    if not faulty then []
+    else begin
+      let picked = List.filter (fun _ -> Xrng.bool rng) Fault.all_sites in
+      (* Never let the subset collapse to nothing on a faulty run. *)
+      if picked = [] then [ Xrng.choose rng (Array.of_list Fault.all_sites) ] else picked
+    end
+  in
+  { seed; shards; ems_cores; batch; ops; fault_rate; sites }
+
+let plan_of s =
+  if s.fault_rate = 0.0 || s.sites = [] then None
+  else
+    Some
+      (Fault.plan ~seed:s.seed
+         (List.map
+            (fun site -> Fault.{ site; schedule = Probability s.fault_rate; intensity = 0.5 })
+            s.sites))
+
+type verdict = Pass | Fail of string
+
+let explore ~driver ~seeds =
+  List.filter_map
+    (fun seed ->
+      let s = scenario_of_seed seed in
+      match driver s with Pass -> None | Fail reason -> Some (seed, s, reason))
+    seeds
+
+let default_seeds ~n =
+  (* Fixed generator: the seed list itself must be reproducible. *)
+  let rng = Xrng.create 0x9e3779b97f4a7c15L in
+  List.init n (fun _ -> Xrng.next64 rng)
+
+let pp_scenario fmt s =
+  Format.fprintf fmt
+    "seed=%Ld shards=%d cores=%d batch=%d ops=%d fault_rate=%.3f sites=[%s]" s.seed s.shards
+    s.ems_cores s.batch s.ops s.fault_rate
+    (String.concat "," (List.map Fault.site_name s.sites))

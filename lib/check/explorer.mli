@@ -1,0 +1,43 @@
+(** Seeded interleaving explorer.
+
+    The invariant checker and the oracle only catch what the driven
+    workload exposes. This module widens the net: each 64-bit seed
+    deterministically expands into a {!scenario} — a platform shape
+    (shard count, EMS cores, batch width) plus an operation budget
+    and a fault mix — permuting the shard/batch/fault schedules the
+    bug classes of this PR hide behind. A driver (supplied by the
+    caller; see [Hypertee_experiments.Verify.scenario_driver]) builds
+    the platform, runs the workload under the oracle and sweeps the
+    invariants; {!explore} reports every seed whose verdict came back
+    [Fail], so a failure reproduces from its seed alone. *)
+
+type scenario = {
+  seed : int64;  (** replays the exact run *)
+  shards : int;  (** EMS shard count (1-3) *)
+  ems_cores : int;  (** worker cores per shard (1-3) *)
+  batch : int;  (** doorbell batch width (1-8) *)
+  ops : int;  (** operation budget for the workload *)
+  fault_rate : float;  (** 0.0 for a clean run *)
+  sites : Hypertee_faults.Fault.site list;
+      (** fault sites armed (empty iff [fault_rate = 0.0]) *)
+}
+
+(** Deterministic seed -> scenario expansion. *)
+val scenario_of_seed : int64 -> scenario
+
+(** The fault plan a scenario arms, [None] for a clean run. *)
+val plan_of : scenario -> Hypertee_faults.Fault.plan option
+
+type verdict = Pass | Fail of string
+
+(** [explore ~driver ~seeds] runs every seed through the driver and
+    returns the failures as [(seed, scenario, reason)]. *)
+val explore :
+  driver:(scenario -> verdict) ->
+  seeds:int64 list ->
+  (int64 * scenario * string) list
+
+(** [default_seeds ~n] is a fixed, reproducible seed list. *)
+val default_seeds : n:int -> int64 list
+
+val pp_scenario : Format.formatter -> scenario -> unit

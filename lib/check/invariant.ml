@@ -1,0 +1,414 @@
+module Types = Hypertee_ems.Types
+module Runtime = Hypertee_ems.Runtime
+module State = Hypertee_ems.State
+module Enclave = Hypertee_ems.Enclave
+module Ownership = Hypertee_ems.Ownership
+module Shm = Hypertee_ems.Shm
+module Mem_pool = Hypertee_ems.Mem_pool
+module Phys_mem = Hypertee_arch.Phys_mem
+module Bitmap = Hypertee_arch.Bitmap
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Page_table = Hypertee_arch.Page_table
+module Pte = Hypertee_arch.Pte
+
+type violation = {
+  rule : string;
+  shard : int option;
+  enclave : Types.enclave_id option;
+  frame : int option;
+  detail : string;
+}
+
+type report = {
+  violations : violation list;
+  frames_swept : int;
+  enclaves_checked : int;
+  regions_checked : int;
+  pages_verified : int;
+  deep : bool;
+}
+
+let ok r = r.violations = []
+
+let pp_violation fmt v =
+  let tag label = function
+    | None -> ""
+    | Some n -> Printf.sprintf " %s=%d" label n
+  in
+  Format.fprintf fmt "[%s]%s%s%s %s" v.rule (tag "shard" v.shard) (tag "enclave" v.enclave)
+    (tag "frame" v.frame) v.detail
+
+let pp_report fmt r =
+  Format.fprintf fmt "invariant sweep: %d frame(s), %d enclave(s), %d region(s)%s — "
+    r.frames_swept r.enclaves_checked r.regions_checked
+    (if r.deep then Printf.sprintf ", %d page MAC(s) verified" r.pages_verified else "");
+  match r.violations with
+  | [] -> Format.fprintf fmt "OK"
+  | vs ->
+    Format.fprintf fmt "%d violation(s)" (List.length vs);
+    List.iter (fun v -> Format.fprintf fmt "@\n  %a" pp_violation v) vs
+
+let report_to_string r = Format.asprintf "%a" pp_report r
+
+(* Accumulator threaded through the sweep. [claims] enforces platform
+   wide frame exclusivity: every structure that holds a frame (an
+   ownership record, a pool slot, a page-table node, a staging
+   window) registers its claim, and a second claimant is a violation
+   regardless of which two structures collide. *)
+type ctx = {
+  mutable violations : violation list;
+  claims : (int, string) Hashtbl.t;
+  mutable enclaves_checked : int;
+  mutable regions_checked : int;
+  mutable pages_verified : int;
+}
+
+let add ctx ~rule ?shard ?enclave ?frame detail =
+  ctx.violations <- { rule; shard; enclave; frame; detail } :: ctx.violations
+
+let claim ctx ~shard ?enclave ~frame holder =
+  match Hashtbl.find_opt ctx.claims frame with
+  | Some previous ->
+    add ctx ~rule:"frame-exclusive" ~shard ?enclave ~frame
+      (Printf.sprintf "frame held by both %s and %s" previous holder)
+  | None -> Hashtbl.replace ctx.claims frame holder
+
+let owner_name = Format.asprintf "%a" Phys_mem.pp_owner
+
+(* Enclaves with [attached_at] set — the region's view of who is
+   mapped, which every frame's ownership record must mirror. *)
+let region_attached (r : Shm.region) =
+  Hashtbl.fold
+    (fun enclave (conn : Shm.connection) acc ->
+      match conn.Shm.attached_at with Some base -> (enclave, base) :: acc | None -> acc)
+    r.Shm.legal []
+  |> List.sort compare
+
+let check_ownership_table ctx ~mem st ~shard =
+  let enclaves = st.State.enclaves in
+  Ownership.fold st.State.ownership
+    (fun frame record () ->
+      match record with
+      | Ownership.Private e ->
+        claim ctx ~shard ~enclave:e ~frame
+          (Printf.sprintf "shard %d ownership (private, enclave %d)" shard e);
+        (match Phys_mem.owner mem frame with
+        | Phys_mem.Enclave e' when e' = e -> ()
+        | o ->
+          add ctx ~rule:"phys-vs-ownership" ~shard ~enclave:e ~frame
+            (Printf.sprintf "ownership says private enclave %d, phys_mem says %s" e
+               (owner_name o)));
+        if not (Hashtbl.mem enclaves e) then
+          add ctx ~rule:"ownership-live" ~shard ~enclave:e ~frame
+            "private frame owned by an enclave no longer resident"
+      | Ownership.Shared_page { shm; attached } -> (
+        claim ctx ~shard ~frame (Printf.sprintf "shard %d ownership (shm %d)" shard shm);
+        (match Phys_mem.owner mem frame with
+        | Phys_mem.Shared s when s = shm -> ()
+        | o ->
+          add ctx ~rule:"phys-vs-ownership" ~shard ~frame
+            (Printf.sprintf "ownership says shm %d, phys_mem says %s" shm (owner_name o)));
+        match Shm.find st.State.shms shm with
+        | None ->
+          add ctx ~rule:"shm" ~shard ~frame
+            (Printf.sprintf "shared frame references unregistered region %d" shm)
+        | Some region ->
+          if not (List.mem frame region.Shm.frames) then
+            add ctx ~rule:"shm" ~shard ~frame
+              (Printf.sprintf "frame not part of region %d's frame list" shm);
+          let expected = List.map fst (region_attached region) in
+          if List.sort compare attached <> expected then
+            add ctx ~rule:"shm" ~shard ~frame
+              (Printf.sprintf
+                 "frame attachment set {%s} disagrees with region %d connections {%s}"
+                 (String.concat "," (List.map string_of_int (List.sort compare attached)))
+                 shm
+                 (String.concat "," (List.map string_of_int expected)))))
+    ()
+
+let check_enclave ctx ~mem st ~shard id (e : Enclave.t) =
+  ctx.enclaves_checked <- ctx.enclaves_checked + 1;
+  let add_lc detail = add ctx ~rule:"lifecycle" ~shard ~enclave:id detail in
+  if e.Enclave.id <> id then
+    add_lc (Printf.sprintf "registered under id %d but carries id %d" id e.Enclave.id);
+  if e.Enclave.state = Enclave.Destroyed then add_lc "destroyed enclave still resident";
+  (match (e.Enclave.measurement_ctx, e.Enclave.state) with
+  | Some _, Enclave.Loading | None, Enclave.Destroyed -> ()
+  | None, Enclave.Loading -> add_lc "loading enclave lost its measurement context"
+  | Some _, _ -> add_lc "measurement context survives past EMEAS"
+  | None, _ -> ());
+  (match (e.Enclave.measurement, e.Enclave.state) with
+  | None, (Enclave.Loading | Enclave.Destroyed) | Some _, _ -> ()
+  | None, _ -> add_lc "enclave past loading without a final measurement");
+  if e.Enclave.key_parked && e.Enclave.state <> Enclave.Measured then
+    add_lc
+      (Printf.sprintf "key parked while %s (victims must be idle)"
+         (Enclave.state_name e.Enclave.state));
+  (* The private page table: node frames are enclave memory drawn
+     from the pool; leaves partition into private (enclave key),
+     staging (KeyID 0) and shared (a region key of an attached shm). *)
+  List.iter
+    (fun frame ->
+      claim ctx ~shard ~enclave:id ~frame (Printf.sprintf "page-table nodes of enclave %d" id);
+      match Phys_mem.owner mem frame with
+      | Phys_mem.Page_table e' when e' = id -> ()
+      | o ->
+        add ctx ~rule:"page-table" ~shard ~enclave:id ~frame
+          (Printf.sprintf "table node frame owned by %s" (owner_name o)))
+    (Page_table.node_frames e.Enclave.page_table);
+  List.iter
+    (fun frame ->
+      claim ctx ~shard ~enclave:id ~frame (Printf.sprintf "staging window of enclave %d" id))
+    e.Enclave.staging_frames;
+  let region_keys =
+    List.filter_map
+      (fun (shm, _) ->
+        Option.map (fun (r : Shm.region) -> (r.Shm.key_id, r)) (Shm.find st.State.shms shm))
+      e.Enclave.attached_shms
+  in
+  let private_leaf_frames = ref [] in
+  List.iter
+    (fun (vpn, pte) ->
+      let frame = pte.Pte.ppn in
+      if pte.Pte.key_id = e.Enclave.key_id then
+        private_leaf_frames := frame :: !private_leaf_frames
+      else if pte.Pte.key_id = 0 then begin
+        if not (List.mem frame e.Enclave.staging_frames) then
+          add ctx ~rule:"page-table" ~shard ~enclave:id ~frame
+            (Printf.sprintf "plaintext leaf at vpn %d outside the staging window" vpn)
+      end
+      else
+        match List.assoc_opt pte.Pte.key_id region_keys with
+        | Some region ->
+          if not (List.mem frame region.Shm.frames) then
+            add ctx ~rule:"page-table" ~shard ~enclave:id ~frame
+              (Printf.sprintf "shared leaf at vpn %d maps a frame outside region %d" vpn
+                 region.Shm.shm)
+        | None ->
+          add ctx ~rule:"page-table" ~shard ~enclave:id ~frame
+            (Printf.sprintf "leaf at vpn %d carries foreign KeyID %d" vpn pte.Pte.key_id))
+    (Page_table.entries e.Enclave.page_table);
+  let mapped = List.sort_uniq compare !private_leaf_frames in
+  let owned = List.sort compare (Ownership.frames_of st.State.ownership id) in
+  if mapped <> owned then
+    add ctx ~rule:"page-table" ~shard ~enclave:id
+      (Printf.sprintf
+         "private leaves map %d frame(s) but the ownership table records %d for this enclave"
+         (List.length mapped) (List.length owned))
+
+let check_regions ctx ~mem st ~shard =
+  List.iter
+    (fun (r : Shm.region) ->
+      ctx.regions_checked <- ctx.regions_checked + 1;
+      let attached = region_attached r in
+      if (not (Hashtbl.mem st.State.enclaves r.Shm.owner)) && attached = [] then
+        add ctx ~rule:"shm-leak" ~shard ~enclave:r.Shm.owner
+          (Printf.sprintf "region %d orphaned: owner destroyed and nobody attached" r.Shm.shm);
+      List.iter
+        (fun frame ->
+          match Phys_mem.owner mem frame with
+          | Phys_mem.Shared s when s = r.Shm.shm -> ()
+          | o ->
+            add ctx ~rule:"shm" ~shard ~frame
+              (Printf.sprintf "region %d frame owned by %s" r.Shm.shm (owner_name o)))
+        r.Shm.frames;
+      List.iter
+        (fun (enclave, base) ->
+          match Hashtbl.find_opt st.State.enclaves enclave with
+          | None ->
+            add ctx ~rule:"shm" ~shard ~enclave
+              (Printf.sprintf "region %d lists destroyed enclave %d as attached" r.Shm.shm
+                 enclave)
+          | Some e ->
+            if List.assoc_opt r.Shm.shm e.Enclave.attached_shms <> Some base then
+              add ctx ~rule:"shm" ~shard ~enclave
+                (Printf.sprintf
+                   "region %d believes enclave %d attached at vpn %d, the enclave disagrees"
+                   r.Shm.shm enclave base))
+        attached)
+    (State.shm_regions st);
+  let leaked = State.leaked_shm_frames st in
+  if leaked <> 0 then
+    add ctx ~rule:"shm-leak" ~shard
+      (Printf.sprintf "%d frame(s) stuck in orphaned shared regions" leaked)
+
+let check_pool ctx ~mem st ~shard =
+  let pool = st.State.pool in
+  let parked = Mem_pool.parked_frames pool in
+  if List.length parked <> Mem_pool.available pool then
+    add ctx ~rule:"pool" ~shard
+      (Printf.sprintf "pool reports %d available but parks %d frame(s)"
+         (Mem_pool.available pool) (List.length parked));
+  List.iter
+    (fun frame ->
+      claim ctx ~shard ~frame (Printf.sprintf "shard %d pool" shard);
+      match Phys_mem.owner mem frame with
+      | Phys_mem.Pool -> ()
+      | o ->
+        add ctx ~rule:"pool" ~shard ~frame
+          (Printf.sprintf "parked frame owned by %s" (owner_name o)))
+    parked
+
+let check_residues ctx st ~shard =
+  let stride = st.State.id_stride in
+  let residue id = (id - 1) mod stride in
+  let check_id kind id =
+    if id < 1 || residue id <> st.State.shard then
+      add ctx ~rule:"id-residue" ~shard
+        (Printf.sprintf "%s id %d outside this shard's residue class (%d mod %d)" kind id
+           st.State.shard stride)
+  in
+  Hashtbl.iter (fun id _ -> check_id "enclave" id) st.State.enclaves;
+  List.iter (fun (r : Shm.region) -> check_id "shm" r.Shm.shm) (State.shm_regions st);
+  check_id "next enclave" st.State.next_enclave_id;
+  check_id "next shm" st.State.next_shm_id
+
+(* Every programmed key in active use must be programmed, and no two
+   holders may share a KeyID: a collision would let one enclave read
+   another's memory in plaintext. *)
+let check_keys ctx ~mee runtimes =
+  let holders : (int, string) Hashtbl.t = Hashtbl.create 32 in
+  let hold ~shard key_id holder =
+    (match Hashtbl.find_opt holders key_id with
+    | Some previous ->
+      add ctx ~rule:"mee" ~shard
+        (Printf.sprintf "KeyID %d shared by %s and %s" key_id previous holder)
+    | None -> Hashtbl.replace holders key_id holder);
+    if not (Mem_encryption.is_programmed mee ~key_id) then
+      add ctx ~rule:"mee" ~shard (Printf.sprintf "KeyID %d of %s not programmed" key_id holder)
+  in
+  Array.iteri
+    (fun shard rt ->
+      let st = Runtime.state rt in
+      Hashtbl.iter
+        (fun id (e : Enclave.t) ->
+          if not e.Enclave.key_parked then
+            hold ~shard e.Enclave.key_id (Printf.sprintf "enclave %d" id))
+        st.State.enclaves;
+      List.iter
+        (fun (r : Shm.region) ->
+          hold ~shard r.Shm.key_id (Printf.sprintf "region %d" r.Shm.shm))
+        (State.shm_regions st))
+    runtimes
+
+(* Frame sweep against the architectural ground truth: the bitmap
+   must be exactly the enclave-memory set derived from frame owners,
+   and every enclave-owned frame must be accounted for by the owning
+   shard's structures. *)
+let check_frames ctx ~mem ~bitmap runtimes =
+  let shard_count = Array.length runtimes in
+  let shard_of id = (id - 1) mod shard_count in
+  let frames = Phys_mem.frames mem in
+  for frame = 0 to frames - 1 do
+    let owner = Phys_mem.owner mem frame in
+    let expect_bit =
+      match owner with
+      | Phys_mem.Pool | Phys_mem.Enclave _ | Phys_mem.Shared _ | Phys_mem.Page_table _
+      | Phys_mem.Bitmap_region ->
+        Some true
+      | Phys_mem.Free | Phys_mem.Cs_os -> Some false
+      | Phys_mem.Ems_private -> None
+    in
+    (match expect_bit with
+    | Some expected when Bitmap.get bitmap ~frame <> expected ->
+      add ctx ~rule:"bitmap" ~frame
+        (Printf.sprintf "bit %s for a %s frame"
+           (if expected then "clear" else "set")
+           (owner_name owner))
+    | _ -> ());
+    match owner with
+    | Phys_mem.Enclave id when id >= 1 -> (
+      let shard = shard_of id in
+      let st = Runtime.state runtimes.(shard) in
+      match Ownership.lookup st.State.ownership ~frame with
+      | Some (Ownership.Private e) when e = id -> ()
+      | _ ->
+        add ctx ~rule:"ownership-vs-phys" ~shard ~enclave:id ~frame
+          "enclave-owned frame missing from the shard's ownership table")
+    | Phys_mem.Shared shm when shm >= 1 -> (
+      let shard = shard_of shm in
+      let st = Runtime.state runtimes.(shard) in
+      match Ownership.lookup st.State.ownership ~frame with
+      | Some (Ownership.Shared_page { shm = s; _ }) when s = shm -> ()
+      | _ ->
+        add ctx ~rule:"ownership-vs-phys" ~shard ~frame
+          (Printf.sprintf "shared frame of region %d missing from the ownership table" shm))
+    | Phys_mem.Page_table id when id >= 1 -> (
+      let shard = shard_of id in
+      match Runtime.find_enclave runtimes.(shard) id with
+      | Some e when List.mem frame (Page_table.node_frames e.Enclave.page_table) -> ()
+      | _ ->
+        add ctx ~rule:"ownership-vs-phys" ~shard ~enclave:id ~frame
+          "page-table frame not a node of the owning enclave's table")
+    | Phys_mem.Pool ->
+      if not (Hashtbl.mem ctx.claims frame) then
+        add ctx ~rule:"pool" ~frame "pool-owned frame parked in no shard's pool"
+    | _ -> ()
+  done;
+  frames
+
+(* Deep sweep: decrypt every mapped private and shared page through
+   the engine, so a corrupted MAC is found here rather than at the
+   next enclave access. Parked enclaves are skipped — their pages sit
+   re-encrypted under the EMS swap key, outside the engine's MAC
+   domain until revival. *)
+let check_macs ctx ~mem ~mee runtimes =
+  let verify ~shard ?enclave ~key_id ~frame () =
+    match Mem_encryption.read_page mee mem ~key_id ~frame with
+    | (_ : bytes) -> ctx.pages_verified <- ctx.pages_verified + 1
+    | exception Mem_encryption.Integrity_violation _ ->
+      add ctx ~rule:"deep-mac" ~shard ?enclave ~frame
+        (Printf.sprintf "MAC verification failed under KeyID %d" key_id)
+  in
+  Array.iteri
+    (fun shard rt ->
+      let st = Runtime.state rt in
+      Hashtbl.iter
+        (fun id (e : Enclave.t) ->
+          if not e.Enclave.key_parked then
+            List.iter
+              (fun ((_ : int), pte) ->
+                if pte.Pte.key_id = e.Enclave.key_id then
+                  verify ~shard ~enclave:id ~key_id:pte.Pte.key_id ~frame:pte.Pte.ppn ())
+              (Page_table.entries e.Enclave.page_table))
+        st.State.enclaves;
+      List.iter
+        (fun (r : Shm.region) ->
+          List.iter (fun frame -> verify ~shard ~key_id:r.Shm.key_id ~frame ()) r.Shm.frames)
+        (State.shm_regions st))
+    runtimes
+
+let check ?(deep = false) ~mem ~bitmap ~mee ~runtimes () =
+  let ctx =
+    {
+      violations = [];
+      claims = Hashtbl.create 512;
+      enclaves_checked = 0;
+      regions_checked = 0;
+      pages_verified = 0;
+    }
+  in
+  Array.iteri
+    (fun shard rt ->
+      let st = Runtime.state rt in
+      if st.State.id_stride <> Array.length runtimes then
+        add ctx ~rule:"id-residue" ~shard
+          (Printf.sprintf "shard stride %d does not match the platform's %d shard(s)"
+             st.State.id_stride (Array.length runtimes));
+      check_residues ctx st ~shard;
+      check_ownership_table ctx ~mem st ~shard;
+      Hashtbl.iter (fun id e -> check_enclave ctx ~mem st ~shard id e) st.State.enclaves;
+      check_regions ctx ~mem st ~shard;
+      check_pool ctx ~mem st ~shard)
+    runtimes;
+  check_keys ctx ~mee runtimes;
+  let frames_swept = check_frames ctx ~mem ~bitmap runtimes in
+  if deep then check_macs ctx ~mem ~mee runtimes;
+  {
+    violations = List.rev ctx.violations;
+    frames_swept;
+    enclaves_checked = ctx.enclaves_checked;
+    regions_checked = ctx.regions_checked;
+    pages_verified = ctx.pages_verified;
+    deep;
+  }

@@ -1,0 +1,69 @@
+(** Platform invariant checker.
+
+    Sweeps a live platform and cross-validates every redundant view
+    of the same truth against the others:
+
+    - the EMS page-ownership table against [Phys_mem] frame owners
+      (both directions, across every shard);
+    - enclave page tables (private, staging and shared leaves, and
+      the table node frames themselves) against ownership records;
+    - the secure bitmap against the owner-derived enclave-memory set;
+    - the memory-encryption engine (live keys programmed, pairwise
+      distinct across enclaves and shared regions);
+    - per-enclave lifecycle state (no destroyed residents,
+      measurement context/digest vs. state, parked keys only on idle
+      enclaves);
+    - shard residue classes (every id this shard assigned satisfies
+      [(id - 1) mod stride = shard]);
+    - the enclave memory pool (parked frames [Pool]-owned and
+      bitmap-set, availability accounting);
+    - shared-memory control structures (region frames, attachment
+      symmetry, and the orphaned-region leak gauge at zero);
+    - frame exclusivity: no frame claimed by two holders anywhere on
+      the platform.
+
+    A [deep] sweep additionally decrypts every mapped enclave and
+    shared page through the encryption engine, so any MAC corruption
+    surfaces as a violation instead of a later crash.
+
+    The checker is strictly read-only: it never mutates the platform
+    (the deep sweep reads through the engine, which verifies MACs
+    without changing DRAM). Run it via {!Hypertee.Platform.check} or
+    [hypertee check]. *)
+
+(** One broken invariant, attributed to the rule that caught it and
+    (where meaningful) the shard / enclave / frame involved. *)
+type violation = {
+  rule : string;  (** stable rule identifier, e.g. ["bitmap"] *)
+  shard : int option;
+  enclave : Hypertee_ems.Types.enclave_id option;
+  frame : int option;
+  detail : string;
+}
+
+type report = {
+  violations : violation list;
+  frames_swept : int;
+  enclaves_checked : int;
+  regions_checked : int;
+  pages_verified : int;  (** MAC-checked pages (deep sweep only) *)
+  deep : bool;
+}
+
+val ok : report -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string
+
+(** [check ~mem ~bitmap ~mee ~runtimes ()] sweeps the platform state
+    shared by [runtimes] (one per EMS shard). [deep] adds the
+    per-page MAC verification pass. *)
+val check :
+  ?deep:bool ->
+  mem:Hypertee_arch.Phys_mem.t ->
+  bitmap:Hypertee_arch.Bitmap.t ->
+  mee:Hypertee_arch.Mem_encryption.t ->
+  runtimes:Hypertee_ems.Runtime.t array ->
+  unit ->
+  report

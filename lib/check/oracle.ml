@@ -1,0 +1,634 @@
+module Types = Hypertee_ems.Types
+module Enclave = Hypertee_ems.Enclave
+module Emcall = Hypertee_cs.Emcall
+
+let page_size = Hypertee_util.Units.page_size
+
+(* --- the reference model ------------------------------------------- *)
+
+type estate = Loading | Measured | Running | Interrupted | Unknown
+
+type menclave = {
+  eid : int;
+  mutable st : estate;
+  mutable layout : Enclave.layout option;  (* known when the Create was observed *)
+  mutable config : Types.enclave_config option;
+  mutable heap_cursor : int option;
+  mutable shm_cursor : int option;
+  mutable measured : bool option;
+  mutable attached : int list;  (* shm ids *)
+  mutable fuzzy_attach : bool;  (* a timed-out shm op may have changed it *)
+}
+
+type mregion = {
+  rid : int;
+  rowner : int;
+  rpages : int;
+  rmax : Types.perm;
+  mutable legal : (int * Types.perm) list;
+  mutable rattached : int list;
+  mutable rfuzzy : bool;
+}
+
+type divergence = { index : int; opcode : Types.opcode; expected : string; observed : string }
+
+type t = {
+  stride : int;  (* EMS shard count: shard state is disjoint across residue classes *)
+  enclaves : (int, menclave) Hashtbl.t;
+  regions : (int, mregion) Hashtbl.t;
+  seen_enclave_ids : (int, unit) Hashtbl.t;
+  seen_shm_ids : (int, unit) Hashtbl.t;
+  (* Fog: a timed-out call whose EMS-side effect the model cannot
+     know. Each flag permanently weakens the class of prediction it
+     poisons — soundness beats completeness for an oracle. *)
+  mutable fog_enclaves : bool;  (* a Create may have happened unseen *)
+  mutable fog_shms : bool;  (* a Shmget may have happened unseen *)
+  mutable fog_existence : bool;  (* an unattributed containment may have destroyed anyone *)
+  mutable heap_fuzzy : bool;  (* EFREE/EWB punched holes in some heap *)
+  mutable calls : int;
+  mutable agreed : int;
+  mutable diverged : int;
+  mutable kept : divergence list;  (* newest first, capped *)
+}
+
+let kept_cap = 32
+
+let create ?(shards = 1) () =
+  {
+    stride = Stdlib.max 1 shards;
+    enclaves = Hashtbl.create 32;
+    regions = Hashtbl.create 16;
+    seen_enclave_ids = Hashtbl.create 32;
+    seen_shm_ids = Hashtbl.create 16;
+    fog_enclaves = false;
+    fog_shms = false;
+    fog_existence = false;
+    heap_fuzzy = false;
+    calls = 0;
+    agreed = 0;
+    diverged = 0;
+    kept = [];
+  }
+
+(* --- gate model ----------------------------------------------------- *)
+
+let privilege_of = function
+  | Emcall.Os_kernel -> Types.Os
+  | Emcall.User_host | Emcall.User_enclave _ -> Types.User
+
+let sender_of = function
+  | Emcall.Os_kernel | Emcall.User_host -> None
+  | Emcall.User_enclave id -> Some id
+
+let gate_rejects caller request =
+  match request with
+  | Types.Page_fault _ | Types.Interrupt _ -> false
+  | _ ->
+    privilege_of caller <> Types.required_privilege (Types.opcode_of_request request)
+
+(* --- predictions ----------------------------------------------------- *)
+
+type expect =
+  | Reject  (* Cross_privilege at the gate *)
+  | Accept of string * (Types.response -> bool)
+  | Any  (* the model lacks grounds to commit *)
+
+let expect_ok_unit = Accept ("Ok_unit", fun r -> r = Types.Ok_unit)
+
+let expect_err name pred = Accept (name, fun r -> match r with Types.Err e -> pred e | _ -> false)
+
+let err_no_enclave = expect_err "Err No_such_enclave" (fun e -> e = Types.No_such_enclave)
+let err_no_shm = expect_err "Err No_such_shm" (fun e -> e = Types.No_such_shm)
+let err_not_registered = expect_err "Err Not_registered" (fun e -> e = Types.Not_registered)
+
+let err_perm =
+  expect_err "Err Permission_denied" (function Types.Permission_denied _ -> true | _ -> false)
+
+let err_invalid =
+  expect_err "Err Invalid_argument" (function Types.Invalid_argument_ _ -> true | _ -> false)
+
+let err_bad_state =
+  expect_err "Err Bad_state" (function Types.Bad_state _ -> true | _ -> false)
+
+let find_e t id = Hashtbl.find_opt t.enclaves id
+
+(* The gate routes a request to the shard owning the id's residue
+   class; ids from another class do not exist on that shard. *)
+let shard_of t id = (id - 1) mod t.stride
+let co_sharded t a b = shard_of t a = shard_of t b
+
+let unknown_enclave t = if t.fog_enclaves then Any else err_no_enclave
+let unknown_region t = if t.fog_shms then Any else err_no_shm
+
+(* The handler preamble shared by every primitive acting on a target
+   enclave: [get_enclave] then [check_identity ~strict]. The identity
+   rule is Sec. III-B: a packet stamped with an enclave id must name
+   the enclave it acts on; [strict] additionally rejects unstamped
+   (host-software) senders. *)
+let preamble t ~sender ~target ~strict k =
+  match find_e t target with
+  | None -> unknown_enclave t
+  | Some e -> (
+    match sender with
+    | Some s when s <> target -> err_perm
+    | Some _ -> k e
+    | None -> if strict then err_perm else k e)
+
+let sane_config (c : Types.enclave_config) =
+  c.Types.code_pages > 0
+  && c.Types.code_pages <= 4096
+  && c.Types.data_pages >= 0
+  && c.Types.heap_pages >= 0
+  && c.Types.stack_pages > 0
+  && c.Types.shared_pages >= 0
+  && Types.total_static_pages c <= 65536
+
+(* Is [vpn] mapped in a Loading enclave, as far as the model can
+   prove? Heap pages go [`Maybe] once any EFREE/EWB has run anywhere
+   (holes), shm-window pages are always [`Maybe]. *)
+let mapped_status t (e : menclave) vpn =
+  match (e.layout, e.config, e.heap_cursor) with
+  | Some l, Some c, Some cursor ->
+    let within base n = vpn >= base && vpn < base + n in
+    if
+      within l.Enclave.code_base c.Types.code_pages
+      || within l.Enclave.data_base c.Types.data_pages
+      || within l.Enclave.stack_base c.Types.stack_pages
+      || within l.Enclave.staging_base c.Types.shared_pages
+    then `Mapped
+    else if vpn >= l.Enclave.heap_base && vpn < cursor then
+      if t.heap_fuzzy then `Maybe else `Mapped
+    else if vpn >= l.Enclave.shm_base && (e.attached <> [] || e.fuzzy_attach) then `Maybe
+    else `Unmapped
+  | _ -> `Maybe
+
+let predict t ~sender request =
+  match request with
+  | Types.Create { config } ->
+    if not (sane_config config) then err_invalid
+    else
+      Accept
+        ( "Ok_created with a never-issued id",
+          function
+          | Types.Ok_created { enclave } ->
+            enclave >= 1 && not (Hashtbl.mem t.seen_enclave_ids enclave)
+          | _ -> false )
+  | Types.Add { enclave; vpn; data; executable = _ } ->
+    (* EADD takes no identity check (the enclave cannot run yet). *)
+    ( match find_e t enclave with
+    | None -> unknown_enclave t
+    | Some e -> (
+      match e.st with
+      | Loading ->
+        if Bytes.length data > page_size then err_invalid
+        else (
+          match mapped_status t e vpn with
+          | `Mapped -> expect_ok_unit
+          | `Unmapped -> err_invalid
+          | `Maybe -> Any)
+      | Unknown -> Any
+      | Measured | Running | Interrupted -> err_bad_state))
+  | Types.Enter { enclave } -> (
+    match find_e t enclave with
+    | None -> unknown_enclave t
+    | Some e -> (
+      match e.st with
+      | Measured ->
+        Accept
+          ( "Ok_entered",
+            function Types.Ok_entered { enclave = e' } -> e' = enclave | _ -> false )
+      | Unknown -> Any
+      | Loading | Running | Interrupted -> err_bad_state))
+  | Types.Resume { enclave } -> (
+    match find_e t enclave with
+    | None -> unknown_enclave t
+    | Some e -> (
+      match e.st with
+      | Interrupted ->
+        Accept
+          ( "Ok_entered",
+            function Types.Ok_entered { enclave = e' } -> e' = enclave | _ -> false )
+      | Unknown -> Any
+      | Loading | Measured | Running -> err_bad_state))
+  | Types.Interrupt { enclave; _ } -> (
+    match find_e t enclave with
+    | None -> unknown_enclave t
+    | Some e -> (
+      match e.st with
+      | Running -> expect_ok_unit
+      | Unknown -> Any
+      | Loading | Measured | Interrupted -> err_bad_state))
+  | Types.Exit { enclave } ->
+    preamble t ~sender ~target:enclave ~strict:true (fun e ->
+        match e.st with
+        | Running | Interrupted -> expect_ok_unit
+        | Unknown -> Any
+        | Loading | Measured -> err_bad_state)
+  | Types.Destroy { enclave } -> (
+    match find_e t enclave with None -> unknown_enclave t | Some _ -> expect_ok_unit)
+  | Types.Alloc { enclave; pages } ->
+    preamble t ~sender ~target:enclave ~strict:false (fun e ->
+        if pages <= 0 || pages > 16384 then err_invalid
+        else
+          match e.heap_cursor with
+          | Some cursor ->
+            Accept
+              ( Printf.sprintf "Ok_alloc at the heap cursor (vpn %d)" cursor,
+                function
+                | Types.Ok_alloc { base_vpn; pages = p } -> base_vpn = cursor && p = pages
+                | _ -> false )
+          | None -> Any)
+  | Types.Free { enclave; vpn = _; pages } ->
+    preamble t ~sender ~target:enclave ~strict:false (fun _ ->
+        if pages <= 0 then err_invalid else Any)
+  | Types.Writeback { pages_hint } ->
+    if pages_hint <= 0 || pages_hint > 4096 then err_invalid
+    else
+      Accept
+        ( Printf.sprintf "Ok_writeback with at most %d distinct frame(s)"
+            (pages_hint + (pages_hint / 2)),
+          function
+          | Types.Ok_writeback { frames; blobs } ->
+            List.length frames <= pages_hint + (pages_hint / 2)
+            && List.length blobs = List.length frames
+            && List.length (List.sort_uniq compare frames) = List.length frames
+          | _ -> false )
+  | Types.Page_fault { enclave; vpn } -> (
+    match find_e t enclave with
+    | None -> unknown_enclave t
+    | Some e -> (
+      match (e.layout, e.heap_cursor) with
+      | Some l, Some cursor ->
+        (* Growable region plus anything EWB may have evicted (heap
+           pages below the cursor — always inside this range). *)
+        if vpn >= l.Enclave.heap_base && vpn < max l.Enclave.stack_base cursor then
+          Accept
+            ( "Ok_alloc of the faulting page",
+              function
+              | Types.Ok_alloc { base_vpn; pages } -> base_vpn = vpn && pages = 1
+              | _ -> false )
+        else err_invalid
+      | _ -> Any))
+  | Types.Shmget { owner; pages; max_perm = _ } ->
+    preamble t ~sender ~target:owner ~strict:true (fun _ ->
+        if pages <= 0 || pages > 4096 then err_invalid
+        else
+          Accept
+            ( "Ok_shm with a never-issued id",
+              function
+              | Types.Ok_shm { shm } -> shm >= 1 && not (Hashtbl.mem t.seen_shm_ids shm)
+              | _ -> false ))
+  | Types.Shmshr { owner; shm; grantee; perm = _ } ->
+    preamble t ~sender ~target:owner ~strict:true (fun _ ->
+        (* Served on the owner's shard: a grantee from another
+           residue class does not exist there. *)
+        if not (co_sharded t owner grantee) then err_no_enclave
+        else
+          match find_e t grantee with
+          | None -> unknown_enclave t
+          | Some _ -> (
+            if not (co_sharded t owner shm) then err_no_shm
+            else
+              match Hashtbl.find_opt t.regions shm with
+              | None -> unknown_region t
+              | Some r -> if r.rowner <> owner then err_perm else expect_ok_unit))
+  | Types.Shmat { enclave; shm; requested_perm } ->
+    preamble t ~sender ~target:enclave ~strict:true (fun e ->
+        (* Served on the enclave's shard: regions minted by another
+           shard (the shm id's residue class) do not exist there. *)
+        if not (co_sharded t enclave shm) then err_no_shm
+        else
+        match Hashtbl.find_opt t.regions shm with
+        | None -> unknown_region t
+        | Some r ->
+          if r.rfuzzy || e.fuzzy_attach then Any
+          else (
+            match List.assoc_opt enclave r.legal with
+            | None -> err_not_registered
+            | Some granted ->
+              if List.mem enclave r.rattached then err_invalid
+              else if requested_perm = Types.Read_write && granted = Types.Read_only then
+                err_perm
+              else
+                Accept
+                  ( (match e.shm_cursor with
+                    | Some c -> Printf.sprintf "Ok_shmat at the shm cursor (vpn %d)" c
+                    | None -> "Ok_shmat"),
+                    function
+                    | Types.Ok_shmat { base_vpn; pages } ->
+                      pages = r.rpages
+                      && (match e.shm_cursor with Some c -> base_vpn = c | None -> true)
+                    | _ -> false )))
+  | Types.Shmdt { enclave; shm } ->
+    preamble t ~sender ~target:enclave ~strict:true (fun e ->
+        if e.fuzzy_attach then Any
+        else if List.mem shm e.attached then expect_ok_unit
+        else err_invalid)
+  | Types.Shmdes { owner; shm } ->
+    preamble t ~sender ~target:owner ~strict:true (fun _ ->
+        if not (co_sharded t owner shm) then err_no_shm
+        else
+        match Hashtbl.find_opt t.regions shm with
+        | None -> unknown_region t
+        | Some r ->
+          if r.rfuzzy then Any
+          else if r.rowner <> owner then err_perm
+          else if r.rattached <> [] then err_perm
+          else expect_ok_unit)
+  | Types.Measure { enclave } -> (
+    match find_e t enclave with
+    | None -> unknown_enclave t
+    | Some e -> (
+      match e.st with
+      | Loading ->
+        Accept
+          ( "Ok_measure (32-byte digest)",
+            function
+            | Types.Ok_measure { measurement } -> Bytes.length measurement = 32
+            | _ -> false )
+      | Unknown -> Any
+      | Measured | Running | Interrupted -> err_bad_state))
+  | Types.Attest { enclave; user_data = _ } ->
+    preamble t ~sender ~target:enclave ~strict:true (fun e ->
+        match (e.st, e.measured) with
+        | Unknown, _ | _, None -> Any
+        | _, Some true ->
+          Accept
+            ( "Ok_attest",
+              function
+              | Types.Ok_attest { quote } -> Bytes.length quote > 0
+              | _ -> false )
+        | _, Some false -> err_bad_state)
+
+(* --- adoption: fold the observed truth back into the model ---------- *)
+
+let adopt_stub t id =
+  match find_e t id with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        eid = id;
+        st = Unknown;
+        layout = None;
+        config = None;
+        heap_cursor = None;
+        shm_cursor = None;
+        measured = None;
+        attached = [];
+        fuzzy_attach = true;
+      }
+    in
+    Hashtbl.replace t.enclaves id e;
+    Hashtbl.replace t.seen_enclave_ids id ();
+    e
+
+let opt_max cursor v = match cursor with Some c -> Some (max c v) | None -> Some v
+
+(* Regions whose owner is gone and to which nobody is attached are
+   reaped by the EMS itself (EDESTROY / ESHMDT); mirror that. *)
+let reap_orphans t =
+  let dead =
+    Hashtbl.fold
+      (fun id r acc ->
+        if (not (Hashtbl.mem t.enclaves r.rowner)) && r.rattached = [] && not r.rfuzzy then
+          id :: acc
+        else acc)
+      t.regions []
+  in
+  List.iter (Hashtbl.remove t.regions) dead
+
+let remove_enclave t id =
+  (match find_e t id with
+  | Some e ->
+    List.iter
+      (fun shm ->
+        match Hashtbl.find_opt t.regions shm with
+        | Some r -> r.rattached <- List.filter (fun x -> x <> id) r.rattached
+        | None -> ())
+      e.attached
+  | None -> ());
+  Hashtbl.remove t.enclaves id;
+  reap_orphans t
+
+let mark_unknown t id =
+  let e = adopt_stub t id in
+  e.st <- Unknown;
+  e.measured <- None
+
+(* A call timed out at the gate: the EMS may or may not have served
+   it. Poison exactly the knowledge that request could have changed. *)
+let apply_timeout t request =
+  match request with
+  | Types.Create _ -> t.fog_enclaves <- true
+  | Types.Shmget { owner; _ } ->
+    t.fog_shms <- true;
+    mark_unknown t owner
+  | Types.Destroy { enclave } ->
+    remove_enclave t enclave;
+    t.fog_enclaves <- true;
+    t.fog_existence <- true
+  | Types.Shmdes { owner; shm } ->
+    Hashtbl.remove t.regions shm;
+    t.fog_shms <- true;
+    mark_unknown t owner
+  | Types.Shmat { enclave; shm; _ } | Types.Shmdt { enclave; shm } ->
+    (match find_e t enclave with
+    | Some e ->
+      e.fuzzy_attach <- true;
+      e.shm_cursor <- None
+    | None -> ());
+    (match Hashtbl.find_opt t.regions shm with Some r -> r.rfuzzy <- true | None -> ())
+  | Types.Shmshr { shm; _ } -> (
+    match Hashtbl.find_opt t.regions shm with Some r -> r.rfuzzy <- true | None -> ())
+  | Types.Alloc { enclave; _ } | Types.Page_fault { enclave; _ } -> (
+    match find_e t enclave with Some e -> e.heap_cursor <- None | None -> ())
+  | Types.Free { enclave; _ } ->
+    t.heap_fuzzy <- true;
+    ignore enclave
+  | Types.Writeback _ -> t.heap_fuzzy <- true
+  | Types.Enter { enclave }
+  | Types.Resume { enclave }
+  | Types.Exit { enclave }
+  | Types.Interrupt { enclave; _ }
+  | Types.Measure { enclave } ->
+    mark_unknown t enclave
+  | Types.Add _ | Types.Attest _ -> ()
+
+let apply_response t request response =
+  match (request, response) with
+  | _, Types.Err (Types.Integrity_failure _) -> (
+    (* Containment: the EMS terminated the victim. *)
+    match Hypertee_ems.Runtime.enclave_of_request request with
+    | Some id -> remove_enclave t id
+    | None ->
+      (* The victim was whoever owned the corrupt frame (EWB path):
+         any enclave may be gone now. *)
+      t.fog_existence <- true)
+  | req, Types.Err Types.No_such_enclave when t.fog_existence -> (
+    (* An unattributed containment destroyed this enclave behind the
+       model's back: adopt the removal. *)
+    match Hypertee_ems.Runtime.enclave_of_request req with
+    | Some id -> remove_enclave t id
+    | None -> ())
+  | _, Types.Err _ -> ()
+  | Types.Create { config }, Types.Ok_created { enclave } ->
+    let layout = Enclave.make_layout config in
+    Hashtbl.replace t.seen_enclave_ids enclave ();
+    Hashtbl.replace t.enclaves enclave
+      {
+        eid = enclave;
+        st = Loading;
+        layout = Some layout;
+        config = Some config;
+        heap_cursor = Some (layout.Enclave.heap_base + config.Types.heap_pages);
+        shm_cursor = Some layout.Enclave.shm_base;
+        measured = Some false;
+        attached = [];
+        fuzzy_attach = false;
+      }
+  | (Types.Enter { enclave } | Types.Resume { enclave }), Types.Ok_entered _ ->
+    (adopt_stub t enclave).st <- Running
+  | Types.Interrupt { enclave; _ }, Types.Ok_unit -> (adopt_stub t enclave).st <- Interrupted
+  | Types.Exit { enclave }, Types.Ok_unit ->
+    let e = adopt_stub t enclave in
+    e.st <- Measured;
+    e.measured <- Some true
+  | Types.Measure { enclave }, Types.Ok_measure _ ->
+    let e = adopt_stub t enclave in
+    e.st <- Measured;
+    e.measured <- Some true
+  | Types.Destroy { enclave }, Types.Ok_unit -> remove_enclave t enclave
+  | Types.Alloc { enclave; pages }, Types.Ok_alloc { base_vpn; _ } ->
+    let e = adopt_stub t enclave in
+    e.heap_cursor <- opt_max e.heap_cursor (base_vpn + pages)
+  | Types.Page_fault { enclave; _ }, Types.Ok_alloc { base_vpn; _ } ->
+    let e = adopt_stub t enclave in
+    e.heap_cursor <- opt_max e.heap_cursor (base_vpn + 1)
+  | Types.Free _, Types.Ok_unit -> t.heap_fuzzy <- true
+  | Types.Writeback _, Types.Ok_writeback _ -> t.heap_fuzzy <- true
+  | Types.Shmget { owner; pages; max_perm }, Types.Ok_shm { shm } ->
+    Hashtbl.replace t.seen_shm_ids shm ();
+    Hashtbl.replace t.regions shm
+      {
+        rid = shm;
+        rowner = owner;
+        rpages = pages;
+        rmax = max_perm;
+        legal = [ (owner, max_perm) ];
+        rattached = [];
+        rfuzzy = false;
+      }
+  | Types.Shmshr { shm; grantee; perm; _ }, Types.Ok_unit -> (
+    match Hashtbl.find_opt t.regions shm with
+    | Some r ->
+      let granted = if r.rmax = Types.Read_only then Types.Read_only else perm in
+      r.legal <- (grantee, granted) :: List.remove_assoc grantee r.legal
+    | None -> ())
+  | Types.Shmat { enclave; shm; _ }, Types.Ok_shmat { base_vpn; pages } ->
+    let e = adopt_stub t enclave in
+    e.attached <- shm :: List.filter (fun x -> x <> shm) e.attached;
+    e.shm_cursor <- Some (base_vpn + pages + 1);
+    (match Hashtbl.find_opt t.regions shm with
+    | Some r -> r.rattached <- enclave :: List.filter (fun x -> x <> enclave) r.rattached
+    | None -> ())
+  | Types.Shmdt { enclave; shm }, Types.Ok_unit ->
+    (match find_e t enclave with
+    | Some e -> e.attached <- List.filter (fun x -> x <> shm) e.attached
+    | None -> ());
+    (match Hashtbl.find_opt t.regions shm with
+    | Some r -> r.rattached <- List.filter (fun x -> x <> enclave) r.rattached
+    | None -> ());
+    reap_orphans t
+  | Types.Shmdes { shm; _ }, Types.Ok_unit -> Hashtbl.remove t.regions shm
+  | _, _ -> ()
+
+let apply t request result =
+  match result with
+  | Error Emcall.Timeout -> apply_timeout t request
+  | Error (Emcall.Cross_privilege | Emcall.Mailbox_full) -> ()
+  | Ok (response, (_ : float)) -> apply_response t request response
+
+(* --- judging --------------------------------------------------------- *)
+
+let describe_result = function
+  | Error Emcall.Cross_privilege -> "rejected: cross-privilege"
+  | Error Emcall.Mailbox_full -> "rejected: mailbox full"
+  | Error Emcall.Timeout -> "rejected: timeout"
+  | Ok (resp, (_ : float)) -> (
+    match resp with
+    | Types.Ok_unit -> "Ok_unit"
+    | Types.Ok_created { enclave } -> Printf.sprintf "Ok_created enclave=%d" enclave
+    | Types.Ok_entered { enclave } -> Printf.sprintf "Ok_entered enclave=%d" enclave
+    | Types.Ok_alloc { base_vpn; pages } ->
+      Printf.sprintf "Ok_alloc base_vpn=%d pages=%d" base_vpn pages
+    | Types.Ok_writeback { frames; _ } ->
+      Printf.sprintf "Ok_writeback frames=%d" (List.length frames)
+    | Types.Ok_shm { shm } -> Printf.sprintf "Ok_shm shm=%d" shm
+    | Types.Ok_shmat { base_vpn; pages } ->
+      Printf.sprintf "Ok_shmat base_vpn=%d pages=%d" base_vpn pages
+    | Types.Ok_measure _ -> "Ok_measure"
+    | Types.Ok_attest _ -> "Ok_attest"
+    | Types.Err e -> "Err: " ^ Types.error_message e)
+
+let describe_expect = function
+  | Reject -> "gate rejection: cross-privilege"
+  | Accept (d, _) -> d
+  | Any -> "(anything)"
+
+let judge t expect result =
+  match (expect, result) with
+  | Reject, Error Emcall.Cross_privilege -> true
+  | Reject, _ -> false
+  | _, Error Emcall.Cross_privilege -> false
+  | _, Error (Emcall.Mailbox_full | Emcall.Timeout) -> true
+  | Any, Ok _ -> true
+  | Accept ((_ : string), pred), Ok (resp, (_ : float)) -> (
+    match resp with
+    (* Resource pressure the model does not track. *)
+    | Types.Err (Types.Out_of_memory | Types.Out_of_key_ids) -> true
+    (* Injected corruption, contained by the EMS. *)
+    | Types.Err (Types.Integrity_failure _) -> true
+    (* Unattributed containment may have removed the target. *)
+    | Types.Err Types.No_such_enclave when t.fog_existence -> true
+    | resp -> pred resp)
+
+let observe t ~caller ~batched request result =
+  t.calls <- t.calls + 1;
+  let expect =
+    if gate_rejects caller request then Reject
+    else if batched then
+      (* Execution order inside a batch drain is scheduler-randomized:
+         state-dependent predictions would race; adopt instead. *)
+      Any
+    else predict t ~sender:(sender_of caller) request
+  in
+  if judge t expect result then t.agreed <- t.agreed + 1
+  else begin
+    t.diverged <- t.diverged + 1;
+    if List.length t.kept < kept_cap then
+      t.kept <-
+        {
+          index = t.calls;
+          opcode = Types.opcode_of_request request;
+          expected = describe_expect expect;
+          observed = describe_result result;
+        }
+        :: t.kept
+  end;
+  apply t request result
+
+let tap t : Emcall.tap = fun ~caller ~batched request result -> observe t ~caller ~batched request result
+
+let observed t = t.calls
+let agreements t = t.agreed
+let divergence_count t = t.diverged
+let divergences t = List.rev t.kept
+
+let pp_divergence fmt d =
+  Format.fprintf fmt "call #%d %s: expected %s, observed %s" d.index
+    (Types.opcode_name d.opcode) d.expected d.observed
+
+let summary t =
+  Printf.sprintf "oracle: %d call(s) observed, %d agreed, %d diverged" t.calls t.agreed
+    t.diverged

@@ -251,7 +251,6 @@ let invoke_timed t ~caller request = Emcall.invoke_timed t.emcall ~caller reques
 let invoke_batch t requests = Emcall.invoke_batch t.emcall requests
 let batch_overhead_ns t ~batch = Emcall.per_call_overhead_ns t.emcall ~batch
 let traps t = t.traps
-let last_invoke_ns t = Emcall.last_latency_ns t.emcall
 let ptw t ~core = t.ptws.(core)
 let shard_count t = Array.length t.shards
 
@@ -341,8 +340,24 @@ let publish_metrics t registry =
     t.shards;
   Option.iter (fun inj -> Fault.publish_metrics inj registry) t.faults
 
+(* Correctness checking (lib/check): sweep every redundant view of
+   the platform state against the others, and optionally shadow the
+   gate with a differential oracle. *)
+let check ?deep t =
+  Hypertee_check.Invariant.check ?deep ~mem:t.mem ~bitmap:t.bitmap ~mee:t.mee
+    ~runtimes:(Array.map (fun sh -> sh.runtime) t.shards)
+    ()
+
+let attach_oracle t =
+  let oracle = Hypertee_check.Oracle.create ~shards:(Array.length t.shards) () in
+  Emcall.set_tap t.emcall (Hypertee_check.Oracle.tap oracle);
+  oracle
+
+let detach_oracle t = Emcall.clear_tap t.emcall
+
 module Internals = struct
   let runtime t = t.shards.(0).runtime
+  let mem t = t.mem
   let runtimes t = Array.map (fun sh -> sh.runtime) t.shards
   let runtime_of_shard t s = t.shards.(s).runtime
   let emcall t = t.emcall

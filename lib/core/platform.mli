@@ -77,11 +77,6 @@ val shard_count : t -> int
 
 val shard_of_enclave : t -> Hypertee_ems.Types.enclave_id -> int
 
-(** Round-trip latency of the last successful invoke (ns).
-    Meaningful only for a single sequential caller — batched or
-    interleaved callers must use [invoke_timed]/[invoke_batch]. *)
-val last_invoke_ns : t -> float
-
 (** The trap dispatcher (interrupt/exception routing, Sec. III-B). *)
 val traps : t -> Hypertee_cs.Traps.t
 
@@ -132,11 +127,31 @@ val unseal : t -> enclave:Hypertee_ems.Types.enclave_id -> bytes -> (bytes, stri
     the fault injector ([faults.*]) when one is installed. *)
 val publish_metrics : t -> Hypertee_obs.Metrics.t -> unit
 
+(** Sweep the platform's invariants (ownership vs. physical owners
+    vs. page tables vs. secure bitmap vs. encryption keys vs.
+    lifecycle state, across every shard). [deep] additionally
+    MAC-verifies every mapped enclave and shared page. Read-only. *)
+val check : ?deep:bool -> t -> Hypertee_check.Invariant.report
+
+(** Install a differential oracle as the EMCall gate's tap: every
+    subsequent invocation (plain or batched) is replayed against a
+    reference model of the EMS state machine and divergences are
+    recorded. Returns the oracle for interrogation; replaces any
+    previously attached tap. *)
+val attach_oracle : t -> Hypertee_check.Oracle.t
+
+(** Remove the gate tap installed by {!attach_oracle}. *)
+val detach_oracle : t -> unit
+
 (** Internals exposed for tests, the benchmark harness and the attack
     suite — not part of the user-facing API. *)
 module Internals : sig
   (** Runtime of shard 0 (the only shard in the default config). *)
   val runtime : t -> Hypertee_ems.Runtime.t
+
+  (** Physical memory, exposed so tests can seed corruption that the
+      checker must catch. *)
+  val mem : t -> Hypertee_arch.Phys_mem.t
 
   val runtimes : t -> Hypertee_ems.Runtime.t array
   val runtime_of_shard : t -> int -> Hypertee_ems.Runtime.t

@@ -98,6 +98,19 @@ let alloc t ~pages =
   | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
   | Error e -> Error e
 
+let alloc_timed t ~pages =
+  check_live t;
+  match
+    Platform.invoke_timed t.platform ~caller:(caller t)
+      (Types.Alloc { enclave = enclave_id t; pages })
+  with
+  | Ok (Types.Ok_alloc { base_vpn; _ }, latency_ns) -> Ok (base_vpn * page_size, latency_ns)
+  | Ok (Types.Err e, _) -> Error e
+  | Ok _ -> Error (Types.Invalid_argument_ "unexpected response")
+  | Error Emcall.Cross_privilege -> Error (Types.Permission_denied "cross-privilege")
+  | Error Emcall.Mailbox_full -> Error (Types.Invalid_argument_ "mailbox full")
+  | Error Emcall.Timeout -> Error (Types.Invalid_argument_ "EMS response timeout")
+
 let free t ~va ~pages =
   match lift (invoke t (Types.Free { enclave = enclave_id t; vpn = va / page_size; pages })) with
   | Ok Types.Ok_unit -> Ok ()

@@ -37,6 +37,12 @@ val stack_va : t -> int
 (** User primitives (Table II, Priv. = User). *)
 val alloc : t -> pages:int -> (int (* base va *), Hypertee_ems.Types.error) result
 
+(** Like {!alloc}, also returning the modelled EMCall round-trip
+    time in ns (per-call, race-free — the way to time primitives
+    from a session). *)
+val alloc_timed :
+  t -> pages:int -> (int (* base va *) * float, Hypertee_ems.Types.error) result
+
 val free : t -> va:int -> pages:int -> (unit, Hypertee_ems.Types.error) result
 
 val shmget :

@@ -22,6 +22,17 @@ type shard = {
   ems_service : unit -> unit;
 }
 
+(* Observation point for the differential oracle: every completed
+   invocation (response or rejection) is reported with its caller;
+   [batched] distinguishes [invoke_batch] results, whose execution
+   order inside one doorbell drain is scheduler-randomized. *)
+type tap =
+  caller:caller ->
+  batched:bool ->
+  Types.request ->
+  (Types.response * float, rejection) result ->
+  unit
+
 type t = {
   rng : Hypertee_util.Xrng.t;
   transport : Config.transport;
@@ -29,8 +40,10 @@ type t = {
   route : Types.request -> int;
   service_ns : Types.request -> float;
   retry : retry_policy;
+  abandoned : (int, unit) Hashtbl.t array; (* per shard: timed-out ids *)
+  abandoned_order : int Queue.t array;
   mutable faults : Fault.t option;
-  mutable last_latency_ns : float;
+  mutable tap : tap option;
   mutable rejected : int;
   mutable tlb_flushes : int;
   mutable timeouts : int;
@@ -44,6 +57,7 @@ let create_sharded ?(retry = default_retry_policy) ~rng ~transport ~shards ~rout
   if retry.poll_budget < 1 then invalid_arg "Emcall.create: poll_budget must be >= 1";
   if retry.max_retries < 0 then invalid_arg "Emcall.create: max_retries must be >= 0";
   if Array.length shards = 0 then invalid_arg "Emcall.create: need at least one EMS shard";
+  let n = Array.length shards in
   {
     rng;
     transport;
@@ -51,8 +65,10 @@ let create_sharded ?(retry = default_retry_policy) ~rng ~transport ~shards ~rout
     route;
     service_ns;
     retry;
+    abandoned = Array.init n (fun _ -> Hashtbl.create 16);
+    abandoned_order = Array.init n (fun _ -> Queue.create ());
     faults = None;
-    last_latency_ns = 0.0;
+    tap = None;
     rejected = 0;
     tlb_flushes = 0;
     timeouts = 0;
@@ -77,6 +93,51 @@ let shard_of t request =
   if i >= 0 && i < n then i else ((i mod n) + n) mod n
 
 let set_fault_injector t inj = t.faults <- Some inj
+let set_tap t tap = t.tap <- Some tap
+let clear_tap t = t.tap <- None
+let observe t ~caller ~batched request result =
+  match t.tap with None -> () | Some tap -> tap ~caller ~batched request result
+
+(* Duplicate accounting, shared by every path that empties a response
+   slot. A slot holds [copies] identical packets of which exactly one
+   is legitimate; if the legitimate copy was already [consumed] by a
+   poll, every remaining copy is a duplicate — otherwise one of the
+   remaining copies is the (stale but legitimate) response and only
+   the surplus is duplicated traffic. *)
+let credit_duplicates t ~consumed ~copies =
+  let extras = if consumed then copies else copies - 1 in
+  if extras > 0 then t.duplicates_discarded <- t.duplicates_discarded + extras
+
+(* Ids the gate timed out on. A late response to such an id must be
+   drained (and its duplicates credited) the next time the gate polls
+   that shard, so it can never linger in the response queue. The
+   table is bounded: ids that never get answered age out. *)
+let abandoned_cap = 1024
+
+let mark_abandoned t ~shard_idx ~request_id =
+  let tbl = t.abandoned.(shard_idx) and order = t.abandoned_order.(shard_idx) in
+  if not (Hashtbl.mem tbl request_id) then begin
+    Hashtbl.replace tbl request_id ();
+    Queue.push request_id order;
+    if Queue.length order > abandoned_cap then Hashtbl.remove tbl (Queue.pop order)
+  end
+
+let drain_abandoned t ~shard_idx shard =
+  let tbl = t.abandoned.(shard_idx) in
+  if Hashtbl.length tbl > 0 then begin
+    let arrived =
+      Hashtbl.fold
+        (fun id () acc ->
+          let copies = Mailbox.discard_response shard.mailbox ~request_id:id in
+          if copies > 0 then (id, copies) :: acc else acc)
+        tbl []
+    in
+    List.iter
+      (fun (id, copies) ->
+        credit_duplicates t ~consumed:false ~copies;
+        Hashtbl.remove tbl id)
+      arrived
+  end
 
 let caller_privilege = function
   | Os_kernel -> Types.Os
@@ -177,15 +238,17 @@ let complete t shard ~shard_idx ~request ~request_id ~overhead_ns ~extra_ns resp
   (* Any further copies of this response are duplicates: detect and
      discard them here, so a duplicated packet can never be mistaken
      for the answer to a later request. *)
-  t.duplicates_discarded <-
-    t.duplicates_discarded + Mailbox.discard_response shard.mailbox ~request_id;
+  credit_duplicates t ~consumed:true
+    ~copies:(Mailbox.discard_response shard.mailbox ~request_id);
   let service = t.service_ns request in
   let raw = overhead_ns +. service +. extra_ns in
   let slot = t.transport.Config.poll_slot_ns in
-  let quantised = Float.of_int (int_of_float (raw /. slot) + 1) *. slot in
+  (* Polling rounds the observable latency *up* to the next slot
+     boundary; a raw cost already on a boundary completes in that
+     slot and must not pay an extra one. *)
+  let quantised = Float.ceil (raw /. slot) *. slot in
   let jitter = Hypertee_util.Xrng.float t.rng *. slot in
   let latency = quantised +. jitter in
-  t.last_latency_ns <- latency;
   if Hypertee_obs.Trace.enabled () then
     trace_call t ~shard_idx ~request ~request_id ~overhead_ns ~service_ns:service
       ~latency_ns:latency;
@@ -225,6 +288,9 @@ let gate_check t ~caller request =
    re-executes the primitive: delivery is exactly-once by
    construction. *)
 let await t shard ~shard_idx ~request ~request_id ~overhead_ns ~extra_ns =
+  (* Late responses to previously timed-out ids are stale by
+     definition: drain them before polling for the live id. *)
+  drain_abandoned t ~shard_idx shard;
   let slot_ns = t.transport.Config.poll_slot_ns in
   let rec go ~polls ~retry_count ~extra_ns =
     match Mailbox.poll_response shard.mailbox ~request_id with
@@ -255,28 +321,37 @@ let await t shard ~shard_idx ~request ~request_id ~overhead_ns ~extra_ns =
         (* Whatever arrives after the deadline is stale: make sure
            a late or duplicated response can never be collected by
            a future request (ids are unique, but the slot should
-           not linger). *)
-        ignore (Mailbox.discard_response shard.mailbox ~request_id);
+           not linger). Copies discarded here count toward the same
+           duplicate telemetry as the [complete] path, and the id
+           stays on the abandoned list so a response arriving even
+           later is drained too. *)
+        credit_duplicates t ~consumed:false
+          ~copies:(Mailbox.discard_response shard.mailbox ~request_id);
+        mark_abandoned t ~shard_idx ~request_id;
         Error Timeout
       end
   in
   go ~polls:0 ~retry_count:0 ~extra_ns
 
 let invoke_timed t ~caller request =
-  match gate_check t ~caller request with
-  | Error _ as e -> e
-  | Ok sender -> (
-    let shard_idx = shard_of t request in
-    let shard = t.shards.(shard_idx) in
-    match Mailbox.send_request shard.mailbox ~sender_enclave:sender request with
-    | Error `Full ->
-      t.rejected <- t.rejected + 1;
-      Error Mailbox_full
-    | Ok request_id ->
-      (* Doorbell: the EMS side drains the queue and posts responses. *)
-      shard.ems_service ();
-      await t shard ~shard_idx ~request ~request_id ~overhead_ns:(transport_ns t)
-        ~extra_ns:(transport_spike_ns t))
+  let result =
+    match gate_check t ~caller request with
+    | Error _ as e -> e
+    | Ok sender -> (
+      let shard_idx = shard_of t request in
+      let shard = t.shards.(shard_idx) in
+      match Mailbox.send_request shard.mailbox ~sender_enclave:sender request with
+      | Error `Full ->
+        t.rejected <- t.rejected + 1;
+        Error Mailbox_full
+      | Ok request_id ->
+        (* Doorbell: the EMS side drains the queue and posts responses. *)
+        shard.ems_service ();
+        await t shard ~shard_idx ~request ~request_id ~overhead_ns:(transport_ns t)
+          ~extra_ns:(transport_spike_ns t))
+  in
+  observe t ~caller ~batched:false request result;
+  result
 
 let invoke t ~caller request = Result.map fst (invoke_timed t ~caller request)
 
@@ -308,17 +383,21 @@ let invoke_batch t requests =
   (* One doorbell per shard with pending work: the drain serves the
      whole batch before any caller starts polling. *)
   Array.iteri (fun idx k -> if k > 0 then t.shards.(idx).ems_service ()) per_shard;
-  List.map
-    (function
-      | Error rejection -> Error rejection
-      | Ok (idx, request_id, request) ->
-        let shard = t.shards.(idx) in
-        let overhead_ns = per_call_overhead_ns t ~batch:per_shard.(idx) in
-        await t shard ~shard_idx:idx ~request ~request_id ~overhead_ns
-          ~extra_ns:(transport_spike_ns t))
-    sent
+  List.map2
+    (fun (caller, request) outcome ->
+      let result =
+        match outcome with
+        | Error rejection -> Error rejection
+        | Ok (idx, request_id, request) ->
+          let shard = t.shards.(idx) in
+          let overhead_ns = per_call_overhead_ns t ~batch:per_shard.(idx) in
+          await t shard ~shard_idx:idx ~request ~request_id ~overhead_ns
+            ~extra_ns:(transport_spike_ns t)
+      in
+      observe t ~caller ~batched:true request result;
+      result)
+    requests sent
 
-let last_latency_ns t = t.last_latency_ns
 let rejected t = t.rejected
 let tlb_flushes t = t.tlb_flushes
 let timeouts t = t.timeouts

@@ -97,6 +97,24 @@ val shard_count : t -> int
     spikes). *)
 val set_fault_injector : t -> Hypertee_faults.Fault.t -> unit
 
+(** Observation point for the differential oracle
+    ({!Hypertee_check.Oracle} via [Platform.attach_oracle]): called
+    once per completed invocation — [invoke]/[invoke_timed] and every
+    element of an [invoke_batch] — with the caller, the request, and
+    the result (response or gate rejection). [batched] marks results
+    collected from a batch doorbell, whose execution order inside the
+    drain is scheduler-randomized. The tap observes after the gate is
+    fully done with the call (duplicates discarded, TLBs flushed). *)
+type tap =
+  caller:caller ->
+  batched:bool ->
+  Hypertee_ems.Types.request ->
+  (Hypertee_ems.Types.response * float, rejection) result ->
+  unit
+
+val set_tap : t -> tap -> unit
+val clear_tap : t -> unit
+
 (** [invoke t ~caller request] runs the full gate flow and returns
     the EMS response, or a gate-level rejection. Total work is
     bounded: at most [poll_budget * (max_retries + 1)] polls. *)
@@ -107,8 +125,9 @@ val invoke :
   (Hypertee_ems.Types.response, rejection) result
 
 (** Like [invoke], also returning this call's modelled round-trip
-    time — the value to use when callers interleave, where the
-    [last_latency_ns] cell would race. *)
+    time. Latency is always returned per call — a shared
+    last-latency cell would race across shards and interleaved
+    callers. *)
 val invoke_timed :
   t ->
   caller:caller ->
@@ -124,12 +143,6 @@ val invoke_batch :
   t ->
   (caller * Hypertee_ems.Types.request) list ->
   (Hypertee_ems.Types.response * float, rejection) result list
-
-(** Modelled round-trip time of the last completed call. Meaningful
-    only for a single sequential caller; batched or interleaved
-    callers must use the latency returned by [invoke_timed] /
-    [invoke_batch]. *)
-val last_latency_ns : t -> float
 
 (** Transport-only part of the round trip for a request of the given
     EMS service time (used by the queueing experiment of Fig. 6). *)

@@ -56,6 +56,11 @@ type t = {
 (** Human-readable state label for reports and errors. *)
 val state_name : state -> string
 
+(** The virtual-address layout a given config produces. Exposed so
+    external models (the differential oracle) can predict cursor
+    positions without duplicating the address arithmetic. *)
+val make_layout : Types.enclave_config -> layout
+
 (** [create ~id ~config ~page_table ~key_id] a fresh ECS in Loading
     state with an open measurement context. *)
 val create :

@@ -57,6 +57,8 @@ let create rng ~mem ~bitmap ~os_request ~os_return ~initial_frames =
   t
 
 let available t = List.length t.parked
+let parked_frames t = List.sort compare t.parked
+let outstanding t = t.outstanding
 let refill_events t = t.refill_events
 let current_threshold t = t.threshold
 

@@ -30,6 +30,14 @@ val create :
 (** Frames currently parked (free for enclave use). *)
 val available : t -> int
 
+(** The parked frames themselves, sorted (invariant checker: each
+    must be [Pool]-owned with its bitmap bit set). *)
+val parked_frames : t -> int list
+
+(** Frames taken and not yet given back (invariant checker: pool
+    accounting cross-check). *)
+val outstanding : t -> int
+
 (** Cumulative OS refill requests (the only events the OS observes —
     the allocation-attack test counts these). *)
 val refill_events : t -> int

@@ -30,13 +30,23 @@ let attach t ~frame ~enclave =
 let detach t ~frame ~enclave =
   match Hashtbl.find_opt t.table frame with
   | Some (Shared_page { shm; attached }) ->
-    Hashtbl.replace t.table frame
-      (Shared_page { shm; attached = List.filter (fun e -> e <> enclave) attached })
-  | Some (Private _) | None -> ()
+    let attached = List.filter (fun e -> e <> enclave) attached in
+    Hashtbl.replace t.table frame (Shared_page { shm; attached });
+    Some (List.length attached)
+  | Some (Private _) | None -> None
 
 let release t ~frame = Hashtbl.remove t.table frame
 let lookup t ~frame = Hashtbl.find_opt t.table frame
 let can_map_private t ~frame = not (Hashtbl.mem t.table frame)
+
+let fold t f init = Hashtbl.fold f t.table init
+
+let shared_zero_attached t =
+  Hashtbl.fold
+    (fun frame record acc ->
+      match record with Shared_page { attached = []; _ } -> frame :: acc | _ -> acc)
+    t.table []
+  |> List.sort compare
 
 let frames_of t enclave =
   Hashtbl.fold

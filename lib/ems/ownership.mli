@@ -27,8 +27,12 @@ val claim_shared : t -> frame:int -> shm:Types.shm_id -> bool
     of a shared frame; [false] on private frames or duplicates. *)
 val attach : t -> frame:int -> enclave:Types.enclave_id -> bool
 
-(** Remove one enclave from a shared frame's attachment set. *)
-val detach : t -> frame:int -> enclave:Types.enclave_id -> unit
+(** Remove one enclave from a shared frame's attachment set. Returns
+    the number of attachments remaining on the frame ([Some 0] means
+    the caller was the last one — the signal the EMS uses to reclaim
+    a region whose owner is gone), or [None] if the frame is not a
+    shared page. *)
+val detach : t -> frame:int -> enclave:Types.enclave_id -> int option
 
 (** [release t ~frame] forgets the frame entirely (free / swap-out). *)
 val release : t -> frame:int -> unit
@@ -44,3 +48,13 @@ val frames_of : t -> Types.enclave_id -> int list
 
 (** Total records (tests). *)
 val size : t -> int
+
+(** Fold over every (frame, record) pair — the invariant checker's
+    sweep primitive. *)
+val fold : t -> (int -> record -> 'a -> 'a) -> 'a -> 'a
+
+(** Shared frames with an empty attachment set, sorted. Non-empty is
+    normal while a region is live but unattached; a zero-attached
+    frame whose region's owner is dead is a leak (the checker asserts
+    there are none). *)
+val shared_zero_attached : t -> int list

@@ -31,6 +31,11 @@ let live_enclaves t = State.live_enclaves t.state
 let audit t = State.audit t.state
 let service_ns t request = State.service_ns t.state request
 let has_swapped_page t enclave ~vpn = State.has_swapped_page t.state enclave ~vpn
+let shm_regions t = State.shm_regions t.state
+let leaked_shm_frames t = State.leaked_shm_frames t.state
+let shard t = t.state.State.shard
+let id_stride t = t.state.State.id_stride
+let state t = t.state
 let services t = Registry.services t.registry
 let service_of t opcode = Registry.service_of t.registry opcode
 

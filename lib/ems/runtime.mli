@@ -80,6 +80,26 @@ val served : t -> Types.opcode -> int
     [vpn]? (EMCall routes such faults to EMS.) *)
 val has_swapped_page : t -> Types.enclave_id -> vpn:int -> bool
 
+(** Every live shared-memory region of this shard. *)
+val shm_regions : t -> Shm.region list
+
+(** Frames stuck in orphaned shared regions (dead owner, nobody
+    attached) — the shm leak gauge; the invariant checker asserts it
+    is zero. *)
+val leaked_shm_frames : t -> int
+
+(** This runtime's shard index and id stride (residue-class
+    identity: live ids satisfy [(id - 1) mod id_stride = shard]). *)
+val shard : t -> int
+
+val id_stride : t -> int
+
+(** The full EMS-private state, exposed for the invariant checker
+    ({!Hypertee_check.Invariant}), which audits it read-only against
+    the architectural ground truth. Production consumers use the
+    accessors above. *)
+val state : t -> State.t
+
 (** Registry introspection (telemetry / tests). *)
 val services : t -> string list
 

@@ -216,9 +216,51 @@ let detach_shm_frames t (e : Enclave.t) shm_id =
   match Shm.find t.shms shm_id with
   | None -> ()
   | Some region ->
-    List.iter (fun frame -> Ownership.detach t.ownership ~frame ~enclave:e.Enclave.id)
+    List.iter
+      (fun frame -> ignore (Ownership.detach t.ownership ~frame ~enclave:e.Enclave.id))
       region.Shm.frames;
     ignore (Shm.detach t.shms ~shm:shm_id ~enclave:e.Enclave.id)
+
+(* --- Shared-region reclamation (the ESHMDES no one can issue) ---
+
+   ESHMDES requires the region's owner identity, so a region whose
+   owner enclave is destroyed while others remain attached — or that
+   nobody ever attached — would stay registered forever: its frames
+   sit in the ownership table as zero-attached [Shared_page]s,
+   permanently blocking [can_map_private]. The EMS reaps such
+   orphaned regions itself, acting as the dead owner, as soon as the
+   last attachment is gone (EDESTROY and ESHMDT call this). *)
+
+let shm_regions t = Shm.regions t.shms
+
+let orphaned_shm_regions t =
+  List.filter
+    (fun (r : Shm.region) ->
+      (not (Hashtbl.mem t.enclaves r.Shm.owner)) && Shm.active_connections r = 0)
+    (shm_regions t)
+
+(* Frames currently stuck in orphaned regions — the leak gauge the
+   invariant checker asserts to be zero after every primitive. *)
+let leaked_shm_frames t =
+  List.fold_left
+    (fun acc (r : Shm.region) -> acc + List.length r.Shm.frames)
+    0 (orphaned_shm_regions t)
+
+let reap_orphaned_shms t =
+  List.fold_left
+    (fun reaped (r : Shm.region) ->
+      match Shm.destroy t.shms ~shm:r.Shm.shm ~caller:r.Shm.owner with
+      | Error _ -> reaped
+      | Ok region ->
+        List.iter
+          (fun frame ->
+            Ownership.release t.ownership ~frame;
+            Phys_mem.zero t.mem ~frame)
+          region.Shm.frames;
+        Mem_pool.give_back t.pool region.Shm.frames;
+        Mem_encryption.revoke t.mee ~key_id:region.Shm.key_id;
+        reaped + 1)
+    0 (orphaned_shm_regions t)
 
 let has_swapped_page t enclave ~vpn =
   match Hashtbl.find_opt t.enclaves enclave with

@@ -143,3 +143,18 @@ val measurement_update : Enclave.t -> vpn:int -> bytes -> unit
 
 (** Unmap a detached shared region's pages from the enclave. *)
 val detach_shm_frames : t -> Enclave.t -> Types.shm_id -> unit
+
+(** Every live shared-memory region (invariant checker sweep). *)
+val shm_regions : t -> Shm.region list
+
+(** Frames held by regions whose owner is destroyed and that no one
+    is attached to — unreachable through ESHMDES, i.e. leaked. The
+    invariant checker asserts this is zero; {!reap_orphaned_shms}
+    keeps it so. *)
+val leaked_shm_frames : t -> int
+
+(** Reclaim every orphaned region (dead owner, zero attachments):
+    release ownership records, zero and return the frames to the
+    pool, revoke the region key. Returns the number of regions
+    reaped. EDESTROY and ESHMDT run this after their own teardown. *)
+val reap_orphaned_shms : t -> int

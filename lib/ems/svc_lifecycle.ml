@@ -176,6 +176,11 @@ let handle_destroy t ~enclave =
   if not e.Enclave.key_parked then Mem_encryption.revoke t.mee ~key_id:e.Enclave.key_id;
   e.Enclave.state <- Enclave.Destroyed;
   Hashtbl.remove t.enclaves enclave;
+  (* Regions this enclave owned and nobody is attached to can never
+     be ESHMDES'd (owner identity required): reclaim them now.
+     Regions with live attachments survive and are reaped on the
+     last ESHMDT. *)
+  ignore (reap_orphaned_shms t);
   Types.Ok_unit
 
 (* Direct entry point for integrity containment: [Runtime] terminates

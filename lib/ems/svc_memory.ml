@@ -136,7 +136,15 @@ let handle_page_fault t ~enclave ~vpn =
         Hashtbl.remove e.Enclave.swapped_out vpn;
         Types.Ok_alloc { base_vpn = vpn; pages = 1 })
     | _ -> Types.Err Types.Out_of_memory)
-  | None ->
+  | None -> (
+    match Page_table.lookup e.Enclave.page_table ~vpn with
+    | Some _ ->
+      (* Spurious fault on a resident page (stale TLB, racing
+         faults): re-faulting must be idempotent. Allocating here
+         would overwrite the live leaf and orphan its frame —
+         enclave-owned but unreachable until EDESTROY. *)
+      Types.Ok_alloc { base_vpn = vpn; pages = 1 }
+    | None ->
     (* Demand allocation within the growth region. *)
     if vpn >= e.Enclave.layout.Enclave.heap_base && vpn < e.Enclave.layout.Enclave.stack_base
     then begin
@@ -150,7 +158,7 @@ let handle_page_fault t ~enclave ~vpn =
           Types.Ok_alloc { base_vpn = vpn; pages = 1 })
       | _ -> Types.Err Types.Out_of_memory
     end
-    else Types.Err (Types.Invalid_argument_ "fault outside growable region")
+    else Types.Err (Types.Invalid_argument_ "fault outside growable region"))
 
 let handle t ~sender (request : Types.request) =
   match request with

@@ -80,10 +80,14 @@ let handle_shmdt t ~sender ~enclave ~shm =
       | Ok () ->
         List.iteri
           (fun i frame ->
-            Ownership.detach t.ownership ~frame ~enclave;
+            ignore (Ownership.detach t.ownership ~frame ~enclave);
             Page_table.unmap e.Enclave.page_table ~vpn:(base_vpn + i))
           region.Shm.frames;
         e.Enclave.attached_shms <- List.remove_assoc shm e.Enclave.attached_shms;
+        (* If the detaching enclave was the last attachment of a
+           region whose owner is gone, no ESHMDES can ever reclaim
+           it: reap it now. *)
+        ignore (reap_orphaned_shms t);
         Types.Ok_unit))
 
 let handle_shmdes t ~sender ~owner ~shm =

@@ -18,6 +18,7 @@ type point = {
   recovered : int;
   enclaves_killed : int;
   retries : int;
+  invariant_violations : int;
 }
 
 let default_rates = [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ]
@@ -148,6 +149,10 @@ let run_point ~seed ~fault_rate ~ops =
     recovered;
     enclaves_killed;
     retries = Emcall.retries (Platform.Internals.emcall platform);
+    (* Availability is not enough: the survived platform must also
+       still be *consistent*. *)
+    invariant_violations =
+      List.length (Platform.check platform).Hypertee_check.Invariant.violations;
   }
 
 let run ~seed ~ops = List.map (fun fault_rate -> run_point ~seed ~fault_rate ~ops) default_rates
@@ -158,10 +163,10 @@ let print ?(out = stdout) points =
   Hypertee_util.Table.print ~out
     ~headers:
       [ "fault rate"; "ops"; "success"; "degraded"; "timeouts"; "killed"; "p50 (us)";
-        "p99 (us)"; "injected"; "recovered"; "retries" ]
+        "p99 (us)"; "injected"; "recovered"; "retries"; "inv" ]
     ~aligns:
       Hypertee_util.Table.
-        [ Right; Right; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+        [ Right; Right; Right; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
     (List.map
        (fun p ->
          [
@@ -176,5 +181,6 @@ let print ?(out = stdout) points =
            string_of_int p.injected;
            string_of_int p.recovered;
            string_of_int p.retries;
+           string_of_int p.invariant_violations;
          ])
        points)

@@ -25,6 +25,9 @@ type point = {
   recovered : int;  (** fault events the platform absorbed (audit) *)
   enclaves_killed : int;  (** integrity containment terminations *)
   retries : int;  (** mailbox re-requests issued by the gate *)
+  invariant_violations : int;
+      (** broken platform invariants at the end of the point
+          ({!Hypertee.Platform.check}); 0 is the claim under test *)
 }
 
 (** Fault rates of the default sweep (includes 0.0). *)

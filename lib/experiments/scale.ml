@@ -14,6 +14,7 @@ type point = {
   mean_latency_ns : float;
   ems_busy_ns : float;
   throughput_mops : float;
+  invariant_violations : int;
 }
 
 let default_batches = [ 1; 2; 4; 8; 16 ]
@@ -100,6 +101,8 @@ let run_point ~seed ~cs_cores ~shards ~batch ~ops =
     ems_busy_ns = !busy_ns;
     throughput_mops =
       (if !busy_ns <= 0.0 then 0.0 else float_of_int !ok /. (!busy_ns /. 1e3));
+    invariant_violations =
+      List.length (Platform.check platform).Hypertee_check.Invariant.violations;
   }
 
 (* The two published sweeps: batching amortization at one shard, and
@@ -122,12 +125,14 @@ let point_row p =
     Hypertee_util.Table.fmt_f ~digits:1 p.overhead_ns;
     Hypertee_util.Table.fmt_f ~digits:2 (p.mean_latency_ns /. 1e3);
     Hypertee_util.Table.fmt_f ~digits:3 p.throughput_mops;
+    string_of_int p.invariant_violations;
   ]
 
 let headers =
-  [ "CS cores"; "shards"; "batch"; "served"; "gate+transport (ns/call)"; "mean rtt (us)"; "Mops/s" ]
+  [ "CS cores"; "shards"; "batch"; "served"; "gate+transport (ns/call)"; "mean rtt (us)";
+    "Mops/s"; "inv" ]
 
-let aligns = Hypertee_util.Table.[ Right; Right; Right; Right; Right; Right; Right ]
+let aligns = Hypertee_util.Table.[ Right; Right; Right; Right; Right; Right; Right; Right ]
 
 let print ?out ~seed ?(ops = default_ops) () =
   let batch_points, shard_points = run ~seed ~ops () in

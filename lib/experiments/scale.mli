@@ -28,6 +28,9 @@ type point = {
   mean_latency_ns : float;  (** measured mean round trip *)
   ems_busy_ns : float;  (** summed EMS-side makespan of all rounds *)
   throughput_mops : float;  (** ok / ems_busy, in primitives/us *)
+  invariant_violations : int;
+      (** broken platform invariants at the end of the point
+          ({!Hypertee.Platform.check}); 0 is the claim under test *)
 }
 
 val default_batches : int list

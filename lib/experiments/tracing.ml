@@ -65,7 +65,11 @@ let run_fig7 ~seed ~cap =
         ignore
           (Platform.invoke platform ~caller:Emcall.Os_kernel (Types.Destroy { enclave }))
       | _ -> ())
-    Hypertee_workloads.Rv8.suite
+    Hypertee_workloads.Rv8.suite;
+  (* The traced workload must leave a consistent platform behind. *)
+  let report = Platform.check platform in
+  if not (Hypertee_check.Invariant.ok report) then
+    failwith ("Tracing.run_fig7: " ^ Hypertee_check.Invariant.report_to_string report)
 
 let run_target ~seed ~quick = function
   | Fig6 ->
@@ -140,4 +144,7 @@ let metrics ?(out = stdout) ?(seed = 0x3E7121C5L) ?(ops = 400) ?json () =
     output_string oc (Metrics.to_json registry);
     close_out oc;
     Printf.fprintf out "wrote metrics JSON to %s\n" path);
+  let report = Platform.check platform in
+  if not (Hypertee_check.Invariant.ok report) then
+    failwith ("Tracing.metrics: " ^ Hypertee_check.Invariant.report_to_string report);
   registry

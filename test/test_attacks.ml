@@ -250,14 +250,13 @@ let test_physical_tamper_detected () =
 (* --- Timing-channel mitigations (structural checks) --- *)
 
 let test_latency_is_quantised_and_jittered () =
-  let platform, _, session = setup () in
+  let _platform, _, session = setup () in
   (* Repeated identical primitives must not produce identical
      latencies (polling obfuscation). *)
   let samples =
     List.init 16 (fun _ ->
-        match Session.alloc session ~pages:1 with
-        | Ok va ->
-          let l = Platform.last_invoke_ns platform in
+        match Session.alloc_timed session ~pages:1 with
+        | Ok (va, l) ->
           ignore (Session.free session ~va ~pages:1);
           l
         | Error _ -> Alcotest.fail "alloc failed")

@@ -1,0 +1,441 @@
+(* Regression tests for the invariant checker / differential oracle
+   PR: each bugfix that rode along gets a test that fails on the
+   pre-fix code, plus coverage that the checker itself catches the
+   corruption classes it claims to. *)
+
+module Types = Hypertee_ems.Types
+module Emcall = Hypertee_cs.Emcall
+module Mailbox = Hypertee_arch.Mailbox
+module Platform = Hypertee.Platform
+module Sdk = Hypertee.Sdk
+module Config = Hypertee_arch.Config
+module Fault = Hypertee_faults.Fault
+module Runtime = Hypertee_ems.Runtime
+module Scheduler = Hypertee_ems.Scheduler
+module Ownership = Hypertee_ems.Ownership
+module Phys_mem = Hypertee_arch.Phys_mem
+module Bitmap = Hypertee_arch.Bitmap
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Invariant = Hypertee_check.Invariant
+module Explorer = Hypertee_check.Explorer
+module Verify = Hypertee_experiments.Verify
+module Xrng = Hypertee_util.Xrng
+
+let prop = QCheck_alcotest.to_alcotest ~speed_level:`Quick
+
+let small_config =
+  {
+    Types.code_pages = 1;
+    data_pages = 1;
+    heap_pages = 4;
+    stack_pages = 1;
+    shared_pages = 8;
+  }
+
+let small_image =
+  Sdk.image_of_code ~config:small_config ~code:(Bytes.of_string "x") ~data:Bytes.empty ()
+
+let expect_ok label = function
+  | Ok r -> r
+  | Error _ -> Alcotest.failf "%s: gate error" label
+
+let response_name : Types.response -> string = function
+  | Types.Err e -> Types.error_message e
+  | _ -> "unexpected success variant"
+
+(* --- Poll-quantisation ceiling (Emcall.complete) ---
+
+   A raw round-trip cost that lands exactly on a poll-slot boundary
+   completes in that slot; the pre-fix rounding charged one extra
+   full slot for it. Observable latency must stay inside
+   [raw, raw + slot) (the upper gap is poll-phase jitter). *)
+
+let test_quantisation_boundary () =
+  let mailbox : (Types.request, Types.response) Mailbox.t = Mailbox.create () in
+  let ems_service () =
+    let rec drain () =
+      match Mailbox.recv_request mailbox with
+      | Some p ->
+        (match Mailbox.send_response mailbox ~request_id:p.Mailbox.request_id Types.Ok_unit with
+        | Ok () -> ()
+        | Error `Unknown_or_answered -> Alcotest.fail "stub EMS answered twice");
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  in
+  let service = ref 0.0 in
+  let emcall =
+    Emcall.create ~rng:(Xrng.create 7L) ~transport:Config.default_transport ~mailbox
+      ~ems_service
+      ~service_ns:(fun _ -> !service)
+      ()
+  in
+  let slot = Config.default_transport.Config.poll_slot_ns in
+  let overhead = Emcall.transport_ns emcall in
+  (* Pick the service time so [overhead + service] is an exact
+     multiple of the poll slot, a few slots in. *)
+  let raw = (Float.ceil (overhead /. slot) +. 3.0) *. slot in
+  service := raw -. overhead;
+  for _ = 1 to 16 do
+    let _, latency =
+      expect_ok "boundary invoke"
+        (Emcall.invoke_timed emcall ~caller:Emcall.Os_kernel (Types.Writeback { pages_hint = 0 }))
+    in
+    if latency < raw then
+      Alcotest.failf "latency %.1f below the raw cost %.1f" latency raw;
+    if latency >= raw +. slot then
+      Alcotest.failf "boundary cost paid an extra slot: latency %.1f, raw %.1f, slot %.1f"
+        latency raw slot
+  done;
+  (* Off-boundary sanity: a cost just past the boundary rounds up to
+     the next slot (and only that one). *)
+  service := raw -. overhead +. 1.0;
+  let _, latency =
+    expect_ok "off-boundary invoke"
+      (Emcall.invoke_timed emcall ~caller:Emcall.Os_kernel (Types.Writeback { pages_hint = 0 }))
+  in
+  if latency < raw +. slot || latency >= raw +. (2.0 *. slot) then
+    Alcotest.failf "off-boundary cost quantised wrongly: latency %.1f, raw %.1f" latency (raw +. 1.0)
+
+(* --- Duplicate-response accounting (Emcall.credit_duplicates +
+   abandoned-id draining) ---
+
+   A response that arrives after its request timed out is stale; its
+   copies must be drained from the mailbox on the next poll of that
+   shard and credited to the same [duplicates_discarded] telemetry as
+   live-path duplicates — with the "one copy was the legitimate
+   response" discount. Pre-fix the late slot lingered and the counter
+   double-counted. *)
+
+let test_duplicate_accounting () =
+  let mailbox : (Types.request, Types.response) Mailbox.t = Mailbox.create () in
+  (* While [hold] is set the stub consumes requests without answering
+     them (a slow EMS); parked packets are answered on the first
+     drain after release. *)
+  let hold = ref false in
+  let parked = Queue.create () in
+  let answer (p : Types.request Mailbox.packet) =
+    match Mailbox.send_response mailbox ~request_id:p.Mailbox.request_id Types.Ok_unit with
+    | Ok () -> ()
+    | Error `Unknown_or_answered -> Alcotest.fail "stub EMS answered twice"
+  in
+  let ems_service () =
+    if not !hold then Queue.iter answer parked;
+    if not !hold then Queue.clear parked;
+    let rec drain () =
+      match Mailbox.recv_request mailbox with
+      | Some p ->
+        if !hold then Queue.push p parked else answer p;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  in
+  let emcall =
+    Emcall.create ~rng:(Xrng.create 11L) ~transport:Config.default_transport ~mailbox
+      ~ems_service ~service_ns:(fun _ -> 100.0) ()
+  in
+  (* Every posted response is duplicated by the fabric (copies = 2). *)
+  Mailbox.set_fault_injector mailbox
+    (Fault.create
+       (Fault.plan [ { Fault.site = Fault.Mailbox_duplicate; schedule = Fault.Always; intensity = 0.0 } ]));
+  hold := true;
+  (match Emcall.invoke emcall ~caller:Emcall.Os_kernel (Types.Writeback { pages_hint = 0 }) with
+  | Error Emcall.Timeout -> ()
+  | _ -> Alcotest.fail "withheld response should time out");
+  Alcotest.(check int) "one timeout" 1 (Emcall.timeouts emcall);
+  hold := false;
+  (* The next invoke's doorbell releases the parked answer (late,
+     duplicated) and serves the live request (also duplicated). *)
+  (match Emcall.invoke emcall ~caller:Emcall.Os_kernel (Types.Writeback { pages_hint = 0 }) with
+  | Ok (Types.Ok_writeback _ | Types.Ok_unit) -> ()
+  | _ -> Alcotest.fail "second invoke should succeed");
+  (* Late slot: 2 copies, none consumed -> 1 extra. Live slot:
+     2 copies, 1 consumed by the poll -> 1 extra. *)
+  Alcotest.(check int) "duplicates credited once each" 2 (Emcall.duplicates_discarded emcall);
+  Alcotest.(check int) "fabric duplicated both posts" 2 (Mailbox.duplicated mailbox);
+  Alcotest.(check int) "no response lingers" 0 (Mailbox.pending_responses mailbox)
+
+(* --- Shared-frame leak on owner-death + last-detach (Ownership /
+   Svc_shm.reap_orphaned_shms) ---
+
+   Owner creates a region, shares it, the grantee attaches, the owner
+   dies, the grantee detaches: the orphaned region must be reaped
+   (frames back to the pool, key revoked), not leaked forever. *)
+
+let test_shm_orphan_reap () =
+  let platform = Platform.create ~seed:0xC0FFEEL () in
+  let a = Result.get_ok (Sdk.launch platform small_image) in
+  let b = Result.get_ok (Sdk.launch platform small_image) in
+  let shm =
+    match
+      expect_ok "shmget"
+        (Platform.invoke platform ~caller:(Emcall.User_enclave a)
+           (Types.Shmget { owner = a; pages = 2; max_perm = Types.Read_write }))
+    with
+    | Types.Ok_shm { shm } -> shm
+    | r -> Alcotest.failf "shmget: %s" (response_name r)
+  in
+  (match
+     expect_ok "shmshr"
+       (Platform.invoke platform ~caller:(Emcall.User_enclave a)
+          (Types.Shmshr { owner = a; shm; grantee = b; perm = Types.Read_write }))
+   with
+  | Types.Ok_unit -> ()
+  | r -> Alcotest.failf "shmshr: %s" (response_name r));
+  (match
+     expect_ok "shmat"
+       (Platform.invoke platform ~caller:(Emcall.User_enclave b)
+          (Types.Shmat { enclave = b; shm; requested_perm = Types.Read_write }))
+   with
+  | Types.Ok_shmat _ -> ()
+  | r -> Alcotest.failf "shmat: %s" (response_name r));
+  (match Sdk.destroy platform ~enclave:a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "destroy owner: %s" e);
+  (match
+     expect_ok "shmdt"
+       (Platform.invoke platform ~caller:(Emcall.User_enclave b)
+          (Types.Shmdt { enclave = b; shm }))
+   with
+  | Types.Ok_unit -> ()
+  | r -> Alcotest.failf "shmdt: %s" (response_name r));
+  let runtime = Platform.Internals.runtime platform in
+  Alcotest.(check int) "no leaked shared frames" 0 (Runtime.leaked_shm_frames runtime);
+  (match Runtime.find_shm runtime shm with
+  | None -> ()
+  | Some _ -> Alcotest.fail "orphaned region still registered after last detach");
+  let report = Platform.check platform in
+  if not (Invariant.ok report) then
+    Alcotest.failf "invariants after reap: %s" (Invariant.report_to_string report)
+
+(* --- Mailbox answered-cache eviction (resend_request) --- *)
+
+let test_answered_cache_eviction () =
+  let mailbox : (int, int) Mailbox.t = Mailbox.create ~depth:4 () in
+  (* answered cache holds 4 * depth = 16 ids; push 17 round trips so
+     id 1 ages out. *)
+  let last = ref 0 in
+  for i = 1 to 17 do
+    let id = Result.get_ok (Mailbox.send_request mailbox ~sender_enclave:None i) in
+    (match Mailbox.recv_request mailbox with
+    | Some p -> Result.get_ok (Mailbox.send_response mailbox ~request_id:p.Mailbox.request_id (i * 10))
+    | None -> Alcotest.fail "request vanished");
+    (match Mailbox.poll_response mailbox ~request_id:id with
+    | Some _ -> ()
+    | None -> Alcotest.fail "response vanished");
+    last := id
+  done;
+  (match Mailbox.resend_request mailbox ~request_id:1 with
+  | `Unknown -> ()
+  | `Pending | `Retransmitted -> Alcotest.fail "evicted id should be `Unknown");
+  (match Mailbox.resend_request mailbox ~request_id:!last with
+  | `Retransmitted -> ()
+  | `Pending | `Unknown -> Alcotest.fail "cached id should retransmit");
+  (match Mailbox.poll_response mailbox ~request_id:!last with
+  | Some v -> Alcotest.(check int) "retransmitted copy is the original" 170 v
+  | None -> Alcotest.fail "retransmitted copy not collectable")
+
+(* A gate whose EMS never consumes requests: every resend finds the
+   id still pending, the retry budget drains, and the caller gets a
+   clean bounded Timeout (never a hang, never a stale response). *)
+let test_gate_timeout_on_evicted_path () =
+  let mailbox : (Types.request, Types.response) Mailbox.t = Mailbox.create () in
+  let emcall =
+    Emcall.create ~rng:(Xrng.create 13L) ~transport:Config.default_transport ~mailbox
+      ~ems_service:(fun () -> ())
+      ~service_ns:(fun _ -> 100.0)
+      ()
+  in
+  (match Emcall.invoke emcall ~caller:Emcall.Os_kernel (Types.Writeback { pages_hint = 1 }) with
+  | Error Emcall.Timeout -> ()
+  | _ -> Alcotest.fail "dead EMS must surface as Timeout");
+  Alcotest.(check int) "timeout counted" 1 (Emcall.timeouts emcall);
+  (* The gate kept re-asking by id while the request stayed pending. *)
+  Alcotest.(check int) "retries exhausted" 4 (Emcall.retries emcall)
+
+(* --- Page-fault idempotency (Svc_memory.handle_page_fault) ---
+
+   A spurious re-fault on an already-resident heap page must not
+   allocate a second frame and silently remap the leaf (pre-fix this
+   orphaned the old frame: owned per the ownership table, unreachable
+   from any page table — the checker's "page-table" rule catches it). *)
+
+let test_page_fault_idempotent () =
+  let platform = Platform.create ~seed:0xFA17L () in
+  let e = Result.get_ok (Sdk.launch platform small_image) in
+  let vpn =
+    match
+      expect_ok "alloc"
+        (Platform.invoke platform ~caller:(Emcall.User_enclave e)
+           (Types.Alloc { enclave = e; pages = 1 }))
+    with
+    | Types.Ok_alloc { base_vpn; _ } -> base_vpn
+    | r -> Alcotest.failf "alloc: %s" (response_name r)
+  in
+  let runtime = Platform.Internals.runtime platform in
+  let owned () = List.length (Ownership.frames_of (Runtime.ownership runtime) e) in
+  let fault () =
+    match
+      expect_ok "page fault"
+        (Platform.invoke platform ~caller:(Emcall.User_enclave e)
+           (Types.Page_fault { enclave = e; vpn }))
+    with
+    | Types.Ok_alloc _ -> ()
+    | r -> Alcotest.failf "page fault: %s" (response_name r)
+  in
+  fault ();
+  let frames_after_first = owned () in
+  fault ();
+  Alcotest.(check int) "re-fault allocates nothing" frames_after_first (owned ());
+  let report = Platform.check platform in
+  if not (Invariant.ok report) then
+    Alcotest.failf "invariants after re-fault: %s" (Invariant.report_to_string report)
+
+(* --- The checker actually catches seeded corruption --- *)
+
+let has_rule report rule =
+  List.exists (fun v -> v.Invariant.rule = rule) report.Invariant.violations
+
+let test_checker_catches_corruption () =
+  let platform = Platform.create ~seed:0xBADL () in
+  let e = Result.get_ok (Sdk.launch platform small_image) in
+  let check () = Platform.check platform in
+  let report = check () in
+  if not (Invariant.ok report) then
+    Alcotest.failf "healthy platform flagged: %s" (Invariant.report_to_string report);
+  let runtime = Platform.Internals.runtime platform in
+  let frame =
+    match Ownership.frames_of (Runtime.ownership runtime) e with
+    | f :: _ -> f
+    | [] -> Alcotest.fail "launched enclave owns no frames"
+  in
+  (* (a) Secure bitmap out of sync with frame ownership. *)
+  let bitmap = Platform.Internals.bitmap platform in
+  Bitmap.clear bitmap ~frame;
+  if not (has_rule (check ()) "bitmap") then
+    Alcotest.fail "cleared bitmap bit not caught";
+  Bitmap.set bitmap ~frame;
+  if not (Invariant.ok (check ())) then Alcotest.fail "bitmap restore not clean";
+  (* (b) Phys_mem owner contradicting the ownership table. *)
+  let mem = Platform.Internals.mem platform in
+  let saved = Phys_mem.owner mem frame in
+  Phys_mem.set_owner mem frame Phys_mem.Free;
+  let report = check () in
+  if Invariant.ok report then Alcotest.fail "freed live frame not caught";
+  Phys_mem.set_owner mem frame saved;
+  if not (Invariant.ok (check ())) then Alcotest.fail "owner restore not clean";
+  (* (c) Live enclave key revoked behind the EMS's back. *)
+  let key_id =
+    match Runtime.find_enclave runtime e with
+    | Some enc -> enc.Hypertee_ems.Enclave.key_id
+    | None -> Alcotest.fail "launched enclave not found"
+  in
+  Mem_encryption.revoke (Platform.Internals.mee platform) ~key_id;
+  if not (has_rule (check ()) "mee") then Alcotest.fail "revoked live key not caught"
+
+(* --- Differential oracle: clean and fault-injected replays --- *)
+
+let test_oracle_replay_clean () =
+  let o = Verify.oracle_replay ~calls:400 ~shards:2 ~seed:0x0AC1EL () in
+  Alcotest.(check int) "all calls observed" 400 o.Verify.calls;
+  (match o.Verify.divergences with
+  | [] -> ()
+  | d :: _ ->
+    Alcotest.failf "oracle diverged: %s" (Format.asprintf "%a" Hypertee_check.Oracle.pp_divergence d));
+  Alcotest.(check int) "no divergences" 0 o.Verify.divergence_count;
+  if not (Invariant.ok o.Verify.report) then
+    Alcotest.failf "invariants: %s" (Invariant.report_to_string o.Verify.report)
+
+let test_oracle_replay_faulty () =
+  let o = Verify.oracle_replay ~calls:400 ~fault_rate:0.08 ~shards:2 ~seed:0xFA47L () in
+  Alcotest.(check int) "no divergences under faults" 0 o.Verify.divergence_count;
+  if not (Invariant.ok o.Verify.report) then
+    Alcotest.failf "invariants under faults: %s" (Invariant.report_to_string o.Verify.report)
+
+(* --- Interleaving explorer --- *)
+
+let test_explorer_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Explorer.scenario_of_seed seed and b = Explorer.scenario_of_seed seed in
+      if a <> b then Alcotest.failf "scenario_of_seed %Ld not deterministic" seed)
+    (Explorer.default_seeds ~n:8)
+
+let test_explorer_scenarios_pass () =
+  List.iter
+    (fun seed ->
+      let s = Explorer.scenario_of_seed seed in
+      match Verify.scenario_driver s with
+      | Explorer.Pass -> ()
+      | Explorer.Fail why ->
+        Alcotest.failf "scenario %s failed: %s" (Format.asprintf "%a" Explorer.pp_scenario s) why)
+    (Explorer.default_seeds ~n:6)
+
+(* --- Scheduler exactly-once under worker strikes ---
+
+   Even when a strike kills the last alive worker mid-batch, every
+   submitted job must eventually run exactly once under its original
+   id (parked by the crash, revived by the watchdog) — never lost,
+   never re-executed. *)
+
+let prop_scheduler_exactly_once =
+  QCheck.Test.make ~name:"scheduler runs every job exactly once under crashes" ~count:60
+    QCheck.(tup3 (int_range 1 3) (int_range 1 40) small_int)
+    (fun (workers, jobs, salt) ->
+      let sched = Scheduler.create (Xrng.create (Int64.of_int (salt + 1))) ~workers in
+      Scheduler.set_fault_injector sched
+        (Fault.create
+           (Fault.plan
+              ~seed:(Int64.of_int (salt + 7))
+              [
+                { Fault.site = Fault.Worker_crash; schedule = Fault.Probability 0.4; intensity = 0.0 };
+                { Fault.site = Fault.Worker_stall; schedule = Fault.Probability 0.2; intensity = 0.0 };
+              ]));
+      for id = 1 to jobs do
+        Scheduler.submit sched ~id (fun () -> ())
+      done;
+      let rounds = ref 0 in
+      while Scheduler.pending sched > 0 && !rounds < 200 do
+        ignore (Scheduler.dispatch sched);
+        ignore (Scheduler.watchdog_scan sched);
+        incr rounds
+      done;
+      if Scheduler.pending sched > 0 then
+        QCheck.Test.fail_reportf "jobs still pending after %d rounds" !rounds;
+      let log_ids = List.map fst (Scheduler.execution_log sched) in
+      if Scheduler.executed sched <> jobs then
+        QCheck.Test.fail_reportf "executed %d of %d jobs" (Scheduler.executed sched) jobs;
+      List.for_all
+        (fun id -> List.length (List.filter (( = ) id) log_ids) = 1)
+        (List.init jobs (fun i -> i + 1)))
+
+let suite =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "poll quantisation: boundary cost pays no extra slot" `Quick
+          test_quantisation_boundary;
+        Alcotest.test_case "late duplicate responses drained and credited once" `Quick
+          test_duplicate_accounting;
+        Alcotest.test_case "orphaned shared region reaped on last detach" `Quick
+          test_shm_orphan_reap;
+        Alcotest.test_case "answered cache evicts old ids; recent ids retransmit" `Quick
+          test_answered_cache_eviction;
+        Alcotest.test_case "dead EMS surfaces as bounded Timeout" `Quick
+          test_gate_timeout_on_evicted_path;
+        Alcotest.test_case "spurious page re-fault is idempotent (no frame leak)" `Quick
+          test_page_fault_idempotent;
+        Alcotest.test_case "checker catches bitmap/ownership/key corruption" `Quick
+          test_checker_catches_corruption;
+        Alcotest.test_case "oracle: clean replay has zero divergences" `Quick
+          test_oracle_replay_clean;
+        Alcotest.test_case "oracle: fault-injected replay has zero divergences" `Quick
+          test_oracle_replay_faulty;
+        Alcotest.test_case "explorer scenarios are seed-deterministic" `Quick
+          test_explorer_deterministic;
+        Alcotest.test_case "explorer scenario sample passes" `Quick test_explorer_scenarios_pass;
+        prop prop_scheduler_exactly_once;
+      ] );
+  ]

@@ -152,8 +152,11 @@ let test_page_fault_bypasses_privilege () =
 
 let test_latency_model () =
   let emcall, _ = gate_fixture () in
-  ignore (Emcall.invoke emcall ~caller:Emcall.Os_kernel (request_of_opcode Types.ECREATE));
-  let l1 = Emcall.last_latency_ns emcall in
+  let l1 =
+    match Emcall.invoke_timed emcall ~caller:Emcall.Os_kernel (request_of_opcode Types.ECREATE) with
+    | Ok (_, latency) -> latency
+    | Error _ -> Alcotest.fail "gate must pass an OS-mode ECREATE"
+  in
   check Alcotest.bool "positive latency" true (l1 > 0.0);
   check Alcotest.bool "at least transport + service" true
     (l1 >= Emcall.transport_ns emcall +. 1000.0 -. 1.0);
@@ -229,10 +232,12 @@ let test_invoke_timed_returns_latency () =
   match Emcall.invoke_timed emcall ~caller:Emcall.Os_kernel (request_of_opcode Types.ECREATE) with
   | Ok (Types.Ok_unit, latency) ->
     check Alcotest.bool "positive latency" true (latency > 0.0);
-    (* The returned value is the same quantity the legacy cell holds —
-       but owned by this call, so interleaved callers cannot race. *)
-    check (Alcotest.float 1e-9) "agrees with last_latency cell" (Emcall.last_latency_ns emcall)
-      latency
+    (* Latency is owned by this call — quantised to a poll-slot
+       boundary at or above the raw cost, plus sub-slot jitter. *)
+    let slot = Config.default_transport.Config.poll_slot_ns in
+    let raw = Emcall.transport_ns emcall +. 1000.0 in
+    check Alcotest.bool "no less than the raw cost" true (latency >= raw);
+    check Alcotest.bool "within quantisation + jitter" true (latency < raw +. (2.0 *. slot))
   | Ok _ -> Alcotest.fail "stub EMS must answer Ok_unit"
   | Error _ -> Alcotest.fail "gate must pass an OS-mode ECREATE"
 

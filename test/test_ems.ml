@@ -201,11 +201,16 @@ let test_ownership_shared_attach () =
   | Some (Ownership.Shared_page { attached; _ }) ->
     check Alcotest.int "two attached" 2 (List.length attached)
   | _ -> Alcotest.fail "wrong record");
-  Ownership.detach o ~frame:2 ~enclave:1;
-  match Ownership.lookup o ~frame:2 with
+  check (Alcotest.option Alcotest.int) "detach reports one left" (Some 1)
+    (Ownership.detach o ~frame:2 ~enclave:1);
+  (match Ownership.lookup o ~frame:2 with
   | Some (Ownership.Shared_page { attached; _ }) ->
     check (Alcotest.list Alcotest.int) "one left" [ 2 ] attached
-  | _ -> Alcotest.fail "wrong record"
+  | _ -> Alcotest.fail "wrong record");
+  check (Alcotest.option Alcotest.int) "last detach reports zero" (Some 0)
+    (Ownership.detach o ~frame:2 ~enclave:2);
+  check (Alcotest.list Alcotest.int) "zero-attached frame visible to the leak gauge" [ 2 ]
+    (Ownership.shared_zero_attached o)
 
 let test_ownership_attach_private_rejected () =
   let o = Ownership.create () in

@@ -481,13 +481,13 @@ let test_zero_rate_plan_is_inert () =
     let enclave = Result.get_ok (Sdk.launch platform roomy_image) in
     let trace = ref [] in
     for _ = 1 to 10 do
-      (match
-         Platform.invoke platform ~caller:(Emcall.User_enclave enclave)
-           (Types.Alloc { enclave; pages = 1 })
-       with
-      | Ok (Types.Ok_alloc { base_vpn; _ }) -> trace := float_of_int base_vpn :: !trace
-      | _ -> Alcotest.fail "alloc failed");
-      trace := Platform.last_invoke_ns platform :: !trace
+      match
+        Platform.invoke_timed platform ~caller:(Emcall.User_enclave enclave)
+          (Types.Alloc { enclave; pages = 1 })
+      with
+      | Ok (Types.Ok_alloc { base_vpn; _ }, latency_ns) ->
+        trace := latency_ns :: float_of_int base_vpn :: !trace
+      | _ -> Alcotest.fail "alloc failed"
     done;
     !trace
   in
