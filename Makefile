@@ -1,4 +1,4 @@
-.PHONY: all build test chaos-smoke check-invariants bench-perf check doc fmt clean
+.PHONY: all build test chaos-smoke chaos-restart check-invariants bench-perf check doc fmt clean
 
 all: build
 
@@ -12,6 +12,14 @@ test: build
 # EMCall retry/timeout, the EMS watchdog and integrity containment.
 chaos-smoke: build
 	dune exec bench/main.exe -- chaos --smoke
+
+# Rolling-restart recovery scenario: kill and cold-restart every EMS
+# shard under live traffic, then verify zero lost enclaves, a silent
+# differential oracle, and a clean end-of-run deep invariant sweep.
+# Writes the report table to CHAOS_restart.txt; exits non-zero on any
+# loss, divergence or violation.
+chaos-restart: build
+	dune exec bin/hypertee_cli.exe -- chaos --rolling --ops 400 --table CHAOS_restart.txt
 
 # Wall-clock MB/s microbenchmarks of the crypto data plane; writes
 # BENCH_perf.json so the throughput trajectory is tracked across PRs.
@@ -27,9 +35,10 @@ check-invariants: build
 	dune exec bin/hypertee_cli.exe -- check --calls 600 --seeds 12
 
 # The gate for a change: everything builds, the full test suite is
-# green, the chaos smoke sweep completes without a hang, and the
+# green, the chaos smoke sweep completes without a hang, the rolling
+# restart recovers every shard with nothing lost, and the
 # oracle/invariant pass holds.
-check: build test chaos-smoke check-invariants
+check: build test chaos-smoke chaos-restart check-invariants
 
 # API reference from the .mli doc comments, built with odoc into
 # _build/default/_doc/_html. Skips with a notice when odoc is absent,

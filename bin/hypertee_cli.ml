@@ -263,16 +263,55 @@ let chaos_cmd =
   let smoke_arg =
     Arg.(value & flag & info [ "smoke" ] ~doc:"Quick sweep (300 ops per point).")
   in
-  let run seed ops smoke =
+  let rolling_arg =
+    Arg.(
+      value & flag
+      & info [ "rolling" ]
+          ~doc:
+            "Run only the rolling-restart scenario: kill and cold-restart every EMS shard \
+             under live traffic, verify zero lost enclaves and a clean end-of-run deep \
+             invariant sweep. Exits nonzero on any loss, divergence or violation.")
+  in
+  let table_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "table" ] ~docv:"FILE"
+          ~doc:"Also write the rolling-restart report table to $(docv).")
+  in
+  let run seed ops smoke rolling table =
     let ops = if smoke then 300 else ops in
     let seed = Int64.of_int seed in
-    Printf.printf "chaos sweep: ops=%d per point, seed=%Ld\n" ops seed;
-    Printf.printf "recovery machinery: EMCall retry/timeout, EMS watchdog, integrity containment\n";
-    Hypertee_experiments.Chaos.print (Hypertee_experiments.Chaos.run ~seed ~ops)
+    let rolling_pass ~ops =
+      let r = Hypertee_experiments.Chaos.rolling_restart ~seed ~ops () in
+      Hypertee_experiments.Chaos.print_restart r;
+      (match table with
+      | None -> ()
+      | Some path ->
+        let ch = open_out path in
+        Hypertee_experiments.Chaos.print_restart ~out:ch r;
+        close_out ch;
+        Printf.printf "wrote rolling-restart table to %s\n" path);
+      r
+    in
+    if rolling then begin
+      Printf.printf "rolling restart: ops=%d, seed=%Ld\n" ops seed;
+      let r = rolling_pass ~ops in
+      if not (Hypertee_experiments.Chaos.restart_clean r) then Stdlib.exit 1
+    end
+    else begin
+      Printf.printf "chaos sweep: ops=%d per point, seed=%Ld\n" ops seed;
+      Printf.printf
+        "recovery machinery: EMCall retry/timeout, EMS watchdog, integrity containment\n";
+      Hypertee_experiments.Chaos.print (Hypertee_experiments.Chaos.run ~seed ~ops);
+      Printf.printf "\nrolling restart (quick pass): ops=%d\n"
+        Hypertee_experiments.Chaos.restart_default_ops;
+      let r = rolling_pass ~ops:Hypertee_experiments.Chaos.restart_default_ops in
+      if not (Hypertee_experiments.Chaos.restart_clean r) then Stdlib.exit 1
+    end
   in
   Cmd.v
     (Cmd.info "chaos" ~doc:"Availability sweep under deterministic fault injection")
-    Term.(const run $ seed_arg $ ops_arg $ smoke_arg)
+    Term.(const run $ seed_arg $ ops_arg $ smoke_arg $ rolling_arg $ table_arg)
 
 (* --- scale --- *)
 
@@ -286,7 +325,10 @@ let scale_cmd =
     let seed = Int64.of_int seed in
     Printf.printf "scalability sweep: ops=%d per point, seed=%Ld\n" ops seed;
     Printf.printf "one doorbell drains a batch; EMS shards serve disjoint enclave id classes\n";
-    Hypertee_experiments.Scale.print ~seed ~ops ()
+    Hypertee_experiments.Scale.print ~seed ~ops ();
+    print_newline ();
+    Hypertee_experiments.Scale.print_rebalance
+      (Hypertee_experiments.Scale.rebalance ~seed ~ops ())
   in
   Cmd.v
     (Cmd.info "scale"

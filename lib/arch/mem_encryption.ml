@@ -104,13 +104,16 @@ let store t ~key_id ~frame data =
    below must catch it — that is the integrity property under test.
    Never mutates [data] (which may be a borrowed DRAM page); the rare
    fault path pays a copy. *)
-let maybe_flip t data =
+let maybe_flip t ~frame data =
   match t.faults with
   | None -> data
   | Some inj ->
     let module F = Hypertee_faults.Fault in
     if Bytes.length data > 0 && F.fire inj F.Memory_bit_flip then begin
       t.bit_flips <- t.bit_flips + 1;
+      (* Journal the flip against its frame so the deep checker sweep
+         can tell injected MAC failures from latent platform bugs. *)
+      F.note_flip inj ~frame;
       let bit = F.draw_int inj F.Memory_bit_flip (8 * Bytes.length data) in
       let flipped = Bytes.copy data in
       let byte = bit / 8 in
@@ -122,7 +125,7 @@ let maybe_flip t data =
 (* MAC-check the full ciphertext [data] as it arrives from DRAM and
    return the (possibly fault-flipped) buffer to decrypt from. *)
 let checked_ciphertext t ~key_id ~frame data =
-  let data = maybe_flip t data in
+  let data = maybe_flip t ~frame data in
   (match Hashtbl.find_opt t.macs (key_id, frame) with
   | Some mac when mac = Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key data -> ()
   | Some _ ->

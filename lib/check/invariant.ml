@@ -25,6 +25,7 @@ type report = {
   enclaves_checked : int;
   regions_checked : int;
   pages_verified : int;
+  injected_macs : int;
   deep : bool;
 }
 
@@ -39,9 +40,11 @@ let pp_violation fmt v =
     (tag "frame" v.frame) v.detail
 
 let pp_report fmt r =
-  Format.fprintf fmt "invariant sweep: %d frame(s), %d enclave(s), %d region(s)%s — "
+  Format.fprintf fmt "invariant sweep: %d frame(s), %d enclave(s), %d region(s)%s%s — "
     r.frames_swept r.enclaves_checked r.regions_checked
-    (if r.deep then Printf.sprintf ", %d page MAC(s) verified" r.pages_verified else "");
+    (if r.deep then Printf.sprintf ", %d page MAC(s) verified" r.pages_verified else "")
+    (if r.injected_macs > 0 then Printf.sprintf " (%d injected-flip MAC failure(s) excused)" r.injected_macs
+     else "");
   match r.violations with
   | [] -> Format.fprintf fmt "OK"
   | vs ->
@@ -61,6 +64,7 @@ type ctx = {
   mutable enclaves_checked : int;
   mutable regions_checked : int;
   mutable pages_verified : int;
+  mutable injected_macs : int;
 }
 
 let add ctx ~rule ?shard ?enclave ?frame detail =
@@ -258,7 +262,19 @@ let check_residues ctx st ~shard =
         (Printf.sprintf "%s id %d outside this shard's residue class (%d mod %d)" kind id
            st.State.shard stride)
   in
-  Hashtbl.iter (fun id _ -> check_id "enclave" id) st.State.enclaves;
+  (* Migrated-in enclaves are exempt: their residue class names the
+     birth shard, the adoption mark (mirrored by a gate route
+     override) names this one. An adoption mark on a home-class id
+     would itself be a bug. *)
+  Hashtbl.iter
+    (fun id _ ->
+      if State.is_adopted st id then begin
+        if residue id = st.State.shard then
+          add ctx ~rule:"id-residue" ~shard
+            (Printf.sprintf "enclave %d marked adopted but belongs to this residue class" id)
+      end
+      else check_id "enclave" id)
+    st.State.enclaves;
   List.iter (fun (r : Shm.region) -> check_id "shm" r.Shm.shm) (State.shm_regions st);
   check_id "next enclave" st.State.next_enclave_id;
   check_id "next shm" st.State.next_shm_id
@@ -289,7 +305,17 @@ let check_keys ctx ~mee runtimes =
         (fun (r : Shm.region) ->
           hold ~shard r.Shm.key_id (Printf.sprintf "region %d" r.Shm.shm))
         (State.shm_regions st))
-    runtimes
+    runtimes;
+  (* The converse: a programmed slot nobody holds is an orphan — a
+     destroyed, migrated-away or crash-scrubbed holder whose key was
+     never revoked keeps its (dead) memory decryptable. Parked keys
+     are not live slots (EWB re-encrypted the pages and revoked the
+     slot), so they rightly have no exemption here. *)
+  for key_id = 1 to Mem_encryption.slots mee - 1 do
+    if Mem_encryption.is_programmed mee ~key_id && not (Hashtbl.mem holders key_id) then
+      add ctx ~rule:"mee-orphan"
+        (Printf.sprintf "KeyID %d programmed but held by no enclave or region" key_id)
+  done
 
 (* Frame sweep against the architectural ground truth: the bitmap
    must be exactly the enclave-memory set derived from frame owners,
@@ -297,7 +323,18 @@ let check_keys ctx ~mee runtimes =
    shard's structures. *)
 let check_frames ctx ~mem ~bitmap runtimes =
   let shard_count = Array.length runtimes in
+  (* Enclave-id attribution follows adoption: a migrated enclave's
+     frames are accounted for by the adopting shard, not the residue
+     class. Shm ids never migrate. *)
+  let adopted = Hashtbl.create 8 in
+  Array.iteri
+    (fun s rt ->
+      List.iter (fun id -> Hashtbl.replace adopted id s) (State.adopted_ids (Runtime.state rt)))
+    runtimes;
   let shard_of id = (id - 1) mod shard_count in
+  let enclave_shard_of id =
+    match Hashtbl.find_opt adopted id with Some s -> s | None -> shard_of id
+  in
   let frames = Phys_mem.frames mem in
   for frame = 0 to frames - 1 do
     let owner = Phys_mem.owner mem frame in
@@ -318,7 +355,7 @@ let check_frames ctx ~mem ~bitmap runtimes =
     | _ -> ());
     match owner with
     | Phys_mem.Enclave id when id >= 1 -> (
-      let shard = shard_of id in
+      let shard = enclave_shard_of id in
       let st = Runtime.state runtimes.(shard) in
       match Ownership.lookup st.State.ownership ~frame with
       | Some (Ownership.Private e) when e = id -> ()
@@ -334,7 +371,7 @@ let check_frames ctx ~mem ~bitmap runtimes =
         add ctx ~rule:"ownership-vs-phys" ~shard ~frame
           (Printf.sprintf "shared frame of region %d missing from the ownership table" shm))
     | Phys_mem.Page_table id when id >= 1 -> (
-      let shard = shard_of id in
+      let shard = enclave_shard_of id in
       match Runtime.find_enclave runtimes.(shard) id with
       | Some e when List.mem frame (Page_table.node_frames e.Enclave.page_table) -> ()
       | _ ->
@@ -352,13 +389,25 @@ let check_frames ctx ~mem ~bitmap runtimes =
    next enclave access. Parked enclaves are skipped — their pages sit
    re-encrypted under the EMS swap key, outside the engine's MAC
    domain until revival. *)
-let check_macs ctx ~mem ~mee runtimes =
+let check_macs ctx ?faults ~mem ~mee runtimes =
+  let module Fault = Hypertee_faults.Fault in
+  let flips_on frame =
+    match faults with Some inj -> Fault.flips_on inj ~frame | None -> 0
+  in
   let verify ~shard ?enclave ~key_id ~frame () =
+    (* Injected DRAM flips are transient (the fault path corrupts a
+       copy of the line), so a MAC failure here is a platform bug
+       unless the flip journal shows this very read was struck — in
+       which case the engine did exactly its job and the failure is
+       counted, not reported. *)
+    let flips_before = flips_on frame in
     match Mem_encryption.read_page mee mem ~key_id ~frame with
     | (_ : bytes) -> ctx.pages_verified <- ctx.pages_verified + 1
     | exception Mem_encryption.Integrity_violation _ ->
-      add ctx ~rule:"deep-mac" ~shard ?enclave ~frame
-        (Printf.sprintf "MAC verification failed under KeyID %d" key_id)
+      if flips_on frame > flips_before then ctx.injected_macs <- ctx.injected_macs + 1
+      else
+        add ctx ~rule:"deep-mac" ~shard ?enclave ~frame
+          (Printf.sprintf "MAC verification failed under KeyID %d" key_id)
   in
   Array.iteri
     (fun shard rt ->
@@ -378,7 +427,7 @@ let check_macs ctx ~mem ~mee runtimes =
         (State.shm_regions st))
     runtimes
 
-let check ?(deep = false) ~mem ~bitmap ~mee ~runtimes () =
+let check ?(deep = false) ?faults ~mem ~bitmap ~mee ~runtimes () =
   let ctx =
     {
       violations = [];
@@ -386,6 +435,7 @@ let check ?(deep = false) ~mem ~bitmap ~mee ~runtimes () =
       enclaves_checked = 0;
       regions_checked = 0;
       pages_verified = 0;
+      injected_macs = 0;
     }
   in
   Array.iteri
@@ -403,12 +453,13 @@ let check ?(deep = false) ~mem ~bitmap ~mee ~runtimes () =
     runtimes;
   check_keys ctx ~mee runtimes;
   let frames_swept = check_frames ctx ~mem ~bitmap runtimes in
-  if deep then check_macs ctx ~mem ~mee runtimes;
+  if deep then check_macs ctx ?faults ~mem ~mee runtimes;
   {
     violations = List.rev ctx.violations;
     frames_swept;
     enclaves_checked = ctx.enclaves_checked;
     regions_checked = ctx.regions_checked;
     pages_verified = ctx.pages_verified;
+    injected_macs = ctx.injected_macs;
     deep;
   }

@@ -14,7 +14,12 @@
       measurement context/digest vs. state, parked keys only on idle
       enclaves);
     - shard residue classes (every id this shard assigned satisfies
-      [(id - 1) mod stride = shard]);
+      [(id - 1) mod stride = shard]; migrated-in enclaves are exempt
+      via their adoption mark, and a mark on a home-class id is
+      itself flagged);
+    - no orphaned MEE key slots (a programmed KeyID held by no
+      enclave or region — the leak signature of an incomplete
+      destroy, migration or crash scrub);
     - the enclave memory pool (parked frames [Pool]-owned and
       bitmap-set, availability accounting);
     - shared-memory control structures (region frames, attachment
@@ -47,6 +52,10 @@ type report = {
   enclaves_checked : int;
   regions_checked : int;
   pages_verified : int;  (** MAC-checked pages (deep sweep only) *)
+  injected_macs : int;
+      (** deep-sweep MAC failures attributed to injected DRAM bit
+          flips via the fault injector's flip journal — counted, not
+          violations *)
   deep : bool;
 }
 
@@ -58,9 +67,15 @@ val report_to_string : report -> string
 
 (** [check ~mem ~bitmap ~mee ~runtimes ()] sweeps the platform state
     shared by [runtimes] (one per EMS shard). [deep] adds the
-    per-page MAC verification pass. *)
+    per-page MAC verification pass. With [faults] (the platform's
+    fault injector) the deep sweep consults the injector's flip
+    journal so MAC failures caused by injected bit flips during the
+    sweep's own reads are excused into [injected_macs] instead of
+    reported — fault-injected replays can then run the deep sweep
+    without false positives. *)
 val check :
   ?deep:bool ->
+  ?faults:Hypertee_faults.Fault.t ->
   mem:Hypertee_arch.Phys_mem.t ->
   bitmap:Hypertee_arch.Bitmap.t ->
   mee:Hypertee_arch.Mem_encryption.t ->

@@ -34,6 +34,7 @@ type divergence = { index : int; opcode : Types.opcode; expected : string; obser
 
 type t = {
   stride : int;  (* EMS shard count: shard state is disjoint across residue classes *)
+  migrated : (int, int) Hashtbl.t;  (* enclave -> hosting shard, overriding residue *)
   enclaves : (int, menclave) Hashtbl.t;
   regions : (int, mregion) Hashtbl.t;
   seen_enclave_ids : (int, unit) Hashtbl.t;
@@ -56,6 +57,7 @@ let kept_cap = 32
 let create ?(shards = 1) () =
   {
     stride = Stdlib.max 1 shards;
+    migrated = Hashtbl.create 8;
     enclaves = Hashtbl.create 32;
     regions = Hashtbl.create 16;
     seen_enclave_ids = Hashtbl.create 32;
@@ -113,8 +115,13 @@ let err_bad_state =
 let find_e t id = Hashtbl.find_opt t.enclaves id
 
 (* The gate routes a request to the shard owning the id's residue
-   class; ids from another class do not exist on that shard. *)
-let shard_of t id = (id - 1) mod t.stride
+   class — unless the platform told us the id migrated ([note_migration]);
+   ids hosted on another shard do not exist on this one. *)
+let shard_of t id =
+  match Hashtbl.find_opt t.migrated id with
+  | Some s -> s
+  | None -> (id - 1) mod t.stride
+
 let co_sharded t a b = shard_of t a = shard_of t b
 
 let unknown_enclave t = if t.fog_enclaves then Any else err_no_enclave
@@ -416,6 +423,14 @@ let mark_unknown t id =
   e.st <- Unknown;
   e.measured <- None
 
+(* The platform restored or migrated [enclave] outside the gate: it
+   now lives on [shard], in a state the tap never observed. Route
+   there and adopt its lifecycle from later responses — without this
+   the model would predict [No_such_enclave] for a live enclave. *)
+let note_migration t ~enclave ~shard =
+  Hashtbl.replace t.migrated enclave (shard mod t.stride);
+  mark_unknown t enclave
+
 (* A call timed out at the gate: the EMS may or may not have served
    it. Poison exactly the knowledge that request could have changed. *)
 let apply_timeout t request =
@@ -595,12 +610,13 @@ let judge t expect result =
 
 let observe t ~caller ~batched request result =
   t.calls <- t.calls + 1;
+  (* Batched results are no longer adopt-only: the gate recovers the
+     realized drain order from the scheduler log and fires batched
+     taps in that order, so the model replays the batch exactly as
+     the EMS executed it. *)
+  ignore (batched : bool);
   let expect =
     if gate_rejects caller request then Reject
-    else if batched then
-      (* Execution order inside a batch drain is scheduler-randomized:
-         state-dependent predictions would race; adopt instead. *)
-      Any
     else predict t ~sender:(sender_of caller) request
   in
   if judge t expect result then t.agreed <- t.agreed + 1

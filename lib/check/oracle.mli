@@ -25,10 +25,11 @@
       are adopted from later observed responses rather than
       predicted ([Ok_entered] proves Running, and so on).
     - Results collected from a batch doorbell ([batched = true]) are
-      executed in scheduler-randomized order, so state- and
-      cursor-dependent predictions are weakened to adoption; caller
-      identity and privilege predictions remain strong (they are
-      order-independent).
+      executed in scheduler-randomized order, but the gate recovers
+      the realized drain order from the scheduler log
+      ({!Hypertee_cs.Emcall.set_drain_order_probe}) and fires batched
+      taps in that order — so batched results are predicted exactly
+      like serial ones.
     - [Integrity_failure] responses are accepted anywhere a fault
       injector may strike, and the model mirrors the containment:
       the victim enclave is terminated.
@@ -64,6 +65,12 @@ val observe :
 
 (** The observer packaged for {!Hypertee_cs.Emcall.set_tap}. *)
 val tap : t -> Hypertee_cs.Emcall.tap
+
+(** [note_migration t ~enclave ~shard] — the platform restored or
+    migrated [enclave] onto [shard] outside the gate (checkpoint
+    restore, migration commit). The model routes the id there from
+    now on and adopts its lifecycle from later observed responses. *)
+val note_migration : t -> enclave:int -> shard:int -> unit
 
 (** Invocations observed so far. *)
 val observed : t -> int

@@ -22,11 +22,14 @@ module Fault = Hypertee_faults.Fault
 (* One EMS instance: its runtime (private control structures, pool,
    audit log), its mailbox, and its worker scheduler. The memory
    fabric — physical memory, bitmap, encryption engine, root keys —
-   is platform-wide and shared by every shard. *)
+   is platform-wide and shared by every shard. [runtime] and
+   [scheduler] are mutable because crash recovery cold-restarts a
+   shard: the EMS-private state dies with the shard and is rebuilt
+   fresh, while the mailbox (fabric hardware) survives. *)
 type ems_shard = {
-  runtime : Runtime.t;
+  mutable runtime : Runtime.t;
   mailbox : (Types.request, Types.response) Mailbox.t;
-  scheduler : Hypertee_ems.Scheduler.t;
+  mutable scheduler : Hypertee_ems.Scheduler.t;
 }
 
 type t = {
@@ -47,6 +50,16 @@ type t = {
   cost : Cost.t;
   platform_measurement : bytes;
   faults : Fault.t option;
+  (* Elasticity + recovery plane. *)
+  journals : Hypertee_ems.Journal.t array;  (* per shard, survives shard death *)
+  alive : bool array;  (* doorbells of a dead shard are ignored *)
+  route_overrides : (Types.enclave_id, int) Hashtbl.t;
+      (* migrated ids: enclave -> hosting shard, overriding residue *)
+  services : (unit -> unit) array;  (* per-shard doorbell, for draining *)
+  recovery_rng : Hypertee_util.Xrng.t;
+      (* seeded independently of the master stream so recovery and
+         migration leave every pre-existing draw sequence intact *)
+  mutable oracle : Hypertee_check.Oracle.t option;
 }
 
 let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?faults () =
@@ -110,6 +123,19 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
      affinity function the gate routes by. Built in index order so
      the RNG split sequence is deterministic — and, for one shard,
      identical to the historical single-EMS platform. *)
+  (* Recovery plane, created before the shards so the service
+     closures can consult it. The journals belong to the platform,
+     not to the runtimes they describe — they must survive a shard's
+     death. *)
+  let journals = Array.init shard_count (fun _ -> Hypertee_ems.Journal.create ()) in
+  let alive = Array.make shard_count true in
+  let route_overrides = Hashtbl.create 8 in
+  let wire_journal s runtime =
+    Runtime.set_recorder runtime (fun ~sender request response ->
+        Hypertee_ems.Journal.record journals.(s) ~sender request response);
+    Runtime.set_containment_recorder runtime (fun victim ->
+        Hypertee_ems.Journal.record_containment journals.(s) ~victim)
+  in
   let make_shard s =
     let runtime =
       Runtime.create ~first_enclave_id:(s + 1) ~first_shm_id:(s + 1) ~id_stride:shard_count
@@ -119,6 +145,7 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
         ~os_return:(fun ~frames -> Os.pool_return os ~frames)
         ~platform_measurement ()
     in
+    wire_journal s runtime;
     let mailbox = Mailbox.create ~depth:256 () in
     install Mailbox.set_fault_injector mailbox;
     (* EMS workers serve the request queue in randomized order at
@@ -139,8 +166,14 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
   in
   (* A doorbell on shard [sh] drains *all* pending requests of that
      shard's mailbox into the scheduler, dispatches, then runs the
-     watchdog: one ring serves a whole batch. *)
-  let ems_service sh () =
+     watchdog: one ring serves a whole batch. A dead shard ignores
+     its doorbell entirely — requests queue in the (hardware)
+     mailbox, the gate's polls go unanswered and surface as clean
+     [Timeout]s, and whatever queued during the outage is served
+     after recovery. *)
+  let ems_service s sh () =
+    if not alive.(s) then ()
+    else
     let audit = Runtime.audit sh.runtime in
     let rec enqueue () =
       match Mailbox.recv_request sh.mailbox with
@@ -182,22 +215,27 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
       ignore (Hypertee_ems.Scheduler.dispatch sh.scheduler)
   in
   (* Affinity routing, inside the gate: a request acting on enclave
-     [id] goes to the shard that owns the id's residue class;
-     requests naming no enclave (ECREATE, EWB) round-robin across
-     shards, which together with each shard's id stride spreads new
-     enclaves evenly. *)
+     [id] goes to the shard that owns the id's residue class — unless
+     a migration re-routed the id (override table, flipped atomically
+     at migration commit); requests naming no enclave (ECREATE, EWB)
+     round-robin across shards, which together with each shard's id
+     stride spreads new enclaves evenly. *)
   let rr_cursor = ref 0 in
   let route request =
     match Runtime.enclave_of_request request with
-    | Some id when id > 0 -> (id - 1) mod shard_count
+    | Some id when id > 0 -> (
+      match Hashtbl.find_opt route_overrides id with
+      | Some s -> s
+      | None -> (id - 1) mod shard_count)
     | _ ->
       let s = !rr_cursor in
       rr_cursor := (s + 1) mod shard_count;
       s
   in
+  let services = Array.mapi (fun s sh -> ems_service s sh) shards in
   let gate_shards =
-    Array.map
-      (fun sh -> { Emcall.mailbox = sh.mailbox; Emcall.ems_service = ems_service sh })
+    Array.mapi
+      (fun s sh -> { Emcall.mailbox = sh.mailbox; Emcall.ems_service = services.(s) })
       shards
   in
   let emcall =
@@ -208,6 +246,12 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
       ()
   in
   install Emcall.set_fault_injector emcall;
+  (* Expose each shard's realized drain order to the gate (and through
+     it to the oracle): the closure reads the *current* scheduler, so
+     a crash-recovered shard's fresh scheduler is picked up
+     transparently. *)
+  Emcall.set_drain_order_probe emcall (fun i ->
+      List.map fst (Hypertee_ems.Scheduler.execution_log shards.(i).scheduler));
   let traps = Traps.create emcall in
   let ptws =
     Array.init config.Config.cs_cores (fun _ ->
@@ -232,6 +276,16 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
       cost;
       platform_measurement;
       faults = injector;
+      journals;
+      alive;
+      route_overrides;
+      services;
+      (* Seeded from [seed] but NOT split from the master stream:
+         session setup, verifiers and CVMs draw from [rng] after
+         [create] returns, so recovery/migration must never perturb
+         that sequence. *)
+      recovery_rng = Hypertee_util.Xrng.create (Int64.add seed 0x7EC0L);
+      oracle = None;
     }
   in
   (* EMCall flushes every core's TLB on context switches and bitmap
@@ -255,7 +309,11 @@ let ptw t ~core = t.ptws.(core)
 let shard_count t = Array.length t.shards
 
 let shard_of_enclave t enclave =
-  if enclave > 0 then (enclave - 1) mod Array.length t.shards else 0
+  if enclave <= 0 then 0
+  else
+    match Hashtbl.find_opt t.route_overrides enclave with
+    | Some s -> s
+    | None -> (enclave - 1) mod Array.length t.shards
 
 (* Enclave lookups must follow the same affinity the gate routes by. *)
 let owning_runtime t enclave = t.shards.(shard_of_enclave t enclave).runtime
@@ -344,16 +402,390 @@ let publish_metrics t registry =
    the platform state against the others, and optionally shadow the
    gate with a differential oracle. *)
 let check ?deep t =
-  Hypertee_check.Invariant.check ?deep ~mem:t.mem ~bitmap:t.bitmap ~mee:t.mee
+  Hypertee_check.Invariant.check ?deep ?faults:t.faults ~mem:t.mem ~bitmap:t.bitmap ~mee:t.mee
     ~runtimes:(Array.map (fun sh -> sh.runtime) t.shards)
     ()
 
 let attach_oracle t =
   let oracle = Hypertee_check.Oracle.create ~shards:(Array.length t.shards) () in
   Emcall.set_tap t.emcall (Hypertee_check.Oracle.tap oracle);
+  t.oracle <- Some oracle;
   oracle
 
-let detach_oracle t = Emcall.clear_tap t.emcall
+let detach_oracle t =
+  t.oracle <- None;
+  Emcall.clear_tap t.emcall
+
+(* ------------------------------------------------------------------ *)
+(* Elasticity and recovery: sealed checkpoint/restore, live cross-
+   shard migration, crash-consistent shard recovery.                   *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = Hypertee_ems.Journal
+module Svc_migrate = Hypertee_ems.Svc_migrate
+module Audit = Hypertee_ems.Audit
+
+let shard_alive t s =
+  if s < 0 || s >= Array.length t.shards then invalid_arg "Platform.shard_alive";
+  t.alive.(s)
+
+let journal t s =
+  if s < 0 || s >= Array.length t.shards then invalid_arg "Platform.journal";
+  t.journals.(s)
+
+(* The oracle learns about enclaves that (re)appear outside the gate
+   (restore, migration commit) through [note_migration]; without it a
+   later gate request on the id would be flagged as acting on an
+   enclave that was never created. *)
+let notify_oracle t ~enclave ~shard =
+  Option.iter
+    (fun oracle -> Hypertee_check.Oracle.note_migration oracle ~enclave ~shard)
+    t.oracle
+
+let checkpoint t ~enclave =
+  let s = shard_of_enclave t enclave in
+  if not t.alive.(s) then Error (Types.Bad_state "hosting shard is down")
+  else Svc_migrate.checkpoint (Runtime.state t.shards.(s).runtime) ~enclave
+
+let restore ?(shard = 0) t blob =
+  if shard < 0 || shard >= Array.length t.shards then invalid_arg "Platform.restore";
+  if not t.alive.(shard) then Error (Types.Bad_state "shard is down")
+  else begin
+    let rt = t.shards.(shard).runtime in
+    match Svc_migrate.restore (Runtime.state rt) blob with
+    | Ok id ->
+      Journal.record_restore t.journals.(shard) ~snapshot:blob ~id;
+      if (id - 1) mod Array.length t.shards <> shard then
+        Hashtbl.replace t.route_overrides id shard;
+      notify_oracle t ~enclave:id ~shard;
+      Audit.record_fault (Runtime.audit rt) ~site:"restore"
+        ~detail:(Printf.sprintf "enclave %d restored from sealed snapshot" id)
+        ~recovered:true;
+      Ok id
+    | Error e ->
+      Audit.record_fault (Runtime.audit rt) ~site:"restore"
+        ~detail:("restore rejected: " ^ Types.error_message e)
+        ~recovered:false;
+      Error e
+  end
+
+(* --- Live cross-shard migration --- *)
+
+type migration_phase = Quiesced | Checkpointed | Transferred | Restored | Attested | Committed
+
+let migration_phase_name = function
+  | Quiesced -> "quiesced"
+  | Checkpointed -> "checkpointed"
+  | Transferred -> "transferred"
+  | Restored -> "restored"
+  | Attested -> "attested"
+  | Committed -> "committed"
+
+type migration_outcome =
+  | Migrated
+  | Migration_aborted of string
+  | Migration_crashed of { after : migration_phase; owner : [ `Source | `Target ] }
+
+let migrate ?crash_after t ~enclave ~target =
+  let n = Array.length t.shards in
+  if target < 0 || target >= n then invalid_arg "Platform.migrate: no such shard";
+  let source = shard_of_enclave t enclave in
+  let src_rt = t.shards.(source).runtime in
+  let tgt_rt = t.shards.(target).runtime in
+  let audit_both ~detail ~recovered =
+    List.iter
+      (fun rt -> Audit.record_fault (Runtime.audit rt) ~site:"migration" ~detail ~recovered)
+      [ src_rt; tgt_rt ]
+  in
+  let abort reason =
+    audit_both
+      ~detail:(Printf.sprintf "migration of enclave %d aborted: %s" enclave reason)
+      ~recovered:false;
+    Migration_aborted reason
+  in
+  (* Crash injection between phases: either the scripted [crash_after]
+     point (crash-at-every-step tests) or the [Migration_crash] fault
+     site. Recovery: until the commit point the source copy is
+     authoritative (the route override has not flipped), so any
+     half-built target copy is torn down; after commit the target owns
+     the enclave and the source copy is already gone. Exactly one of
+     the two copies survives every crash point. *)
+  let crashes_after phase =
+    (match crash_after with Some p -> p = phase | None -> false)
+    || match t.faults with Some inj -> Fault.fire inj Fault.Migration_crash | None -> false
+  in
+  let destroy_target_copy () =
+    ignore (Hypertee_ems.Svc_lifecycle.destroy (Runtime.state tgt_rt) ~enclave)
+  in
+  let crashed ?(target_copy = false) phase =
+    if target_copy then destroy_target_copy ();
+    let owner = if phase = Committed then `Target else `Source in
+    audit_both
+      ~detail:
+        (Printf.sprintf "migration of enclave %d crashed after %s; %s copy survives" enclave
+           (migration_phase_name phase)
+           (match owner with `Source -> "source" | `Target -> "target"))
+      ~recovered:true;
+    Migration_crashed { after = phase; owner }
+  in
+  if not t.alive.(source) then abort "source shard is down"
+  else if not t.alive.(target) then abort "target shard is down"
+  else if source = target then abort "enclave already hosted by target shard"
+  else begin
+    (* Phase 1: quiesce — drain the source shard's doorbell so no
+       request on this enclave is in flight inside the EMS. Requests
+       arriving at the gate after this point route by the override
+       table, which still names the source until commit. *)
+    t.services.(source) ();
+    if crashes_after Quiesced then crashed Quiesced
+    else begin
+      (* Phase 2: sealed checkpoint on the source. *)
+      match Svc_migrate.checkpoint (Runtime.state src_rt) ~enclave with
+      | Error e -> abort ("checkpoint failed: " ^ Types.error_message e)
+      | Ok blob ->
+        if crashes_after Checkpointed then crashed Checkpointed
+        else begin
+          (* Phase 3: transfer over the fabric. The snapshot seal
+             (HMAC + Merkle root) is the transport integrity check;
+             a corrupted copy is detected and retransmitted, bounded
+             like the gate's retry budget. *)
+          let corrupt copy =
+            match t.faults with
+            | Some inj when Bytes.length copy > 0 && Fault.fire inj Fault.Snapshot_corrupt ->
+              let bit = Fault.draw_int inj Fault.Snapshot_corrupt (8 * Bytes.length copy) in
+              let byte = bit / 8 in
+              Bytes.set copy byte
+                (Char.chr (Char.code (Bytes.get copy byte) lxor (1 lsl (bit mod 8))));
+              true
+            | _ -> false
+          in
+          let rec transfer attempt =
+            if attempt > 3 then None
+            else begin
+              let copy = Bytes.copy blob in
+              ignore (corrupt copy : bool);
+              match Svc_migrate.snapshot_measurement t.keys copy with
+              | Some measurement -> Some (copy, measurement)
+              | None ->
+                audit_both
+                  ~detail:
+                    (Printf.sprintf
+                       "snapshot of enclave %d corrupted in transit (attempt %d), retransmitting"
+                       enclave attempt)
+                  ~recovered:true;
+                transfer (attempt + 1)
+            end
+          in
+          match transfer 1 with
+          | None -> abort "snapshot corrupted in transit, retransmit budget exhausted"
+          | Some (blob, source_measurement) ->
+            if crashes_after Transferred then crashed Transferred
+            else begin
+              (* Phase 4: restore under the original id on the target
+                 — fresh KeyID, memory key re-derived there (the
+                 re-key step). *)
+              match Svc_migrate.restore (Runtime.state tgt_rt) ~force_id:enclave blob with
+              | Error e -> abort ("restore on target failed: " ^ Types.error_message e)
+              | Ok _ ->
+                if crashes_after Restored then crashed ~target_copy:true Restored
+                else begin
+                  (* Phase 5: re-attest over a SIGMA channel — the
+                     target proves it rebuilt the same measured
+                     identity before the source gives the enclave
+                     up. *)
+                  let module Sigma = Hypertee_crypto.Sigma in
+                  let attested =
+                    match Runtime.find_enclave tgt_rt enclave with
+                    | None -> false
+                    | Some e -> (
+                      match e.Hypertee_ems.Enclave.measurement with
+                      | None -> false
+                      | Some m ->
+                        let initiator = Sigma.start t.recovery_rng Sigma.Initiator in
+                        let responder = Sigma.start t.recovery_rng Sigma.Responder in
+                        let _, mac_i =
+                          Sigma.derive_keys initiator ~peer_public:(Sigma.public_of responder)
+                        in
+                        let _, mac_r =
+                          Sigma.derive_keys responder ~peer_public:(Sigma.public_of initiator)
+                        in
+                        let quote =
+                          Hypertee_ems.Attest.make_quote t.keys
+                            ~platform_measurement:t.platform_measurement ~enclave_measurement:m
+                            ~user_data:(Bytes.of_string "hypertee-migration-v1")
+                        in
+                        let transcript =
+                          Sigma.transcript
+                            ~initiator_pub:(Sigma.public_of initiator)
+                            ~responder_pub:(Sigma.public_of responder)
+                            ~payload:(Hypertee_ems.Attest.quote_to_bytes quote)
+                        in
+                        let tag = Sigma.authenticate ~mac_key:mac_r transcript in
+                        Sigma.check ~mac_key:mac_i ~transcript ~tag
+                        && Hypertee_ems.Attest.verify_quote ~ek:(Keymgmt.ek_public t.keys)
+                             ~ak:(Keymgmt.ak_public t.keys) quote
+                        && Bytes.equal m source_measurement)
+                  in
+                  if not attested then begin
+                    destroy_target_copy ();
+                    abort "re-attestation of restored copy failed"
+                  end
+                  else if crashes_after Attested then crashed ~target_copy:true Attested
+                  else begin
+                    (* Phase 6: commit — flip the route atomically,
+                       journal the restore on the target, destroy the
+                       source copy and journal that destroy on the
+                       source (the direct call bypasses the runtime's
+                       recorder). *)
+                    if (enclave - 1) mod n = target then Hashtbl.remove t.route_overrides enclave
+                    else Hashtbl.replace t.route_overrides enclave target;
+                    notify_oracle t ~enclave ~shard:target;
+                    Journal.record_restore t.journals.(target) ~snapshot:blob ~id:enclave;
+                    ignore
+                      (Hypertee_ems.Svc_lifecycle.destroy (Runtime.state src_rt) ~enclave
+                        : Types.response);
+                    Journal.record t.journals.(source) ~sender:None (Types.Destroy { enclave })
+                      Types.Ok_unit;
+                    audit_both
+                      ~detail:
+                        (Printf.sprintf "enclave %d migrated: shard %d -> shard %d" enclave source
+                           target)
+                      ~recovered:true;
+                    if crashes_after Committed then crashed Committed else Migrated
+                  end
+                end
+            end
+        end
+    end
+  end
+
+(* --- Crash-consistent shard recovery --- *)
+
+let kill_shard t s =
+  if s < 0 || s >= Array.length t.shards then invalid_arg "Platform.kill_shard";
+  t.alive.(s) <- false
+
+type recovery_report = { replayed : int; mismatches : int }
+
+let recover_shard t s =
+  if s < 0 || s >= Array.length t.shards then invalid_arg "Platform.recover_shard";
+  if t.alive.(s) then invalid_arg "Platform.recover_shard: shard is alive";
+  let n = Array.length t.shards in
+  let effective_shard id =
+    match Hashtbl.find_opt t.route_overrides id with Some s -> s | None -> (id - 1) mod n
+  in
+  (* Hardware scrub. The dead shard's control structures are gone;
+     the architectural ground truth — frame owners, the bitmap, the
+     MEE key table — says what was its. Every frame it held is
+     zeroed, dropped from the bitmap and returned to the free list;
+     every KeyID no live structure holds is revoked (keys of dead
+     enclaves must not outlive them). *)
+  let parked = Hashtbl.create 256 in
+  Array.iteri
+    (fun i sh ->
+      if t.alive.(i) then
+        List.iter
+          (fun f -> Hashtbl.replace parked f ())
+          (Hypertee_ems.Mem_pool.parked_frames (Runtime.pool sh.runtime)))
+    t.shards;
+  let scrubbed = ref 0 in
+  let scrub frame =
+    Phys_mem.zero t.mem ~frame;
+    if Bitmap.get t.bitmap ~frame then Bitmap.clear t.bitmap ~frame;
+    Phys_mem.set_owner t.mem frame Phys_mem.Free;
+    incr scrubbed
+  in
+  for frame = 0 to Phys_mem.frames t.mem - 1 do
+    match Phys_mem.owner t.mem frame with
+    | Phys_mem.Enclave id | Phys_mem.Page_table id ->
+      if effective_shard id = s then scrub frame
+    | Phys_mem.Shared shm ->
+      (* Shared regions never migrate: residue class is authoritative. *)
+      if (shm - 1) mod n = s then scrub frame
+    | Phys_mem.Pool ->
+      (* Pool frames carry no owner id; a parked frame belonging to no
+         live shard's pool was the dead shard's. *)
+      if not (Hashtbl.mem parked frame) then scrub frame
+    | Phys_mem.Free | Phys_mem.Cs_os | Phys_mem.Ems_private | Phys_mem.Bitmap_region -> ()
+  done;
+  let held_keys = Hashtbl.create 64 in
+  Array.iteri
+    (fun i sh ->
+      if t.alive.(i) then begin
+        List.iter
+          (fun id ->
+            match Runtime.find_enclave sh.runtime id with
+            | Some e -> Hashtbl.replace held_keys e.Hypertee_ems.Enclave.key_id ()
+            | None -> ())
+          (Runtime.live_enclaves sh.runtime);
+        List.iter
+          (fun (r : Hypertee_ems.Shm.region) -> Hashtbl.replace held_keys r.Hypertee_ems.Shm.key_id ())
+          (Runtime.shm_regions sh.runtime)
+      end)
+    t.shards;
+  for key_id = 1 to Mem_encryption.slots t.mee - 1 do
+    if Mem_encryption.is_programmed t.mee ~key_id && not (Hashtbl.mem held_keys key_id) then
+      Mem_encryption.revoke t.mee ~key_id
+  done;
+  (* Cold restart: fresh runtime and scheduler over the surviving
+     fabric hardware (mailbox, journal, MEE). RNGs come from the
+     recovery stream so pre-crash draw sequences elsewhere stay
+     byte-identical. *)
+  let sh = t.shards.(s) in
+  let runtime =
+    Runtime.create ~first_enclave_id:(s + 1) ~first_shm_id:(s + 1) ~id_stride:n
+      ~rng:(Hypertee_util.Xrng.split t.recovery_rng)
+      ~mem:t.mem ~bitmap:t.bitmap ~mee:t.mee ~keys:t.keys ~cost:t.cost
+      ~os_request:(fun ~n -> Os.pool_request t.os ~n)
+      ~os_return:(fun ~frames -> Os.pool_return t.os ~frames)
+      ~platform_measurement:t.platform_measurement ()
+  in
+  Runtime.set_recorder runtime (fun ~sender request response ->
+      Journal.record t.journals.(s) ~sender request response);
+  Runtime.set_containment_recorder runtime (fun victim ->
+      Journal.record_containment t.journals.(s) ~victim);
+  let scheduler =
+    Hypertee_ems.Scheduler.create
+      (Hypertee_util.Xrng.split t.recovery_rng)
+      ~workers:t.config.Config.ems_cores
+  in
+  Option.iter (fun inj -> Hypertee_ems.Scheduler.set_fault_injector scheduler inj) t.faults;
+  sh.runtime <- runtime;
+  sh.scheduler <- scheduler;
+  (* Replay the journal against the fresh runtime. Minted ids are
+     pinned to the journaled values first — the original interleaving
+     with other shards' id draws is not reproducible, the journal
+     is. *)
+  let journal = t.journals.(s) in
+  Journal.set_replaying journal true;
+  let state = Runtime.state runtime in
+  let replayed = ref 0 in
+  let mismatches = ref 0 in
+  List.iter
+    (fun entry ->
+      incr replayed;
+      match entry with
+      | Journal.Op { sender; request; response } ->
+        (match (request, response) with
+        | Types.Create _, Types.Ok_created { enclave } ->
+          state.Hypertee_ems.State.next_enclave_id <- enclave
+        | Types.Shmget _, Types.Ok_shm { shm } -> state.Hypertee_ems.State.next_shm_id <- shm
+        | _ -> ());
+        let replay_response = Runtime.handle runtime ~sender request in
+        if not (Journal.responses_equivalent response replay_response) then incr mismatches
+      | Journal.Restored { snapshot; id } -> (
+        match Svc_migrate.restore state ~force_id:id snapshot with
+        | Ok _ -> ()
+        | Error _ -> incr mismatches))
+    (Journal.entries journal);
+  Journal.set_replaying journal false;
+  t.alive.(s) <- true;
+  Audit.record_fault (Runtime.audit runtime) ~site:"shard-recovery"
+    ~detail:
+      (Printf.sprintf "cold restart: %d frame(s) scrubbed, %d journal entries replayed, %d divergent"
+         !scrubbed !replayed !mismatches)
+    ~recovered:true;
+  { replayed = !replayed; mismatches = !mismatches }
 
 module Internals = struct
   let runtime t = t.shards.(0).runtime
@@ -371,4 +803,6 @@ module Internals = struct
   let scheduler t = t.shards.(0).scheduler
   let schedulers t = Array.map (fun sh -> sh.scheduler) t.shards
   let faults t = t.faults
+  let journals t = t.journals
+  let route_overrides t = t.route_overrides
 end

@@ -143,6 +143,90 @@ val attach_oracle : t -> Hypertee_check.Oracle.t
 (** Remove the gate tap installed by {!attach_oracle}. *)
 val detach_oracle : t -> unit
 
+(** {2 Elasticity and recovery}
+
+    Sealed checkpoint/restore, live cross-shard migration and
+    crash-consistent shard recovery ({!Hypertee_ems.Svc_migrate},
+    {!Hypertee_ems.Journal}). *)
+
+(** Is the shard serving its doorbell? A killed shard's mailbox still
+    queues requests (fabric hardware survives), but nothing drains
+    them: gate polls surface as clean [Timeout]s until recovery. *)
+val shard_alive : t -> int -> bool
+
+(** The shard's operation journal — platform-held, so it survives the
+    shard's death. *)
+val journal : t -> int -> Hypertee_ems.Journal.t
+
+(** [checkpoint t ~enclave] quiesces and seals the enclave into a
+    self-describing snapshot blob: every resident page EWB-encrypted
+    under the swap key, a Merkle root over the page blobs, lifecycle
+    metadata and the byte-exact measurement, the whole sealed with an
+    HMAC under {!Hypertee_ems.Keymgmt.snapshot_key}. The source is
+    not modified. *)
+val checkpoint : t -> enclave:Hypertee_ems.Types.enclave_id -> (bytes, Hypertee_ems.Types.error) result
+
+(** [restore ?shard t blob] verifies the seal and rebuilds the
+    enclave on [shard] (default 0) under a freshly minted id, with a
+    fresh KeyID and a re-derived memory key; the measurement is
+    restored byte-identically, so attestation verifies exactly as the
+    source's did. The restore is journaled and the oracle (if
+    attached) is notified. *)
+val restore : ?shard:int -> t -> bytes -> (Hypertee_ems.Types.enclave_id, Hypertee_ems.Types.error) result
+
+(** The six phases of a live migration, in order. A crash between two
+    phases leaves exactly one authoritative copy: the source until
+    the commit point, the target after it. *)
+type migration_phase = Quiesced | Checkpointed | Transferred | Restored | Attested | Committed
+
+val migration_phase_name : migration_phase -> string
+
+type migration_outcome =
+  | Migrated
+  | Migration_aborted of string
+      (** pre-commit failure (bad state, corrupt transfer,
+          re-attestation mismatch); the source copy is untouched and
+          any half-built target copy has been torn down *)
+  | Migration_crashed of { after : migration_phase; owner : [ `Source | `Target ] }
+      (** an injected crash struck between phases; [owner] names the
+          surviving authoritative copy after recovery *)
+
+(** [migrate t ~enclave ~target] moves a quiescent enclave to shard
+    [target] keeping its id: quiesce (drain the source doorbell) →
+    sealed checkpoint → fabric transfer (seal-verified, corrupted
+    copies retransmitted up to 3×) → restore + re-key on the target →
+    SIGMA re-attestation of the restored identity → atomic commit
+    (gate route override flips, restore journaled on the target,
+    destroy journaled on the source). [crash_after] injects a crash
+    after the named phase (the crash-at-every-step tests); the
+    [Migration_crash] fault site does the same probabilistically. *)
+val migrate :
+  ?crash_after:migration_phase ->
+  t ->
+  enclave:Hypertee_ems.Types.enclave_id ->
+  target:int ->
+  migration_outcome
+
+(** [kill_shard t s] models a crash of EMS shard [s]: its doorbell
+    goes silent (in-flight and queued requests time out at the gate);
+    its private control state is considered lost. *)
+val kill_shard : t -> int -> unit
+
+type recovery_report = {
+  replayed : int;  (** journal entries replayed *)
+  mismatches : int;  (** replayed responses differing from the journal *)
+}
+
+(** [recover_shard t s] cold-restarts a killed shard: scrub (zero and
+    free every frame the dead shard's structures held, revoke every
+    MEE KeyID no live structure holds), rebuild (fresh runtime and
+    scheduler over the surviving mailbox and journal, RNGs from the
+    recovery stream so no pre-crash sequence shifts), replay (re-run
+    the journal with minted ids pinned to the recorded values). After
+    it returns the shard serves again and {!check} passes.
+    @raise Invalid_argument if the shard is alive. *)
+val recover_shard : t -> int -> recovery_report
+
 (** Internals exposed for tests, the benchmark harness and the attack
     suite — not part of the user-facing API. *)
 module Internals : sig
@@ -168,4 +252,6 @@ module Internals : sig
 
   val schedulers : t -> Hypertee_ems.Scheduler.t array
   val faults : t -> Hypertee_faults.Fault.t option
+  val journals : t -> Hypertee_ems.Journal.t array
+  val route_overrides : t -> (Hypertee_ems.Types.enclave_id, int) Hashtbl.t
 end

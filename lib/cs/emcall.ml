@@ -24,8 +24,10 @@ type shard = {
 
 (* Observation point for the differential oracle: every completed
    invocation (response or rejection) is reported with its caller;
-   [batched] distinguishes [invoke_batch] results, whose execution
-   order inside one doorbell drain is scheduler-randomized. *)
+   [batched] marks [invoke_batch] results. The scheduler randomizes
+   execution order inside one doorbell drain, but the gate recovers
+   the realized order post-hoc (drain-order probe) and fires batched
+   taps in exactly that order, so the oracle can predict batches. *)
 type tap =
   caller:caller ->
   batched:bool ->
@@ -44,6 +46,9 @@ type t = {
   abandoned_order : int Queue.t array;
   mutable faults : Fault.t option;
   mutable tap : tap option;
+  mutable drain_order_probe : (int -> int list) option;
+      (* shard index -> request ids in execution order (full log);
+         the platform wires this to the shard schedulers *)
   mutable rejected : int;
   mutable tlb_flushes : int;
   mutable timeouts : int;
@@ -69,6 +74,7 @@ let create_sharded ?(retry = default_retry_policy) ~rng ~transport ~shards ~rout
     abandoned_order = Array.init n (fun _ -> Queue.create ());
     faults = None;
     tap = None;
+    drain_order_probe = None;
     rejected = 0;
     tlb_flushes = 0;
     timeouts = 0;
@@ -93,6 +99,7 @@ let shard_of t request =
   if i >= 0 && i < n then i else ((i mod n) + n) mod n
 
 let set_fault_injector t inj = t.faults <- Some inj
+let set_drain_order_probe t probe = t.drain_order_probe <- Some probe
 let set_tap t tap = t.tap <- Some tap
 let clear_tap t = t.tap <- None
 let observe t ~caller ~batched request result =
@@ -380,23 +387,71 @@ let invoke_batch t requests =
   List.iter
     (function Ok (idx, _, _) -> per_shard.(idx) <- per_shard.(idx) + 1 | Error _ -> ())
     sent;
+  (* Snapshot every shard's scheduler-log cursor so the drain's
+     realized execution order can be recovered once the batch is
+     collected. *)
+  let marks =
+    match t.drain_order_probe with
+    | None -> [||]
+    | Some probe -> Array.init (Array.length t.shards) (fun i -> List.length (probe i))
+  in
   (* One doorbell per shard with pending work: the drain serves the
      whole batch before any caller starts polling. *)
   Array.iteri (fun idx k -> if k > 0 then t.shards.(idx).ems_service ()) per_shard;
-  List.map2
-    (fun (caller, request) outcome ->
-      let result =
-        match outcome with
-        | Error rejection -> Error rejection
-        | Ok (idx, request_id, request) ->
-          let shard = t.shards.(idx) in
-          let overhead_ns = per_call_overhead_ns t ~batch:per_shard.(idx) in
-          await t shard ~shard_idx:idx ~request ~request_id ~overhead_ns
-            ~extra_ns:(transport_spike_ns t)
+  let outcomes =
+    List.map2
+      (fun (caller, request) outcome ->
+        let result =
+          match outcome with
+          | Error rejection -> Error rejection
+          | Ok (idx, request_id, request) ->
+            let shard = t.shards.(idx) in
+            let overhead_ns = per_call_overhead_ns t ~batch:per_shard.(idx) in
+            await t shard ~shard_idx:idx ~request ~request_id ~overhead_ns
+              ~extra_ns:(transport_spike_ns t)
+        in
+        (caller, request, outcome, result))
+      requests sent
+  in
+  (* Taps fire in the drain order the scheduler actually produced —
+     gate rejections first (they never reached a scheduler), then
+     each shard's results by log position — so a sequential observer
+     (the oracle) sees state mutations in execution order even
+     though the drain itself is shuffle-randomized. Results still
+     return in request order below. *)
+  let drain_pos =
+    match t.drain_order_probe with
+    | None -> fun _ _ -> max_int
+    | Some probe ->
+      let suffix_pos =
+        Array.mapi
+          (fun i mark ->
+            let tbl = Hashtbl.create 16 in
+            List.iteri
+              (fun pos id ->
+                if pos >= mark && not (Hashtbl.mem tbl id) then Hashtbl.add tbl id pos)
+              (probe i);
+            tbl)
+          marks
       in
-      observe t ~caller ~batched:true request result;
-      result)
-    requests sent
+      fun idx request_id ->
+        Option.value ~default:max_int (Hashtbl.find_opt suffix_pos.(idx) request_id)
+  in
+  let keyed =
+    List.mapi
+      (fun i (caller, request, outcome, result) ->
+        let key =
+          match outcome with
+          | Error _ -> (-1, 0, i)
+          | Ok (idx, request_id, _) -> (idx, drain_pos idx request_id, i)
+        in
+        (key, (caller, request, result)))
+      outcomes
+  in
+  List.iter
+    (fun (_, (caller, request, result)) -> observe t ~caller ~batched:true request result)
+    (List.sort (fun (a, _) (b, _) -> compare a b) keyed);
+  List.map (fun (_, _, _, result) -> result) outcomes
 
 let rejected t = t.rejected
 let tlb_flushes t = t.tlb_flushes

@@ -97,14 +97,26 @@ val shard_count : t -> int
     spikes). *)
 val set_fault_injector : t -> Hypertee_faults.Fault.t -> unit
 
+(** [set_drain_order_probe t probe] — [probe i] must return shard
+    [i]'s request ids in execution order (the scheduler's full log).
+    [invoke_batch] snapshots each shard's log length before ringing
+    the doorbells and slices the suffix afterwards, recovering the
+    realized drain order; batched taps then fire in that order (the
+    scheduler's anti-side-channel shuffle stays in force — only the
+    post-hoc observation is ordered). The platform wires this to its
+    shard schedulers. *)
+val set_drain_order_probe : t -> (int -> int list) -> unit
+
 (** Observation point for the differential oracle
     ({!Hypertee_check.Oracle} via [Platform.attach_oracle]): called
     once per completed invocation — [invoke]/[invoke_timed] and every
     element of an [invoke_batch] — with the caller, the request, and
     the result (response or gate rejection). [batched] marks results
-    collected from a batch doorbell, whose execution order inside the
-    drain is scheduler-randomized. The tap observes after the gate is
-    fully done with the call (duplicates discarded, TLBs flushed). *)
+    collected from a batch doorbell; their taps fire after the whole
+    batch completes, in the drain order the scheduler actually
+    executed (recovered via {!set_drain_order_probe}; without a
+    probe, request order). The tap observes after the gate is fully
+    done with the call (duplicates discarded, TLBs flushed). *)
 type tap =
   caller:caller ->
   batched:bool ->

@@ -1,0 +1,85 @@
+(* Per-shard operation journal for crash-consistent recovery. *)
+
+type entry =
+  | Op of { sender : Types.enclave_id option; request : Types.request; response : Types.response }
+  | Restored of { snapshot : bytes; id : Types.enclave_id }
+
+type t = {
+  mutable entries : entry list; (* reversed *)
+  mutable length : int;
+  mutable chain : bytes; (* running SHA-256 over appended entries *)
+  mutable replaying : bool;
+}
+
+let create () = { entries = []; length = 0; chain = Bytes.make 32 '\000'; replaying = false }
+
+(* A request is worth journaling iff replaying it deterministically
+   reconstructs shard control state:
+
+   - [Writeback] is excluded by design: its victim choice is random
+     and its blobs live in EMS memory that dies with the shard. The
+     logical effect (page residency) is rebuilt lazily — a later
+     journaled [Page_fault] on an evicted vpn replays through the
+     idempotent resident-page path, and physical pool state is
+     rebuilt fresh on recovery anyway.
+   - [Attest] is read-only (quotes mutate nothing).
+   - Failed requests ([Err _]) mutated nothing, so they never enter
+     the journal; this also keeps post-eviction [Free]/[Enter]
+     failures from depending on the skipped EWB. *)
+let should_record request response =
+  match response with
+  | Types.Err _ -> false
+  | _ -> (
+    match request with
+    | Types.Writeback _ | Types.Attest _ -> false
+    | Types.Create _ | Types.Add _ | Types.Enter _ | Types.Resume _ | Types.Exit _
+    | Types.Destroy _ | Types.Alloc _ | Types.Free _ | Types.Shmget _ | Types.Shmat _
+    | Types.Shmdt _ | Types.Shmshr _ | Types.Shmdes _ | Types.Measure _ | Types.Page_fault _
+    | Types.Interrupt _ -> true)
+
+let entry_digest entry =
+  (* Entries are pure data (ints, bytes, lists), so the marshalled
+     form is a stable fingerprint for the tamper-evidence chain. *)
+  Hypertee_crypto.Sha256.digest (Marshal.to_bytes entry [])
+
+let append t entry =
+  t.entries <- entry :: t.entries;
+  t.length <- t.length + 1;
+  t.chain <- Hypertee_crypto.Sha256.digest (Bytes.cat t.chain (entry_digest entry))
+
+let record t ~sender request response =
+  if (not t.replaying) && should_record request response then
+    append t (Op { sender; request; response })
+
+let record_restore t ~snapshot ~id =
+  if not t.replaying then append t (Restored { snapshot; id })
+
+let record_containment t ~victim =
+  (* Integrity containment destroys the victim as a side effect of a
+     request that will NOT re-fault on replay (the flip is gone after
+     the recovery scrub), so the destruction is journaled as its own
+     synthetic effect. *)
+  if not t.replaying then
+    append t (Op { sender = None; request = Types.Destroy { enclave = victim }; response = Types.Ok_unit })
+
+let entries t = List.rev t.entries
+let length t = t.length
+let set_replaying t v = t.replaying <- v
+let is_replaying t = t.replaying
+
+let verify_chain t =
+  let recomputed =
+    List.fold_left
+      (fun acc e -> Hypertee_crypto.Sha256.digest (Bytes.cat acc (entry_digest e)))
+      (Bytes.make 32 '\000') (entries t)
+  in
+  Hypertee_util.Bytes_ext.equal_ct recomputed t.chain
+
+(* Replay-equivalence: deterministic responses must match exactly;
+   there is no fuzzier class because everything nondeterministic
+   (EWB) is excluded from the journal. *)
+let responses_equivalent (a : Types.response) (b : Types.response) =
+  match (a, b) with
+  | Types.Ok_measure { measurement = m1 }, Types.Ok_measure { measurement = m2 } ->
+    Bytes.equal m1 m2
+  | _ -> a = b

@@ -1,0 +1,80 @@
+(** Per-shard operation journal: the replay log behind crash-consistent
+    EMS shard recovery.
+
+    The platform appends every successful state-mutating gate request
+    (and each migration restore) to the owning shard's journal; when a
+    shard is killed and cold-restarted, replaying the journal against
+    a fresh runtime reconstructs the shard's control state — live
+    enclaves, measurements (byte-identical, since EADD page data is
+    journaled), shared-memory regions, id counters.
+
+    What is deliberately {e not} journaled:
+
+    - [Writeback] (EWB): victim choice is randomized and the
+      encrypted blobs live in EMS memory lost with the shard. Its
+      logical effect — residency — is reconstructed lazily: replaying
+      a later journaled [Page_fault] on a once-evicted vpn goes
+      through the idempotent resident-page path. Physical pool state
+      is rebuilt fresh on recovery.
+    - [Attest]: read-only.
+    - [Err] responses: they mutated nothing.
+    - Integrity containment is journaled as a synthetic [Destroy]
+      effect ({!record_containment}) because the faulted request
+      would not re-fault against scrubbed post-recovery memory.
+
+    The journal therefore guarantees control-state consistency plus
+    measured content; runtime-written DRAM contents of a crashed
+    shard's enclaves are not durable (as with a real power-fail, data
+    the owner never sealed or checkpointed is gone).
+
+    Entries are chained through SHA-256 for tamper evidence
+    ({!verify_chain}). The journal itself is held by the platform
+    (the "durable" side), not by the runtime it describes. *)
+
+type entry =
+  | Op of { sender : Types.enclave_id option; request : Types.request; response : Types.response }
+      (** One successful state-mutating primitive as served. *)
+  | Restored of { snapshot : bytes; id : Types.enclave_id }
+      (** A sealed snapshot restored into this shard ({!Svc_migrate})
+          under id [id]; replay re-runs the restore from the blob. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~sender request response] appends the op if it is
+    state-mutating and succeeded; no-ops otherwise, and always during
+    replay (see {!set_replaying}). *)
+val record : t -> sender:Types.enclave_id option -> Types.request -> Types.response -> unit
+
+(** Append a [Restored] entry (platform checkpoint/restore and
+    migration commit). *)
+val record_restore : t -> snapshot:bytes -> id:Types.enclave_id -> unit
+
+(** Journal an integrity-containment termination as a synthetic
+    [Destroy] effect. *)
+val record_containment : t -> victim:Types.enclave_id -> unit
+
+(** Would [record] keep this (request, response) pair? Exposed for
+    the tests and the replay equivalence counter. *)
+val should_record : Types.request -> Types.response -> bool
+
+(** Replay equivalence: journaled responses are deterministic, so
+    equivalence is structural equality (measurements compared
+    byte-wise). *)
+val responses_equivalent : Types.response -> Types.response -> bool
+
+(** Entries in append order. *)
+val entries : t -> entry list
+
+val length : t -> int
+
+(** While set, [record]/[record_restore]/[record_containment] are
+    no-ops so replaying the journal does not re-journal itself. *)
+val set_replaying : t -> bool -> unit
+
+val is_replaying : t -> bool
+
+(** Recompute the SHA-256 entry chain and compare with the running
+    value (tamper evidence for the in-memory log). *)
+val verify_chain : t -> bool

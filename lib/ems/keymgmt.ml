@@ -43,6 +43,7 @@ let sealing_key t ~enclave_measurement =
   derive t ~info:"hypertee-sealing-key" ~context:enclave_measurement 16
 
 let swap_key t = derive t ~info:"hypertee-swap-key" ~context:Bytes.empty 16
+let snapshot_key t = derive t ~info:"hypertee-snapshot-key" ~context:Bytes.empty 32
 
 let erase t rng =
   Hypertee_util.Bytes_ext.fill_zero t.sk;

@@ -44,6 +44,12 @@ val sealing_key : t -> enclave_measurement:bytes -> bytes
 (** [swap_key t] key protecting EWB page blobs. *)
 val swap_key : t -> bytes
 
+(** [snapshot_key t] 32-byte HMAC key sealing checkpoint snapshots
+    ({!Svc_migrate}). Derived from SK so any EMS shard of the same
+    platform can verify and restore a snapshot another shard
+    produced. *)
+val snapshot_key : t -> bytes
+
 (** [erase t] overwrites the symmetric roots with random-looking
     values (decommissioning); all further derivations differ. *)
 val erase : t -> Hypertee_util.Xrng.t -> unit

@@ -1,6 +1,13 @@
 module Mem_encryption = Hypertee_arch.Mem_encryption
 
-type t = { state : State.t; registry : Registry.t }
+type recorder = sender:Types.enclave_id option -> Types.request -> Types.response -> unit
+
+type t = {
+  state : State.t;
+  registry : Registry.t;
+  mutable recorder : recorder option;
+  mutable containment_recorder : (Types.enclave_id -> unit) option;
+}
 
 let build_registry () =
   let registry = Registry.create () in
@@ -16,7 +23,12 @@ let create ?first_enclave_id ?first_shm_id ?id_stride ~rng ~mem ~bitmap ~mee ~ke
     State.create ?first_enclave_id ?first_shm_id ?id_stride ~rng ~mem ~bitmap ~mee ~keys
       ~cost ~os_request ~os_return ~platform_measurement ()
   in
-  { state; registry = build_registry () }
+  { state; registry = build_registry (); recorder = None; containment_recorder = None }
+
+(* Journaling hooks (crash-consistent recovery): the platform points
+   these at the shard's journal; [None] (the default) is a no-op. *)
+let set_recorder t r = t.recorder <- Some r
+let set_containment_recorder t r = t.containment_recorder <- Some r
 
 (* Delegated lookups: the public surface is unchanged from the
    monolithic runtime. *)
@@ -80,7 +92,11 @@ let contain_integrity_fault t request ~frame =
   (match victim with
   | Some id when Hashtbl.mem state.State.enclaves id ->
     (try ignore (Svc_lifecycle.destroy state ~enclave:id)
-     with _ -> Hashtbl.remove state.State.enclaves id)
+     with _ -> Hashtbl.remove state.State.enclaves id);
+    (* The faulted request will not re-fault against scrubbed
+       post-recovery memory, so the termination is journaled as its
+       own synthetic effect. *)
+    Option.iter (fun f -> f id) t.containment_recorder
   | _ -> ());
   if Hypertee_obs.Trace.enabled () then
     Hypertee_obs.Trace.instant
@@ -122,6 +138,7 @@ let handle t ~sender request =
     | _ -> Audit.Served
   in
   Audit.record (State.audit t.state) ~opcode ~sender ~outcome;
+  Option.iter (fun f -> f ~sender request response) t.recorder;
   response
 
 let publish_metrics t ~prefix registry =

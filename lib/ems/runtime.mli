@@ -46,6 +46,19 @@ val create :
     handlers that act on an enclave's own resources verify it. *)
 val handle : t -> sender:Types.enclave_id option -> Types.request -> Types.response
 
+(** Journaling hook ({!Journal}): called once per [handle] with the
+    request and the response it produced, after audit recording. The
+    platform points this at the shard's operation journal. *)
+type recorder = sender:Types.enclave_id option -> Types.request -> Types.response -> unit
+
+val set_recorder : t -> recorder -> unit
+
+(** Called with the victim id when integrity containment terminates
+    an enclave mid-request — the journal records it as a synthetic
+    destroy, since the faulted request would not re-fault on
+    replay. *)
+val set_containment_recorder : t -> (Types.enclave_id -> unit) -> unit
+
 (** Service-time model for the request (timing layer). *)
 val service_ns : t -> Types.request -> float
 

@@ -110,6 +110,7 @@ let watchdog_scan t =
   end
 
 let execution_log t = List.rev t.log
+let log_length t = List.length t.log
 let executed t = t.executed
 let crashes t = t.crashes
 let stalls t = t.stalls

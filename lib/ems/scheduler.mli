@@ -62,6 +62,12 @@ val watchdog_scan : t -> watchdog_report
     predict ordering. *)
 val execution_log : t -> (int * int) list
 
+(** Entries currently in the log — a cheap cursor: snapshotting it
+    before a batch drain and slicing {!execution_log} at it afterwards
+    yields exactly that drain's execution order (how the gate exposes
+    a deterministic batched drain order to the oracle). *)
+val log_length : t -> int
+
 (** Jobs run to completion since creation. *)
 val executed : t -> int
 

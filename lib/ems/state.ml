@@ -22,6 +22,7 @@ type t = {
   os_return : frames:int list -> unit;
   id_stride : int;
   shard : int;
+  adopted : (Types.enclave_id, unit) Hashtbl.t;
   mutable next_enclave_id : int;
   mutable next_shm_id : int;
 }
@@ -51,6 +52,7 @@ let create ?(first_enclave_id = 1) ?(first_shm_id = 1) ?(id_stride = 1) ~rng ~me
     os_return;
     id_stride;
     shard = (first_enclave_id - 1) mod max 1 id_stride;
+    adopted = Hashtbl.create 4;
     next_enclave_id = first_enclave_id;
     next_shm_id = first_shm_id;
   }
@@ -261,6 +263,17 @@ let reap_orphaned_shms t =
         Mem_encryption.revoke t.mee ~key_id:region.Shm.key_id;
         reaped + 1)
     0 (orphaned_shm_regions t)
+
+(* --- Migration adoption (Svc_migrate) ---
+
+   An enclave restored on a shard outside its id's residue class is
+   "adopted": the gate routes its id here through an override table,
+   and the invariant checker exempts it from the residue rule. *)
+
+let mark_adopted t id = Hashtbl.replace t.adopted id ()
+let is_adopted t id = Hashtbl.mem t.adopted id
+let clear_adopted t id = Hashtbl.remove t.adopted id
+let adopted_ids t = Hashtbl.fold (fun id () acc -> id :: acc) t.adopted [] |> List.sort compare
 
 let has_swapped_page t enclave ~vpn =
   match Hashtbl.find_opt t.enclaves enclave with

@@ -37,6 +37,11 @@ type t = {
       (** This runtime's shard index, recovered from
           [first_enclave_id] and [id_stride]; 0 for a single-shard
           platform. Tags the tracer's EMS-side spans. *)
+  adopted : (Types.enclave_id, unit) Hashtbl.t;
+      (** Ids restored here by migration although their residue class
+          belongs to another shard ({!Svc_migrate}); exempt from the
+          residue invariant and routed to this shard by a gate
+          override the platform maintains. *)
   mutable next_enclave_id : int;
   mutable next_shm_id : int;
 }
@@ -97,6 +102,15 @@ val count : t -> Types.opcode -> unit
 (** Does the enclave have an EWB-evicted page at [vpn]? *)
 val has_swapped_page : t -> Types.enclave_id -> vpn:int -> bool
 
+(** Migration adoption bookkeeping (see the [adopted] field). *)
+
+val mark_adopted : t -> Types.enclave_id -> unit
+val is_adopted : t -> Types.enclave_id -> bool
+val clear_adopted : t -> Types.enclave_id -> unit
+
+(** Adopted ids still hosted here, ascending. *)
+val adopted_ids : t -> Types.enclave_id list
+
 (** Helpers shared by the service modules. *)
 
 (** Handler idiom: early-return [Err e] on [Error e]. *)
@@ -126,6 +140,10 @@ val map_private_page :
 
 (** Unmap [vpn], returning the freed frame. *)
 val unmap_private_page : t -> Enclave.t -> vpn:int -> (int, Types.error) result
+
+(** The enclave's mapped private leaves [(vpn, pte)] — entries under
+    its own KeyID (excludes staging and attached shared pages). *)
+val private_leaves : Enclave.t -> (int * Hypertee_arch.Pte.t) list
 
 (** KeyID pressure (Sec. IV-C): parking and revival. *)
 

@@ -176,6 +176,7 @@ let handle_destroy t ~enclave =
   if not e.Enclave.key_parked then Mem_encryption.revoke t.mee ~key_id:e.Enclave.key_id;
   e.Enclave.state <- Enclave.Destroyed;
   Hashtbl.remove t.enclaves enclave;
+  State.clear_adopted t enclave;
   (* Regions this enclave owned and nobody is attached to can never
      be ESHMDES'd (owner identity required): reclaim them now.
      Regions with live attachments survive and are reaped on the

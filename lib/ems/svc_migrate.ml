@@ -1,0 +1,340 @@
+(** Elasticity service: sealed enclave checkpoint and restore.
+
+    Not a Table II primitive — the platform invokes this directly for
+    snapshotting, cross-shard migration and journal replay, so the
+    entry points return [result] instead of gate responses. *)
+
+module Phys_mem = Hypertee_arch.Phys_mem
+module Mem_encryption = Hypertee_arch.Mem_encryption
+module Page_table = Hypertee_arch.Page_table
+module Pte = Hypertee_arch.Pte
+module Aes = Hypertee_crypto.Aes
+module Hmac = Hypertee_crypto.Hmac
+module Merkle = Hypertee_crypto.Merkle
+module Bytes_ext = Hypertee_util.Bytes_ext
+open State
+
+let magic = "HTSNAP1"
+let mac_size = 32
+
+type page_record = { vpn : int; r : bool; w : bool; x : bool; resident : bool; blob : bytes }
+
+type snapshot = {
+  id : Types.enclave_id;
+  config : Types.enclave_config;
+  interrupted : bool; (* false = Measured, true = Interrupted *)
+  saved_pc : int;
+  measurement : bytes;
+  heap_cursor : int;
+  shm_cursor : int;
+  pages : page_record list;
+  merkle_root : bytes;
+}
+
+(* --- serialization (same u16-length field idiom as Attest) --- *)
+
+let put_field buf b =
+  let len = Bytes.length b in
+  if len > 0xFFFF then invalid_arg "Svc_migrate: field too long";
+  Buffer.add_char buf (Char.chr (len lsr 8));
+  Buffer.add_char buf (Char.chr (len land 0xFF));
+  Buffer.add_bytes buf b
+
+let put_u64 buf v =
+  let b = Bytes.create 8 in
+  Bytes_ext.set_u64_le b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let serialize keys s =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_u64 buf s.id;
+  put_u64 buf s.config.Types.code_pages;
+  put_u64 buf s.config.Types.data_pages;
+  put_u64 buf s.config.Types.heap_pages;
+  put_u64 buf s.config.Types.stack_pages;
+  put_u64 buf s.config.Types.shared_pages;
+  Buffer.add_char buf (if s.interrupted then '\001' else '\000');
+  put_u64 buf s.saved_pc;
+  put_field buf s.measurement;
+  put_u64 buf s.heap_cursor;
+  put_u64 buf s.shm_cursor;
+  put_u64 buf (List.length s.pages);
+  List.iter
+    (fun p ->
+      put_u64 buf p.vpn;
+      let flags =
+        (if p.r then 1 else 0) lor (if p.w then 2 else 0) lor (if p.x then 4 else 0)
+        lor if p.resident then 8 else 0
+      in
+      Buffer.add_char buf (Char.chr flags);
+      put_field buf p.blob)
+    s.pages;
+  put_field buf s.merkle_root;
+  let body = Buffer.to_bytes buf in
+  Bytes.cat body (Hmac.hmac ~key:(Keymgmt.snapshot_key keys) body)
+
+exception Malformed of string
+
+let parse keys blob =
+  let total = Bytes.length blob in
+  if total < String.length magic + mac_size then raise (Malformed "snapshot too short");
+  let body_len = total - mac_size in
+  let body = Bytes.sub blob 0 body_len in
+  let mac = Bytes.sub blob body_len mac_size in
+  if not (Bytes_ext.equal_ct mac (Hmac.hmac ~key:(Keymgmt.snapshot_key keys) body)) then
+    raise (Malformed "snapshot MAC mismatch");
+  let pos = ref 0 in
+  let take n =
+    if !pos + n > body_len then raise (Malformed "snapshot truncated");
+    let b = Bytes.sub body !pos n in
+    pos := !pos + n;
+    b
+  in
+  let take_field () =
+    let hdr = take 2 in
+    let len = (Char.code (Bytes.get hdr 0) lsl 8) lor Char.code (Bytes.get hdr 1) in
+    take len
+  in
+  let take_u64 () = Int64.to_int (Bytes_ext.get_u64_le (take 8) 0) in
+  let take_byte () = Char.code (Bytes.get (take 1) 0) in
+  if Bytes.to_string (take (String.length magic)) <> magic then
+    raise (Malformed "bad snapshot magic");
+  let id = take_u64 () in
+  let code_pages = take_u64 () in
+  let data_pages = take_u64 () in
+  let heap_pages = take_u64 () in
+  let stack_pages = take_u64 () in
+  let shared_pages = take_u64 () in
+  let config = Types.{ code_pages; data_pages; heap_pages; stack_pages; shared_pages } in
+  let interrupted = take_byte () = 1 in
+  let saved_pc = take_u64 () in
+  let measurement = take_field () in
+  let heap_cursor = take_u64 () in
+  let shm_cursor = take_u64 () in
+  let n_pages = take_u64 () in
+  if n_pages < 0 || n_pages > 0x100000 then raise (Malformed "implausible page count");
+  let pages =
+    List.init n_pages (fun _ ->
+        let vpn = take_u64 () in
+        let flags = take_byte () in
+        let blob = take_field () in
+        {
+          vpn;
+          r = flags land 1 <> 0;
+          w = flags land 2 <> 0;
+          x = flags land 4 <> 0;
+          resident = flags land 8 <> 0;
+          blob;
+        })
+  in
+  let merkle_root = take_field () in
+  if !pos <> body_len then raise (Malformed "trailing bytes in snapshot");
+  (* Re-bind the Merkle root to the page blobs actually carried. *)
+  let recomputed =
+    match pages with
+    | [] -> Bytes.make 32 '\000'
+    | _ -> Merkle.root (Merkle.build (List.map (fun p -> p.blob) pages))
+  in
+  if not (Bytes_ext.equal_ct recomputed merkle_root) then
+    raise (Malformed "snapshot Merkle root mismatch");
+  {
+    id;
+    config;
+    interrupted;
+    saved_pc;
+    measurement;
+    heap_cursor;
+    shm_cursor;
+    pages;
+    merkle_root;
+  }
+
+(* --- checkpoint --- *)
+
+(* Quiesce precondition: an enclave can be sealed only while no CS
+   core is inside it (Measured or Interrupted) and no shared-memory
+   attachment pins it to peers on this shard. *)
+let can_checkpoint (e : Enclave.t) =
+  match e.Enclave.state with
+  | Enclave.Measured | Enclave.Interrupted ->
+    if e.Enclave.attached_shms <> [] then
+      Error (Types.Bad_state "shared memory attached; detach before checkpoint")
+    else if e.Enclave.measurement = None then Error (Types.Bad_state "enclave not measured")
+    else Ok ()
+  | s -> Error (Types.Bad_state (Enclave.state_name s))
+
+let checkpoint t ~enclave =
+  match get_enclave t enclave with
+  | Error e -> Error e
+  | Ok e -> (
+    match can_checkpoint e with
+    | Error err -> Error err
+    | Ok () -> (
+      let swap = Aes.expand (Keymgmt.swap_key t.keys) in
+      try
+        (* Resident private pages, EWB-encrypted under the swap key
+           with the vpn as tweak — exactly the wire format EWB blobs
+           use, so restore and fault-in share one decryption path. *)
+        let resident =
+          List.map
+            (fun (vpn, (pte : Pte.t)) ->
+              let blob =
+                if e.Enclave.key_parked then
+                  (* DRAM already holds swap-key ciphertext (parked in
+                     place); reading through the MEE would fault on the
+                     revoked KeyID. *)
+                  Phys_mem.read t.mem ~frame:pte.Pte.ppn
+                else
+                  let pt =
+                    Mem_encryption.read_page t.mee t.mem ~key_id:pte.Pte.key_id
+                      ~frame:pte.Pte.ppn
+                  in
+                  Aes.encrypt_page swap ~page_number:vpn pt
+              in
+              {
+                vpn;
+                r = pte.Pte.readable;
+                w = pte.Pte.writable;
+                x = pte.Pte.executable;
+                resident = true;
+                blob;
+              })
+            (private_leaves e)
+        in
+        (* EWB-evicted pages are already in blob form. *)
+        let swapped =
+          Hashtbl.fold
+            (fun vpn blob acc ->
+              { vpn; r = true; w = true; x = false; resident = false; blob } :: acc)
+            e.Enclave.swapped_out []
+        in
+        let pages = List.sort (fun a b -> compare a.vpn b.vpn) (resident @ swapped) in
+        let merkle_root =
+          match pages with
+          | [] -> Bytes.make 32 '\000'
+          | _ -> Merkle.root (Merkle.build (List.map (fun p -> p.blob) pages))
+        in
+        Ok
+          (serialize t.keys
+             {
+               id = e.Enclave.id;
+               config = e.Enclave.config;
+               interrupted = e.Enclave.state = Enclave.Interrupted;
+               saved_pc = e.Enclave.saved_pc;
+               measurement = Enclave.measurement_exn e;
+               heap_cursor = e.Enclave.heap_cursor;
+               shm_cursor = e.Enclave.shm_cursor;
+               pages;
+               merkle_root;
+             })
+      with Mem_encryption.Integrity_violation { frame } ->
+        Error (Types.Integrity_failure { frame })))
+
+(* --- restore --- *)
+
+let restore t ?force_id blob =
+  match parse t.keys blob with
+  | exception Malformed m -> Error (Types.Invalid_argument_ ("sealed snapshot rejected: " ^ m))
+  | snap -> (
+    let id = Option.value force_id ~default:t.next_enclave_id in
+    if Hashtbl.mem t.enclaves id then Error (Types.Bad_state "restore target id already live")
+    else
+      match allocate_key_id t ~except:(-1) with
+      | None -> Error Types.Out_of_key_ids
+      | Some key_id -> (
+        let pt_alloc () =
+          match Mem_pool.take t.pool ~n:1 with
+          | Some [ f ] -> f
+          | Some _ | None -> failwith "out of memory"
+        in
+        match
+          Page_table.create t.mem ~node_owner:(Phys_mem.Page_table id) ~alloc:pt_alloc
+        with
+        | exception Failure _ -> Error Types.Out_of_memory
+        | page_table -> (
+          let e = Enclave.create ~id ~config:snap.config ~page_table ~key_id in
+          (* Re-key: a fresh KeyID with a key bound to the restored
+             identity — the sealed blob never crosses in DRAM key
+             form, and the source's KeyID (possibly on another shard)
+             stays untouched. *)
+          let key =
+            Keymgmt.memory_key t.keys ~enclave_measurement:snap.measurement ~enclave_id:id
+          in
+          Mem_encryption.program t.mee ~key_id key;
+          let teardown err =
+            let frames = Ownership.frames_of t.ownership id in
+            List.iter (fun frame -> Ownership.release t.ownership ~frame) frames;
+            Mem_pool.give_back t.pool frames;
+            Mem_pool.give_back t.pool (Page_table.node_frames page_table);
+            Mem_encryption.revoke t.mee ~key_id;
+            Error err
+          in
+          let swap = Aes.expand (Keymgmt.swap_key t.keys) in
+          let residents = List.filter (fun p -> p.resident) snap.pages in
+          try
+            match take_pool_frames t ~n:(List.length residents) with
+            | Error err -> teardown err
+            | Ok frames ->
+              let result =
+                List.fold_left2
+                  (fun acc p frame ->
+                    match acc with
+                    | Error _ -> acc
+                    | Ok () -> (
+                      match map_private_page t e ~vpn:p.vpn ~frame ~r:p.r ~w:p.w ~x:p.x with
+                      | Error err -> Error err
+                      | Ok () ->
+                        let pt = Aes.decrypt_page swap ~page_number:p.vpn p.blob in
+                        Mem_encryption.write_page t.mee t.mem ~key_id ~frame pt;
+                        Ok ()))
+                  (Ok ()) residents frames
+              in
+              (match result with
+              | Error err -> teardown err
+              | Ok () ->
+                let staging = t.os_request ~n:snap.config.Types.shared_pages in
+                if List.length staging < snap.config.Types.shared_pages then begin
+                  t.os_return ~frames:staging;
+                  teardown Types.Out_of_memory
+                end
+                else begin
+                  List.iteri
+                    (fun i frame ->
+                      Page_table.map e.Enclave.page_table
+                        ~vpn:(e.Enclave.layout.Enclave.staging_base + i)
+                        (Pte.leaf ~ppn:frame ~r:true ~w:true ~x:false ~key_id:0))
+                    staging;
+                  e.Enclave.staging_frames <- staging;
+                  List.iter
+                    (fun p -> Hashtbl.replace e.Enclave.swapped_out p.vpn p.blob)
+                    (List.filter (fun p -> not p.resident) snap.pages);
+                  (* Identity restored verbatim: byte-identical
+                     measurement, closed measurement stream. *)
+                  e.Enclave.measurement <- Some snap.measurement;
+                  e.Enclave.measurement_ctx <- None;
+                  e.Enclave.saved_pc <- snap.saved_pc;
+                  e.Enclave.heap_cursor <- snap.heap_cursor;
+                  e.Enclave.shm_cursor <- snap.shm_cursor;
+                  e.Enclave.state <-
+                    (if snap.interrupted then Enclave.Interrupted else Enclave.Measured);
+                  Hashtbl.replace t.enclaves id e;
+                  if (id - 1) mod t.id_stride <> t.shard then State.mark_adopted t id;
+                  (* Keep the shard's minting counter ahead of ids it
+                     now hosts (journal replay restores by fixed id). *)
+                  if (id - 1) mod t.id_stride = t.shard && id >= t.next_enclave_id then
+                    t.next_enclave_id <- id + t.id_stride;
+                  Ok id
+                end)
+          with Failure _ -> teardown Types.Out_of_memory)))
+
+(* Introspection used by migration and the tests. *)
+let snapshot_id blob =
+  (* id sits right after the magic; MAC checked later by [restore]. *)
+  if Bytes.length blob < String.length magic + 8 then None
+  else Some (Int64.to_int (Bytes_ext.get_u64_le blob (String.length magic)))
+
+let snapshot_measurement keys blob =
+  match parse keys blob with
+  | exception Malformed _ -> None
+  | snap -> Some snap.measurement

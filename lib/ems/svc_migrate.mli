@@ -1,0 +1,54 @@
+(** Elasticity service: sealed enclave checkpoint and restore.
+
+    A checkpoint quiesces an enclave (it must be [Measured] or
+    [Interrupted] with no shared-memory attachments) and seals its
+    entire observable state into one self-describing blob:
+
+    - every resident private page, EWB-encrypted under
+      {!Keymgmt.swap_key} with the vpn as tweak — the same wire
+      format EWB eviction blobs use, so restore and demand fault-in
+      share one decryption path, and already-evicted pages embed
+      verbatim;
+    - a Merkle root over the page blobs ({!Hypertee_crypto.Merkle});
+    - lifecycle metadata: config, state, saved pc, heap/shm cursors,
+      and the byte-exact build measurement;
+    - an HMAC-SHA-256 seal under {!Keymgmt.snapshot_key}, derived
+      from the platform root SK so any EMS shard of the same
+      platform can verify and restore it.
+
+    Restore rebuilds the enclave under a {e fresh} KeyID with a
+    memory key re-derived for the restored identity (the re-key step
+    of migration), maps resident pages from the local pool, reseeds
+    the swapped-out set, and reproduces the measurement
+    byte-identically — a subsequent EATTEST quote verifies exactly
+    like the source's.
+
+    Not a Table II primitive: the platform calls these directly
+    (checkpoint/restore API, cross-shard migration, journal replay),
+    so they return [result]s rather than gate responses. *)
+
+(** [checkpoint t ~enclave] seals the enclave's state. Errors:
+    [No_such_enclave]; [Bad_state] when running, unmeasured, or
+    attached to shared memory; [Integrity_failure] if a resident
+    page fails its MAC while being read. The source enclave is not
+    modified. *)
+val checkpoint : State.t -> enclave:Types.enclave_id -> (bytes, Types.error) result
+
+(** [restore t ?force_id blob] verifies the seal (HMAC, then Merkle
+    root, then structural bounds) and rebuilds the enclave, returning
+    its id — [force_id] if given (migration and journal replay keep
+    the original id; the id must not be live here), otherwise the
+    next id this shard mints. On any failure the half-built enclave
+    is torn down completely: frames back to the pool, ownership
+    records dropped, the KeyID revoked. If the id's residue class
+    belongs to another shard the enclave is marked adopted
+    ({!State.mark_adopted}) so the gate can re-route it. *)
+val restore : State.t -> ?force_id:Types.enclave_id -> bytes -> (Types.enclave_id, Types.error) result
+
+(** Enclave id recorded in a snapshot blob (unauthenticated peek —
+    [restore] is what verifies the seal). *)
+val snapshot_id : bytes -> Types.enclave_id option
+
+(** Measurement carried by a snapshot, if the seal verifies — what
+    migration re-attests against. *)
+val snapshot_measurement : Keymgmt.t -> bytes -> bytes option

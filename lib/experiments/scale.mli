@@ -51,3 +51,34 @@ val run : seed:int64 -> ?ops:int -> unit -> point list * point list
 
 (** Render both sweeps as tables to [out] (default stdout). *)
 val print : ?out:out_channel -> seed:int64 -> ?ops:int -> unit -> unit
+
+(** {2 Hot-shard rebalancing}
+
+    The elasticity payoff measurement: a 4-shard platform whose whole
+    enclave population is homed on shard 0 (the hot shard), measured
+    under the batched-doorbell makespan model, then rebalanced by
+    {!Hypertee.Platform.migrate} — three quarters of the fleet
+    live-migrated to the idle shards, keeping their ids — and
+    measured again. The per-shard busy attribution follows the gate's
+    migration route overrides, so the "after" makespan reflects real
+    post-migration routing, not the residue classes. *)
+
+type rebalance_report = {
+  shards : int;
+  fleet : int;  (** hot-shard enclave count before rebalancing *)
+  migrated : int;
+  migration_failures : int;
+  rebalance_ops : int;  (** EALLOC primitives per measurement pass *)
+  busy_before_ns : float;  (** summed round makespans, skewed placement *)
+  busy_after_ns : float;  (** same workload after rebalancing *)
+  speedup : float;  (** busy_before / busy_after *)
+  hot_share_before : float;  (** shard 0's fraction of total busy time *)
+  hot_share_after : float;
+  rebalance_violations : int;  (** {!Hypertee.Platform.check} at the end *)
+}
+
+(** [rebalance ()] runs the scenario; deterministic given [seed]. *)
+val rebalance : ?seed:int64 -> ?batch:int -> ?ops:int -> unit -> rebalance_report
+
+(** Render the before/after table to [out] (default stdout). *)
+val print_rebalance : ?out:out_channel -> rebalance_report -> unit

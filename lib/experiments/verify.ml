@@ -351,11 +351,13 @@ let run ?(deep = false) ?(calls = 1200) ?(seeds = 24) ?(out = stdout) () =
     o.divergence_count = 0 && Invariant.ok o.report
   in
   let clean = show "clean replay" (oracle_replay ~calls ~deep ()) in
-  (* No deep sweep here: injected bit flips leave latent MAC
-     corruption on pages nothing read back — the sweep would (rightly)
-     report it, but it is the injector's doing, not the platform's. *)
+  (* The deep sweep runs under fault injection too: flips corrupt
+     transient copies, and MAC failures struck by the sweep's own
+     reads are excused through the injector's flip journal
+     ([injected_macs]), so anything reported is the platform's
+     doing. *)
   let faulty =
-    show "fault-injected replay (rate 0.05)" (oracle_replay ~calls ~fault_rate:0.05 ())
+    show "fault-injected replay (rate 0.05)" (oracle_replay ~calls ~fault_rate:0.05 ~deep ())
   in
   let failures = explore ~n:seeds () in
   List.iter

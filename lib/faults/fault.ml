@@ -7,11 +7,16 @@ type site =
   | Worker_crash
   | Crypto_transient
   | Memory_bit_flip
+  | Migration_crash
+  | Snapshot_corrupt
 
+(* New sites append at the end: [create] splits one RNG per site in
+   this order, so appending preserves every existing site's stream
+   (and therefore every seeded experiment's fault trace). *)
 let all_sites =
   [
     Mailbox_drop; Mailbox_duplicate; Mailbox_corrupt; Transport_delay; Worker_stall;
-    Worker_crash; Crypto_transient; Memory_bit_flip;
+    Worker_crash; Crypto_transient; Memory_bit_flip; Migration_crash; Snapshot_corrupt;
   ]
 
 let site_name = function
@@ -23,6 +28,8 @@ let site_name = function
   | Worker_crash -> "worker-crash"
   | Crypto_transient -> "crypto-transient"
   | Memory_bit_flip -> "memory-bit-flip"
+  | Migration_crash -> "migration-crash"
+  | Snapshot_corrupt -> "snapshot-corrupt"
 
 let site_index = function
   | Mailbox_drop -> 0
@@ -33,6 +40,8 @@ let site_index = function
   | Worker_crash -> 5
   | Crypto_transient -> 6
   | Memory_bit_flip -> 7
+  | Migration_crash -> 8
+  | Snapshot_corrupt -> 9
 
 let n_sites = List.length all_sites
 
@@ -74,7 +83,7 @@ type slot = {
   mutable hits : int;
 }
 
-type t = { slots : slot array }
+type t = { slots : slot array; flips : (int, int) Hashtbl.t }
 
 let create p =
   let master = Hypertee_util.Xrng.create p.seed in
@@ -95,7 +104,7 @@ let create p =
            { rule; rng = rngs.(site_index site); seen = 0; hits = 0 })
          all_sites)
   in
-  { slots }
+  { slots; flips = Hashtbl.create 64 }
 
 let slot t site = t.slots.(site_index site)
 
@@ -123,6 +132,17 @@ let draw_int t site bound = Hypertee_util.Xrng.int (slot t site).rng bound
 let fired t site = (slot t site).hits
 let opportunities t site = (slot t site).seen
 let total_fired t = Array.fold_left (fun acc s -> acc + s.hits) 0 t.slots
+
+(* Flip journal: per-frame count of bit flips actually applied by the
+   memory model. Flips corrupt transient read copies, so the only
+   MAC failures they can cause in a checker sweep are ones whose
+   flip fired during that very read — the before/after delta of
+   [flips_on] is what classifies a deep-sweep MAC failure as
+   injected rather than a latent platform bug. *)
+let note_flip t ~frame =
+  Hashtbl.replace t.flips frame (1 + Option.value ~default:0 (Hashtbl.find_opt t.flips frame))
+
+let flips_on t ~frame = Option.value ~default:0 (Hashtbl.find_opt t.flips frame)
 
 let publish_metrics t registry =
   let module M = Hypertee_obs.Metrics in

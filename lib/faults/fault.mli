@@ -24,6 +24,8 @@ type site =
   | Worker_crash  (** an EMS worker dies, losing its in-flight request *)
   | Crypto_transient  (** crypto engine returns a transient error *)
   | Memory_bit_flip  (** DRAM bit flip under an enclave key *)
+  | Migration_crash  (** shard dies between live-migration phases *)
+  | Snapshot_corrupt  (** sealed snapshot corrupted on the fabric *)
 
 val all_sites : site list
 val site_name : site -> string
@@ -77,6 +79,15 @@ val fired : t -> site -> int
 
 val opportunities : t -> site -> int
 val total_fired : t -> int
+
+(** Flip journal: the memory model calls [note_flip] each time a
+    [Memory_bit_flip] actually corrupts a read of [frame]; the deep
+    checker sweep reads [flips_on] before and after each page verify
+    so a MAC failure coinciding with a fresh flip is classified as
+    injected, not as a platform bug. *)
+val note_flip : t -> frame:int -> unit
+
+val flips_on : t -> frame:int -> int
 
 (** Snapshot the per-site fired/opportunity counters into a metrics
     registry under [faults.<site>.*]. *)
