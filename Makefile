@@ -1,4 +1,4 @@
-.PHONY: all build test chaos-smoke chaos-restart check-invariants bench-perf check doc fmt clean
+.PHONY: all build test test-parallel chaos-smoke chaos-restart check-invariants bench-perf bench-parallel check doc fmt clean
 
 all: build
 
@@ -7,6 +7,14 @@ build:
 
 test: build
 	dune runtest
+
+# The whole suite again with every platform forced into parallel mode
+# (4 worker domains, HYPERTEE_EXEC override): parallel execution is
+# bit-identical to deterministic mode by construction, so the exact
+# same assertions must hold. --force because dune caches runtest
+# results per build, not per environment.
+test-parallel: build
+	HYPERTEE_EXEC=parallel:4 dune runtest --force
 
 # Deterministic quick availability sweep: exercises the fault injector,
 # EMCall retry/timeout, the EMS watchdog and integrity containment.
@@ -27,6 +35,14 @@ chaos-restart: build
 bench-perf: build
 	dune exec bin/hypertee_cli.exe -- perf --quick --json BENCH_perf.json
 
+# bench-perf plus the domain-parallel comparison: scale-point
+# makespan and MEE bulk-pipeline throughput, single-domain vs fanned
+# over worker domains, with speedup ratios and the host's recommended
+# domain count recorded alongside (the ratios only mean something
+# relative to the parallelism the machine actually offers).
+bench-parallel: build
+	dune exec bin/hypertee_cli.exe -- perf --quick --parallel --domains 4 --json BENCH_perf.json
+
 # Differential oracle + invariant sweep: replays a clean and a
 # fault-injected management workload under the EMCall oracle, then
 # runs a reduced explorer pass. Deterministic; exits non-zero on any
@@ -35,10 +51,10 @@ check-invariants: build
 	dune exec bin/hypertee_cli.exe -- check --calls 600 --seeds 12
 
 # The gate for a change: everything builds, the full test suite is
-# green, the chaos smoke sweep completes without a hang, the rolling
-# restart recovers every shard with nothing lost, and the
-# oracle/invariant pass holds.
-check: build test chaos-smoke chaos-restart check-invariants
+# green in both execution modes, the chaos smoke sweep completes
+# without a hang, the rolling restart recovers every shard with
+# nothing lost, and the oracle/invariant pass holds.
+check: build test test-parallel chaos-smoke chaos-restart check-invariants
 
 # API reference from the .mli doc comments, built with odoc into
 # _build/default/_doc/_html. Skips with a notice when odoc is absent,

@@ -176,6 +176,7 @@ type t = {
   memory_mb : int;
   ems_memory_mb : int;
   context_switch_hz : float;
+  domains : int;
 }
 
 let default =
@@ -190,6 +191,7 @@ let default =
     memory_mb = 256;
     ems_memory_mb = 64;
     context_switch_hz = 100.0;
+    domains = 1;
   }
 
 let recommended_ems ~cs_cores =

@@ -102,6 +102,10 @@ type t = {
   memory_mb : int;  (** CS physical memory *)
   ems_memory_mb : int;  (** EMS private memory *)
   context_switch_hz : float;  (** CS OS scheduler tick *)
+  domains : int;
+      (** OCaml domains the platform may use: 1 = deterministic
+          single-domain execution (the default), >1 = parallel
+          shard drains and crypto pipelines (see {!Hypertee_sim.Exec}) *)
 }
 
 (** 4 CS cores, 1 medium EMS core, crypto engine on, 256 MiB. *)

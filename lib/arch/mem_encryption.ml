@@ -3,13 +3,21 @@ exception Integrity_violation of { frame : int }
 type slot = {
   key : Hypertee_crypto.Aes.key;
   raw : bytes;
-  tweak : bytes; (* reusable 16-byte page-nonce buffer for this slot *)
 }
 
+(* Slot lifecycle. [Reserved] closes the allocation race the parallel
+   audit found: callers allocate with [find_free_slot] and only later
+   [program] the derived key, so without an intermediate state two
+   shards could claim the same KeyID. [find_free_slot] now atomically
+   reserves; [program] commits; [revoke] releases from either state. *)
+type entry = Free | Reserved | Programmed of slot
+
 type t = {
-  table : slot option array; (* index = KeyID; 0 is bypass *)
+  table : entry array; (* index = KeyID; 0 is bypass *)
   macs : (int * int, int) Hashtbl.t; (* (key_id, frame) -> 28-bit MAC *)
   mac_key : bytes; (* engine-internal MAC key *)
+  lock : Mutex.t; (* guards table transitions, macs, counters *)
+  mutable pool : Hypertee_util.Domain_pool.t option;
   mutable faults : Hypertee_faults.Fault.t option;
   mutable bit_flips : int;
   mutable stores : int;
@@ -22,9 +30,11 @@ type t = {
 let create ~slots =
   if slots < 2 then invalid_arg "Mem_encryption.create: need at least 2 slots";
   {
-    table = Array.make slots None;
+    table = Array.make slots Free;
     macs = Hashtbl.create 256;
     mac_key = Hypertee_crypto.Sha256.digest_string "hypertee-mee-mac-key";
+    lock = Mutex.create ();
+    pool = None;
     faults = None;
     bit_flips = 0;
     stores = 0;
@@ -35,6 +45,7 @@ let create ~slots =
   }
 
 let set_fault_injector t inj = t.faults <- Some inj
+let set_pool t pool = t.pool <- Some pool
 let bit_flips t = t.bit_flips
 
 let slots t = Array.length t.table
@@ -46,36 +57,45 @@ let check_key_id t key_id =
 let program t ~key_id key =
   check_key_id t key_id;
   if Bytes.length key <> 16 then invalid_arg "Mem_encryption.program: key must be 16 bytes";
-  t.table.(key_id) <-
-    Some
-      {
-        key = Hypertee_crypto.Aes.expand key;
-        raw = Bytes.copy key;
-        tweak = Bytes.make 16 '\000';
-      }
+  Mutex.protect t.lock (fun () ->
+      t.table.(key_id) <-
+        Programmed { key = Hypertee_crypto.Aes.expand key; raw = Bytes.copy key })
 
 let revoke t ~key_id =
   check_key_id t key_id;
-  (match t.table.(key_id) with
-  | Some slot -> Hypertee_util.Bytes_ext.fill_zero slot.raw
-  | None -> ());
-  t.table.(key_id) <- None;
-  (* Drop MAC state for lines under this key: after reprogramming,
-     stale MACs must not satisfy a check. *)
-  let stale = Hashtbl.fold (fun (k, f) _ acc -> if k = key_id then (k, f) :: acc else acc) t.macs [] in
-  List.iter (Hashtbl.remove t.macs) stale
+  Mutex.protect t.lock (fun () ->
+      (match t.table.(key_id) with
+      | Programmed slot -> Hypertee_util.Bytes_ext.fill_zero slot.raw
+      | Reserved | Free -> ());
+      t.table.(key_id) <- Free;
+      (* Drop MAC state for lines under this key: after reprogramming,
+         stale MACs must not satisfy a check. *)
+      let stale =
+        Hashtbl.fold (fun (k, f) _ acc -> if k = key_id then (k, f) :: acc else acc) t.macs []
+      in
+      List.iter (Hashtbl.remove t.macs) stale)
 
-let is_programmed t ~key_id = key_id > 0 && key_id < slots t && t.table.(key_id) <> None
+let is_programmed t ~key_id =
+  key_id > 0 && key_id < slots t
+  && match t.table.(key_id) with Programmed _ -> true | Reserved | Free -> false
 
 let slot_exn t key_id =
   check_key_id t key_id;
   match t.table.(key_id) with
-  | Some s -> s
-  | None -> invalid_arg "Mem_encryption: KeyID not programmed"
+  | Programmed s -> s
+  | Reserved | Free -> invalid_arg "Mem_encryption: KeyID not programmed"
 
-(* Point the slot's reusable nonce buffer at this frame's tweak. *)
-let set_tweak slot ~frame =
-  Hypertee_util.Bytes_ext.set_u64_be slot.tweak 8 (Int64.of_int frame)
+(* Per-domain tweak scratch: the page nonce depends only on the frame
+   number, so one reusable 16-byte buffer per domain serves every
+   slot (the per-slot buffer it replaces raced when two domains
+   touched pages under the same KeyID). *)
+let tweak_scratch : bytes Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Bytes.make 16 '\000')
+
+let tweak_for ~frame =
+  let tw = Domain.DLS.get tweak_scratch in
+  Hypertee_util.Bytes_ext.set_u64_be tw 8 (Int64.of_int frame);
+  tw
 
 let store_into t ~key_id ~frame ~src ~dst =
   let len = Bytes.length src in
@@ -84,11 +104,13 @@ let store_into t ~key_id ~frame ~src ~dst =
     if dst != src then Bytes.blit src 0 dst 0 len
   end
   else begin
-    t.stores <- t.stores + 1;
     let slot = slot_exn t key_id in
-    set_tweak slot ~frame;
-    Hypertee_crypto.Aes.ctr_into slot.key ~nonce:slot.tweak ~src ~src_off:0 ~dst ~dst_off:0 len;
-    Hashtbl.replace t.macs (key_id, frame) (Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key dst)
+    Hypertee_crypto.Aes.ctr_into slot.key ~nonce:(tweak_for ~frame) ~src ~src_off:0 ~dst
+      ~dst_off:0 len;
+    let mac = Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key dst in
+    Mutex.protect t.lock (fun () ->
+        t.stores <- t.stores + 1;
+        Hashtbl.replace t.macs (key_id, frame) mac)
   end
 
 let store t ~key_id ~frame data =
@@ -110,7 +132,7 @@ let maybe_flip t ~frame data =
   | Some inj ->
     let module F = Hypertee_faults.Fault in
     if Bytes.length data > 0 && F.fire inj F.Memory_bit_flip then begin
-      t.bit_flips <- t.bit_flips + 1;
+      Mutex.protect t.lock (fun () -> t.bit_flips <- t.bit_flips + 1);
       (* Journal the flip against its frame so the deep checker sweep
          can tell injected MAC failures from latent platform bugs. *)
       F.note_flip inj ~frame;
@@ -126,16 +148,19 @@ let maybe_flip t ~frame data =
    return the (possibly fault-flipped) buffer to decrypt from. *)
 let checked_ciphertext t ~key_id ~frame data =
   let data = maybe_flip t ~frame data in
-  (match Hashtbl.find_opt t.macs (key_id, frame) with
-  | Some mac when mac = Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key data -> ()
-  | Some _ ->
-    t.mac_failures <- t.mac_failures + 1;
-    raise (Integrity_violation { frame })
-  | None ->
-    (* Never stored under this key: decrypting garbage; a real
-       engine would also MAC-fault on uninitialised lines. *)
-    t.mac_failures <- t.mac_failures + 1;
-    raise (Integrity_violation { frame }));
+  let mac = Hypertee_crypto.Keccak.mac_28bit ~key:t.mac_key data in
+  let ok =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.macs (key_id, frame) with
+        | Some stored when stored = mac -> true
+        | Some _ | None ->
+          (* [None]: never stored under this key — decrypting
+             garbage; a real engine would also MAC-fault on
+             uninitialised lines. *)
+          t.mac_failures <- t.mac_failures + 1;
+          false)
+  in
+  if not ok then raise (Integrity_violation { frame });
   data
 
 let load_into t ~key_id ~frame ~src ~dst =
@@ -145,11 +170,11 @@ let load_into t ~key_id ~frame ~src ~dst =
     if dst != src then Bytes.blit src 0 dst 0 len
   end
   else begin
-    t.loads <- t.loads + 1;
+    Mutex.protect t.lock (fun () -> t.loads <- t.loads + 1);
     let data = checked_ciphertext t ~key_id ~frame src in
     let slot = slot_exn t key_id in
-    set_tweak slot ~frame;
-    Hypertee_crypto.Aes.ctr_into slot.key ~nonce:slot.tweak ~src:data ~src_off:0 ~dst ~dst_off:0 len
+    Hypertee_crypto.Aes.ctr_into slot.key ~nonce:(tweak_for ~frame) ~src:data ~src_off:0 ~dst
+      ~dst_off:0 len
   end
 
 (* Decrypt only [off, off+len) of the page whose full ciphertext is
@@ -161,12 +186,11 @@ let load_range_into t ~key_id ~frame ~src ~off ~len dst ~dst_off =
     invalid_arg "Mem_encryption.load_range_into: bad slice";
   if key_id = 0 then Bytes.blit src off dst dst_off len
   else begin
-    t.range_loads <- t.range_loads + 1;
+    Mutex.protect t.lock (fun () -> t.range_loads <- t.range_loads + 1);
     let data = checked_ciphertext t ~key_id ~frame src in
     let slot = slot_exn t key_id in
-    set_tweak slot ~frame;
-    Hypertee_crypto.Aes.ctr_into slot.key ~nonce:slot.tweak ~stream_off:off ~src:data ~src_off:off
-      ~dst ~dst_off len
+    Hypertee_crypto.Aes.ctr_into slot.key ~nonce:(tweak_for ~frame) ~stream_off:off ~src:data
+      ~src_off:off ~dst ~dst_off len
   end
 
 let load t ~key_id ~frame data =
@@ -184,8 +208,9 @@ let load t ~key_id ~frame data =
 
 let page_size = Hypertee_util.Units.page_size
 
-(* Plaintext scratch for read-modify-write; single-threaded. *)
-let rmw_scratch = Bytes.create page_size
+(* Plaintext scratch for read-modify-write, one page per domain. *)
+let rmw_scratch : bytes Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Bytes.create page_size)
 
 let read_page t mem ~key_id ~frame =
   if key_id = 0 then Phys_mem.read mem ~frame
@@ -222,16 +247,51 @@ let update_range t mem ~key_id ~frame ~off ~src ~src_off ~len =
     (* Full-page read-modify-write: decrypting first keeps the
        integrity check on the stale line (a tampered page still
        faults even when only partially overwritten). *)
-    t.range_updates <- t.range_updates + 1;
+    Mutex.protect t.lock (fun () -> t.range_updates <- t.range_updates + 1);
+    let rmw = Domain.DLS.get rmw_scratch in
     let dram = Phys_mem.borrow mem ~frame in
-    load_into t ~key_id ~frame ~src:dram ~dst:rmw_scratch;
-    Bytes.blit src src_off rmw_scratch off len;
-    store_into t ~key_id ~frame ~src:rmw_scratch ~dst:dram
+    load_into t ~key_id ~frame ~src:dram ~dst:rmw;
+    Bytes.blit src src_off rmw off len;
+    store_into t ~key_id ~frame ~src:rmw ~dst:dram
   end
 
+(* --- Bulk page pipelines. Each page's encrypt/MAC (or MAC-check/
+   decrypt) is independent of every other page's, so with a worker
+   pool installed these fan the per-page work across domains; the
+   bytes written are identical to a sequential loop because nothing
+   in the transform depends on ordering. Without a pool they *are*
+   the sequential loop. --- *)
+
+let run_page_jobs t jobs =
+  match t.pool with
+  | Some pool -> Hypertee_util.Domain_pool.run_all pool jobs
+  | None -> Array.iter (fun job -> job ()) jobs
+
+(* [write_pages t mem ~key_id pages]: encrypt each [(frame, data)]
+   into its frame's DRAM. Frames must be distinct. *)
+let write_pages t mem ~key_id pages =
+  run_page_jobs t
+    (Array.map (fun (frame, data) -> fun () -> write_page t mem ~key_id ~frame data) pages)
+
+(* [read_pages t mem ~key_id frames]: MAC-check and decrypt each
+   frame into a fresh page, in input order. *)
+let read_pages t mem ~key_id frames =
+  let out = Array.make (Array.length frames) Bytes.empty in
+  run_page_jobs t
+    (Array.mapi (fun i frame -> fun () -> out.(i) <- read_page t mem ~key_id ~frame) frames);
+  out
+
 let find_free_slot t =
-  let rec go i = if i >= slots t then None else if t.table.(i) = None then Some i else go (i + 1) in
-  go 1
+  Mutex.protect t.lock (fun () ->
+      let rec go i =
+        if i >= slots t then None
+        else if t.table.(i) = Free then begin
+          t.table.(i) <- Reserved;
+          Some i
+        end
+        else go (i + 1)
+      in
+      go 1)
 
 let extra_ns (lat : Config.mem_latency) ~cs_ghz =
   float_of_int (lat.Config.encryption_extra + lat.Config.integrity_extra) /. cs_ghz

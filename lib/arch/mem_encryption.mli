@@ -85,8 +85,26 @@ val update_range :
 (** [raw_ciphertext_view] — what a physical attacker dumping DRAM
     sees — is just the stored bytes; provided for attack tests. *)
 
-(** Find a free KeyID (lowest unprogrammed), if any. *)
+(** [find_free_slot t] atomically finds the lowest free KeyID and
+    *reserves* it: a concurrent caller cannot be handed the same
+    slot. The caller must then either [program] the slot (commit) or
+    [revoke] it (release, on any failure path between allocation and
+    programming). *)
 val find_free_slot : t -> int option
+
+(** Install a worker pool: bulk pipelines ([write_pages],
+    [read_pages]) fan their per-page crypto across it. *)
+val set_pool : t -> Hypertee_util.Domain_pool.t -> unit
+
+(** [write_pages t mem ~key_id pages] encrypts each [(frame, data)]
+    pair into its frame's DRAM, in parallel when a pool is installed.
+    Frames must be distinct. Byte-identical to calling [write_page]
+    in a loop. *)
+val write_pages : t -> Phys_mem.t -> key_id:int -> (int * bytes) array -> unit
+
+(** [read_pages t mem ~key_id frames] MAC-checks and decrypts each
+    frame into a fresh page, preserving input order. *)
+val read_pages : t -> Phys_mem.t -> key_id:int -> int array -> bytes array
 
 (** Install a fault injector: [load] then flips one
     deterministic-random ciphertext bit whenever the

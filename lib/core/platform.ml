@@ -59,6 +59,8 @@ type t = {
   recovery_rng : Hypertee_util.Xrng.t;
       (* seeded independently of the master stream so recovery and
          migration leave every pre-existing draw sequence intact *)
+  exec_mode : Hypertee_sim.Exec.mode;
+  pool : Hypertee_util.Domain_pool.t option;  (* Some iff exec_mode is parallel *)
   mutable oracle : Hypertee_check.Oracle.t option;
 }
 
@@ -151,7 +153,9 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
     (* EMS workers serve the request queue in randomized order at
        primitive granularity (Fig. 3 / Sec. III-C). *)
     let scheduler =
-      Hypertee_ems.Scheduler.create (Hypertee_util.Xrng.split rng)
+      Hypertee_ems.Scheduler.create
+        ~track:(Hypertee_obs.Trace.track_ems s)
+        (Hypertee_util.Xrng.split rng)
         ~workers:config.Config.ems_cores
     in
     install Hypertee_ems.Scheduler.set_fault_injector scheduler;
@@ -246,6 +250,28 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
       ()
   in
   install Emcall.set_fault_injector emcall;
+  (* Execution mode (Exec): [config.domains] — or the HYPERTEE_EXEC
+     override — selects deterministic single-domain execution or a
+     worker pool that fans out the gate's per-shard doorbells and the
+     MEE's bulk page pipelines. Per-shard semantics are identical in
+     both modes; deterministic mode never touches a pool. *)
+  let exec_mode =
+    Hypertee_sim.Exec.resolve
+      ~requested:
+        (if config.Config.domains > 1 then
+           Hypertee_sim.Exec.Parallel { domains = config.Config.domains }
+         else Hypertee_sim.Exec.Deterministic)
+  in
+  let pool =
+    match Hypertee_sim.Exec.domains exec_mode with
+    | n when n > 1 -> Some (Hypertee_util.Domain_pool.shared ~domains:n)
+    | _ -> None
+  in
+  Option.iter
+    (fun p ->
+      Emcall.set_pool emcall p;
+      Mem_encryption.set_pool mee p)
+    pool;
   (* Expose each shard's realized drain order to the gate (and through
      it to the oracle): the closure reads the *current* scheduler, so
      a crash-recovered shard's fresh scheduler is picked up
@@ -285,6 +311,8 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
          [create] returns, so recovery/migration must never perturb
          that sequence. *)
       recovery_rng = Hypertee_util.Xrng.create (Int64.add seed 0x7EC0L);
+      exec_mode;
+      pool;
       oracle = None;
     }
   in
@@ -294,6 +322,9 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
   t
 
 let config t = t.config
+let exec_mode t = t.exec_mode
+let pool t = t.pool
+let shutdown t = Option.iter Hypertee_util.Domain_pool.shutdown t.pool
 let os t = t.os
 let mem t = t.mem
 let rng t = t.rng
@@ -746,6 +777,7 @@ let recover_shard t s =
       Journal.record_containment t.journals.(s) ~victim);
   let scheduler =
     Hypertee_ems.Scheduler.create
+      ~track:(Hypertee_obs.Trace.track_ems s)
       (Hypertee_util.Xrng.split t.recovery_rng)
       ~workers:t.config.Config.ems_cores
   in

@@ -26,6 +26,26 @@ val create :
   t
 
 val config : t -> Hypertee_arch.Config.t
+
+(** Resolved execution mode: [Config.domains] (or the HYPERTEE_EXEC
+    environment override, which wins) selects deterministic
+    single-domain execution or a worker-domain pool that fans out
+    {!invoke_batch}'s per-shard doorbells and the MEE's bulk page
+    pipelines. Per-shard semantics are identical in both modes. *)
+val exec_mode : t -> Hypertee_sim.Exec.mode
+
+(** The worker pool, present iff {!exec_mode} is parallel — callers
+    (CVM snapshots, benchmarks) may fan their own page work over it. *)
+val pool : t -> Hypertee_util.Domain_pool.t option
+
+(** Release the platform's hold on its worker pool. The pool comes
+    from {!Hypertee_util.Domain_pool.shared} (live domains are a
+    hard-capped resource, and scenario code creates platforms by the
+    hundred), so this is currently a no-op on the shared workers —
+    but scenario code should still call it at the end of a parallel
+    run so platform teardown has one place to grow. *)
+val shutdown : t -> unit
+
 val os : t -> Hypertee_cs.Os.t
 val mem : t -> Hypertee_arch.Phys_mem.t
 val rng : t -> Hypertee_util.Xrng.t

@@ -13,8 +13,9 @@
      harness can assert the fast path is bit-identical and measure the
      speedup.
 
-   The module-level scratch buffers follow the same convention as
-   [Keccak]: the simulator is single-threaded, so sharing is safe. *)
+   The reused scratch buffers follow the same convention as [Keccak]:
+   one private set per domain in domain-local storage, so hot paths
+   stay allocation-free and parallel MEE workers never share them. *)
 
 let block_size = 16
 
@@ -280,13 +281,32 @@ let encrypt_words key src ~src_off (out : int array) =
     (get_word src (src_off + 12) lxor rk.(3))
     out
 
-(* Shared output-word scratch for the block API (single-threaded). *)
-let block_words = Array.make 4 0
+(* Reused scratch for the block/CTR/CBC paths, one set per domain:
+   keeps these paths allocation-free while letting the parallel MEE
+   pipeline encrypt pages on every worker domain at once. *)
+type scratch = {
+  block_words : int array;
+  ctr_counter : bytes;
+  ctr_words : int array;
+  page_nonce : bytes;
+  cbc_block : bytes;
+}
+
+let scratch : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        block_words = Array.make 4 0;
+        ctr_counter = Bytes.create 16;
+        ctr_words = Array.make 4 0;
+        page_nonce = Bytes.make 16 '\000';
+        cbc_block = Bytes.create 16;
+      })
 
 let encrypt_block_into key src ~src_off dst ~dst_off =
   if src_off < 0 || src_off + 16 > Bytes.length src
      || dst_off < 0 || dst_off + 16 > Bytes.length dst
   then invalid_arg "Aes.encrypt_block_into: block out of bounds";
+  let block_words = (Domain.DLS.get scratch).block_words in
   encrypt_words key src ~src_off block_words;
   Bytes.set_int32_be dst dst_off (Int32.of_int block_words.(0));
   Bytes.set_int32_be dst (dst_off + 4) (Int32.of_int block_words.(1));
@@ -325,12 +345,9 @@ let advance counter n =
     Hypertee_util.Bytes_ext.set_u64_be counter 8 (Int64.add lo (Int64.of_int n))
   end
 
-let ctr_counter = Bytes.create 16
-let ctr_words = Array.make 4 0
-
 (* XOR one keystream byte (big-endian position [i] within the block)
    into a single src byte. Used only for ragged head/tail bytes. *)
-let xor_byte src src_i dst dst_i i =
+let xor_byte ctr_words src src_i dst dst_i i =
   let ks = (ctr_words.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xFF in
   Bytes.set dst dst_i (Char.chr (Char.code (Bytes.get src src_i) lxor ks))
 
@@ -340,6 +357,7 @@ let ctr_into key ~nonce ?(stream_off = 0) ~src ~src_off ~dst ~dst_off len =
      || src_off + len > Bytes.length src
      || dst_off + len > Bytes.length dst
   then invalid_arg "Aes.ctr_into: slice out of bounds";
+  let { ctr_counter; ctr_words; _ } = Domain.DLS.get scratch in
   Bytes.blit nonce 0 ctr_counter 0 16;
   advance ctr_counter (stream_off / 16);
   let lead = stream_off mod 16 in
@@ -350,7 +368,7 @@ let ctr_into key ~nonce ?(stream_off = 0) ~src ~src_off ~dst ~dst_off len =
     bump ctr_counter;
     let n = Stdlib.min (16 - lead) len in
     for i = 0 to n - 1 do
-      xor_byte src (src_off + i) dst (dst_off + i) (lead + i)
+      xor_byte ctr_words src (src_off + i) dst (dst_off + i) (lead + i)
     done;
     pos := n
   end;
@@ -374,7 +392,7 @@ let ctr_into key ~nonce ?(stream_off = 0) ~src ~src_off ~dst ~dst_off len =
   if rem > 0 then begin
     encrypt_words key ctr_counter ~src_off:0 ctr_words;
     for i = 0 to rem - 1 do
-      xor_byte src (src_off + !pos + i) dst (dst_off + !pos + i) i
+      xor_byte ctr_words src (src_off + !pos + i) dst (dst_off + !pos + i) i
     done
   end
 
@@ -408,29 +426,29 @@ let ctr_reference key ~nonce data =
 (* --- Tweaked page encryption. The page number lands big-endian in
    the low 8 bytes of a reusable nonce buffer. --- *)
 
-let page_nonce = Bytes.make 16 '\000'
-
 let set_page_nonce ~page_number =
-  Hypertee_util.Bytes_ext.set_u64_be page_nonce 8 (Int64.of_int page_number)
+  let page_nonce = (Domain.DLS.get scratch).page_nonce in
+  Hypertee_util.Bytes_ext.set_u64_be page_nonce 8 (Int64.of_int page_number);
+  page_nonce
 
 let encrypt_page_into key ~page_number ?(page_off = 0) ~src ~src_off ~dst ~dst_off len =
-  set_page_nonce ~page_number;
-  ctr_into key ~nonce:page_nonce ~stream_off:page_off ~src ~src_off ~dst ~dst_off len
+  let nonce = set_page_nonce ~page_number in
+  ctr_into key ~nonce ~stream_off:page_off ~src ~src_off ~dst ~dst_off len
 
 let decrypt_page_into = encrypt_page_into
 
 let encrypt_page key ~page_number data =
-  set_page_nonce ~page_number;
-  ctr key ~nonce:page_nonce data
+  let nonce = set_page_nonce ~page_number in
+  ctr key ~nonce data
 
 let decrypt_page = encrypt_page
 
-(* --- CBC-MAC. One block of scratch; the accumulator doubles as the
-   output, so the whole MAC performs a single allocation. --- *)
-
-let cbc_block = Bytes.create 16
+(* --- CBC-MAC. One block of domain-local scratch; the accumulator
+   doubles as the output, so the whole MAC performs a single
+   allocation. --- *)
 
 let cbc_mac key data =
+  let cbc_block = (Domain.DLS.get scratch).cbc_block in
   let len = Bytes.length data in
   let blocks = (len + 15) / 16 in
   let acc = Bytes.make 16 '\000' in

@@ -22,14 +22,37 @@ let rotl64 x n =
   if n = 0 then x
   else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
 
-(* Scratch buffers hoisted out of the permutation: keccak_f runs once
-   per 136 absorbed bytes, so per-call allocation would dominate the
-   page-MAC path. Single-threaded simulator, so sharing is safe. *)
-let c = Array.make 5 0L
-let d = Array.make 5 0L
-let b = Array.make 25 0L
+let rate_bytes = 136 (* 1088 bits *)
 
-let keccak_f state =
+(* All mutable sponge state — permutation scratch, lanes, partial
+   block, MAC digest buffer — lives in one record held in
+   domain-local storage: hoisted out of the per-call path (keccak_f
+   runs once per 136 absorbed bytes, so per-call allocation would
+   dominate the page-MAC path) yet private to each domain, so the
+   parallel MEE pipeline can MAC pages on every worker at once. *)
+type sponge = {
+  c : int64 array;
+  d : int64 array;
+  b : int64 array;
+  st : int64 array;
+  partial : bytes;
+  mutable partial_len : int;
+  mac_digest : bytes;
+}
+
+let sponge : sponge Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        c = Array.make 5 0L;
+        d = Array.make 5 0L;
+        b = Array.make 25 0L;
+        st = Array.make 25 0L;
+        partial = Bytes.create rate_bytes;
+        partial_len = 0;
+        mac_digest = Bytes.create 32;
+      })
+
+let keccak_f { c; d; b; _ } state =
   for round = 0 to 23 do
     (* theta *)
     for x = 0 to 4 do
@@ -65,87 +88,77 @@ let keccak_f state =
     state.(0) <- Int64.logxor state.(0) round_constants.(round)
   done
 
-let rate_bytes = 136 (* 1088 bits *)
-
-(* Module-level sponge (state + partial-block buffer), reset before
-   each digest. Lanes absorb as whole little-endian 64-bit word loads
-   rather than byte-by-byte; the partial buffer only sees ragged
-   message tails. Single-threaded simulator, so sharing is safe. *)
-let st = Array.make 25 0L
-let partial = Bytes.create rate_bytes
-let partial_len = ref 0
-
-let sponge_reset () =
-  Array.fill st 0 25 0L;
-  partial_len := 0
+let sponge_reset sp =
+  Array.fill sp.st 0 25 0L;
+  sp.partial_len <- 0
 
 (* XOR one full rate block at [block+off] into the state and permute. *)
-let absorb_block block off =
+let absorb_block sp block off =
   for lane = 0 to (rate_bytes / 8) - 1 do
-    st.(lane) <- Int64.logxor st.(lane) (Bytes.get_int64_le block (off + (8 * lane)))
+    sp.st.(lane) <- Int64.logxor sp.st.(lane) (Bytes.get_int64_le block (off + (8 * lane)))
   done;
-  keccak_f st
+  keccak_f sp sp.st
 
-let absorb msg ~off ~len =
+let absorb sp msg ~off ~len =
   let pos = ref off and remaining = ref len in
-  if !partial_len > 0 then begin
-    let take = Stdlib.min !remaining (rate_bytes - !partial_len) in
-    Bytes.blit msg !pos partial !partial_len take;
-    partial_len := !partial_len + take;
+  if sp.partial_len > 0 then begin
+    let take = Stdlib.min !remaining (rate_bytes - sp.partial_len) in
+    Bytes.blit msg !pos sp.partial sp.partial_len take;
+    sp.partial_len <- sp.partial_len + take;
     pos := !pos + take;
     remaining := !remaining - take;
-    if !partial_len = rate_bytes then begin
-      absorb_block partial 0;
-      partial_len := 0
+    if sp.partial_len = rate_bytes then begin
+      absorb_block sp sp.partial 0;
+      sp.partial_len <- 0
     end
   end;
   while !remaining >= rate_bytes do
-    absorb_block msg !pos;
+    absorb_block sp msg !pos;
     pos := !pos + rate_bytes;
     remaining := !remaining - rate_bytes
   done;
   if !remaining > 0 then begin
-    Bytes.blit msg !pos partial 0 !remaining;
-    partial_len := !partial_len + !remaining
+    Bytes.blit msg !pos sp.partial 0 !remaining;
+    sp.partial_len <- sp.partial_len + !remaining
   end
 
 (* pad10*1 with SHA-3 domain bits 0b01 -> 0x06, then squeeze 32 bytes
    (< rate, single squeeze) into [out+off]. *)
-let finalize_into out ~off =
-  Bytes.fill partial !partial_len (rate_bytes - !partial_len) '\000';
-  Bytes.set partial !partial_len '\x06';
-  Bytes.set partial (rate_bytes - 1)
-    (Char.chr (Char.code (Bytes.get partial (rate_bytes - 1)) lor 0x80));
-  absorb_block partial 0;
+let finalize_into sp out ~off =
+  Bytes.fill sp.partial sp.partial_len (rate_bytes - sp.partial_len) '\000';
+  Bytes.set sp.partial sp.partial_len '\x06';
+  Bytes.set sp.partial (rate_bytes - 1)
+    (Char.chr (Char.code (Bytes.get sp.partial (rate_bytes - 1)) lor 0x80));
+  absorb_block sp sp.partial 0;
   for lane = 0 to 3 do
-    Hypertee_util.Bytes_ext.set_u64_le out (off + (8 * lane)) st.(lane)
+    Hypertee_util.Bytes_ext.set_u64_le out (off + (8 * lane)) sp.st.(lane)
   done
 
 let sha3_256 msg =
-  sponge_reset ();
-  absorb msg ~off:0 ~len:(Bytes.length msg);
+  let sp = Domain.DLS.get sponge in
+  sponge_reset sp;
+  absorb sp msg ~off:0 ~len:(Bytes.length msg);
   let out = Bytes.create 32 in
-  finalize_into out ~off:0;
+  finalize_into sp out ~off:0;
   out
 
 let sha3_256_string s = sha3_256 (Bytes.of_string s)
 
-(* Digest scratch for the MAC path: the tag is an int, so nothing the
-   caller sees aliases this buffer. *)
-let mac_digest = Bytes.create 32
-
 let mac_28bit ~key data =
   (* Streaming key || data through the sponge is byte-identical to
-     hashing their concatenation, minus the concat buffer. *)
-  sponge_reset ();
-  absorb key ~off:0 ~len:(Bytes.length key);
-  absorb data ~off:0 ~len:(Bytes.length data);
-  finalize_into mac_digest ~off:0;
+     hashing their concatenation, minus the concat buffer. The digest
+     lands in the domain-local scratch: the tag is an int, so nothing
+     the caller sees aliases that buffer. *)
+  let sp = Domain.DLS.get sponge in
+  sponge_reset sp;
+  absorb sp key ~off:0 ~len:(Bytes.length key);
+  absorb sp data ~off:0 ~len:(Bytes.length data);
+  finalize_into sp sp.mac_digest ~off:0;
   (* Truncate to 28 bits, matching the engine's per-line tag width. *)
   let v =
-    (Char.code (Bytes.get mac_digest 0) lsl 24)
-    lor (Char.code (Bytes.get mac_digest 1) lsl 16)
-    lor (Char.code (Bytes.get mac_digest 2) lsl 8)
-    lor Char.code (Bytes.get mac_digest 3)
+    (Char.code (Bytes.get sp.mac_digest 0) lsl 24)
+    lor (Char.code (Bytes.get sp.mac_digest 1) lsl 16)
+    lor (Char.code (Bytes.get sp.mac_digest 2) lsl 8)
+    lor Char.code (Bytes.get sp.mac_digest 3)
   in
   v land 0xFFFFFFF

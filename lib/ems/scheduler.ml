@@ -7,6 +7,7 @@ type watchdog_report = { dead_workers : int; redispatched : int list }
 type t = {
   rng : Hypertee_util.Xrng.t;
   workers : int;
+  track : int; (* trace row: the owning shard's EMS track *)
   alive : bool array;
   mutable queue : job list; (* reversed arrival order *)
   mutable parked : job list; (* in-flight on dead/stalled workers *)
@@ -18,11 +19,12 @@ type t = {
   mutable faults : Fault.t option;
 }
 
-let create rng ~workers =
+let create ?(track = 0) rng ~workers =
   if workers < 1 then invalid_arg "Scheduler.create: need at least one worker";
   {
     rng;
     workers;
+    track;
     alive = Array.make workers true;
     queue = [];
     parked = [];
@@ -75,15 +77,15 @@ let dispatch t =
           t.crashes <- t.crashes + 1;
           t.parked <- job :: t.parked;
           if Hypertee_obs.Trace.enabled () then
-            Hypertee_obs.Trace.instant ~cat:Hypertee_obs.Trace.Sched ~name:"sched:crash"
-              ~request_id:job.id ()
+            Hypertee_obs.Trace.instant ~track:t.track ~cat:Hypertee_obs.Trace.Sched
+              ~name:"sched:crash" ~request_id:job.id ()
         | `Stall ->
           t.alive.(worker) <- false;
           t.stalls <- t.stalls + 1;
           t.parked <- job :: t.parked;
           if Hypertee_obs.Trace.enabled () then
-            Hypertee_obs.Trace.instant ~cat:Hypertee_obs.Trace.Sched ~name:"sched:stall"
-              ~request_id:job.id ()
+            Hypertee_obs.Trace.instant ~track:t.track ~cat:Hypertee_obs.Trace.Sched
+              ~name:"sched:stall" ~request_id:job.id ()
         | `Run ->
           job.run ();
           incr ran;
@@ -100,7 +102,8 @@ let watchdog_scan t =
     Array.fill t.alive 0 t.workers true;
     t.restarts <- t.restarts + dead;
     if dead > 0 && Hypertee_obs.Trace.enabled () then
-      Hypertee_obs.Trace.instant ~cat:Hypertee_obs.Trace.Sched ~name:"sched:watchdog-restart" ();
+      Hypertee_obs.Trace.instant ~track:t.track ~cat:Hypertee_obs.Trace.Sched
+        ~name:"sched:watchdog-restart" ();
     let recovered = List.rev t.parked in
     t.parked <- [];
     (* Re-dispatch under the original ids: prepend so the recovered

@@ -25,8 +25,11 @@ type t
 type watchdog_report = { dead_workers : int; redispatched : int list }
 
 (** [create rng ~workers] builds a scheduler over [workers] EMS
-    worker cores; [rng] drives the dispatch-order shuffle. *)
-val create : Hypertee_util.Xrng.t -> workers:int -> t
+    worker cores; [rng] drives the dispatch-order shuffle. [track]
+    (default 0) is the trace row its instants land on — the platform
+    passes the owning shard's {!Hypertee_obs.Trace.track_ems}, so
+    multi-shard runs keep one scheduler timeline per shard. *)
+val create : ?track:int -> Hypertee_util.Xrng.t -> workers:int -> t
 
 (** Configured worker-core count. *)
 val workers : t -> int

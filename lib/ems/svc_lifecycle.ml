@@ -34,7 +34,10 @@ let handle_create t (config : Types.enclave_config) =
       match
         Page_table.create t.mem ~node_owner:(Phys_mem.Page_table id) ~alloc:pt_alloc
       with
-      | exception Failure _ -> Types.Err Types.Out_of_memory
+      | exception Failure _ ->
+        (* Release the reserved KeyID: [allocate_key_id] claimed it. *)
+        Mem_encryption.revoke t.mee ~key_id;
+        Types.Err Types.Out_of_memory
       | page_table -> (
         let e = Enclave.create ~id ~config ~page_table ~key_id in
         (* The memory key is bound to the (not yet final) identity;

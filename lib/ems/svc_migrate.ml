@@ -251,7 +251,10 @@ let restore t ?force_id blob =
         match
           Page_table.create t.mem ~node_owner:(Phys_mem.Page_table id) ~alloc:pt_alloc
         with
-        | exception Failure _ -> Error Types.Out_of_memory
+        | exception Failure _ ->
+          (* Release the reserved KeyID: [allocate_key_id] claimed it. *)
+          Mem_encryption.revoke t.mee ~key_id;
+          Error Types.Out_of_memory
         | page_table -> (
           let e = Enclave.create ~id ~config:snap.config ~page_table ~key_id in
           (* Re-key: a fresh KeyID with a key bound to the restored

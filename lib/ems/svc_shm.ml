@@ -18,12 +18,20 @@ let handle_shmget t ~sender ~owner ~pages ~max_perm =
     match Mem_encryption.find_free_slot t.mee with
     | None -> Types.Err Types.Out_of_key_ids
     | Some key_id -> (
-      let* frames = take_pool_frames t ~n:pages in
+      (* The slot is reserved from here: every error exit before
+         [program] must release it. *)
+      let fail err =
+        Mem_encryption.revoke t.mee ~key_id;
+        Types.Err err
+      in
+      match take_pool_frames t ~n:pages with
+      | Error err -> fail err
+      | Ok frames ->
       let shm = t.next_shm_id in
       let claim_ok =
         List.for_all (fun frame -> Ownership.claim_shared t.ownership ~frame ~shm) frames
       in
-      if not claim_ok then Types.Err (Types.Invalid_argument_ "frame already owned")
+      if not claim_ok then fail (Types.Invalid_argument_ "frame already owned")
       else begin
         List.iter (fun frame -> Phys_mem.set_owner t.mem frame (Phys_mem.Shared shm)) frames;
         (* Dedicated key derived from initial sender + ShmID (Sec. V-A). *)

@@ -194,10 +194,11 @@ let live_ids platform =
     (Platform.Internals.runtimes platform)
   |> List.sort_uniq compare
 
-let rolling_restart ?(seed = 0xC4A05CADEL) ?(ops = restart_default_ops) ?(shards = 3) () =
+let rolling_restart ?(seed = 0xC4A05CADEL) ?(ops = restart_default_ops) ?(shards = 3)
+    ?(domains = 1) () =
   if shards < 2 then invalid_arg "Chaos.rolling_restart: need at least 2 shards";
   let config =
-    { Hypertee_arch.Config.default with Hypertee_arch.Config.ems_shards = shards }
+    { Hypertee_arch.Config.default with Hypertee_arch.Config.ems_shards = shards; domains }
   in
   (* No fault plan: the only "fault" is the shard crash itself, so
      every timeout and recovery event in the report is attributable
@@ -343,6 +344,7 @@ let rolling_restart ?(seed = 0xC4A05CADEL) ?(ops = restart_default_ops) ?(shards
     |> List.map (fun site ->
            (site, List.length (List.filter (fun ev -> ev.Hypertee_ems.Audit.site = site) events)))
   in
+  Platform.shutdown platform;
   {
     shards;
     total_ops = !issued;

@@ -1,0 +1,128 @@
+(* Wall-clock comparison of deterministic single-domain execution
+   against the domain-parallel mode.
+
+   Like Perf, this harness measures real elapsed time, not modelled
+   time: the parallel mode changes no modelled number by construction
+   (the equivalence tests assert bit-identical results), so wall
+   clock is the only axis on which it can win. Three measurements:
+
+   - the scale-sweep grid point makespan with the platform's doorbell
+     drains fanned over worker domains vs run inline;
+   - MEE bulk page encryption ([write_pages]) with and without a
+     worker pool;
+   - MEE bulk page decryption ([read_pages]) likewise.
+
+   The speedup ratios are the portable signal; on a single-hardware-
+   thread host they sit near (or slightly below, from barrier costs)
+   1.0x, which the JSON records honestly alongside the host's
+   [recommended-domains] so a reader can tell the two cases apart. *)
+
+module Pool = Hypertee_util.Domain_pool
+module Mee = Hypertee_arch.Mem_encryption
+module Phys_mem = Hypertee_arch.Phys_mem
+
+let page_size = Hypertee_util.Units.page_size
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* Best-of-[n] wall clock: robust against one-off scheduler noise,
+   which dwarfs everything else when worker domains oversubscribe a
+   small host. *)
+let best_of n f =
+  ignore (wall f) (* warmup: faults in lazy pages, spawns nothing *);
+  let best = ref infinity in
+  for _ = 1 to n do
+    best := Float.min !best (wall f)
+  done;
+  !best
+
+let sample ~target ~metric ~value ~unit_ ~runs =
+  { Perf.target; metric; value; unit_; runs }
+
+let speedup ~target ~baseline ~parallel ~runs =
+  sample ~target ~metric:"speedup-vs-sequential" ~value:(baseline /. parallel) ~unit_:"x"
+    ~runs
+
+let run ?(quick = false) ?domains () =
+  let domains =
+    match domains with Some d -> Stdlib.max 1 d | None -> Pool.recommended_domains ()
+  in
+  let reps = if quick then 3 else 5 in
+  let samples = ref [] in
+  let push s = samples := s :: !samples in
+  push
+    (sample ~target:"host" ~metric:"recommended-domains"
+       ~value:(float_of_int (Pool.recommended_domains ()))
+       ~unit_:"domains" ~runs:1);
+  (* Scale grid point: [shards] independent EMS instances behind one
+     gate, each doorbell round's per-shard drains fanned over the
+     pool. The MEE pipelines of enclave setup ride the same pool. *)
+  let ops = if quick then 96 else 384 in
+  let seed = 0x9A4A11E1L in
+  let point ~domains () =
+    let p =
+      Scale.run_point ~seed ~domains ~cs_cores:8 ~shards:4 ~batch:8 ~ops ()
+    in
+    if p.Scale.invariant_violations <> 0 then
+      failwith "Parallel_bench: invariant violations in scale point";
+    if p.Scale.ok <> ops then failwith "Parallel_bench: scale point dropped requests"
+  in
+  let seq_s = best_of reps (point ~domains:1) in
+  let par_s = best_of reps (point ~domains) in
+  push
+    (sample ~target:"scale-point/domains=1" ~metric:"wall-clock" ~value:seq_s ~unit_:"s"
+       ~runs:reps);
+  push
+    (sample
+       ~target:(Printf.sprintf "scale-point/domains=%d" domains)
+       ~metric:"wall-clock" ~value:par_s ~unit_:"s" ~runs:reps);
+  push (speedup ~target:"scale-point" ~baseline:seq_s ~parallel:par_s ~runs:reps);
+  (* MEE bulk pipelines: encrypt+MAC (and verify+decrypt) a batch of
+     pages per call, sequentially vs fanned over a pool. *)
+  let pages = if quick then 48 else 192 in
+  let batch =
+    Array.init pages (fun i ->
+        (i, Bytes.init page_size (fun j -> Char.chr ((i + (13 * j)) land 0xff))))
+  in
+  let frames = Array.map fst batch in
+  let bytes = pages * page_size in
+  let make_engine ~pool =
+    let mee = Mee.create ~slots:4 in
+    Mee.program mee ~key_id:1 (Bytes.init 16 (fun i -> Char.chr (0x60 + i)));
+    Option.iter (Mee.set_pool mee) pool;
+    (mee, Phys_mem.create ~frames:pages)
+  in
+  let pool = if domains > 1 then Some (Pool.create ~domains) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
+      let mee_seq, mem_seq = make_engine ~pool:None in
+      let mee_par, mem_par = make_engine ~pool in
+      let bench_rw name mee mem =
+        let write_s = best_of reps (fun () -> Mee.write_pages mee mem ~key_id:1 batch) in
+        let read_s =
+          best_of reps (fun () -> ignore (Mee.read_pages mee mem ~key_id:1 frames))
+        in
+        let mb s = float_of_int bytes /. s /. 1e6 in
+        push
+          (sample
+             ~target:(Printf.sprintf "mee-write-pages/%s" name)
+             ~metric:"throughput" ~value:(mb write_s) ~unit_:"MB/s" ~runs:reps);
+        push
+          (sample
+             ~target:(Printf.sprintf "mee-read-pages/%s" name)
+             ~metric:"throughput" ~value:(mb read_s) ~unit_:"MB/s" ~runs:reps);
+        (write_s, read_s)
+      in
+      let seq_w, seq_r = bench_rw "sequential" mee_seq mem_seq in
+      let par_w, par_r =
+        bench_rw (Printf.sprintf "pool=%d" domains) mee_par mem_par
+      in
+      push (speedup ~target:"mee-write-pages" ~baseline:seq_w ~parallel:par_w ~runs:reps);
+      push (speedup ~target:"mee-read-pages" ~baseline:seq_r ~parallel:par_r ~runs:reps));
+  List.rev !samples
+
+let print ?out samples = Perf.print ?out samples

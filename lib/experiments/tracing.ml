@@ -80,7 +80,7 @@ let run_target ~seed ~quick = function
   | Chaos ->
     ignore (Chaos.run_point ~seed ~fault_rate:0.05 ~ops:(chaos_ops ~quick))
   | Scale ->
-    ignore (Scale.run_point ~seed ~cs_cores:4 ~shards:2 ~batch:4 ~ops:(scale_ops ~quick))
+    ignore (Scale.run_point ~seed ~cs_cores:4 ~shards:2 ~batch:4 ~ops:(scale_ops ~quick) ())
 
 let run ?(out = stdout) ?(quick = false) ?(seed = 0x7ACEL) ?(path = "trace.json") target =
   let tracer = Trace.create () in

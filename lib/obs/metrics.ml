@@ -1,16 +1,22 @@
 module Stats = Hypertee_util.Stats
 
-type counter = { mutable total : int }
-type gauge = { mutable value : float }
-type histogram = { stats : Stats.t }
+(* Instruments are domain-safe: counters and gauges live on [Atomic]
+   cells (lock-free, safe to bump from MEE worker domains), while
+   histograms — whose [Stats] reservoir is a compound structure —
+   take a per-histogram mutex on [observe]. The registry table itself
+   is mutex-guarded so concurrent get-or-create cannot register two
+   instruments under one name. *)
+type counter = int Atomic.t
+type gauge = float Atomic.t
+type histogram = { stats : Stats.t; h_lock : Mutex.t }
 
 type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
 
 type entry = { instrument : instrument; help : string }
 
-type t = { table : (string, entry) Hashtbl.t }
+type t = { table : (string, entry) Hashtbl.t; lock : Mutex.t }
 
-let create () = { table = Hashtbl.create 64 }
+let create () = { table = Hashtbl.create 64; lock = Mutex.create () }
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -19,6 +25,7 @@ let kind_name = function
 
 (* Get-or-create by name; a kind collision is a programming error. *)
 let find_or_add t name ~help ~make ~cast =
+  Mutex.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.table name with
   | Some entry -> (
     match cast entry.instrument with
@@ -35,38 +42,41 @@ let find_or_add t name ~help ~make ~cast =
 let counter t ?(help = "") name =
   find_or_add t name ~help
     ~make:(fun () ->
-      let c = { total = 0 } in
+      let c = Atomic.make 0 in
       (c, Counter c))
     ~cast:(function Counter c -> Some c | _ -> None)
 
-let incr ?(by = 1) c = c.total <- c.total + by
-let set_counter c v = c.total <- v
-let counter_value c = c.total
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let set_counter c v = Atomic.set c v
+let counter_value c = Atomic.get c
 
 let gauge t ?(help = "") name =
   find_or_add t name ~help
     ~make:(fun () ->
-      let g = { value = 0.0 } in
+      let g = Atomic.make 0.0 in
       (g, Gauge g))
     ~cast:(function Gauge g -> Some g | _ -> None)
 
-let set_gauge g v = g.value <- v
-let gauge_value g = g.value
+let set_gauge g v = Atomic.set g v
+let gauge_value g = Atomic.get g
 
 let histogram t ?(help = "") name =
   find_or_add t name ~help
     ~make:(fun () ->
-      let h = { stats = Stats.create () } in
+      let h = { stats = Stats.create (); h_lock = Mutex.create () } in
       (h, Histogram h))
     ~cast:(function Histogram h -> Some h | _ -> None)
 
-let observe h v = Stats.add h.stats v
-let histogram_count h = Stats.count h.stats
-let percentile h p = Stats.percentile h.stats p
-let histogram_mean h = Stats.mean h.stats
+let observe h v = Mutex.protect h.h_lock (fun () -> Stats.add h.stats v)
+let histogram_count h = Mutex.protect h.h_lock (fun () -> Stats.count h.stats)
+let percentile h p = Mutex.protect h.h_lock (fun () -> Stats.percentile h.stats p)
+let histogram_mean h = Mutex.protect h.h_lock (fun () -> Stats.mean h.stats)
 
 let names t =
+  Mutex.protect t.lock @@ fun () ->
   Hashtbl.fold (fun name _ acc -> name :: acc) t.table [] |> List.sort compare
+
+let find_entry t name = Mutex.protect t.lock (fun () -> Hashtbl.find t.table name)
 
 let headers = [ "metric"; "kind"; "count"; "value"; "p50"; "p99"; "help" ]
 
@@ -77,13 +87,14 @@ let fmt_value v =
 let rows t =
   List.map
     (fun name ->
-      let entry = Hashtbl.find t.table name in
+      let entry = find_entry t name in
       let kind = kind_name entry.instrument in
       let count, value, p50, p99 =
         match entry.instrument with
-        | Counter c -> ("-", string_of_int c.total, "-", "-")
-        | Gauge g -> ("-", fmt_value g.value, "-", "-")
+        | Counter c -> ("-", string_of_int (Atomic.get c), "-", "-")
+        | Gauge g -> ("-", fmt_value (Atomic.get g), "-", "-")
         | Histogram h ->
+          Mutex.protect h.h_lock @@ fun () ->
           let n = Stats.count h.stats in
           if n = 0 then (string_of_int n, "-", "-", "-")
           else
@@ -119,12 +130,13 @@ let to_json t =
   let n = List.length all in
   List.iteri
     (fun i name ->
-      let entry = Hashtbl.find t.table name in
+      let entry = find_entry t name in
       Buffer.add_string b (Printf.sprintf "  \"%s\": " (json_escape name));
       (match entry.instrument with
-      | Counter c -> Buffer.add_string b (string_of_int c.total)
-      | Gauge g -> Buffer.add_string b (Printf.sprintf "%.6g" g.value)
+      | Counter c -> Buffer.add_string b (string_of_int (Atomic.get c))
+      | Gauge g -> Buffer.add_string b (Printf.sprintf "%.6g" (Atomic.get g))
       | Histogram h ->
+        Mutex.protect h.h_lock @@ fun () ->
         let count = Stats.count h.stats in
         if count = 0 then Buffer.add_string b "{\"count\": 0}"
         else

@@ -18,19 +18,27 @@ let after t ~delay f =
 let run ?until t =
   let continue = ref true in
   while !continue do
-    match Event_queue.pop t.queue with
+    (* Peek before popping: an event beyond [until] stays queued, so
+       windowed execution ([Engine_group]) can resume exactly where
+       this window stopped. *)
+    match Event_queue.peek_time t.queue with
     | None -> continue := false
-    | Some (time, f) -> (
+    | Some time -> (
       match until with
       | Some limit when time > limit ->
         t.clock <- limit;
         continue := false
       | Some _ | None ->
+        let time, f =
+          match Event_queue.pop t.queue with Some e -> e | None -> assert false
+        in
         t.clock <- time;
         t.processed <- t.processed + 1;
         f t)
   done;
   t.clock
+
+let next_time t = Event_queue.peek_time t.queue
 
 let processed t = t.processed
 

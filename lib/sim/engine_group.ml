@@ -1,0 +1,173 @@
+(* Conservative windowed parallel discrete-event execution.
+
+   One [Engine.t] per member (an EMS shard, a queueing-model server
+   bank, ...) advances through virtual time in bounded windows of
+   [window_ns]. Within a window the members are independent — a
+   member's handlers touch only that member's state — so the windows
+   can run on worker domains. Interaction crosses the fabric as
+   [send] messages into per-member inboxes; the barrier at the end of
+   each window drains the inboxes in a canonical order and schedules
+   the deliveries no earlier than the window boundary.
+
+   The boundary flooring is what makes the protocol deterministic:
+   delivery times and delivery order depend only on (window index,
+   sender index, sender sequence number), never on how the OS
+   interleaved the worker domains. Deterministic mode runs the exact
+   same protocol with the member windows executed sequentially in
+   member order — producing identical clocks, identical delivery
+   times and identical per-member event orders, which is how the
+   equivalence tests compare the two modes.
+
+   The flooring is also the physical story: a cross-member message
+   models a fabric hop, and [window_ns] is chosen at or below the
+   fabric latency (the model's lookahead), so "delivered at the next
+   window boundary" adds no latency a real interconnect would not. *)
+
+type message = {
+  src : int;  (* sender member, -1 for external *)
+  seq : int;  (* sender-local sequence number *)
+  time : float;  (* requested delivery time *)
+  deliver : Engine.t -> unit;
+}
+
+type member = {
+  index : int;
+  engine : Engine.t;
+  inbox_lock : Mutex.t;
+  mutable inbox : message list;  (* reversed arrival order *)
+  mutable send_seq : int;  (* owned by the member's domain *)
+}
+
+type t = {
+  mode : Exec.mode;
+  window_ns : float;
+  members : member array;
+  pool : Hypertee_util.Domain_pool.t option;
+  owns_pool : bool;
+  mutable external_seq : int;
+  mutable windows : int;
+  mutable delivered : int;
+}
+
+let default_window_ns = 200.0
+
+let create ?pool ?(window_ns = default_window_ns) ~mode ~members () =
+  if members < 1 then invalid_arg "Engine_group.create: need at least one member";
+  if window_ns <= 0.0 then invalid_arg "Engine_group.create: window_ns must be > 0";
+  let pool, owns_pool =
+    match (pool, Exec.domains mode) with
+    | Some p, _ -> (Some p, false)
+    | None, n when n > 1 -> (Some (Hypertee_util.Domain_pool.create ~domains:n), true)
+    | None, _ -> (None, false)
+  in
+  {
+    mode;
+    window_ns;
+    members =
+      Array.init members (fun index ->
+          {
+            index;
+            engine = Engine.create ();
+            inbox_lock = Mutex.create ();
+            inbox = [];
+            send_seq = 0;
+          });
+    pool;
+    owns_pool;
+    external_seq = 0;
+    windows = 0;
+    delivered = 0;
+  }
+
+let mode t = t.mode
+let window_ns t = t.window_ns
+let member_count t = Array.length t.members
+let engine t i = t.members.(i).engine
+let windows t = t.windows
+let delivered t = t.delivered
+let processed t = Array.fold_left (fun acc m -> acc + Engine.processed m.engine) 0 t.members
+
+(* Schedule [f] on member [i]'s own timeline — no fabric crossing,
+   no flooring. Call only from that member's handlers (or before
+   [run] starts). *)
+let at t ~member ~time f = Engine.at t.members.(member).engine ~time f
+
+let send t ?(src = -1) ~dst ~time deliver =
+  let m = t.members.(dst) in
+  let seq =
+    if src >= 0 then begin
+      let s = t.members.(src) in
+      let q = s.send_seq in
+      s.send_seq <- q + 1;
+      q
+    end
+    else begin
+      let q = t.external_seq in
+      t.external_seq <- q + 1;
+      q
+    end
+  in
+  let msg = { src; seq; time; deliver } in
+  Mutex.protect m.inbox_lock (fun () -> m.inbox <- msg :: m.inbox)
+
+(* Barrier delivery: every member's inbox, in member order, each
+   sorted by (sender, sender seq) — a canonical order no domain
+   interleaving can perturb. Delivery never lands before [floor]
+   (the window boundary) or before the target's clock. *)
+let drain_inboxes t ~floor =
+  Array.iter
+    (fun m ->
+      let msgs = Mutex.protect m.inbox_lock (fun () ->
+          let x = m.inbox in
+          m.inbox <- [];
+          x)
+      in
+      List.stable_sort (fun a b -> compare (a.src, a.seq) (b.src, b.seq)) (List.rev msgs)
+      |> List.iter (fun msg ->
+             let time = Float.max msg.time (Float.max floor (Engine.now m.engine)) in
+             Engine.at m.engine ~time (fun e -> msg.deliver e);
+             t.delivered <- t.delivered + 1))
+    t.members
+
+let next_event_time t =
+  Array.fold_left
+    (fun acc m ->
+      match Engine.next_time m.engine with
+      | None -> acc
+      | Some tm -> ( match acc with None -> Some tm | Some a -> Some (Float.min a tm)))
+    None t.members
+
+let inboxes_pending t =
+  Array.exists
+    (fun m -> Mutex.protect m.inbox_lock (fun () -> m.inbox <> []))
+    t.members
+
+let run ?until t =
+  let limit = Option.value until ~default:Float.infinity in
+  (* Messages queued before the run deliver at their requested time. *)
+  drain_inboxes t ~floor:0.0;
+  let rec loop () =
+    match next_event_time t with
+    | None -> ()
+    | Some start when start > limit -> ()
+    | Some start ->
+      let window_end = Float.min (start +. t.window_ns) limit in
+      t.windows <- t.windows + 1;
+      let jobs =
+        Array.map (fun m () -> ignore (Engine.run ~until:window_end m.engine)) t.members
+      in
+      (match t.pool with
+      | Some pool when Hypertee_util.Domain_pool.size pool > 1 ->
+        Hypertee_util.Domain_pool.run_all pool jobs
+      | _ -> Array.iter (fun job -> job ()) jobs);
+      drain_inboxes t ~floor:window_end;
+      if window_end < limit then loop ()
+  in
+  loop ();
+  let clock =
+    Array.fold_left (fun acc m -> Float.max acc (Engine.now m.engine)) 0.0 t.members
+  in
+  clock
+
+let shutdown t =
+  if t.owns_pool then Option.iter Hypertee_util.Domain_pool.shutdown t.pool

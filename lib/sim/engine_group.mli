@@ -1,0 +1,89 @@
+(** Conservative windowed parallel discrete-event execution.
+
+    A group of per-member {!Engine}s (one per EMS shard, server bank,
+    ...) advancing through virtual time in bounded windows. Within a
+    window members are independent, so {!Exec.Parallel} mode runs
+    their windows on worker domains; members interact only through
+    {!send} messages that cross at the end-of-window barrier.
+
+    {2 The time-window barrier protocol}
+
+    Repeat until no events remain (or [until] is reached):
+
+    + let [start] be the earliest pending event over all members and
+      [window_end = start + window_ns];
+    + every member runs its own event queue up to [window_end] —
+      concurrently in parallel mode, in member order otherwise;
+    + {e barrier}; every member's inbox is drained in member order,
+      each inbox sorted by (sender, sender-sequence), and each
+      message is scheduled on its target at no earlier than
+      [window_end].
+
+    Flooring deliveries to the window boundary makes the schedule a
+    function of (window index, sender, sender sequence) alone —
+    domain interleaving cannot perturb it — so parallel and
+    deterministic runs produce identical clocks and event orders,
+    which the mode-equivalence tests assert. Physically the floor is
+    the fabric hop: [window_ns] at or below the modelled interconnect
+    latency (the lookahead) adds no delay a real fabric would not. *)
+
+type t
+
+val default_window_ns : float
+(** 200 ns — below the default fabric hop, so flooring is free. *)
+
+val create :
+  ?pool:Hypertee_util.Domain_pool.t ->
+  ?window_ns:float ->
+  mode:Exec.mode ->
+  members:int ->
+  unit ->
+  t
+(** [create ~mode ~members ()] — in [Parallel] mode without [?pool]
+    the group creates (and owns) its own worker pool; a supplied
+    [?pool] is shared and left alive by {!shutdown}. *)
+
+val mode : t -> Exec.mode
+val window_ns : t -> float
+val member_count : t -> int
+
+val engine : t -> int -> Engine.t
+(** Member [i]'s engine — for seeding initial events and reading its
+    clock. Handlers running on member [i] must touch only this
+    engine (and [i]-owned state); that confinement is what makes the
+    window parallelizable. *)
+
+val at : t -> member:int -> time:float -> (Engine.t -> unit) -> unit
+(** Schedule on a member's own timeline (no fabric crossing, no
+    flooring). Call from that member's handlers or before {!run}. *)
+
+val send : t -> ?src:int -> dst:int -> time:float -> (Engine.t -> unit) -> unit
+(** Cross-member fabric message: delivered to [dst] at the next
+    window barrier, at [max time window_end]. [src] is the sending
+    member (default [-1]: external, pre-run seeding); it selects the
+    canonical drain order. Safe to call from a member's handlers
+    while windows run in parallel. *)
+
+val run : ?until:float -> t -> float
+(** Run the window protocol until no events remain or [until] is
+    passed; returns the latest member clock. Events and messages
+    beyond [until] stay queued, as with {!Engine.run}. *)
+
+val next_event_time : t -> float option
+(** Earliest pending event over all members. *)
+
+val inboxes_pending : t -> bool
+(** Any undelivered cross-member message? ([false] at quiescence.) *)
+
+val windows : t -> int
+(** Barrier rounds executed. *)
+
+val delivered : t -> int
+(** Cross-member messages delivered. *)
+
+val processed : t -> int
+(** Total events processed over all members. *)
+
+val shutdown : t -> unit
+(** Join the worker pool if the group created one (no-op otherwise
+    and in deterministic mode). *)

@@ -1,0 +1,25 @@
+(** Process-wide execution mode: deterministic single-domain (the
+    reference semantics) or parallel over OCaml 5 domains.
+
+    The HYPERTEE_EXEC environment variable ([deterministic],
+    [parallel], [parallel:<n>]) forces a mode for the whole process,
+    letting the test matrix run both modes without recompiling. *)
+
+type mode = Deterministic | Parallel of { domains : int }
+
+val domains : mode -> int
+(** Parallelism implied by the mode: 1 for [Deterministic]. *)
+
+val to_string : mode -> string
+val of_string : string -> mode option
+
+val env_var : string
+(** ["HYPERTEE_EXEC"]. *)
+
+val default_mode : unit -> mode
+(** The environment override, or [Deterministic]. Resolved once per
+    process. *)
+
+val resolve : requested:mode -> mode
+(** The mode a platform should actually use: the environment override
+    when set, otherwise [requested]. *)

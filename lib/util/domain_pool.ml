@@ -1,0 +1,181 @@
+(* A bounded pool of worker domains for fork/join fan-out.
+
+   The pool exists to parallelize two shapes of work: the per-shard
+   mailbox drains inside [Emcall.invoke_batch], and bulk per-page
+   crypto (MEE store/load pipelines, Merkle leaf hashing). Both are
+   barrier-style: a caller submits a batch of independent jobs and
+   blocks until every job has finished, so the pool exposes exactly
+   that — [run_all] — and nothing stateful leaks across batches.
+
+   Design constraints, in order:
+
+   - With [domains <= 1] (the deterministic default) every code path
+     degenerates to plain sequential calls on the calling domain, in
+     submission order, with no locking and no allocation beyond the
+     closure array the caller already built. Deterministic mode must
+     stay bit-identical to the pre-pool code.
+
+   - Nested submissions must not deadlock. A shard drain running on a
+     worker may itself reach a parallel MEE pipeline; rather than
+     batch-tagged completion counting we run nested batches inline on
+     the worker that encountered them (detected via a domain-local
+     flag). Shard-level parallelism already owns the cores, so inner
+     parallelism would only add contention anyway.
+
+   - Worker failures must not be lost: the first exception raised by
+     any job is re-raised on the submitting domain after the barrier,
+     so callers see the same exception surface as sequential code. *)
+
+type job = unit -> unit
+
+type t = {
+  size : int;  (* total parallelism including the submitting domain *)
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable queue : job list;  (* jobs not yet picked up, submission order *)
+  mutable outstanding : int;  (* queued + running jobs of the live batch *)
+  mutable failure : exn option;  (* first job exception, re-raised at the barrier *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  is_shared : bool;  (* process-wide pool: [shutdown] is a no-op *)
+}
+
+(* Set while a domain is executing pool jobs; nested [run_all] calls
+   observe it and fall back to inline execution. *)
+let in_worker : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let recommended_domains () = Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while t.queue = [] && not t.stop do
+    Condition.wait t.work_ready t.lock
+  done;
+  match t.queue with
+  | [] -> Mutex.unlock t.lock (* stop requested and queue drained *)
+  | job :: rest ->
+    t.queue <- rest;
+    Mutex.unlock t.lock;
+    let flag = Domain.DLS.get in_worker in
+    flag := true;
+    (try job ()
+     with e ->
+       Mutex.lock t.lock;
+       if t.failure = None then t.failure <- Some e;
+       Mutex.unlock t.lock);
+    flag := false;
+    Mutex.lock t.lock;
+    t.outstanding <- t.outstanding - 1;
+    if t.outstanding = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.lock;
+    worker_loop t
+
+let make ~domains ~is_shared =
+  let size = Stdlib.max 1 domains in
+  let t =
+    {
+      size;
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      queue = [];
+      outstanding = 0;
+      failure = None;
+      stop = false;
+      workers = [];
+      is_shared;
+    }
+  in
+  (* The submitting domain participates in draining, so [domains]
+     total parallelism needs [domains - 1] spawned workers. *)
+  if size > 1 then
+    t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let create ~domains = make ~domains ~is_shared:false
+
+(* One process-wide pool per size. Domains are a hard-capped resource
+   (OCaml refuses to spawn past ~128 live domains), so anything that
+   creates pools at platform granularity — hundreds of platforms per
+   test run under the HYPERTEE_EXEC matrix — must share workers
+   rather than spawn-and-leak its own. *)
+let shared_lock = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared ~domains =
+  let size = Stdlib.max 1 domains in
+  Mutex.protect shared_lock (fun () ->
+      match Hashtbl.find_opt shared_pools size with
+      | Some t -> t
+      | None ->
+        let t = make ~domains:size ~is_shared:true in
+        Hashtbl.replace shared_pools size t;
+        t)
+
+let size t = t.size
+
+let run_inline jobs = Array.iter (fun job -> job ()) jobs
+
+let run_all t jobs =
+  let n = Array.length jobs in
+  if n = 0 then ()
+  else if t.size <= 1 || n = 1 || !(Domain.DLS.get in_worker) then run_inline jobs
+  else begin
+    Mutex.lock t.lock;
+    t.failure <- None;
+    t.outstanding <- t.outstanding + n;
+    t.queue <- t.queue @ Array.to_list jobs;
+    Condition.broadcast t.work_ready;
+    (* Help drain: the submitter works the queue alongside the
+       workers instead of blocking immediately. *)
+    let flag = Domain.DLS.get in_worker in
+    let rec help () =
+      match t.queue with
+      | job :: rest ->
+        t.queue <- rest;
+        Mutex.unlock t.lock;
+        flag := true;
+        (try job ()
+         with e ->
+           Mutex.lock t.lock;
+           if t.failure = None then t.failure <- Some e;
+           Mutex.unlock t.lock);
+        flag := false;
+        Mutex.lock t.lock;
+        t.outstanding <- t.outstanding - 1;
+        if t.outstanding = 0 then Condition.broadcast t.work_done;
+        help ()
+      | [] ->
+        while t.outstanding > 0 do
+          Condition.wait t.work_done t.lock
+        done
+    in
+    help ();
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.lock;
+    match failure with Some e -> raise e | None -> ()
+  end
+
+let map t f inputs =
+  let n = Array.length inputs in
+  if n = 0 then [||]
+  else begin
+    (* Each slot is written by exactly one job, so plain array stores
+       are race-free under the OCaml memory model; the [run_all]
+       barrier publishes them to the submitter. *)
+    let results = Array.make n None in
+    run_all t (Array.init n (fun i () -> results.(i) <- Some (f inputs.(i))));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let shutdown t =
+  if not t.is_shared then begin
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end

@@ -37,7 +37,9 @@ let test_keyid_exhaustion_and_recovery () =
     | Some key_id when key_id < Mem_encryption.slots mee - 3 ->
       Mem_encryption.program mee ~key_id (Bytes.make 16 'x');
       burn ()
-    | _ -> ()
+    (* [find_free_slot] reserves: release the slot we only peeked. *)
+    | Some key_id -> Mem_encryption.revoke mee ~key_id
+    | None -> ()
   in
   burn ();
   (* A few launches still fit; keep them Running so their keys are
@@ -221,7 +223,9 @@ let test_keyid_parking_under_pressure () =
     | Some key_id when key_id < Mem_encryption.slots mee - 1 ->
       Mem_encryption.program mee ~key_id (Bytes.make 16 'x');
       burn ()
-    | _ -> ()
+    (* [find_free_slot] reserves: release the slot we only peeked. *)
+    | Some key_id -> Mem_encryption.revoke mee ~key_id
+    | None -> ()
   in
   burn ();
   (* Victim takes the last slot, writes a secret, exits (idle). *)

@@ -14,9 +14,9 @@ let check = Alcotest.check
 let seed = 0x5CA1EL
 
 let test_point_deterministic () =
-  let run () = Scale.run_point ~seed ~cs_cores:4 ~shards:2 ~batch:4 ~ops:32 in
+  let run () = Scale.run_point ~seed ~cs_cores:4 ~shards:2 ~batch:4 ~ops:32 () in
   check Alcotest.bool "identical seed, identical point" true (run () = run ());
-  let other = Scale.run_point ~seed:1L ~cs_cores:4 ~shards:2 ~batch:4 ~ops:32 in
+  let other = Scale.run_point ~seed:1L ~cs_cores:4 ~shards:2 ~batch:4 ~ops:32 () in
   check Alcotest.bool "different seed, different timings" true
     ((run ()).Scale.mean_latency_ns <> other.Scale.mean_latency_ns)
 
