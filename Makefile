@@ -31,17 +31,25 @@ chaos-restart: build
 
 # Wall-clock MB/s microbenchmarks of the crypto data plane; writes
 # BENCH_perf.json so the throughput trajectory is tracked across PRs.
-# Not part of `check` — the numbers are machine-dependent.
+# Raw MB/s is machine-dependent, so `check` does not gate on it — but
+# the speedup-vs-reference ratios are portable, and the run fails if
+# any fresh ratio falls more than TOLERANCE percent below the
+# committed BENCH_perf.json (the baseline is read before the file is
+# rewritten). Override with e.g. `make bench-perf TOLERANCE=50`.
+TOLERANCE ?= 30
+
 bench-perf: build
-	dune exec bin/hypertee_cli.exe -- perf --quick --json BENCH_perf.json
+	dune exec bin/hypertee_cli.exe -- perf --quick --json BENCH_perf.json \
+		--baseline BENCH_perf.json --tolerance $(TOLERANCE)
 
 # bench-perf plus the domain-parallel comparison: scale-point
 # makespan and MEE bulk-pipeline throughput, single-domain vs fanned
-# over worker domains, with speedup ratios and the host's recommended
-# domain count recorded alongside (the ratios only mean something
-# relative to the parallelism the machine actually offers).
+# over worker domains, with speedup ratios recorded alongside the
+# host block (the ratios only mean something relative to the
+# parallelism the machine actually offers).
 bench-parallel: build
-	dune exec bin/hypertee_cli.exe -- perf --quick --parallel --domains 4 --json BENCH_perf.json
+	dune exec bin/hypertee_cli.exe -- perf --quick --parallel --domains 4 --json BENCH_perf.json \
+		--baseline BENCH_perf.json --tolerance $(TOLERANCE)
 
 # Differential oracle + invariant sweep: replays a clean and a
 # fault-injected management workload under the EMCall oracle, then

@@ -453,9 +453,41 @@ let perf_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Worker domains for --parallel (default: what the host recommends).")
   in
-  let run quick json parallel domains =
+  let baseline_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Compare the fresh speedup-vs-reference ratios against the samples in $(docv) \
+             (a previously written perf JSON) and exit non-zero on a regression beyond the \
+             tolerance. Raw MB/s is not gated: it is machine-dependent, the ratios are \
+             not.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Allowed drop (percent) of a speedup ratio below the baseline before \
+             --baseline fails, absorbing benchmark noise.")
+  in
+  let run quick json parallel domains baseline tolerance =
     Printf.printf "wall-clock data-plane benchmark (%s windows)\n"
       (if quick then "quick" else "full");
+    (* Load the baseline up front: --json and --baseline may name the
+       same file (refreshing the committed numbers while gating
+       against the old ones). *)
+    let baseline_samples =
+      match baseline with
+      | None -> None
+      | Some path ->
+        if Sys.file_exists path then Some (path, Hypertee_experiments.Perf.load_baseline ~path)
+        else begin
+          Printf.printf
+            "WARNING: baseline %s not found; skipping the perf regression guard\n" path;
+          None
+        end
+    in
     let samples = Hypertee_experiments.Perf.run ~quick () in
     let samples =
       if not parallel then samples
@@ -466,16 +498,36 @@ let perf_cmd =
       end
     in
     Hypertee_experiments.Perf.print samples;
-    match json with
+    (match json with
     | None -> ()
     | Some path ->
       Hypertee_experiments.Perf.write_json ~path samples;
-      Printf.printf "wrote %d samples to %s\n" (List.length samples) path
+      Printf.printf "wrote %d samples to %s\n" (List.length samples) path);
+    match baseline_samples with
+    | None -> ()
+    | Some (path, base) -> (
+      match
+        Hypertee_experiments.Perf.compare_to_baseline ~baseline:base ~tolerance_pct:tolerance
+          samples
+      with
+      | [] ->
+        Printf.printf "perf guard: speedup ratios within %.0f%% of %s\n" tolerance path
+      | regs ->
+        List.iter
+          (fun r ->
+            Printf.printf "perf guard: REGRESSION %s %s: %.2fx -> %.2fx (tolerance %.0f%%)\n"
+              r.Hypertee_experiments.Perf.r_target r.Hypertee_experiments.Perf.r_metric
+              r.Hypertee_experiments.Perf.r_baseline r.Hypertee_experiments.Perf.r_current
+              tolerance)
+          regs;
+        exit 1)
   in
   Cmd.v
     (Cmd.info "perf"
        ~doc:"Wall-clock MB/s microbenchmarks of the crypto data plane")
-    Term.(const run $ quick_arg $ json_arg $ parallel_arg $ domains_arg)
+    Term.(
+      const run $ quick_arg $ json_arg $ parallel_arg $ domains_arg $ baseline_arg
+      $ tolerance_arg)
 
 let () =
   let doc = "HyperTEE: a decoupled TEE architecture simulator (MICRO 2024 reproduction)" in

@@ -11,14 +11,28 @@
     Functionally real: [store]/[load] below actually AES-CTR the
     bytes and check real MACs, so the cold-boot and cross-key attack
     tests read genuine ciphertext. KeyID 0 is the bypass slot
-    (plaintext, no MAC) used by non-enclave traffic. *)
+    (plaintext, no MAC) used by non-enclave traffic.
+
+    Integrity fast path: the engine MACs with a keyed sponge snapshot
+    (key absorbed once at [create]) and keeps a verified-line cache
+    keyed by {!Phys_mem.version} — a [read_page] of a frame whose
+    ciphertext already passed verification at the current write
+    version skips the sponge entirely. Coherence rules: every DRAM
+    mutation (engine writes, scrubs, and mutable {!Phys_mem.borrow}
+    aliases, i.e. physical tampering) bumps the frame version and so
+    forces re-verification; injected bit flips corrupt the arriving
+    copy and always bypass the cache; [revoke]/[program] drop the
+    key's lines outright. *)
 
 exception Integrity_violation of { frame : int }
 
 type t
 
-(** [create ~slots] an engine with KeyIDs 1..slots-1 programmable. *)
-val create : slots:int -> t
+(** [create ~slots ()] an engine with KeyIDs 1..slots-1 programmable.
+    [reference_mac] selects the retained reference Keccak for line
+    MACs and disables the verified-line cache — the perf harness's
+    baseline engine; tags are byte-identical either way. *)
+val create : ?reference_mac:bool -> slots:int -> unit -> t
 
 val slots : t -> int
 
@@ -114,10 +128,21 @@ val set_fault_injector : t -> Hypertee_faults.Fault.t -> unit
 (** Bit flips injected so far. *)
 val bit_flips : t -> int
 
+(** Integrity checks skipped by the verified-line cache so far. *)
+val mac_cache_hits : t -> int
+
+(** [flush_mac_cache t] marks every cached line unverified (the MACs
+    themselves are kept). The deep invariant sweep calls this before
+    re-reading every mapped page so the sweep genuinely re-verifies;
+    the perf harness uses it to measure the cold read path. *)
+val flush_mac_cache : t -> unit
+
 (** Timing: extra nanoseconds an off-chip access pays for decryption
     + MAC check, at the given DRAM parameters. *)
 val extra_ns : Config.mem_latency -> cs_ghz:float -> float
 
 (** Snapshot engine counters (stores, loads, range ops, MAC
-    failures, bit flips) into a metrics registry under [mee.*]. *)
+    failures, cache hits, bit flips) into a metrics registry under
+    [mee.*]. Counters are atomics, so the snapshot is race-free
+    against concurrent bulk pipelines and takes no engine lock. *)
 val publish_metrics : t -> Hypertee_obs.Metrics.t -> unit

@@ -13,11 +13,16 @@ let page_size = Hypertee_util.Units.page_size
 type t = {
   owners : owner array;
   contents : bytes option array; (* lazily allocated *)
+  versions : int array; (* per-frame write version, see [version] *)
 }
 
 let create ~frames =
   if frames <= 0 then invalid_arg "Phys_mem.create: need at least one frame";
-  { owners = Array.make frames Free; contents = Array.make frames None }
+  {
+    owners = Array.make frames Free;
+    contents = Array.make frames None;
+    versions = Array.make frames 0;
+  }
 
 let frames t = Array.length t.owners
 
@@ -33,6 +38,19 @@ let set_owner t frame o =
   t.owners.(frame) <- o
 
 let count_owned t pred = Array.fold_left (fun acc o -> if pred o then acc + 1 else acc) 0 t.owners
+
+(* Bump the frame's write version. Every mutation entry point — and
+   [borrow], which hands out a mutable alias — counts as a write;
+   the memory-encryption engine's verified-MAC cache keys its entries
+   on this counter, so any path that could have changed the DRAM
+   bytes forces the next integrity check to really run. Distinct
+   frames may be bumped from different domains (the bulk pipelines
+   require distinct frames), so a plain int store per frame is safe. *)
+let touch t frame = t.versions.(frame) <- t.versions.(frame) + 1
+
+let version t ~frame =
+  check_frame t frame;
+  t.versions.(frame)
 
 let materialize t frame =
   match t.contents.(frame) with
@@ -51,13 +69,25 @@ let read t ~frame =
 let write t ~frame data =
   check_frame t frame;
   if Bytes.length data <> page_size then invalid_arg "Phys_mem.write: data must be one page";
+  touch t frame;
   t.contents.(frame) <- Some (Bytes.copy data)
 
 (* Expose the live underlying page so the memory-encryption engine can
    encrypt/decrypt DRAM in place instead of copying pages through the
    API. Materialises on first touch; callers own the aliasing rules
-   (see DESIGN.md "Data-plane performance"). *)
+   (see DESIGN.md "Data-plane performance"). The returned buffer is
+   mutable, so the frame's write version is bumped: a physical
+   attacker flipping bits through this alias invalidates any verified
+   MAC-cache line covering the frame. *)
 let borrow t ~frame =
+  check_frame t frame;
+  touch t frame;
+  materialize t frame
+
+(* Read-only borrow: the engine's decrypt/verify paths promise not to
+   write through the result, so the version is left alone and a hot
+   line stays cache-verified across repeated reads. *)
+let borrow_ro t ~frame =
   check_frame t frame;
   materialize t frame
 
@@ -81,13 +111,16 @@ let write_sub t ~frame ~off data =
   check_frame t frame;
   let len = Bytes.length data in
   if off < 0 || off + len > page_size then invalid_arg "Phys_mem.write_sub: bad slice";
+  touch t frame;
   let b = materialize t frame in
   Bytes.blit data 0 b off len
 
 let zero t ~frame =
   check_frame t frame;
   match t.contents.(frame) with
-  | Some b -> Bytes.fill b 0 page_size '\000'
+  | Some b ->
+    touch t frame;
+    Bytes.fill b 0 page_size '\000'
   | None -> ()
 
 let read_u64 t ~frame ~off =
@@ -100,6 +133,7 @@ let read_u64 t ~frame ~off =
 let write_u64 t ~frame ~off v =
   check_frame t frame;
   if off < 0 || off + 8 > page_size then invalid_arg "Phys_mem.write_u64: bad offset";
+  touch t frame;
   Hypertee_util.Bytes_ext.set_u64_le (materialize t frame) off v
 
 let find_free t ~n =

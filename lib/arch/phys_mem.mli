@@ -45,6 +45,20 @@ val write : t -> frame:int -> bytes -> unit
     memory-encryption engine uses to transform pages in place. *)
 val borrow : t -> frame:int -> bytes
 
+(** [borrow_ro t ~frame] is [borrow] for callers that promise not to
+    write through the result: the frame's {!version} is left alone,
+    so the engine's verified-MAC cache stays hot across repeated
+    reads of an unmodified frame. *)
+val borrow_ro : t -> frame:int -> bytes
+
+(** [version t ~frame] is the frame's write version: a counter bumped
+    by every mutation entry point ([write], [write_sub], [zero],
+    [write_u64]) and by every mutable [borrow] (which hands out a
+    live alias, so the bytes may change behind the API). The
+    memory-encryption engine tags verified MAC-cache lines with this
+    value; a bumped version forces the next read to re-verify. *)
+val version : t -> frame:int -> int
+
 (** [read_into t ~frame ~off ~len dst ~dst_off] copies a slice of the
     frame into [dst] without allocating (zeros if the frame was never
     written). *)

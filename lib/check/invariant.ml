@@ -391,6 +391,10 @@ let check_frames ctx ~mem ~bitmap runtimes =
    domain until revival. *)
 let check_macs ctx ?faults ~mem ~mee runtimes =
   let module Fault = Hypertee_faults.Fault in
+  (* The engine caches verified lines; a sweep that rode that cache
+     would re-verify nothing. Flush first so every read below runs
+     the real MAC check. *)
+  Mem_encryption.flush_mac_cache mee;
   let flips_on frame =
     match faults with Some inj -> Fault.flips_on inj ~frame | None -> 0
   in

@@ -80,7 +80,7 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
   (match Phys_mem.find_free mem ~n:ems_frames with
   | Some fs -> List.iter (fun f -> Phys_mem.set_owner mem f Phys_mem.Ems_private) fs
   | None -> failwith "Platform.create: memory too small for EMS carve-out");
-  let mee = Mem_encryption.create ~slots:256 in
+  let mee = Mem_encryption.create ~slots:256 () in
   let ihub = Ihub.create mem in
   let iommu = Iommu.create () in
   let os = Os.create mem in

@@ -2,7 +2,14 @@
 
     The paper's memory-integrity engine uses a SHA-3-based MAC
     (Sec. IV-C); [mac_28bit] produces the truncated 28-bit tag that
-    engine stores per cache line. *)
+    engine stores per cache line.
+
+    The default entry points run the unrolled lane-level permutation
+    (32-bit lane halves in immediate native ints, allocation-free);
+    {!Reference} retains the original int64-array implementation as
+    the qcheck oracle and perf baseline, mirroring
+    [Aes.ctr_reference]. Both produce bit-identical digests and
+    tags. *)
 
 (** SHA3-256 one-shot digest (32 bytes). *)
 val sha3_256 : bytes -> bytes
@@ -15,3 +22,25 @@ val sha3_256_string : string -> bytes
     key is absorbed before the data (KMAC-style prefix keying is fine
     for a sponge). *)
 val mac_28bit : key:bytes -> bytes -> int
+
+(** A sponge snapshot taken right after absorbing a MAC key:
+    replaying it skips the per-call key absorption, so a caller that
+    MACs many lines under one key (the memory-integrity engine) pays
+    for the key exactly once. Immutable once built; safe to share
+    across domains (each call replays into domain-local scratch). *)
+type keyed
+
+(** [keyed_init ~key] captures the post-key sponge state. *)
+val keyed_init : key:bytes -> keyed
+
+(** [mac_28bit_keyed keyed data] is byte-identical to
+    [mac_28bit ~key data] for the [key] captured in [keyed]. *)
+val mac_28bit_keyed : keyed -> bytes -> int
+
+(** The original incremental-sponge implementation on int64 arrays,
+    retained verbatim: the equivalence oracle for the unrolled path
+    and the baseline the perf harness measures speedup against. *)
+module Reference : sig
+  val sha3_256 : bytes -> bytes
+  val mac_28bit : key:bytes -> bytes -> int
+end

@@ -197,7 +197,7 @@ let snapshot t id =
     (* Decrypt into scratch, re-encrypt under the snapshot key into
        the retained blob: one allocation per page instead of two. *)
     Mem_encryption.load_into (mee t) ~key_id:cvm.key_id ~frame
-      ~src:(Phys_mem.borrow (mem t) ~frame)
+      ~src:(Phys_mem.borrow_ro (mem t) ~frame)
       ~dst:page_scratch;
     let ct = Bytes.create page_size in
     Hypertee_crypto.Aes.encrypt_page_into key ~page_number:p ~src:page_scratch ~src_off:0

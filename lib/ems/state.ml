@@ -193,7 +193,7 @@ let revive_key t (e : Enclave.t) =
           let frame = pte.Pte.ppn in
           let pt =
             Hypertee_crypto.Aes.decrypt_page swap_key ~page_number:vpn
-              (Phys_mem.borrow t.mem ~frame)
+              (Phys_mem.borrow_ro t.mem ~frame)
           in
           Mem_encryption.write_page t.mee t.mem ~key_id ~frame pt;
           Page_table.map e.Enclave.page_table ~vpn { pte with Pte.key_id }

@@ -25,6 +25,26 @@ type sample = {
   runs : int;
 }
 
+(* Host provenance recorded alongside the samples: raw MB/s numbers
+   are machine-dependent by design, so a reader (or the regression
+   guard) needs to know what machine produced a file. *)
+type host = {
+  hardware_threads : int;
+  recommended_domains : int;
+  ocaml_version : string;
+  word_size : int;
+  os_type : string;
+}
+
+let host_info () =
+  {
+    hardware_threads = Domain.recommended_domain_count ();
+    recommended_domains = Hypertee_util.Domain_pool.recommended_domains ();
+    ocaml_version = Sys.ocaml_version;
+    word_size = Sys.word_size;
+    os_type = Sys.os_type;
+  }
+
 (* Repeat [f] until at least [min_time] seconds elapse, growing the
    repetition count geometrically; returns (ns per call, calls). *)
 let time_ns ~min_time f =
@@ -66,25 +86,31 @@ let run ?(quick = false) ?min_time_s () =
   Hypertee_util.Bytes_ext.set_u64_be tweak 8 7L;
   let samples = ref [] in
   let push s = samples := s :: !samples in
-  (* AES-CTR page encryption: the T-table data plane vs the retained
-     pre-T-table reference, on the same 4 KiB page and tweak. *)
-  push
-    (throughput ~target:"aes-ctr-page" ~min_time ~bytes:page_size (fun () ->
-         Aes.encrypt_page_into key ~page_number:7 ~src:page ~src_off:0 ~dst ~dst_off:0 page_size));
-  push
-    (throughput ~target:"aes-ctr-page-reference" ~min_time ~bytes:page_size (fun () ->
-         ignore (Aes.ctr_reference key ~nonce:tweak page)));
-  (match !samples with
-  | [ reference; fast ] ->
+  (* Each optimised primitive is measured next to its retained
+     reference implementation; the ratio is the portable signal the
+     regression guard gates on (raw MB/s moves with the machine). *)
+  let push_speedup ~target ~fast ~reference =
+    push fast;
+    push reference;
     push
       {
-        target = "aes-ctr-page";
+        target;
         metric = "speedup-vs-reference";
         value = fast.value /. reference.value;
         unit_ = "x";
         runs = fast.runs;
       }
-  | _ -> ());
+  in
+  (* AES-CTR page encryption: the T-table data plane vs the retained
+     pre-T-table reference, on the same 4 KiB page and tweak. *)
+  push_speedup ~target:"aes-ctr-page"
+    ~fast:
+      (throughput ~target:"aes-ctr-page" ~min_time ~bytes:page_size (fun () ->
+           Aes.encrypt_page_into key ~page_number:7 ~src:page ~src_off:0 ~dst ~dst_off:0
+             page_size))
+    ~reference:
+      (throughput ~target:"aes-ctr-page-reference" ~min_time ~bytes:page_size (fun () ->
+           ignore (Aes.ctr_reference key ~nonce:tweak page)));
   (* SHA-256: one-shot page digest and a 64 KiB streaming feed, the
      shape of enclave measurement during Create_Enclave. *)
   push
@@ -105,21 +131,56 @@ let run ?(quick = false) ?min_time_s () =
   push
     (throughput ~target:"hmac-sha256-page" ~min_time ~bytes:page_size (fun () ->
          ignore (Hmac.hmac ~key:mac_key page)));
-  push
-    (throughput ~target:"sha3-256-page" ~min_time ~bytes:page_size (fun () ->
-         ignore (Keccak.sha3_256 page)));
-  push
-    (throughput ~target:"keccak-mac28-page" ~min_time ~bytes:page_size (fun () ->
-         ignore (Keccak.mac_28bit ~key:mac_key page)));
+  (* SHA-3 / the MEE MAC: the unrolled lane-level permutation vs the
+     retained int64-sponge reference (bit-identical digests/tags). *)
+  push_speedup ~target:"sha3-256-page"
+    ~fast:
+      (throughput ~target:"sha3-256-page" ~min_time ~bytes:page_size (fun () ->
+           ignore (Keccak.sha3_256 page)))
+    ~reference:
+      (throughput ~target:"sha3-256-page-reference" ~min_time ~bytes:page_size (fun () ->
+           ignore (Keccak.Reference.sha3_256 page)));
+  push_speedup ~target:"keccak-mac28-page"
+    ~fast:
+      (throughput ~target:"keccak-mac28-page" ~min_time ~bytes:page_size (fun () ->
+           ignore (Keccak.mac_28bit ~key:mac_key page)))
+    ~reference:
+      (throughput ~target:"keccak-mac28-page-reference" ~min_time ~bytes:page_size (fun () ->
+           ignore (Keccak.Reference.mac_28bit ~key:mac_key page)));
   (* MEE round trip: encrypt+MAC into DRAM, then verify+decrypt back —
-     what every enclave page touch pays. *)
-  let mee = Mem_encryption.create ~slots:4 in
+     what every enclave page touch pays. The reference engine runs the
+     reference sponge with the verified-line cache disabled: the
+     pre-optimisation integrity path, kept honest in the same build. *)
+  let mee = Mem_encryption.create ~slots:4 () in
   Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'm');
   let mem = Phys_mem.create ~frames:8 in
+  let mee_ref = Mem_encryption.create ~reference_mac:true ~slots:4 () in
+  Mem_encryption.program mee_ref ~key_id:1 (Bytes.make 16 'm');
+  let mem_ref = Phys_mem.create ~frames:8 in
+  let store_load mee mem () =
+    Mem_encryption.write_page mee mem ~key_id:1 ~frame:3 page;
+    Mem_encryption.read_range_into mee mem ~key_id:1 ~frame:3 ~off:0 ~len:page_size dst
+      ~dst_off:0
+  in
+  push_speedup ~target:"mee-store-load-page"
+    ~fast:
+      (throughput ~target:"mee-store-load-page" ~min_time ~bytes:(2 * page_size)
+         (store_load mee mem))
+    ~reference:
+      (throughput ~target:"mee-store-load-page-reference" ~min_time ~bytes:(2 * page_size)
+         (store_load mee_ref mem_ref));
+  (* Read paths of an unmodified frame: hot rides the verified-line
+     cache (AES only); cold flushes it first, so every read re-runs
+     the sponge — the spread between the two is what the cache buys. *)
+  Mem_encryption.write_page mee mem ~key_id:1 ~frame:5 page;
   push
-    (throughput ~target:"mee-store-load-page" ~min_time ~bytes:(2 * page_size) (fun () ->
-         Mem_encryption.write_page mee mem ~key_id:1 ~frame:3 page;
-         Mem_encryption.read_range_into mee mem ~key_id:1 ~frame:3 ~off:0 ~len:page_size dst
+    (throughput ~target:"mee-read-page-hot" ~min_time ~bytes:page_size (fun () ->
+         Mem_encryption.read_range_into mee mem ~key_id:1 ~frame:5 ~off:0 ~len:page_size dst
+           ~dst_off:0));
+  push
+    (throughput ~target:"mee-read-page-cold" ~min_time ~bytes:page_size (fun () ->
+         Mem_encryption.flush_mac_cache mee;
+         Mem_encryption.read_range_into mee mem ~key_id:1 ~frame:5 ~off:0 ~len:page_size dst
            ~dst_off:0));
   (* End-to-end Create_Enclave: ECREATE + EADD of the image + EMEAS,
      measurement-dominated. *)
@@ -173,15 +234,75 @@ let print ?(out = stdout) samples =
   | None -> ()
 
 let write_json ~path samples =
+  let h = host_info () in
   let oc = open_out path in
-  output_string oc "[\n";
+  output_string oc "{\n";
+  Printf.fprintf oc
+    "  \"host\": {\"hardware_threads\": %d, \"recommended_domains\": %d, \"ocaml_version\": \
+     %S, \"word_size\": %d, \"os_type\": %S},\n"
+    h.hardware_threads h.recommended_domains h.ocaml_version h.word_size h.os_type;
+  output_string oc "  \"samples\": [\n";
   let n = List.length samples in
   List.iteri
     (fun i s ->
       Printf.fprintf oc
-        "  {\"target\": %S, \"metric\": %S, \"value\": %.4f, \"unit\": %S, \"runs\": %d}%s\n"
+        "    {\"target\": %S, \"metric\": %S, \"value\": %.4f, \"unit\": %S, \"runs\": %d}%s\n"
         s.target s.metric s.value s.unit_ s.runs
         (if i = n - 1 then "" else ","))
     samples;
-  output_string oc "]\n";
+  output_string oc "  ]\n}\n";
   close_out oc
+
+(* --- Regression guard against a committed baseline. --- *)
+
+type regression = {
+  r_target : string;
+  r_metric : string;
+  r_baseline : float;
+  r_current : float;
+}
+
+(* Line-based scan of our own emitter's output (both the current
+   {host, samples} object and the older flat-array format): one
+   sample object per line, keys in fixed order. No JSON library in
+   the tree, and none needed to re-read what [write_json] wrote. *)
+let load_baseline ~path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         Scanf.sscanf line " {%S: %S, %S: %S, %S: %f" (fun k1 t k2 m k3 v ->
+             if k1 = "target" && k2 = "metric" && k3 = "value" then Some (t, m, v) else None)
+       with
+       | Some e -> entries := e :: !entries
+       | None -> ()
+       | exception Scanf.Scan_failure _ -> ()
+       | exception End_of_file -> () (* short line, not a sample *)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+(* Gate only the speedup-vs-reference ratios: both sides of each
+   ratio run on the same machine in the same process, so it is stable
+   across hosts, whereas raw MB/s gated against a baseline file
+   produced elsewhere (the committed one, on CI) would flap on every
+   hardware difference. A real data-plane regression shows up in the
+   ratio — the reference implementations don't get faster by
+   accident. *)
+let compare_to_baseline ~baseline ~tolerance_pct samples =
+  List.filter_map
+    (fun s ->
+      if s.metric <> "speedup-vs-reference" then None
+      else
+        match
+          List.find_opt (fun (t, m, (_ : float)) -> t = s.target && m = s.metric) baseline
+        with
+        | None -> None
+        | Some (_, _, bv) ->
+          if bv > 0. && s.value < bv *. (1. -. (tolerance_pct /. 100.)) then
+            Some { r_target = s.target; r_metric = s.metric; r_baseline = bv; r_current = s.value }
+          else None)
+    samples

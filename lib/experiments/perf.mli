@@ -13,6 +13,18 @@ type sample = {
   runs : int;  (** repetitions behind the reported value *)
 }
 
+(** The machine a benchmark file was produced on; recorded in the
+    JSON so raw MB/s numbers carry their provenance. *)
+type host = {
+  hardware_threads : int;  (** [Domain.recommended_domain_count] *)
+  recommended_domains : int;  (** what the worker pool would size to *)
+  ocaml_version : string;
+  word_size : int;
+  os_type : string;
+}
+
+val host_info : unit -> host
+
 val run : ?quick:bool -> ?min_time_s:float -> unit -> sample list
 (** Run the full suite. [quick] shortens the per-target measurement
     window and the sweep; [min_time_s] overrides the window directly
@@ -22,5 +34,30 @@ val find : sample list -> target:string -> metric:string -> sample option
 val print : ?out:out_channel -> sample list -> unit
 
 val write_json : path:string -> sample list -> unit
-(** Write the samples as a JSON array of
-    [{"target", "metric", "value", "unit", "runs"}] objects. *)
+(** Write [{"host": {...}, "samples": [...]}]: the {!host_info} block
+    followed by one [{"target", "metric", "value", "unit", "runs"}]
+    object per sample. *)
+
+(** A sample that fell below the committed baseline by more than the
+    tolerance. *)
+type regression = {
+  r_target : string;
+  r_metric : string;
+  r_baseline : float;
+  r_current : float;
+}
+
+val load_baseline : path:string -> (string * string * float) list
+(** [(target, metric, value)] triples parsed from a previously
+    written JSON file (current object format or the older flat
+    array). *)
+
+val compare_to_baseline :
+  baseline:(string * string * float) list ->
+  tolerance_pct:float ->
+  sample list ->
+  regression list
+(** Regressions of the [speedup-vs-reference] ratios against the
+    baseline. Only ratios gate: both sides of a ratio run on the same
+    machine, so it is portable, while raw MB/s compared against a
+    file committed from different hardware would flap. *)

@@ -413,7 +413,7 @@ let test_ptw_ad_update () =
 (* --- Mem_encryption --- *)
 
 let test_mee_roundtrip () =
-  let mee = Mem_encryption.create ~slots:8 in
+  let mee = Mem_encryption.create ~slots:8 () in
   Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'k');
   let page = Bytes.make 4096 'd' in
   let ct = Mem_encryption.store mee ~key_id:1 ~frame:7 page in
@@ -421,12 +421,12 @@ let test_mee_roundtrip () =
   check Alcotest.bytes "load decrypts" page (Mem_encryption.load mee ~key_id:1 ~frame:7 ct)
 
 let test_mee_bypass_slot () =
-  let mee = Mem_encryption.create ~slots:8 in
+  let mee = Mem_encryption.create ~slots:8 () in
   let page = Bytes.make 4096 'd' in
   check Alcotest.bytes "key 0 is plaintext" page (Mem_encryption.store mee ~key_id:0 ~frame:1 page)
 
 let test_mee_integrity () =
-  let mee = Mem_encryption.create ~slots:8 in
+  let mee = Mem_encryption.create ~slots:8 () in
   Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'k');
   let ct = Mem_encryption.store mee ~key_id:1 ~frame:7 (Bytes.make 4096 'd') in
   let tampered = Bytes.copy ct in
@@ -435,13 +435,13 @@ let test_mee_integrity () =
     (fun () -> ignore (Mem_encryption.load mee ~key_id:1 ~frame:7 tampered))
 
 let test_mee_uninitialised_faults () =
-  let mee = Mem_encryption.create ~slots:8 in
+  let mee = Mem_encryption.create ~slots:8 () in
   Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'k');
   Alcotest.check_raises "no MAC on record" (Mem_encryption.Integrity_violation { frame = 3 })
     (fun () -> ignore (Mem_encryption.load mee ~key_id:1 ~frame:3 (Bytes.make 4096 'x')))
 
 let test_mee_cross_key () =
-  let mee = Mem_encryption.create ~slots:8 in
+  let mee = Mem_encryption.create ~slots:8 () in
   Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'a');
   Mem_encryption.program mee ~key_id:2 (Bytes.make 16 'b');
   let ct1 = Mem_encryption.store mee ~key_id:1 ~frame:7 (Bytes.make 4096 'd') in
@@ -455,7 +455,7 @@ let test_mee_cross_key () =
      with Mem_encryption.Integrity_violation _ -> true)
 
 let test_mee_revoke_and_reuse () =
-  let mee = Mem_encryption.create ~slots:4 in
+  let mee = Mem_encryption.create ~slots:4 () in
   Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'a');
   let ct = Mem_encryption.store mee ~key_id:1 ~frame:2 (Bytes.make 4096 's') in
   Mem_encryption.revoke mee ~key_id:1;
@@ -466,7 +466,7 @@ let test_mee_revoke_and_reuse () =
     (fun () -> ignore (Mem_encryption.load mee ~key_id:1 ~frame:2 ct))
 
 let test_mee_slot_management () =
-  let mee = Mem_encryption.create ~slots:4 in
+  let mee = Mem_encryption.create ~slots:4 () in
   check (Alcotest.option Alcotest.int) "first free" (Some 1) (Mem_encryption.find_free_slot mee);
   Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'a');
   Mem_encryption.program mee ~key_id:2 (Bytes.make 16 'b');

@@ -12,7 +12,7 @@ let prop = QCheck_alcotest.to_alcotest ~speed_level:`Quick
 let page_size = Hypertee_util.Units.page_size
 
 let fresh () =
-  let mee = Mem_encryption.create ~slots:4 in
+  let mee = Mem_encryption.create ~slots:4 () in
   Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'A');
   Mem_encryption.program mee ~key_id:2 (Bytes.make 16 'B');
   let mem = Phys_mem.create ~frames:8 in
@@ -120,6 +120,127 @@ let test_read_into_unmaterialized () =
   Phys_mem.read_into mem ~frame:0 ~off:100 ~len:8 dst ~dst_off:0;
   check Alcotest.bytes "zeros" (Bytes.make 8 '\000') dst
 
+(* --- MAC cache coherence: the verified-line cache must be invisible
+   except in the counters — every way the DRAM bytes can change has to
+   force the next read back through the sponge. --- *)
+
+let test_mac_cache_hot_hit () =
+  let mee, mem = fresh () in
+  let page = patterned 17 in
+  Mem_encryption.write_page mee mem ~key_id:1 ~frame:2 page;
+  let before = Mem_encryption.mac_cache_hits mee in
+  (* The write itself marked the line verified, so both reads hit. *)
+  check Alcotest.bytes "first read" page (Mem_encryption.read_page mee mem ~key_id:1 ~frame:2);
+  check Alcotest.bytes "second read" page (Mem_encryption.read_page mee mem ~key_id:1 ~frame:2);
+  check Alcotest.int "both reads hit the cache" (before + 2) (Mem_encryption.mac_cache_hits mee)
+
+let test_mac_cache_tamper_after_verified_read () =
+  let mee, mem = fresh () in
+  Mem_encryption.write_page mee mem ~key_id:1 ~frame:3 (patterned 23);
+  (* Verify once — the line is now cached at the current version. *)
+  ignore (Mem_encryption.read_page mee mem ~key_id:1 ~frame:3);
+  (* Tampering goes through [borrow], which bumps the frame version:
+     the cached verification must not survive it. *)
+  let dram = Phys_mem.borrow mem ~frame:3 in
+  Bytes.set dram 0 (Char.chr (Char.code (Bytes.get dram 0) lxor 1));
+  (try
+     ignore (Mem_encryption.read_page mee mem ~key_id:1 ~frame:3);
+     Alcotest.fail "expected Integrity_violation after tamper"
+   with Mem_encryption.Integrity_violation { frame } -> check Alcotest.int "frame" 3 frame);
+  (* Even an unmodified mutable borrow (the alias *could* have been
+     written) must force re-verification, not a cache hit. *)
+  Mem_encryption.write_page mee mem ~key_id:1 ~frame:3 (patterned 29);
+  ignore (Phys_mem.borrow mem ~frame:3);
+  let hits = Mem_encryption.mac_cache_hits mee in
+  ignore (Mem_encryption.read_page mee mem ~key_id:1 ~frame:3);
+  check Alcotest.int "borrow alone invalidates" hits (Mem_encryption.mac_cache_hits mee)
+
+let test_mac_cache_flush () =
+  let mee, mem = fresh () in
+  let page = patterned 41 in
+  Mem_encryption.write_page mee mem ~key_id:1 ~frame:4 page;
+  ignore (Mem_encryption.read_page mee mem ~key_id:1 ~frame:4);
+  Mem_encryption.flush_mac_cache mee;
+  let hits = Mem_encryption.mac_cache_hits mee in
+  (* After a flush the read must re-verify (no hit) and still pass —
+     the MAC itself was kept. *)
+  check Alcotest.bytes "re-verifies clean" page
+    (Mem_encryption.read_page mee mem ~key_id:1 ~frame:4);
+  check Alcotest.int "flush forced the sponge" hits (Mem_encryption.mac_cache_hits mee)
+
+let test_reference_mac_engine_never_caches () =
+  let mee = Mem_encryption.create ~reference_mac:true ~slots:4 () in
+  Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'A');
+  let mem = Phys_mem.create ~frames:8 in
+  let page = patterned 43 in
+  Mem_encryption.write_page mee mem ~key_id:1 ~frame:1 page;
+  check Alcotest.bytes "reference engine round-trips" page
+    (Mem_encryption.read_page mee mem ~key_id:1 ~frame:1);
+  ignore (Mem_encryption.read_page mee mem ~key_id:1 ~frame:1);
+  check Alcotest.int "no cache hits in reference mode" 0 (Mem_encryption.mac_cache_hits mee)
+
+let test_engines_produce_identical_ciphertext () =
+  (* The fast keyed-sponge engine and the reference engine must lay
+     down bit-identical DRAM (same AES, byte-identical tags), or
+     sealed snapshots would stop being portable across the modes. *)
+  let mk ~reference_mac =
+    let mee = Mem_encryption.create ~reference_mac ~slots:4 () in
+    Mem_encryption.program mee ~key_id:1 (Bytes.make 16 'A');
+    let mem = Phys_mem.create ~frames:4 in
+    Mem_encryption.write_page mee mem ~key_id:1 ~frame:2 (patterned 19);
+    Phys_mem.read mem ~frame:2
+  in
+  check Alcotest.bytes "ciphertext identical across MAC engines"
+    (mk ~reference_mac:false) (mk ~reference_mac:true)
+
+(* --- FIPS 202 known-answer tests and fast-vs-reference equivalence
+   for the unrolled Keccak. --- *)
+
+module Keccak = Hypertee_crypto.Keccak
+
+let hex b =
+  String.concat "" (List.init (Bytes.length b) (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+(* Digests of the byte pattern i -> (i * 31) land 0xFF, generated with
+   an independent SHA3-256 implementation (Python hashlib). Lengths
+   straddle the SHA3-256 rate (136 bytes): empty, sub-block, rate-1,
+   rate, rate+1, multi-block. *)
+let sha3_kats =
+  [
+    (0, "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+    (64, "6ef4bc75377ecf8d629d7e25554ece96bb20eb9b3e72f828775c9e446ec33b24");
+    (135, "723355e02c111b19921ecbd0b5c2efb77e246cd392b1829ccf96da8bbbd83dbd");
+    (136, "51288d7e1a070f90c6003edda6a2ceeadf0d9847b04b55ff768eeb61d3a798af");
+    (137, "b3ad09aacb053a96d31b0fd700ed8dcae5d5a72db56a9480e60270dfe8e4eb93");
+    (300, "c487c09ee884643bace14ca4da089305dfbe56ce63f844b6f5ed4db0b5f94aac");
+  ]
+
+let test_sha3_kat () =
+  List.iter
+    (fun (n, expected) ->
+      let msg = Bytes.init n (fun i -> Char.chr (i * 31 land 0xFF)) in
+      check Alcotest.string (Printf.sprintf "sha3-256 of %d bytes" n) expected
+        (hex (Keccak.sha3_256 msg));
+      check Alcotest.string (Printf.sprintf "reference sha3-256 of %d bytes" n) expected
+        (hex (Keccak.Reference.sha3_256 msg)))
+    sha3_kats
+
+let bytes_gen = QCheck.(map Bytes.of_string (string_of_size Gen.(0 -- 600)))
+
+let prop_sha3_matches_reference =
+  prop
+    (QCheck.Test.make ~name:"unrolled sha3-256 = reference" ~count:200 bytes_gen (fun msg ->
+         Bytes.equal (Keccak.sha3_256 msg) (Keccak.Reference.sha3_256 msg)))
+
+let prop_mac28_matches_reference =
+  prop
+    (QCheck.Test.make ~name:"unrolled mac28 = reference (incl. keyed snapshot)" ~count:200
+       QCheck.(pair bytes_gen bytes_gen)
+       (fun (key, data) ->
+         let expected = Keccak.Reference.mac_28bit ~key data in
+         Keccak.mac_28bit ~key data = expected
+         && Keccak.mac_28bit_keyed (Keccak.keyed_init ~key) data = expected))
+
 (* --- SDK measurement stream vs a hand-rolled padded reference --- *)
 
 let test_measurement_stream () =
@@ -177,27 +298,50 @@ let test_perf_run_and_json () =
       check Alcotest.bool (s.Perf.target ^ " positive") true (s.Perf.value > 0.0);
       check Alcotest.bool (s.Perf.target ^ " ran") true (s.Perf.runs >= 1))
     samples;
-  check Alcotest.bool "speedup sample present" true
-    (Perf.find samples ~target:"aes-ctr-page" ~metric:"speedup-vs-reference" <> None);
+  List.iter
+    (fun target ->
+      check Alcotest.bool (target ^ " speedup present") true
+        (Perf.find samples ~target ~metric:"speedup-vs-reference" <> None))
+    [ "aes-ctr-page"; "sha3-256-page"; "keccak-mac28-page"; "mee-store-load-page" ];
   let path = Filename.temp_file "bench_perf" ".json" in
   Perf.write_json ~path samples;
   let ic = open_in path in
   let len = in_channel_length ic in
   let content = really_input_string ic len in
   close_in ic;
-  Sys.remove path;
-  check Alcotest.bool "json array" true
-    (String.length content > 2 && content.[0] = '[' && String.contains content ']');
+  check Alcotest.bool "json object with host block" true
+    (String.length content > 2 && content.[0] = '{');
+  let contains re =
+    let rec find i =
+      i + String.length re <= String.length content
+      && (String.sub content i (String.length re) = re || find (i + 1))
+    in
+    find 0
+  in
+  check Alcotest.bool "host block present" true (contains "\"host\"");
+  check Alcotest.bool "hardware_threads present" true (contains "\"hardware_threads\"");
+  check Alcotest.bool "ocaml_version present" true (contains "\"ocaml_version\"");
   List.iter
     (fun s ->
       check Alcotest.bool (s.Perf.target ^ " in json") true
-        (let re = Printf.sprintf "\"target\": %S" s.Perf.target in
-         let rec find i =
-           i + String.length re <= String.length content
-           && (String.sub content i (String.length re) = re || find (i + 1))
-         in
-         find 0))
-    samples
+        (contains (Printf.sprintf "\"target\": %S" s.Perf.target)))
+    samples;
+  (* The baseline loader must round-trip every sample it wrote, and
+     the regression comparator must pass against an identical baseline
+     and fail against an inflated one. *)
+  let baseline = Perf.load_baseline ~path in
+  Sys.remove path;
+  check Alcotest.int "baseline round-trips all samples" (List.length samples)
+    (List.length baseline);
+  check Alcotest.bool "identical baseline: no regressions" true
+    (Perf.compare_to_baseline ~baseline ~tolerance_pct:30.0 samples = []);
+  let inflated =
+    List.map
+      (fun (t, m, v) -> if m = "speedup-vs-reference" then (t, m, v *. 10.0) else (t, m, v))
+      baseline
+  in
+  check Alcotest.bool "inflated baseline: regression reported" true
+    (Perf.compare_to_baseline ~baseline:inflated ~tolerance_pct:30.0 samples <> [])
 
 let suite =
   [
@@ -209,6 +353,23 @@ let suite =
         Alcotest.test_case "cross-key never decrypts" `Quick test_cross_key_garbles;
         prop_read_range;
         prop_update_range;
+      ] );
+    ( "dataplane.mac_cache",
+      [
+        Alcotest.test_case "hot read hits the cache" `Quick test_mac_cache_hot_hit;
+        Alcotest.test_case "tamper after verified read caught" `Quick
+          test_mac_cache_tamper_after_verified_read;
+        Alcotest.test_case "flush forces re-verification" `Quick test_mac_cache_flush;
+        Alcotest.test_case "reference engine never caches" `Quick
+          test_reference_mac_engine_never_caches;
+        Alcotest.test_case "fast and reference ciphertext identical" `Quick
+          test_engines_produce_identical_ciphertext;
+      ] );
+    ( "dataplane.keccak",
+      [
+        Alcotest.test_case "FIPS 202 known answers" `Quick test_sha3_kat;
+        prop_sha3_matches_reference;
+        prop_mac28_matches_reference;
       ] );
     ( "dataplane.phys_mem",
       [

@@ -74,7 +74,7 @@ type fixture = {
 
 let nic_fixture () =
   let mem = Phys_mem.create ~frames:64 in
-  let mee = Mem_encryption.create ~slots:8 in
+  let mee = Mem_encryption.create ~slots:8 () in
   let ihub = Ihub.create mem in
   let nic = Nic.create ~mem ~mee ~ihub ~channel:2 in
   { mem; mee; ihub; nic }

@@ -138,7 +138,7 @@ module Gpu = Hypertee_accel.Gpu
 
 let gpu_fixture () =
   let mem = Hypertee_arch.Phys_mem.create ~frames:64 in
-  let mee = Hypertee_arch.Mem_encryption.create ~slots:8 in
+  let mee = Hypertee_arch.Mem_encryption.create ~slots:8 () in
   let iommu = Iommu.create () in
   let gpu = Gpu.create ~mem ~mee ~iommu ~device:3 in
   (mem, mee, iommu, gpu)

@@ -222,7 +222,7 @@ let page_of i = Bytes.init 4096 (fun j -> Char.chr ((i + (7 * j)) land 0xff))
 let test_mee_bulk_matches_scalar () =
   let key = Bytes.init 16 (fun i -> Char.chr (0x40 + i)) in
   let mk () =
-    let mee = Mee.create ~slots:4 in
+    let mee = Mee.create ~slots:4 () in
     Mee.program mee ~key_id:1 key;
     (mee, Phys_mem.create ~frames:8)
   in
