@@ -1,4 +1,4 @@
-.PHONY: all build test test-parallel chaos-smoke chaos-restart check-invariants bench-perf bench-parallel check doc fmt clean
+.PHONY: all build test test-parallel chaos-smoke chaos-restart check-invariants conformance bench-perf bench-parallel check doc fmt clean
 
 all: build
 
@@ -58,11 +58,19 @@ bench-parallel: build
 check-invariants: build
 	dune exec bin/hypertee_cli.exe -- check --calls 600 --seeds 12
 
+# Secure-channel conformance: replay the canned handshake flights and
+# record vectors from docs/PROTOCOL.md §7 (well-formed traffic must
+# be accepted byte-exactly, every malformed case must be rejected
+# with the spec'd error). Exits non-zero if any vector fails.
+conformance: build
+	dune exec bin/hypertee_cli.exe -- conformance
+
 # The gate for a change: everything builds, the full test suite is
 # green in both execution modes, the chaos smoke sweep completes
 # without a hang, the rolling restart recovers every shard with
-# nothing lost, and the oracle/invariant pass holds.
-check: build test test-parallel chaos-smoke chaos-restart check-invariants
+# nothing lost, the oracle/invariant pass holds, and the secure-
+# channel conformance vectors all pass.
+check: build test test-parallel chaos-smoke chaos-restart check-invariants conformance
 
 # API reference from the .mli doc comments, built with odoc into
 # _build/default/_doc/_html. Skips with a notice when odoc is absent,

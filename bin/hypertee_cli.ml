@@ -163,6 +163,11 @@ let cost_cmd =
         | Types.ESHMDES -> Types.Shmdes { owner = 1; shm = 1 }
         | Types.EMEAS -> Types.Measure { enclave = 1 }
         | Types.EATTEST -> Types.Attest { enclave = 1; user_data = Bytes.empty }
+        | Types.ECHOPEN -> Types.Chan_open { listener = 1 }
+        | Types.ECHACC -> Types.Chan_accept { enclave = 1; chan = 1 }
+        | Types.ECHSEND -> Types.Chan_send { chan = 1; seg = Bytes.create 256 }
+        | Types.ECHRECV -> Types.Chan_recv { chan = 1 }
+        | Types.ECHCLOSE -> Types.Chan_close { chan = 1 }
       in
       let rows =
         List.concat_map
@@ -411,6 +416,22 @@ let trace_cmd =
        ~doc:"Run an experiment under the span tracer and export Chrome trace_event JSON")
     Term.(ret (const run $ seed_arg $ target_arg $ quick_arg $ out_arg))
 
+(* --- conformance --- *)
+
+let conformance_cmd =
+  let run () =
+    let outcomes = Hypertee_channel.Conformance.run () in
+    print_string (Hypertee_channel.Conformance.render outcomes);
+    if Hypertee_channel.Conformance.all_ok outcomes then `Ok ()
+    else `Error (false, "conformance vectors failed")
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:
+         "Run the secure-channel protocol conformance vectors (docs/PROTOCOL.md \xC2\xA77): \
+          canned handshake flights, record round trips, and every malformed-input rejection")
+    Term.(ret (const run $ const ()))
+
 (* --- metrics --- *)
 
 let metrics_cmd =
@@ -538,5 +559,6 @@ let () =
           (Cmd.info "hypertee" ~version:"1.0.0" ~doc)
           [
             info_cmd; demo_cmd; attest_cmd; primitives_cmd; cost_cmd; slo_cmd; area_cmd;
-            security_cmd; chaos_cmd; scale_cmd; check_cmd; trace_cmd; metrics_cmd; perf_cmd;
+            security_cmd; chaos_cmd; scale_cmd; check_cmd; trace_cmd; metrics_cmd;
+            conformance_cmd; perf_cmd;
           ]))

@@ -1,148 +1,181 @@
-(* End-to-end secure channel into an enclave — the deployment story
-   the paper's attestation machinery exists for (Sec. VI):
+(* End-to-end attested secure channel into an enclave — the
+   deployment story the paper's attestation machinery exists for
+   (Sec. VI), on the channel layer specified in docs/PROTOCOL.md:
 
-   A remote client holds the expected measurement of a "key vault"
-   enclave. It attests the enclave over an untrusted transport (the
-   host application relays every message and tries to tamper),
-   derives a session key bound to the attested identity, provisions a
-   long-term secret over the encrypted channel, and the enclave seals
-   it for future instances. Every cryptographic step uses the
-   repository's real primitives; every byte at rest in DRAM is
-   ciphertext.
+   A client provisions a tenant master key to a "key vault" enclave.
+   The channel is established with `Secure_channel.establish` — an
+   EMS-minted channel (ECHOPEN/ECHACC), the three-flight SIGMA
+   handshake with the vault's EATTEST quote pinned to its expected
+   measurement, and per-direction AEAD record keys. The EMS relays
+   only ciphertext segments; rekeys happen transparently as records
+   flow; a captured segment is useless to an attacker platform and a
+   tampered one fails closed.
 
    Run with: dune exec examples/secure_channel.exe *)
 
-module Aes = Hypertee_crypto.Aes
-module Hmac = Hypertee_crypto.Hmac
+module Secure_channel = Hypertee.Secure_channel
+module Record = Hypertee_channel.Record
+module Config = Hypertee_arch.Config
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+let ok_or what = function Ok v -> v | Error m -> die "%s: %s" what m
 
-(* Authenticated encryption for channel records: AES-CTR + HMAC tag
-   (encrypt-then-MAC), keys derived per direction. *)
-let record_keys session_key =
-  let okm = Hmac.derive ~ikm:session_key ~salt:Bytes.empty ~info:"channel-v1" 64 in
-  ( (Bytes.sub okm 0 16, Bytes.sub okm 16 16) (* client->enclave enc, mac *),
-    (Bytes.sub okm 32 16, Bytes.sub okm 48 16) (* enclave->client enc, mac *) )
+(* Naive substring scan — enough to assert a secret never appears in
+   the ciphertext segments. *)
+let contains_sub hay needle =
+  let nh = Bytes.length hay and nn = Bytes.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else if Bytes.equal (Bytes.sub hay i nn) needle then true
+    else at (i + 1)
+  in
+  nn > 0 && at 0
 
-let seal_record ~enc ~mac ~seq payload =
-  let nonce = Bytes.make 16 '\000' in
-  Hypertee_util.Bytes_ext.set_u64_be nonce 8 (Int64.of_int seq);
-  let ct = Aes.ctr (Aes.expand enc) ~nonce payload in
-  let tag = Hmac.hmac ~key:mac (Bytes.cat nonce ct) in
-  (nonce, ct, tag)
-
-let open_record ~enc ~mac (nonce, ct, tag) =
-  if not (Hypertee_util.Bytes_ext.equal_ct tag (Hmac.hmac ~key:mac (Bytes.cat nonce ct))) then None
-  else Some (Aes.ctr (Aes.expand enc) ~nonce ct)
+let vault_image =
+  Hypertee.Sdk.image_of_code
+    ~code:(Bytes.of_string "key vault enclave: stores tenant master keys")
+    ~data:Bytes.empty ()
 
 let () =
-  let platform = Hypertee.Platform.create () in
-  let vault_image =
-    Hypertee.Sdk.image_of_code
-      ~code:(Bytes.of_string "key vault enclave: stores tenant master keys")
-      ~data:Bytes.empty ()
-  in
-  let enclave =
-    match Hypertee.Sdk.launch platform vault_image with Ok e -> e | Error m -> die "launch: %s" m
-  in
-  let session =
-    match Hypertee.Sdk.enter platform ~enclave with Ok s -> s | Error m -> die "enter: %s" m
-  in
+  (* Two EMS shards so the channel's home shard and the endpoints'
+     shards genuinely differ — segments route cross-shard. *)
+  let config = { Config.default with Config.ems_shards = 2 } in
+  let platform = Hypertee.Platform.create ~config () in
+  let vault = ok_or "launch" (Hypertee.Sdk.launch platform vault_image) in
 
-  (* 1. Remote attestation: the client checks the quote chain and the
-     measurement, ending with a session key shared with the enclave
-     (bound into the quote's user data, so the relaying host cannot
-     splice itself in). *)
-  let client_rng = Hypertee_util.Xrng.create 0xC11E47L in
-  let outcome =
-    match
-      Hypertee.Verifier.attest_enclave ~rng:client_rng
-        ~ek:(Hypertee.Platform.ek_public platform)
-        ~ak:(Hypertee.Platform.ak_public platform)
-        ~expected_measurement:(Hypertee.Sdk.expected_measurement vault_image)
-        session
-    with
-    | Ok o -> o
-    | Error f -> die "attestation: %s" (Hypertee.Verifier.failure_message f)
+  (* 1. Establish: ECHOPEN, three handshake flights (ClientHello /
+     ServerAttest / ClientFinish), the vault's quote verified against
+     the platform EK/AK and pinned to the image's expected
+     measurement. [rekey_after] is set low so this demo crosses
+     generation boundaries. *)
+  let client, server =
+    ok_or "establish"
+      (Secure_channel.establish platform ~listener:vault
+         ~expected_measurement:(Hypertee.Sdk.expected_measurement vault_image)
+         ~rekey_after:8 ())
   in
-  print_endline "client attested the vault enclave";
+  Printf.printf "client attested the vault and established channel %d\n"
+    (Secure_channel.chan client);
 
-  (* 2. The client provisions a tenant master key over the channel.
-     The host relays the record through the plaintext staging window
-     — it sees only ciphertext. *)
-  let (c2e_enc, c2e_mac), (e2c_enc, e2c_mac) = record_keys outcome.Hypertee.Verifier.session_key in
+  (* 2. Provision the tenant master key over the channel; the EMS
+     mailbox carries only sealed records. *)
   let master_key = Bytes.of_string "tenant-42-master-key-0123456789abcdef" in
-  let nonce, ct, tag = seal_record ~enc:c2e_enc ~mac:c2e_mac ~seq:1 master_key in
-  let record = Bytes.concat Bytes.empty [ nonce; tag; ct ] in
-  (match Hypertee.Sdk.host_write_staging platform ~enclave ~off:0 record with
-  | Ok () -> ()
-  | Error m -> die "relay: %s" m);
-  Printf.printf "host relayed a %d-byte ciphertext record\n" (Bytes.length record);
+  ok_or "send" (Secure_channel.send client master_key);
+  (match ok_or "recv" (Secure_channel.recv server) with
+  | [ Record.Message m ] when Bytes.equal m master_key ->
+    print_endline "vault received the master key intact"
+  | _ -> die "vault did not receive the master key");
 
-  (* 3. Inside the enclave: read the record from staging, verify and
-     decrypt with the attested session key, keep the master key only
-     in encrypted enclave memory. *)
-  let staged =
-    Hypertee.Session.read session ~va:(Hypertee.Session.staging_va session) ~len:(Bytes.length record)
+  (* 3. The vault answers with a wrapped data key for the tenant. *)
+  let data_key =
+    Hypertee_crypto.Hmac.derive ~ikm:master_key ~salt:Bytes.empty ~info:"tenant-42-db" 16
   in
-  let r_nonce = Bytes.sub staged 0 16 in
-  let r_tag = Bytes.sub staged 16 32 in
-  let r_ct = Bytes.sub staged 48 (Bytes.length staged - 48) in
-  let received =
-    match open_record ~enc:c2e_enc ~mac:c2e_mac (r_nonce, r_ct, r_tag) with
-    | Some p -> p
-    | None -> die "record authentication failed"
-  in
-  assert (Bytes.equal received master_key);
-  Hypertee.Session.write session ~va:(Hypertee.Session.heap_va session) received;
-  print_endline "enclave authenticated and stored the master key (encrypted memory only)";
+  ok_or "reply" (Secure_channel.send server data_key);
+  (match ok_or "recv reply" (Secure_channel.recv client) with
+  | [ Record.Message m ] when Bytes.equal m data_key ->
+    print_endline "client received the wrapped data key"
+  | _ -> die "client did not receive the data key");
 
-  (* 4. A tampering host is caught: flipping one ciphertext bit kills
-     the record MAC. *)
-  let tampered = Bytes.copy record in
-  Bytes.set tampered 50 (Char.chr (Char.code (Bytes.get tampered 50) lxor 1));
-  let t_nonce = Bytes.sub tampered 0 16 in
-  let t_tag = Bytes.sub tampered 16 32 in
-  let t_ct = Bytes.sub tampered 48 (Bytes.length tampered - 48) in
-  (match open_record ~enc:c2e_enc ~mac:c2e_mac (t_nonce, t_ct, t_tag) with
-  | None -> print_endline "host tampering with the channel detected -- good"
-  | Some _ -> die "BUG: tampered record accepted");
+  (* 4. Stream enough traffic to cross several rekey boundaries; the
+     record layer injects the rekeys transparently (§4.3). *)
+  for i = 1 to 24 do
+    let payload = Bytes.make (32 + (i * 7 mod 200)) (Char.chr (0x61 + (i mod 26))) in
+    ok_or "stream send" (Secure_channel.send client payload);
+    match ok_or "stream recv" (Secure_channel.recv server) with
+    | [ Record.Message m ] when Bytes.equal m payload -> ()
+    | _ -> die "streamed message %d corrupted" i
+  done;
+  let st = Record.stats (Secure_channel.conn client) in
+  if st.Record.rekeys_done < 1 then die "expected rekeys after 24 messages";
+  Printf.printf "streamed 24 messages, %d records sealed, %d rekey(s), generation %d\n"
+    st.Record.records_sealed st.Record.rekeys_done
+    (Record.write_generation (Secure_channel.conn client));
 
-  (* 5. The enclave answers with a key-derivation response (e.g. a
-     wrapped data key for the tenant), sent back the same way. *)
-  let data_key = Hmac.derive ~ikm:master_key ~salt:Bytes.empty ~info:"tenant-42-db" 16 in
-  let n2, ct2, tag2 = seal_record ~enc:e2c_enc ~mac:e2c_mac ~seq:1 data_key in
-  Hypertee.Session.write session ~va:(Hypertee.Session.staging_va session + 512)
-    (Bytes.concat Bytes.empty [ n2; tag2; ct2 ]);
-  let reply =
-    match Hypertee.Sdk.host_read_staging platform ~enclave ~off:512 ~len:(16 + 32 + 16) with
-    | Ok b -> b
-    | Error m -> die "reply relay: %s" m
+  (* 5. What the relay (and any eavesdropper) holds: play the EMS for
+     one message and keep the segments. The secret must not appear in
+     any of them. *)
+  let secret = Bytes.of_string "rotation-secret-for-tenant-42" in
+  let captured =
+    match Record.seal_message (Secure_channel.conn client) secret with
+    | Ok segs -> segs
+    | Error e -> die "seal: %s" (Record.error_message e)
   in
-  let reply_plain =
-    match
-      open_record ~enc:e2c_enc ~mac:e2c_mac
-        (Bytes.sub reply 0 16, Bytes.sub reply 48 16, Bytes.sub reply 16 32)
-    with
-    | Some p -> p
-    | None -> die "client could not authenticate the reply"
+  List.iter
+    (fun seg -> if contains_sub seg secret then die "plaintext leaked into a segment")
+    captured;
+  let events =
+    List.concat_map
+      (fun seg ->
+        match Record.deliver (Secure_channel.conn server) seg with
+        | Ok evs -> evs
+        | Error e -> die "relay deliver: %s" (Record.error_message e))
+      captured
   in
-  assert (Bytes.equal reply_plain data_key);
-  print_endline "client received the wrapped data key over the channel";
+  (match events with
+  | [ Record.Message m ] when Bytes.equal m secret -> ()
+  | _ -> die "relayed secret corrupted");
+  Printf.printf "relay saw %d ciphertext segment(s); secret absent from all of them\n"
+    (List.length captured);
 
-  (* 6. Persistence: the enclave seals the master key; a relaunched
-     instance (same code) unseals it without re-provisioning. *)
-  let blob =
-    match Hypertee.Platform.seal platform ~enclave master_key with
-    | Ok b -> b
-    | Error m -> die "seal: %s" m
+  (* 6. An attacker platform (its own EK/AK, its own enclaves) cannot
+     make anything of the captured segments: its channels run on
+     unrelated keys, so delivery fails the tag check — and the failed
+     check poisons the attacker's connection, not the victims'. *)
+  let attacker_platform = Hypertee.Platform.create ~seed:0xBADF00DL ~config () in
+  let attacker_enclave =
+    ok_or "attacker launch" (Hypertee.Sdk.launch attacker_platform vault_image)
   in
-  (match Hypertee.Sdk.destroy platform ~enclave with Ok () -> () | Error m -> die "%s" m);
-  let enclave2 =
-    match Hypertee.Sdk.launch platform vault_image with Ok e -> e | Error m -> die "%s" m
+  let _, attacker_srv =
+    ok_or "attacker establish"
+      (Secure_channel.establish attacker_platform ~listener:attacker_enclave ())
   in
-  (match Hypertee.Platform.unseal platform ~enclave:enclave2 blob with
-  | Ok k when Bytes.equal k master_key -> print_endline "relaunched vault unsealed the master key"
-  | Ok _ -> die "BUG: unsealed wrong data"
-  | Error m -> die "unseal: %s" m);
-  print_endline "secure_channel finished"
+  (match Record.deliver (Secure_channel.conn attacker_srv) (List.hd captured) with
+  | Error Record.Bad_mac ->
+    print_endline "attacker platform cannot decrypt a captured segment -- good"
+  | Ok _ -> die "BUG: foreign platform accepted a captured segment"
+  | Error e -> die "unexpected rejection: %s" (Record.error_message e));
+
+  (* 7. Nor can anyone impersonate the vault: pinning a different
+     measurement makes establishment fail during the handshake — the
+     quote commits to the enclave identity (§5.3). *)
+  (match
+     Secure_channel.establish platform ~listener:vault
+       ~expected_measurement:(Bytes.make 32 '\xEE') ()
+   with
+  | Error reason -> Printf.printf "wrong identity pin rejected: %s\n" reason
+  | Ok _ -> die "BUG: handshake accepted the wrong measurement");
+
+  (* 8. Active tampering fails closed: one flipped ciphertext bit
+     kills the record MAC and permanently poisons the receiving
+     connection (§6) — no partial plaintext, no resync. *)
+  let victim_client, victim_server =
+    ok_or "second establish" (Secure_channel.establish platform ~listener:vault ())
+  in
+  let tampered =
+    match Record.seal_message (Secure_channel.conn victim_client) secret with
+    | Ok (seg :: _) ->
+      let t = Bytes.copy seg in
+      Bytes.set t 20 (Char.chr (Char.code (Bytes.get t 20) lxor 1));
+      t
+    | Ok [] -> die "empty seal"
+    | Error e -> die "seal: %s" (Record.error_message e)
+  in
+  (match Record.deliver (Secure_channel.conn victim_server) tampered with
+  | Error Record.Bad_mac -> ()
+  | _ -> die "BUG: tampered segment accepted");
+  (match Record.poisoned (Secure_channel.conn victim_server) with
+  | Some Record.Bad_mac ->
+    print_endline "tampered segment detected; connection failed closed -- good"
+  | _ -> die "BUG: connection not poisoned after tampering");
+  ok_or "victim close" (Secure_channel.close victim_client);
+  ignore (Secure_channel.close victim_server);
+
+  (* 9. Orderly teardown, and the platform's deep invariants still
+     hold (no orphaned channel keys, §2.3). *)
+  ok_or "close" (Secure_channel.close client);
+  ignore (Secure_channel.recv server);
+  ignore (Secure_channel.close server);
+  let report = Hypertee.Platform.check platform in
+  if not (Hypertee_check.Invariant.ok report) then
+    die "invariants: %s" (Hypertee_check.Invariant.report_to_string report);
+  print_endline "platform invariants clean; secure_channel finished"

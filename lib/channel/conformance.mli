@@ -1,0 +1,23 @@
+(** Interop-style conformance tester for the secure-channel protocol
+    (docs/PROTOCOL.md §7).
+
+    Replays canned handshake flights and well-formed records against
+    the {!Handshake}/{!Record} state machines and asserts the shapes
+    the spec fixes, then feeds every malformed-record and
+    malformed-flight case and asserts each is rejected and the
+    connection fails closed. Every vector cites the PROTOCOL.md
+    section it checks; [make check] and CI run the suite via the
+    CLI's [conformance] command. *)
+
+(** One vector's verdict: its name, the spec section it cites, and a
+    failure detail when [ok] is false. *)
+type outcome = { name : string; section : string; ok : bool; detail : string }
+
+(** Run every vector, in spec order. Deterministic (seeded RNGs). *)
+val run : unit -> outcome list
+
+(** True iff every vector passed. *)
+val all_ok : outcome list -> bool
+
+(** ASCII report table. *)
+val render : outcome list -> string

@@ -1,0 +1,323 @@
+(* Streaming AEAD record layer (docs/PROTOCOL.md §3-§4): AES-CTR +
+   16-byte keyed-sponge tag per record, encrypt-then-MAC over a
+   contiguous header‖ciphertext buffer, strict sequence numbers,
+   generation-tagged rekeying. Any failed check poisons the
+   connection and wipes its secrets — the layer fails closed. *)
+
+open Hypertee_crypto
+module Bx = Hypertee_util.Bytes_ext
+module Trace = Hypertee_obs.Trace
+
+type role = Client | Server
+
+type error =
+  | Bad_version
+  | Bad_mac
+  | Bad_length
+  | Replay of { expected : int64; got : int64 }
+  | Bad_generation of { expected : int; got : int }
+  | Bad_content of int
+  | Too_big
+  | Exhausted
+  | Closed
+  | Peer_alert of int
+
+let error_message = function
+  | Bad_version -> "record version mismatch"
+  | Bad_mac -> "record tag verification failed"
+  | Bad_length -> "record length inconsistent"
+  | Replay { expected; got } ->
+    Printf.sprintf "sequence violation: expected %Ld, got %Ld" expected got
+  | Bad_generation { expected; got } ->
+    Printf.sprintf "key generation mismatch: expected %d, got %d" expected got
+  | Bad_content c -> Printf.sprintf "unknown content type %d" c
+  | Too_big -> "message exceeds the stream cap"
+  | Exhausted -> "key-generation space exhausted"
+  | Closed -> "connection closed"
+  | Peer_alert c -> Printf.sprintf "peer raised alert %d" c
+
+type event = Message of bytes | Peer_closed
+
+(* One direction of the duplex: its traffic secret, the record keys
+   expanded from it for the current generation, and the cursor. *)
+type dir = {
+  direction : int;
+  mutable secret : bytes;
+  mutable key : Aes.key;
+  mutable mac : Keccak.keyed;
+  mutable seq : int64;
+  mutable generation : int;
+}
+
+type t = {
+  write : dir;
+  read : dir;
+  rekey_after : int;
+  nonce : bytes;
+  tag_scratch : bytes;
+  rbuf : Buffer.t;
+  mutable poisoned : error option;
+  mutable write_closed : bool;
+  mutable read_closed : bool;
+  mutable sealed : int;
+  mutable opened : int;
+  mutable rekeys : int;
+}
+
+type stats = { records_sealed : int; records_opened : int; rekeys_done : int }
+
+(* §3.5: bound the reassembled message size so a corrupt-but-
+   authenticated length prefix cannot ask for unbounded memory. *)
+let max_message = 1 lsl 24
+let default_rekey_after = 256
+
+let expand_dir_keys secret =
+  let key = Kdf.expand_label ~secret ~label:"key" ~context:Bytes.empty 16 in
+  let mac = Kdf.expand_label ~secret ~label:"mac" ~context:Bytes.empty 16 in
+  let k = Aes.expand key in
+  let m = Keccak.keyed_init ~key:mac in
+  Bx.fill_zero key;
+  Bx.fill_zero mac;
+  (k, m)
+
+let make_dir ~direction ~secret =
+  let key, mac = expand_dir_keys secret in
+  { direction; secret; key; mac; seq = 0L; generation = 0 }
+
+let create ~role ~master ~transcript ?(rekey_after = default_rekey_after) () =
+  if rekey_after < 1 then invalid_arg "Record.create: rekey_after must be >= 1";
+  let c_secret = Kdf.derive_secret ~secret:master ~label:"c traffic" ~transcript 16 in
+  let s_secret = Kdf.derive_secret ~secret:master ~label:"s traffic" ~transcript 16 in
+  let write, read =
+    match role with
+    | Client ->
+      ( make_dir ~direction:Wire.dir_client_to_server ~secret:c_secret,
+        make_dir ~direction:Wire.dir_server_to_client ~secret:s_secret )
+    | Server ->
+      ( make_dir ~direction:Wire.dir_server_to_client ~secret:s_secret,
+        make_dir ~direction:Wire.dir_client_to_server ~secret:c_secret )
+  in
+  {
+    write;
+    read;
+    rekey_after;
+    nonce = Bytes.create 16;
+    tag_scratch = Bytes.create Wire.tag_len;
+    rbuf = Buffer.create 256;
+    poisoned = None;
+    write_closed = false;
+    read_closed = false;
+    sealed = 0;
+    opened = 0;
+    rekeys = 0;
+  }
+
+let wipe_dir d =
+  Bx.fill_zero d.secret;
+  d.seq <- 0L
+
+let wipe t =
+  wipe_dir t.write;
+  wipe_dir t.read;
+  Buffer.clear t.rbuf
+
+let poison t err =
+  (match t.poisoned with None -> t.poisoned <- Some err | Some _ -> ());
+  wipe t;
+  Error err
+
+(* Advance one direction to the next generation (§4.3): chain the
+   traffic secret through the "rekey" label, re-expand record keys,
+   wipe the old secret, reset the sequence cursor. *)
+let advance_generation d =
+  let next = Kdf.expand_label ~secret:d.secret ~label:"rekey" ~context:Bytes.empty 16 in
+  Bx.fill_zero d.secret;
+  d.secret <- next;
+  let key, mac = expand_dir_keys next in
+  d.key <- key;
+  d.mac <- mac;
+  d.seq <- 0L;
+  d.generation <- d.generation + 1
+
+let seal_record t ~content_type src ~off ~len =
+  let w = t.write in
+  let seg = Bytes.create (Wire.header_len + len + Wire.tag_len) in
+  Wire.put_header seg ~off:0 { content_type; seq = w.seq; generation = w.generation; ct_len = len };
+  Wire.nonce_into t.nonce ~direction:w.direction ~generation:w.generation ~seq:w.seq;
+  if len > 0 then
+    Aes.ctr_into w.key ~nonce:t.nonce ~src ~src_off:off ~dst:seg ~dst_off:Wire.header_len len;
+  Keccak.mac16_keyed_into w.mac seg ~off:0 ~len:(Wire.header_len + len) seg
+    ~tag_off:(Wire.header_len + len);
+  w.seq <- Int64.add w.seq 1L;
+  t.sealed <- t.sealed + 1;
+  if Trace.enabled () then Trace.instant ~cat:Trace.Channel ~name:"chan:seal" ();
+  seg
+
+let guard_open t = match t.poisoned with Some e -> Error e | None -> Ok ()
+
+(* Emit a rekey record if the current write generation is spent; the
+   rekey record itself is sealed under the *old* generation so the
+   receiver can authenticate it before switching (§4.3). *)
+let maybe_rekey t acc =
+  let w = t.write in
+  if Int64.to_int w.seq < t.rekey_after then Ok acc
+  else if w.generation >= 255 then poison t Exhausted
+  else begin
+    let r = seal_record t ~content_type:Wire.ct_rekey Bytes.empty ~off:0 ~len:0 in
+    advance_generation w;
+    t.rekeys <- t.rekeys + 1;
+    Ok (r :: acc)
+  end
+
+let seal_message t payload =
+  match guard_open t with
+  | Error e -> Error e
+  | Ok () ->
+    if t.write_closed then Error Closed
+    else if Bytes.length payload > max_message then Error Too_big
+    else begin
+      (* §3.5 stream framing: u32 BE length ‖ payload, then cut into
+         ≤ max_plaintext chunks, one record each. *)
+      let n = Bytes.length payload in
+      let stream = Bytes.create (4 + n) in
+      Bx.set_u32_be stream 0 (Int32.of_int n);
+      Bytes.blit payload 0 stream 4 n;
+      let total = 4 + n in
+      let rec chunks off acc =
+        if off >= total then Ok (List.rev acc)
+        else
+          match maybe_rekey t acc with
+          | Error e -> Error e
+          | Ok acc ->
+            let len = min Wire.max_plaintext (total - off) in
+            let seg = seal_record t ~content_type:Wire.ct_application stream ~off ~len in
+            chunks (off + len) (seg :: acc)
+      in
+      chunks 0 []
+    end
+
+let alert t code =
+  let body = Bytes.make 1 (Char.chr code) in
+  seal_record t ~content_type:Wire.ct_alert body ~off:0 ~len:1
+
+let close t =
+  match guard_open t with
+  | Error _ -> []
+  | Ok () ->
+    if t.write_closed then []
+    else begin
+      t.write_closed <- true;
+      let seg = alert t Wire.alert_close_notify in
+      [ seg ]
+    end
+
+(* Slice complete length-prefixed messages out of the reassembly
+   buffer, leaving any incomplete tail in place. *)
+let drain_messages t acc =
+  let data = Buffer.to_bytes t.rbuf in
+  let total = Bytes.length data in
+  let pos = ref 0 in
+  let out = ref acc in
+  let bad = ref false in
+  let continue = ref true in
+  while !continue do
+    let remaining = total - !pos in
+    if remaining < 4 then continue := false
+    else begin
+      let n = Int32.to_int (Bx.get_u32_be data !pos) in
+      if n < 0 || n > max_message then begin
+        bad := true;
+        continue := false
+      end
+      else if remaining < 4 + n then continue := false
+      else begin
+        out := Message (Bytes.sub data (!pos + 4) n) :: !out;
+        pos := !pos + 4 + n
+      end
+    end
+  done;
+  if !bad then poison t Too_big
+  else begin
+    Buffer.clear t.rbuf;
+    Buffer.add_subbytes t.rbuf data !pos (total - !pos);
+    Ok (List.rev !out)
+  end
+
+let tag_matches t seg ~mac_off =
+  (* constant-time 16-byte compare against the scratch tag *)
+  let diff = ref 0 in
+  for i = 0 to Wire.tag_len - 1 do
+    diff := !diff lor (Char.code (Bytes.get t.tag_scratch i) lxor Char.code (Bytes.get seg (mac_off + i)))
+  done;
+  !diff = 0
+
+let deliver t seg =
+  match guard_open t with
+  | Error e -> Error e
+  | Ok () ->
+    if t.read_closed then poison t Closed
+    else begin
+      let total = Bytes.length seg in
+      if total < Wire.header_len + Wire.tag_len || total > Wire.max_segment then
+        poison t Bad_length
+      else
+        match Wire.get_header seg ~off:0 with
+        | Error `Bad_version -> poison t Bad_version
+        | Ok h ->
+          let ct_len = total - Wire.header_len - Wire.tag_len in
+          if h.Wire.ct_len <> ct_len then poison t Bad_length
+          else begin
+            let r = t.read in
+            (* authenticate before acting on anything (§3.3) *)
+            Keccak.mac16_keyed_into r.mac seg ~off:0 ~len:(Wire.header_len + ct_len)
+              t.tag_scratch ~tag_off:0;
+            if not (tag_matches t seg ~mac_off:(Wire.header_len + ct_len)) then poison t Bad_mac
+            else if h.Wire.generation <> r.generation then
+              poison t (Bad_generation { expected = r.generation; got = h.Wire.generation })
+            else if not (Int64.equal h.Wire.seq r.seq) then
+              poison t (Replay { expected = r.seq; got = h.Wire.seq })
+            else begin
+              let plain = Bytes.create ct_len in
+              Wire.nonce_into t.nonce ~direction:r.direction ~generation:r.generation ~seq:r.seq;
+              if ct_len > 0 then
+                Aes.ctr_into r.key ~nonce:t.nonce ~src:seg ~src_off:Wire.header_len ~dst:plain
+                  ~dst_off:0 ct_len;
+              r.seq <- Int64.add r.seq 1L;
+              t.opened <- t.opened + 1;
+              if Trace.enabled () then Trace.instant ~cat:Trace.Channel ~name:"chan:open" ();
+              if h.Wire.content_type = Wire.ct_application then begin
+                Buffer.add_bytes t.rbuf plain;
+                drain_messages t []
+              end
+              else if h.Wire.content_type = Wire.ct_rekey then
+                if ct_len <> 0 then poison t Bad_length
+                else if r.generation >= 255 then poison t Exhausted
+                else begin
+                  advance_generation r;
+                  Ok []
+                end
+              else if h.Wire.content_type = Wire.ct_alert then begin
+                if ct_len <> 1 then poison t Bad_length
+                else
+                  let code = Bytes.get_uint8 plain 0 in
+                  if code = Wire.alert_close_notify then begin
+                    t.read_closed <- true;
+                    Ok [ Peer_closed ]
+                  end
+                  else poison t (Peer_alert code)
+              end
+              else poison t (Bad_content h.Wire.content_type)
+            end
+          end
+    end
+
+let stats t = { records_sealed = t.sealed; records_opened = t.opened; rekeys_done = t.rekeys }
+let poisoned t = t.poisoned
+let write_generation t = t.write.generation
+let read_generation t = t.read.generation
+let closed t = t.write_closed || t.read_closed || t.poisoned <> None
+
+module Testing = struct
+  let seal_raw t ~content_type payload =
+    seal_record t ~content_type payload ~off:0 ~len:(Bytes.length payload)
+end

@@ -1,0 +1,105 @@
+(** Streaming AEAD record layer of the secure channel
+    (docs/PROTOCOL.md §3–§4).
+
+    A duplex connection over an ordered segment transport: each
+    record is AES-CTR encrypted and authenticated with a 16-byte
+    keyed-sponge tag (encrypt-then-MAC over the contiguous
+    header ‖ ciphertext buffer), carries an explicit sequence number
+    and key generation, and rekeys after a configurable record
+    count. Application messages are length-delimited (§3.5) and cut
+    into records of at most {!Wire.max_plaintext} bytes, so payloads
+    larger than a mailbox frame stream transparently.
+
+    {b Fail-closed discipline}: the first failed check — bad
+    version, bad tag, length mismatch, replayed or reordered
+    sequence number, unknown content type — permanently poisons the
+    connection: its traffic secrets are wiped and every subsequent
+    {!seal_message}/{!deliver} returns the original error. A
+    corrupted transport can therefore kill a channel but never
+    smuggle a forged or replayed byte into the application stream. *)
+
+(** Which side of the duplex this connection is; decides which
+    traffic secret it writes with (§4.2). *)
+type role = Client | Server
+
+(** Rejection reasons; once returned, the connection is poisoned. *)
+type error =
+  | Bad_version  (** §3.1 version byte mismatch *)
+  | Bad_mac  (** §3.3 tag verification failed *)
+  | Bad_length  (** header length disagrees with the segment *)
+  | Replay of { expected : int64; got : int64 }  (** §3.4 sequence violation *)
+  | Bad_generation of { expected : int; got : int }  (** §4.2 generation skew *)
+  | Bad_content of int  (** §3.2 unknown content type *)
+  | Too_big  (** message exceeds the §3.5 stream cap *)
+  | Exhausted  (** §4.3 generation space spent; channel must close *)
+  | Closed  (** use after close or after poisoning *)
+  | Peer_alert of int  (** peer raised a non-close alert (§6) *)
+
+(** Human-readable rejection text. *)
+val error_message : error -> string
+
+(** What [deliver] surfaced to the application. *)
+type event =
+  | Message of bytes  (** one complete reassembled application message *)
+  | Peer_closed  (** the peer sent close_notify (§6) *)
+
+type t
+
+(** Sealed/opened record and rekey counters. *)
+type stats = { records_sealed : int; records_opened : int; rekeys_done : int }
+
+(** Reassembled-message size cap, 16 MiB (§3.5). *)
+val max_message : int
+
+(** Default rekey threshold: 256 records per generation (§4.3). *)
+val default_rekey_after : int
+
+(** [create ~role ~master ~transcript ()] derives both directions'
+    traffic secrets from the handshake master secret and transcript
+    hash (§4.2) and returns a generation-0 connection.
+    [rekey_after] (default {!default_rekey_after}) is the per-
+    generation record budget after which the writer injects a rekey
+    record. @raise Invalid_argument if [rekey_after < 1]. *)
+val create : role:role -> master:bytes -> transcript:bytes -> ?rekey_after:int -> unit -> t
+
+(** [seal_message t payload] frames, chunks, encrypts and tags one
+    application message into transport segments, injecting rekey
+    records at generation boundaries. Empty payloads are legal (one
+    4-byte record). *)
+val seal_message : t -> bytes -> (bytes list, error) result
+
+(** [deliver t seg] authenticates and decrypts one received segment
+    in order. Returns the application events it completed — possibly
+    none (a chunk mid-message, a rekey) or several. Any rejection
+    poisons [t]. *)
+val deliver : t -> bytes -> (event list, error) result
+
+(** [close t] marks the write side closed and returns the
+    close_notify alert record to flush (§6); empty if already
+    closed or poisoned. *)
+val close : t -> bytes list
+
+(** Counters for metrics and tests. *)
+val stats : t -> stats
+
+(** The poisoning error, if the connection failed closed. *)
+val poisoned : t -> error option
+
+(** Current write-side key generation (§4.3). *)
+val write_generation : t -> int
+
+(** Current read-side key generation. *)
+val read_generation : t -> int
+
+(** True once closed in either direction or poisoned. *)
+val closed : t -> bool
+
+(** Zero the traffic secrets and drop any buffered plaintext.
+    Automatic on poisoning; callers wipe on orderly teardown. *)
+val wipe : t -> unit
+
+(** Hooks for the conformance tester only: seal a record with an
+    arbitrary content type to exercise receiver rejection paths. *)
+module Testing : sig
+  val seal_raw : t -> content_type:int -> bytes -> bytes
+end

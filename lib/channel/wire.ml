@@ -1,0 +1,82 @@
+(* Wire-format constants and encodings shared by the record layer and
+   the handshake state machine. Everything here is fixed by
+   docs/PROTOCOL.md; the conformance tester checks these numbers
+   against the spec's vectors, so changing one is a protocol break. *)
+
+let version = 0x01
+let max_segment = 1024
+let header_len = 13
+let tag_len = 16
+let max_ciphertext = max_segment - header_len - tag_len
+let max_plaintext = max_ciphertext
+
+(* §3.2 content types *)
+let ct_handshake = 1
+let ct_application = 2
+let ct_alert = 3
+let ct_rekey = 4
+
+(* §6 alert codes *)
+let alert_close_notify = 1
+let alert_bad_record = 2
+let alert_protocol_error = 3
+
+(* §5.1 handshake message types *)
+let hs_client_hello = 0x01
+let hs_server_attest = 0x02
+let hs_client_finish = 0x03
+
+let random_len = 32
+let dh_len = 32
+let mac_len = 32
+let binding_len = 16
+
+type header = { content_type : int; seq : int64; generation : int; ct_len : int }
+
+let put_header b ~off h =
+  Bytes.set_uint8 b off h.content_type;
+  Bytes.set_uint8 b (off + 1) version;
+  Bytes.set_uint16_be b (off + 2) h.ct_len;
+  Hypertee_util.Bytes_ext.set_u64_be b (off + 4) h.seq;
+  Bytes.set_uint8 b (off + 12) h.generation
+
+let get_header b ~off =
+  let content_type = Bytes.get_uint8 b off in
+  let v = Bytes.get_uint8 b (off + 1) in
+  let ct_len = Bytes.get_uint16_be b (off + 2) in
+  let seq = Hypertee_util.Bytes_ext.get_u64_be b (off + 4) in
+  let generation = Bytes.get_uint8 b (off + 12) in
+  if v <> version then Error `Bad_version else Ok { content_type; seq; generation; ct_len }
+
+(* §3.3 nonce layout: direction byte ‖ generation ‖ 0^6 ‖ seq (u64 BE). *)
+let dir_client_to_server = 0x43 (* 'C' *)
+let dir_server_to_client = 0x53 (* 'S' *)
+
+let nonce_into b ~direction ~generation ~seq =
+  Hypertee_util.Bytes_ext.fill_zero b;
+  Bytes.set_uint8 b 0 direction;
+  Bytes.set_uint8 b 1 generation;
+  Hypertee_util.Bytes_ext.set_u64_be b 8 seq
+
+(* §5.1 handshake message framing: type ‖ version ‖ u16 BE body length
+   ‖ body. *)
+let hs_header_len = 4
+
+let put_hs ~msg_type body =
+  let n = Bytes.length body in
+  let b = Bytes.create (hs_header_len + n) in
+  Bytes.set_uint8 b 0 msg_type;
+  Bytes.set_uint8 b 1 version;
+  Bytes.set_uint16_be b 2 n;
+  Bytes.blit body 0 b hs_header_len n;
+  b
+
+let get_hs msg =
+  if Bytes.length msg < hs_header_len then Error `Truncated
+  else
+    let msg_type = Bytes.get_uint8 msg 0 in
+    let v = Bytes.get_uint8 msg 1 in
+    let n = Bytes.get_uint16_be msg 2 in
+    if v <> version then Error `Bad_version
+    else if Bytes.length msg <> hs_header_len + n then Error `Truncated
+    else Ok (msg_type, Bytes.sub msg hs_header_len n)

@@ -1,0 +1,96 @@
+(** Wire-format constants and encodings of the secure-channel
+    protocol (docs/PROTOCOL.md §3, §5, §6).
+
+    One source of truth for every number that appears on the wire:
+    the record header layout, content types, alert codes, handshake
+    message framing and the CTR nonce construction. {!Record} and
+    {!Handshake} build on these; the conformance tester
+    ({!Conformance}) checks them against the spec's canned vectors. *)
+
+(** Protocol version byte, [0x01] (§3.1). *)
+val version : int
+
+(** Transport segment budget in bytes — one mailbox frame (§3). *)
+val max_segment : int
+
+(** Record header size: 13 bytes (§3.1). *)
+val header_len : int
+
+(** Keyed-sponge record tag size: 16 bytes (§3.3). *)
+val tag_len : int
+
+(** Largest ciphertext a record may carry:
+    [max_segment - header_len - tag_len] (§3.1). *)
+val max_ciphertext : int
+
+(** Equal to {!max_ciphertext} — CTR keeps plaintext length (§3.1). *)
+val max_plaintext : int
+
+(** {2 Content types (§3.2)} *)
+
+val ct_handshake : int
+val ct_application : int
+val ct_alert : int
+val ct_rekey : int
+
+(** {2 Alert codes (§6)} *)
+
+val alert_close_notify : int
+val alert_bad_record : int
+val alert_protocol_error : int
+
+(** {2 Handshake message types (§5.1)} *)
+
+val hs_client_hello : int
+val hs_server_attest : int
+val hs_client_finish : int
+
+(** Handshake random size: 32 bytes (§5.1). *)
+val random_len : int
+
+(** Encoded DH public value size: 32 bytes (§5.1). *)
+val dh_len : int
+
+(** SIGMA transcript MAC size: 32 bytes (§5.2). *)
+val mac_len : int
+
+(** EMS channel-binding secret size: 16 bytes (§4.1). *)
+val binding_len : int
+
+(** {2 Record header (§3.1)} *)
+
+(** Decoded record header. [ct_len] is the ciphertext length the
+    header claims; the caller validates it against the segment. *)
+type header = { content_type : int; seq : int64; generation : int; ct_len : int }
+
+(** [put_header b ~off h] writes the 13-byte header encoding. *)
+val put_header : bytes -> off:int -> header -> unit
+
+(** [get_header b ~off] decodes a header, rejecting any version byte
+    other than {!version}. Does not bounds-check [ct_len]. *)
+val get_header : bytes -> off:int -> (header, [ `Bad_version ]) result
+
+(** {2 Nonce construction (§3.3)} *)
+
+(** Direction byte of client→server records, ['C']. *)
+val dir_client_to_server : int
+
+(** Direction byte of server→client records, ['S']. *)
+val dir_server_to_client : int
+
+(** [nonce_into b ~direction ~generation ~seq] fills the 16-byte CTR
+    nonce: direction ‖ generation ‖ zeros ‖ seq (u64 BE). *)
+val nonce_into : bytes -> direction:int -> generation:int -> seq:int64 -> unit
+
+(** {2 Handshake message framing (§5.1)} *)
+
+(** Handshake message header size: 4 bytes. *)
+val hs_header_len : int
+
+(** [put_hs ~msg_type body] frames a handshake message:
+    type ‖ version ‖ u16 BE length ‖ body. *)
+val put_hs : msg_type:int -> bytes -> bytes
+
+(** [get_hs msg] strips the framing, rejecting version mismatches and
+    any length that disagrees with the segment. *)
+val get_hs : bytes -> (int * bytes, [ `Truncated | `Bad_version ]) result

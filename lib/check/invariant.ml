@@ -24,6 +24,7 @@ type report = {
   frames_swept : int;
   enclaves_checked : int;
   regions_checked : int;
+  chans_checked : int;
   pages_verified : int;
   injected_macs : int;
   deep : bool;
@@ -40,8 +41,8 @@ let pp_violation fmt v =
     (tag "frame" v.frame) v.detail
 
 let pp_report fmt r =
-  Format.fprintf fmt "invariant sweep: %d frame(s), %d enclave(s), %d region(s)%s%s — "
-    r.frames_swept r.enclaves_checked r.regions_checked
+  Format.fprintf fmt "invariant sweep: %d frame(s), %d enclave(s), %d region(s), %d channel(s)%s%s — "
+    r.frames_swept r.enclaves_checked r.regions_checked r.chans_checked
     (if r.deep then Printf.sprintf ", %d page MAC(s) verified" r.pages_verified else "")
     (if r.injected_macs > 0 then Printf.sprintf " (%d injected-flip MAC failure(s) excused)" r.injected_macs
      else "");
@@ -63,6 +64,7 @@ type ctx = {
   claims : (int, string) Hashtbl.t;
   mutable enclaves_checked : int;
   mutable regions_checked : int;
+  mutable chans_checked : int;
   mutable pages_verified : int;
   mutable injected_macs : int;
 }
@@ -431,13 +433,49 @@ let check_macs ctx ?faults ~mem ~mee runtimes =
         (State.shm_regions st))
     runtimes
 
-let check ?(deep = false) ?faults ~mem ~bitmap ~mee ~runtimes () =
+(* Secure-channel fabric ("no orphaned channel keys",
+   docs/PROTOCOL.md §2.3): every live control block names only live
+   enclave endpoints — EDESTROY and shard recovery must reap channels
+   with their endpoints — sits in the residue class of its home
+   shard, and still holds a non-zero binding secret (a wiped binding
+   on a live entry means a close path forgot to unlink). *)
+let check_chans ctx ~runtimes chans =
+  let module Chan = Hypertee_ems.Chan in
+  let live_enclave id =
+    Array.exists (fun rt -> Runtime.find_enclave rt id <> None) runtimes
+  in
+  if Chan.shards chans <> Array.length runtimes then
+    add ctx ~rule:"chan-residue"
+      (Printf.sprintf "fabric sized for %d shard(s) on a %d-shard platform" (Chan.shards chans)
+         (Array.length runtimes));
+  List.iter
+    (fun (v : Chan.view) ->
+      ctx.chans_checked <- ctx.chans_checked + 1;
+      if (v.Chan.v_chan - 1) mod Array.length runtimes <> v.Chan.v_home then
+        add ctx ~rule:"chan-residue" ~shard:v.Chan.v_home
+          (Printf.sprintf "channel %d homed outside its id residue class" v.Chan.v_chan);
+      if not (live_enclave v.Chan.v_listener) then
+        add ctx ~rule:"chan-orphan" ~shard:v.Chan.v_home ~enclave:v.Chan.v_listener
+          (Printf.sprintf "channel %d listens for a dead enclave" v.Chan.v_chan);
+      (match v.Chan.v_initiator with
+      | Chan.Host -> ()
+      | Chan.Enclave id ->
+        if not (live_enclave id) then
+          add ctx ~rule:"chan-orphan" ~shard:v.Chan.v_home ~enclave:id
+            (Printf.sprintf "channel %d was opened by a dead enclave" v.Chan.v_chan));
+      if not v.Chan.v_binding_live then
+        add ctx ~rule:"chan-binding" ~shard:v.Chan.v_home
+          (Printf.sprintf "live channel %d holds a wiped binding secret" v.Chan.v_chan))
+    (Chan.snapshot chans)
+
+let check ?(deep = false) ?faults ?chans ~mem ~bitmap ~mee ~runtimes () =
   let ctx =
     {
       violations = [];
       claims = Hashtbl.create 512;
       enclaves_checked = 0;
       regions_checked = 0;
+      chans_checked = 0;
       pages_verified = 0;
       injected_macs = 0;
     }
@@ -456,6 +494,7 @@ let check ?(deep = false) ?faults ~mem ~bitmap ~mee ~runtimes () =
       check_pool ctx ~mem st ~shard)
     runtimes;
   check_keys ctx ~mee runtimes;
+  Option.iter (fun c -> check_chans ctx ~runtimes c) chans;
   let frames_swept = check_frames ctx ~mem ~bitmap runtimes in
   if deep then check_macs ctx ?faults ~mem ~mee runtimes;
   {
@@ -463,6 +502,7 @@ let check ?(deep = false) ?faults ~mem ~bitmap ~mee ~runtimes () =
     frames_swept;
     enclaves_checked = ctx.enclaves_checked;
     regions_checked = ctx.regions_checked;
+    chans_checked = ctx.chans_checked;
     pages_verified = ctx.pages_verified;
     injected_macs = ctx.injected_macs;
     deep;

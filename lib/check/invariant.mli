@@ -24,6 +24,10 @@
       bitmap-set, availability accounting);
     - shared-memory control structures (region frames, attachment
       symmetry, and the orphaned-region leak gauge at zero);
+    - the secure-channel fabric, when handed in via [chans]: no
+      orphaned channel keys (every live control block names only
+      live enclave endpoints), home-shard residue discipline, and a
+      non-zero binding secret on every live entry;
     - frame exclusivity: no frame claimed by two holders anywhere on
       the platform.
 
@@ -51,6 +55,7 @@ type report = {
   frames_swept : int;
   enclaves_checked : int;
   regions_checked : int;
+  chans_checked : int;  (** secure-channel control blocks swept *)
   pages_verified : int;  (** MAC-checked pages (deep sweep only) *)
   injected_macs : int;
       (** deep-sweep MAC failures attributed to injected DRAM bit
@@ -76,6 +81,7 @@ val report_to_string : report -> string
 val check :
   ?deep:bool ->
   ?faults:Hypertee_faults.Fault.t ->
+  ?chans:Hypertee_ems.Chan.t ->
   mem:Hypertee_arch.Phys_mem.t ->
   bitmap:Hypertee_arch.Bitmap.t ->
   mee:Hypertee_arch.Mem_encryption.t ->

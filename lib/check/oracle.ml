@@ -30,6 +30,18 @@ type mregion = {
   mutable rfuzzy : bool;
 }
 
+(* A secure channel as the model knows it: the control-plane facts
+   the fabric checks (listener, initiator endpoint, accepted flag).
+   Queue depth is deliberately untracked — segment backlog depends on
+   interleavings the tap cannot reconstruct — so data-plane
+   predictions only commit to what the control state proves. *)
+type mchan = {
+  mc_listener : int;
+  mc_initiator : int option;  (* None = host endpoint *)
+  mutable mc_accepted : bool;
+  mutable mc_fuzzy : bool;  (* a timed-out ECHACC left the accept state unknown *)
+}
+
 type divergence = { index : int; opcode : Types.opcode; expected : string; observed : string }
 
 type t = {
@@ -37,13 +49,16 @@ type t = {
   migrated : (int, int) Hashtbl.t;  (* enclave -> hosting shard, overriding residue *)
   enclaves : (int, menclave) Hashtbl.t;
   regions : (int, mregion) Hashtbl.t;
+  chans : (int, mchan) Hashtbl.t;
   seen_enclave_ids : (int, unit) Hashtbl.t;
   seen_shm_ids : (int, unit) Hashtbl.t;
+  seen_chan_ids : (int, unit) Hashtbl.t;
   (* Fog: a timed-out call whose EMS-side effect the model cannot
      know. Each flag permanently weakens the class of prediction it
      poisons — soundness beats completeness for an oracle. *)
   mutable fog_enclaves : bool;  (* a Create may have happened unseen *)
   mutable fog_shms : bool;  (* a Shmget may have happened unseen *)
+  mutable fog_chans : bool;  (* an ECHOPEN/ECHCLOSE may have happened unseen *)
   mutable fog_existence : bool;  (* an unattributed containment may have destroyed anyone *)
   mutable heap_fuzzy : bool;  (* EFREE/EWB punched holes in some heap *)
   mutable calls : int;
@@ -60,10 +75,13 @@ let create ?(shards = 1) () =
     migrated = Hashtbl.create 8;
     enclaves = Hashtbl.create 32;
     regions = Hashtbl.create 16;
+    chans = Hashtbl.create 16;
     seen_enclave_ids = Hashtbl.create 32;
     seen_shm_ids = Hashtbl.create 16;
+    seen_chan_ids = Hashtbl.create 16;
     fog_enclaves = false;
     fog_shms = false;
+    fog_chans = false;
     fog_existence = false;
     heap_fuzzy = false;
     calls = 0;
@@ -101,6 +119,7 @@ let expect_err name pred = Accept (name, fun r -> match r with Types.Err e -> pr
 
 let err_no_enclave = expect_err "Err No_such_enclave" (fun e -> e = Types.No_such_enclave)
 let err_no_shm = expect_err "Err No_such_shm" (fun e -> e = Types.No_such_shm)
+let err_no_chan = expect_err "Err No_such_channel" (fun e -> e = Types.No_such_channel)
 let err_not_registered = expect_err "Err Not_registered" (fun e -> e = Types.Not_registered)
 
 let err_perm =
@@ -126,6 +145,21 @@ let co_sharded t a b = shard_of t a = shard_of t b
 
 let unknown_enclave t = if t.fog_enclaves then Any else err_no_enclave
 let unknown_region t = if t.fog_shms then Any else err_no_shm
+let unknown_channel t = if t.fog_chans then Any else err_no_chan
+
+(* A channel entry the model holds may have been reaped behind its
+   back: an unattributed containment ([fog_existence]) destroys the
+   endpoint enclave, and [Chan.drop_for_enclave] reaps its channels
+   with it. In that fog, commit to nothing. *)
+let find_chan t chan =
+  match Hashtbl.find_opt t.chans chan with
+  | Some c when c.mc_fuzzy || t.fog_existence -> `Fuzzy
+  | Some c -> `Known c
+  | None -> `Unknown
+
+(* Is [sender] (None = host software) an endpoint of channel [c]? *)
+let chan_endpoint c ~(sender : int option) =
+  sender = c.mc_initiator || match sender with Some s -> s = c.mc_listener | None -> false
 
 (* The handler preamble shared by every primitive acting on a target
    enclave: [get_enclave] then [check_identity ~strict]. The identity
@@ -366,6 +400,67 @@ let predict t ~sender request =
               | Types.Ok_attest { quote } -> Bytes.length quote > 0
               | _ -> false )
         | _, Some false -> err_bad_state)
+  | Types.Chan_open { listener } -> (
+    (* Served on the listener's shard; check order mirrors
+       [Svc_channel.handle_open]: existence, then the self-open
+       guard, then a mint from the serving shard's residue class. *)
+    match find_e t listener with
+    | None -> unknown_enclave t
+    | Some _ ->
+      if sender = Some listener then err_invalid
+      else
+        Accept
+          ( "Ok_chan with a never-issued id from the listener's shard",
+            function
+            | Types.Ok_chan { chan; binding } ->
+              chan >= 1
+              && (not (Hashtbl.mem t.seen_chan_ids chan))
+              && (chan - 1) mod t.stride = shard_of t listener
+              && Bytes.length binding = 16
+            | _ -> false ))
+  | Types.Chan_accept { enclave; chan } ->
+    preamble t ~sender ~target:enclave ~strict:true (fun _ ->
+        match find_chan t chan with
+        | `Unknown -> unknown_channel t
+        | `Fuzzy -> Any
+        | `Known c ->
+          if c.mc_listener <> enclave then err_perm
+          else if c.mc_accepted then err_bad_state
+          else
+            Accept
+              ( "Ok_chan for the accepted channel",
+                function
+                | Types.Ok_chan { chan = chan'; binding } ->
+                  chan' = chan && Bytes.length binding = 16
+                | _ -> false ))
+  | Types.Chan_send { chan; seg } -> (
+    match find_chan t chan with
+    | `Unknown -> unknown_channel t
+    | `Fuzzy -> Any
+    | `Known c ->
+      if Bytes.length seg = 0 || Bytes.length seg > 1024 then err_invalid
+      else if not (chan_endpoint c ~sender) then err_perm
+      else
+        (* Queue depth is untracked, so a full queue is the one
+           rejection the model cannot rule out. *)
+        Accept
+          ( "Ok_unit (or a full channel queue)",
+            function
+            | Types.Ok_unit -> true
+            | Types.Err (Types.Invalid_argument_ m) -> m = "channel queue full"
+            | _ -> false ))
+  | Types.Chan_recv { chan } -> (
+    match find_chan t chan with
+    | `Unknown -> unknown_channel t
+    | `Fuzzy -> Any
+    | `Known c ->
+      if not (chan_endpoint c ~sender) then err_perm
+      else Accept ("Ok_seg", function Types.Ok_seg _ -> true | _ -> false))
+  | Types.Chan_close { chan } -> (
+    match find_chan t chan with
+    | `Unknown -> unknown_channel t
+    | `Fuzzy -> Any
+    | `Known c -> if not (chan_endpoint c ~sender) then err_perm else expect_ok_unit)
 
 (* --- adoption: fold the observed truth back into the model ---------- *)
 
@@ -405,6 +500,18 @@ let reap_orphans t =
   in
   List.iter (Hashtbl.remove t.regions) dead
 
+(* EDESTROY reaps every channel naming the enclave as an endpoint
+   ([Chan.drop_for_enclave] — the "no orphaned channel keys" rule);
+   mirror that. *)
+let reap_chans_of t id =
+  let dead =
+    Hashtbl.fold
+      (fun chan c acc ->
+        if c.mc_listener = id || c.mc_initiator = Some id then chan :: acc else acc)
+      t.chans []
+  in
+  List.iter (Hashtbl.remove t.chans) dead
+
 let remove_enclave t id =
   (match find_e t id with
   | Some e ->
@@ -416,6 +523,7 @@ let remove_enclave t id =
       e.attached
   | None -> ());
   Hashtbl.remove t.enclaves id;
+  reap_chans_of t id;
   reap_orphans t
 
 let mark_unknown t id =
@@ -430,6 +538,19 @@ let mark_unknown t id =
 let note_migration t ~enclave ~shard =
   Hashtbl.replace t.migrated enclave (shard mod t.stride);
   mark_unknown t enclave
+
+(* The platform cold-restarted [shard]: channel ops are not
+   journaled, so recovery reaped every channel homed there
+   ([Chan.drop_home]). A channel's home is its minting shard, and
+   minting follows the id residue discipline, so the reaped set is
+   exactly the ids of that residue class. *)
+let note_recovery t ~shard =
+  let s = shard mod t.stride in
+  let dead =
+    Hashtbl.fold (fun chan _ acc -> if (chan - 1) mod t.stride = s then chan :: acc else acc)
+      t.chans []
+  in
+  List.iter (Hashtbl.remove t.chans) dead
 
 (* A call timed out at the gate: the EMS may or may not have served
    it. Poison exactly the knowledge that request could have changed. *)
@@ -469,8 +590,23 @@ let apply_timeout t request =
   | Types.Measure { enclave } ->
     mark_unknown t enclave
   | Types.Add _ | Types.Attest _ -> ()
+  | Types.Chan_open _ ->
+    (* A channel may have been minted unseen. *)
+    t.fog_chans <- true
+  | Types.Chan_accept { chan; _ } -> (
+    match Hashtbl.find_opt t.chans chan with
+    | Some c -> c.mc_fuzzy <- true
+    | None -> ())
+  | Types.Chan_close { chan } ->
+    (* The entry may or may not be gone: forget it, and let the fog
+       cover a later op on the id either way. *)
+    Hashtbl.remove t.chans chan;
+    t.fog_chans <- true
+  | Types.Chan_send _ | Types.Chan_recv _ ->
+    (* Queue state is untracked, so there is nothing to poison. *)
+    ()
 
-let apply_response t request response =
+let apply_response t ~sender request response =
   match (request, response) with
   | _, Types.Err (Types.Integrity_failure _) -> (
     (* Containment: the EMS terminated the victim. *)
@@ -556,13 +692,27 @@ let apply_response t request response =
     | None -> ());
     reap_orphans t
   | Types.Shmdes { shm; _ }, Types.Ok_unit -> Hashtbl.remove t.regions shm
+  | Types.Chan_open { listener }, Types.Ok_chan { chan; _ } ->
+    Hashtbl.replace t.seen_chan_ids chan ();
+    Hashtbl.replace t.chans chan
+      { mc_listener = listener; mc_initiator = sender; mc_accepted = false; mc_fuzzy = false }
+  | Types.Chan_accept { enclave; chan }, Types.Ok_chan _ -> (
+    Hashtbl.replace t.seen_chan_ids chan ();
+    match Hashtbl.find_opt t.chans chan with
+    | Some c -> c.mc_accepted <- true
+    | None ->
+      (* An open that happened in the fog: adopt a stub whose
+         initiator the model never saw. *)
+      Hashtbl.replace t.chans chan
+        { mc_listener = enclave; mc_initiator = None; mc_accepted = true; mc_fuzzy = true })
+  | Types.Chan_close { chan }, Types.Ok_unit -> Hashtbl.remove t.chans chan
   | _, _ -> ()
 
-let apply t request result =
+let apply t ~sender request result =
   match result with
   | Error Emcall.Timeout -> apply_timeout t request
   | Error (Emcall.Cross_privilege | Emcall.Mailbox_full) -> ()
-  | Ok (response, (_ : float)) -> apply_response t request response
+  | Ok (response, (_ : float)) -> apply_response t ~sender request response
 
 (* --- judging --------------------------------------------------------- *)
 
@@ -584,6 +734,9 @@ let describe_result = function
       Printf.sprintf "Ok_shmat base_vpn=%d pages=%d" base_vpn pages
     | Types.Ok_measure _ -> "Ok_measure"
     | Types.Ok_attest _ -> "Ok_attest"
+    | Types.Ok_chan { chan; _ } -> Printf.sprintf "Ok_chan chan=%d" chan
+    | Types.Ok_seg { seg = None } -> "Ok_seg (empty)"
+    | Types.Ok_seg { seg = Some s } -> Printf.sprintf "Ok_seg %dB" (Bytes.length s)
     | Types.Err e -> "Err: " ^ Types.error_message e)
 
 let describe_expect = function
@@ -632,7 +785,7 @@ let observe t ~caller ~batched request result =
         }
         :: t.kept
   end;
-  apply t request result
+  apply t ~sender:(sender_of caller) request result
 
 let tap t : Emcall.tap = fun ~caller ~batched request result -> observe t ~caller ~batched request result
 

@@ -9,7 +9,9 @@
     The model tracks, per enclave: the lifecycle state, the believed
     heap and shared-memory cursors, the measurement status and the
     set of attached regions; per shared region: owner, size, the
-    legal connection list and the active attachments. Predictions
+    legal connection list and the active attachments; per secure
+    channel: listener, initiator endpoint and accept state (queue
+    depth is deliberately untracked). Predictions
     follow each handler's check order exactly (existence → identity
     → argument sanity → state), so the model predicts not just
     success/failure but {e which} error.
@@ -71,6 +73,14 @@ val tap : t -> Hypertee_cs.Emcall.tap
     restore, migration commit). The model routes the id there from
     now on and adopts its lifecycle from later observed responses. *)
 val note_migration : t -> enclave:int -> shard:int -> unit
+
+(** [note_recovery t ~shard] — the platform cold-restarted [shard].
+    Channel ops are not journaled (docs/PROTOCOL.md §2.3), so the
+    recovery reaped every secure channel homed on that shard; the
+    model mirrors the reap by dropping the shard's chan-id residue
+    class. Enclaves and regions replay from the journal and need no
+    adjustment. *)
+val note_recovery : t -> shard:int -> unit
 
 (** Invocations observed so far. *)
 val observed : t -> int

@@ -50,6 +50,10 @@ type t = {
   cost : Cost.t;
   platform_measurement : bytes;
   faults : Fault.t option;
+  chans : Hypertee_ems.Chan.t;
+      (* platform-global secure-channel fabric, shared by every shard
+         (the cross-shard transport); survives shard death — recovery
+         reaps only the dead shard's home channels *)
   (* Elasticity + recovery plane. *)
   journals : Hypertee_ems.Journal.t array;  (* per shard, survives shard death *)
   alive : bool array;  (* doorbells of a dead shard are ignored *)
@@ -132,6 +136,12 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
   let journals = Array.init shard_count (fun _ -> Hypertee_ems.Journal.create ()) in
   let alive = Array.make shard_count true in
   let route_overrides = Hashtbl.create 8 in
+  (* Secure-channel fabric: one mutex-guarded table every shard
+     shares, with per-shard id minting (docs/PROTOCOL.md §2). The
+     fault injector hooks its queue-push path (Chan_corrupt /
+     Chan_truncate / Chan_reorder). *)
+  let chans = Hypertee_ems.Chan.create ~shards:shard_count in
+  Hypertee_ems.Chan.set_injector chans injector;
   let wire_journal s runtime =
     Runtime.set_recorder runtime (fun ~sender request response ->
         Hypertee_ems.Journal.record journals.(s) ~sender request response);
@@ -141,6 +151,7 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
   let make_shard s =
     let runtime =
       Runtime.create ~first_enclave_id:(s + 1) ~first_shm_id:(s + 1) ~id_stride:shard_count
+        ~chans
         ~rng:(Hypertee_util.Xrng.split rng)
         ~mem ~bitmap ~mee ~keys ~cost
         ~os_request:(fun ~n -> Os.pool_request os ~n)
@@ -226,15 +237,22 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
      stride spreads new enclaves evenly. *)
   let rr_cursor = ref 0 in
   let route request =
-    match Runtime.enclave_of_request request with
-    | Some id when id > 0 -> (
-      match Hashtbl.find_opt route_overrides id with
-      | Some s -> s
-      | None -> (id - 1) mod shard_count)
-    | _ ->
-      let s = !rr_cursor in
-      rr_cursor := (s + 1) mod shard_count;
-      s
+    match request with
+    (* Channel data plane: the chan id's residue class is the home
+       shard — no lookup, no override (channels never migrate). *)
+    | Types.Chan_send { chan; _ } | Types.Chan_recv { chan } | Types.Chan_close { chan }
+      when chan > 0 ->
+      (chan - 1) mod shard_count
+    | _ -> (
+      match Runtime.enclave_of_request request with
+      | Some id when id > 0 -> (
+        match Hashtbl.find_opt route_overrides id with
+        | Some s -> s
+        | None -> (id - 1) mod shard_count)
+      | _ ->
+        let s = !rr_cursor in
+        rr_cursor := (s + 1) mod shard_count;
+        s)
   in
   let services = Array.mapi (fun s sh -> ems_service s sh) shards in
   let gate_shards =
@@ -302,6 +320,7 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
       cost;
       platform_measurement;
       faults = injector;
+      chans;
       journals;
       alive;
       route_overrides;
@@ -427,13 +446,15 @@ let publish_metrics t registry =
       Hypertee_ems.Scheduler.publish_metrics sh.scheduler ~prefix:(prefix "sched") registry;
       Runtime.publish_metrics sh.runtime ~prefix:(prefix "ems") registry)
     t.shards;
+  Hypertee_ems.Chan.publish_metrics t.chans registry;
   Option.iter (fun inj -> Fault.publish_metrics inj registry) t.faults
 
 (* Correctness checking (lib/check): sweep every redundant view of
    the platform state against the others, and optionally shadow the
    gate with a differential oracle. *)
 let check ?deep t =
-  Hypertee_check.Invariant.check ?deep ?faults:t.faults ~mem:t.mem ~bitmap:t.bitmap ~mee:t.mee
+  Hypertee_check.Invariant.check ?deep ?faults:t.faults ~chans:t.chans ~mem:t.mem
+    ~bitmap:t.bitmap ~mee:t.mee
     ~runtimes:(Array.map (fun sh -> sh.runtime) t.shards)
     ()
 
@@ -764,7 +785,7 @@ let recover_shard t s =
      byte-identical. *)
   let sh = t.shards.(s) in
   let runtime =
-    Runtime.create ~first_enclave_id:(s + 1) ~first_shm_id:(s + 1) ~id_stride:n
+    Runtime.create ~first_enclave_id:(s + 1) ~first_shm_id:(s + 1) ~id_stride:n ~chans:t.chans
       ~rng:(Hypertee_util.Xrng.split t.recovery_rng)
       ~mem:t.mem ~bitmap:t.bitmap ~mee:t.mee ~keys:t.keys ~cost:t.cost
       ~os_request:(fun ~n -> Os.pool_request t.os ~n)
@@ -811,11 +832,19 @@ let recover_shard t s =
         | Error _ -> incr mismatches))
     (Journal.entries journal);
   Journal.set_replaying journal false;
+  (* Channels are ephemeral session state and never journaled
+     (docs/PROTOCOL.md §2.3): a channel homed on the dead shard
+     cannot be rebuilt, so reap it — wiping its binding secret — and
+     force the endpoints to re-establish. The tap never sees this, so
+     the differential oracle is told directly. *)
+  let dropped_chans = Hypertee_ems.Chan.drop_home t.chans ~home:s in
+  Option.iter (fun oracle -> Hypertee_check.Oracle.note_recovery oracle ~shard:s) t.oracle;
   t.alive.(s) <- true;
   Audit.record_fault (Runtime.audit runtime) ~site:"shard-recovery"
     ~detail:
-      (Printf.sprintf "cold restart: %d frame(s) scrubbed, %d journal entries replayed, %d divergent"
-         !scrubbed !replayed !mismatches)
+      (Printf.sprintf
+         "cold restart: %d frame(s) scrubbed, %d journal entries replayed, %d divergent, %d channel(s) reaped"
+         !scrubbed !replayed !mismatches dropped_chans)
     ~recovered:true;
   { replayed = !replayed; mismatches = !mismatches }
 
@@ -837,4 +866,5 @@ module Internals = struct
   let faults t = t.faults
   let journals t = t.journals
   let route_overrides t = t.route_overrides
+  let chans t = t.chans
 end

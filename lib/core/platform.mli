@@ -274,4 +274,7 @@ module Internals : sig
   val faults : t -> Hypertee_faults.Fault.t option
   val journals : t -> Hypertee_ems.Journal.t array
   val route_overrides : t -> (Hypertee_ems.Types.enclave_id, int) Hashtbl.t
+
+  (** The platform-global secure-channel fabric. *)
+  val chans : t -> Hypertee_ems.Chan.t
 end

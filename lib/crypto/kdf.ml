@@ -1,0 +1,19 @@
+(* Labelled key schedule for the secure-channel layer: a thin
+   HKDF-expand wrapper that namespaces every derivation under the
+   protocol tag, so channel keys can never collide with SHM, seal or
+   MEE keys derived elsewhere from the same root material. The label
+   set is fixed by docs/PROTOCOL.md §4 and checked by the conformance
+   tester. *)
+
+let protocol_tag = "htch1 "
+
+let expand_label ~secret ~label ~context len =
+  let tag = protocol_tag ^ label in
+  let tag_len = String.length tag in
+  let info = Bytes.create (tag_len + Bytes.length context) in
+  Bytes.blit_string tag 0 info 0 tag_len;
+  Bytes.blit context 0 info tag_len (Bytes.length context);
+  Hmac.expand ~prk:secret ~info len
+
+let derive_secret ~secret ~label ~transcript len =
+  expand_label ~secret ~label ~context:transcript len

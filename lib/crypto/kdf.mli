@@ -1,0 +1,24 @@
+(** Labelled key schedule of the secure-channel layer
+    (docs/PROTOCOL.md §4).
+
+    Every channel secret — master, per-direction traffic secrets,
+    per-generation record keys, rekey chaining — comes out of
+    [expand_label], an HKDF-expand whose info string is the fixed
+    protocol tag ["htch1 "] followed by a role label and a binding
+    context. The tag namespaces channel derivations away from every
+    other consumer of the platform's root key material ({!Hmac},
+    [Keymgmt]); the labels are part of the wire specification, so
+    changing one is a protocol break the conformance tester catches. *)
+
+(** The derivation namespace prefix, ["htch1 "] (§4.1). *)
+val protocol_tag : string
+
+(** [expand_label ~secret ~label ~context len] is
+    [HKDF-Expand(secret, protocol_tag ‖ label ‖ context, len)].
+    [secret] may be any length (it is the HMAC key). *)
+val expand_label : secret:bytes -> label:string -> context:bytes -> int -> bytes
+
+(** [derive_secret ~secret ~label ~transcript len] — [expand_label]
+    with the handshake transcript hash as context, the form §4.2 uses
+    for the master and traffic secrets. *)
+val derive_secret : secret:bytes -> label:string -> transcript:bytes -> int -> bytes

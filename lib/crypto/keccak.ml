@@ -480,3 +480,12 @@ let mac_28bit_keyed keyed data =
   absorb sp data ~off:0 ~len:(Bytes.length data);
   finalize_into sp sp.mac_digest ~off:0;
   tag_of_digest sp.mac_digest
+
+let mac16_keyed_into keyed data ~off ~len tag ~tag_off =
+  let sp = Domain.DLS.get sponge in
+  Array.blit keyed.kst 0 sp.st 0 50;
+  if keyed.kpartial_len > 0 then Bytes.blit keyed.kpartial 0 sp.partial 0 keyed.kpartial_len;
+  sp.partial_len <- keyed.kpartial_len;
+  absorb sp data ~off ~len;
+  finalize_into sp sp.mac_digest ~off:0;
+  Bytes.blit sp.mac_digest 0 tag tag_off 16

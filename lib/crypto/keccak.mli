@@ -37,6 +37,14 @@ val keyed_init : key:bytes -> keyed
     [mac_28bit ~key data] for the [key] captured in [keyed]. *)
 val mac_28bit_keyed : keyed -> bytes -> int
 
+(** [mac16_keyed_into keyed data ~off ~len tag ~tag_off] writes the
+    16-byte keyed-sponge tag of [data.[off..off+len-1]] — the first
+    half of [SHA3-256(key ‖ data)] — into [tag] at [tag_off], with no
+    allocation. This is the record tag of the secure-channel layer
+    (docs/PROTOCOL.md §3.3): the record header and ciphertext sit
+    contiguously in one buffer, so the MAC input is a single slice. *)
+val mac16_keyed_into : keyed -> bytes -> off:int -> len:int -> bytes -> tag_off:int -> unit
+
 (** The original incremental-sponge implementation on int64 arrays,
     retained verbatim: the equivalence oracle for the unrolled path
     and the baseline the perf harness measures speedup against. *)

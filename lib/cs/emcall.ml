@@ -167,7 +167,11 @@ let bitmap_changed request response =
     true
   | ( ( Types.Add _ | Types.Enter _ | Types.Resume _ | Types.Exit _ | Types.Shmat _
       | Types.Shmdt _ | Types.Shmshr _ | Types.Measure _ | Types.Attest _
-      | Types.Interrupt _ ),
+      | Types.Interrupt _
+      (* Channel primitives touch only the fabric's control blocks,
+         never the page-ownership bitmap. *)
+      | Types.Chan_open _ | Types.Chan_accept _ | Types.Chan_send _ | Types.Chan_recv _
+      | Types.Chan_close _ ),
       _ ) ->
     false
 

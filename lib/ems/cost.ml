@@ -81,3 +81,12 @@ let service_ns t request =
     dispatch_ns t +. measure_ns t ~bytes:64
   | Types.Attest _ -> attest_ns t
   | Types.Page_fault _ -> alloc_ns t ~pages:1
+  (* Channel control plane: a dispatch plus a key derivation for the
+     binding secret (open/accept); close wipes and unlinks. *)
+  | Types.Chan_open _ | Types.Chan_accept _ -> dispatch_ns t +. measure_ns t ~bytes:16
+  | Types.Chan_close _ -> dispatch_ns t
+  (* Channel data plane: a dispatch plus the fabric copy of the
+     segment; EMS never touches record cryptography. *)
+  | Types.Chan_send { seg; _ } ->
+    dispatch_ns t +. ns_of_instructions t (float_of_int (Bytes.length seg) /. 8.0)
+  | Types.Chan_recv _ -> dispatch_ns t +. ns_of_instructions t 128.0

@@ -32,6 +32,12 @@ let should_record request response =
   | _ -> (
     match request with
     | Types.Writeback _ | Types.Attest _ -> false
+    (* Secure channels are ephemeral session state: a recovered
+       shard cannot resume a live handshake or record stream, so
+       channel ops are not replayed — recovery reaps the dead
+       shard's channels instead (fail closed, re-establish). *)
+    | Types.Chan_open _ | Types.Chan_accept _ | Types.Chan_send _ | Types.Chan_recv _
+    | Types.Chan_close _ -> false
     | Types.Create _ | Types.Add _ | Types.Enter _ | Types.Resume _ | Types.Exit _
     | Types.Destroy _ | Types.Alloc _ | Types.Free _ | Types.Shmget _ | Types.Shmat _
     | Types.Shmdt _ | Types.Shmshr _ | Types.Shmdes _ | Types.Measure _ | Types.Page_fault _

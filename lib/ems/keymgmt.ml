@@ -36,6 +36,11 @@ let memory_key t ~enclave_measurement ~enclave_id =
 let shm_key t ~owner ~shm_id =
   derive t ~info:"hypertee-shm-key" ~context:(Bytes.cat (int_bytes owner) (int_bytes shm_id)) 16
 
+let channel_binding t ~chan ~listener =
+  derive t ~info:"hypertee-channel-binding"
+    ~context:(Bytes.cat (int_bytes chan) (int_bytes listener))
+    16
+
 let report_key t ~challenger_measurement =
   derive t ~info:"hypertee-report-key" ~context:challenger_measurement 16
 

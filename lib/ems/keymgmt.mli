@@ -35,6 +35,14 @@ val memory_key : t -> enclave_measurement:bytes -> enclave_id:int -> bytes
     from the initial sender's id and the ShmID (Sec. V-A). *)
 val shm_key : t -> owner:int -> shm_id:int -> bytes
 
+(** [channel_binding t ~chan ~listener] 16-byte secure-channel
+    binding secret (docs/PROTOCOL.md §4.1), derived from SK, the
+    channel id and the listening enclave's id. EMS hands it to both
+    endpoints at ECHOPEN/ECHACC; the handshake mixes it into the
+    master secret so a session is cryptographically pinned to the
+    channel the EMS set up. *)
+val channel_binding : t -> chan:int -> listener:int -> bytes
+
 (** [report_key t ~challenger_measurement] for local attestation. *)
 val report_key : t -> challenger_measurement:bytes -> bytes
 

@@ -15,12 +15,13 @@ let build_registry () =
   Svc_memory.register registry;
   Svc_shm.register registry;
   Svc_attest.register registry;
+  Svc_channel.register registry;
   registry
 
-let create ?first_enclave_id ?first_shm_id ?id_stride ~rng ~mem ~bitmap ~mee ~keys ~cost
+let create ?first_enclave_id ?first_shm_id ?id_stride ?chans ~rng ~mem ~bitmap ~mee ~keys ~cost
     ~os_request ~os_return ~platform_measurement () =
   let state =
-    State.create ?first_enclave_id ?first_shm_id ?id_stride ~rng ~mem ~bitmap ~mee ~keys
+    State.create ?first_enclave_id ?first_shm_id ?id_stride ?chans ~rng ~mem ~bitmap ~mee ~keys
       ~cost ~os_request ~os_return ~platform_measurement ()
   in
   { state; registry = build_registry (); recorder = None; containment_recorder = None }
@@ -72,6 +73,11 @@ let enclave_of_request = function
     Some enclave
   | Types.Shmget { owner; _ } | Types.Shmshr { owner; _ } | Types.Shmdes { owner; _ } ->
     Some owner
+  | Types.Chan_open { listener } -> Some listener
+  | Types.Chan_accept { enclave; _ } -> Some enclave
+  (* Data-plane channel requests carry no enclave affinity: the gate
+     routes them by the channel id's home-shard residue instead. *)
+  | Types.Chan_send _ | Types.Chan_recv _ | Types.Chan_close _ -> None
 
 (* Containment (Table I availability): a MAC failure while serving a
    primitive is a compromise of that enclave's memory, never of the

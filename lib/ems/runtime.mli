@@ -6,7 +6,8 @@
     structures, root keys — lives in [State.t]; the service routine
     behind each Table II primitive lives in one of the per-domain
     service modules ([Svc_lifecycle], [Svc_memory], [Svc_shm],
-    [Svc_attest]), registered in a [Registry.t] keyed by opcode.
+    [Svc_attest], [Svc_channel]), registered in a [Registry.t] keyed
+    by opcode.
     [handle] is what an EMS worker core runs for one request packet:
     count, look the service up, invoke it with the shared state,
     contain integrity faults, record the outcome in the audit log.
@@ -18,17 +19,20 @@
 
 type t
 
-(** [create ()] builds a runtime with all four services registered.
+(** [create ()] builds a runtime with all five services registered.
 
     The optional id parameters support platform sharding: shard [s]
     of [n] runs with [first_enclave_id = s+1], [first_shm_id = s+1]
     and [id_stride = n], so each shard assigns ids from a disjoint
     residue class and [(id-1) mod n] recovers the owning shard. The
-    defaults (1, 1, 1) are the single-shard behaviour. *)
+    defaults (1, 1, 1) are the single-shard behaviour. [chans] is
+    the platform-shared secure-channel fabric; every shard of one
+    platform must be handed the same value. *)
 val create :
   ?first_enclave_id:int ->
   ?first_shm_id:int ->
   ?id_stride:int ->
+  ?chans:Chan.t ->
   rng:Hypertee_util.Xrng.t ->
   mem:Hypertee_arch.Phys_mem.t ->
   bitmap:Hypertee_arch.Bitmap.t ->

@@ -23,12 +23,13 @@ type t = {
   id_stride : int;
   shard : int;
   adopted : (Types.enclave_id, unit) Hashtbl.t;
+  chans : Chan.t;
   mutable next_enclave_id : int;
   mutable next_shm_id : int;
 }
 
-let create ?(first_enclave_id = 1) ?(first_shm_id = 1) ?(id_stride = 1) ~rng ~mem ~bitmap ~mee
-    ~keys ~cost ~os_request ~os_return ~platform_measurement () =
+let create ?(first_enclave_id = 1) ?(first_shm_id = 1) ?(id_stride = 1) ?chans ~rng ~mem ~bitmap
+    ~mee ~keys ~cost ~os_request ~os_return ~platform_measurement () =
   if id_stride < 1 then invalid_arg "State.create: id_stride must be >= 1";
   let pool_rng = Hypertee_util.Xrng.split rng in
   let pool =
@@ -53,6 +54,7 @@ let create ?(first_enclave_id = 1) ?(first_shm_id = 1) ?(id_stride = 1) ~rng ~me
     id_stride;
     shard = (first_enclave_id - 1) mod max 1 id_stride;
     adopted = Hashtbl.create 4;
+    chans = (match chans with Some c -> c | None -> Chan.create ~shards:(max 1 id_stride));
     next_enclave_id = first_enclave_id;
     next_shm_id = first_shm_id;
   }

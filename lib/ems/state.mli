@@ -42,16 +42,24 @@ type t = {
           belongs to another shard ({!Svc_migrate}); exempt from the
           residue invariant and routed to this shard by a gate
           override the platform maintains. *)
+  chans : Chan.t;
+      (** Secure-channel fabric, {e shared across every shard} of a
+          platform (the cross-shard transport); each shard mints
+          channel ids from its own residue class. *)
   mutable next_enclave_id : int;
   mutable next_shm_id : int;
 }
 
 (** Build the shared state; the id parameters are those of
-    {!Runtime.create} (platform sharding). *)
+    {!Runtime.create} (platform sharding). [chans] is the platform's
+    shared channel fabric — every shard of one platform must receive
+    the same value (defaults to a fresh fabric sized by
+    [id_stride]). *)
 val create :
   ?first_enclave_id:int ->
   ?first_shm_id:int ->
   ?id_stride:int ->
+  ?chans:Chan.t ->
   rng:Hypertee_util.Xrng.t ->
   mem:Hypertee_arch.Phys_mem.t ->
   bitmap:Hypertee_arch.Bitmap.t ->

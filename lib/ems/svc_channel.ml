@@ -1,0 +1,58 @@
+(** Secure-channel setup & transport service: ECHOPEN, ECHACC,
+    ECHSEND, ECHRECV, ECHCLOSE (docs/PROTOCOL.md §2). The EMS owns
+    communication setup (paper Sec. V): it mints the channel, derives
+    the binding secret both endpoints mix into their session keys,
+    and relays opaque segments between the endpoints — it never sees
+    a record key or a plaintext byte. *)
+
+open State
+
+let name = "channel"
+let opcodes = Types.[ ECHOPEN; ECHACC; ECHSEND; ECHRECV; ECHCLOSE ]
+
+let handle_open t ~sender ~listener =
+  let* e = get_enclave t listener in
+  ignore e;
+  let initiator = Chan.endpoint_of_sender sender in
+  if initiator = Chan.Enclave listener then
+    Types.Err (Types.Invalid_argument_ "cannot open a channel to oneself")
+  else begin
+    let chan, binding =
+      Chan.open_ t.chans ~shard:t.shard ~listener ~initiator ~binding_of:(fun chan ->
+          Keymgmt.channel_binding t.keys ~chan ~listener)
+    in
+    Types.Ok_chan { chan; binding }
+  end
+
+let handle_accept t ~sender ~enclave ~chan =
+  let* _e = get_enclave t enclave in
+  let* () = check_identity ~sender ~target:enclave ~strict:true in
+  match Chan.accept t.chans ~chan ~enclave with
+  | Error e -> Types.Err e
+  | Ok binding -> Types.Ok_chan { chan; binding }
+
+let handle_send t ~sender ~chan ~seg =
+  match Chan.send t.chans ~chan ~sender:(Chan.endpoint_of_sender sender) ~seg with
+  | Error e -> Types.Err e
+  | Ok () -> Types.Ok_unit
+
+let handle_recv t ~sender ~chan =
+  match Chan.recv t.chans ~chan ~sender:(Chan.endpoint_of_sender sender) with
+  | Error e -> Types.Err e
+  | Ok seg -> Types.Ok_seg { seg }
+
+let handle_close t ~sender ~chan =
+  match Chan.close t.chans ~chan ~sender:(Chan.endpoint_of_sender sender) with
+  | Error e -> Types.Err e
+  | Ok () -> Types.Ok_unit
+
+let handle t ~sender (request : Types.request) =
+  match request with
+  | Types.Chan_open { listener } -> handle_open t ~sender ~listener
+  | Types.Chan_accept { enclave; chan } -> handle_accept t ~sender ~enclave ~chan
+  | Types.Chan_send { chan; seg } -> handle_send t ~sender ~chan ~seg
+  | Types.Chan_recv { chan } -> handle_recv t ~sender ~chan
+  | Types.Chan_close { chan } -> handle_close t ~sender ~chan
+  | _ -> Types.Err (Types.Invalid_argument_ "request outside the channel service")
+
+let register registry = Registry.register registry ~service:name ~opcodes handle

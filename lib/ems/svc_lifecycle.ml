@@ -185,6 +185,10 @@ let handle_destroy t ~enclave =
      Regions with live attachments survive and are reaped on the
      last ESHMDT. *)
   ignore (reap_orphaned_shms t);
+  (* Secure channels that name this enclave as an endpoint die with
+     it, wiping their binding secrets — the "no orphaned channel
+     keys" rule the invariant checker enforces. *)
+  ignore (Chan.drop_for_enclave t.chans enclave);
   Types.Ok_unit
 
 (* Direct entry point for integrity containment: [Runtime] terminates

@@ -20,11 +20,16 @@ type opcode =
   | ESHMDES
   | EMEAS
   | EATTEST
+  | ECHOPEN
+  | ECHACC
+  | ECHSEND
+  | ECHRECV
+  | ECHCLOSE
 
 let all_opcodes =
   [
     ECREATE; EADD; EENTER; ERESUME; EEXIT; EDESTROY; EALLOC; EFREE; EWB; ESHMGET; ESHMAT;
-    ESHMDT; ESHMSHR; ESHMDES; EMEAS; EATTEST;
+    ESHMDT; ESHMSHR; ESHMDES; EMEAS; EATTEST; ECHOPEN; ECHACC; ECHSEND; ECHRECV; ECHCLOSE;
   ]
 
 let opcode_name = function
@@ -44,11 +49,19 @@ let opcode_name = function
   | ESHMDES -> "ESHMDES"
   | EMEAS -> "EMEAS"
   | EATTEST -> "EATTEST"
+  | ECHOPEN -> "ECHOPEN"
+  | ECHACC -> "ECHACC"
+  | ECHSEND -> "ECHSEND"
+  | ECHRECV -> "ECHRECV"
+  | ECHCLOSE -> "ECHCLOSE"
 
-(* Table II privilege column. *)
+(* Table II privilege column; channel primitives extend the table with
+   User privilege, since hosts and enclaves both open channels. *)
 let required_privilege = function
   | ECREATE | EADD | EENTER | ERESUME | EDESTROY | EWB | EMEAS -> Os
-  | EEXIT | EALLOC | EFREE | ESHMGET | ESHMAT | ESHMDT | ESHMSHR | ESHMDES | EATTEST -> User
+  | EEXIT | EALLOC | EFREE | ESHMGET | ESHMAT | ESHMDT | ESHMSHR | ESHMDES | EATTEST
+  | ECHOPEN | ECHACC | ECHSEND | ECHRECV | ECHCLOSE ->
+    User
 
 let opcode_semantics = function
   | ECREATE -> "Create an enclave"
@@ -67,6 +80,11 @@ let opcode_semantics = function
   | ESHMDES -> "Destroy enclave shared memory"
   | EMEAS -> "Measure code and data of enclave"
   | EATTEST -> "Sign enclave and platform"
+  | ECHOPEN -> "Open a secure channel to a listening enclave"
+  | ECHACC -> "Accept a pending secure channel"
+  | ECHSEND -> "Queue a channel segment toward the peer"
+  | ECHRECV -> "Dequeue the next channel segment"
+  | ECHCLOSE -> "Tear a channel down and wipe its binding"
 
 type enclave_config = {
   code_pages : int;
@@ -100,6 +118,11 @@ type request =
   | Attest of { enclave : enclave_id; user_data : bytes }
   | Page_fault of { enclave : enclave_id; vpn : int }
   | Interrupt of { enclave : enclave_id; pc : int; cause : int }
+  | Chan_open of { listener : enclave_id }
+  | Chan_accept of { enclave : enclave_id; chan : int }
+  | Chan_send of { chan : int; seg : bytes }
+  | Chan_recv of { chan : int }
+  | Chan_close of { chan : int }
 
 let opcode_of_request = function
   | Create _ -> ECREATE
@@ -118,6 +141,11 @@ let opcode_of_request = function
   | Shmdes _ -> ESHMDES
   | Measure _ -> EMEAS
   | Attest _ -> EATTEST
+  | Chan_open _ -> ECHOPEN
+  | Chan_accept _ -> ECHACC
+  | Chan_send _ -> ECHSEND
+  | Chan_recv _ -> ECHRECV
+  | Chan_close _ -> ECHCLOSE
 
 type error =
   | No_such_enclave
@@ -129,6 +157,7 @@ type error =
   | Not_registered
   | Invalid_argument_ of string
   | Integrity_failure of { frame : int }
+  | No_such_channel
 
 let error_message = function
   | No_such_enclave -> "no such enclave"
@@ -141,6 +170,7 @@ let error_message = function
   | Invalid_argument_ s -> "invalid argument: " ^ s
   | Integrity_failure { frame } ->
     Printf.sprintf "memory integrity violation at frame %d: enclave terminated" frame
+  | No_such_channel -> "no such channel"
 
 type response =
   | Ok_unit
@@ -152,6 +182,8 @@ type response =
   | Ok_shmat of { base_vpn : int; pages : int }
   | Ok_measure of { measurement : bytes }
   | Ok_attest of { quote : bytes }
+  | Ok_chan of { chan : int; binding : bytes }
+  | Ok_seg of { seg : bytes option }
   | Err of error
 
 let pp_opcode fmt op = Format.pp_print_string fmt (opcode_name op)

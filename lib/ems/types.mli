@@ -15,7 +15,9 @@ type perm = Read_only | Read_write
 (** Who may invoke a primitive (Table II "Priv." column). *)
 type privilege = Os | User
 
-(** The primitive opcodes of Table II. *)
+(** The primitive opcodes of Table II, extended with the five secure-
+    channel primitives ([ECH*]) this reproduction adds for attested
+    session transport (docs/PROTOCOL.md §2). *)
 type opcode =
   | ECREATE
   | EADD
@@ -33,8 +35,13 @@ type opcode =
   | ESHMDES
   | EMEAS
   | EATTEST
+  | ECHOPEN
+  | ECHACC
+  | ECHSEND
+  | ECHRECV
+  | ECHCLOSE
 
-(** Every opcode, in Table II order. *)
+(** Every opcode, in Table II order (channel primitives last). *)
 val all_opcodes : opcode list
 
 (** Mnemonic, e.g. ["EALLOC"]. *)
@@ -87,6 +94,20 @@ type request =
       (** EMCall reports an interrupt/exception during enclave
           execution: EMS saves the context into the ECS and parks the
           enclave in Interrupted state until ERESUME (Sec. III-B) *)
+  | Chan_open of { listener : enclave_id }
+      (** mint a channel toward [listener]; routed to the listener's
+          shard, which becomes the channel's home
+          (docs/PROTOCOL.md §2.1) *)
+  | Chan_accept of { enclave : enclave_id; chan : int }
+      (** the listening enclave claims a pending channel and learns
+          its binding secret (§2.2) *)
+  | Chan_send of { chan : int; seg : bytes }
+      (** queue one transport segment (≤ §3 segment budget) toward
+          the peer endpoint *)
+  | Chan_recv of { chan : int }  (** dequeue the next segment queued for the caller, if any *)
+  | Chan_close of { chan : int }
+      (** tear the channel down: wipe the binding and drop queued
+          segments (§2.4) *)
 
 (** The Table II opcode a request is charged to. *)
 val opcode_of_request : request -> opcode
@@ -103,6 +124,7 @@ type error =
   | Integrity_failure of { frame : int }
       (** the memory-encryption MAC caught tampering (or an injected
           bit flip); EMS terminated the affected enclave *)
+  | No_such_channel  (** unknown, closed, or already-reaped channel id *)
 
 (** Human-readable error text for reports and logs. *)
 val error_message : error -> string
@@ -119,6 +141,12 @@ type response =
   | Ok_shmat of { base_vpn : int; pages : int }
   | Ok_measure of { measurement : bytes }
   | Ok_attest of { quote : bytes }
+  | Ok_chan of { chan : int; binding : bytes }
+      (** channel id plus the 16-byte EMS binding secret both
+          endpoints mix into the session key schedule
+          (docs/PROTOCOL.md §4.1) *)
+  | Ok_seg of { seg : bytes option }
+      (** [None] when the peer has queued nothing (poll again) *)
   | Err of error
 
 (** Formatters (also backing the Alcotest testables). *)

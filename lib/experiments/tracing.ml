@@ -5,9 +5,9 @@ module Emcall = Hypertee_cs.Emcall
 module Types = Hypertee_ems.Types
 module Config = Hypertee_arch.Config
 
-type target = Fig6 | Fig7 | Chaos | Scale
+type target = Fig6 | Fig7 | Chaos | Scale | Channel
 
-let target_names = [ "fig6"; "fig7"; "chaos"; "scale" ]
+let target_names = [ "fig6"; "fig7"; "chaos"; "scale"; "channel" ]
 
 let target_of_string s =
   match String.lowercase_ascii s with
@@ -15,6 +15,7 @@ let target_of_string s =
   | "fig7" -> Some Fig7
   | "chaos" -> Some Chaos
   | "scale" -> Some Scale
+  | "channel" -> Some Channel
   | _ -> None
 
 let target_name = function
@@ -22,6 +23,7 @@ let target_name = function
   | Fig7 -> "fig7"
   | Chaos -> "chaos"
   | Scale -> "scale"
+  | Channel -> "channel"
 
 (* Traced workload sizes: big enough for a structured timeline, small
    enough that the JSON stays loadable in a browser tab. *)
@@ -29,6 +31,7 @@ let fig6_requests ~quick = if quick then 512 else 4096
 let chaos_ops ~quick = if quick then 300 else 2000
 let scale_ops ~quick = if quick then 64 else 256
 let fig7_cap ~quick = if quick then 8 else 64
+let channel_messages ~quick = if quick then 40 else 400
 
 (* Fig. 7 itself is analytic (the perf model attributes overhead per
    workload); its traced counterpart replays each rv8 profile's
@@ -71,6 +74,53 @@ let run_fig7 ~seed ~cap =
   if not (Hypertee_check.Invariant.ok report) then
     failwith ("Tracing.run_fig7: " ^ Hypertee_check.Invariant.report_to_string report)
 
+(* Traced attested-channel session (docs/PROTOCOL.md): a host client
+   ECHOPENs to a measured enclave on a two-shard platform, runs the
+   three-flight handshake, streams [messages] records with rekeys
+   along the way, and closes. The trace shows the handshake flights
+   ("chan:hs:*" markers on the channel category) interleaved with the
+   gate and EMS spans serving them. *)
+let run_channel ~seed ~messages =
+  let module Secure_channel = Hypertee.Secure_channel in
+  let config = { Config.default with Config.ems_shards = 2 } in
+  let platform = Platform.create ~seed ~config () in
+  let enclave =
+    match
+      Platform.invoke platform ~caller:Emcall.Os_kernel
+        (Types.Create { config = Types.default_config })
+    with
+    | Ok (Types.Ok_created { enclave }) ->
+      let data = Bytes.make 64 's' in
+      for i = 0 to 3 do
+        ignore
+          (Platform.invoke platform ~caller:Emcall.Os_kernel
+             (Types.Add { enclave; vpn = 0x100 + i; data; executable = i < 2 }))
+      done;
+      ignore (Platform.invoke platform ~caller:Emcall.Os_kernel (Types.Measure { enclave }));
+      enclave
+    | _ -> failwith "Tracing.run_channel: enclave setup failed"
+  in
+  (match Secure_channel.establish platform ~listener:enclave ~rekey_after:32 () with
+  | Error e -> failwith ("Tracing.run_channel: " ^ e)
+  | Ok (client, server) ->
+    for i = 1 to messages do
+      let payload = Bytes.make (64 + (i mod 512)) (Char.chr (0x40 + (i mod 26))) in
+      (match Secure_channel.send client payload with
+      | Ok () -> ()
+      | Error e -> failwith ("Tracing.run_channel: send: " ^ e));
+      match Secure_channel.recv server with
+      | Ok _ -> ()
+      | Error e -> failwith ("Tracing.run_channel: recv: " ^ e)
+    done;
+    (match Secure_channel.close client with
+    | Ok () -> ()
+    | Error e -> failwith ("Tracing.run_channel: close: " ^ e));
+    ignore (Secure_channel.recv server);
+    ignore (Secure_channel.close server));
+  let report = Platform.check platform in
+  if not (Hypertee_check.Invariant.ok report) then
+    failwith ("Tracing.run_channel: " ^ Hypertee_check.Invariant.report_to_string report)
+
 let run_target ~seed ~quick = function
   | Fig6 ->
     ignore
@@ -81,6 +131,7 @@ let run_target ~seed ~quick = function
     ignore (Chaos.run_point ~seed ~fault_rate:0.05 ~ops:(chaos_ops ~quick))
   | Scale ->
     ignore (Scale.run_point ~seed ~cs_cores:4 ~shards:2 ~batch:4 ~ops:(scale_ops ~quick) ())
+  | Channel -> run_channel ~seed ~messages:(channel_messages ~quick)
 
 let run ?(out = stdout) ?(quick = false) ?(seed = 0x7ACEL) ?(path = "trace.json") target =
   let tracer = Trace.create () in

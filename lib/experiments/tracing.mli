@@ -24,8 +24,11 @@
     - [Chaos] — one fault-sweep point at rate 0.05 (EMCall spans plus
       fault / retry / watchdog instants);
     - [Scale] — a batched multi-shard point (amortized transport
-      visible in the span widths). *)
-type target = Fig6 | Fig7 | Chaos | Scale
+      visible in the span widths);
+    - [Channel] — an attested secure-channel session on a two-shard
+      platform (docs/PROTOCOL.md): three-flight handshake markers,
+      record traffic with rekeys, orderly close. *)
+type target = Fig6 | Fig7 | Chaos | Scale | Channel
 
 val target_names : string list
 val target_of_string : string -> target option

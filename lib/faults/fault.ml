@@ -9,6 +9,9 @@ type site =
   | Memory_bit_flip
   | Migration_crash
   | Snapshot_corrupt
+  | Chan_corrupt
+  | Chan_truncate
+  | Chan_reorder
 
 (* New sites append at the end: [create] splits one RNG per site in
    this order, so appending preserves every existing site's stream
@@ -17,6 +20,7 @@ let all_sites =
   [
     Mailbox_drop; Mailbox_duplicate; Mailbox_corrupt; Transport_delay; Worker_stall;
     Worker_crash; Crypto_transient; Memory_bit_flip; Migration_crash; Snapshot_corrupt;
+    Chan_corrupt; Chan_truncate; Chan_reorder;
   ]
 
 let site_name = function
@@ -30,6 +34,9 @@ let site_name = function
   | Memory_bit_flip -> "memory-bit-flip"
   | Migration_crash -> "migration-crash"
   | Snapshot_corrupt -> "snapshot-corrupt"
+  | Chan_corrupt -> "chan-corrupt"
+  | Chan_truncate -> "chan-truncate"
+  | Chan_reorder -> "chan-reorder"
 
 let site_index = function
   | Mailbox_drop -> 0
@@ -42,6 +49,9 @@ let site_index = function
   | Memory_bit_flip -> 7
   | Migration_crash -> 8
   | Snapshot_corrupt -> 9
+  | Chan_corrupt -> 10
+  | Chan_truncate -> 11
+  | Chan_reorder -> 12
 
 let n_sites = List.length all_sites
 

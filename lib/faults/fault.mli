@@ -26,6 +26,9 @@ type site =
   | Memory_bit_flip  (** DRAM bit flip under an enclave key *)
   | Migration_crash  (** shard dies between live-migration phases *)
   | Snapshot_corrupt  (** sealed snapshot corrupted on the fabric *)
+  | Chan_corrupt  (** secure-channel segment byte flipped in the fabric queue *)
+  | Chan_truncate  (** secure-channel segment truncated in the fabric queue *)
+  | Chan_reorder  (** secure-channel segment delivered out of order *)
 
 val all_sites : site list
 val site_name : site -> string

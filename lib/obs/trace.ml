@@ -11,6 +11,7 @@ type category =
   | Crypto
   | Fault
   | Sim
+  | Channel
   | Other
 
 let category_name = function
@@ -26,6 +27,7 @@ let category_name = function
   | Crypto -> "crypto"
   | Fault -> "fault"
   | Sim -> "sim"
+  | Channel -> "channel"
   | Other -> "other"
 
 type span = {

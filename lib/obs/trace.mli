@@ -48,6 +48,7 @@ type category =
   | Crypto  (** crypto engine *)
   | Fault  (** injected fault instants *)
   | Sim  (** discrete-event simulation spans *)
+  | Channel  (** secure-channel handshake flights and record seal/open *)
   | Other
 
 (** Lower-case label used in summaries and Chrome [cat] fields. *)

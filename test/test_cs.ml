@@ -107,6 +107,11 @@ let request_of_opcode op : Types.request =
   | Types.ESHMDES -> Types.Shmdes { owner = 1; shm = 1 }
   | Types.EMEAS -> Types.Measure { enclave = 1 }
   | Types.EATTEST -> Types.Attest { enclave = 1; user_data = Bytes.empty }
+  | Types.ECHOPEN -> Types.Chan_open { listener = 1 }
+  | Types.ECHACC -> Types.Chan_accept { enclave = 1; chan = 1 }
+  | Types.ECHSEND -> Types.Chan_send { chan = 1; seg = Bytes.make 64 'x' }
+  | Types.ECHRECV -> Types.Chan_recv { chan = 1 }
+  | Types.ECHCLOSE -> Types.Chan_close { chan = 1 }
 
 (* The full cross-privilege matrix of Sec. III-B mechanism 1: every
    opcode x every caller; exactly the privilege-matching cells pass

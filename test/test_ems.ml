@@ -26,7 +26,14 @@ let test_privileges_match_table2 () =
   in
   List.iter (fun op -> check Alcotest.bool (Types.opcode_name op) true (Types.required_privilege op = Types.Os)) os;
   List.iter (fun op -> check Alcotest.bool (Types.opcode_name op) true (Types.required_privilege op = Types.User)) user;
-  check Alcotest.int "sixteen primitives" 16 (List.length Types.all_opcodes)
+  (* Table II's sixteen plus the five channel primitives (ECHOPEN,
+     ECHACC, ECHSEND, ECHRECV, ECHCLOSE — docs/PROTOCOL.md §2). *)
+  let chan = [ Types.ECHOPEN; Types.ECHACC; Types.ECHSEND; Types.ECHRECV; Types.ECHCLOSE ] in
+  List.iter
+    (fun op ->
+      check Alcotest.bool (Types.opcode_name op) true (Types.required_privilege op = Types.User))
+    chan;
+  check Alcotest.int "sixteen + five channel primitives" 21 (List.length Types.all_opcodes)
 
 let test_opcode_of_request () =
   check Alcotest.bool "create" true
