@@ -1,4 +1,4 @@
-.PHONY: all build test test-parallel chaos-smoke chaos-restart check-invariants conformance bench-perf bench-parallel check doc fmt clean
+.PHONY: all build test test-parallel chaos-smoke chaos-restart check-invariants conformance bench-perf bench-parallel bench-cloud check doc fmt clean
 
 all: build
 
@@ -50,6 +50,15 @@ bench-perf: build
 bench-parallel: build
 	dune exec bin/hypertee_cli.exe -- perf --quick --parallel --domains 4 --json BENCH_perf.json \
 		--baseline BENCH_perf.json --tolerance $(TOLERANCE)
+
+# Enclave-as-a-service SLO sweep: the multi-tenant cloud driver
+# (open-loop offered-load ladder + closed loop per shard count, warm
+# pool + admission control) writing BENCH_cloud.json. Every sweep
+# point ends with a deep invariant sweep and the differential
+# oracle's verdict; the target exits non-zero on any violation or
+# divergence surfaced by the churn.
+bench-cloud: build
+	dune exec bin/hypertee_cli.exe -- cloud --quick --json BENCH_cloud.json
 
 # Differential oracle + invariant sweep: replays a clean and a
 # fault-injected management workload under the EMCall oracle, then

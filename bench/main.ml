@@ -448,6 +448,25 @@ let metrics () =
 (* Wall-clock data-plane benchmark. Deliberately NOT part of all():
    its numbers are machine-dependent and would make the full sweep's
    output nondeterministic. *)
+let cloud ?(quick = false) ?json ?(seed = 0xC10D5L) () =
+  section "Cloud: enclave-as-a-service SLO curves (warm pool + admission control)";
+  note "open-loop tenant sessions (EWARM|cold launch -> attest -> channel ops -> ERETIRE);";
+  note "per-shard FCFS queue in virtual time; seed=%Ld; every point ends with a deep" seed;
+  note "invariant sweep and the differential oracle's verdict";
+  let outcome = Hypertee_experiments.Cloud.run ~seed ~quick () in
+  Hypertee_experiments.Cloud.print outcome;
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Hypertee_experiments.Cloud.json_of_outcome outcome);
+    close_out oc;
+    note "wrote SLO curves to %s" path);
+  if not (Hypertee_experiments.Cloud.clean outcome) then begin
+    prerr_endline "cloud: invariant violations or oracle divergences under churn";
+    exit 1
+  end
+
 let perf ?(quick = false) ?json () =
   section "Perf: wall-clock crypto data plane (MB/s, real elapsed time)";
   note "measures the implementation itself, not the timing models;";
@@ -575,11 +594,15 @@ let () =
   | _ :: [ "trace"; name; "--quick" ] -> trace ~quick:true name
   | _ :: [ "trace"; name; "--json"; path ] -> trace ~path name
   | _ :: [ "trace"; name; "--quick"; "--json"; path ] -> trace ~quick:true ~path name
+  | _ :: [ "cloud" ] -> cloud ()
+  | _ :: [ "cloud"; "--quick" ] -> cloud ~quick:true ()
+  | _ :: [ "cloud"; "--quick"; "--json"; path ] -> cloud ~quick:true ~json:path ()
+  | _ :: [ "cloud"; "--json"; path ] -> cloud ~json:path ()
   | _ :: [ "perf" ] -> perf ()
   | _ :: [ "perf"; "--quick" ] -> perf ~quick:true ()
   | _ :: [ "perf"; "--quick"; "--json"; path ] -> perf ~quick:true ~json:path ()
   | _ :: [ "perf"; "--json"; path ] -> perf ~json:path ()
   | _ ->
     prerr_endline
-      "usage: main.exe [quick|table1|table2|table3|table4|table5|table6|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablations|chaos|scale|micro|metrics|trace TARGET [--quick] [--json PATH]|perf [--quick] [--json PATH]]";
+      "usage: main.exe [quick|table1|table2|table3|table4|table5|table6|fig6|fig7|fig8a|fig8b|fig9|fig10|fig11|fig12|ablations|chaos|scale|micro|metrics|trace TARGET [--quick] [--json PATH]|perf [--quick] [--json PATH]|cloud [--quick] [--json PATH]]";
     exit 2

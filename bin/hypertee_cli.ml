@@ -168,6 +168,8 @@ let cost_cmd =
         | Types.ECHSEND -> Types.Chan_send { chan = 1; seg = Bytes.create 256 }
         | Types.ECHRECV -> Types.Chan_recv { chan = 1 }
         | Types.ECHCLOSE -> Types.Chan_close { chan = 1 }
+        | Types.ERETIRE -> Types.Retire { enclave = 1 }
+        | Types.EWARM -> Types.Warm_create { measurement = Bytes.create 32 }
       in
       let rows =
         List.concat_map
@@ -356,6 +358,52 @@ let scale_cmd =
     (Cmd.info "scale"
        ~doc:"Scalability sweep: CS cores x EMS shards x doorbell batch size")
     Term.(const run $ seed_arg $ ops_arg $ smoke_arg $ domains_arg)
+
+(* --- cloud --- *)
+
+let cloud_cmd =
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"CI-sized sweep (fewer sessions, shorter ladder).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the SLO curves as JSON (BENCH_cloud.json).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains per sweep platform ($(b,Config.domains)); results are identical \
+             by construction. The HYPERTEE_EXEC environment variable overrides this.")
+  in
+  let run seed quick json domains =
+    let seed = Int64.of_int seed in
+    Printf.printf "enclave-as-a-service sweep: seed=%Ld, domains=%d%s\n" seed domains
+      (if quick then " (quick)" else "");
+    Printf.printf
+      "sessions: EWARM warm pool (cold launch on miss) -> attest -> secure channel -> ERETIRE\n";
+    let outcome = Hypertee_experiments.Cloud.run ~seed ~quick ~domains () in
+    Hypertee_experiments.Cloud.print outcome;
+    (match json with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Hypertee_experiments.Cloud.json_of_outcome outcome);
+      close_out oc;
+      Printf.printf "wrote SLO curves to %s\n" path);
+    if not (Hypertee_experiments.Cloud.clean outcome) then begin
+      prerr_endline "cloud: invariant violations or oracle divergences under churn";
+      Stdlib.exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "cloud"
+       ~doc:
+         "Multi-tenant enclave-as-a-service load sweep: SLO curves, admission control, warm \
+          pool")
+    Term.(const run $ seed_arg $ quick_arg $ json_arg $ domains_arg)
 
 (* --- check --- *)
 
@@ -559,6 +607,6 @@ let () =
           (Cmd.info "hypertee" ~version:"1.0.0" ~doc)
           [
             info_cmd; demo_cmd; attest_cmd; primitives_cmd; cost_cmd; slo_cmd; area_cmd;
-            security_cmd; chaos_cmd; scale_cmd; check_cmd; trace_cmd; metrics_cmd;
+            security_cmd; chaos_cmd; scale_cmd; cloud_cmd; check_cmd; trace_cmd; metrics_cmd;
             conformance_cmd; perf_cmd;
           ]))

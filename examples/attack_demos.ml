@@ -87,7 +87,9 @@ let () =
        (Types.Create { config = Types.default_config })
    with
   | Error Hypertee_cs.Emcall.Cross_privilege -> good "EMCall blocked user-mode ECREATE (OS-only)"
-  | Error Hypertee_cs.Emcall.Mailbox_full | Error Hypertee_cs.Emcall.Timeout ->
+  | Error Hypertee_cs.Emcall.Mailbox_full
+  | Error Hypertee_cs.Emcall.Timeout
+  | Error Hypertee_cs.Emcall.Busy ->
     bad "unexpected mailbox state"
   | Ok _ -> bad "user code invoked an OS-privilege primitive");
   (match
@@ -95,7 +97,9 @@ let () =
        (Types.Attest { enclave = victim_id; user_data = Bytes.empty })
    with
   | Error Hypertee_cs.Emcall.Cross_privilege -> good "EMCall blocked OS-mode EATTEST (user-only)"
-  | Error Hypertee_cs.Emcall.Mailbox_full | Error Hypertee_cs.Emcall.Timeout ->
+  | Error Hypertee_cs.Emcall.Mailbox_full
+  | Error Hypertee_cs.Emcall.Timeout
+  | Error Hypertee_cs.Emcall.Busy ->
     bad "unexpected mailbox state"
   | Ok _ -> bad "OS invoked a user-privilege primitive");
 

@@ -146,10 +146,11 @@ let check_enclave ctx ~mem st ~shard id (e : Enclave.t) =
   (match (e.Enclave.measurement, e.Enclave.state) with
   | None, (Enclave.Loading | Enclave.Destroyed) | Some _, _ -> ()
   | None, _ -> add_lc "enclave past loading without a final measurement");
-  if e.Enclave.key_parked && e.Enclave.state <> Enclave.Measured then
+  (match (e.Enclave.key_parked, e.Enclave.state) with
+  | true, (Enclave.Measured | Enclave.Parked) | false, _ -> ()
+  | true, st ->
     add_lc
-      (Printf.sprintf "key parked while %s (victims must be idle)"
-         (Enclave.state_name e.Enclave.state));
+      (Printf.sprintf "key parked while %s (victims must be idle)" (Enclave.state_name st)));
   (* The private page table: node frames are enclave memory drawn
      from the pool; leaves partition into private (enclave key),
      staging (KeyID 0) and shared (a region key of an attached shm). *)
@@ -254,6 +255,40 @@ let check_pool ctx ~mem st ~shard =
         add ctx ~rule:"pool" ~shard ~frame
           (Printf.sprintf "parked frame owned by %s" (owner_name o)))
     parked
+
+(* Warm-pool coherence: the FIFO of retired enclaves and the Parked
+   state must be two views of one set — a warm-listed id that is not
+   resident and Parked would revive garbage, a Parked enclave off the
+   list would never be revived or destroyed by pressure. Parked
+   enclaves also hold no shared-memory attachments (ERETIRE refuses
+   them) and never exceed the configured capacity. *)
+let check_warm ctx st ~shard =
+  let warm = State.warm_ids st in
+  if List.length warm > State.warm_capacity then
+    add ctx ~rule:"warm-pool" ~shard
+      (Printf.sprintf "warm list holds %d id(s), capacity is %d" (List.length warm)
+         State.warm_capacity);
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt st.State.enclaves id with
+      | None -> add ctx ~rule:"warm-pool" ~shard ~enclave:id "warm-listed enclave not resident"
+      | Some (e : Enclave.t) ->
+        if e.Enclave.state <> Enclave.Parked then
+          add ctx ~rule:"warm-pool" ~shard ~enclave:id
+            (Printf.sprintf "warm-listed enclave is %s, not parked"
+               (Enclave.state_name e.Enclave.state));
+        if e.Enclave.attached_shms <> [] then
+          add ctx ~rule:"warm-pool" ~shard ~enclave:id
+            "parked enclave still attached to shared memory";
+        if e.Enclave.measurement = None then
+          add ctx ~rule:"warm-pool" ~shard ~enclave:id
+            "parked enclave carries no measurement to match EWARM against")
+    warm;
+  Hashtbl.iter
+    (fun id (e : Enclave.t) ->
+      if e.Enclave.state = Enclave.Parked && not (List.mem id warm) then
+        add ctx ~rule:"warm-pool" ~shard ~enclave:id "parked enclave missing from the warm list")
+    st.State.enclaves
 
 let check_residues ctx st ~shard =
   let stride = st.State.id_stride in
@@ -491,7 +526,8 @@ let check ?(deep = false) ?faults ?chans ~mem ~bitmap ~mee ~runtimes () =
       check_ownership_table ctx ~mem st ~shard;
       Hashtbl.iter (fun id e -> check_enclave ctx ~mem st ~shard id e) st.State.enclaves;
       check_regions ctx ~mem st ~shard;
-      check_pool ctx ~mem st ~shard)
+      check_pool ctx ~mem st ~shard;
+      check_warm ctx st ~shard)
     runtimes;
   check_keys ctx ~mee runtimes;
   Option.iter (fun c -> check_chans ctx ~runtimes c) chans;

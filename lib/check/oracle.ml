@@ -50,6 +50,13 @@ type t = {
   enclaves : (int, menclave) Hashtbl.t;
   regions : (int, mregion) Hashtbl.t;
   chans : (int, mchan) Hashtbl.t;
+  parked : (int, menclave) Hashtbl.t;
+      (* Warm pool, deliberately weak: ERETIRE answers Ok_unit whether
+         it parked or fell back to a full destroy (modified pages,
+         capacity, ...), so an entry here means "parked OR destroyed".
+         Both are invisible to every primitive except EWARM (which may
+         revive exactly these ids) and EDESTROY (Ok_unit or
+         No_such_enclave — either is legal). *)
   seen_enclave_ids : (int, unit) Hashtbl.t;
   seen_shm_ids : (int, unit) Hashtbl.t;
   seen_chan_ids : (int, unit) Hashtbl.t;
@@ -76,6 +83,7 @@ let create ?(shards = 1) () =
     enclaves = Hashtbl.create 32;
     regions = Hashtbl.create 16;
     chans = Hashtbl.create 16;
+    parked = Hashtbl.create 16;
     seen_enclave_ids = Hashtbl.create 32;
     seen_shm_ids = Hashtbl.create 16;
     seen_chan_ids = Hashtbl.create 16;
@@ -266,7 +274,18 @@ let predict t ~sender request =
         | Unknown -> Any
         | Loading | Measured -> err_bad_state)
   | Types.Destroy { enclave } -> (
-    match find_e t enclave with None -> unknown_enclave t | Some _ -> expect_ok_unit)
+    match find_e t enclave with
+    | Some _ -> expect_ok_unit
+    | None ->
+      if Hashtbl.mem t.parked enclave then
+        (* Parked (destroy evicts it, Ok_unit) or already destroyed
+           at retire time (No_such_enclave) — the model cannot tell. *)
+        Accept
+          ( "Ok_unit (parked) or Err No_such_enclave (retired to destroy)",
+            function
+            | Types.Ok_unit | Types.Err Types.No_such_enclave -> true
+            | _ -> false )
+      else unknown_enclave t)
   | Types.Alloc { enclave; pages } ->
     preamble t ~sender ~target:enclave ~strict:false (fun e ->
         if pages <= 0 || pages > 16384 then err_invalid
@@ -461,6 +480,34 @@ let predict t ~sender request =
     | `Unknown -> unknown_channel t
     | `Fuzzy -> Any
     | `Known c -> if not (chan_endpoint c ~sender) then err_perm else expect_ok_unit)
+  | Types.Retire { enclave } -> (
+    match find_e t enclave with
+    | None -> unknown_enclave t
+    | Some e -> (
+      match e.st with
+      | Measured ->
+        (* ERETIRE answers Ok_unit whether it parks or falls back to
+           a full destroy; only attached shared memory rejects it. *)
+        if e.fuzzy_attach then Any
+        else if e.attached <> [] then err_bad_state
+        else expect_ok_unit
+      | Unknown -> Any
+      | Loading | Running | Interrupted -> err_bad_state))
+  | Types.Warm_create { measurement } ->
+    if Bytes.length measurement <> 32 then err_invalid
+    else if Hashtbl.length t.parked = 0 && not t.fog_enclaves then
+      (* Nothing was ever parked: every shard must miss. *)
+      err_bad_state
+    else
+      (* Weak by design: the request round-robins to one shard, whose
+         warm pool may or may not hold a match — and the model does
+         not track measurements. Commit only to the id space. *)
+      Accept
+        ( "Ok_created with a previously-parked id, or Err Bad_state on a miss",
+          function
+          | Types.Ok_created { enclave } -> Hashtbl.mem t.parked enclave || t.fog_enclaves
+          | Types.Err (Types.Bad_state _) -> true
+          | _ -> false )
 
 (* --- adoption: fold the observed truth back into the model ---------- *)
 
@@ -523,6 +570,7 @@ let remove_enclave t id =
       e.attached
   | None -> ());
   Hashtbl.remove t.enclaves id;
+  Hashtbl.remove t.parked id;
   reap_chans_of t id;
   reap_orphans t
 
@@ -605,6 +653,19 @@ let apply_timeout t request =
   | Types.Chan_send _ | Types.Chan_recv _ ->
     (* Queue state is untracked, so there is nothing to poison. *)
     ()
+  | Types.Retire { enclave } ->
+    (* Parked, destroyed, or untouched — unknowable. Treat the id as
+       possibly gone (existence fog) and possibly revivable. *)
+    let stub = adopt_stub t enclave in
+    remove_enclave t enclave;
+    Hashtbl.replace t.parked enclave stub;
+    t.fog_existence <- true
+  | Types.Warm_create _ ->
+    (* Any parked id may have been revived unseen: its lifecycle is
+       now unknown. Keep the parked entries (the revival may also not
+       have happened). *)
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.parked [] in
+    List.iter (fun id -> mark_unknown t id) ids
 
 let apply_response t ~sender request response =
   match (request, response) with
@@ -622,6 +683,9 @@ let apply_response t ~sender request response =
     match Hypertee_ems.Runtime.enclave_of_request req with
     | Some id -> remove_enclave t id
     | None -> ())
+  | Types.Destroy { enclave }, Types.Err Types.No_such_enclave ->
+    (* Proof the retire fell back to a destroy: drop the entry. *)
+    Hashtbl.remove t.parked enclave
   | _, Types.Err _ -> ()
   | Types.Create { config }, Types.Ok_created { enclave } ->
     let layout = Enclave.make_layout config in
@@ -706,12 +770,42 @@ let apply_response t ~sender request response =
       Hashtbl.replace t.chans chan
         { mc_listener = enclave; mc_initiator = None; mc_accepted = true; mc_fuzzy = true })
   | Types.Chan_close { chan }, Types.Ok_unit -> Hashtbl.remove t.chans chan
+  | Types.Retire { enclave }, Types.Ok_unit ->
+    (* Parked or destroyed — either way invisible from here on, and
+       its channels died with the session. Stash the record so a
+       revival can restore what the model knew. *)
+    let e = adopt_stub t enclave in
+    e.st <- Measured;
+    e.measured <- Some true;
+    e.attached <- [];
+    (match (e.layout, e.config) with
+    | Some l, Some c ->
+      e.heap_cursor <- Some (l.Enclave.heap_base + c.Types.heap_pages);
+      e.shm_cursor <- Some l.Enclave.shm_base
+    | _ ->
+      e.heap_cursor <- None;
+      e.shm_cursor <- None);
+    remove_enclave t enclave;
+    Hashtbl.replace t.parked enclave e
+  | Types.Warm_create _, Types.Ok_created { enclave } ->
+    (match Hashtbl.find_opt t.parked enclave with
+    | Some e ->
+      Hashtbl.remove t.parked enclave;
+      e.st <- Measured;
+      e.measured <- Some true;
+      Hashtbl.replace t.enclaves enclave e
+    | None ->
+      (* Revived from a park the model never saw (fog). *)
+      let e = adopt_stub t enclave in
+      e.st <- Measured;
+      e.measured <- Some true);
+    Hashtbl.replace t.seen_enclave_ids enclave ()
   | _, _ -> ()
 
 let apply t ~sender request result =
   match result with
   | Error Emcall.Timeout -> apply_timeout t request
-  | Error (Emcall.Cross_privilege | Emcall.Mailbox_full) -> ()
+  | Error (Emcall.Cross_privilege | Emcall.Mailbox_full | Emcall.Busy) -> ()
   | Ok (response, (_ : float)) -> apply_response t ~sender request response
 
 (* --- judging --------------------------------------------------------- *)
@@ -720,6 +814,7 @@ let describe_result = function
   | Error Emcall.Cross_privilege -> "rejected: cross-privilege"
   | Error Emcall.Mailbox_full -> "rejected: mailbox full"
   | Error Emcall.Timeout -> "rejected: timeout"
+  | Error Emcall.Busy -> "rejected: busy (admission shed)"
   | Ok (resp, (_ : float)) -> (
     match resp with
     | Types.Ok_unit -> "Ok_unit"
@@ -749,7 +844,9 @@ let judge t expect result =
   | Reject, Error Emcall.Cross_privilege -> true
   | Reject, _ -> false
   | _, Error Emcall.Cross_privilege -> false
-  | _, Error (Emcall.Mailbox_full | Emcall.Timeout) -> true
+  (* Back-pressure rejections (full mailbox, admission shed) and
+     timeouts are gate-local resource decisions, not EMS semantics. *)
+  | _, Error (Emcall.Mailbox_full | Emcall.Timeout | Emcall.Busy) -> true
   | Any, Ok _ -> true
   | Accept ((_ : string), pred), Ok (resp, (_ : float)) -> (
     match resp with

@@ -243,6 +243,9 @@ let create ?(seed = 0x4854454531L (* "HTEE1" *)) ?(config = Config.default) ?fau
     | Types.Chan_send { chan; _ } | Types.Chan_recv { chan } | Types.Chan_close { chan }
       when chan > 0 ->
       (chan - 1) mod shard_count
+    (* Warm-pool lookup: the measurement names its home shard — the
+       only shard ERETIRE parks that image on. *)
+    | Types.Warm_create { measurement } -> Types.warm_home ~shards:shard_count measurement
     | _ -> (
       match Runtime.enclave_of_request request with
       | Some id when id > 0 -> (
@@ -452,6 +455,11 @@ let publish_metrics t registry =
 (* Correctness checking (lib/check): sweep every redundant view of
    the platform state against the others, and optionally shadow the
    gate with a differential oracle. *)
+let set_admission t ~rate_per_s ~burst = Emcall.set_admission t.emcall ~rate_per_s ~burst
+let clear_admission t = Emcall.clear_admission t.emcall
+let advance_admission_ns t ns = Emcall.advance_admission_ns t.emcall ns
+let shed_count t = Emcall.shed t.emcall
+
 let check ?deep t =
   Hypertee_check.Invariant.check ?deep ?faults:t.faults ~chans:t.chans ~mem:t.mem
     ~bitmap:t.bitmap ~mee:t.mee

@@ -147,6 +147,23 @@ val unseal : t -> enclave:Hypertee_ems.Types.enclave_id -> bytes -> (bytes, stri
     the fault injector ([faults.*]) when one is installed. *)
 val publish_metrics : t -> Hypertee_obs.Metrics.t -> unit
 
+(** {2 Admission control}
+
+    Delegates to the gate's token bucket
+    ({!Hypertee_cs.Emcall.set_admission}): each admitted EMCall
+    consumes one token, an empty bucket sheds the request with the
+    typed [Busy] rejection (EBUSY) instead of letting the mailboxes
+    collapse under overload. The bucket refills on a virtual clock
+    the load driver advances — deterministic by construction. No
+    bucket is installed by default. *)
+
+val set_admission : t -> rate_per_s:float -> burst:int -> unit
+val clear_admission : t -> unit
+val advance_admission_ns : t -> float -> unit
+
+(** Requests shed with [Busy] since the platform was built. *)
+val shed_count : t -> int
+
 (** Sweep the platform's invariants (ownership vs. physical owners
     vs. page tables vs. secure bitmap vs. encryption keys vs.
     lifecycle state, across every shard). [deep] additionally

@@ -60,12 +60,15 @@ let add_list image =
 let expected_measurement image =
   measure_pages (List.map (fun (vpn, p, _) -> (vpn, p)) (add_list image))
 
+let add_plan = add_list
+
 let os_invoke platform request =
   match Platform.invoke platform ~caller:Emcall.Os_kernel request with
   | Ok response -> Ok response
   | Error Emcall.Cross_privilege -> Error "EMCall rejected: cross-privilege"
   | Error Emcall.Mailbox_full -> Error "EMCall rejected: mailbox full"
   | Error Emcall.Timeout -> Error "EMCall rejected: response timeout"
+  | Error Emcall.Busy -> Error "EMCall rejected: busy (admission shed)"
 
 let ( let* ) = Result.bind
 
@@ -92,6 +95,27 @@ let launch platform image =
     | Types.Err e -> Error (Types.error_message e)
     | _ -> Error "unexpected EMEAS response")
   | _ -> Error "unexpected ECREATE response"
+
+(* Warm-pool fast path: try to revive a parked enclave carrying this
+   image's measurement; on a pool miss, fall back to the cold launch.
+   Either way the caller holds a Measured enclave whose measurement
+   is byte-identical to [expected_measurement image]. *)
+let warm_launch platform image =
+  let measurement = expected_measurement image in
+  let* revived = os_invoke platform (Types.Warm_create { measurement }) in
+  match revived with
+  | Types.Ok_created { enclave } -> Ok (enclave, `Warm)
+  | Types.Err (Types.Bad_state _) ->
+    Result.map (fun id -> (id, `Cold)) (launch platform image)
+  | Types.Err e -> Error (Types.error_message e)
+  | _ -> Error "unexpected EWARM response"
+
+let retire platform ~enclave =
+  let* retired = os_invoke platform (Types.Retire { enclave }) in
+  match retired with
+  | Types.Ok_unit -> Ok ()
+  | Types.Err e -> Error (Types.error_message e)
+  | _ -> Error "unexpected ERETIRE response"
 
 let enter platform ~enclave =
   let* entered = os_invoke platform (Types.Enter { enclave }) in

@@ -22,11 +22,32 @@ val image_of_code : ?config:Hypertee_ems.Types.enclave_config -> code:bytes -> d
     compare quotes against this. *)
 val expected_measurement : image -> bytes
 
+(** The exact EADD sequence [launch] issues — [(vpn, data,
+    executable)] per page, in measurement order. Exposed so load
+    drivers can replay the cold launch through timed invocations. *)
+val add_plan : image -> (int * bytes * bool) list
+
 (** [launch platform image] runs the full launch flow and returns the
     enclave id, after checking EMS's measurement equals the expected
     one (a mismatch means the OS tampered with the binary in
     flight). *)
 val launch : Platform.t -> image -> (Hypertee_ems.Types.enclave_id, string) result
+
+(** [warm_launch platform image] — the enclave-as-a-service fast
+    path: EWARM with the image's expected measurement revives a
+    parked enclave if the shard's warm pool holds one ([`Warm]); a
+    pool miss falls back to the full cold {!launch} ([`Cold]).
+    Either way the enclave's measurement is byte-identical to
+    {!expected_measurement}, so attestation is unaffected. *)
+val warm_launch :
+  Platform.t -> image -> (Hypertee_ems.Types.enclave_id * [ `Warm | `Cold ], string) result
+
+(** [retire platform ~enclave] — ERETIRE: park a quiescent Measured
+    enclave in its shard's warm pool (heap reset, unmeasured pages
+    scrubbed, measurement re-verified against the resident pages); if
+    the enclave is not parkable EMS falls back to a full EDESTROY.
+    Either way the id is gone from the caller's perspective. *)
+val retire : Platform.t -> enclave:Hypertee_ems.Types.enclave_id -> (unit, string) result
 
 (** [enter platform ~enclave] — EENTER; gives a running session. *)
 val enter : Platform.t -> enclave:Hypertee_ems.Types.enclave_id -> (Session.t, string) result

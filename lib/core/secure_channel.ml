@@ -17,7 +17,7 @@ let gate platform ~caller request =
   | Ok resp -> Ok resp
   | Error Emcall.Cross_privilege -> Error "gate: cross-privilege"
   | Error Emcall.Mailbox_full -> Error "gate: mailbox full"
-  | Error Emcall.Timeout -> Error "gate: timeout"
+  | Error (Emcall.Timeout | Emcall.Busy) -> Error "gate: timeout or busy"
 
 let ( let* ) = Result.bind
 
@@ -218,7 +218,7 @@ let close s =
     | Ok _ -> Ok ()
     | Error Emcall.Cross_privilege -> Error "gate: cross-privilege"
     | Error Emcall.Mailbox_full -> Error "gate: mailbox full"
-    | Error Emcall.Timeout -> Error "gate: timeout"
+    | Error (Emcall.Timeout | Emcall.Busy) -> Error "gate: timeout or busy"
   in
   let alert = Record.close s.s_conn in
   let* () =

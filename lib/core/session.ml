@@ -25,6 +25,7 @@ let invoke t request =
   | Error Emcall.Cross_privilege -> Types.Err (Types.Permission_denied "cross-privilege")
   | Error Emcall.Mailbox_full -> Types.Err (Types.Invalid_argument_ "mailbox full")
   | Error Emcall.Timeout -> Types.Err (Types.Invalid_argument_ "EMS response timeout")
+  | Error Emcall.Busy -> Types.Err (Types.Invalid_argument_ "gate busy: admission shed")
 
 (* Resolve a fault the way hardware + EMCall would: page faults
    inside the enclave go to EMS (demand alloc / swap-in). *)
@@ -110,6 +111,7 @@ let alloc_timed t ~pages =
   | Error Emcall.Cross_privilege -> Error (Types.Permission_denied "cross-privilege")
   | Error Emcall.Mailbox_full -> Error (Types.Invalid_argument_ "mailbox full")
   | Error Emcall.Timeout -> Error (Types.Invalid_argument_ "EMS response timeout")
+  | Error Emcall.Busy -> Error (Types.Invalid_argument_ "gate busy: admission shed")
 
 let free t ~va ~pages =
   match lift (invoke t (Types.Free { enclave = enclave_id t; vpn = va / page_size; pages })) with

@@ -4,7 +4,18 @@ module Config = Hypertee_arch.Config
 module Fault = Hypertee_faults.Fault
 
 type caller = Os_kernel | User_host | User_enclave of Types.enclave_id
-type rejection = Cross_privilege | Mailbox_full | Timeout
+type rejection = Cross_privilege | Mailbox_full | Timeout | Busy
+
+(* Token-bucket admission control (disabled unless installed): the
+   gate sheds load with a typed [Busy] instead of letting the mailbox
+   queues collapse under a tenant stampede. Tokens refill on a
+   virtual clock the driver advances — deterministic, like every
+   other timing source in the model. *)
+type admission = {
+  rate_per_s : float;  (** sustained admit rate *)
+  burst : int;  (** bucket capacity *)
+  mutable tokens : float;
+}
 
 (* Recovery policy of the gate: how many poll slots to wait for a
    response, how many times to re-ask the mailbox for it (each
@@ -56,6 +67,8 @@ type t = {
   mutable retries : int;
   mutable duplicates_discarded : int;
   mutable flush_hooks : (unit -> unit) list;
+  mutable admission : admission option;
+  mutable shed : int;
 }
 
 let create_sharded ?(retry = default_retry_policy) ~rng ~transport ~shards ~route ~service_ns
@@ -83,6 +96,8 @@ let create_sharded ?(retry = default_retry_policy) ~rng ~transport ~shards ~rout
     retries = 0;
     duplicates_discarded = 0;
     flush_hooks = [];
+    admission = None;
+    shed = 0;
   }
 
 let create ?retry ~rng ~transport ~mailbox ~ems_service ~service_ns () =
@@ -99,6 +114,39 @@ let shard_of t request =
   let n = Array.length t.shards in
   let i = t.route request in
   if i >= 0 && i < n then i else ((i mod n) + n) mod n
+
+(* Admission-control lifecycle. A fresh bucket starts full, so a
+   configured gate admits an initial burst before pacing kicks in. *)
+let set_admission t ~rate_per_s ~burst =
+  if rate_per_s <= 0.0 then invalid_arg "Emcall.set_admission: rate_per_s must be > 0";
+  if burst < 1 then invalid_arg "Emcall.set_admission: burst must be >= 1";
+  t.admission <- Some { rate_per_s; burst; tokens = Float.of_int burst }
+
+let clear_admission t = t.admission <- None
+
+let advance_admission_ns t ns =
+  match t.admission with
+  | None -> ()
+  | Some a ->
+    if ns > 0.0 then
+      a.tokens <- Float.min (Float.of_int a.burst) (a.tokens +. (ns *. a.rate_per_s /. 1e9))
+
+let admission_tokens t = match t.admission with None -> None | Some a -> Some a.tokens
+
+(* Consume one token, or shed. No admission installed = always admit
+   (zero behavioral change for every pre-existing caller). *)
+let admit t =
+  match t.admission with
+  | None -> true
+  | Some a ->
+    if a.tokens >= 1.0 then begin
+      a.tokens <- a.tokens -. 1.0;
+      true
+    end
+    else begin
+      t.shed <- t.shed + 1;
+      false
+    end
 
 let set_fault_injector t inj = t.faults <- Some inj
 let set_pool t pool = t.pool <- Some pool
@@ -171,9 +219,15 @@ let bitmap_changed request response =
       (* Channel primitives touch only the fabric's control blocks,
          never the page-ownership bitmap. *)
       | Types.Chan_open _ | Types.Chan_accept _ | Types.Chan_send _ | Types.Chan_recv _
-      | Types.Chan_close _ ),
+      | Types.Chan_close _
+      (* EWARM hands out an already-built enclave: no page changes
+         ownership. *)
+      | Types.Warm_create _ ),
       _ ) ->
     false
+  (* ERETIRE frees dynamic heap frames (and everything, when it falls
+     back to a full destroy), so stale TLB entries must go. *)
+  | Types.Retire _, _ -> true
 
 let register_tlb_flush_hook t hook = t.flush_hooks <- hook :: t.flush_hooks
 
@@ -351,6 +405,7 @@ let invoke_timed t ~caller request =
   let result =
     match gate_check t ~caller request with
     | Error _ as e -> e
+    | Ok _ when not (admit t) -> Error Busy
     | Ok sender -> (
       let shard_idx = shard_of t request in
       let shard = t.shards.(shard_idx) in
@@ -379,6 +434,7 @@ let invoke_batch t requests =
       (fun (caller, request) ->
         match gate_check t ~caller request with
         | Error rejection -> Error rejection
+        | Ok _ when not (admit t) -> Error Busy
         | Ok sender -> (
           let idx = shard_of t request in
           let shard = t.shards.(idx) in
@@ -477,6 +533,7 @@ let invoke_batch t requests =
   List.map (fun (_, _, _, result) -> result) outcomes
 
 let rejected t = t.rejected
+let shed t = t.shed
 let tlb_flushes t = t.tlb_flushes
 let timeouts t = t.timeouts
 let retries t = t.retries
@@ -486,6 +543,7 @@ let publish_metrics t registry =
   let module M = Hypertee_obs.Metrics in
   let set name help v = M.set_counter (M.counter registry ~help ("emcall." ^ name)) v in
   set "rejected" "requests blocked at the gate" t.rejected;
+  set "shed" "requests shed by admission control (Busy)" t.shed;
   set "tlb_flushes" "TLB shoot-downs issued" t.tlb_flushes;
   set "timeouts" "invocations that exhausted the retry budget" t.timeouts;
   set "retries" "response re-requests issued" t.retries;

@@ -43,6 +43,7 @@ type rejection =
   | Cross_privilege  (** caller mode does not match Table II *)
   | Mailbox_full
   | Timeout  (** no response within the poll/retry budget *)
+  | Busy  (** shed by token-bucket admission control (EBUSY) *)
 
 type retry_policy = {
   poll_budget : int;  (** poll slots waited before each re-request *)
@@ -96,6 +97,34 @@ val shard_count : t -> int
 (** Install the platform's fault injector (transport latency
     spikes). *)
 val set_fault_injector : t -> Hypertee_faults.Fault.t -> unit
+
+(** {2 Admission control}
+
+    A token bucket in front of the mailboxes: each admitted request
+    consumes one token; an empty bucket sheds the request with the
+    typed {!Busy} rejection instead of letting the queues collapse.
+    Tokens refill on a {e virtual} clock the load driver advances
+    with {!advance_admission_ns} — fully deterministic. No bucket is
+    installed by default, so existing callers see no change. *)
+
+(** [set_admission t ~rate_per_s ~burst] installs (or replaces) the
+    bucket, initially full.
+    @raise Invalid_argument on a non-positive rate or burst. *)
+val set_admission : t -> rate_per_s:float -> burst:int -> unit
+
+(** Remove the bucket: every request admitted again. *)
+val clear_admission : t -> unit
+
+(** Advance the bucket's virtual clock by [ns], refilling
+    [rate_per_s * ns / 1e9] tokens up to [burst]. No-op without a
+    bucket or for non-positive [ns]. *)
+val advance_admission_ns : t -> float -> unit
+
+(** Current token count, if a bucket is installed (tests). *)
+val admission_tokens : t -> float option
+
+(** Requests shed with {!Busy} since creation. *)
+val shed : t -> int
 
 (** Install a worker pool: {!invoke_batch} rings the doorbells of
     distinct shards concurrently (one domain per shard with pending

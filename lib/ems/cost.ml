@@ -90,3 +90,12 @@ let service_ns t request =
   | Types.Chan_send { seg; _ } ->
     dispatch_ns t +. ns_of_instructions t (float_of_int (Bytes.length seg) /. 8.0)
   | Types.Chan_recv _ -> dispatch_ns t +. ns_of_instructions t 128.0
+  (* Warm pool: ERETIRE re-hashes the resident image (the price of
+     the byte-identical-measurement guarantee) plus scrub/unmap work;
+     EWARM is the payoff — a dispatch plus context updates, no page
+     mapping and no hashing. *)
+  | Types.Retire { enclave = _ } ->
+    dispatch_ns t
+    +. measure_ns t ~bytes:(8 * page_bytes)
+    +. (8.0 *. page_map_ns t)
+  | Types.Warm_create _ -> dispatch_ns t +. ns_of_instructions t enter_instructions

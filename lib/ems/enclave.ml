@@ -1,4 +1,4 @@
-type state = Loading | Measured | Running | Interrupted | Destroyed
+type state = Loading | Measured | Running | Interrupted | Parked | Destroyed
 
 type layout = {
   code_base : int;
@@ -25,6 +25,11 @@ type t = {
   mutable saved_pc : int;
   mutable swapped_out : (int, bytes) Hashtbl.t;
   mutable staging_frames : int list;
+  (* EADD history in issue order: (vpn, executable). ERETIRE replays
+     it to re-derive the measurement from the resident image pages, so
+     a parked enclave provably still carries the bytes it was measured
+     over before EWARM hands it out again. *)
+  mutable added_pages : (int * bool) list;
 }
 
 let state_name = function
@@ -32,6 +37,7 @@ let state_name = function
   | Measured -> "measured"
   | Running -> "running"
   | Interrupted -> "interrupted"
+  | Parked -> "parked"
   | Destroyed -> "destroyed"
 
 let make_layout (config : Types.enclave_config) =
@@ -61,6 +67,7 @@ let create ~id ~config ~page_table ~key_id =
     saved_pc = 0;
     swapped_out = Hashtbl.create 8;
     staging_frames = [];
+    added_pages = [];
   }
 
 let bad t = Error (Types.Bad_state (state_name t.state))
@@ -70,6 +77,7 @@ let can_measure t = match t.state with Loading -> Ok () | _ -> bad t
 let can_enter t = match t.state with Measured -> Ok () | _ -> bad t
 let can_resume t = match t.state with Interrupted -> Ok () | _ -> bad t
 let can_exit t = match t.state with Running | Interrupted -> Ok () | _ -> bad t
+let can_retire t = match t.state with Measured -> Ok () | _ -> bad t
 
 let static_vpns t =
   let range base n = List.init n (fun i -> base + i) in

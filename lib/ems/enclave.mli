@@ -8,10 +8,15 @@
       ECREATE -> Loading --EADD*--> Loading --EMEAS--> Measured
       Measured --EENTER--> Running --EEXIT--> Measured
       Running --interrupt--> Interrupted --ERESUME--> Running
+      Measured --ERETIRE--> Parked --EWARM--> Measured
       any --EDESTROY--> Destroyed
-    v} *)
+    v}
 
-type state = Loading | Measured | Running | Interrupted | Destroyed
+    [Parked] is the warm-pool state: the enclave keeps its id, KeyID,
+    pages and measurement, but is invisible to every primitive except
+    EWARM (which revives it) and EDESTROY (which evicts it). *)
+
+type state = Loading | Measured | Running | Interrupted | Parked | Destroyed
 
 (** Virtual-address layout of an enclave (page numbers). Code starts
     at [code_base]; heap grows up from [heap_base]; the EALLOC cursor
@@ -51,6 +56,10 @@ type t = {
       (** HostApp-owned frames mapped into the staging window
           (plaintext, KeyID 0, host-visible — Sec. IV-A data
           movement) *)
+  mutable added_pages : (int * bool) list;
+      (** EADD history in issue order, (vpn, executable): ERETIRE
+          replays it to re-derive the measurement from the resident
+          pages before parking *)
 }
 
 (** Human-readable state label for reports and errors. *)
@@ -84,6 +93,9 @@ val can_resume : t -> (unit, Types.error) result
 
 (** EEXIT requires a Running or Interrupted enclave. *)
 val can_exit : t -> (unit, Types.error) result
+
+(** ERETIRE requires a Measured (idle) enclave. *)
+val can_retire : t -> (unit, Types.error) result
 
 (** Virtual page ranges, derived from config + layout. *)
 val static_vpns : t -> int list

@@ -41,7 +41,11 @@ let should_record request response =
     | Types.Create _ | Types.Add _ | Types.Enter _ | Types.Resume _ | Types.Exit _
     | Types.Destroy _ | Types.Alloc _ | Types.Free _ | Types.Shmget _ | Types.Shmat _
     | Types.Shmdt _ | Types.Shmshr _ | Types.Shmdes _ | Types.Measure _ | Types.Page_fault _
-    | Types.Interrupt _ -> true)
+    | Types.Interrupt _ -> true
+    (* Warm-pool transitions are control state: replaying a Retire
+       re-parks the enclave and a later Warm_create re-pops it, so
+       recovery reproduces the same id assignments. *)
+    | Types.Retire _ | Types.Warm_create _ -> true)
 
 let entry_digest entry =
   (* Entries are pure data (ints, bytes, lists), so the marshalled

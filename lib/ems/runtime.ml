@@ -69,7 +69,8 @@ let enclave_of_request = function
   | Types.Measure { enclave }
   | Types.Attest { enclave; _ }
   | Types.Page_fault { enclave; _ }
-  | Types.Interrupt { enclave; _ } ->
+  | Types.Interrupt { enclave; _ }
+  | Types.Retire { enclave } ->
     Some enclave
   | Types.Shmget { owner; _ } | Types.Shmshr { owner; _ } | Types.Shmdes { owner; _ } ->
     Some owner
@@ -78,6 +79,9 @@ let enclave_of_request = function
   (* Data-plane channel requests carry no enclave affinity: the gate
      routes them by the channel id's home-shard residue instead. *)
   | Types.Chan_send _ | Types.Chan_recv _ | Types.Chan_close _ -> None
+  (* EWARM names no enclave up front — any shard's warm pool may hold
+     a match, so it round-robins like Create. *)
+  | Types.Warm_create _ -> None
 
 (* Containment (Table I availability): a MAC failure while serving a
    primitive is a compromise of that enclave's memory, never of the

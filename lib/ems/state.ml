@@ -26,7 +26,12 @@ type t = {
   chans : Chan.t;
   mutable next_enclave_id : int;
   mutable next_shm_id : int;
+  mutable warm : Types.enclave_id list;
 }
+
+(* Warm-pool capacity per shard: beyond this, ERETIRE destroys
+   instead of parking, so churn cannot pin unbounded memory. *)
+let warm_capacity = 8
 
 let create ?(first_enclave_id = 1) ?(first_shm_id = 1) ?(id_stride = 1) ?chans ~rng ~mem ~bitmap
     ~mee ~keys ~cost ~os_request ~os_return ~platform_measurement () =
@@ -57,6 +62,7 @@ let create ?(first_enclave_id = 1) ?(first_shm_id = 1) ?(id_stride = 1) ?chans ~
     chans = (match chans with Some c -> c | None -> Chan.create ~shards:(max 1 id_stride));
     next_enclave_id = first_enclave_id;
     next_shm_id = first_shm_id;
+    warm = [];
   }
 
 let keys t = t.keys
@@ -76,10 +82,15 @@ let count t op = Hashtbl.replace t.served op (served t op + 1)
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Types.Err e
 
+(* Parked (warm-pool) enclaves are invisible to every primitive
+   except EWARM and EDESTROY, which look them up directly. *)
 let get_enclave t id =
   match Hashtbl.find_opt t.enclaves id with
-  | Some e when e.Enclave.state <> Enclave.Destroyed -> Ok e
-  | Some _ | None -> Error Types.No_such_enclave
+  | Some e -> (
+    match e.Enclave.state with
+    | Enclave.Destroyed | Enclave.Parked -> Error Types.No_such_enclave
+    | _ -> Ok e)
+  | None -> Error Types.No_such_enclave
 
 (* Identity check: a user-privilege primitive acting on enclave [id]
    must come from that enclave itself (sender stamped by EMCall) or
@@ -155,15 +166,22 @@ let park_key t (e : Enclave.t) =
   Mem_encryption.revoke t.mee ~key_id:e.Enclave.key_id;
   e.Enclave.key_parked <- true
 
-(* A parkable victim: measured, idle, key not already parked. *)
+(* A parkable victim: measured or warm-parked, idle, key not already
+   parked. Warm-pool residents are ideal victims — nobody is about to
+   run them. *)
 let find_parkable t ~except =
   Hashtbl.fold
     (fun id (e : Enclave.t) acc ->
       match acc with
       | Some _ -> acc
       | None ->
-        if id <> except && e.Enclave.state = Enclave.Measured && not e.Enclave.key_parked then
-          Some e
+        if
+          id <> except
+          && (match e.Enclave.state with
+             | Enclave.Measured | Enclave.Parked -> true
+             | _ -> false)
+          && not e.Enclave.key_parked
+        then Some e
         else None)
     t.enclaves None
 
@@ -278,6 +296,33 @@ let mark_adopted t id = Hashtbl.replace t.adopted id ()
 let is_adopted t id = Hashtbl.mem t.adopted id
 let clear_adopted t id = Hashtbl.remove t.adopted id
 let adopted_ids t = Hashtbl.fold (fun id () acc -> id :: acc) t.adopted [] |> List.sort compare
+
+(* --- Warm pool (ERETIRE / EWARM) ---
+
+   A per-shard FIFO of parked enclave ids. Parked enclaves stay in
+   [t.enclaves] with their pages, KeyID and measurement intact; the
+   list only orders eviction and lookup. *)
+
+let warm_ids t = t.warm
+let warm_count t = List.length t.warm
+let warm_has_room t = List.length t.warm < warm_capacity
+let warm_push t id = t.warm <- t.warm @ [ id ]
+let warm_remove t id = t.warm <- List.filter (fun i -> i <> id) t.warm
+
+(* First (oldest) parked enclave whose measurement matches, FIFO. *)
+let warm_pop_matching t ~measurement =
+  let rec go = function
+    | [] -> None
+    | id :: rest -> (
+      match Hashtbl.find_opt t.enclaves id with
+      | Some e
+        when e.Enclave.state = Enclave.Parked
+             && Bytes.equal (Enclave.measurement_exn e) measurement ->
+        warm_remove t id;
+        Some e
+      | _ -> go rest)
+  in
+  go t.warm
 
 let has_swapped_page t enclave ~vpn =
   match Hashtbl.find_opt t.enclaves enclave with

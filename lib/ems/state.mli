@@ -48,7 +48,15 @@ type t = {
           channel ids from its own residue class. *)
   mutable next_enclave_id : int;
   mutable next_shm_id : int;
+  mutable warm : Types.enclave_id list;
+      (** Warm pool: ids of [Parked] enclaves on this shard, oldest
+          first (FIFO). Bounded by {!warm_capacity}; every id here
+          must be resident and Parked, and every Parked enclave must
+          be listed — the invariant checker asserts both. *)
 }
+
+(** Warm-pool capacity per shard; ERETIRE beyond it destroys. *)
+val warm_capacity : int
 
 (** Build the shared state; the id parameters are those of
     {!Runtime.create} (platform sharding). [chans] is the platform's
@@ -124,7 +132,9 @@ val adopted_ids : t -> Types.enclave_id list
 (** Handler idiom: early-return [Err e] on [Error e]. *)
 val ( let* ) : ('a, Types.error) result -> ('a -> Types.response) -> Types.response
 
-(** Enclave by id, or [Error No_such_enclave]. *)
+(** Enclave by id, or [Error No_such_enclave]. Parked (warm-pool)
+    enclaves are invisible here: only EWARM and EDESTROY reach them,
+    through {!warm_pop_matching} and a direct table lookup. *)
 val get_enclave : t -> Types.enclave_id -> (Enclave.t, Types.error) result
 
 (** Sec. III-B identity check: a packet stamped with an enclave id
@@ -184,3 +194,24 @@ val leaked_shm_frames : t -> int
     pool, revoke the region key. Returns the number of regions
     reaped. EDESTROY and ESHMDT run this after their own teardown. *)
 val reap_orphaned_shms : t -> int
+
+(** Warm pool (ERETIRE / EWARM). *)
+
+(** Parked ids, oldest first. *)
+val warm_ids : t -> Types.enclave_id list
+
+(** Current warm-pool occupancy. *)
+val warm_count : t -> int
+
+(** Can another enclave be parked without exceeding capacity? *)
+val warm_has_room : t -> bool
+
+(** Append a freshly parked id (caller set the state to Parked). *)
+val warm_push : t -> Types.enclave_id -> unit
+
+(** Drop an id from the warm list (EDESTROY of a parked enclave). *)
+val warm_remove : t -> Types.enclave_id -> unit
+
+(** Pop the oldest parked enclave whose measurement is byte-equal to
+    [measurement]; the caller revives it. [None] on no match. *)
+val warm_pop_matching : t -> measurement:bytes -> Enclave.t option

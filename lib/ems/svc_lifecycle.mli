@@ -1,7 +1,10 @@
-(** Lifecycle service: build, run, tear down enclaves.
+(** Lifecycle service: build, run, tear down, and recycle enclaves.
 
     Serves ECREATE, EADD, EENTER, ERESUME (and the interrupt save
-    path that shares its opcode), EEXIT, EDESTROY. *)
+    path that shares its opcode), EEXIT, EDESTROY, and the warm-pool
+    pair ERETIRE (park a measured enclave after re-deriving its
+    measurement from the resident pages) / EWARM (revive a parked
+    enclave whose measurement matches, skipping rebuild). *)
 
 (** Registry name of this service. *)
 val name : string

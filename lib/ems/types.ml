@@ -25,11 +25,14 @@ type opcode =
   | ECHSEND
   | ECHRECV
   | ECHCLOSE
+  | ERETIRE
+  | EWARM
 
 let all_opcodes =
   [
     ECREATE; EADD; EENTER; ERESUME; EEXIT; EDESTROY; EALLOC; EFREE; EWB; ESHMGET; ESHMAT;
     ESHMDT; ESHMSHR; ESHMDES; EMEAS; EATTEST; ECHOPEN; ECHACC; ECHSEND; ECHRECV; ECHCLOSE;
+    ERETIRE; EWARM;
   ]
 
 let opcode_name = function
@@ -54,11 +57,15 @@ let opcode_name = function
   | ECHSEND -> "ECHSEND"
   | ECHRECV -> "ECHRECV"
   | ECHCLOSE -> "ECHCLOSE"
+  | ERETIRE -> "ERETIRE"
+  | EWARM -> "EWARM"
 
 (* Table II privilege column; channel primitives extend the table with
-   User privilege, since hosts and enclaves both open channels. *)
+   User privilege, since hosts and enclaves both open channels. The
+   warm-pool pair is enclave management proper, so it is OS-only like
+   ECREATE/EDESTROY. *)
 let required_privilege = function
-  | ECREATE | EADD | EENTER | ERESUME | EDESTROY | EWB | EMEAS -> Os
+  | ECREATE | EADD | EENTER | ERESUME | EDESTROY | EWB | EMEAS | ERETIRE | EWARM -> Os
   | EEXIT | EALLOC | EFREE | ESHMGET | ESHMAT | ESHMDT | ESHMSHR | ESHMDES | EATTEST
   | ECHOPEN | ECHACC | ECHSEND | ECHRECV | ECHCLOSE ->
     User
@@ -85,6 +92,8 @@ let opcode_semantics = function
   | ECHSEND -> "Queue a channel segment toward the peer"
   | ECHRECV -> "Dequeue the next channel segment"
   | ECHCLOSE -> "Tear a channel down and wipe its binding"
+  | ERETIRE -> "Park a measured enclave in the warm pool"
+  | EWARM -> "Revive a parked enclave with a matching measurement"
 
 type enclave_config = {
   code_pages : int;
@@ -123,6 +132,8 @@ type request =
   | Chan_send of { chan : int; seg : bytes }
   | Chan_recv of { chan : int }
   | Chan_close of { chan : int }
+  | Retire of { enclave : enclave_id }
+  | Warm_create of { measurement : bytes }
 
 let opcode_of_request = function
   | Create _ -> ECREATE
@@ -146,6 +157,23 @@ let opcode_of_request = function
   | Chan_send _ -> ECHSEND
   | Chan_recv _ -> ECHRECV
   | Chan_close _ -> ECHCLOSE
+  | Retire _ -> ERETIRE
+  | Warm_create _ -> EWARM
+
+(* Warm-pool affinity: the shard a measurement's parked enclaves live
+   on. Both sides of the pool agree on it — the gate routes EWARM
+   here, and ERETIRE only parks when the enclave already sits on this
+   shard (otherwise an EWARM could never find it; a plain round-robin
+   of EWARM deadlocks against the round-robin of ECREATE, landing
+   every probe on a shard that never parks the image). Any stable
+   digest-to-shard map works; the measurement is a SHA-256, so its
+   leading bytes are already uniform. *)
+let warm_home ~shards measurement =
+  if shards <= 1 then 0
+  else if Bytes.length measurement < 8 then 0
+  else
+    let h = Int64.to_int (Bytes.get_int64_le measurement 0) land max_int in
+    h mod shards
 
 type error =
   | No_such_enclave

@@ -17,7 +17,8 @@ type privilege = Os | User
 
 (** The primitive opcodes of Table II, extended with the five secure-
     channel primitives ([ECH*]) this reproduction adds for attested
-    session transport (docs/PROTOCOL.md §2). *)
+    session transport (docs/PROTOCOL.md §2) and the warm-pool pair
+    ([ERETIRE]/[EWARM]) for enclave-as-a-service churn. *)
 type opcode =
   | ECREATE
   | EADD
@@ -40,6 +41,8 @@ type opcode =
   | ECHSEND
   | ECHRECV
   | ECHCLOSE
+  | ERETIRE
+  | EWARM
 
 (** Every opcode, in Table II order (channel primitives last). *)
 val all_opcodes : opcode list
@@ -108,6 +111,14 @@ type request =
   | Chan_close of { chan : int }
       (** tear the channel down: wipe the binding and drop queued
           segments (§2.4) *)
+  | Retire of { enclave : enclave_id }
+      (** park a Measured, shm-free enclave in the shard's warm pool:
+          EMS re-derives the measurement from the resident pages and
+          only parks on an exact match, else destroys *)
+  | Warm_create of { measurement : bytes }
+      (** pop a parked enclave whose measurement matches, skipping
+          ECREATE/EADD*/EMEAS; [Err Bad_state] when the shard has no
+          match (callers fall back to a cold create) *)
 
 (** The Table II opcode a request is charged to. *)
 val opcode_of_request : request -> opcode
@@ -125,6 +136,13 @@ type error =
       (** the memory-encryption MAC caught tampering (or an injected
           bit flip); EMS terminated the affected enclave *)
   | No_such_channel  (** unknown, closed, or already-reaped channel id *)
+
+(** [warm_home ~shards measurement] — the shard whose warm pool may
+    hold parked enclaves of this measurement. The EMCall gate routes
+    EWARM by it and ERETIRE parks only on it, so pool placement and
+    lookup agree; ids and routing overrides play no part. Total (a
+    short or malformed measurement maps to shard 0). *)
+val warm_home : shards:int -> bytes -> int
 
 (** Human-readable error text for reports and logs. *)
 val error_message : error -> string

@@ -124,7 +124,7 @@ let run_point ~seed ~fault_rate ~ops =
       match effect with
       | `Added e | `Measured e | `Alloced e | `Freed e | `Destroyed e -> drop fleet e.id
       | `Created | `Noop -> ())
-    | Error (Emcall.Cross_privilege | Emcall.Mailbox_full) -> incr degraded
+    | Error (Emcall.Cross_privilege | Emcall.Mailbox_full | Emcall.Busy) -> incr degraded
   done;
   let audit = Hypertee_ems.Runtime.audit (Platform.Internals.runtime platform) in
   let events = Hypertee_ems.Audit.fault_events audit in
@@ -242,7 +242,7 @@ let rolling_restart ?(seed = 0xC4A05CADEL) ?(ops = restart_default_ops) ?(shards
       match effect with
       | `Added e | `Measured e | `Alloced e | `Freed e | `Destroyed e -> drop fleet e.id
       | `Created | `Noop -> ())
-    | Error (Emcall.Cross_privilege | Emcall.Mailbox_full) -> incr errors
+    | Error (Emcall.Cross_privilege | Emcall.Mailbox_full | Emcall.Busy) -> incr errors
   in
   let run_phase n =
     for _ = 1 to n do

@@ -189,7 +189,7 @@ let absorb w (caller, request) result =
     match Hypertee_ems.Runtime.enclave_of_request request with
     | Some id -> forget_enclave id
     | None -> ())
-  | Error (Emcall.Cross_privilege | Emcall.Mailbox_full) -> ()
+  | Error (Emcall.Cross_privilege | Emcall.Mailbox_full | Emcall.Busy) -> ()
   | Ok ((Types.Err (Types.No_such_enclave | Types.Integrity_failure _)), _) -> (
     match Hypertee_ems.Runtime.enclave_of_request request with
     | Some id -> forget_enclave id

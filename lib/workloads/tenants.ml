@@ -1,0 +1,82 @@
+module Xrng = Hypertee_util.Xrng
+
+type spec = {
+  tenants : int;
+  images : int;
+  zipf_s : float;
+  mean_session_ops : float;
+  max_session_ops : int;
+  think_mean_ns : float;
+}
+
+let default_spec =
+  {
+    tenants = 16;
+    images = 4;
+    zipf_s = 1.1;
+    mean_session_ops = 4.0;
+    max_session_ops = 32;
+    think_mean_ns = 2.0e6;
+  }
+
+type session = { arrival_ns : float; tenant : int; image : int; ops : int }
+
+(* Zipf-ish popularity over the catalog: rank k gets weight
+   1/(k+1)^s, pre-summed into a CDF so sampling is one uniform
+   draw. *)
+let popularity_cdf spec =
+  if spec.images < 1 then invalid_arg "Tenants.popularity_cdf: empty catalog";
+  let weights =
+    Array.init spec.images (fun k -> 1.0 /. (float_of_int (k + 1) ** spec.zipf_s))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let acc = ref 0.0 in
+  Array.map
+    (fun w ->
+      acc := !acc +. (w /. total);
+      !acc)
+    weights
+
+let pick_image rng cdf =
+  let u = Xrng.float rng in
+  let n = Array.length cdf in
+  let rec go i = if i >= n - 1 || u <= cdf.(i) then i else go (i + 1) in
+  go 0
+
+(* Geometric session length with the configured mean, capped so one
+   pathological draw cannot dominate a sweep point. *)
+let session_ops rng spec =
+  let p = 1.0 /. Float.max 1.0 spec.mean_session_ops in
+  let rec go n = if n >= spec.max_session_ops || Xrng.float rng < p then n else go (n + 1) in
+  go 1
+
+let think_ns rng spec = Xrng.exponential rng ~mean:spec.think_mean_ns
+
+let fresh_session rng spec cdf ~arrival_ns =
+  {
+    arrival_ns;
+    tenant = Xrng.int rng (Stdlib.max 1 spec.tenants);
+    image = pick_image rng cdf;
+    ops = session_ops rng spec;
+  }
+
+let open_arrivals ~seed ~spec ~rate_per_s ~sessions =
+  if rate_per_s <= 0.0 then invalid_arg "Tenants.open_arrivals: rate must be positive";
+  if sessions < 0 then invalid_arg "Tenants.open_arrivals: negative session count";
+  let rng = Xrng.create seed in
+  let cdf = popularity_cdf spec in
+  let mean_gap = 1e9 /. rate_per_s in
+  let clock = ref 0.0 in
+  List.init sessions (fun _ ->
+      clock := !clock +. Xrng.exponential rng ~mean:mean_gap;
+      fresh_session rng spec cdf ~arrival_ns:!clock)
+
+(* Deterministic per-catalog-index enclave payload: a tiny code and
+   data blob whose bytes depend only on the index, so every session
+   of image [k] measures to the same digest — the property the warm
+   pool keys on. *)
+let image_bytes ~image =
+  let mix off i = Char.chr ((((image * 131) + (i * 31) + off) land 0x7f) lor 0x01) in
+  let code = Bytes.init 96 (mix 17) in
+  let data = Bytes.init 64 (mix 89) in
+  (code, data)

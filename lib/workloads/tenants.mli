@@ -1,0 +1,48 @@
+(** Tenant-fleet model for the enclave-as-a-service experiment
+    ({!Hypertee_experiments.Cloud}).
+
+    Platform-free: this module only draws the shape of the offered
+    load — deterministic Poisson arrivals, Zipf-ish image popularity
+    over a small catalog, geometric session lengths, exponential
+    think times — from a seeded {!Hypertee_util.Xrng}. The cloud
+    driver turns each {!session} into real EMCalls. *)
+
+type spec = {
+  tenants : int;  (** distinct tenants in the fleet *)
+  images : int;  (** enclave-image catalog size *)
+  zipf_s : float;  (** popularity skew: weight of rank k is 1/(k+1)^s *)
+  mean_session_ops : float;  (** mean secure-channel compute rounds per session *)
+  max_session_ops : int;  (** cap on one session's compute rounds *)
+  think_mean_ns : float;  (** closed-loop think time between a tenant's sessions *)
+}
+
+val default_spec : spec
+
+type session = {
+  arrival_ns : float;  (** virtual arrival time *)
+  tenant : int;
+  image : int;  (** catalog index, Zipf-distributed *)
+  ops : int;  (** compute rounds in this session *)
+}
+
+(** Popularity CDF over the catalog (index by rank, compare a uniform
+    draw). @raise Invalid_argument on an empty catalog. *)
+val popularity_cdf : spec -> float array
+
+val pick_image : Hypertee_util.Xrng.t -> float array -> int
+val session_ops : Hypertee_util.Xrng.t -> spec -> int
+val think_ns : Hypertee_util.Xrng.t -> spec -> float
+
+(** One freshly drawn session at the given arrival time (closed-loop
+    generators mint these on completion + think). *)
+val fresh_session : Hypertee_util.Xrng.t -> spec -> float array -> arrival_ns:float -> session
+
+(** [open_arrivals ~seed ~spec ~rate_per_s ~sessions] — the open-loop
+    process: [sessions] arrivals with exponential inter-arrival gaps
+    at the offered rate, independent of completions. *)
+val open_arrivals : seed:int64 -> spec:spec -> rate_per_s:float -> sessions:int -> session list
+
+(** Deterministic (code, data) payload for catalog index [image]:
+    every session of the same image measures to the same SHA-256, the
+    key the warm pool matches on. *)
+val image_bytes : image:int -> bytes * bytes

@@ -293,6 +293,118 @@ let test_page_fault_idempotent () =
   if not (Invariant.ok report) then
     Alcotest.failf "invariants after re-fault: %s" (Invariant.report_to_string report)
 
+(* --- Create teardown conserves pool frames (Svc_lifecycle.handle_create) ---
+
+   A Create that dies mid-mapping — a page-table node [Failure] after
+   the static frames were taken from the pool but before they were all
+   claimed into the ownership table — used to strand the untaken
+   frames: owner still Pool, absent from the parked list,
+   [Mem_pool.outstanding] permanently inflated. Sweep the pool budget
+   across the whole range so the attempt fails at every stage
+   (up-front take, mid-fold node allocation) and succeeds at least
+   once; every outcome must conserve the outstanding count. *)
+
+let test_create_teardown_conserves_pool () =
+  (* Small machine so the pool + OS drain quickly. *)
+  let platform =
+    Platform.create
+      ~config:{ Config.default with Config.memory_mb = 8; ems_memory_mb = 4 }
+      ~seed:0x1EA6L ()
+  in
+  let pool = Hypertee_ems.Runtime.pool (Platform.Internals.runtime platform) in
+  (* Drain the pool AND the OS behind it dry (refills keep succeeding
+     until the OS has nothing left). *)
+  let rec drain acc n =
+    if n = 0 then acc
+    else
+      match Hypertee_ems.Mem_pool.take pool ~n with
+      | Some fs -> drain (List.rev_append fs acc) n
+      | None -> drain acc (n / 2)
+  in
+  let held = ref (drain [] 64) in
+  (* No staging pages: those come straight from the (dry) OS, and the
+     sweep targets the enclave-memory paths. *)
+  let enclave_config = { small_config with Types.shared_pages = 0 } in
+  let saw_oom = ref false in
+  let saw_ok = ref false in
+  for keep = 0 to 24 do
+    (* Hand exactly [keep] frames back for this attempt. *)
+    let rec give n =
+      if n > 0 then
+        match !held with
+        | f :: rest ->
+          held := rest;
+          Hypertee_ems.Mem_pool.give_back pool [ f ];
+          give (n - 1)
+        | [] -> ()
+    in
+    give keep;
+    let base = Hypertee_ems.Mem_pool.outstanding pool in
+    (match
+       expect_ok "create"
+         (Platform.invoke platform ~caller:Emcall.Os_kernel
+            (Types.Create { config = enclave_config }))
+     with
+    | Types.Ok_created { enclave } -> (
+      saw_ok := true;
+      match
+        expect_ok "destroy"
+          (Platform.invoke platform ~caller:Emcall.Os_kernel (Types.Destroy { enclave }))
+      with
+      | Types.Ok_unit -> ()
+      | r -> Alcotest.failf "destroy: %s" (response_name r))
+    | Types.Err Types.Out_of_memory -> saw_oom := true
+    | r -> Alcotest.failf "create at keep=%d: %s" keep (response_name r));
+    Alcotest.(check int)
+      (Printf.sprintf "pool outstanding conserved at keep=%d" keep)
+      base
+      (Hypertee_ems.Mem_pool.outstanding pool);
+    (* Re-drain whatever the attempt returned, for the next budget. *)
+    held := drain !held 64
+  done;
+  if not !saw_oom then Alcotest.fail "sweep never exhausted the pool";
+  if not !saw_ok then Alcotest.fail "sweep never completed a create";
+  Hypertee_ems.Mem_pool.give_back pool !held;
+  let report = Platform.check platform in
+  if not (Invariant.ok report) then
+    Alcotest.failf "invariants after sweep: %s" (Invariant.report_to_string report)
+
+(* --- EWARM routing on a sharded platform (Types.warm_home) ---
+
+   The gate used to round-robin EWARM like any enclave-less request.
+   Each cold session issues Warm_create then Create, so on two shards
+   the EWARM always landed on the opposite parity from where enclaves
+   were created and parked: a deterministic 0% hit rate. With
+   measurement-hash routing ([warm_home], agreed on by the gate and
+   ERETIRE's park condition), the pool converges after at most one
+   cold miss and stays warm. *)
+
+let test_warm_routing_two_shards () =
+  let platform =
+    Platform.create ~config:{ Config.default with Config.ems_shards = 2 } ~seed:0x2AB7L ()
+  in
+  let hits = ref 0 in
+  let last_warm = ref false in
+  for _ = 1 to 6 do
+    match Sdk.warm_launch platform small_image with
+    | Ok (e, kind) ->
+      last_warm := kind = `Warm;
+      (if kind = `Warm then incr hits);
+      (match Sdk.retire platform ~enclave:e with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "retire: %s" m)
+    | Error m -> Alcotest.failf "warm_launch: %s" m
+  done;
+  (* At most the first two cycles may miss (cold launches round-robin,
+     and retire parks only on the measurement's home shard, so seeding
+     the pool can take two launches). Under the old round-robin EWARM
+     routing every cycle missed. *)
+  Alcotest.(check bool) "EWARM converges on the home shard (>= 4 of 6 hits)" true (!hits >= 4);
+  Alcotest.(check bool) "pool stays warm once seeded" true !last_warm;
+  let report = Platform.check platform ~deep:true in
+  if not (Invariant.ok report) then
+    Alcotest.failf "invariants after warm cycling: %s" (Invariant.report_to_string report)
+
 (* --- The checker actually catches seeded corruption --- *)
 
 let has_rule report rule =
@@ -333,7 +445,11 @@ let test_checker_catches_corruption () =
     | None -> Alcotest.fail "launched enclave not found"
   in
   Mem_encryption.revoke (Platform.Internals.mee platform) ~key_id;
-  if not (has_rule (check ()) "mee") then Alcotest.fail "revoked live key not caught"
+  if not (has_rule (check ()) "mee") then Alcotest.fail "revoked live key not caught";
+  (* (d) Warm list corrupted with an id that is not resident. *)
+  Hypertee_ems.State.warm_push (Runtime.state runtime) 9999;
+  if not (has_rule (check ()) "warm-pool") then
+    Alcotest.fail "bogus warm-pool entry not caught"
 
 (* --- Differential oracle: clean and fault-injected replays --- *)
 
@@ -427,6 +543,10 @@ let suite =
           test_gate_timeout_on_evicted_path;
         Alcotest.test_case "spurious page re-fault is idempotent (no frame leak)" `Quick
           test_page_fault_idempotent;
+        Alcotest.test_case "failed create tears down without stranding pool frames" `Quick
+          test_create_teardown_conserves_pool;
+        Alcotest.test_case "EWARM routes to the measurement's home shard" `Quick
+          test_warm_routing_two_shards;
         Alcotest.test_case "checker catches bitmap/ownership/key corruption" `Quick
           test_checker_catches_corruption;
         Alcotest.test_case "oracle: clean replay has zero divergences" `Quick

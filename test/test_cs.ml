@@ -112,6 +112,8 @@ let request_of_opcode op : Types.request =
   | Types.ECHSEND -> Types.Chan_send { chan = 1; seg = Bytes.make 64 'x' }
   | Types.ECHRECV -> Types.Chan_recv { chan = 1 }
   | Types.ECHCLOSE -> Types.Chan_close { chan = 1 }
+  | Types.ERETIRE -> Types.Retire { enclave = 1 }
+  | Types.EWARM -> Types.Warm_create { measurement = Bytes.create 32 }
 
 (* The full cross-privilege matrix of Sec. III-B mechanism 1: every
    opcode x every caller; exactly the privilege-matching cells pass
@@ -134,7 +136,8 @@ let test_privilege_matrix () =
             if expected_pass then
               Alcotest.failf "%s wrongly blocked" (Types.opcode_name op)
           | Error Emcall.Mailbox_full -> Alcotest.fail "unexpected back-pressure"
-          | Error Emcall.Timeout -> Alcotest.fail "unexpected timeout")
+          | Error Emcall.Timeout -> Alcotest.fail "unexpected timeout"
+          | Error Emcall.Busy -> Alcotest.fail "unexpected admission shed")
         all_callers)
     Types.all_opcodes
 

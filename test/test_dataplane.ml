@@ -302,7 +302,41 @@ let test_perf_run_and_json () =
     (fun target ->
       check Alcotest.bool (target ^ " speedup present") true
         (Perf.find samples ~target ~metric:"speedup-vs-reference" <> None))
-    [ "aes-ctr-page"; "sha3-256-page"; "keccak-mac28-page"; "mee-store-load-page" ];
+    [
+      "aes-ctr-page";
+      "sha3-256-page";
+      "keccak-mac28-page";
+      "mee-store-load-page";
+      "chan-record-seal";
+      "cloud-warm-create";
+    ];
+  (* Every speedup-vs-reference ratio must compare like with like:
+     its two sides are the samples [target] and [target-reference],
+     and both must exist and measure the same unit of work (same
+     metric, same unit). The chan-record-seal reference was once a
+     bare chunk-copy loop — a throughput "pair" whose ratio only
+     measured memcpy against real crypto. *)
+  List.iter
+    (fun s ->
+      if s.Perf.metric = "speedup-vs-reference" then begin
+        let side metric_label t =
+          match
+            List.find_opt
+              (fun c -> c.Perf.target = t && c.Perf.metric <> "speedup-vs-reference")
+              samples
+          with
+          | Some c -> c
+          | None -> Alcotest.failf "%s: %s side missing" s.Perf.target metric_label
+        in
+        let fast = side "fast" s.Perf.target in
+        let reference = side "reference" (s.Perf.target ^ "-reference") in
+        check Alcotest.string (s.Perf.target ^ ": sides share a metric") fast.Perf.metric
+          reference.Perf.metric;
+        check Alcotest.string (s.Perf.target ^ ": sides share a unit") fast.Perf.unit_
+          reference.Perf.unit_;
+        check Alcotest.string (s.Perf.target ^ ": ratio is dimensionless") "x" s.Perf.unit_
+      end)
+    samples;
   let path = Filename.temp_file "bench_perf" ".json" in
   Perf.write_json ~path samples;
   let ic = open_in path in

@@ -18,8 +18,12 @@ let rng () = Hypertee_util.Xrng.create 0xE45L
 (* --- Types --- *)
 
 let test_privileges_match_table2 () =
-  (* Table II's Priv column. *)
-  let os = [ Types.ECREATE; Types.EADD; Types.EENTER; Types.ERESUME; Types.EDESTROY; Types.EWB; Types.EMEAS ] in
+  (* Table II's Priv column; the warm-pool pair is enclave management
+     proper, OS-only like ECREATE/EDESTROY. *)
+  let os =
+    [ Types.ECREATE; Types.EADD; Types.EENTER; Types.ERESUME; Types.EDESTROY; Types.EWB;
+      Types.EMEAS; Types.ERETIRE; Types.EWARM ]
+  in
   let user =
     [ Types.EEXIT; Types.EALLOC; Types.EFREE; Types.ESHMGET; Types.ESHMAT; Types.ESHMDT;
       Types.ESHMSHR; Types.ESHMDES; Types.EATTEST ]
@@ -33,7 +37,8 @@ let test_privileges_match_table2 () =
     (fun op ->
       check Alcotest.bool (Types.opcode_name op) true (Types.required_privilege op = Types.User))
     chan;
-  check Alcotest.int "sixteen + five channel primitives" 21 (List.length Types.all_opcodes)
+  check Alcotest.int "sixteen + five channel + two warm-pool primitives" 23
+    (List.length Types.all_opcodes)
 
 let test_opcode_of_request () =
   check Alcotest.bool "create" true
